@@ -1,0 +1,29 @@
+//! E1 — Indexed template matching vs full scan (§1's trade-off principle).
+//!
+//! The paper's premise: investment in organization buys efficient
+//! retrieval. The store keeps three rotated BTree indexes; the baseline is
+//! the "unorganized heap" scan. Expected shape: the index wins by orders
+//! of magnitude, growing with database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::{standard_store, STORE_SCALES};
+use loosedb_store::Pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_pattern_matching");
+    group.sample_size(20);
+    for &scale in &STORE_SCALES {
+        let (store, nodes) = standard_store(scale);
+        let hub = nodes[0];
+        group.bench_with_input(BenchmarkId::new("indexed", scale), &scale, |b, _| {
+            b.iter(|| store.matching(Pattern::from_source(hub)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("scan", scale), &scale, |b, _| {
+            b.iter(|| store.matching_scan(Pattern::from_source(hub)).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — Closure materialization cost vs enabled rule groups (§3).
+//!
+//! Measures the cost of each standard rule family on a membership-heavy
+//! world. Expected shape: cost grows with the number of enabled groups;
+//! synonym substitution is the most expensive per fact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+use loosedb_engine::{InferenceConfig, RuleGroup};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_closure");
+    group.sample_size(10);
+    type ConfigMaker = fn() -> InferenceConfig;
+    let configs: [(&str, ConfigMaker); 4] = [
+        ("none", InferenceConfig::none),
+        ("generalization", || {
+            let mut c = InferenceConfig::none();
+            c.include(RuleGroup::Generalization);
+            c
+        }),
+        ("gen+membership", || {
+            let mut c = InferenceConfig::none();
+            c.include(RuleGroup::Generalization).include(RuleGroup::Membership);
+            c
+        }),
+        ("all-default", InferenceConfig::default),
+    ];
+    for (name, make) in configs {
+        group.bench_with_input(BenchmarkId::new(name, 800), &(), |b, _| {
+            b.iter(|| {
+                let mut db = structural_world(800, 40);
+                *db.config_mut() = make();
+                db.closure().expect("closure").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E3 — Composition blow-up vs limit(n) (§3.7, §6.1).
+//!
+//! The paper warns composition "may have serious effect on the cost of
+//! query processing" and offers limit(n). Expected shape: super-linear
+//! growth in materialized facts and time as n rises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_datagen::{zipf_graph, GraphConfig};
+use loosedb_engine::Database;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_composition");
+    group.sample_size(10);
+    for n in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("limit", n), &n, |b, &n| {
+            b.iter(|| {
+                let (store, _, _) = zipf_graph(&GraphConfig {
+                    entities: 120,
+                    relationships: 8,
+                    facts: 260,
+                    skew: 0.6,
+                    seed: 7,
+                });
+                let mut db = Database::from_store(store);
+                if n > 1 {
+                    db.limit(n);
+                }
+                db.closure().expect("closure").stats().composition_facts
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 — Navigation neighborhood latency vs entity degree (§4.1).
+//!
+//! Expected shape: latency linear in the degree of the focused entity;
+//! the Zipf hub costs orders of magnitude more than the tail.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::standard_store;
+use loosedb_browse::{navigate, NavigateOptions};
+use loosedb_engine::{ClosureView, Database};
+use loosedb_store::Pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_navigation");
+    group.sample_size(20);
+    let (store, nodes) = standard_store(50_000);
+    let mut db = Database::from_store(store);
+    *db.config_mut() = loosedb_engine::InferenceConfig::none();
+    db.refresh().expect("closure");
+    let picks = [("hub", nodes[0]), ("mid", nodes[nodes.len() / 2]), ("tail", nodes[nodes.len() - 1])];
+    for (label, node) in picks {
+        let view: ClosureView<'_> = db.view().expect("closure");
+        group.bench_with_input(BenchmarkId::new(label, 50_000), &node, |b, &node| {
+            b.iter(|| {
+                navigate(&view, Pattern::from_source(node), &NavigateOptions::default())
+                    .expect("navigate")
+                    .height()
+            })
+        });
+        drop(view);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E5 — Retraction-set size and waves-to-success vs taxonomy shape (§5).
+//!
+//! Expected shape: the retraction set grows with branching; waves to
+//! success grow with depth (the answer sits near the root).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_browse::{probe, ProbeOptions};
+use loosedb_datagen::{taxonomy, TaxonomyConfig};
+use loosedb_query::parse;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_probing");
+    group.sample_size(10);
+    for (depth, branching) in [(2usize, 2usize), (3, 3), (4, 3)] {
+        let label = format!("d{depth}b{branching}");
+        group.bench_function(BenchmarkId::new(label, depth), |b| {
+            b.iter(|| {
+                let mut t = taxonomy(&TaxonomyConfig {
+                    depth,
+                    branching,
+                    dag_probability: 0.0,
+                    seed: 5,
+                });
+                // Data only at the root: probing must climb all the way.
+                let root_name = t.db.display(t.root());
+                let leaf_name = t.db.display(t.leaves()[0]);
+                t.db.add("JOHN", "WANTS", root_name.as_str());
+                let src = format!("(JOHN, WANTS, {leaf_name})");
+                let query = parse(&src, t.db.store_interner_mut()).unwrap();
+                let view = t.db.view().unwrap();
+                let report = probe(&query, &view, &ProbeOptions::default());
+                report.waves.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 — Greedy (selectivity-ordered) vs syntactic conjunct order (§2.7).
+//!
+//! The query puts its most selective atom last; the planner must find it.
+//! Expected shape: greedy wins by a factor that grows with database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_datagen::{university, UniversityConfig};
+use loosedb_query::{eval_with, parse, AtomOrdering, EvalOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_planner");
+    group.sample_size(10);
+    let mut db = university(&UniversityConfig {
+        students: 300,
+        courses: 20,
+        instructors: 8,
+        enrollments_per_student: 3,
+        seed: 1,
+    });
+    // Adversarial order: the broad atoms first, the selective one last.
+    let src = "Q(?s) := exists ?e ?g . (?e, ENROLL-GRADE, ?g) \
+               & (?e, ENROLL-STUDENT, ?s) & (?g, =, A) & (?e, ENROLL-COURSE, CRS-0)";
+    let query = parse(src, db.store_interner_mut()).unwrap();
+    let view = db.view().unwrap();
+    for (label, ordering) in
+        [("greedy", AtomOrdering::Greedy), ("syntactic", AtomOrdering::Syntactic)]
+    {
+        group.bench_function(BenchmarkId::new(label, 300), |b| {
+            b.iter(|| {
+                eval_with(&query, &view, EvalOptions { ordering, max_rows: 10_000_000 })
+                    .expect("eval")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 — Semi-naive vs naive fixpoint evaluation (engine ablation).
+//!
+//! Expected shape: semi-naive wins, and the gap widens with closure depth
+//! (the naive strategy re-derives everything every round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+use loosedb_engine::Strategy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_seminaive");
+    group.sample_size(10);
+    for (label, strategy) in [("semi-naive", Strategy::SemiNaive), ("naive", Strategy::Naive)] {
+        group.bench_function(BenchmarkId::new(label, 600), |b| {
+            b.iter(|| {
+                let mut db = structural_world(600, 30);
+                db.set_strategy(strategy);
+                db.closure().expect("closure").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E8 — Integrity-checked insert cost vs constraint presence (§2.5).
+//!
+//! try_add recomputes the closure and diffs violations; the price of
+//! transactional integrity. Expected shape: cost scales with closure
+//! size; constraints add the user-rule join on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_datagen::{company, CompanyConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_integrity");
+    group.sample_size(10);
+    for with_constraints in [false, true] {
+        let label = if with_constraints { "with-constraints" } else { "no-constraints" };
+        group.bench_function(BenchmarkId::new(label, 100), |b| {
+            b.iter(|| {
+                let mut db = company(&CompanyConfig {
+                    employees: 100,
+                    departments: 8,
+                    with_constraints,
+                    seed: 3,
+                });
+                db.refresh().expect("closure");
+                let mut accepted = 0;
+                for i in 0..5 {
+                    if db.try_add(format!("NEW-{i}"), "LOVES", "EMP-0").is_ok() {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

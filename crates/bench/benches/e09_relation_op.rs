@@ -1,0 +1,49 @@
+//! E9 — relation() operator vs the equivalent hand-written query (§6.1).
+//!
+//! The operator is implemented with targeted index probes per instance;
+//! the query goes through the generic evaluator. Expected shape: same
+//! results, operator moderately faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_browse::relation;
+use loosedb_datagen::{university, UniversityConfig};
+use loosedb_query::{eval, parse};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_relation_op");
+    group.sample_size(10);
+    let mut db = university(&UniversityConfig {
+        students: 200,
+        courses: 15,
+        instructors: 6,
+        enrollments_per_student: 3,
+        seed: 2,
+    });
+    let enrollment = db.lookup_symbol("ENROLLMENT").unwrap();
+    let stu_rel = db.lookup_symbol("ENROLL-STUDENT").unwrap();
+    let student = db.lookup_symbol("STUDENT").unwrap();
+    let grade_rel = db.lookup_symbol("ENROLL-GRADE").unwrap();
+    let grade = db.lookup_symbol("GRADE").unwrap();
+    let query = parse(
+        "Q(?e, ?s, ?g) := (?e, isa, ENROLLMENT) & (?e, ENROLL-STUDENT, ?s) \
+         & (?e, ENROLL-GRADE, ?g) & (?s, isa, STUDENT) & (?g, isa, GRADE)",
+        db.store_interner_mut(),
+    )
+    .unwrap();
+    let view = db.view().unwrap();
+    group.bench_function(BenchmarkId::new("relation-operator", 200), |b| {
+        b.iter(|| {
+            relation(&view, enrollment, &[(stu_rel, student), (grade_rel, grade)])
+                .expect("relation")
+                .rows
+                .len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("hand-written-query", 200), |b| {
+        b.iter(|| eval(&query, &view).expect("eval").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

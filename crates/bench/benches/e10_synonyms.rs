@@ -1,0 +1,29 @@
+//! E10 — Synonym inference: closure cost vs synonym density (§3.3).
+//!
+//! Every synonym pair triples (symmetry + two gen facts) and duplicates
+//! facts mentioning either name. Expected shape: closure size and time
+//! grow linearly in density (clique-free worlds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_datagen::synonym_world;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_synonyms");
+    group.sample_size(10);
+    for density in [0.0f64, 0.1, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("density", format!("{density:.1}")),
+            &density,
+            |b, &density| {
+                b.iter(|| {
+                    let mut db = synonym_world(1_000, density, 7);
+                    db.closure().expect("closure").len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E11 — Inversion: materialized inverse facts vs on-demand flipping (§3.4).
+//!
+//! Materialization doubles the closure but makes inverse-direction
+//! queries index hits; on demand, the client flips the pattern (and the
+//! closure stays half the size). Expected shape: per-query cost is
+//! nearly identical (both are one index probe); materialization pays
+//! closure size and build time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_datagen::inversion_world;
+use loosedb_engine::{FactView, RuleGroup};
+use loosedb_store::Pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_inversion");
+    group.sample_size(10);
+
+    // Materialized: query (?x, TAUGHT-BY, COURSE-5) directly.
+    group.bench_function(BenchmarkId::new("materialized-build+query", 2_000), |b| {
+        b.iter(|| {
+            let mut db = inversion_world(2_000, 3);
+            let taught_by = db.lookup_symbol("TAUGHT-BY").unwrap();
+            let course = db.lookup_symbol("COURSE-5").unwrap();
+            let view = db.view().expect("closure");
+            view.matches(Pattern::new(Some(course), Some(taught_by), None))
+                .expect("match")
+                .len()
+        })
+    });
+
+    // On demand: inversion disabled, client flips the template.
+    group.bench_function(BenchmarkId::new("on-demand-build+query", 2_000), |b| {
+        b.iter(|| {
+            let mut db = inversion_world(2_000, 3);
+            db.exclude(RuleGroup::Inversion);
+            let teaches = db.lookup_symbol("TEACHES").unwrap();
+            let course = db.lookup_symbol("COURSE-5").unwrap();
+            let view = db.view().expect("closure");
+            view.matches(Pattern::new(None, Some(teaches), Some(course)))
+                .expect("match")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E12 — Persistence: snapshot encode/decode and log replay vs size
+//! (the paper's open "storage strategies" problem, §6.2).
+//!
+//! Expected shape: linear in fact count; decode dominated by re-interning
+//! and re-indexing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::standard_store;
+use loosedb_store::{log, snapshot, FactLog, FactStore};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_persistence");
+    group.sample_size(10);
+    for scale in [10_000usize, 100_000] {
+        let (store, _) = standard_store(scale);
+        let encoded = snapshot::encode(&store);
+        group.bench_with_input(BenchmarkId::new("snapshot-encode", scale), &scale, |b, _| {
+            b.iter(|| snapshot::encode(&store).len())
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot-decode", scale), &scale, |b, _| {
+            b.iter(|| snapshot::decode(encoded.clone()).expect("decode").len())
+        });
+    }
+    // Log replay of 10k operations.
+    let mut the_log = FactLog::new();
+    for i in 0..10_000 {
+        the_log.insert(format!("E{}", i % 500), format!("R{}", i % 10), format!("E{}", (i * 3) % 500));
+    }
+    group.bench_function(BenchmarkId::new("log-replay", 10_000), |b| {
+        b.iter(|| {
+            let mut store = FactStore::new();
+            log::replay(the_log.bytes(), &mut store).expect("replay")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E13 — Parallel vs sequential structural-rule application (engine
+//! ablation; see InferenceConfig::parallel_threshold).
+//!
+//! Expected shape: parallel wins on wide deltas (many cores × pure
+//! joins), sequential wins on tiny databases where thread setup
+//! dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_parallel");
+    group.sample_size(10);
+    for (label, threshold) in [("parallel", 1usize), ("sequential", usize::MAX)] {
+        group.bench_function(BenchmarkId::new(label, 3_000), |b| {
+            b.iter(|| {
+                let mut db = structural_world(3_000, 60);
+                db.config_mut().parallel_threshold = threshold;
+                db.closure().expect("closure").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E14 — Goal-directed proving vs materialize-then-check (engine
+//! ablation; the paper's open "performance" problem, §6.2).
+//!
+//! A cold single-fact membership question ("does John earn a salary?")
+//! can be answered by the structural Prover without computing the
+//! closure. Expected shape: the prover wins by orders of magnitude for
+//! cold checks; the materialized closure wins once many queries amortize
+//! its cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+use loosedb_engine::{InferenceConfig, KindRegistry, Prover};
+use loosedb_store::Fact;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_prover");
+    group.sample_size(10);
+
+    let mut db = structural_world(2_000, 50);
+    db.config_mut().user_rules = false;
+    let p0 = db.lookup_symbol("P0").unwrap();
+    let has_trait = db.lookup_symbol("HAS-TRAIT").unwrap();
+    let trait0 = db.lookup_symbol("TRAIT-0").unwrap();
+    let goal = Fact::new(p0, has_trait, trait0); // derived by M1
+
+    group.bench_function(BenchmarkId::new("cold-forward-closure", 2_000), |b| {
+        b.iter(|| {
+            let mut fresh = structural_world(2_000, 50);
+            fresh.config_mut().user_rules = false;
+            fresh.closure().expect("closure").contains(&goal)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cold-prover", 2_000), |b| {
+        let kinds = KindRegistry::new();
+        let config = InferenceConfig { user_rules: false, ..Default::default() };
+        b.iter(|| {
+            let fresh = structural_world(2_000, 50);
+            Prover::new(fresh.store(), &kinds, &config).prove(&goal)
+        })
+    });
+    // Warm: the closure is already materialized; a check is an index hit.
+    db.refresh().expect("closure");
+    group.bench_function(BenchmarkId::new("warm-materialized-check", 2_000), |b| {
+        b.iter(|| db.closure().expect("cached").contains(&goal))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E15 — Incremental closure maintenance vs full recomputation on insert.
+//!
+//! `try_add`/`add_incremental` extend a warm closure with the new fact's
+//! consequences only; the baseline recomputes from scratch. Expected
+//! shape: incremental cost is proportional to the fact's consequence
+//! cone, not the database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_incremental");
+    group.sample_size(10);
+    for people in [500usize, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::new("incremental-insert", people),
+            &people,
+            |b, &people| {
+                let mut db = structural_world(people, 50);
+                db.refresh().expect("closure");
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    db.add_incremental(format!("NEW-{i}"), "KNOWS", "P0").expect("insert")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute-insert", people),
+            &people,
+            |b, &people| {
+                let mut db = structural_world(people, 50);
+                db.refresh().expect("closure");
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    db.add(format!("NEW-{i}"), "KNOWS", "P0"); // invalidates
+                    db.closure().expect("closure").len() // full recompute
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

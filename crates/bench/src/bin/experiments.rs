@@ -1,0 +1,650 @@
+//! Regenerates every EXPERIMENTS.md table: one section per experiment
+//! E1–E13 (DESIGN.md §3), printed as markdown.
+//!
+//! Run with `cargo run -p loosedb-bench --release --bin experiments`.
+//! Timings are medians of several runs via `std::time::Instant`; the
+//! Criterion benches in `crates/bench/benches/` provide the
+//! statistically rigorous versions of the same measurements.
+
+use loosedb_bench::{fmt_duration, measure, standard_store, structural_world, Report};
+use loosedb_browse::{navigate, probe, relation, NavigateOptions, ProbeOptions};
+use loosedb_datagen::{
+    company, inversion_world, synonym_world, taxonomy, university, zipf_graph, CompanyConfig,
+    GraphConfig, TaxonomyConfig, UniversityConfig,
+};
+use loosedb_engine::{
+    ClosureView, Database, FactView, InferenceConfig, RuleGroup, Strategy,
+};
+use loosedb_query::{eval, eval_with, parse, AtomOrdering, EvalOptions};
+use loosedb_store::{log, snapshot, FactLog, FactStore, Pattern};
+
+fn main() {
+    println!("# loosedb experiments — measured results\n");
+    println!("(regenerate with `cargo run -p loosedb-bench --release --bin experiments`)\n");
+    e01();
+    e02();
+    e03();
+    e04();
+    e05();
+    e06();
+    e07();
+    e08();
+    e09();
+    e10();
+    e11();
+    e12();
+    e13();
+    e14();
+    e15();
+}
+
+fn section(id: &str, title: &str, report: &Report, note: &str) {
+    println!("## {id} — {title}\n");
+    print!("{}", report.render());
+    println!("\n{note}\n");
+}
+
+fn e01() {
+    let mut report = Report::new(&["facts", "pattern", "indexed", "scan", "speedup"]);
+    for scale in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let (store, nodes) = standard_store(scale);
+        for (label, node) in [("hub (E,*,*)", nodes[0]), ("tail (E,*,*)", nodes[nodes.len() - 1])] {
+            let (indexed, n) =
+                measure(9, || store.matching(Pattern::from_source(node)).count());
+            let (scan, _) =
+                measure(3, || store.matching_scan(Pattern::from_source(node)).count());
+            report.row(&[
+                scale.to_string(),
+                format!("{label} [{n} matches]"),
+                fmt_duration(indexed),
+                fmt_duration(scan),
+                format!("{:.0}x", scan.as_secs_f64() / indexed.as_secs_f64().max(1e-9)),
+            ]);
+        }
+    }
+    section(
+        "E1",
+        "indexed template matching vs full scan",
+        &report,
+        "Shape: the index answers in microseconds regardless of database size; \
+         the heap scan grows linearly (§1's organization/retrieval trade-off).",
+    );
+}
+
+fn e02() {
+    let mut report = Report::new(&["rule groups", "base facts", "closure facts", "time"]);
+    let configs: [(&str, InferenceConfig); 5] = [
+        ("none", InferenceConfig::none()),
+        ("generalization", {
+            let mut c = InferenceConfig::none();
+            c.include(RuleGroup::Generalization);
+            c
+        }),
+        ("membership", {
+            let mut c = InferenceConfig::none();
+            c.include(RuleGroup::Membership);
+            c
+        }),
+        ("gen+member+inv", {
+            let mut c = InferenceConfig::none();
+            c.include(RuleGroup::Generalization)
+                .include(RuleGroup::Membership)
+                .include(RuleGroup::Inversion);
+            c
+        }),
+        ("all (default)", InferenceConfig::default()),
+    ];
+    for (name, config) in configs {
+        let (time, (base, len)) = measure(5, || {
+            let mut db = structural_world(800, 40);
+            *db.config_mut() = config.clone();
+            let base = db.base_len();
+            let len = db.closure().expect("closure").len();
+            (base, len)
+        });
+        report.row(&[name.to_string(), base.to_string(), len.to_string(), fmt_duration(time)]);
+    }
+    section(
+        "E2",
+        "closure cost vs enabled rule groups (§3)",
+        &report,
+        "Shape: each §3 group adds derived facts and time; membership dominates on \
+         instance-heavy data.",
+    );
+}
+
+fn e03() {
+    let mut report =
+        Report::new(&["limit(n)", "base facts", "composition facts", "closure time"]);
+    for n in [1usize, 2, 3, 4, 5] {
+        let (time, (base, comp)) = measure(3, || {
+            let (store, _, _) = zipf_graph(&GraphConfig {
+                entities: 120,
+                relationships: 8,
+                facts: 260,
+                skew: 0.6,
+                seed: 7,
+            });
+            let mut db = Database::from_store(store);
+            if n > 1 {
+                db.limit(n);
+            }
+            let c = db.closure().expect("closure");
+            (c.stats().base_facts, c.stats().composition_facts)
+        });
+        report.row(&[
+            n.to_string(),
+            base.to_string(),
+            comp.to_string(),
+            fmt_duration(time),
+        ]);
+    }
+    section(
+        "E3",
+        "composition blow-up vs limit(n) (§3.7, §6.1)",
+        &report,
+        "Shape: super-linear growth in materialized composition facts as the chain \
+         limit rises — the cost that motivates the paper's limit(n) operator.",
+    );
+}
+
+fn e04() {
+    let mut report = Report::new(&["entity", "degree", "neighborhood latency"]);
+    let (store, nodes) = standard_store(50_000);
+    let mut db = Database::from_store(store);
+    *db.config_mut() = InferenceConfig::none();
+    db.refresh().expect("closure");
+    let view: ClosureView<'_> = db.view().expect("closure");
+    for (label, node) in [
+        ("hub", nodes[0]),
+        ("mid", nodes[nodes.len() / 2]),
+        ("tail", nodes[nodes.len() - 1]),
+    ] {
+        let degree = view.matches(Pattern::from_source(node)).unwrap().len();
+        let (time, _) = measure(9, || {
+            navigate(&view, Pattern::from_source(node), &NavigateOptions::default())
+                .expect("navigate")
+                .height()
+        });
+        report.row(&[label.to_string(), degree.to_string(), fmt_duration(time)]);
+    }
+    section(
+        "E4",
+        "navigation latency vs entity degree (§4.1)",
+        &report,
+        "Shape: latency tracks the focused entity's degree; browsing stays \
+         interactive even at the Zipf hub.",
+    );
+}
+
+fn e05() {
+    let mut report = Report::new(&[
+        "taxonomy (depth x branching)",
+        "wave-1 retractions",
+        "first-success wave",
+        "pure target climb",
+        "probe time",
+    ]);
+    for (depth, branching) in [(2usize, 2usize), (3, 3), (4, 3), (5, 2), (6, 2)] {
+        let (time, (retr, first_wave)) = measure(3, || {
+            let mut t = taxonomy(&TaxonomyConfig {
+                depth,
+                branching,
+                dag_probability: 0.0,
+                seed: 5,
+            });
+            let root_name = t.db.display(t.root());
+            let leaf_name = t.db.display(t.leaves()[0]);
+            t.db.add("JOHN", "WANTS", root_name.as_str());
+            let src = format!("(JOHN, WANTS, {leaf_name})");
+            let query = parse(&src, t.db.store_interner_mut()).unwrap();
+            let view = t.db.view().unwrap();
+            let report = probe(&query, &view, &ProbeOptions::default());
+            (report.waves[0].attempts.len(), report.waves.len())
+        });
+        // The pure climb along the target position needs exactly `depth`
+        // generalization steps (the datum sits at the root; verified by
+        // evaluating (JOHN, WANTS, level-k) per level in the tests).
+        report.row(&[
+            format!("{depth} x {branching}"),
+            retr.to_string(),
+            first_wave.to_string(),
+            depth.to_string(),
+            fmt_duration(time),
+        ]);
+    }
+    section(
+        "E5",
+        "retraction-set size and waves-to-success vs taxonomy shape (§5)",
+        &report,
+        "Shape — and an emergent finding: the pure climb along the target position \
+         needs exactly `depth` broadening steps, but the first success plateaus at \
+         wave 3 for any depth: once the source degenerates to `BOT` and the \
+         relationship to `TOP`, the retraction (BOT, TOP, x) — 'anything related \
+         to x in any way' — succeeds as soon as x has any incident fact. The \
+         broadness lattice has a short escape hatch through the hierarchy bounds; \
+         the §5.2 deletion rule exists precisely because such degenerate successes \
+         are 'weak restrictions' a user will usually discard from the menu.",
+    );
+}
+
+fn e06() {
+    let mut report = Report::new(&["students", "greedy (planned)", "syntactic", "speedup"]);
+    for students in [100usize, 300, 1000] {
+        let mut db = university(&UniversityConfig {
+            students,
+            courses: 20,
+            instructors: 8,
+            enrollments_per_student: 3,
+            seed: 1,
+        });
+        let src = "Q(?s) := exists ?e ?g . (?e, ENROLL-GRADE, ?g) \
+                   & (?e, ENROLL-STUDENT, ?s) & (?g, =, A) & (?e, ENROLL-COURSE, CRS-0)";
+        let query = parse(src, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let opts = |ordering| EvalOptions { ordering, max_rows: 10_000_000 };
+        let (greedy, n1) =
+            measure(5, || eval_with(&query, &view, opts(AtomOrdering::Greedy)).unwrap().len());
+        let (syntactic, n2) = measure(3, || {
+            eval_with(&query, &view, opts(AtomOrdering::Syntactic)).unwrap().len()
+        });
+        assert_eq!(n1, n2);
+        report.row(&[
+            students.to_string(),
+            fmt_duration(greedy),
+            fmt_duration(syntactic),
+            format!("{:.1}x", syntactic.as_secs_f64() / greedy.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    section(
+        "E6",
+        "selectivity-ordered planning vs syntactic atom order (§2.7)",
+        &report,
+        "Shape: the planner's advantage grows with database size — it binds the \
+         selective ENROLL-COURSE atom first instead of enumerating all grades.",
+    );
+}
+
+fn e07() {
+    let mut report =
+        Report::new(&["people", "semi-naive", "naive", "naive dup-derivations", "speedup"]);
+    for people in [200usize, 600, 1200] {
+        let (semi, _) = measure(3, || {
+            let mut db = structural_world(people, 30);
+            db.set_strategy(Strategy::SemiNaive);
+            db.closure().expect("closure").len()
+        });
+        let (naive, dups) = measure(3, || {
+            let mut db = structural_world(people, 30);
+            db.set_strategy(Strategy::Naive);
+            let c = db.closure().expect("closure");
+            c.stats().duplicate_derivations
+        });
+        report.row(&[
+            people.to_string(),
+            fmt_duration(semi),
+            fmt_duration(naive),
+            dups.to_string(),
+            format!("{:.1}x", naive.as_secs_f64() / semi.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    section(
+        "E7",
+        "semi-naive vs naive forward chaining (ablation)",
+        &report,
+        "Shape: semi-naive wins and the gap widens with size; the duplicate-derivation \
+         column shows the naive strategy's wasted work.",
+    );
+}
+
+fn e08() {
+    let mut report =
+        Report::new(&["employees", "constraints", "5 checked inserts", "per insert"]);
+    for employees in [50usize, 100, 200] {
+        for with_constraints in [false, true] {
+            let (time, _) = measure(3, || {
+                let mut db = company(&CompanyConfig {
+                    employees,
+                    departments: 8,
+                    with_constraints,
+                    seed: 3,
+                });
+                db.refresh().expect("closure");
+                for i in 0..5 {
+                    let _ = db.try_add(format!("NEW-{i}"), "LOVES", "EMP-0");
+                }
+            });
+            report.row(&[
+                employees.to_string(),
+                if with_constraints { "yes" } else { "no" }.to_string(),
+                fmt_duration(time),
+                fmt_duration(time / 5),
+            ]);
+        }
+    }
+    section(
+        "E8",
+        "integrity-checked insert cost (§2.5)",
+        &report,
+        "Shape: with incremental maintenance (E15) a checked insert pays only the \
+         new fact's consequence cone plus the consistency re-scan; constraints \
+         multiply the cost through the user-rule join. This is the paper's \
+         organization/consistency price.",
+    );
+}
+
+fn e09() {
+    let mut report = Report::new(&["students", "relation() operator", "hand-written query"]);
+    for students in [100usize, 400] {
+        let mut db = university(&UniversityConfig {
+            students,
+            courses: 15,
+            instructors: 6,
+            enrollments_per_student: 3,
+            seed: 2,
+        });
+        let enrollment = db.lookup_symbol("ENROLLMENT").unwrap();
+        let stu_rel = db.lookup_symbol("ENROLL-STUDENT").unwrap();
+        let student = db.lookup_symbol("STUDENT").unwrap();
+        let grade_rel = db.lookup_symbol("ENROLL-GRADE").unwrap();
+        let grade = db.lookup_symbol("GRADE").unwrap();
+        let query = parse(
+            "Q(?e, ?s, ?g) := (?e, isa, ENROLLMENT) & (?e, ENROLL-STUDENT, ?s) \
+             & (?e, ENROLL-GRADE, ?g) & (?s, isa, STUDENT) & (?g, isa, GRADE)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let (op_time, rows) = measure(5, || {
+            relation(&view, enrollment, &[(stu_rel, student), (grade_rel, grade)])
+                .expect("relation")
+                .rows
+                .len()
+        });
+        let (q_time, answers) = measure(5, || eval(&query, &view).expect("eval").len());
+        assert_eq!(rows, answers);
+        report.row(&[students.to_string(), fmt_duration(op_time), fmt_duration(q_time)]);
+    }
+    section(
+        "E9",
+        "relation() operator vs equivalent query (§6.1)",
+        &report,
+        "Shape: identical results; the operator's per-instance index probes edge out \
+         the generic evaluator.",
+    );
+}
+
+fn e10() {
+    let mut report = Report::new(&[
+        "synonym density",
+        "base facts",
+        "closure facts",
+        "closure time",
+        "alias recall",
+    ]);
+    for density in [0.0f64, 0.1, 0.3] {
+        let (time, (base, len, recall)) = measure(3, || {
+            let mut db = synonym_world(1_000, density, 7);
+            let base = db.base_len();
+            let len = db.closure().expect("closure").len();
+            // Recall: how many alias-side EARNS lookups succeed.
+            let earns = db.lookup_symbol("EARNS").unwrap();
+            let mut hits = 0;
+            let mut aliases = 0;
+            for i in 0..1_000 {
+                if let Some(alias) = db.lookup_symbol(&format!("ALIAS-{i}")) {
+                    aliases += 1;
+                    let c = db.closure().expect("closure");
+                    if c.matching(Pattern::new(Some(alias), Some(earns), None)).next().is_some()
+                    {
+                        hits += 1;
+                    }
+                }
+            }
+            (base, len, if aliases == 0 { 1.0 } else { hits as f64 / aliases as f64 })
+        });
+        report.row(&[
+            format!("{density:.1}"),
+            base.to_string(),
+            len.to_string(),
+            fmt_duration(time),
+            format!("{:.0}%", recall * 100.0),
+        ]);
+    }
+    section(
+        "E10",
+        "synonym inference: cost and recall (§3.3)",
+        &report,
+        "Shape: closure size grows linearly with density (each synonym pair adds \
+         symmetry, two gen facts and the duplicated EARNS fact); with synonym \
+         inference on, alias-side retrieval has total recall.",
+    );
+}
+
+fn e11() {
+    let mut report =
+        Report::new(&["mode", "closure facts", "build", "1000 inverse queries"]);
+    // Materialized.
+    {
+        let mut db = inversion_world(2_000, 3);
+        let (build, len) = measure(3, || {
+            let mut db2 = inversion_world(2_000, 3);
+            db2.closure().expect("closure").len()
+        });
+        let taught_by = db.lookup_symbol("TAUGHT-BY").unwrap();
+        let courses: Vec<_> = (0..1_000)
+            .map(|i| db.lookup_symbol(&format!("COURSE-{i}")).unwrap())
+            .collect();
+        let view = db.view().expect("closure");
+        let (qtime, _) = measure(5, || {
+            courses
+                .iter()
+                .map(|&c| {
+                    view.matches(Pattern::new(Some(c), Some(taught_by), None)).unwrap().len()
+                })
+                .sum::<usize>()
+        });
+        report.row(&[
+            "materialized".to_string(),
+            len.to_string(),
+            fmt_duration(build),
+            fmt_duration(qtime),
+        ]);
+    }
+    // On demand.
+    {
+        let mut db = inversion_world(2_000, 3);
+        db.exclude(RuleGroup::Inversion);
+        let (build, len) = measure(3, || {
+            let mut db2 = inversion_world(2_000, 3);
+            db2.exclude(RuleGroup::Inversion);
+            db2.closure().expect("closure").len()
+        });
+        let teaches = db.lookup_symbol("TEACHES").unwrap();
+        let courses: Vec<_> = (0..1_000)
+            .map(|i| db.lookup_symbol(&format!("COURSE-{i}")).unwrap())
+            .collect();
+        let view = db.view().expect("closure");
+        let (qtime, _) = measure(5, || {
+            courses
+                .iter()
+                .map(|&c| {
+                    view.matches(Pattern::new(None, Some(teaches), Some(c))).unwrap().len()
+                })
+                .sum::<usize>()
+        });
+        report.row(&[
+            "on-demand (flipped)".to_string(),
+            len.to_string(),
+            fmt_duration(build),
+            fmt_duration(qtime),
+        ]);
+    }
+    section(
+        "E11",
+        "inversion: materialized vs on-demand (§3.4)",
+        &report,
+        "Shape: per-query cost is comparable (both are single index probes thanks to \
+         the three rotations); materialization costs closure size and build time.",
+    );
+}
+
+fn e12() {
+    let mut report = Report::new(&["facts", "snapshot bytes", "encode", "decode"]);
+    for scale in [10_000usize, 100_000, 1_000_000] {
+        let (store, _) = standard_store(scale);
+        let (enc, bytes) = measure(3, || snapshot::encode(&store).len());
+        let encoded = snapshot::encode(&store);
+        let (dec, _) = measure(3, || snapshot::decode(encoded.clone()).expect("decode").len());
+        report.row(&[
+            store.len().to_string(),
+            bytes.to_string(),
+            fmt_duration(enc),
+            fmt_duration(dec),
+        ]);
+    }
+    // Log replay.
+    let mut the_log = FactLog::new();
+    for i in 0..100_000 {
+        the_log.insert(
+            format!("E{}", i % 5_000),
+            format!("R{}", i % 10),
+            format!("E{}", (i * 3) % 5_000),
+        );
+    }
+    let (replay_time, applied) = measure(3, || {
+        let mut store = FactStore::new();
+        log::replay(the_log.bytes(), &mut store).expect("replay")
+    });
+    println!("## E12 — persistence (§6.2 open problem)\n");
+    print!("{}", report.render());
+    println!(
+        "\nLog replay: {applied} operations in {} ({:.0} ops/ms).\n",
+        fmt_duration(replay_time),
+        applied as f64 / replay_time.as_secs_f64() / 1e3,
+    );
+    println!(
+        "Shape: linear in fact count; decode is dominated by re-interning and \
+         rebuilding the three rotations.\n"
+    );
+}
+
+fn e13() {
+    let mut report = Report::new(&["people", "parallel", "sequential", "speedup"]);
+    for people in [1_000usize, 3_000, 8_000] {
+        let run = |threshold: usize, people: usize| {
+            let mut db = structural_world(people, 60);
+            db.config_mut().parallel_threshold = threshold;
+            db.closure().expect("closure").len()
+        };
+        let (par, n1) = measure(3, || run(1, people));
+        let (seq, n2) = measure(3, || run(usize::MAX, people));
+        assert_eq!(n1, n2);
+        report.row(&[
+            people.to_string(),
+            fmt_duration(par),
+            fmt_duration(seq),
+            format!("{:.2}x", seq.as_secs_f64() / par.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    section(
+        "E13",
+        "parallel vs sequential structural rules (ablation)",
+        &report,
+        "Shape — an honest negative result on this container: parallel chunking is \
+         a wash. Rounds are dependency-bounded and the per-fact structural joins \
+         are BTree probes, cheap relative to chunk setup; the path is kept \
+         (byte-identical results, property-tested) behind a high default threshold.",
+    );
+}
+
+fn e14() {
+    use loosedb_engine::{KindRegistry, Prover};
+    use loosedb_store::Fact;
+    let mut report = Report::new(&[
+        "people",
+        "cold prover check",
+        "cold closure+check",
+        "speedup",
+        "warm materialized check",
+    ]);
+    for people in [500usize, 2_000, 8_000] {
+        let mut db = structural_world(people, 50);
+        db.config_mut().user_rules = false;
+        let p0 = db.lookup_symbol("P0").unwrap();
+        let has_trait = db.lookup_symbol("HAS-TRAIT").unwrap();
+        let trait0 = db.lookup_symbol("TRAIT-0").unwrap();
+        let goal = Fact::new(p0, has_trait, trait0);
+
+        let kinds = KindRegistry::new();
+        let config = InferenceConfig { user_rules: false, ..Default::default() };
+        let store = db.store().clone();
+        let (prover_time, proved) =
+            measure(9, || Prover::new(&store, &kinds, &config).prove(&goal));
+        assert!(proved);
+        let (closure_time, contained) = measure(3, || {
+            let mut fresh = structural_world(people, 50);
+            fresh.config_mut().user_rules = false;
+            fresh.closure().expect("closure").contains(&goal)
+        });
+        assert!(contained);
+        db.refresh().expect("closure");
+        let (warm_time, _) = measure(9, || db.closure().expect("cached").contains(&goal));
+        report.row(&[
+            people.to_string(),
+            fmt_duration(prover_time),
+            fmt_duration(closure_time),
+            format!("{:.0}x", closure_time.as_secs_f64() / prover_time.as_secs_f64().max(1e-9)),
+            fmt_duration(warm_time),
+        ]);
+    }
+    section(
+        "E14",
+        "goal-directed proving vs materialize-then-check (§6.2 'performance')",
+        &report,
+        "Shape: for a cold single-fact question the structural prover wins by orders \
+         of magnitude (reachability over base facts instead of the whole closure); \
+         once the closure is materialized and cached, membership is a sub-microsecond \
+         index probe — the classic build-vs-query trade-off, again.",
+    );
+}
+
+fn e15() {
+    let mut report = Report::new(&[
+        "people",
+        "incremental insert",
+        "recompute insert",
+        "speedup",
+    ]);
+    for people in [500usize, 2_000, 8_000] {
+        let mut db = structural_world(people, 50);
+        db.refresh().expect("closure");
+        let mut i = 0usize;
+        let (inc, _) = measure(9, || {
+            i += 1;
+            db.add_incremental(format!("NEW-A{i}"), "KNOWS", "P0").expect("insert")
+        });
+        let mut db2 = structural_world(people, 50);
+        db2.refresh().expect("closure");
+        let mut j = 0usize;
+        let (full, _) = measure(3, || {
+            j += 1;
+            db2.add(format!("NEW-B{j}"), "KNOWS", "P0");
+            db2.closure().expect("closure").len()
+        });
+        report.row(&[
+            people.to_string(),
+            fmt_duration(inc),
+            fmt_duration(full),
+            format!("{:.0}x", full.as_secs_f64() / inc.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    section(
+        "E15",
+        "incremental closure maintenance vs recompute-on-insert",
+        &report,
+        "Shape: extending a warm closure costs only the new fact's consequence \
+         cone (microseconds, size-independent); recomputation grows linearly with \
+         the database. This is what makes transactional try_add practical.",
+    );
+}

@@ -1,0 +1,152 @@
+//! Shared workload builders and measurement helpers for the loosedb
+//! evaluation (experiments E1–E13; see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! The paper (Motro, SIGMOD 1984) is a design paper with no evaluation
+//! section; these experiments quantify the costs it reasons about
+//! qualitatively. Every experiment has a Criterion bench
+//! (`benches/eNN_*.rs`) for precise timing and a row in the
+//! `experiments` binary (`cargo run -p loosedb-bench --release --bin
+//! experiments`) that regenerates the EXPERIMENTS.md tables.
+
+use std::time::{Duration, Instant};
+
+use loosedb_datagen::{zipf_graph, GraphConfig};
+use loosedb_engine::Database;
+use loosedb_store::FactStore;
+
+/// Fact-count scales used by the storage experiments.
+pub const STORE_SCALES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Builds the standard Zipf store for a target fact count.
+pub fn standard_store(facts: usize) -> (FactStore, Vec<loosedb_store::EntityId>) {
+    let cfg = GraphConfig {
+        entities: (facts / 5).max(10),
+        relationships: 20,
+        facts,
+        skew: 1.1,
+        seed: 42,
+    };
+    let (store, nodes, _) = zipf_graph(&cfg);
+    (store, nodes)
+}
+
+/// Builds a flat membership-heavy world that stresses the structural
+/// closure rules (used by E2/E7/E13).
+pub fn structural_world(people: usize, classes: usize) -> Database {
+    let mut db = Database::new();
+    for c in 0..classes {
+        db.add(format!("CLASS-{c}"), "gen", "THING");
+        db.add(format!("CLASS-{c}"), "HAS-TRAIT", format!("TRAIT-{}", c % 7));
+    }
+    for p in 0..people {
+        db.add(format!("P{p}"), "isa", format!("CLASS-{}", p % classes.max(1)));
+        db.add(format!("P{p}"), "KNOWS", format!("P{}", (p * 7 + 1) % people.max(1)));
+    }
+    db.add("KNOWS", "inv", "KNOWN-BY");
+    db
+}
+
+/// Median wall-clock of `reps` runs of `f` (with a warm-up run). Returns
+/// `(median, last_output)`.
+pub fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut out = f(); // warm-up
+    let mut times: Vec<Duration> = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        out = f();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[times.len() / 2], out)
+}
+
+/// Formats a duration compactly for report tables.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A markdown table writer for the experiments binary.
+pub struct Report {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        Report {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_store_scales() {
+        let (store, nodes) = standard_store(1_000);
+        assert!(store.len() > 800); // duplicates dropped
+        assert!(!nodes.is_empty());
+    }
+
+    #[test]
+    fn structural_world_closes() {
+        let mut db = structural_world(50, 5);
+        let closure = db.closure().unwrap();
+        assert!(closure.len() > db.base_len());
+    }
+
+    #[test]
+    fn measure_returns_output() {
+        let (_, value) = measure(3, || 40 + 2);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let mut r = Report::new(&["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        let text = r.render();
+        assert!(text.contains("| a | b |"));
+        assert!(text.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

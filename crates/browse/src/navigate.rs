@@ -1,0 +1,493 @@
+//! Browsing by navigation (§4.1).
+//!
+//! Navigation is template retrieval rendered for exploration: the user
+//! examines the *neighborhood* of an entity with `(E, *, *)`, picks an
+//! entity from the answer, retrieves *its* neighborhood, and so on — no
+//! knowledge of the database's organization required.
+//!
+//! Three displays are provided:
+//!
+//! * [`navigate`] — the general grouped table for any template pattern;
+//!   `(E, *, *)` groups outgoing facts by relationship with the entity's
+//!   classes/generalizations in the title column (the paper's `JOHN,*,*`
+//!   table), `(S, *, T)` lists every association between two entities,
+//!   including composed paths (the paper's `LEOPOLD,*,MOZART` table).
+//! * [`try_entity`] — the §6.1 `try(e)` operator: every fact in which the
+//!   entity occurs, in any position, so that "even users completely
+//!   unfamiliar with the database" can pick a starting point.
+//! * [`paths_between`] — on-demand inference by composition (§3.7):
+//!   enumerates the simple paths between two entities without
+//!   materializing composition facts.
+
+use std::collections::BTreeMap;
+
+use loosedb_engine::{FactView, MathMatchError};
+use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
+
+use crate::table::GroupedTable;
+
+/// Options for navigation displays.
+#[derive(Clone, Copy, Debug)]
+pub struct NavigateOptions {
+    /// Maximum chain length (in facts) for on-demand association paths in
+    /// `(S, *, T)` displays; `1` shows only direct relationships.
+    pub path_limit: usize,
+    /// Maximum cells listed per column before truncation with `…`.
+    pub max_cells: usize,
+}
+
+impl Default for NavigateOptions {
+    /// `path_limit` defaults to 2 — single compositions, matching the
+    /// paper's `(LEOPOLD, *, MOZART)` display; raise it to surface longer
+    /// association chains (at greater "semantic distance", §6.1).
+    fn default() -> Self {
+        NavigateOptions { path_limit: 2, max_cells: 50 }
+    }
+}
+
+/// A simple path of consecutive facts between two entities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// The facts traversed, in order; each fact's target is the next
+    /// fact's source.
+    pub hops: Vec<Fact>,
+}
+
+impl Path {
+    /// The composed relationship name `r1.m1.r2…` (§3.7's path entity
+    /// naming, e.g. `FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY`).
+    pub fn display(&self, interner: &Interner) -> String {
+        let mut parts = Vec::new();
+        for (i, hop) in self.hops.iter().enumerate() {
+            parts.push(interner.display(hop.r));
+            if i + 1 < self.hops.len() {
+                parts.push(interner.display(hop.t));
+            }
+        }
+        parts.join(".")
+    }
+
+    /// Number of facts in the path.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+/// True if facts with this relationship participate in path browsing:
+/// ordinary relationships plus `≺`/`∈` (mirroring materialized
+/// composition), excluding bookkeeping and already-composed relationships.
+fn traversable(interner: &Interner, r: EntityId) -> bool {
+    if interner.resolve(r).as_path().is_some() {
+        return false;
+    }
+    !special::is_special(r) || r == special::GEN || r == special::ISA
+}
+
+/// Enumerates all simple paths (no repeated entity) from `s` to `t` of at
+/// most `max_len` facts, in deterministic order.
+pub fn paths_between<V: FactView>(
+    view: &V,
+    s: EntityId,
+    t: EntityId,
+    max_len: usize,
+) -> Result<Vec<Path>, MathMatchError> {
+    let mut out = Vec::new();
+    if s == t || max_len == 0 {
+        return Ok(out);
+    }
+    let mut stack: Vec<Fact> = Vec::new();
+    let mut visited: Vec<EntityId> = vec![s];
+    dfs(view, s, t, max_len, &mut stack, &mut visited, &mut out)?;
+    Ok(out)
+}
+
+fn dfs<V: FactView>(
+    view: &V,
+    current: EntityId,
+    goal: EntityId,
+    budget: usize,
+    stack: &mut Vec<Fact>,
+    visited: &mut Vec<EntityId>,
+    out: &mut Vec<Path>,
+) -> Result<(), MathMatchError> {
+    if budget == 0 {
+        return Ok(());
+    }
+    for fact in view.matches(Pattern::from_source(current))? {
+        if !traversable(view.interner(), fact.r) {
+            continue;
+        }
+        if fact.t == goal {
+            // Multi-hop paths must not revisit the start (§3.7's cyclic
+            // guard already ensures s ≠ t for the composed fact).
+            let mut path = stack.clone();
+            path.push(fact);
+            if path.len() >= 2 {
+                out.push(Path { hops: path });
+            }
+            continue;
+        }
+        if visited.contains(&fact.t) || special::is_special(fact.t) {
+            continue;
+        }
+        stack.push(fact);
+        visited.push(fact.t);
+        dfs(view, fact.t, goal, budget - 1, stack, visited, out)?;
+        visited.pop();
+        stack.pop();
+    }
+    Ok(())
+}
+
+/// The *semantic distance* between two entities (§6.1): the length of
+/// the shortest composition chain relating them, following fact
+/// direction — "as the chain of compositions gets longer, the
+/// relationship between its two end entities becomes less significant".
+///
+/// Returns `Some(0)` for an entity and itself, `Some(1)` for a direct
+/// relationship, `Some(k)` for a shortest k-fact chain, and `None` when
+/// no chain of at most `max_len` facts exists.
+pub fn semantic_distance<V: FactView>(
+    view: &V,
+    from: EntityId,
+    to: EntityId,
+    max_len: usize,
+) -> Result<Option<usize>, MathMatchError> {
+    if from == to {
+        return Ok(Some(0));
+    }
+    let mut frontier = vec![from];
+    let mut visited: std::collections::BTreeSet<EntityId> = [from].into_iter().collect();
+    for depth in 1..=max_len {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for fact in view.matches(Pattern::from_source(node))? {
+                if !traversable(view.interner(), fact.r) {
+                    continue;
+                }
+                if fact.t == to {
+                    return Ok(Some(depth));
+                }
+                if !special::is_special(fact.t) && visited.insert(fact.t) {
+                    next.push(fact.t);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    Ok(None)
+}
+
+/// Renders the navigation table for a template pattern (§4.1).
+///
+/// * `(E, *, *)` — the entity's neighborhood: title cells are its classes
+///   and generalizations, one column per other outgoing relationship.
+/// * `(*, *, E)` — incoming neighborhood, one column per relationship.
+/// * `(S, *, T)` — all associations between two entities: one column per
+///   direct relationship, plus composed paths up to
+///   [`NavigateOptions::path_limit`].
+/// * `(*, R, *)` — two columns (source, target), one row per fact.
+/// * any other pattern — grouped by relationship.
+pub fn navigate<V: FactView>(
+    view: &V,
+    pattern: Pattern,
+    opts: &NavigateOptions,
+) -> Result<GroupedTable, MathMatchError> {
+    let interner = view.interner();
+    let title = render_pattern(interner, pattern);
+
+    match (pattern.s, pattern.r, pattern.t) {
+        // (S, *, T): association browsing, the LEOPOLD,*,MOZART display.
+        (Some(s), None, Some(t)) => {
+            let mut table = GroupedTable::new(title);
+            for fact in view.matches(pattern)? {
+                table.push_column(interner.display(fact.r), Vec::new());
+            }
+            for path in paths_between(view, s, t, opts.path_limit)? {
+                table.push_column(path.display(interner), Vec::new());
+            }
+            Ok(table)
+        }
+        // (*, R, *): one relationship, tabulated source/target pairs.
+        (None, Some(_), None) => {
+            let mut sources = Vec::new();
+            let mut targets = Vec::new();
+            for fact in view.matches(pattern)? {
+                sources.push(interner.display(fact.s));
+                targets.push(interner.display(fact.t));
+            }
+            truncate(&mut sources, opts.max_cells);
+            truncate(&mut targets, opts.max_cells);
+            let mut table = GroupedTable::new(title);
+            table.push_column("source", sources);
+            table.push_column("target", targets);
+            Ok(table)
+        }
+        // Everything else: group matches by relationship.
+        _ => {
+            let mut table = GroupedTable::new(title);
+            let outgoing = pattern.s.is_some();
+            let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+            let mut identity: Vec<String> = Vec::new();
+            for fact in view.matches(pattern)? {
+                // Skip virtual reflexive/Δ noise in displays.
+                if fact.r == special::GEN && (fact.s == fact.t || fact.t == special::TOP) {
+                    continue;
+                }
+                let shown = if outgoing {
+                    interner.display(fact.t)
+                } else {
+                    interner.display(fact.s)
+                };
+                if outgoing && (fact.r == special::ISA || fact.r == special::GEN) {
+                    identity.push(shown);
+                } else {
+                    groups.entry(interner.display(fact.r)).or_default().push(shown);
+                }
+            }
+            identity.sort();
+            identity.dedup();
+            truncate(&mut identity, opts.max_cells);
+            table.title_cells = identity;
+            for (rel, mut cells) in groups {
+                cells.sort();
+                cells.dedup();
+                truncate(&mut cells, opts.max_cells);
+                table.push_column(rel, cells);
+            }
+            Ok(table)
+        }
+    }
+}
+
+/// The §6.1 `try(e)` operator: all facts that include the entity, shown in
+/// three groups by the position it occupies.
+pub fn try_entity<V: FactView>(view: &V, e: EntityId) -> Result<GroupedTable, MathMatchError> {
+    let interner = view.interner();
+    let mut table = GroupedTable::new(format!("try({})", interner.display(e)));
+    let groups: [(&str, Pattern); 3] = [
+        ("as source", Pattern::from_source(e)),
+        ("as relationship", Pattern::from_rel(e)),
+        ("as target", Pattern::from_target(e)),
+    ];
+    for (label, pattern) in groups {
+        let mut cells: Vec<String> = view
+            .matches(pattern)?
+            .into_iter()
+            .filter(|f| !(f.r == special::GEN && (f.s == f.t || f.t == special::TOP)))
+            .map(|f| {
+                format!(
+                    "({}, {}, {})",
+                    interner.display(f.s),
+                    interner.display(f.r),
+                    interner.display(f.t)
+                )
+            })
+            .collect();
+        cells.sort();
+        cells.dedup();
+        if !cells.is_empty() {
+            table.push_column(label, cells);
+        }
+    }
+    Ok(table)
+}
+
+fn truncate(cells: &mut Vec<String>, max: usize) {
+    if cells.len() > max {
+        cells.truncate(max);
+        cells.push("…".to_string());
+    }
+}
+
+fn render_pattern(interner: &Interner, p: Pattern) -> String {
+    let part = |x: Option<EntityId>| x.map_or("*".to_string(), |e| interner.display(e));
+    format!("{},{},{}", part(p.s), part(p.r), part(p.t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_engine::Database;
+
+    fn music_db() -> Database {
+        let mut db = Database::new();
+        db.add("JOHN", "isa", "PERSON");
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("JOHN", "isa", "MUSIC-LOVER");
+        db.add("JOHN", "LIKES", "FELIX");
+        db.add("JOHN", "LIKES", "MOZART");
+        db.add("JOHN", "WORKS-FOR", "SHIPPING");
+        db.add("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+        db.add("PC#9-WAM", "COMPOSED-BY", "MOZART");
+        db.add("LEOPOLD", "FATHER-OF", "MOZART");
+        db
+    }
+
+    #[test]
+    fn neighborhood_groups_by_relationship() {
+        let mut db = music_db();
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_source(john), &NavigateOptions::default()).unwrap();
+        // Title column: classes.
+        assert!(table.title_cells.contains(&"PERSON".to_string()));
+        assert!(table.title_cells.contains(&"EMPLOYEE".to_string()));
+        assert!(table.title_cells.contains(&"MUSIC-LOVER".to_string()));
+        // One column per relationship, cells grouped.
+        let headers: Vec<&str> =
+            table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(headers, vec!["FAVORITE-MUSIC", "LIKES", "WORKS-FOR"]);
+        let likes = &table.columns[1].1;
+        assert_eq!(likes, &vec!["FELIX".to_string(), "MOZART".to_string()]);
+    }
+
+    #[test]
+    fn incoming_neighborhood() {
+        let mut db = music_db();
+        let mozart = db.lookup_symbol("MOZART").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_target(mozart), &NavigateOptions::default()).unwrap();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(headers, vec!["COMPOSED-BY", "FATHER-OF", "LIKES"]);
+        assert_eq!(table.columns[0].1, vec!["PC#9-WAM".to_string()]);
+    }
+
+    #[test]
+    fn association_browsing_with_paths() {
+        // The paper's (LEOPOLD, *, MOZART): direct FATHER-OF plus the
+        // composed FAVORITE-MUSIC path does not apply to LEOPOLD, but the
+        // JOHN→MOZART association shows both a direct and a composed path.
+        let mut db = music_db();
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let mozart = db.lookup_symbol("MOZART").unwrap();
+        let view = db.view().unwrap();
+        let table = navigate(
+            &view,
+            Pattern::new(Some(john), None, Some(mozart)),
+            &NavigateOptions::default(),
+        )
+        .unwrap();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert!(headers.contains(&"LIKES"));
+        assert!(headers.contains(&"FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"));
+    }
+
+    #[test]
+    fn paths_between_respects_limit_and_simplicity() {
+        let mut db = Database::new();
+        db.add("A", "R1", "B");
+        db.add("B", "R2", "C");
+        db.add("C", "R3", "D");
+        db.add("B", "R4", "D");
+        let a = db.lookup_symbol("A").unwrap();
+        let d = db.lookup_symbol("D").unwrap();
+        let view = db.view().unwrap();
+        let paths2 = paths_between(&view, a, d, 2).unwrap();
+        assert_eq!(paths2.len(), 1); // A-R1-B-R4-D
+        assert_eq!(paths2[0].display(view.interner()), "R1.B.R4");
+        let paths3 = paths_between(&view, a, d, 3).unwrap();
+        assert_eq!(paths3.len(), 2); // + A-R1-B-R2-C-R3-D
+    }
+
+    #[test]
+    fn paths_exclude_direct_hops_and_cycles() {
+        let mut db = Database::new();
+        db.add("JOHN", "LOVES", "MARY");
+        db.add("MARY", "LOVES", "JOHN");
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let mary = db.lookup_symbol("MARY").unwrap();
+        let view = db.view().unwrap();
+        // Single-hop "paths" are direct relationships, not compositions;
+        // the 2-cycle must not generate infinite paths.
+        let paths = paths_between(&view, john, mary, 5).unwrap();
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn relationship_pattern_tabulates_pairs() {
+        let mut db = Database::new();
+        db.add("TOM", "ENROLLED-IN", "CS100");
+        db.add("SUE", "ENROLLED-IN", "MATH101");
+        let enrolled = db.lookup_symbol("ENROLLED-IN").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_rel(enrolled), &NavigateOptions::default()).unwrap();
+        assert_eq!(table.columns.len(), 2);
+        assert_eq!(table.columns[0].0, "source");
+        assert_eq!(table.columns[0].1.len(), 2);
+    }
+
+    #[test]
+    fn try_operator_covers_all_positions() {
+        let mut db = Database::new();
+        db.add("JOHN", "LIKES", "FELIX");
+        db.add("MARY", "LIKES", "JOHN");
+        db.add("TOM", "JOHN", "X"); // JOHN used as a relationship (legal!)
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let view = db.view().unwrap();
+        let table = try_entity(&view, john).unwrap();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(headers, vec!["as source", "as relationship", "as target"]);
+        assert!(table.columns[0].1[0].contains("(JOHN, LIKES, FELIX)"));
+        assert!(table.columns[1].1[0].contains("(TOM, JOHN, X)"));
+        assert!(table.columns[2].1[0].contains("(MARY, LIKES, JOHN)"));
+    }
+
+    #[test]
+    fn semantic_distance_paper_notion() {
+        let mut db = Database::new();
+        db.add("JOHN", "FAVORITE-MUSIC", "PC9");
+        db.add("PC9", "COMPOSED-BY", "MOZART");
+        db.add("MOZART", "BORN-IN", "SALZBURG");
+        db.add("JOHN", "ADMIRES", "MOZART"); // a shortcut
+        let id = |db: &Database, n: &str| db.lookup_symbol(n).unwrap();
+        let (john, pc9, mozart, salzburg) =
+            (id(&db, "JOHN"), id(&db, "PC9"), id(&db, "MOZART"), id(&db, "SALZBURG"));
+        let view = db.view().unwrap();
+        assert_eq!(semantic_distance(&view, john, john, 5).unwrap(), Some(0));
+        assert_eq!(semantic_distance(&view, john, pc9, 5).unwrap(), Some(1));
+        // The shortcut wins over the two-hop composition.
+        assert_eq!(semantic_distance(&view, john, mozart, 5).unwrap(), Some(1));
+        assert_eq!(semantic_distance(&view, john, salzburg, 5).unwrap(), Some(2));
+        // Direction matters: nothing leads back to JOHN.
+        assert_eq!(semantic_distance(&view, salzburg, john, 5).unwrap(), None);
+        // The bound is respected.
+        assert_eq!(semantic_distance(&view, john, salzburg, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_entity_navigates_to_empty_table() {
+        let mut db = music_db();
+        let ghost = db.entity("GHOST");
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_source(ghost), &NavigateOptions::default()).unwrap();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn truncation_caps_long_columns() {
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.add("HUB", "LINKS", format!("T{i:03}"));
+        }
+        let hub = db.lookup_symbol("HUB").unwrap();
+        let view = db.view().unwrap();
+        let opts = NavigateOptions { path_limit: 1, max_cells: 10 };
+        let table = navigate(&view, Pattern::from_source(hub), &opts).unwrap();
+        let cells = &table.columns[0].1;
+        assert_eq!(cells.len(), 11);
+        assert_eq!(cells.last().unwrap(), "…");
+    }
+}

@@ -1,0 +1,510 @@
+//! The retrieval operators of §6.1.
+//!
+//! The paper proposes a *definition facility* for new retrieval operators
+//! built on the standard query language. Implemented here:
+//!
+//! * [`relation`] — the structured-view operator
+//!   `relation(s, r1 t1, …, rn tn)`: tabulates the instances of `s`
+//!   against the listed relationships, producing a (not necessarily first
+//!   normal form) relation. This is the paper's demonstration that a heap
+//!   of facts "should not prevent structured views of this information".
+//! * [`Definitions`] — named, parameterized query macros
+//!   (`define wellpaid(?x) := (?x, EARNS, ?y) & (?y, >, $1)`), expanded
+//!   textually and parsed with the standard parser.
+//!
+//! The remaining §6.1 operators live elsewhere: `try(e)` in
+//! [`crate::navigate`], `include`/`exclude`/`limit` on
+//! [`loosedb_engine::Database`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use loosedb_engine::{ClosureView, FactView, MathMatchError};
+use loosedb_store::{special, EntityId, Pattern};
+
+/// A non-1NF relation produced by [`relation`]: one row per instance of
+/// the class, one column per requested relationship, and any number of
+/// entities per cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationTable {
+    /// Column headers: the class, then `"REL TARGET-CLASS"` per column.
+    pub headers: Vec<String>,
+    /// Rows: the instance, then one cell (set of entities) per column.
+    pub rows: Vec<RelationRow>,
+}
+
+/// One row of a [`RelationTable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationRow {
+    /// The instance of the class (first column).
+    pub instance: EntityId,
+    /// One cell per relationship column.
+    pub cells: Vec<Vec<EntityId>>,
+}
+
+impl RelationTable {
+    /// Renders the table, flattening non-1NF cells with commas.
+    pub fn render(&self, interner: &loosedb_store::Interner) -> String {
+        let mut grid: Vec<Vec<String>> = vec![self.headers.clone()];
+        for row in &self.rows {
+            let mut cells = vec![interner.display(row.instance)];
+            for cell in &row.cells {
+                let names: Vec<String> =
+                    cell.iter().map(|&e| interner.display(e)).collect();
+                cells.push(names.join(", "));
+            }
+            grid.push(cells);
+        }
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for row in &grid {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let mut line = String::new();
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    line.push_str(" | ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[j]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+            if i == 0 {
+                for (j, w) in widths.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str("-+-");
+                    }
+                    out.push_str(&"-".repeat(*w));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The §6.1 `relation(s, r1 t1, …, rn tn)` operator.
+///
+/// Returns one row per instance `y` of `s` (i.e. `(y, ∈, s)` in the
+/// closure); the cell for column `(rᵢ, tᵢ)` holds every `z` with
+/// `(y, rᵢ, z)` and `(z, ∈, tᵢ)` — the paper's implementation query,
+/// evaluated against the closure so inference applies.
+pub fn relation(
+    view: &ClosureView<'_>,
+    class: EntityId,
+    columns: &[(EntityId, EntityId)],
+) -> Result<RelationTable, MathMatchError> {
+    let interner = view.interner();
+    let mut headers = vec![interner.display(class)];
+    for (rel, target_class) in columns {
+        headers.push(format!("{} {}", interner.display(*rel), interner.display(*target_class)));
+    }
+
+    // Instances of the class, in id order.
+    let instances: Vec<EntityId> = view
+        .matches(Pattern::new(None, Some(special::ISA), Some(class)))?
+        .into_iter()
+        .map(|f| f.s)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut rows = Vec::with_capacity(instances.len());
+    for y in instances {
+        let mut cells = Vec::with_capacity(columns.len());
+        for (rel, target_class) in columns {
+            let mut cell: Vec<EntityId> = view
+                .matches(Pattern::new(Some(y), Some(*rel), None))?
+                .into_iter()
+                .map(|f| f.t)
+                .filter(|&z|
+
+                    view.holds(&loosedb_store::Fact::new(z, special::ISA, *target_class)))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            cell.sort();
+            cells.push(cell);
+        }
+        rows.push(RelationRow { instance: y, cells });
+    }
+    Ok(RelationTable { headers, rows })
+}
+
+/// A functional view of one relationship (§6.1: the heap of facts can be
+/// viewed "as if it is structured according to different data models,
+/// such as the relational or the functional").
+///
+/// A relationship is *functional* when every source maps to exactly one
+/// target; the view reports the mapping either way, so callers can check
+/// [`FunctionView::is_function`] before treating it as one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionView {
+    /// The relationship viewed.
+    pub rel: EntityId,
+    /// Sorted `(source, targets)` pairs; `targets` is sorted and non-empty.
+    pub entries: Vec<(EntityId, Vec<EntityId>)>,
+}
+
+impl FunctionView {
+    /// True if every source maps to exactly one target.
+    pub fn is_function(&self) -> bool {
+        self.entries.iter().all(|(_, ts)| ts.len() == 1)
+    }
+
+    /// The single target for `source`, if the mapping is defined and
+    /// single-valued there.
+    pub fn apply(&self, source: EntityId) -> Option<EntityId> {
+        let i = self.entries.binary_search_by_key(&source, |(s, _)| *s).ok()?;
+        let (_, targets) = &self.entries[i];
+        if targets.len() == 1 {
+            Some(targets[0])
+        } else {
+            None
+        }
+    }
+
+    /// All targets for `source` (empty if undefined).
+    pub fn image(&self, source: EntityId) -> &[EntityId] {
+        self.entries
+            .binary_search_by_key(&source, |(s, _)| *s)
+            .map(|i| self.entries[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of sources with at least one target.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no source has a target.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Builds the functional view of a relationship over the closure.
+///
+/// `target_class` restricts targets to instances of a class — necessary
+/// over the closure, where membership inference (M2) lifts every target
+/// to its classes as well (John works for SHIPPING *and*, existentially,
+/// for DEPARTMENT): without the restriction no relationship with
+/// classified targets is ever single-valued.
+pub fn function(
+    view: &ClosureView<'_>,
+    rel: EntityId,
+    target_class: Option<EntityId>,
+) -> Result<FunctionView, MathMatchError> {
+    let mut map: BTreeMap<EntityId, std::collections::BTreeSet<EntityId>> = BTreeMap::new();
+    for f in view.matches(Pattern::from_rel(rel))? {
+        if let Some(class) = target_class {
+            if !view.holds(&loosedb_store::Fact::new(f.t, special::ISA, class)) {
+                continue;
+            }
+        }
+        map.entry(f.s).or_default().insert(f.t);
+    }
+    Ok(FunctionView {
+        rel,
+        entries: map
+            .into_iter()
+            .map(|(s, ts)| (s, ts.into_iter().collect()))
+            .collect(),
+    })
+}
+
+/// Errors from the definition facility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DefineError {
+    /// No operator with that name was defined.
+    Unknown(String),
+    /// The invocation passed the wrong number of arguments.
+    ArityMismatch {
+        /// The operator name.
+        name: String,
+        /// Parameters the definition declares.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A definition with that name already exists.
+    Duplicate(String),
+}
+
+impl fmt::Display for DefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefineError::Unknown(n) => write!(f, "unknown operator {n:?}"),
+            DefineError::ArityMismatch { name, expected, got } => {
+                write!(f, "operator {name:?} takes {expected} argument(s), got {got}")
+            }
+            DefineError::Duplicate(n) => write!(f, "operator {n:?} is already defined"),
+        }
+    }
+}
+
+impl std::error::Error for DefineError {}
+
+/// The §6 definition facility: named query macros with positional
+/// parameters `$1 … $n`, expanded textually into standard query syntax.
+#[derive(Clone, Debug, Default)]
+pub struct Definitions {
+    defs: BTreeMap<String, (usize, String)>,
+}
+
+impl Definitions {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines an operator. `body` is standard query syntax with `$1`,
+    /// `$2`, … placeholders; `arity` is the number of placeholders.
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+        body: impl Into<String>,
+    ) -> Result<(), DefineError> {
+        let name = name.into();
+        if self.defs.contains_key(&name) {
+            return Err(DefineError::Duplicate(name));
+        }
+        self.defs.insert(name, (arity, body.into()));
+        Ok(())
+    }
+
+    /// Expands an invocation into query source text.
+    pub fn expand(&self, name: &str, args: &[&str]) -> Result<String, DefineError> {
+        let (arity, body) = self
+            .defs
+            .get(name)
+            .ok_or_else(|| DefineError::Unknown(name.to_string()))?;
+        if args.len() != *arity {
+            return Err(DefineError::ArityMismatch {
+                name: name.to_string(),
+                expected: *arity,
+                got: args.len(),
+            });
+        }
+        let mut out = body.clone();
+        // Substitute from the highest index down so $12 is not clobbered
+        // by $1.
+        for i in (0..args.len()).rev() {
+            out = out.replace(&format!("${}", i + 1), args[i]);
+        }
+        Ok(out)
+    }
+
+    /// Names of the defined operators.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.keys().map(String::as_str)
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no operators are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_engine::Database;
+
+    /// The §6.1 employee world.
+    fn employees() -> Database {
+        let mut db = Database::new();
+        for (who, dept, salary) in [
+            ("JOHN", "SHIPPING", 26000i64),
+            ("TOM", "ACCOUNTING", 27000),
+            ("MARY", "RECEIVING", 25000),
+        ] {
+            db.add(who, "isa", "EMPLOYEE");
+            db.add(who, "WORKS-FOR", dept);
+            db.add(who, "EARNS", salary);
+            db.add(dept, "isa", "DEPARTMENT");
+            db.add(salary, "isa", "SALARY");
+        }
+        db
+    }
+
+    #[test]
+    fn paper_section_6_1_relation_table() {
+        // relation(employee, works-for department, earns salary)
+        let mut db = employees();
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        let salary = db.lookup_symbol("SALARY").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
+        assert_eq!(
+            table.headers,
+            vec!["EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY"]
+        );
+        assert_eq!(table.rows.len(), 3);
+        let rendered = table.render(view.interner());
+        assert!(rendered.contains("JOHN"), "{rendered}");
+        assert!(rendered.contains("SHIPPING"));
+        assert!(rendered.contains("26000"));
+        assert!(rendered.contains("TOM"));
+        assert!(rendered.contains("ACCOUNTING"));
+        assert!(rendered.contains("MARY"));
+        assert!(rendered.contains("RECEIVING"));
+    }
+
+    #[test]
+    fn relation_is_not_first_normal_form() {
+        // §6.1: "positions in this table may hold any number of entities".
+        let mut db = employees();
+        db.add("JOHN", "WORKS-FOR", "RECEIVING"); // second department
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let view = db.view().unwrap();
+        let table = relation(&view, employee, &[(works_for, department)]).unwrap();
+        let john_row = table
+            .rows
+            .iter()
+            .find(|r| view.interner().display(r.instance) == "JOHN")
+            .unwrap();
+        assert_eq!(john_row.cells[0].len(), 2);
+    }
+
+    #[test]
+    fn relation_filters_by_target_class() {
+        let mut db = employees();
+        db.add("JOHN", "WORKS-FOR", "THE-MAN"); // not a department
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let view = db.view().unwrap();
+        let table = relation(&view, employee, &[(works_for, department)]).unwrap();
+        let john_row = table
+            .rows
+            .iter()
+            .find(|r| view.interner().display(r.instance) == "JOHN")
+            .unwrap();
+        assert_eq!(john_row.cells[0].len(), 1); // THE-MAN excluded
+    }
+
+    #[test]
+    fn relation_sees_inferred_membership() {
+        let mut db = employees();
+        // MANAGER ≺ EMPLOYEE; an instance of MANAGER is an employee too.
+        db.add("MANAGER", "gen", "EMPLOYEE");
+        db.add("BOSS", "isa", "MANAGER");
+        db.add("BOSS", "WORKS-FOR", "SHIPPING");
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let view = db.view().unwrap();
+        let table = relation(&view, employee, &[(works_for, department)]).unwrap();
+        assert!(table
+            .rows
+            .iter()
+            .any(|r| view.interner().display(r.instance) == "BOSS"));
+    }
+
+    #[test]
+    fn function_view_over_closure() {
+        let mut db = employees();
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let shipping = db.lookup_symbol("SHIPPING").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let view = db.view().unwrap();
+        let f = function(&view, works_for, Some(department)).unwrap();
+        assert!(f.is_function());
+        assert_eq!(f.apply(john), Some(shipping));
+        // Classified sources (instances) plus the class-level EMPLOYEE
+        // row lifted by membership inference — filter by hand if needed.
+        assert!(f.len() >= 3);
+        // Unfiltered, targets include lifted classes: not a function.
+        let unfiltered = function(&view, works_for, None).unwrap();
+        assert!(!unfiltered.is_function());
+    }
+
+    #[test]
+    fn function_view_detects_multivalued() {
+        let mut db = employees();
+        db.add("JOHN", "WORKS-FOR", "RECEIVING");
+        let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let department = db.lookup_symbol("DEPARTMENT").unwrap();
+        let view = db.view().unwrap();
+        let f = function(&view, works_for, Some(department)).unwrap();
+        assert!(!f.is_function());
+        assert_eq!(f.apply(john), None);
+        assert_eq!(f.image(john).len(), 2);
+        // Other sources are still single-valued.
+        let tom = db.store().lookup_symbol("TOM").unwrap();
+        assert!(f.apply(tom).is_some());
+    }
+
+    #[test]
+    fn function_view_empty_relationship() {
+        let mut db = employees();
+        let ghost = db.entity("GHOST-REL");
+        let view = db.view().unwrap();
+        let f = function(&view, ghost, None).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.image(ghost), &[]);
+    }
+
+    #[test]
+    fn definitions_expand_and_parse() {
+        let mut defs = Definitions::new();
+        defs.define(
+            "wellpaid",
+            1,
+            "Q(?x) := exists ?y . (?x, isa, EMPLOYEE) & (?x, EARNS, ?y) & (?y, >, $1)",
+        )
+        .unwrap();
+        let src = defs.expand("wellpaid", &["26500"]).unwrap();
+        assert!(src.contains("(?y, >, 26500)"));
+
+        let mut db = employees();
+        let query = loosedb_query::parse(&src, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let answer = loosedb_query::eval(&query, &view).unwrap();
+        assert_eq!(answer.len(), 1); // only TOM (27000)
+    }
+
+    #[test]
+    fn definition_errors() {
+        let mut defs = Definitions::new();
+        defs.define("f", 2, "(?x, R, $1) & (?x, S, $2)").unwrap();
+        assert_eq!(defs.define("f", 1, "x"), Err(DefineError::Duplicate("f".into())));
+        assert_eq!(defs.expand("g", &[]), Err(DefineError::Unknown("g".into())));
+        assert_eq!(
+            defs.expand("f", &["a"]),
+            Err(DefineError::ArityMismatch { name: "f".into(), expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn many_placeholders_substitute_correctly() {
+        let mut defs = Definitions::new();
+        let body: String = (1..=12).map(|i| format!("(${i}, R, X)")).collect::<Vec<_>>().join(" & ");
+        defs.define("wide", 12, body).unwrap();
+        let args: Vec<String> = (1..=12).map(|i| format!("E{i}")).collect();
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = defs.expand("wide", &arg_refs).unwrap();
+        assert!(out.contains("(E12, R, X)"));
+        assert!(out.contains("(E1, R, X)"));
+        assert!(!out.contains('$'));
+    }
+}

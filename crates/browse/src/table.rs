@@ -1,0 +1,169 @@
+//! Paper-style grouped tables (§4.1).
+//!
+//! Navigation answers are rendered as tables whose *columns* are
+//! relationships and whose cells list the related entities — the paper's
+//! `JOHN,*,*` display, where the first column lists what John *is*
+//! (classes and generalizations) and each further column is one outgoing
+//! relationship:
+//!
+//! ```text
+//! JOHN,*,*     | LIKES      | WORKS-FOR | FAVORITE-MUSIC
+//! PERSON       | CAT        | SHIPPING  | PC#9-WAM
+//! EMPLOYEE     | FELIX      |           | S#5-LVB
+//! ...          | ...        |           |
+//! ```
+
+use std::fmt;
+
+/// A table of uneven columns: a title column plus one column per group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupedTable {
+    /// The table title (shown as the header of the first column).
+    pub title: String,
+    /// Cells of the title column — navigation puts the entity's classes
+    /// and generalizations here, as the paper's first column does.
+    pub title_cells: Vec<String>,
+    /// Column groups: `(header, cells)`.
+    pub columns: Vec<(String, Vec<String>)>,
+}
+
+impl GroupedTable {
+    /// Creates a table with a title and no columns.
+    pub fn new(title: impl Into<String>) -> Self {
+        GroupedTable { title: title.into(), title_cells: Vec::new(), columns: Vec::new() }
+    }
+
+    /// Appends a column.
+    pub fn push_column(&mut self, header: impl Into<String>, cells: Vec<String>) {
+        self.columns.push((header.into(), cells));
+    }
+
+    /// True if the table has no columns and no title cells.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty() && self.title_cells.is_empty()
+    }
+
+    /// Number of body rows (the longest column, title column included).
+    pub fn height(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|(_, cells)| cells.len())
+            .chain(std::iter::once(self.title_cells.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The header of column `i` (0 is the title column).
+    pub fn header(&self, i: usize) -> Option<&str> {
+        if i == 0 {
+            Some(&self.title)
+        } else {
+            self.columns.get(i - 1).map(|(h, _)| h.as_str())
+        }
+    }
+}
+
+impl fmt::Display for GroupedTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column 0 is the title (header only, unless the first group is
+        // "title cells" — navigation puts classes there explicitly).
+        let mut headers: Vec<&str> = vec![&self.title];
+        headers.extend(self.columns.iter().map(|(h, _)| h.as_str()));
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        let height = self.height();
+        for cell in &self.title_cells {
+            widths[0] = widths[0].max(cell.chars().count());
+        }
+        for (i, (_, cells)) in self.columns.iter().enumerate() {
+            for cell in cells {
+                widths[i + 1] = widths[i + 1].max(cell.chars().count());
+            }
+        }
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[&str]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(" | ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+
+        write_row(f, &headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let rule_refs: Vec<&str> = rule.iter().map(String::as_str).collect();
+        write_row(f, &rule_refs)?;
+        for row in 0..height {
+            let mut cells: Vec<&str> =
+                vec![self.title_cells.get(row).map(String::as_str).unwrap_or("")];
+            for (_, col) in &self.columns {
+                cells.push(col.get(row).map(String::as_str).unwrap_or(""));
+            }
+            write_row(f, &cells)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroupedTable {
+        let mut t = GroupedTable::new("JOHN,*,*");
+        t.push_column("LIKES", vec!["CAT".into(), "FELIX".into(), "MOZART".into()]);
+        t.push_column("WORKS-FOR", vec!["SHIPPING".into()]);
+        t
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = sample();
+        assert_eq!(t.height(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.header(0), Some("JOHN,*,*"));
+        assert_eq!(t.header(1), Some("LIKES"));
+        assert_eq!(t.header(3), None);
+    }
+
+    #[test]
+    fn render_aligns_uneven_columns() {
+        let rendered = sample().to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 5); // header + rule + 3 rows
+        assert!(lines[0].contains("JOHN,*,*"));
+        assert!(lines[0].contains("LIKES"));
+        assert!(lines[0].contains("WORKS-FOR"));
+        assert!(lines[2].contains("CAT"));
+        assert!(lines[2].contains("SHIPPING"));
+        // Short column padded with blanks: row 3 has no WORKS-FOR cell.
+        assert!(lines[4].contains("MOZART"));
+        assert!(!lines[4].contains("SHIPPING"));
+        // No trailing whitespace on any line.
+        assert!(lines.iter().all(|l| l.trim_end() == *l));
+    }
+
+    #[test]
+    fn title_cells_render_under_title() {
+        let mut t = GroupedTable::new("JOHN,*,*");
+        t.title_cells = vec!["PERSON".into(), "EMPLOYEE".into()];
+        t.push_column("LIKES", vec!["FELIX".into()]);
+        assert_eq!(t.height(), 2);
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[2].starts_with("PERSON"));
+        assert!(lines[2].contains("FELIX"));
+        assert!(lines[3].starts_with("EMPLOYEE"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = GroupedTable::new("EMPTY");
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        let rendered = t.to_string();
+        assert!(rendered.contains("EMPTY"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # loosedb-datagen
+//!
+//! Deterministic world and workload generators for loosedb tests,
+//! examples and benchmarks:
+//!
+//! * [`paper`] — the paper's own worked micro-worlds (§4.1 navigation,
+//!   §5.2 probing, §6.1 relation table), reproduced fact by fact.
+//! * [`worlds`] — seeded university (reified enrollments) and company
+//!   (integrity constraints) domains.
+//! * [`synth`] — parameterized synthetic workloads: Zipf-skewed fact
+//!   graphs, random taxonomies, synonym/inversion density worlds.
+//! * [`zipf`] — the Zipf rank sampler behind the skewed generators.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod paper;
+pub mod synth;
+pub mod worlds;
+pub mod zipf;
+
+pub use paper::{music_world, probing_world, relation_world, PROBING_QUERY};
+pub use synth::{
+    inversion_world, random_facts, synonym_world, taxonomy, zipf_graph, GeneratedTaxonomy,
+    GraphConfig, TaxonomyConfig,
+};
+pub use worlds::{company, university, CompanyConfig, UniversityConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,180 @@
+//! The paper's own worked micro-worlds, reproduced fact by fact.
+//!
+//! These back the golden walkthrough (examples and integration tests):
+//! the §4.1 navigation session (JOHN → PC#9-WAM → LEOPOLD,*,MOZART), the
+//! §5.2 probing scenario, and the §6.1 `relation(...)` table.
+
+use loosedb_engine::Database;
+
+/// The music/employee world behind the §4.1 navigation tables.
+///
+/// Facts are chosen so that the three displays of the paper emerge:
+///
+/// * `(JOHN, *, *)` — classes PERSON/EMPLOYEE/PET-OWNER/MUSIC-LOVER;
+///   LIKES, WORKS-FOR and FAVORITE-MUSIC columns.
+/// * `(PC#9-WAM, *, *)` — classes CONCERTO/CLASSICAL/COMPOSITION;
+///   COMPOSED-BY and PERFORMED-BY columns, and FAVORITE-OF (the inverse
+///   of FAVORITE-MUSIC, inferred through the §3.4 inversion fact).
+/// * `(LEOPOLD, *, MOZART)` — the direct FATHER-OF association and the
+///   composed FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY path for JOHN.
+pub fn music_world() -> Database {
+    let mut db = Database::new();
+
+    // John's classes (the paper's first column).
+    db.add("JOHN", "isa", "PERSON");
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("JOHN", "isa", "PET-OWNER");
+    db.add("JOHN", "isa", "MUSIC-LOVER");
+
+    // LIKES column: CAT, FELIX, HEATHCLIFF, MOZART, MARY.
+    db.add("JOHN", "LIKES", "CAT");
+    db.add("JOHN", "LIKES", "FELIX");
+    db.add("JOHN", "LIKES", "HEATHCLIFF");
+    db.add("JOHN", "LIKES", "MOZART");
+    db.add("JOHN", "LIKES", "MARY");
+
+    // WORKS-FOR column: SHIPPING; BOSS column: PETER (kept as a
+    // relationship, exactly as the paper's table shows).
+    db.add("JOHN", "WORKS-FOR", "SHIPPING");
+    db.add("JOHN", "BOSS", "PETER");
+
+    // FAVORITE-MUSIC column: PC#9-WAM, PC#2-PIT, S#5-LVB.
+    db.add("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+    db.add("JOHN", "FAVORITE-MUSIC", "PC#2-PIT");
+    db.add("JOHN", "FAVORITE-MUSIC", "S#5-LVB");
+
+    // The piano concerto: classes and associations (§4.1 second table).
+    db.add("PC#9-WAM", "isa", "CONCERTO");
+    db.add("PC#9-WAM", "isa", "CLASSICAL");
+    db.add("PC#9-WAM", "isa", "COMPOSITION");
+    db.add("PC#9-WAM", "COMPOSED-BY", "MOZART");
+    db.add("PC#9-WAM", "PERFORMED-BY", "SERKIN");
+    db.add("PC#9-WAM", "PERFORMED-BY", "BARENBOIM");
+
+    // FAVORITE-OF is the inverse of FAVORITE-MUSIC: the paper's second
+    // table shows JOHN under FAVORITE-OF, which inversion inference
+    // produces from John's FAVORITE-MUSIC fact.
+    db.add("FAVORITE-MUSIC", "inv", "FAVORITE-OF");
+
+    // Leopold (§4.1 third table).
+    db.add("LEOPOLD", "FATHER-OF", "MOZART");
+    db.add("LEOPOLD", "FAVORITE-MUSIC", "PC#9-WAM");
+
+    db
+}
+
+/// The §5.2 probing world: "the free things that all students love".
+///
+/// Taxonomy: FRESHMAN ≺ STUDENT, LOVE ≺ LIKE, FREE ≺ CHEAP; COSTS has no
+/// parent (its minimal generalization is Δ). Data is arranged so the
+/// query `(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)` fails while the
+/// FRESHMAN and CHEAP retractions succeed — the paper's menu.
+pub fn probing_world() -> Database {
+    let mut db = Database::new();
+    db.add("FRESHMAN", "gen", "STUDENT");
+    db.add("LOVE", "gen", "LIKE");
+    db.add("FREE", "gen", "CHEAP");
+
+    db.add("FRESHMAN", "LOVE", "MUSIC-DOWNLOAD");
+    db.add("MUSIC-DOWNLOAD", "COSTS", "FREE");
+    db.add("STUDENT", "LOVE", "COFFEE");
+    db.add("COFFEE", "COSTS", "CHEAP");
+    db
+}
+
+/// The §5.2 query over [`probing_world`].
+pub const PROBING_QUERY: &str = "Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)";
+
+/// The §6.1 employee world behind the `relation(...)` example table.
+pub fn relation_world() -> Database {
+    let mut db = Database::new();
+    for (who, dept, salary) in [
+        ("JOHN", "SHIPPING", 26000i64),
+        ("TOM", "ACCOUNTING", 27000),
+        ("MARY", "RECEIVING", 25000),
+    ] {
+        db.add(who, "isa", "EMPLOYEE");
+        db.add(who, "WORKS-FOR", dept);
+        db.add(who, "EARNS", salary);
+        db.add(dept, "isa", "DEPARTMENT");
+        db.add(salary, "isa", "SALARY");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_browse::{navigate, NavigateOptions};
+    use loosedb_store::Pattern;
+
+    #[test]
+    fn music_world_john_table() {
+        let mut db = music_world();
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_source(john), &NavigateOptions::default()).unwrap();
+        for class in ["PERSON", "EMPLOYEE", "PET-OWNER", "MUSIC-LOVER"] {
+            assert!(table.title_cells.contains(&class.to_string()), "{class}");
+        }
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        for rel in ["LIKES", "WORKS-FOR", "FAVORITE-MUSIC", "BOSS"] {
+            assert!(headers.contains(&rel), "{rel} missing from {headers:?}");
+        }
+    }
+
+    #[test]
+    fn music_world_pc9_table_shows_inverse() {
+        let mut db = music_world();
+        let pc9 = db.lookup_symbol("PC#9-WAM").unwrap();
+        let view = db.view().unwrap();
+        let table =
+            navigate(&view, Pattern::from_source(pc9), &NavigateOptions::default()).unwrap();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert!(headers.contains(&"COMPOSED-BY"));
+        assert!(headers.contains(&"PERFORMED-BY"));
+        // FAVORITE-OF inferred by inversion (§3.4): John and Leopold.
+        assert!(headers.contains(&"FAVORITE-OF"), "{headers:?}");
+        let fav_of = &table.columns.iter().find(|(h, _)| h == "FAVORITE-OF").unwrap().1;
+        assert!(fav_of.contains(&"JOHN".to_string()));
+        assert!(fav_of.contains(&"LEOPOLD".to_string()));
+    }
+
+    #[test]
+    fn music_world_leopold_mozart_associations() {
+        let mut db = music_world();
+        let leopold = db.lookup_symbol("LEOPOLD").unwrap();
+        let mozart = db.lookup_symbol("MOZART").unwrap();
+        let view = db.view().unwrap();
+        let table = navigate(
+            &view,
+            Pattern::new(Some(leopold), None, Some(mozart)),
+            &NavigateOptions::default(),
+        )
+        .unwrap();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        assert!(headers.contains(&"FATHER-OF"), "{headers:?}");
+        assert!(
+            headers.contains(&"FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"),
+            "{headers:?}"
+        );
+    }
+
+    #[test]
+    fn probing_world_reproduces_menu() {
+        let mut db = probing_world();
+        let report =
+            loosedb_browse::probe_text(PROBING_QUERY, &mut db, &Default::default()).unwrap();
+        let menu = report.render_menu(db.store().interner());
+        assert!(menu.contains("with FRESHMAN instead of STUDENT"), "{menu}");
+        assert!(menu.contains("with CHEAP instead of FREE"), "{menu}");
+    }
+
+    #[test]
+    fn relation_world_consistent() {
+        let mut db = relation_world();
+        assert!(db.is_consistent().unwrap());
+        assert_eq!(db.base_len(), 15);
+    }
+}

@@ -1,0 +1,229 @@
+//! Parameterized synthetic workloads for tests and benchmarks.
+//!
+//! Every generator is deterministic in its seed, so benchmarks and
+//! property tests are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use loosedb_engine::Database;
+use loosedb_store::{EntityId, FactStore};
+
+use crate::zipf::Zipf;
+
+/// Configuration for [`random_facts`] and [`zipf_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct GraphConfig {
+    /// Number of node entities.
+    pub entities: usize,
+    /// Number of relationship entities.
+    pub relationships: usize,
+    /// Number of facts to generate (duplicates are dropped, so the store
+    /// may hold slightly fewer).
+    pub facts: usize,
+    /// Zipf exponent for degree skew (0 = uniform).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { entities: 1000, relationships: 20, facts: 5000, skew: 1.1, seed: 42 }
+    }
+}
+
+/// Generates a random fact graph with Zipf-skewed entity degrees.
+///
+/// Entities are named `N0 … Nk`, relationships `R0 … Rm`. Returns the
+/// store together with the node and relationship ids, in rank order
+/// (rank 0 is the highest-degree hub under positive skew).
+pub fn zipf_graph(cfg: &GraphConfig) -> (FactStore, Vec<EntityId>, Vec<EntityId>) {
+    let mut store = FactStore::new();
+    let nodes: Vec<EntityId> =
+        (0..cfg.entities).map(|i| store.entity(format!("N{i}"))).collect();
+    let rels: Vec<EntityId> =
+        (0..cfg.relationships).map(|i| store.entity(format!("R{i}"))).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let node_dist = Zipf::new(cfg.entities, cfg.skew);
+    let rel_dist = Zipf::new(cfg.relationships, cfg.skew);
+    for _ in 0..cfg.facts {
+        let s = nodes[node_dist.sample(&mut rng)];
+        let r = rels[rel_dist.sample(&mut rng)];
+        let t = nodes[node_dist.sample(&mut rng)];
+        store.insert(loosedb_store::Fact::new(s, r, t));
+    }
+    (store, nodes, rels)
+}
+
+/// Uniform random facts — [`zipf_graph`] with no skew.
+pub fn random_facts(entities: usize, relationships: usize, facts: usize, seed: u64) -> FactStore {
+    zipf_graph(&GraphConfig { entities, relationships, facts, skew: 0.0, seed }).0
+}
+
+/// Configuration for [`taxonomy`].
+#[derive(Clone, Copy, Debug)]
+pub struct TaxonomyConfig {
+    /// Depth of the hierarchy (number of levels below the roots).
+    pub depth: usize,
+    /// Children per node.
+    pub branching: usize,
+    /// Probability of an extra second parent (makes a DAG, giving
+    /// entities several minimal generalizations as §5.1 allows).
+    pub dag_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        TaxonomyConfig { depth: 4, branching: 3, dag_probability: 0.1, seed: 42 }
+    }
+}
+
+/// A generated generalization hierarchy.
+pub struct GeneratedTaxonomy {
+    /// The database holding the `gen` facts.
+    pub db: Database,
+    /// Entities per level; level 0 is the single root.
+    pub levels: Vec<Vec<EntityId>>,
+}
+
+impl GeneratedTaxonomy {
+    /// The leaf entities (deepest level).
+    pub fn leaves(&self) -> &[EntityId] {
+        self.levels.last().expect("at least the root")
+    }
+
+    /// The root entity.
+    pub fn root(&self) -> EntityId {
+        self.levels[0][0]
+    }
+}
+
+/// Generates a rooted taxonomy of `gen` facts: a tree of the given depth
+/// and branching, with optional extra cross edges forming a DAG.
+pub fn taxonomy(cfg: &TaxonomyConfig) -> GeneratedTaxonomy {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let root = db.entity("C-ROOT");
+    let mut levels: Vec<Vec<EntityId>> = vec![vec![root]];
+    for depth in 1..=cfg.depth {
+        let mut level = Vec::new();
+        let parents = levels[depth - 1].clone();
+        for (pi, &parent) in parents.iter().enumerate() {
+            for b in 0..cfg.branching {
+                let child = db.entity(format!("C-{depth}-{pi}-{b}"));
+                let child_name = db.display(child);
+                let parent_name = db.display(parent);
+                db.add(child_name.as_str(), "gen", parent_name.as_str());
+                // Occasional second parent: a DAG node with two minimal
+                // generalizations.
+                if parents.len() > 1 && rng.gen_bool(cfg.dag_probability) {
+                    let other = parents[rng.gen_range(0..parents.len())];
+                    if other != parent {
+                        let other_name = db.display(other);
+                        db.add(child_name.as_str(), "gen", other_name.as_str());
+                    }
+                }
+                level.push(child);
+            }
+        }
+        levels.push(level);
+    }
+    GeneratedTaxonomy { db, levels }
+}
+
+/// A world with controllable synonym density (experiment E10).
+///
+/// `n` people each have one `EARNS` fact; a `fraction` of them get an
+/// alias connected by a synonym fact, so recall through the alias depends
+/// on synonym inference.
+pub fn synonym_world(n: usize, fraction: f64, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let name = format!("P{i}");
+        db.add(name.as_str(), "EARNS", 1000 + i as i64);
+        if rng.gen_bool(fraction) {
+            db.add(name.as_str(), "syn", format!("ALIAS-{i}"));
+        }
+    }
+    db
+}
+
+/// A world where every relationship has a declared inverse (experiment
+/// E11): `n` teaching facts plus one inversion fact.
+pub fn inversion_world(n: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    db.add("TEACHES", "inv", "TAUGHT-BY");
+    for i in 0..n {
+        let teacher = format!("T{}", rng.gen_range(0..(n / 4).max(1)));
+        db.add(teacher.as_str(), "TEACHES", format!("COURSE-{i}"));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::Pattern;
+
+    #[test]
+    fn zipf_graph_is_deterministic() {
+        let cfg = GraphConfig::default();
+        let (a, _, _) = zipf_graph(&cfg);
+        let (b, _, _) = zipf_graph(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn zipf_graph_has_hubs() {
+        let cfg = GraphConfig { entities: 200, facts: 4000, skew: 1.2, ..Default::default() };
+        let (store, nodes, _) = zipf_graph(&cfg);
+        let hub_degree = store.count(Pattern::from_source(nodes[0]));
+        let tail_degree = store.count(Pattern::from_source(nodes[199]));
+        assert!(hub_degree > tail_degree * 3, "{hub_degree} vs {tail_degree}");
+    }
+
+    #[test]
+    fn taxonomy_shape() {
+        let t = taxonomy(&TaxonomyConfig { depth: 3, branching: 2, dag_probability: 0.0, seed: 1 });
+        assert_eq!(t.levels.len(), 4);
+        assert_eq!(t.levels[1].len(), 2);
+        assert_eq!(t.levels[2].len(), 4);
+        assert_eq!(t.leaves().len(), 8);
+    }
+
+    #[test]
+    fn taxonomy_minimal_generalizations_work() {
+        let mut t =
+            taxonomy(&TaxonomyConfig { depth: 3, branching: 2, dag_probability: 0.0, seed: 1 });
+        let leaf = t.leaves()[0];
+        let parent_level = t.levels[2].clone();
+        let closure = t.db.closure().unwrap();
+        let tax = loosedb_engine::Taxonomy::new(closure);
+        let gens = tax.minimal_generalizations(leaf);
+        assert_eq!(gens.len(), 1);
+        assert!(parent_level.contains(&gens[0]));
+    }
+
+    #[test]
+    fn synonym_world_density() {
+        let mut db = synonym_world(100, 0.5, 7);
+        let syn = loosedb_store::special::SYN;
+        let base_syn = db.store().count(Pattern::from_rel(syn));
+        assert!(base_syn > 30 && base_syn < 70, "{base_syn}");
+        assert!(db.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn inversion_world_closure_doubles_teaching_facts() {
+        let mut db = inversion_world(50, 7);
+        let taught_by = db.lookup_symbol("TAUGHT-BY").unwrap();
+        let closure = db.closure().unwrap();
+        assert_eq!(closure.count(Pattern::from_rel(taught_by)), 50);
+    }
+}

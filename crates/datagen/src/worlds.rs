@@ -1,0 +1,296 @@
+//! Larger seeded domain worlds: a university (reified enrollments, §2.6)
+//! and a company (integrity constraints, §2.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use loosedb_engine::{Database, Rule};
+use loosedb_store::special;
+
+/// Configuration for [`university`].
+#[derive(Clone, Copy, Debug)]
+pub struct UniversityConfig {
+    /// Number of students.
+    pub students: usize,
+    /// Number of courses.
+    pub courses: usize,
+    /// Number of instructors.
+    pub instructors: usize,
+    /// Enrollments per student (reified, §2.6).
+    pub enrollments_per_student: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniversityConfig {
+    fn default() -> Self {
+        UniversityConfig {
+            students: 50,
+            courses: 12,
+            instructors: 6,
+            enrollments_per_student: 3,
+            seed: 42,
+        }
+    }
+}
+
+const GRADES: [&str; 5] = ["A", "B", "C", "D", "F"];
+
+/// Builds a university world:
+///
+/// * taxonomy `FRESHMAN/SOPHOMORE/JUNIOR/SENIOR ≺ STUDENT ≺ PERSON`,
+///   `INSTRUCTOR ≺ PERSON`, `GRADUATE-OF ≺ ATTENDED` (the §5 probing
+///   example's generalizations);
+/// * inversion `TEACHES ⁺ TAUGHT-BY` (§3.4);
+/// * complex enrollment facts broken into atomic facts through reified
+///   `E<i>` entities with `ENROLL-STUDENT` / `ENROLL-COURSE` /
+///   `ENROLL-GRADE`, exactly as §2.6 prescribes;
+/// * class-level facts (`STUDENT ATTENDS COURSE`) that flow to instances
+///   by membership inference.
+pub fn university(cfg: &UniversityConfig) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Taxonomy.
+    for year in ["FRESHMAN", "SOPHOMORE", "JUNIOR", "SENIOR"] {
+        db.add(year, "gen", "STUDENT");
+    }
+    db.add("STUDENT", "gen", "PERSON");
+    db.add("INSTRUCTOR", "gen", "PERSON");
+    db.add("GRADUATE-OF", "gen", "ATTENDED");
+    db.add("TEACHES", "inv", "TAUGHT-BY");
+
+    // Courses and instructors.
+    for c in 0..cfg.courses {
+        db.add(format!("CRS-{c}"), "isa", "COURSE");
+        let teacher = format!("INST-{}", c % cfg.instructors.max(1));
+        db.add(teacher.as_str(), "TEACHES", format!("CRS-{c}"));
+    }
+    for i in 0..cfg.instructors {
+        db.add(format!("INST-{i}"), "isa", "INSTRUCTOR");
+    }
+
+    // Students with reified enrollments.
+    let years = ["FRESHMAN", "SOPHOMORE", "JUNIOR", "SENIOR"];
+    let mut enrollment = 0usize;
+    for s in 0..cfg.students {
+        let student = format!("STU-{s}");
+        db.add(student.as_str(), "isa", years[rng.gen_range(0..years.len())]);
+        for _ in 0..cfg.enrollments_per_student {
+            let course = format!("CRS-{}", rng.gen_range(0..cfg.courses.max(1)));
+            let grade = GRADES[rng.gen_range(0..GRADES.len())];
+            let e = format!("E{enrollment}");
+            enrollment += 1;
+            db.add(e.as_str(), "isa", "ENROLLMENT");
+            db.add(e.as_str(), "ENROLL-STUDENT", student.as_str());
+            db.add(e.as_str(), "ENROLL-COURSE", course.as_str());
+            db.add(e.as_str(), "ENROLL-GRADE", grade);
+        }
+        if rng.gen_bool(0.3) {
+            db.add(student.as_str(), "GRADUATE-OF", "USC");
+        }
+    }
+    for g in GRADES {
+        db.add(g, "isa", "GRADE");
+    }
+
+    db
+}
+
+/// Configuration for [`company`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompanyConfig {
+    /// Number of employees.
+    pub employees: usize,
+    /// Number of departments.
+    pub departments: usize,
+    /// Include the §2.5 integrity constraints.
+    pub with_constraints: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CompanyConfig {
+    fn default() -> Self {
+        CompanyConfig { employees: 60, departments: 6, with_constraints: true, seed: 42 }
+    }
+}
+
+/// Builds a company world with the paper's §2.5 integrity machinery:
+///
+/// * taxonomy `MANAGER ≺ EMPLOYEE ≺ PERSON`, `SALARY ≺ COMPENSATION`,
+///   `WORKS-FOR ≺ IS-PAID-BY` (the §3.1 examples);
+/// * numeric `EARNS` and `AGE-OF` facts;
+/// * the constraint *age is positive* (`(x, ∈, AGE) ⇒ (x, >, 0)`);
+/// * the contradiction fact `(LOVES, ⊥, HATES)`;
+/// * consistent data, so the returned database validates cleanly —
+///   benches and tests then inject violations deliberately.
+pub fn company(cfg: &CompanyConfig) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    db.add("MANAGER", "gen", "EMPLOYEE");
+    db.add("EMPLOYEE", "gen", "PERSON");
+    db.add("SALARY-PILE", "gen", "COMPENSATION");
+    db.add("WORKS-FOR", "gen", "IS-PAID-BY");
+    db.add("LOVES", "contra", "HATES");
+    db.add("EMPLOYEE", "EARNS", "SALARY-PILE");
+
+    for d in 0..cfg.departments {
+        db.add(format!("DEPT-{d}"), "isa", "DEPARTMENT");
+    }
+
+    for e in 0..cfg.employees {
+        let name = format!("EMP-{e}");
+        let is_manager = e % 10 == 0;
+        let class = if is_manager { "MANAGER" } else { "EMPLOYEE" };
+        db.add(name.as_str(), "isa", class);
+        db.add(name.as_str(), "WORKS-FOR", format!("DEPT-{}", e % cfg.departments.max(1)));
+        // Managers out-earn their reports, so the §2.5 dominance
+        // constraint holds on the generated data.
+        let salary = if is_manager {
+            80_000 + rng.gen_range(0..20) as i64 * 1000
+        } else {
+            20_000 + rng.gen_range(0..40) as i64 * 1000
+        };
+        db.add(name.as_str(), "EARNS", salary);
+        db.add(salary, "isa", "SALARY-AMOUNT");
+        let age = 21 + rng.gen_range(0..45) as i64;
+        db.add(age, "isa", "AGE");
+        db.add(name.as_str(), "AGE-OF", age);
+        if !is_manager {
+            db.add(name.as_str(), "MANAGER-IS", format!("EMP-{}", (e / 10) * 10));
+        }
+    }
+
+    if cfg.with_constraints {
+        let age_class = db.entity("AGE");
+        let zero = db.entity(0i64);
+        let mut b = Rule::builder("age-positive");
+        let x = b.var("x");
+        db.add_rule(
+            b.constraint()
+                .when(x, special::ISA, age_class)
+                .then(x, special::GT, zero)
+                .build()
+                .expect("valid rule"),
+        )
+        .expect("unique name");
+
+        // The paper's §2.5 second constraint, guards included: the
+        // membership atoms on u and v are essential — without them the
+        // rule would also match class-level EARNS facts lifted into the
+        // closure by membership inference.
+        let earns = db.entity("EARNS");
+        let manager_is = db.entity("MANAGER-IS");
+        let salary_amount = db.entity("SALARY-AMOUNT");
+        let mut b = Rule::builder("manager-earns-more");
+        let (x, y, u, v) = (b.var("x"), b.var("y"), b.var("u"), b.var("v"));
+        db.add_rule(
+            b.constraint()
+                .when(x, manager_is, y)
+                .when(x, earns, u)
+                .when(y, earns, v)
+                .when(u, special::ISA, salary_amount)
+                .when(v, special::ISA, salary_amount)
+                .then(v, special::GE, u)
+                .build()
+                .expect("valid rule"),
+        )
+        .expect("unique name");
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::Pattern;
+
+    #[test]
+    fn university_is_deterministic_and_consistent() {
+        let cfg = UniversityConfig::default();
+        let mut a = university(&cfg);
+        let b = university(&cfg);
+        assert_eq!(a.base_len(), b.base_len());
+        assert!(a.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn university_reified_enrollments_query() {
+        let mut db = university(&UniversityConfig {
+            students: 10,
+            enrollments_per_student: 2,
+            ..Default::default()
+        });
+        // Every enrollment entity has all three attributes.
+        let q = loosedb_query::parse(
+            "Q(?e) := (?e, isa, ENROLLMENT)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let enrollments = loosedb_query::eval(&q, &view).unwrap();
+        assert_eq!(enrollments.len(), 20);
+        drop(view);
+        // The unconstrained join is larger than 20: membership inference
+        // (M2) lifts every enrollment target to its classes, so tuples
+        // like (E0, FRESHMAN, CRS-1, GRADE-class) are genuine closure
+        // answers. Constraining each variable to its class recovers
+        // exactly the base enrollments.
+        let q = loosedb_query::parse(
+            "Q(?e, ?s, ?c, ?g) := (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, ?c) \
+             & (?e, ENROLL-GRADE, ?g) & (?s, isa, STUDENT) & (?c, isa, COURSE) \
+             & (?g, isa, GRADE)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let full = loosedb_query::eval(&q, &view).unwrap();
+        assert_eq!(full.len(), 20);
+    }
+
+    #[test]
+    fn university_membership_inference() {
+        // Students are persons: (STU-0, ∈, FRESHMAN-or-other) ∧ year ≺
+        // STUDENT ≺ PERSON ⇒ (STU-0, ∈, PERSON).
+        let mut db = university(&UniversityConfig { students: 5, ..Default::default() });
+        let stu0 = db.lookup_symbol("STU-0").unwrap();
+        let person = db.lookup_symbol("PERSON").unwrap();
+        let closure = db.closure().unwrap();
+        assert!(closure.contains(&loosedb_store::Fact::new(stu0, special::ISA, person)));
+    }
+
+    #[test]
+    fn university_inversion() {
+        let mut db = university(&UniversityConfig::default());
+        let taught_by = db.lookup_symbol("TAUGHT-BY").unwrap();
+        let closure = db.closure().unwrap();
+        assert!(closure.count(Pattern::from_rel(taught_by)) >= 12);
+    }
+
+    #[test]
+    fn company_consistent_and_guarded() {
+        let mut db = company(&CompanyConfig::default());
+        assert!(db.is_consistent().unwrap());
+        // A negative age is rejected transactionally.
+        let err = db.try_add(-3i64, "isa", "AGE").unwrap_err();
+        assert!(matches!(err, loosedb_engine::TransactionError::Integrity(_)));
+        // A love/hate contradiction is rejected.
+        db.add("EMP-1", "LOVES", "EMP-2");
+        let err = db.try_add("EMP-1", "HATES", "EMP-2").unwrap_err();
+        assert!(matches!(err, loosedb_engine::TransactionError::Integrity(_)));
+    }
+
+    #[test]
+    fn company_generalization_chain() {
+        // WORKS-FOR ≺ IS-PAID-BY: everyone is paid by their department.
+        let mut db = company(&CompanyConfig::default());
+        let emp0 = db.lookup_symbol("EMP-0").unwrap();
+        let paid_by = db.lookup_symbol("IS-PAID-BY").unwrap();
+        let dept0 = db.lookup_symbol("DEPT-0").unwrap();
+        let closure = db.closure().unwrap();
+        assert!(closure.contains(&loosedb_store::Fact::new(emp0, paid_by, dept0)));
+    }
+}

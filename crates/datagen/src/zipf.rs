@@ -1,0 +1,107 @@
+//! A small Zipf sampler for skewed-degree workloads.
+//!
+//! Navigation benchmarks (E4) need entities whose fact degrees follow the
+//! heavy-tailed distributions of real associative data. This sampler
+//! draws ranks `1..=n` with probability proportional to `1/rank^s` by
+//! binary search over the precomputed cumulative weights.
+
+use rand::Rng;
+
+/// A precomputed Zipf distribution over ranks `1..=n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no ranks (never: construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (zero-based).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[100] && counts[0] > counts[999]);
+        // Rank 0 should take a noticeable share under s=1.2.
+        assert!(counts[0] > 20_000 / 50);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1000, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let zipf = Zipf::new(50, 1.0);
+        let a: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(zipf.sample(rng))).collect();
+        let b: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(zipf.sample(rng))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,1750 @@
+//! Closure computation: repeated application of rules to facts (§2.6).
+//!
+//! Given a set of facts `P` and rules `R`, the *closure* of `P` under `R`
+//! is the least fixpoint of applying the rules; the database is valid iff
+//! the closure is free of contradictions. This module materializes the
+//! closure with **semi-naive** forward chaining (only joins touching the
+//! newest facts are re-evaluated each round); a **naive** strategy
+//! (re-deriving from the full fact set every round) is kept as the
+//! ablation baseline for experiment E7.
+//!
+//! The standard rules of §3 are built in and individually toggleable via
+//! [`InferenceConfig`]; user rules (inference and integrity constraints
+//! alike, §2.4–2.5) are applied through a generic conjunctive join.
+//!
+//! Three families of facts are *virtual* and deliberately never stored:
+//!
+//! * mathematical facts (§3.6) — heads that instantiate to a true
+//!   mathematical fact are skipped; false or undefined ones are recorded
+//!   as [`Violation`]s;
+//! * the reflexive generalizations `(E, ≺, E)` and the hierarchy bounds
+//!   `(E, ≺, Δ)`, `(∇, ≺, E)` (§2.3) — materializing them would bloat the
+//!   closure with one fact per entity (and, through rule G3, a `Δ`-target
+//!   copy of every fact); the match layer answers them directly;
+//! * inferred facts whose relationship is `Δ` or whose target is `Δ` (or
+//!   source `∇`) via the hierarchy bounds — same reason.
+
+use std::collections::HashMap;
+
+use loosedb_store::{special, EntityId, EntityValue, Fact, FactStore, Interner, Pattern, TripleIndex};
+
+use crate::config::InferenceConfig;
+use crate::kind::KindRegistry;
+use crate::mathrel::{self, MathMatchError, MathTruth};
+use crate::rule::RuleSet;
+use crate::term::{Bindings, Template};
+
+/// Which fixpoint strategy to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Re-evaluate only joins that touch the previous round's new facts.
+    #[default]
+    SemiNaive,
+    /// Re-derive everything from the full fact set every round
+    /// (ablation baseline, experiment E7).
+    Naive,
+}
+
+/// The built-in rules of §3, used in provenance records.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// G1: `(s,r,t) ∧ (s',≺,s) ⇒ (s',r,t)` for `r ∈ R_i`.
+    GenSource,
+    /// G2: `(s,r,t) ∧ (r,≺,r') ⇒ (s,r',t)` for `r ∈ R_i`.
+    GenRel,
+    /// G3: `(s,r,t) ∧ (t,≺,t') ⇒ (s,r,t')` for `r ∈ R_i`.
+    GenTarget,
+    /// M1: `(s,r,t) ∧ (s',∈,s) ⇒ (s',r,t)` for `r ∈ R_i \ {≺}`.
+    MemberSource,
+    /// M2: `(s,r,t) ∧ (t,∈,t') ⇒ (s,r,t')` for `r ∈ R_i \ {≺}`.
+    MemberTarget,
+    /// §3.2 derived rule: `(s,∈,t) ∧ (t,≺,t') ⇒ (s,∈,t')`.
+    MemberUp,
+    /// §3.3 definition: `(s,≈,t) ⇒ (s,≺,t) ∧ (t,≺,s)` and symmetry.
+    SynDefines,
+    /// §3.3 converse: `(s,≺,t) ∧ (t,≺,s) ⇒ (s,≈,t)`.
+    SynFromGen,
+    /// §3.3 substitution: given `(a,≈,b)`, `a` may be replaced by `b` in
+    /// any position of any fact.
+    SynSubst,
+    /// §3.4: `(s,r,t) ∧ (r,⁺,r') ⇒ (t,r',s)`; inverses come in pairs.
+    Inversion,
+    /// §3.7: `(s,r1,t) ∧ (t,r2,u) ∧ s≠u ⇒ (s, r1·t·r2, u)`.
+    Composition,
+}
+
+/// Why a derived fact is in the closure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Provenance {
+    /// Derived by a built-in rule from one or two supporting facts.
+    Builtin {
+        /// The rule applied.
+        rule: Builtin,
+        /// The supporting facts (the matched rule body).
+        from: Vec<Fact>,
+    },
+    /// Derived by a user rule.
+    User {
+        /// The rule's name.
+        rule: String,
+        /// The facts matched by the rule body, in body order.
+        from: Vec<Fact>,
+    },
+}
+
+/// An integrity problem discovered in the closure (§2.5, §3.5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// Two closure facts relate the same pair through contradictory
+    /// relationships (`(r, ⊥, r')` holds).
+    Contradiction {
+        /// The first fact.
+        fact: Fact,
+        /// The contradicting fact.
+        conflicting: Fact,
+        /// The contradiction fact `(r, ⊥, r')` that connects them.
+        via: Fact,
+    },
+    /// A fact asserts a mathematical relationship that is false
+    /// (e.g. an integrity rule inferred `(-5, >, 0)`).
+    MathFalse {
+        /// The offending fact.
+        fact: Fact,
+        /// The rule that produced it, if it was derived.
+        source: Option<String>,
+    },
+    /// A fact applies an order comparator to non-numbers
+    /// (e.g. `(JOHN, >, 0)`).
+    MathUndefined {
+        /// The offending fact.
+        fact: Fact,
+        /// The rule that produced it, if it was derived.
+        source: Option<String>,
+    },
+}
+
+/// Errors aborting closure computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClosureError {
+    /// The closure exceeded [`InferenceConfig::max_closure_facts`].
+    TooLarge {
+        /// The configured bound that was hit.
+        limit: usize,
+    },
+    /// Materialized composition requires a finite `limit(n)`: with cycles
+    /// in the fact graph an unbounded composition closure is infinite
+    /// (the paper's `n = ∞` is only safe on acyclic data, which we do not
+    /// verify — use on-demand path browsing instead).
+    UnboundedComposition,
+    /// A user rule's body contains a mathematical atom that cannot be
+    /// enumerated (e.g. `(x, ≠, y)` with both sides otherwise unbound).
+    Math(MathMatchError),
+}
+
+impl std::fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClosureError::TooLarge { limit } => {
+                write!(f, "closure exceeded the configured bound of {limit} facts")
+            }
+            ClosureError::UnboundedComposition => {
+                write!(f, "materialized composition requires a finite limit(n)")
+            }
+            ClosureError::Math(e) => write!(f, "unenumerable mathematical atom: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {}
+
+impl From<MathMatchError> for ClosureError {
+    fn from(e: MathMatchError) -> Self {
+        ClosureError::Math(e)
+    }
+}
+
+/// Statistics of a closure computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClosureStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Base facts the computation started from.
+    pub base_facts: usize,
+    /// Facts added by inference.
+    pub derived_facts: usize,
+    /// Of the derived facts, how many came from composition.
+    pub composition_facts: usize,
+    /// Candidate derivations that were already present (dedup hits).
+    pub duplicate_derivations: usize,
+}
+
+/// The materialized closure of a fact set under a rule set.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    facts: TripleIndex,
+    lift_free: TripleIndex,
+    provenance: HashMap<Fact, Provenance>,
+    violations: Vec<Violation>,
+    stats: ClosureStats,
+}
+
+impl Closure {
+    /// Exact membership test against materialized facts (virtual facts are
+    /// the view layer's job).
+    pub fn contains(&self, f: &Fact) -> bool {
+        self.facts.contains(f)
+    }
+
+    /// Pattern retrieval over materialized facts.
+    pub fn matching(&self, p: Pattern) -> loosedb_store::index::MatchIter<'_> {
+        self.facts.matching(p)
+    }
+
+    /// Count of matches of a pattern.
+    pub fn count(&self, p: Pattern) -> usize {
+        self.facts.count(p)
+    }
+
+    /// Count of matches, capped (planner estimates).
+    pub fn count_up_to(&self, p: Pattern, cap: usize) -> usize {
+        self.facts.count_up_to(p, cap)
+    }
+
+    /// All materialized facts.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.facts.iter()
+    }
+
+    /// Total number of materialized facts (base + derived).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if the closure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// True if the fact has a target-lift-free ("exact") derivation —
+    /// the facts inversion may be applied to (see the paper's footnote 1
+    /// and DESIGN.md decision 3/8).
+    pub fn is_exact(&self, f: &Fact) -> bool {
+        always_exact(f.r) || self.lift_free.contains(f)
+    }
+
+    /// Why `f` is in the closure (`None` for base facts and unknown facts).
+    pub fn provenance(&self, f: &Fact) -> Option<&Provenance> {
+        self.provenance.get(f)
+    }
+
+    /// The integrity violations found (§2.5: the database is valid iff
+    /// this is empty).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True if the closure is free of contradictions.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Computation statistics.
+    pub fn stats(&self) -> ClosureStats {
+        self.stats
+    }
+
+    /// The distinct relationship entities appearing in the closure.
+    pub fn relationships(&self) -> Vec<EntityId> {
+        self.facts.relationships()
+    }
+}
+
+/// Computes the closure of the store's facts under the configured rules.
+///
+/// Takes `&mut FactStore` because composition interns new path entities;
+/// with composition disabled the store is not modified.
+pub fn compute(
+    store: &mut FactStore,
+    kinds: &KindRegistry,
+    rules: &RuleSet,
+    config: &InferenceConfig,
+    strategy: Strategy,
+) -> Result<Closure, ClosureError> {
+    if config.composition_enabled() && config.composition_limit > 64 {
+        // 2^64 chain lengths are indistinguishable from unbounded; cycles
+        // in the data would make the closure astronomically large long
+        // before the limit binds.
+        return Err(ClosureError::UnboundedComposition);
+    }
+
+    let mut engine = Engine {
+        kinds,
+        rules,
+        config,
+        all: TripleIndex::new(),
+        lift_free: TripleIndex::new(),
+        provenance: HashMap::new(),
+        stats: ClosureStats::default(),
+        pending: Vec::new(),
+        violations: Vec::new(),
+    };
+
+    let base: Vec<Fact> = store.iter().collect();
+    engine.stats.base_facts = base.len();
+    for f in &base {
+        engine.all.insert(*f);
+        engine.lift_free.insert(*f);
+    }
+
+    let mut delta: Vec<Fact> = base;
+    while !delta.is_empty() {
+        engine.stats.rounds += 1;
+        let effective_delta: Vec<Fact> = match strategy {
+            Strategy::SemiNaive => delta.clone(),
+            Strategy::Naive => engine.all.iter().collect(),
+        };
+        engine.round(&effective_delta, store.interner_mut())?;
+        delta = engine.commit()?;
+    }
+
+    engine.check_consistency(store.interner());
+
+    Ok(Closure {
+        facts: engine.all,
+        lift_free: engine.lift_free,
+        provenance: engine.provenance,
+        violations: engine.violations,
+        stats: engine.stats,
+    })
+}
+
+/// Extends an existing closure with newly inserted base facts — the
+/// incremental-maintenance fast path for monotone updates.
+///
+/// `new_facts` must already be inserted in `store`; the closure must have
+/// been computed over the store's previous contents with the *same*
+/// kinds, rules and configuration (the `Database` cache guarantees this).
+/// Because the rules are monotone and the old fact set is closed, running
+/// the semi-naive rounds seeded with just the new facts reaches exactly
+/// the closure of the union — verified against full recomputation by a
+/// property test.
+///
+/// Removals cannot be maintained incrementally (derived facts may lose
+/// support); the `Database` falls back to full recomputation for them.
+pub fn extend(
+    closure: &mut Closure,
+    store: &mut FactStore,
+    kinds: &KindRegistry,
+    rules: &RuleSet,
+    config: &InferenceConfig,
+    new_facts: &[Fact],
+) -> Result<(), ClosureError> {
+    if config.composition_enabled() && config.composition_limit > 64 {
+        return Err(ClosureError::UnboundedComposition);
+    }
+    let mut engine = Engine {
+        kinds,
+        rules,
+        config,
+        all: std::mem::take(&mut closure.facts),
+        lift_free: std::mem::take(&mut closure.lift_free),
+        provenance: std::mem::take(&mut closure.provenance),
+        stats: closure.stats,
+        pending: Vec::new(),
+        // Emit-time violations of the previous run are kept; the final
+        // consistency scan deduplicates against them.
+        violations: std::mem::take(&mut closure.violations),
+    };
+
+    let mut delta: Vec<Fact> = Vec::new();
+    for &f in new_facts {
+        debug_assert!(store.contains(&f), "extend() requires facts already in the store");
+        if engine.all.insert(f) {
+            engine.lift_free.insert(f);
+            engine.stats.base_facts += 1;
+            delta.push(f);
+        }
+    }
+
+    while !delta.is_empty() {
+        engine.stats.rounds += 1;
+        engine.round(&delta, store.interner_mut())?;
+        delta = engine.commit()?;
+    }
+
+    engine.check_consistency(store.interner());
+
+    closure.facts = engine.all;
+    closure.lift_free = engine.lift_free;
+    closure.provenance = engine.provenance;
+    closure.violations = engine.violations;
+    closure.stats = engine.stats;
+    Ok(())
+}
+
+struct Engine<'a> {
+    kinds: &'a KindRegistry,
+    rules: &'a RuleSet,
+    config: &'a InferenceConfig,
+    all: TripleIndex,
+    /// Facts with at least one *target-lift-free* derivation. The target
+    /// of an ordinary fact lifted by G3/M2 reads existentially (the
+    /// paper's footnote 1: "works for *at least one* department");
+    /// inversion (§3.4) is sound only for facts with an exact — lift-free
+    /// — derivation, so the engine tracks this sub-relation through the
+    /// fixpoint. `≺`/`∈`/`≈`/`⁺`/`⊥` facts are always exact (their
+    /// "lifts" are crisp set-theoretic consequences).
+    lift_free: TripleIndex,
+    provenance: HashMap<Fact, Provenance>,
+    stats: ClosureStats,
+    pending: Vec<(Fact, Provenance, bool)>,
+    violations: Vec<Violation>,
+}
+
+/// True if facts with this relationship are always exact (see
+/// `Engine::lift_free`).
+fn always_exact(r: EntityId) -> bool {
+    matches!(r, special::GEN | special::ISA | special::SYN | special::INV | special::CONTRA)
+}
+
+impl Engine<'_> {
+    /// Applies every enabled rule to the delta, accumulating candidate
+    /// derivations in `pending`.
+    ///
+    /// The structural rule groups (§3.1–3.4) are pure joins against the
+    /// immutable fact set of the previous round, so large deltas are
+    /// processed on all cores (chunks merged in order — the result is
+    /// deterministic and identical to the sequential path). Composition
+    /// (which interns path entities) and user rules run sequentially.
+    fn round(&mut self, delta: &[Fact], interner: &mut Interner) -> Result<(), ClosureError> {
+        let structural = self.config.generalization
+            || self.config.membership
+            || self.config.synonym
+            || self.config.inversion;
+        if structural {
+            let workers =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            if delta.len() >= self.config.parallel_threshold && workers > 1 {
+                let chunk_size = delta.len().div_ceil(workers);
+                let engine = &*self;
+                let results: Vec<Vec<(Fact, Provenance, bool)>> =
+                    crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = delta
+                            .chunks(chunk_size)
+                            .map(|part| {
+                                scope.spawn(move |_| {
+                                    let mut out = Vec::new();
+                                    for &f in part {
+                                        engine.apply_structural(f, &mut out);
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                    })
+                    .expect("closure worker panicked");
+                for out in results {
+                    self.pending.extend(out);
+                }
+            } else {
+                let mut out = Vec::new();
+                for &f in delta {
+                    self.apply_structural(f, &mut out);
+                }
+                self.pending.extend(out);
+            }
+        }
+        if self.config.composition_enabled() {
+            let mut out = Vec::new();
+            for &f in delta {
+                self.composition_rules(f, interner, &mut out);
+            }
+            self.pending.extend(out);
+        }
+        if self.config.user_rules {
+            self.user_rules(delta, interner)?;
+        }
+        Ok(())
+    }
+
+    /// The §3.1–3.4 rule groups for one delta fact.
+    fn apply_structural(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        if self.config.generalization {
+            self.gen_rules(f, out);
+        }
+        if self.config.membership {
+            self.member_rules(f, out);
+        }
+        if self.config.synonym {
+            self.syn_rules(f, out);
+        }
+        if self.config.inversion {
+            self.inv_rules(f, out);
+        }
+    }
+
+    /// Moves pending derivations into the fact set, handling virtual
+    /// heads, and returns the genuinely new facts.
+    fn commit(&mut self) -> Result<Vec<Fact>, ClosureError> {
+        let mut fresh = Vec::new();
+        for (fact, prov, lift_free) in std::mem::take(&mut self.pending) {
+            if self.all.contains(&fact) {
+                // A known fact re-derived exactly for the first time is an
+                // *upgrade*: it re-enters the delta so inversion (which
+                // fires on exact facts only) gets a chance at it.
+                if lift_free && self.lift_free.insert(fact) {
+                    fresh.push(fact);
+                } else {
+                    self.stats.duplicate_derivations += 1;
+                }
+                continue;
+            }
+            self.all.insert(fact);
+            if lift_free {
+                self.lift_free.insert(fact);
+            }
+            self.stats.derived_facts += 1;
+            if matches!(prov, Provenance::Builtin { rule: Builtin::Composition, .. }) {
+                self.stats.composition_facts += 1;
+            }
+            self.provenance.insert(fact, prov);
+            fresh.push(fact);
+            if self.all.len() > self.config.max_closure_facts {
+                return Err(ClosureError::TooLarge { limit: self.config.max_closure_facts });
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// True if the fact has a known target-lift-free derivation.
+    fn is_lift_free(&self, f: &Fact) -> bool {
+        always_exact(f.r) || self.lift_free.contains(f)
+    }
+
+    /// Queues a derivation unless it is a virtual fact.
+    ///
+    /// Virtual heads: true mathematical facts are skipped (their truth is
+    /// answered at match time); false/undefined ones are violations;
+    /// reflexive/bound generalizations are skipped.
+    fn emit(&mut self, fact: Fact, prov: Provenance, interner: &Interner) {
+        if special::is_math(fact.r) {
+            let source = match &prov {
+                Provenance::User { rule, .. } => Some(rule.clone()),
+                Provenance::Builtin { .. } => None,
+            };
+            let violation = match mathrel::eval(interner, &fact).expect("is_math checked") {
+                MathTruth::True => return,
+                MathTruth::False => Violation::MathFalse { fact, source },
+                MathTruth::Undefined => Violation::MathUndefined { fact, source },
+            };
+            // The same required math fact is typically derived through
+            // many bindings; report it once.
+            if !self.violations.contains(&violation) {
+                self.violations.push(violation);
+            }
+            return;
+        }
+        if is_virtual_gen(&fact) {
+            return;
+        }
+        // Derivations that merely re-route through Δ/∇ are dropped:
+        // (s, Δ, t), (s, r, Δ) and (∇, r, t) are answered virtually by the
+        // view layer.
+        if fact.r == special::TOP || fact.t == special::TOP || fact.s == special::BOT {
+            return;
+        }
+        // User-rule heads state exact facts (like base assertions).
+        self.pending.push((fact, prov, true));
+    }
+
+    // ------------------------------------------------------------------
+    // Built-in rule groups (§3), each as a pair of semi-naive delta cases.
+    // ------------------------------------------------------------------
+
+    fn gen_rules(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        // Case A: f = (s, r, t) with r individual — join with gen facts.
+        if self.kinds.is_individual(f.r) {
+            // G1: (s', ≺, s) specializes the source.
+            let children: Vec<Fact> =
+                self.all.matching(Pattern::new(None, Some(special::GEN), Some(f.s))).collect();
+            let exact = self.is_lift_free(&f);
+            for g in children {
+                push_nonvirtual(out,
+                    Fact::new(g.s, f.r, f.t),
+                    Provenance::Builtin { rule: Builtin::GenSource, from: vec![f, g] },
+                    exact,
+                );
+            }
+            // G2: (r, ≺, r') generalizes the relationship.
+            let rel_parents: Vec<Fact> =
+                self.all.matching(Pattern::new(Some(f.r), Some(special::GEN), None)).collect();
+            let exact = self.is_lift_free(&f);
+            for g in rel_parents {
+                push_nonvirtual(out,
+                    Fact::new(f.s, g.t, f.t),
+                    Provenance::Builtin { rule: Builtin::GenRel, from: vec![f, g] },
+                    exact,
+                );
+            }
+            // G3: (t, ≺, t') generalizes the target.
+            let target_parents: Vec<Fact> =
+                self.all.matching(Pattern::new(Some(f.t), Some(special::GEN), None)).collect();
+            // Target lifts of ordinary facts are existential; lifts of
+            // ≺ facts (transitivity) stay exact.
+            let exact = f.r == special::GEN && self.is_lift_free(&f);
+            for g in target_parents {
+                push_nonvirtual(out,
+                    Fact::new(f.s, f.r, g.t),
+                    Provenance::Builtin { rule: Builtin::GenTarget, from: vec![f, g] },
+                    exact,
+                );
+            }
+        }
+        // Case B: f is itself a generalization fact (s', ≺, s) — join the
+        // other way around.
+        if f.r == special::GEN {
+            // G1: facts whose source is f.t flow down to f.s.
+            let down: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_source(f.t))
+                .filter(|h| self.kinds.is_individual(h.r))
+                .collect();
+            for h in down {
+                push_nonvirtual(out,
+                    Fact::new(f.s, h.r, h.t),
+                    Provenance::Builtin { rule: Builtin::GenSource, from: vec![h, f] },
+                    self.is_lift_free(&h),
+                );
+            }
+            // G2: facts whose relationship is f.s lift to f.t.
+            let via: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_rel(f.s))
+                .filter(|h| self.kinds.is_individual(h.r))
+                .collect();
+            for h in via {
+                push_nonvirtual(out,
+                    Fact::new(h.s, f.t, h.t),
+                    Provenance::Builtin { rule: Builtin::GenRel, from: vec![h, f] },
+                    self.is_lift_free(&h),
+                );
+            }
+            // G3: facts whose target is f.s lift to f.t.
+            let up: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_target(f.s))
+                .filter(|h| self.kinds.is_individual(h.r))
+                .collect();
+            for h in up {
+                push_nonvirtual(out,
+                    Fact::new(h.s, h.r, f.t),
+                    Provenance::Builtin { rule: Builtin::GenTarget, from: vec![h, f] },
+                    h.r == special::GEN && self.is_lift_free(&h),
+                );
+            }
+        }
+    }
+
+    fn member_rules(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        let member_applicable =
+            |kinds: &KindRegistry, r: EntityId| kinds.is_individual(r) && r != special::GEN;
+        // Case A: f = (s, r, t) with r individual (but not ≺: instancehood
+        // must not turn class-level subclassing into instance subclassing).
+        if member_applicable(self.kinds, f.r) {
+            // M1: (s', ∈, s) — class-level fact applies to each instance.
+            let instances: Vec<Fact> =
+                self.all.matching(Pattern::new(None, Some(special::ISA), Some(f.s))).collect();
+            let exact = self.is_lift_free(&f);
+            for g in instances {
+                push_nonvirtual(out,
+                    Fact::new(g.s, f.r, f.t),
+                    Provenance::Builtin { rule: Builtin::MemberSource, from: vec![f, g] },
+                    exact,
+                );
+            }
+            // M2: (t, ∈, t') — a fact about an instance lifts to its class.
+            let classes: Vec<Fact> =
+                self.all.matching(Pattern::new(Some(f.t), Some(special::ISA), None)).collect();
+            for g in classes {
+                push_nonvirtual(out,
+                    Fact::new(f.s, f.r, g.t),
+                    Provenance::Builtin { rule: Builtin::MemberTarget, from: vec![f, g] },
+                    false, // target lift: existential (footnote 1)
+                );
+            }
+        }
+        // Case B: f = (s', ∈, s) — join the other way, plus upward closure.
+        if f.r == special::ISA {
+            let class_facts: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_source(f.t))
+                .filter(|h| member_applicable(self.kinds, h.r))
+                .collect();
+            for h in class_facts {
+                push_nonvirtual(out,
+                    Fact::new(f.s, h.r, h.t),
+                    Provenance::Builtin { rule: Builtin::MemberSource, from: vec![h, f] },
+                    self.is_lift_free(&h),
+                );
+            }
+            let instance_targets: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_target(f.s))
+                .filter(|h| member_applicable(self.kinds, h.r))
+                .collect();
+            for h in instance_targets {
+                push_nonvirtual(out,
+                    Fact::new(h.s, h.r, f.t),
+                    Provenance::Builtin { rule: Builtin::MemberTarget, from: vec![h, f] },
+                    false, // target lift: existential (footnote 1)
+                );
+            }
+            // MemberUp: (s, ∈, t) ∧ (t, ≺, t') ⇒ (s, ∈, t').
+            let ups: Vec<Fact> =
+                self.all.matching(Pattern::new(Some(f.t), Some(special::GEN), None)).collect();
+            for g in ups {
+                push_nonvirtual(out,
+                    Fact::new(f.s, special::ISA, g.t),
+                    Provenance::Builtin { rule: Builtin::MemberUp, from: vec![f, g] },
+                    true, // ∈ through ≺ is a crisp consequence
+                );
+            }
+        }
+        // Case C: f = (t, ≺, t') — MemberUp joined from the gen side.
+        if f.r == special::GEN && self.config.membership {
+            let members: Vec<Fact> =
+                self.all.matching(Pattern::new(None, Some(special::ISA), Some(f.s))).collect();
+            for g in members {
+                push_nonvirtual(out,
+                    Fact::new(g.s, special::ISA, f.t),
+                    Provenance::Builtin { rule: Builtin::MemberUp, from: vec![g, f] },
+                    true,
+                );
+            }
+        }
+    }
+
+    fn syn_rules(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        // Case A: f = (s, ≈, t).
+        if f.r == special::SYN && f.s != f.t {
+            // Symmetry and the defining mutual generalization.
+            push_nonvirtual(out,
+                Fact::new(f.t, special::SYN, f.s),
+                Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
+                true,
+            );
+            push_nonvirtual(out,
+                Fact::new(f.s, special::GEN, f.t),
+                Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
+                true,
+            );
+            push_nonvirtual(out,
+                Fact::new(f.t, special::GEN, f.s),
+                Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
+                true,
+            );
+            // Substitution: replace f.s with f.t in every fact mentioning
+            // f.s (symmetry will cover the other direction next round).
+            let mentioning: Vec<Fact> = self
+                .all
+                .matching(Pattern::from_source(f.s))
+                .chain(self.all.matching(Pattern::from_rel(f.s)))
+                .chain(self.all.matching(Pattern::from_target(f.s)))
+                .collect();
+            for h in mentioning {
+                let exact = self.is_lift_free(&h);
+                for variant in substitute_all(&h, f.s, f.t) {
+                    push_nonvirtual(out,
+                        variant,
+                        Provenance::Builtin { rule: Builtin::SynSubst, from: vec![h, f] },
+                        exact,
+                    );
+                }
+            }
+        }
+        // Case B: a new ordinary fact mentioning a known synonym.
+        for position in 0..3 {
+            let e = f.positions()[position];
+            let partners: Vec<Fact> =
+                self.all.matching(Pattern::new(Some(e), Some(special::SYN), None)).collect();
+            let exact = self.is_lift_free(&f);
+            for syn in partners {
+                if syn.t == e {
+                    continue;
+                }
+                for variant in substitute_all(&f, e, syn.t) {
+                    push_nonvirtual(out,
+                        variant,
+                        Provenance::Builtin { rule: Builtin::SynSubst, from: vec![f, syn] },
+                        exact,
+                    );
+                }
+            }
+        }
+        // Case C: mutual generalization defines synonymy.
+        if f.r == special::GEN
+            && f.s != f.t
+            && self.all.contains(&Fact::new(f.t, special::GEN, f.s))
+        {
+            let reverse = Fact::new(f.t, special::GEN, f.s);
+            push_nonvirtual(out,
+                Fact::new(f.s, special::SYN, f.t),
+                Provenance::Builtin { rule: Builtin::SynFromGen, from: vec![f, reverse] },
+                true,
+            );
+        }
+    }
+
+    fn inv_rules(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        // Case A: f = (r, ⁺, r') — inverses come in pairs, and all facts
+        // with relationship r flip.
+        if f.r == special::INV {
+            push_nonvirtual(out,
+                Fact::new(f.t, special::INV, f.s),
+                Provenance::Builtin { rule: Builtin::Inversion, from: vec![f] },
+                true,
+            );
+            let with_rel: Vec<Fact> = self.all.matching(Pattern::from_rel(f.s)).collect();
+            for h in with_rel {
+                if !self.is_lift_free(&h) {
+                    continue;
+                }
+                push_nonvirtual(out,
+                    h.flipped(f.t),
+                    Provenance::Builtin { rule: Builtin::Inversion, from: vec![h, f] },
+                    true,
+                );
+            }
+        }
+        // Case B: a new ordinary (exact) fact whose relationship has an
+        // inverse. Existential target lifts are never inverted — see the
+        // `lift_free` field docs.
+        if !self.is_lift_free(&f) {
+            return;
+        }
+        let inverses: Vec<Fact> =
+            self.all.matching(Pattern::new(Some(f.r), Some(special::INV), None)).collect();
+        for inv in inverses {
+            push_nonvirtual(out,
+                f.flipped(inv.t),
+                Provenance::Builtin { rule: Builtin::Inversion, from: vec![f, inv] },
+                true,
+            );
+        }
+    }
+
+    fn composition_rules(&self, f: Fact, interner: &mut Interner, out: &mut Vec<(Fact, Provenance, bool)>) {
+        if special::is_special(f.r) && f.r != special::GEN && f.r != special::ISA {
+            // Synonym/inversion/contradiction bookkeeping facts do not
+            // describe paths worth composing.
+            return;
+        }
+        let f_len = chain_len(interner, f.r);
+        let limit = self.config.composition_limit;
+        if f_len >= limit {
+            return;
+        }
+        // f ∘ g: facts starting where f ends.
+        let successors: Vec<Fact> = self
+            .all
+            .matching(Pattern::from_source(f.t))
+            .filter(|g| composable_rel(g.r))
+            .collect();
+        for g in successors {
+            if g.t == f.s {
+                continue; // §3.7 cyclic-composition guard (s ≠ u)
+            }
+            if f_len + chain_len(interner, g.r) > limit {
+                continue;
+            }
+            let rel = compose_rels(interner, f.r, f.t, g.r);
+            let exact = self.is_lift_free(&f) && self.is_lift_free(&g);
+            push_nonvirtual(out,
+                Fact::new(f.s, rel, g.t),
+                Provenance::Builtin { rule: Builtin::Composition, from: vec![f, g] },
+                exact,
+            );
+        }
+        // g ∘ f: facts ending where f starts.
+        let predecessors: Vec<Fact> = self
+            .all
+            .matching(Pattern::from_target(f.s))
+            .filter(|g| composable_rel(g.r))
+            .collect();
+        for g in predecessors {
+            if g.s == f.t {
+                continue;
+            }
+            if chain_len(interner, g.r) + f_len > limit {
+                continue;
+            }
+            let rel = compose_rels(interner, g.r, f.s, f.r);
+            let exact = self.is_lift_free(&g) && self.is_lift_free(&f);
+            push_nonvirtual(out,
+                Fact::new(g.s, rel, f.t),
+                Provenance::Builtin { rule: Builtin::Composition, from: vec![g, f] },
+                exact,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // User rules: generic conjunctive join, semi-naive on the delta.
+    // ------------------------------------------------------------------
+
+    fn user_rules(&mut self, delta: &[Fact], interner: &Interner) -> Result<(), ClosureError> {
+        let rules: Vec<_> = self.rules.enabled().cloned().collect();
+        for rule in &rules {
+            for pivot in 0..rule.body().len() {
+                let pivot_tpl = rule.body()[pivot];
+                if pivot_tpl.r.as_const().is_some_and(special::is_math) {
+                    // Math atoms have no delta (virtual, unchanging); they
+                    // are evaluated inside the join.
+                    continue;
+                }
+                for &d in delta {
+                    let Some(bindings) = pivot_tpl.unify(&d, &Bindings::new()) else {
+                        continue;
+                    };
+                    let remaining: Vec<(usize, Template)> = rule
+                        .body()
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .filter(|(i, _)| *i != pivot)
+                        .collect();
+                    let mut results: Vec<(Bindings, Vec<(usize, Fact)>)> = Vec::new();
+                    self.join(&remaining, bindings, Vec::new(), interner, &mut results)?;
+                    for (solution, mut support) in results {
+                        support.push((pivot, d));
+                        support.sort_by_key(|(i, _)| *i);
+                        let from: Vec<Fact> = support.into_iter().map(|(_, f)| f).collect();
+                        for head in rule.head() {
+                            let fact = head
+                                .instantiate(&solution)
+                                .expect("range restriction validated at build time");
+                            self.emit(
+                                fact,
+                                Provenance::User { rule: rule.name().to_string(), from: from.clone() },
+                                interner,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Backtracking join of the remaining body atoms against the full fact
+    /// set, choosing the most-bound atom next (math atoms last unless
+    /// enumerable).
+    fn join(
+        &self,
+        atoms: &[(usize, Template)],
+        bindings: Bindings,
+        support: Vec<(usize, Fact)>,
+        interner: &Interner,
+        out: &mut Vec<(Bindings, Vec<(usize, Fact)>)>,
+    ) -> Result<(), ClosureError> {
+        if atoms.is_empty() {
+            out.push((bindings, support));
+            return Ok(());
+        }
+        // Pick the atom with the most bound positions; prefer non-math on
+        // ties so math checks run once their operands are known.
+        let (choice_idx, _) = atoms
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, tpl))| {
+                let bound = tpl.to_pattern(&bindings).bound_count();
+                let is_math = tpl.r.as_const().is_some_and(special::is_math);
+                (bound, !is_math as u32)
+            })
+            .expect("non-empty");
+        let (atom_pos, tpl) = atoms[choice_idx];
+        let rest: Vec<(usize, Template)> = atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != choice_idx)
+            .map(|(_, a)| *a)
+            .collect();
+
+        let pattern = tpl.to_pattern(&bindings);
+        let candidates: Vec<Fact> = if pattern.r.is_some_and(special::is_math) {
+            mathrel::matches(interner, pattern)?
+        } else {
+            self.all.matching(pattern).collect()
+        };
+        for fact in candidates {
+            if let Some(extended) = tpl.unify(&fact, &bindings) {
+                let mut support = support.clone();
+                support.push((atom_pos, fact));
+                self.join(&rest, extended, support, interner, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency (§2.5, §3.5, §3.6)
+    // ------------------------------------------------------------------
+
+    fn check_consistency(&mut self, interner: &Interner) {
+        // Stored facts asserting mathematical relationships must agree
+        // with mathematics.
+        let math_rels = [special::LT, special::GT, special::EQ, special::NE, special::LE, special::GE];
+        for rel in math_rels {
+            let stored: Vec<Fact> = self.all.matching(Pattern::from_rel(rel)).collect();
+            for f in stored {
+                let source = self.provenance.get(&f).and_then(|p| match p {
+                    Provenance::User { rule, .. } => Some(rule.clone()),
+                    Provenance::Builtin { .. } => None,
+                });
+                let violation = match mathrel::eval(interner, &f).expect("math rel") {
+                    MathTruth::True => continue,
+                    MathTruth::False => Violation::MathFalse { fact: f, source },
+                    MathTruth::Undefined => Violation::MathUndefined { fact: f, source },
+                };
+                if !self.violations.contains(&violation) {
+                    self.violations.push(violation);
+                }
+            }
+        }
+
+        // Contradiction facts: (r, ⊥, r') means no pair may be related by
+        // both r and r'. ⊥ is symmetric (§3.5): a single stored direction
+        // covers both, and each unordered conflict is reported once.
+        let contra_facts: Vec<Fact> =
+            self.all.matching(Pattern::from_rel(special::CONTRA)).collect();
+        let mut reported: std::collections::HashSet<(Fact, Fact)> =
+            std::collections::HashSet::new();
+        for via in contra_facts {
+            let (r, r_conflict) = (via.s, via.t);
+            let with_r: Vec<Fact> = self.all.matching(Pattern::from_rel(r)).collect();
+            for f in with_r {
+                let candidate = Fact::new(f.s, r_conflict, f.t);
+                if r == r_conflict && f == candidate {
+                    continue;
+                }
+                let conflicts = if special::is_math(r_conflict) {
+                    mathrel::eval(interner, &candidate) == Some(MathTruth::True)
+                } else {
+                    self.all.contains(&candidate)
+                };
+                if conflicts {
+                    let key = if f <= candidate { (f, candidate) } else { (candidate, f) };
+                    if reported.insert(key) {
+                        let violation =
+                            Violation::Contradiction { fact: f, conflicting: candidate, via };
+                        // `contains` guards duplicate reports across
+                        // incremental extend() calls; the symmetric form
+                        // may already be recorded from the other via.
+                        let symmetric = Violation::Contradiction {
+                            fact: candidate,
+                            conflicting: f,
+                            via: Fact::new(via.t, via.r, via.s),
+                        };
+                        if !self.violations.contains(&violation)
+                            && !self.violations.contains(&symmetric)
+                        {
+                            self.violations.push(violation);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Queues a structural-rule derivation unless it is virtual (reflexive or
+/// `Δ`/`∇`-bounded generalization, a `Δ`/`∇` projection, or a
+/// mathematical fact, all answered at match time) or already known.
+fn push_nonvirtual(
+    out: &mut Vec<(Fact, Provenance, bool)>,
+    fact: Fact,
+    prov: Provenance,
+    lift_free: bool,
+) {
+    if is_virtual_gen(&fact)
+        || fact.r == special::TOP
+        || fact.t == special::TOP
+        || fact.s == special::BOT
+        || special::is_math(fact.r)
+        // ≈ is reflexive for every entity (mutual reflexive ≺, §3.3);
+        // answered virtually like the reflexive ≺ facts.
+        || (fact.r == special::SYN && fact.s == fact.t)
+    {
+        return;
+    }
+    out.push((fact, prov, lift_free));
+}
+
+/// All single-position substitutions of `from` by `to` in a fact — the
+/// synonym substitution rule of §3.3 (multi-position substitutions are
+/// reached by iterating to the fixpoint).
+fn substitute_all(f: &Fact, from: EntityId, to: EntityId) -> Vec<Fact> {
+    let mut out = Vec::new();
+    if f.s == from {
+        out.push(Fact::new(to, f.r, f.t));
+    }
+    if f.r == from {
+        out.push(Fact::new(f.s, to, f.t));
+    }
+    if f.t == from {
+        out.push(Fact::new(f.s, f.r, to));
+    }
+    out
+}
+
+/// True for a virtual generalization fact: reflexivity `(E, ≺, E)` and the
+/// hierarchy bounds `(E, ≺, Δ)`, `(∇, ≺, E)` (§2.3).
+pub fn is_virtual_gen(f: &Fact) -> bool {
+    f.r == special::GEN && (f.s == f.t || f.t == special::TOP || f.s == special::BOT)
+}
+
+/// The chain length (in base facts) a relationship entity represents:
+/// 1 for plain relationships, `ops + 1` for composed paths.
+pub fn chain_len(interner: &Interner, rel: EntityId) -> usize {
+    interner.resolve(rel).composition_ops().map_or(1, |ops| ops + 1)
+}
+
+/// True if facts with this relationship participate in composition.
+fn composable_rel(r: EntityId) -> bool {
+    !special::is_special(r) || r == special::GEN || r == special::ISA
+}
+
+/// Builds (interning if necessary) the composed relationship
+/// `r1 · mid · r2`, flattening already-composed operands.
+pub fn compose_rels(
+    interner: &mut Interner,
+    r1: EntityId,
+    mid: EntityId,
+    r2: EntityId,
+) -> EntityId {
+    let mut parts: Vec<EntityId> = Vec::new();
+    match interner.resolve(r1).as_path() {
+        Some(p) => parts.extend_from_slice(p),
+        None => parts.push(r1),
+    }
+    parts.push(mid);
+    match interner.resolve(r2).as_path() {
+        Some(p) => parts.extend_from_slice(p),
+        None => parts.push(r2),
+    }
+    interner.intern(EntityValue::Path(parts.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+
+    struct World {
+        store: FactStore,
+        kinds: KindRegistry,
+        rules: RuleSet,
+        config: InferenceConfig,
+    }
+
+    impl World {
+        fn new() -> Self {
+            World {
+                store: FactStore::new(),
+                kinds: KindRegistry::new(),
+                rules: RuleSet::new(),
+                config: InferenceConfig::default(),
+            }
+        }
+
+        fn closure(&mut self) -> Closure {
+            compute(&mut self.store, &self.kinds, &self.rules, &self.config, Strategy::SemiNaive)
+                .expect("closure")
+        }
+
+        fn closure_naive(&mut self) -> Closure {
+            compute(&mut self.store, &self.kinds, &self.rules, &self.config, Strategy::Naive)
+                .expect("closure")
+        }
+
+        fn has(&mut self, c: &Closure, s: &str, r: &str, t: &str) -> bool {
+            let f = Fact::new(
+                self.store.entity(s),
+                self.store.entity(r),
+                self.store.entity(t),
+            );
+            c.contains(&f)
+        }
+    }
+
+    #[test]
+    fn gen_source_paper_example() {
+        // (EMPLOYEE, WORKS-FOR, DEPARTMENT) ∧ (MANAGER, ≺, EMPLOYEE)
+        // ⇒ (MANAGER, WORKS-FOR, DEPARTMENT)
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        let c = w.closure();
+        assert!(w.has(&c, "MANAGER", "WORKS-FOR", "DEPARTMENT"));
+    }
+
+    #[test]
+    fn gen_target_paper_example() {
+        // (EMPLOYEE, EARNS, SALARY) ∧ (SALARY, ≺, COMPENSATION)
+        // ⇒ (EMPLOYEE, EARNS, COMPENSATION)
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("SALARY", "gen", "COMPENSATION");
+        let c = w.closure();
+        assert!(w.has(&c, "EMPLOYEE", "EARNS", "COMPENSATION"));
+    }
+
+    #[test]
+    fn gen_rel_paper_example() {
+        // (JOHN, WORKS-FOR, SHIPPING) ∧ (WORKS-FOR, ≺, IS-PAID-BY)
+        // ⇒ (JOHN, IS-PAID-BY, SHIPPING)
+        let mut w = World::new();
+        w.store.add("JOHN", "WORKS-FOR", "SHIPPING");
+        w.store.add("WORKS-FOR", "gen", "IS-PAID-BY");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "IS-PAID-BY", "SHIPPING"));
+    }
+
+    #[test]
+    fn gen_transitivity_falls_out_of_g1() {
+        let mut w = World::new();
+        w.store.add("FRESHMAN", "gen", "STUDENT");
+        w.store.add("STUDENT", "gen", "PERSON");
+        w.store.add("PERSON", "gen", "ANIMATE");
+        let c = w.closure();
+        assert!(w.has(&c, "FRESHMAN", "gen", "PERSON"));
+        assert!(w.has(&c, "FRESHMAN", "gen", "ANIMATE"));
+        assert!(w.has(&c, "STUDENT", "gen", "ANIMATE"));
+    }
+
+    #[test]
+    fn membership_paper_examples() {
+        // (JOHN, ∈, EMPLOYEE) ∧ (EMPLOYEE, WORKS-FOR, DEPARTMENT)
+        // ⇒ (JOHN, WORKS-FOR, DEPARTMENT)
+        let mut w = World::new();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+        // (TOM, WORKS-FOR, SHIPPING) ∧ (SHIPPING, ∈, DEPARTMENT)
+        // ⇒ (TOM, WORKS-FOR, DEPARTMENT)
+        w.store.add("TOM", "WORKS-FOR", "SHIPPING");
+        w.store.add("SHIPPING", "isa", "DEPARTMENT");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "WORKS-FOR", "DEPARTMENT"));
+        assert!(w.has(&c, "TOM", "WORKS-FOR", "DEPARTMENT"));
+    }
+
+    #[test]
+    fn membership_upward_closure() {
+        // (JOHN, ∈, EMPLOYEE) ∧ (EMPLOYEE, ≺, PERSON) ⇒ (JOHN, ∈, PERSON)
+        let mut w = World::new();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("EMPLOYEE", "gen", "PERSON");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "isa", "PERSON"));
+        // But NOT (JOHN, ≺, PERSON): instances are not subclasses.
+        assert!(!w.has(&c, "JOHN", "gen", "PERSON"));
+    }
+
+    #[test]
+    fn class_relationships_do_not_flow() {
+        // (EMPLOYEE, TOTAL-NUMBER, 180) is a class relationship; it must
+        // not apply to John even though John is an employee (§2.2).
+        let mut w = World::new();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        let total = w.store.entity("TOTAL-NUMBER");
+        w.kinds.declare_class(total);
+        w.store.add("EMPLOYEE", "TOTAL-NUMBER", "180-COUNT");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        let c = w.closure();
+        assert!(!w.has(&c, "JOHN", "TOTAL-NUMBER", "180-COUNT"));
+        assert!(!w.has(&c, "MANAGER", "TOTAL-NUMBER", "180-COUNT"));
+    }
+
+    #[test]
+    fn synonym_substitution_paper_example() {
+        // (JOHN, EARNS, 25000) ∧ (JOHN, ≈, JOHNNY) ⇒ (JOHNNY, EARNS, 25000)
+        let mut w = World::new();
+        w.store.add("JOHN", "EARNS", "25000-DOLLARS");
+        w.store.add("JOHN", "syn", "JOHNNY");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHNNY", "EARNS", "25000-DOLLARS"));
+        // Symmetry and the defining mutual generalization.
+        assert!(w.has(&c, "JOHNNY", "syn", "JOHN"));
+        assert!(w.has(&c, "JOHN", "gen", "JOHNNY"));
+        assert!(w.has(&c, "JOHNNY", "gen", "JOHN"));
+    }
+
+    #[test]
+    fn synonym_transitivity_via_generalization() {
+        // (SALARY, ≈, WAGE) ∧ (SALARY, ≈, PAY) ⇒ (WAGE, ≈, PAY) (§3.3).
+        let mut w = World::new();
+        w.store.add("SALARY", "syn", "WAGE");
+        w.store.add("SALARY", "syn", "PAY");
+        let c = w.closure();
+        assert!(w.has(&c, "WAGE", "syn", "PAY"));
+        assert!(w.has(&c, "PAY", "syn", "WAGE"));
+    }
+
+    #[test]
+    fn synonym_in_relationship_position() {
+        let mut w = World::new();
+        w.store.add("JOHN", "SALARY", "PILE-25000");
+        w.store.add("SALARY", "syn", "WAGE");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "WAGE", "PILE-25000"));
+    }
+
+    #[test]
+    fn mutual_generalization_defines_synonyms() {
+        let mut w = World::new();
+        w.store.add("CAR", "gen", "AUTOMOBILE");
+        w.store.add("AUTOMOBILE", "gen", "CAR");
+        let c = w.closure();
+        assert!(w.has(&c, "CAR", "syn", "AUTOMOBILE"));
+    }
+
+    #[test]
+    fn inversion_paper_example() {
+        // (INSTRUCTOR, TEACHES, COURSE) ∧ (TEACHES, ⁺, TAUGHT-BY)
+        // ⇒ (COURSE, TAUGHT-BY, INSTRUCTOR)
+        let mut w = World::new();
+        w.store.add("INSTRUCTOR", "TEACHES", "COURSE");
+        w.store.add("TEACHES", "inv", "TAUGHT-BY");
+        let c = w.closure();
+        assert!(w.has(&c, "COURSE", "TAUGHT-BY", "INSTRUCTOR"));
+        // Inverses come in pairs: (TAUGHT-BY, ⁺, TEACHES) is inferred.
+        assert!(w.has(&c, "TAUGHT-BY", "inv", "TEACHES"));
+        // And flows back: a TAUGHT-BY fact yields a TEACHES fact.
+    }
+
+    #[test]
+    fn inversion_flows_both_directions() {
+        let mut w = World::new();
+        w.store.add("TEACHES", "inv", "TAUGHT-BY");
+        w.store.add("CS100", "TAUGHT-BY", "HARRY");
+        let c = w.closure();
+        assert!(w.has(&c, "HARRY", "TEACHES", "CS100"));
+    }
+
+    #[test]
+    fn inversion_skips_existential_target_lifts() {
+        // (CRS, TAUGHT-BY, INST) ∧ (INST, ∈, INSTRUCTOR) lifts to
+        // (CRS, TAUGHT-BY, INSTRUCTOR) — "taught by SOME instructor".
+        // Inverting that lift would claim every instructor teaches CRS.
+        let mut w = World::new();
+        w.store.add("TAUGHT-BY", "inv", "TEACHES");
+        w.store.add("CRS", "TAUGHT-BY", "INST");
+        w.store.add("INST", "isa", "INSTRUCTOR");
+        w.store.add("OTHER-INST", "isa", "INSTRUCTOR");
+        let c = w.closure();
+        // The honest inversion exists…
+        assert!(w.has(&c, "INST", "TEACHES", "CRS"));
+        // …and the lift itself exists…
+        assert!(w.has(&c, "CRS", "TAUGHT-BY", "INSTRUCTOR"));
+        // …but the lift is not inverted, so OTHER-INST does not teach CRS.
+        assert!(!w.has(&c, "INSTRUCTOR", "TEACHES", "CRS"));
+        assert!(!w.has(&c, "OTHER-INST", "TEACHES", "CRS"));
+    }
+
+    #[test]
+    fn composition_paper_example() {
+        // (TOM, ENROLLED-IN, CS100) ∧ (CS100, TAUGHT-BY, HARRY)
+        // ⇒ (TOM, ENROLLED-IN·CS100·TAUGHT-BY, HARRY)
+        let mut w = World::new();
+        w.config.limit(2);
+        w.store.add("TOM", "ENROLLED-IN", "CS100");
+        w.store.add("CS100", "TAUGHT-BY", "HARRY");
+        let c = w.closure();
+        let tom = w.store.lookup_symbol("TOM").unwrap();
+        let harry = w.store.lookup_symbol("HARRY").unwrap();
+        let composed: Vec<Fact> = c
+            .matching(Pattern::new(Some(tom), None, Some(harry)))
+            .collect();
+        assert_eq!(composed.len(), 1);
+        assert_eq!(
+            w.store.display(composed[0].r),
+            "ENROLLED-IN.CS100.TAUGHT-BY"
+        );
+        assert_eq!(c.stats().composition_facts, 1);
+    }
+
+    #[test]
+    fn composition_cycle_guard() {
+        // (JOHN, LOVES, MARY) ∧ (MARY, LOVES, JOHN): composing would give
+        // source = target, which §3.7 forbids.
+        let mut w = World::new();
+        w.config.limit(4);
+        w.store.add("JOHN", "LOVES", "MARY");
+        w.store.add("MARY", "LOVES", "JOHN");
+        let c = w.closure();
+        assert_eq!(c.stats().composition_facts, 0);
+    }
+
+    #[test]
+    fn composition_limit_bounds_chain_length() {
+        let mut w = World::new();
+        w.store.add("A", "R1", "B");
+        w.store.add("B", "R2", "C");
+        w.store.add("C", "R3", "D");
+        w.config.limit(2);
+        let c2 = w.closure();
+        // Chains of 2: A→C, B→D. Chains of 3 (A→D) are out.
+        assert_eq!(c2.stats().composition_facts, 2);
+        w.config.limit(3);
+        let c3 = w.closure();
+        // Now also A→D, but only via one of the two association orders
+        // (the path entity is the same either way).
+        assert_eq!(c3.stats().composition_facts, 3);
+        let a = w.store.lookup_symbol("A").unwrap();
+        let d = w.store.lookup_symbol("D").unwrap();
+        let ad: Vec<Fact> = c3.matching(Pattern::new(Some(a), None, Some(d))).collect();
+        assert_eq!(ad.len(), 1);
+        assert_eq!(w.store.display(ad[0].r), "R1.B.R2.C.R3");
+    }
+
+    #[test]
+    fn unbounded_composition_rejected() {
+        let mut w = World::new();
+        w.config.composition_limit = usize::MAX;
+        w.store.add("A", "R", "B");
+        let err = compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive)
+            .unwrap_err();
+        assert_eq!(err, ClosureError::UnboundedComposition);
+    }
+
+    #[test]
+    fn user_rule_paper_section_2_4() {
+        // (x, ∈, EMPLOYEE) ⇒ (x, EARN, SALARY)
+        let mut w = World::new();
+        let isa = special::ISA;
+        let employee = w.store.entity("EMPLOYEE");
+        let earn = w.store.entity("EARN");
+        let salary = w.store.entity("SALARY");
+        let mut b = Rule::builder("employees-earn");
+        let x = b.var("x");
+        w.rules.add(b.when(x, isa, employee).then(x, earn, salary).build().unwrap()).unwrap();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("TOM", "isa", "EMPLOYEE");
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "EARN", "SALARY"));
+        assert!(w.has(&c, "TOM", "EARN", "SALARY"));
+    }
+
+    #[test]
+    fn user_rule_with_math_body() {
+        // Well-paid: (x, EARNS, y) ∧ (y, >, 20000) ⇒ (x, isa, WELL-PAID)
+        let mut w = World::new();
+        let earns = w.store.entity("EARNS");
+        let well_paid = w.store.entity("WELL-PAID");
+        let n20000 = w.store.entity(20000i64);
+        let mut b = Rule::builder("well-paid");
+        let x = b.var("x");
+        let y = b.var("y");
+        w.rules
+            .add(
+                b.when(x, earns, y)
+                    .when(y, special::GT, n20000)
+                    .then(x, special::ISA, well_paid)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        w.store.add("JOHN", "EARNS", 25000i64);
+        w.store.add("MARY", "EARNS", 15000i64);
+        let c = w.closure();
+        assert!(w.has(&c, "JOHN", "isa", "WELL-PAID"));
+        assert!(!w.has(&c, "MARY", "isa", "WELL-PAID"));
+    }
+
+    #[test]
+    fn integrity_rule_detects_math_violation() {
+        // (x, ∈, AGE) ⇒ (x, >, 0): ages must be positive (§2.5).
+        let mut w = World::new();
+        let age = w.store.entity("AGE");
+        let zero = w.store.entity(0i64);
+        let mut b = Rule::builder("age-positive");
+        let x = b.var("x");
+        w.rules
+            .add(
+                b.constraint()
+                    .when(x, special::ISA, age)
+                    .then(x, special::GT, zero)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        w.store.add(30i64, "isa", "AGE");
+        let c = w.closure();
+        assert!(c.is_consistent());
+
+        w.store.add(-5i64, "isa", "AGE");
+        let c = w.closure();
+        assert!(!c.is_consistent());
+        assert!(matches!(
+            &c.violations()[0],
+            Violation::MathFalse { source: Some(name), .. } if name == "age-positive"
+        ));
+    }
+
+    #[test]
+    fn integrity_rule_detects_undefined_math() {
+        let mut w = World::new();
+        let age = w.store.entity("AGE");
+        let zero = w.store.entity(0i64);
+        let mut b = Rule::builder("age-positive");
+        let x = b.var("x");
+        w.rules
+            .add(
+                b.constraint()
+                    .when(x, special::ISA, age)
+                    .then(x, special::GT, zero)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        w.store.add("BOGUS", "isa", "AGE");
+        let c = w.closure();
+        assert!(matches!(&c.violations()[0], Violation::MathUndefined { .. }));
+    }
+
+    #[test]
+    fn contradiction_facts_paper_example() {
+        // (LOVES, ⊥, HATES): loving and hating the same entity conflict.
+        let mut w = World::new();
+        w.store.add("LOVES", "contra", "HATES");
+        w.store.add("JOHN", "LOVES", "MARY");
+        let c = w.closure();
+        assert!(c.is_consistent());
+
+        w.store.add("JOHN", "HATES", "MARY");
+        let c = w.closure();
+        assert_eq!(c.violations().len(), 1);
+        assert!(matches!(&c.violations()[0], Violation::Contradiction { .. }));
+    }
+
+    #[test]
+    fn stored_false_math_fact_is_a_violation() {
+        let mut w = World::new();
+        let n3 = w.store.entity(3i64);
+        let n5 = w.store.entity(5i64);
+        w.store.insert(Fact::new(n5, special::LT, n3));
+        let c = w.closure();
+        assert!(matches!(&c.violations()[0], Violation::MathFalse { source: None, .. }));
+    }
+
+    #[test]
+    fn true_math_heads_are_not_materialized() {
+        let mut w = World::new();
+        let earns = w.store.entity("EARNS");
+        let mut b = Rule::builder("tautology");
+        let x = b.var("x");
+        let y = b.var("y");
+        w.rules
+            .add(b.when(x, earns, y).then(y, special::GE, y).build().unwrap())
+            .unwrap();
+        w.store.add("JOHN", "EARNS", 25000i64);
+        let c = w.closure();
+        assert!(c.is_consistent());
+        let n = w.store.entity(25000i64);
+        assert!(!c.contains(&Fact::new(n, special::GE, n)));
+    }
+
+    #[test]
+    fn virtual_gen_facts_not_materialized() {
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "gen", "PERSON");
+        let c = w.closure();
+        let employee = w.store.lookup_symbol("EMPLOYEE").unwrap();
+        assert!(!c.contains(&Fact::new(employee, special::GEN, employee)));
+        assert!(!c.contains(&Fact::new(employee, special::GEN, special::TOP)));
+        assert!(!c.contains(&Fact::new(special::BOT, special::GEN, employee)));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let mut w = World::new();
+        w.config.limit(3);
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("EMPLOYEE", "gen", "PERSON");
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("SALARY", "gen", "COMPENSATION");
+        w.store.add("JOHN", "syn", "JOHNNY");
+        w.store.add("EARNS", "inv", "EARNED-BY");
+        w.store.add("JOHN", "WORKS-FOR", "SHIPPING");
+        w.store.add("SHIPPING", "PART-OF", "ACME");
+        let semi = w.closure();
+        let naive = w.closure_naive();
+        let semi_facts: std::collections::BTreeSet<Fact> = semi.iter().collect();
+        let naive_facts: std::collections::BTreeSet<Fact> = naive.iter().collect();
+        assert_eq!(semi_facts, naive_facts);
+        assert!(naive.stats().duplicate_derivations >= semi.stats().duplicate_derivations);
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        // Computing the closure of a closure adds nothing.
+        let mut w = World::new();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("EMPLOYEE", "gen", "PERSON");
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        let first = w.closure();
+        let first_facts: std::collections::BTreeSet<Fact> = first.iter().collect();
+        // Replace the store's facts with the closure's facts.
+        w.store.clear();
+        for f in &first_facts {
+            w.store.insert(*f);
+        }
+        let second = w.closure();
+        let second_facts: std::collections::BTreeSet<Fact> = second.iter().collect();
+        assert_eq!(first_facts, second_facts);
+        assert_eq!(second.stats().derived_facts, 0);
+    }
+
+    #[test]
+    fn provenance_recorded_for_derived_facts() {
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        let c = w.closure();
+        let manager = w.store.lookup_symbol("MANAGER").unwrap();
+        let earns = w.store.lookup_symbol("EARNS").unwrap();
+        let salary = w.store.lookup_symbol("SALARY").unwrap();
+        let derived = Fact::new(manager, earns, salary);
+        match c.provenance(&derived) {
+            Some(Provenance::Builtin { rule: Builtin::GenSource, from }) => {
+                assert_eq!(from.len(), 2);
+            }
+            other => panic!("unexpected provenance {other:?}"),
+        }
+        // Base facts have no provenance.
+        let employee = w.store.lookup_symbol("EMPLOYEE").unwrap();
+        assert!(c.provenance(&Fact::new(employee, earns, salary)).is_none());
+    }
+
+    #[test]
+    fn too_large_closure_aborts() {
+        let mut w = World::new();
+        w.config.max_closure_facts = 10;
+        // A 12-member synonym clique explodes past 10 facts.
+        for i in 0..12 {
+            w.store.add("HUB", "syn", format!("ALIAS-{i}"));
+        }
+        let err = compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive)
+            .unwrap_err();
+        assert_eq!(err, ClosureError::TooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn parallel_and_sequential_rounds_agree() {
+        // A delta large enough to trigger the parallel path must produce
+        // exactly the same closure as the sequential path.
+        let build = |threshold: usize| {
+            let mut w = World::new();
+            w.config.parallel_threshold = threshold;
+            for i in 0..300 {
+                w.store.add(format!("P{i}"), "isa", format!("CLASS-{}", i % 10));
+                w.store.add(format!("CLASS-{}", i % 10), "HAS", format!("TRAIT-{}", i % 7));
+            }
+            for i in 0..10 {
+                w.store.add(format!("CLASS-{i}"), "gen", "THING");
+            }
+            w.store.add("HAS", "inv", "HAD-BY");
+            let c = w.closure();
+            c.iter().collect::<std::collections::BTreeSet<Fact>>()
+        };
+        let parallel = build(1); // everything parallel
+        let sequential = build(usize::MAX); // everything sequential
+        assert_eq!(parallel, sequential);
+        assert!(parallel.len() > 600);
+    }
+
+    #[test]
+    fn extend_matches_full_recompute() {
+        // Build incrementally vs all at once: identical closures,
+        // violations and exactness.
+        let facts: [(&str, &str, &str); 8] = [
+            ("JOHN", "isa", "EMPLOYEE"),
+            ("EMPLOYEE", "gen", "PERSON"),
+            ("EMPLOYEE", "EARNS", "SALARY"),
+            ("SALARY", "gen", "COMPENSATION"),
+            ("EARNS", "inv", "EARNED-BY"),
+            ("JOHN", "syn", "JOHNNY"),
+            ("LOVES", "contra", "HATES"),
+            ("JOHN", "LOVES", "FELIX"),
+        ];
+        let kinds = KindRegistry::new();
+        let rules = RuleSet::new();
+        let config = InferenceConfig::default();
+
+        // Incremental: start empty, extend fact by fact.
+        let mut store_inc = FactStore::new();
+        let mut inc =
+            compute(&mut store_inc, &kinds, &rules, &config, Strategy::SemiNaive).unwrap();
+        for (s, r, t) in facts {
+            let f = store_inc.add(s, r, t);
+            super::extend(&mut inc, &mut store_inc, &kinds, &rules, &config, &[f]).unwrap();
+        }
+
+        // Full recompute.
+        let mut store_full = FactStore::new();
+        for (s, r, t) in facts {
+            store_full.add(s, r, t);
+        }
+        let full =
+            compute(&mut store_full, &kinds, &rules, &config, Strategy::SemiNaive).unwrap();
+
+        let inc_facts: std::collections::BTreeSet<String> =
+            inc.iter().map(|f| store_inc.display_fact(&f)).collect();
+        let full_facts: std::collections::BTreeSet<String> =
+            full.iter().map(|f| store_full.display_fact(&f)).collect();
+        assert_eq!(inc_facts, full_facts);
+        assert_eq!(inc.violations().len(), full.violations().len());
+        // Exactness agrees too.
+        for f in inc.iter() {
+            let mirrored = Fact::new(
+                store_full.lookup_symbol(&store_inc.display(f.s)).map(|x| x).unwrap_or(f.s),
+                store_full.lookup_symbol(&store_inc.display(f.r)).unwrap_or(f.r),
+                store_full.lookup_symbol(&store_inc.display(f.t)).unwrap_or(f.t),
+            );
+            // Ids coincide here because insertion order matches.
+            assert_eq!(inc.is_exact(&f), full.is_exact(&mirrored));
+        }
+    }
+
+    #[test]
+    fn extend_detects_new_contradiction() {
+        let mut w = World::new();
+        w.store.add("LOVES", "contra", "HATES");
+        w.store.add("JOHN", "LOVES", "MARY");
+        let mut c = w.closure();
+        assert!(c.is_consistent());
+        let f = w.store.add("JOHN", "HATES", "MARY");
+        super::extend(&mut c, &mut w.store, &w.kinds, &w.rules, &w.config, &[f]).unwrap();
+        assert_eq!(c.violations().len(), 1);
+        // Extending again with an unrelated fact does not duplicate the
+        // violation.
+        let g = w.store.add("TOM", "LIKES", "SUE");
+        super::extend(&mut c, &mut w.store, &w.kinds, &w.rules, &w.config, &[g]).unwrap();
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn disabled_groups_do_nothing() {
+        let mut w = World::new();
+        w.config = InferenceConfig::none();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("JOHN", "syn", "JOHNNY");
+        w.store.add("EARNS", "inv", "EARNED-BY");
+        let c = w.closure();
+        assert_eq!(c.stats().derived_facts, 0);
+        assert_eq!(c.len(), 5);
+    }
+}

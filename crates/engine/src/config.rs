@@ -1,0 +1,244 @@
+//! Inference configuration: the `include`/`exclude`/`limit` operators of
+//! §6.1 applied to the standard rule groups of §3.
+//!
+//! The paper makes the inference system dynamically editable: "This allows
+//! us to turn inference rules off and on, at will. For example, if
+//! inference by composition is undesirable because it is too powerful (and
+//! expensive) it may be switched on ... before a particular retrieval, and
+//! switched off afterwards."
+
+use std::fmt;
+
+/// The standard inference-rule groups of §3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleGroup {
+    /// Inference by generalization, rules G1–G3 (§3.1).
+    Generalization,
+    /// Inference by membership, rules M1–M2 and upward closure (§3.2).
+    Membership,
+    /// Synonym facts and substitution (§3.3).
+    Synonym,
+    /// Inversion facts (§3.4).
+    Inversion,
+    /// Inference by composition (§3.7); bounded by the composition limit.
+    Composition,
+    /// User-defined rules (inference and integrity, §2.4–2.5).
+    UserRules,
+}
+
+impl RuleGroup {
+    /// All groups.
+    pub const ALL: [RuleGroup; 6] = [
+        RuleGroup::Generalization,
+        RuleGroup::Membership,
+        RuleGroup::Synonym,
+        RuleGroup::Inversion,
+        RuleGroup::Composition,
+        RuleGroup::UserRules,
+    ];
+
+    /// The group's operator name (`include("membership")`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleGroup::Generalization => "generalization",
+            RuleGroup::Membership => "membership",
+            RuleGroup::Synonym => "synonym",
+            RuleGroup::Inversion => "inversion",
+            RuleGroup::Composition => "composition",
+            RuleGroup::UserRules => "user-rules",
+        }
+    }
+
+    /// Parses a group name.
+    pub fn from_name(name: &str) -> Option<RuleGroup> {
+        RuleGroup::ALL.into_iter().find(|g| g.name() == name)
+    }
+}
+
+impl fmt::Display for RuleGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Toggles and limits for the inference system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InferenceConfig {
+    /// Inference by generalization (G1–G3) enabled.
+    pub generalization: bool,
+    /// Inference by membership (M1–M2, upward closure) enabled.
+    pub membership: bool,
+    /// Synonym inference enabled.
+    pub synonym: bool,
+    /// Inversion inference enabled.
+    pub inversion: bool,
+    /// User rules applied during closure.
+    pub user_rules: bool,
+    /// Maximum composition chain length, counted in *base facts* — the
+    /// paper's `limit(n)` (§6.1): `1` disables composition, `2` allows
+    /// single compositions whose results cannot compose further, etc.
+    pub composition_limit: usize,
+    /// Delta size at or above which the structural rule groups of one
+    /// fixpoint round are applied on all cores (chunks merged in order,
+    /// so the result is byte-identical to the sequential path). Set to
+    /// `usize::MAX` to force sequential execution (the experiment E13
+    /// ablation baseline).
+    pub parallel_threshold: usize,
+    /// Safety valve: closure computation aborts with an error once this
+    /// many facts have been derived. The paper notes composition "may have
+    /// serious effect on the cost of query processing"; this bound turns a
+    /// runaway closure into a reportable error.
+    pub max_closure_facts: usize,
+}
+
+impl Default for InferenceConfig {
+    /// Everything on except composition (`limit(1)`), matching the paper's
+    /// advice that composition is switched on only around particular
+    /// retrievals.
+    fn default() -> Self {
+        InferenceConfig {
+            generalization: true,
+            membership: true,
+            synonym: true,
+            inversion: true,
+            user_rules: true,
+            composition_limit: 1,
+            parallel_threshold: 8192,
+            max_closure_facts: 10_000_000,
+        }
+    }
+}
+
+impl InferenceConfig {
+    /// A configuration with every group disabled (raw facts only).
+    pub fn none() -> Self {
+        InferenceConfig {
+            generalization: false,
+            membership: false,
+            synonym: false,
+            inversion: false,
+            user_rules: false,
+            composition_limit: 1,
+            parallel_threshold: 8192,
+            max_closure_facts: 10_000_000,
+        }
+    }
+
+    /// Enables a rule group (`include`, §6.1). Enabling
+    /// [`RuleGroup::Composition`] with a limit still at 1 raises it to 2.
+    pub fn include(&mut self, group: RuleGroup) -> &mut Self {
+        match group {
+            RuleGroup::Generalization => self.generalization = true,
+            RuleGroup::Membership => self.membership = true,
+            RuleGroup::Synonym => self.synonym = true,
+            RuleGroup::Inversion => self.inversion = true,
+            RuleGroup::UserRules => self.user_rules = true,
+            RuleGroup::Composition => {
+                if self.composition_limit <= 1 {
+                    self.composition_limit = 2;
+                }
+            }
+        }
+        self
+    }
+
+    /// Disables a rule group (`exclude`, §6.1).
+    pub fn exclude(&mut self, group: RuleGroup) -> &mut Self {
+        match group {
+            RuleGroup::Generalization => self.generalization = false,
+            RuleGroup::Membership => self.membership = false,
+            RuleGroup::Synonym => self.synonym = false,
+            RuleGroup::Inversion => self.inversion = false,
+            RuleGroup::UserRules => self.user_rules = false,
+            RuleGroup::Composition => self.composition_limit = 1,
+        }
+        self
+    }
+
+    /// True if the group is enabled.
+    pub fn is_enabled(&self, group: RuleGroup) -> bool {
+        match group {
+            RuleGroup::Generalization => self.generalization,
+            RuleGroup::Membership => self.membership,
+            RuleGroup::Synonym => self.synonym,
+            RuleGroup::Inversion => self.inversion,
+            RuleGroup::UserRules => self.user_rules,
+            RuleGroup::Composition => self.composition_limit > 1,
+        }
+    }
+
+    /// Sets the composition chain-length limit (`limit(n)`, §6.1).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`; a chain always contains at least the base fact.
+    pub fn limit(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "limit(n) requires n >= 1 (1 disables composition)");
+        self.composition_limit = n;
+        self
+    }
+
+    /// True if composition is active.
+    pub fn composition_enabled(&self) -> bool {
+        self.composition_limit > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_advice() {
+        let c = InferenceConfig::default();
+        assert!(c.generalization && c.membership && c.synonym && c.inversion && c.user_rules);
+        assert!(!c.composition_enabled());
+    }
+
+    #[test]
+    fn include_exclude_roundtrip() {
+        let mut c = InferenceConfig::none();
+        for g in RuleGroup::ALL {
+            assert!(!c.is_enabled(g), "{g} starts disabled");
+            c.include(g);
+            assert!(c.is_enabled(g), "{g} enabled");
+            c.exclude(g);
+            assert!(!c.is_enabled(g), "{g} disabled again");
+        }
+    }
+
+    #[test]
+    fn limit_semantics() {
+        let mut c = InferenceConfig::default();
+        c.limit(1);
+        assert!(!c.composition_enabled());
+        c.limit(3);
+        assert!(c.composition_enabled());
+        assert_eq!(c.composition_limit, 3);
+        c.exclude(RuleGroup::Composition);
+        assert_eq!(c.composition_limit, 1);
+    }
+
+    #[test]
+    fn include_composition_raises_limit() {
+        let mut c = InferenceConfig::none();
+        c.include(RuleGroup::Composition);
+        assert_eq!(c.composition_limit, 2);
+        c.limit(5);
+        c.include(RuleGroup::Composition); // keeps an explicit higher limit
+        assert_eq!(c.composition_limit, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn limit_zero_rejected() {
+        InferenceConfig::default().limit(0);
+    }
+
+    #[test]
+    fn group_names_roundtrip() {
+        for g in RuleGroup::ALL {
+            assert_eq!(RuleGroup::from_name(g.name()), Some(g));
+        }
+        assert_eq!(RuleGroup::from_name("nonsense"), None);
+    }
+}

@@ -1,0 +1,779 @@
+//! The loosely structured database: facts + rules + cached closure (§2.6).
+//!
+//! [`Database`] ties the layers together: the schema-free [`FactStore`],
+//! the relationship-kind registry (§2.2), user rules (§2.4–2.5), the
+//! built-in rule configuration (§3, §6.1), and a cached materialized
+//! closure that is recomputed lazily whenever facts, rules, kinds or
+//! configuration change.
+//!
+//! Two update disciplines are offered, reflecting the paper's permissive
+//! stance (§2.6 allows inconsistent raw facts; §2.5 demands the closure be
+//! contradiction-free for the database to be *valid*):
+//!
+//! * [`Database::add`] / [`Database::remove`] — unchecked, always succeed;
+//!   validity can be inspected later via [`Database::validate`].
+//! * [`Database::try_add`] — transactional: the fact is inserted only if
+//!   it introduces no *new* integrity violation, otherwise it is rolled
+//!   back and the offending violations are returned.
+
+use loosedb_store::{log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore, LogOp};
+
+use crate::closure::{self, Closure, ClosureError, Provenance, Strategy, Violation};
+use crate::config::{InferenceConfig, RuleGroup};
+use crate::kind::KindRegistry;
+use crate::rule::{Rule, RuleError, RuleSet};
+use crate::view::ClosureView;
+
+/// Errors from transactional updates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransactionError {
+    /// The update would introduce these integrity violations; it was
+    /// rolled back.
+    Integrity(Vec<Violation>),
+    /// Closure computation failed (e.g. configured bounds exceeded).
+    Closure(ClosureError),
+}
+
+impl std::fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransactionError::Integrity(v) => {
+                write!(f, "update rejected: {} new integrity violation(s)", v.len())
+            }
+            TransactionError::Closure(e) => write!(f, "closure computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+impl From<ClosureError> for TransactionError {
+    fn from(e: ClosureError) -> Self {
+        TransactionError::Closure(e)
+    }
+}
+
+struct Cached {
+    closure: Closure,
+    store_epoch: u64,
+    rules_epoch: u64,
+    kinds_epoch: u64,
+    config: InferenceConfig,
+    strategy: Strategy,
+}
+
+/// A loosely structured database (§2.6): a set of facts and a set of
+/// rules whose closure must be free of contradictions.
+pub struct Database {
+    store: FactStore,
+    kinds: KindRegistry,
+    rules: RuleSet,
+    config: InferenceConfig,
+    strategy: Strategy,
+    cache: Option<Cached>,
+    wal: Option<FactLog>,
+}
+
+impl Database {
+    /// Creates an empty database with the default inference configuration.
+    pub fn new() -> Self {
+        Database::from_store(FactStore::new())
+    }
+
+    /// Wraps an existing fact store.
+    pub fn from_store(store: FactStore) -> Self {
+        Database {
+            store,
+            kinds: KindRegistry::new(),
+            rules: RuleSet::new(),
+            config: InferenceConfig::default(),
+            strategy: Strategy::SemiNaive,
+            cache: None,
+            wal: None,
+        }
+    }
+
+    /// Restores a database from a snapshot checkpoint plus an operation
+    /// log tail (the recovery pattern for the paper's "dynamic set of
+    /// facts", §6.1). Either path may name a missing file, in which case
+    /// that half is skipped.
+    pub fn recover(
+        snapshot_path: impl AsRef<std::path::Path>,
+        log_path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let mut store = if snapshot_path.as_ref().exists() {
+            snapshot::load(snapshot_path)?
+        } else {
+            FactStore::new()
+        };
+        if log_path.as_ref().exists() {
+            factlog::replay_file(log_path, &mut store)?;
+        }
+        Ok(Database::from_store(store))
+    }
+
+    /// Loads a database from a store snapshot (facts and entities only;
+    /// rules, kinds and configuration are code-level and not persisted).
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Database::from_store(snapshot::load(path)?))
+    }
+
+    /// Saves the base facts to a store snapshot.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        snapshot::save(&self.store, path)
+    }
+
+    /// Saves the *complete* database — facts, rules, kinds and
+    /// configuration (see [`crate::persist`]).
+    pub fn save_full(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::persist::save(self, path)
+    }
+
+    /// Loads a complete database saved by [`Database::save_full`].
+    pub fn load_full(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        crate::persist::load(path)
+    }
+
+    // ------------------------------------------------------------------
+    // Entities and base facts
+    // ------------------------------------------------------------------
+
+    /// Interns an entity value.
+    pub fn entity(&mut self, value: impl Into<EntityValue>) -> EntityId {
+        self.store.entity(value)
+    }
+
+    /// Looks up an entity without interning.
+    pub fn lookup(&self, value: &EntityValue) -> Option<EntityId> {
+        self.store.lookup(value)
+    }
+
+    /// Looks up a symbol by name without interning.
+    pub fn lookup_symbol(&self, name: &str) -> Option<EntityId> {
+        self.store.lookup_symbol(name)
+    }
+
+    /// Renders an entity for display.
+    pub fn display(&self, id: EntityId) -> String {
+        self.store.display(id)
+    }
+
+    /// Renders a fact for display.
+    pub fn display_fact(&self, f: &Fact) -> String {
+        self.store.display_fact(f)
+    }
+
+    /// Adds a fact described by three values (unchecked; §2.6 permits
+    /// anything, including inconsistencies).
+    pub fn add(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Fact {
+        let fact = self.store.add(s, r, t);
+        self.log_op(&fact, true);
+        fact
+    }
+
+    /// Inserts a fact by id (unchecked).
+    pub fn insert(&mut self, f: Fact) -> bool {
+        let fresh = self.store.insert(f);
+        if fresh {
+            self.log_op(&f, true);
+        }
+        fresh
+    }
+
+    /// Removes a base fact. Removal cannot introduce violations (rules are
+    /// monotone), so it is always unchecked.
+    pub fn remove(&mut self, f: &Fact) -> bool {
+        let removed = self.store.remove(f);
+        if removed {
+            self.log_op(f, false);
+        }
+        removed
+    }
+
+    /// Imports facts from the plain-text format (see
+    /// [`loosedb_store::text`]); returns the number of new facts.
+    /// Imported facts go through [`Database::add`], so they are recorded
+    /// in the write-ahead log when logging is enabled.
+    pub fn import_facts(&mut self, input: &str) -> Result<usize, loosedb_store::TextError> {
+        let before = self.base_len();
+        for (s, r, t) in loosedb_store::text::parse_facts(input)? {
+            self.add(s, r, t);
+        }
+        Ok(self.base_len() - before)
+    }
+
+    /// Exports the base facts in the plain-text format; the second value
+    /// counts skipped path-entity facts (derived, re-derivable).
+    pub fn export_facts(&self) -> (String, usize) {
+        loosedb_store::text::dump_text(&self.store)
+    }
+
+    // ------------------------------------------------------------------
+    // Write-ahead logging
+    // ------------------------------------------------------------------
+
+    /// Starts recording every base-fact insertion and removal into an
+    /// operation log (see [`loosedb_store::log`]). Together with
+    /// [`Database::save`] checkpoints and [`Database::recover`], this is
+    /// the durability story for the paper's dynamic database.
+    ///
+    /// Facts mentioning composed path entities are not logged (they are
+    /// derived data and store-specific; see [`loosedb_store::FactLog`]).
+    pub fn enable_logging(&mut self) {
+        if self.wal.is_none() {
+            self.wal = Some(FactLog::new());
+        }
+    }
+
+    /// Stops logging and returns the log recorded so far, if any.
+    pub fn take_log(&mut self) -> Option<FactLog> {
+        self.wal.take()
+    }
+
+    /// The operation log recorded so far, if logging is enabled.
+    pub fn log(&self) -> Option<&FactLog> {
+        self.wal.as_ref()
+    }
+
+    fn log_op(&mut self, f: &Fact, insert: bool) {
+        let Some(wal) = &mut self.wal else { return };
+        let s = self.store.value(f.s).clone();
+        let r = self.store.value(f.r).clone();
+        let t = self.store.value(f.t).clone();
+        if s.as_path().is_some() || r.as_path().is_some() || t.as_path().is_some() {
+            return; // derived path entities are not logged
+        }
+        wal.append(&if insert { LogOp::Insert(s, r, t) } else { LogOp::Remove(s, r, t) });
+    }
+
+    /// True if `f` is a *base* fact (for closure membership see
+    /// [`Database::view`]).
+    pub fn contains_base(&self, f: &Fact) -> bool {
+        self.store.contains(f)
+    }
+
+    /// Number of base facts.
+    pub fn base_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Mutable access to the interner — used by the query parser to intern
+    /// constants. Interning alone never invalidates the closure cache.
+    pub fn store_interner_mut(&mut self) -> &mut loosedb_store::Interner {
+        self.store.interner_mut()
+    }
+
+    // ------------------------------------------------------------------
+    // Rules, kinds, configuration
+    // ------------------------------------------------------------------
+
+    /// Registers a user rule (inference or constraint).
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), RuleError> {
+        self.rules.add(rule)
+    }
+
+    /// Enables a user rule by name (§6.1 `include(rule)`).
+    pub fn include_rule(&mut self, name: &str) -> bool {
+        self.rules.include(name)
+    }
+
+    /// Disables a user rule by name (§6.1 `exclude(rule)`).
+    pub fn exclude_rule(&mut self, name: &str) -> bool {
+        self.rules.exclude(name)
+    }
+
+    /// Read access to the user rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Declares a relationship to be a class relationship (§2.2).
+    pub fn declare_class(&mut self, rel: EntityId) {
+        self.kinds.declare_class(rel);
+    }
+
+    /// Declares a relationship to be an individual relationship (§2.2).
+    pub fn declare_individual(&mut self, rel: EntityId) {
+        self.kinds.declare_individual(rel);
+    }
+
+    /// Read access to the kind registry.
+    pub fn kinds(&self) -> &KindRegistry {
+        &self.kinds
+    }
+
+    /// Enables a built-in rule group (§6.1 `include`).
+    pub fn include(&mut self, group: RuleGroup) {
+        self.config.include(group);
+    }
+
+    /// Disables a built-in rule group (§6.1 `exclude`).
+    pub fn exclude(&mut self, group: RuleGroup) {
+        self.config.exclude(group);
+    }
+
+    /// Sets the composition chain-length limit (§6.1 `limit(n)`).
+    pub fn limit(&mut self, n: usize) {
+        self.config.limit(n);
+    }
+
+    /// Read access to the inference configuration.
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+
+    /// Mutable access to the inference configuration (changes invalidate
+    /// the closure cache on the next refresh).
+    pub fn config_mut(&mut self) -> &mut InferenceConfig {
+        &mut self.config
+    }
+
+    /// Selects the closure evaluation strategy (semi-naive by default).
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    // ------------------------------------------------------------------
+    // Closure
+    // ------------------------------------------------------------------
+
+    fn cache_is_fresh(&self) -> bool {
+        match &self.cache {
+            Some(c) => {
+                c.store_epoch == self.store.epoch()
+                    && c.rules_epoch == self.rules.epoch()
+                    && c.kinds_epoch == self.kinds.epoch()
+                    && c.config == self.config
+                    && c.strategy == self.strategy
+            }
+            None => false,
+        }
+    }
+
+    /// Recomputes the closure if facts, rules, kinds or configuration
+    /// changed since the last computation.
+    pub fn refresh(&mut self) -> Result<(), ClosureError> {
+        if self.cache_is_fresh() {
+            return Ok(());
+        }
+        let closure = closure::compute(
+            &mut self.store,
+            &self.kinds,
+            &self.rules,
+            &self.config,
+            self.strategy,
+        )?;
+        self.cache = Some(Cached {
+            closure,
+            store_epoch: self.store.epoch(),
+            rules_epoch: self.rules.epoch(),
+            kinds_epoch: self.kinds.epoch(),
+            config: self.config.clone(),
+            strategy: self.strategy,
+        });
+        Ok(())
+    }
+
+    /// The materialized closure (recomputed if stale).
+    pub fn closure(&mut self) -> Result<&Closure, ClosureError> {
+        self.refresh()?;
+        Ok(&self.cache.as_ref().expect("refreshed").closure)
+    }
+
+    /// A retrieval view over the (virtual) closure — what queries and
+    /// browsing evaluate against.
+    pub fn view(&mut self) -> Result<ClosureView<'_>, ClosureError> {
+        self.refresh()?;
+        let cached = self.cache.as_ref().expect("refreshed");
+        Ok(ClosureView::new(&cached.closure, self.store.interner(), &self.kinds))
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity
+    // ------------------------------------------------------------------
+
+    /// The current integrity violations (§2.5: the database is valid iff
+    /// this is empty).
+    pub fn validate(&mut self) -> Result<&[Violation], ClosureError> {
+        self.refresh()?;
+        Ok(self.cache.as_ref().expect("refreshed").closure.violations())
+    }
+
+    /// True if the closure is free of contradictions.
+    pub fn is_consistent(&mut self) -> Result<bool, ClosureError> {
+        Ok(self.validate()?.is_empty())
+    }
+
+    /// Transactionally adds a fact: if the insertion introduces integrity
+    /// violations that were not already present, it is rolled back and the
+    /// new violations are returned.
+    pub fn try_add(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Result<Fact, TransactionError> {
+        let fact = Fact::new(self.entity(s), self.entity(r), self.entity(t));
+        self.try_insert(fact).map(|_| fact)
+    }
+
+    /// Transactional version of [`Database::insert`]; see
+    /// [`Database::try_add`].
+    ///
+    /// Uses incremental closure maintenance (rules are monotone, so a
+    /// fresh closure can be *extended* with the new fact instead of
+    /// recomputed — see [`crate::closure::extend`]); on rejection the
+    /// fact is removed and the now-overextended closure cache dropped.
+    pub fn try_insert(&mut self, fact: Fact) -> Result<bool, TransactionError> {
+        let before: Vec<Violation> = self.validate()?.to_vec();
+        if self.store.contains(&fact) {
+            return Ok(false);
+        }
+
+        // The cache is fresh after validate(); extend it in place.
+        let mut cached = self.cache.take().expect("fresh after validate");
+        self.store.insert(fact);
+        let extended = closure::extend(
+            &mut cached.closure,
+            &mut self.store,
+            &self.kinds,
+            &self.rules,
+            &self.config,
+            &[fact],
+        );
+        match extended {
+            Ok(()) => {
+                let new: Vec<Violation> = cached
+                    .closure
+                    .violations()
+                    .iter()
+                    .filter(|v| !before.contains(v))
+                    .cloned()
+                    .collect();
+                if new.is_empty() {
+                    cached.store_epoch = self.store.epoch();
+                    self.cache = Some(cached);
+                    // Committed: record in the write-ahead log (rejected
+                    // transactions leave no trace).
+                    self.log_op(&fact, true);
+                    Ok(true)
+                } else {
+                    // Rolled back: the extended closure is stale now.
+                    self.store.remove(&fact);
+                    Err(TransactionError::Integrity(new))
+                }
+            }
+            Err(e) => {
+                self.store.remove(&fact);
+                Err(TransactionError::Closure(e))
+            }
+        }
+    }
+
+    /// Adds a fact and incrementally maintains the closure when it is
+    /// fresh (no integrity check — the unchecked twin of
+    /// [`Database::try_add`], still far cheaper than a recompute when the
+    /// closure is warm).
+    pub fn add_incremental(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Result<Fact, ClosureError> {
+        let fact = Fact::new(self.entity(s), self.entity(r), self.entity(t));
+        self.refresh()?;
+        if self.store.contains(&fact) {
+            return Ok(fact);
+        }
+        let mut cached = self.cache.take().expect("fresh after refresh");
+        self.store.insert(fact);
+        closure::extend(
+            &mut cached.closure,
+            &mut self.store,
+            &self.kinds,
+            &self.rules,
+            &self.config,
+            &[fact],
+        )?;
+        cached.store_epoch = self.store.epoch();
+        self.cache = Some(cached);
+        self.log_op(&fact, true);
+        Ok(fact)
+    }
+
+    // ------------------------------------------------------------------
+    // Explanation
+    // ------------------------------------------------------------------
+
+    /// A human-readable derivation of a closure fact: one line per
+    /// derivation step, indented by depth. Returns `None` if the fact is
+    /// not in the materialized closure.
+    pub fn explain(&mut self, fact: &Fact) -> Result<Option<Vec<String>>, ClosureError> {
+        self.refresh()?;
+        let cached = self.cache.as_ref().expect("refreshed");
+        if !cached.closure.contains(fact) {
+            return Ok(None);
+        }
+        let mut lines = Vec::new();
+        explain_rec(&self.store, &cached.closure, fact, 0, &mut lines);
+        Ok(Some(lines))
+    }
+
+    /// Renders a violation for display.
+    pub fn display_violation(&self, v: &Violation) -> String {
+        match v {
+            Violation::Contradiction { fact, conflicting, via } => format!(
+                "contradiction: {} conflicts with {} (via {})",
+                self.display_fact(fact),
+                self.display_fact(conflicting),
+                self.display_fact(via)
+            ),
+            Violation::MathFalse { fact, source } => match source {
+                Some(rule) => format!(
+                    "mathematically false: {} (required by rule {rule:?})",
+                    self.display_fact(fact)
+                ),
+                None => format!("mathematically false: {}", self.display_fact(fact)),
+            },
+            Violation::MathUndefined { fact, source } => match source {
+                Some(rule) => format!(
+                    "comparator applied to non-numbers: {} (required by rule {rule:?})",
+                    self.display_fact(fact)
+                ),
+                None => {
+                    format!("comparator applied to non-numbers: {}", self.display_fact(fact))
+                }
+            },
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn explain_rec(
+    store: &FactStore,
+    closure: &Closure,
+    fact: &Fact,
+    depth: usize,
+    out: &mut Vec<String>,
+) {
+    const MAX_DEPTH: usize = 32;
+    let indent = "  ".repeat(depth);
+    match closure.provenance(fact) {
+        None => out.push(format!("{indent}{} [base fact]", store.display_fact(fact))),
+        Some(prov) => {
+            let (label, from) = match prov {
+                Provenance::Builtin { rule, from } => (format!("{rule:?}"), from),
+                Provenance::User { rule, from } => (format!("rule {rule:?}"), from),
+            };
+            out.push(format!("{indent}{} [by {label}]", store.display_fact(fact)));
+            if depth < MAX_DEPTH {
+                for support in from {
+                    explain_rec(store, closure, support, depth + 1, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::special;
+
+    #[test]
+    fn closure_caching_and_invalidation() {
+        let mut db = Database::new();
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.add("MANAGER", "gen", "EMPLOYEE");
+        let len1 = db.closure().unwrap().len();
+        assert_eq!(len1, 3); // 2 base + 1 derived
+        // Cached: no recomputation observable, same result.
+        assert_eq!(db.closure().unwrap().len(), len1);
+        // Fact change invalidates.
+        db.add("DIRECTOR", "gen", "MANAGER");
+        assert_eq!(db.closure().unwrap().len(), 6);
+        // Config change invalidates.
+        db.exclude(RuleGroup::Generalization);
+        assert_eq!(db.closure().unwrap().len(), 3);
+        // Kind change invalidates.
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        db.include(RuleGroup::Generalization);
+        db.declare_class(earns);
+        assert_eq!(db.closure().unwrap().len(), 4); // gen transitivity only
+    }
+
+    #[test]
+    fn try_add_rejects_new_violation_and_rolls_back() {
+        let mut db = Database::new();
+        db.add("LOVES", "contra", "HATES");
+        db.add("JOHN", "LOVES", "MARY");
+        let before = db.base_len();
+        let err = db.try_add("JOHN", "HATES", "MARY").unwrap_err();
+        assert!(matches!(err, TransactionError::Integrity(v) if v.len() == 1));
+        assert_eq!(db.base_len(), before);
+        assert!(db.is_consistent().unwrap());
+    }
+
+    #[test]
+    fn try_add_accepts_harmless_fact() {
+        let mut db = Database::new();
+        db.add("LOVES", "contra", "HATES");
+        db.add("JOHN", "LOVES", "MARY");
+        let f = db.try_add("JOHN", "LOVES", "FELIX").unwrap();
+        assert!(db.contains_base(&f));
+    }
+
+    #[test]
+    fn try_add_tolerates_preexisting_violations() {
+        // §2.6 allows an inconsistent database; try_add only rejects NEW
+        // violations.
+        let mut db = Database::new();
+        db.add("LOVES", "contra", "HATES");
+        db.add("JOHN", "LOVES", "MARY");
+        db.add("JOHN", "HATES", "MARY"); // unchecked: now inconsistent
+        assert!(!db.is_consistent().unwrap());
+        // Unrelated fact still accepted.
+        db.try_add("TOM", "LOVES", "SUE").unwrap();
+        // A fact creating a second violation is rejected.
+        db.add("TOM", "HATES", "SUE"); // make it two violations, unchecked
+        assert_eq!(db.validate().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn try_insert_duplicate_is_noop() {
+        let mut db = Database::new();
+        let f = db.add("A", "R", "B");
+        assert!(!db.try_insert(f).unwrap());
+    }
+
+    #[test]
+    fn explain_derivation_chain() {
+        let mut db = Database::new();
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        let salary = db.lookup_symbol("SALARY").unwrap();
+        let derived = Fact::new(john, earns, salary);
+        let lines = db.explain(&derived).unwrap().expect("in closure");
+        assert!(lines[0].contains("(JOHN, EARNS, SALARY)"));
+        assert!(lines[0].contains("MemberSource"));
+        assert!(lines.iter().any(|l| l.contains("[base fact]")));
+        // Unknown facts are not explained.
+        let bogus = Fact::new(salary, earns, john);
+        assert_eq!(db.explain(&bogus).unwrap(), None);
+    }
+
+    #[test]
+    fn view_reflects_closure() {
+        use crate::view::FactView;
+        let mut db = Database::new();
+        db.add("MANAGER", "gen", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        let manager = db.lookup_symbol("MANAGER").unwrap();
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        let salary = db.lookup_symbol("SALARY").unwrap();
+        let view = db.view().unwrap();
+        assert!(view.holds(&Fact::new(manager, earns, salary)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_database() {
+        let mut db = Database::new();
+        db.add("JOHN", "EARNS", 25000i64);
+        let dir = std::env::temp_dir().join(format!("loosedb-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.lsdb");
+        db.save(&path).unwrap();
+        let mut loaded = Database::load(&path).unwrap();
+        assert_eq!(loaded.base_len(), 1);
+        assert!(loaded.is_consistent().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_records_committed_operations_only() {
+        let mut db = Database::new();
+        db.enable_logging();
+        db.add("LOVES", "contra", "HATES");
+        db.add("JOHN", "LOVES", "MARY");
+        let f = db.add("JOHN", "LIKES", "FELIX");
+        db.remove(&f);
+        db.remove(&f); // no-op: not logged
+        // Rejected transaction: not logged.
+        assert!(db.try_add("JOHN", "HATES", "MARY").is_err());
+        // Accepted transaction: logged.
+        db.try_add("JOHN", "LOVES", "FELIX").unwrap();
+        let log = db.take_log().expect("logging enabled");
+        assert_eq!(log.len(), 5); // 3 adds + 1 remove + 1 committed try_add
+
+        // Replaying the log reproduces the base facts exactly.
+        let mut replayed = loosedb_store::FactStore::new();
+        loosedb_store::log::replay(log.bytes(), &mut replayed).unwrap();
+        let original: std::collections::BTreeSet<String> =
+            db.store().iter().map(|f| db.display_fact(&f)).collect();
+        let restored: std::collections::BTreeSet<String> =
+            replayed.iter().map(|f| replayed.display_fact(&f)).collect();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn recover_from_checkpoint_plus_log() {
+        let dir = std::env::temp_dir().join(format!("loosedb-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("checkpoint.lsdb");
+        let wal = dir.join("tail.log");
+
+        let mut db = Database::new();
+        db.add("JOHN", "EARNS", 25000i64);
+        db.save(&snap).unwrap();
+        db.enable_logging();
+        db.add("MARY", "isa", "EMPLOYEE");
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        let pay = db.lookup(&25000i64.into()).unwrap();
+        db.remove(&Fact::new(john, earns, pay));
+        db.log().unwrap().save(&wal).unwrap();
+
+        let recovered = Database::recover(&snap, &wal).unwrap();
+        assert_eq!(recovered.base_len(), 1);
+        assert!(recovered.lookup_symbol("MARY").is_some());
+        // Missing log: checkpoint only.
+        let checkpoint_only = Database::recover(&snap, dir.join("missing.log")).unwrap();
+        assert_eq!(checkpoint_only.base_len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rule_toggling_invalidates_cache() {
+        let mut db = Database::new();
+        let isa = special::ISA;
+        let employee = db.entity("EMPLOYEE");
+        let earn = db.entity("EARN");
+        let salary = db.entity("SALARY");
+        let mut b = Rule::builder("employees-earn");
+        let x = b.var("x");
+        db.add_rule(b.when(x, isa, employee).then(x, earn, salary).build().unwrap()).unwrap();
+        db.add("JOHN", "isa", "EMPLOYEE");
+        assert_eq!(db.closure().unwrap().len(), 2);
+        db.exclude_rule("employees-earn");
+        assert_eq!(db.closure().unwrap().len(), 1);
+        db.include_rule("employees-earn");
+        assert_eq!(db.closure().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Relationship kinds: the paper's partition of `R` into individual and
+//! class relationships (§2.2).
+//!
+//! *Individual* relationships characterize an entity because they apply to
+//! every instance of it (`EARN` applies to every employee); *class*
+//! relationships characterize the aggregate (`TOTAL-NUMBER` does not apply
+//! to any single employee). The standard inference rules of §3 are
+//! quantified over the individual relationships: a class-level fact
+//! `(EMPLOYEE, TOTAL-NUMBER, 180)` must *not* flow to instances or along
+//! the hierarchy.
+
+use std::collections::HashMap;
+
+use loosedb_store::{special, EntityId};
+
+/// The kind of a relationship (§2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelKind {
+    /// Applies to every instance of its source/target (element of `R_i`).
+    Individual,
+    /// Characterizes the aggregate only (element of `R_c`).
+    Class,
+}
+
+/// Registry mapping relationship entities to their kind.
+///
+/// Relationships default to [`RelKind::Individual`] — the common case for
+/// domain relationships like `EARNS` or `WORKS-FOR` — and may be declared
+/// class explicitly. The special entities have fixed kinds:
+///
+/// * `≺` is individual (the paper states this in §2.3; it is what makes
+///   generalization transitive under rule G1).
+/// * `∈` is class (§2.3): membership must not flow to instances of
+///   instances through the §3 rules.
+/// * `≈`, `⁺`, `⊥` and the mathematical comparators are class: they state
+///   meta-level properties that must not propagate along the hierarchy
+///   (a specialization of a synonym is not itself a synonym).
+#[derive(Clone, Debug, Default)]
+pub struct KindRegistry {
+    class: HashMap<EntityId, ()>,
+    individual_overrides: HashMap<EntityId, ()>,
+    epoch: u64,
+}
+
+impl KindRegistry {
+    /// Creates a registry with only the fixed special kinds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relationship to be a class relationship.
+    ///
+    /// # Panics
+    /// Panics if `rel` is a special entity, whose kind is fixed.
+    pub fn declare_class(&mut self, rel: EntityId) {
+        assert!(!special::is_special(rel), "special entity kinds are fixed");
+        self.individual_overrides.remove(&rel);
+        if self.class.insert(rel, ()).is_none() {
+            self.epoch += 1;
+        }
+    }
+
+    /// Declares a relationship to be an individual relationship
+    /// (the default; this undoes a previous [`declare_class`]).
+    ///
+    /// [`declare_class`]: KindRegistry::declare_class
+    ///
+    /// # Panics
+    /// Panics if `rel` is a special entity, whose kind is fixed.
+    pub fn declare_individual(&mut self, rel: EntityId) {
+        assert!(!special::is_special(rel), "special entity kinds are fixed");
+        if self.class.remove(&rel).is_some() {
+            self.epoch += 1;
+        }
+        self.individual_overrides.insert(rel, ());
+    }
+
+    /// A counter bumped on every effective change; used for closure-cache
+    /// invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The kind of `rel`.
+    pub fn kind(&self, rel: EntityId) -> RelKind {
+        if special::is_special(rel) {
+            if rel == special::GEN {
+                RelKind::Individual
+            } else {
+                RelKind::Class
+            }
+        } else if self.class.contains_key(&rel) {
+            RelKind::Class
+        } else {
+            RelKind::Individual
+        }
+    }
+
+    /// True if `rel` ∈ `R_i` (participates in the §3 rules).
+    #[inline]
+    pub fn is_individual(&self, rel: EntityId) -> bool {
+        self.kind(rel) == RelKind::Individual
+    }
+
+    /// True if `rel` ∈ `R_c`.
+    #[inline]
+    pub fn is_class(&self, rel: EntityId) -> bool {
+        self.kind(rel) == RelKind::Class
+    }
+
+    /// Number of explicit class declarations.
+    pub fn declared_class_count(&self) -> usize {
+        self.class.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let reg = KindRegistry::new();
+        assert_eq!(reg.kind(EntityId(100)), RelKind::Individual);
+    }
+
+    #[test]
+    fn special_kinds_fixed() {
+        let reg = KindRegistry::new();
+        assert_eq!(reg.kind(special::GEN), RelKind::Individual);
+        assert_eq!(reg.kind(special::ISA), RelKind::Class);
+        assert_eq!(reg.kind(special::SYN), RelKind::Class);
+        assert_eq!(reg.kind(special::INV), RelKind::Class);
+        assert_eq!(reg.kind(special::CONTRA), RelKind::Class);
+        assert_eq!(reg.kind(special::LT), RelKind::Class);
+        assert_eq!(reg.kind(special::EQ), RelKind::Class);
+    }
+
+    #[test]
+    fn declare_and_undeclare() {
+        let mut reg = KindRegistry::new();
+        let total = EntityId(100);
+        reg.declare_class(total);
+        assert!(reg.is_class(total));
+        reg.declare_individual(total);
+        assert!(reg.is_individual(total));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed")]
+    fn cannot_redeclare_special() {
+        let mut reg = KindRegistry::new();
+        reg.declare_class(special::GEN);
+    }
+}

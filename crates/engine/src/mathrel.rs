@@ -1,0 +1,277 @@
+//! Virtual mathematical relationships (§3.6).
+//!
+//! The paper assumes the database "includes all relevant mathematical
+//! relationships ... without actually storing them as ordinary facts".
+//! This module is that assumption made real: the comparators `< > ≤ ≥`
+//! hold between numeric entities, and `=`/`≠` between *all* entities, and
+//! all of them are answered at match time — their extension is never
+//! materialized.
+//!
+//! Enumeration (a pattern like `(y, >, 20000)` with `y` free) ranges over
+//! the *interned* entities: the finite fragment of the infinite
+//! mathematical relation that can actually be named by a query answer.
+
+use std::cmp::Ordering;
+
+use loosedb_store::{num_cmp, special, EntityId, Fact, Interner, Pattern};
+
+/// The truth value of a mathematical fact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MathTruth {
+    /// The relationship holds (e.g. `(25000, >, 20000)`).
+    True,
+    /// The relationship is defined but does not hold (e.g. `(2, >, 3)`).
+    False,
+    /// The relationship is undefined for these operands (an order
+    /// comparator applied to a non-number, e.g. `(JOHN, >, 0)`).
+    Undefined,
+}
+
+/// Evaluates a fact whose relationship is a mathematical comparator.
+///
+/// Returns `None` if `f.r` is not one of the comparators.
+pub fn eval(interner: &Interner, f: &Fact) -> Option<MathTruth> {
+    if !special::is_math(f.r) {
+        return None;
+    }
+    Some(eval_math(interner, f.s, f.r, f.t))
+}
+
+fn eval_math(interner: &Interner, s: EntityId, rel: EntityId, t: EntityId) -> MathTruth {
+    match rel {
+        // Identity is defined for every pair of entities (§3.6: "for every
+        // two entities E1 and E2 exactly one of (E1,=,E2), (E1,≠,E2)").
+        // Identity is by entity, so Int(2) ≠ Float(2.0); but mathematically
+        // equal numbers of different representations also satisfy `=`.
+        special::EQ => bool_truth(s == t || num_eq(interner, s, t)),
+        special::NE => bool_truth(!(s == t || num_eq(interner, s, t))),
+        special::LT => order_truth(interner, s, t, |o| o == Ordering::Less),
+        special::GT => order_truth(interner, s, t, |o| o == Ordering::Greater),
+        special::LE => order_truth(interner, s, t, |o| o != Ordering::Greater),
+        special::GE => order_truth(interner, s, t, |o| o != Ordering::Less),
+        _ => unreachable!("is_math checked"),
+    }
+}
+
+fn num_eq(interner: &Interner, s: EntityId, t: EntityId) -> bool {
+    num_cmp(interner.resolve(s), interner.resolve(t)) == Some(Ordering::Equal)
+}
+
+fn bool_truth(b: bool) -> MathTruth {
+    if b {
+        MathTruth::True
+    } else {
+        MathTruth::False
+    }
+}
+
+fn order_truth(
+    interner: &Interner,
+    s: EntityId,
+    t: EntityId,
+    pred: impl Fn(Ordering) -> bool,
+) -> MathTruth {
+    match num_cmp(interner.resolve(s), interner.resolve(t)) {
+        Some(o) => bool_truth(pred(o)),
+        None => MathTruth::Undefined,
+    }
+}
+
+/// Errors from enumerating a mathematical pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MathMatchError {
+    /// `(x, ≠, y)` with both sides free would enumerate nearly all pairs
+    /// of entities; the query planner must bind at least one side first.
+    UnboundedInequality,
+}
+
+impl std::fmt::Display for MathMatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathMatchError::UnboundedInequality => {
+                write!(f, "(x, !=, y) with both sides free is not enumerable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathMatchError {}
+
+/// Enumerates the virtual facts matching a pattern whose relationship is a
+/// mathematical comparator.
+///
+/// * Both sides bound: zero or one fact (a truth check).
+/// * One side bound: the other ranges over interned entities (numerics for
+///   order comparators, everything for `=`/`≠`).
+/// * Both free: `=` yields the diagonal over all entities; the order
+///   comparators yield all satisfying pairs of interned numerics; `≠` is
+///   rejected as unenumerable.
+///
+/// # Panics
+/// Panics if the pattern's relationship is unbound or not a comparator.
+pub fn matches(
+    interner: &Interner,
+    pattern: Pattern,
+) -> Result<Vec<Fact>, MathMatchError> {
+    let rel = pattern.r.expect("math pattern must bind the relationship");
+    assert!(special::is_math(rel), "not a mathematical comparator");
+    let mut out = Vec::new();
+    match (pattern.s, pattern.t) {
+        (Some(s), Some(t)) => {
+            if eval_math(interner, s, rel, t) == MathTruth::True {
+                out.push(Fact::new(s, rel, t));
+            }
+        }
+        (Some(s), None) => {
+            for t in candidates(interner, rel) {
+                if eval_math(interner, s, rel, t) == MathTruth::True {
+                    out.push(Fact::new(s, rel, t));
+                }
+            }
+        }
+        (None, Some(t)) => {
+            for s in candidates(interner, rel) {
+                if eval_math(interner, s, rel, t) == MathTruth::True {
+                    out.push(Fact::new(s, rel, t));
+                }
+            }
+        }
+        (None, None) => match rel {
+            special::EQ => {
+                for e in interner.ids() {
+                    out.push(Fact::new(e, rel, e));
+                }
+            }
+            special::NE => return Err(MathMatchError::UnboundedInequality),
+            _ => {
+                let nums: Vec<EntityId> = candidates(interner, rel).collect();
+                for &s in &nums {
+                    for &t in &nums {
+                        if eval_math(interner, s, rel, t) == MathTruth::True {
+                            out.push(Fact::new(s, rel, t));
+                        }
+                    }
+                }
+            }
+        },
+    }
+    Ok(out)
+}
+
+/// The interned entities a free side of a comparator may range over.
+fn candidates<'a>(
+    interner: &'a Interner,
+    rel: EntityId,
+) -> Box<dyn Iterator<Item = EntityId> + 'a> {
+    match rel {
+        special::EQ | special::NE => Box::new(interner.ids()),
+        _ => Box::new(
+            interner.iter().filter(|(_, v)| v.is_numeric()).map(|(id, _)| id),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::EntityValue;
+
+    fn setup() -> (Interner, EntityId, EntityId, EntityId, EntityId) {
+        let mut interner = Interner::new();
+        let n2 = interner.intern(EntityValue::Int(2));
+        let n3 = interner.intern(EntityValue::Int(3));
+        let f2 = interner.intern(EntityValue::float(2.0));
+        let john = interner.symbol("JOHN");
+        (interner, n2, n3, f2, john)
+    }
+
+    #[test]
+    fn order_comparators_on_numbers() {
+        let (i, n2, n3, _, _) = setup();
+        assert_eq!(eval(&i, &Fact::new(n2, special::LT, n3)), Some(MathTruth::True));
+        assert_eq!(eval(&i, &Fact::new(n3, special::LT, n2)), Some(MathTruth::False));
+        assert_eq!(eval(&i, &Fact::new(n2, special::GT, n3)), Some(MathTruth::False));
+        assert_eq!(eval(&i, &Fact::new(n2, special::LE, n2)), Some(MathTruth::True));
+        assert_eq!(eval(&i, &Fact::new(n3, special::GE, n2)), Some(MathTruth::True));
+    }
+
+    #[test]
+    fn order_comparators_undefined_on_symbols() {
+        let (i, n2, _, _, john) = setup();
+        assert_eq!(eval(&i, &Fact::new(john, special::GT, n2)), Some(MathTruth::Undefined));
+        assert_eq!(eval(&i, &Fact::new(n2, special::LT, john)), Some(MathTruth::Undefined));
+    }
+
+    #[test]
+    fn identity_defined_for_all_entities() {
+        let (i, n2, n3, _, john) = setup();
+        assert_eq!(eval(&i, &Fact::new(john, special::EQ, john)), Some(MathTruth::True));
+        assert_eq!(eval(&i, &Fact::new(john, special::EQ, n2)), Some(MathTruth::False));
+        assert_eq!(eval(&i, &Fact::new(john, special::NE, n2)), Some(MathTruth::True));
+        assert_eq!(eval(&i, &Fact::new(n2, special::NE, n3)), Some(MathTruth::True));
+    }
+
+    #[test]
+    fn int_and_float_mathematically_equal() {
+        let (i, n2, _, f2, _) = setup();
+        assert_eq!(eval(&i, &Fact::new(n2, special::EQ, f2)), Some(MathTruth::True));
+        assert_eq!(eval(&i, &Fact::new(n2, special::NE, f2)), Some(MathTruth::False));
+        assert_eq!(eval(&i, &Fact::new(n2, special::LE, f2)), Some(MathTruth::True));
+    }
+
+    #[test]
+    fn non_math_rel_yields_none() {
+        let (i, n2, n3, _, _) = setup();
+        assert_eq!(eval(&i, &Fact::new(n2, special::GEN, n3)), None);
+    }
+
+    #[test]
+    fn enumerate_one_side_bound() {
+        let (i, n2, n3, f2, _) = setup();
+        // (x, <, 3): x ranges over numerics {2, 3, 2.0} → {2, 2.0}
+        let facts = matches(&i, Pattern::new(None, Some(special::LT), Some(n3))).unwrap();
+        let sources: std::collections::BTreeSet<EntityId> =
+            facts.iter().map(|f| f.s).collect();
+        assert_eq!(sources, [n2, f2].into_iter().collect());
+    }
+
+    #[test]
+    fn enumerate_both_bound_is_a_check() {
+        let (i, n2, n3, _, _) = setup();
+        let yes = matches(&i, Pattern::new(Some(n2), Some(special::LT), Some(n3))).unwrap();
+        assert_eq!(yes, vec![Fact::new(n2, special::LT, n3)]);
+        let no = matches(&i, Pattern::new(Some(n3), Some(special::LT), Some(n2))).unwrap();
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn enumerate_eq_diagonal() {
+        let (i, ..) = setup();
+        let facts = matches(&i, Pattern::from_rel(special::EQ)).unwrap();
+        // Diagonal over every interned entity (specials included).
+        assert_eq!(facts.len(), i.len());
+        assert!(facts.iter().all(|f| f.s == f.t));
+    }
+
+    #[test]
+    fn enumerate_ne_both_free_rejected() {
+        let (i, ..) = setup();
+        assert_eq!(
+            matches(&i, Pattern::from_rel(special::NE)),
+            Err(MathMatchError::UnboundedInequality)
+        );
+    }
+
+    #[test]
+    fn enumerate_lt_both_free_pairs() {
+        let (i, n2, n3, f2, _) = setup();
+        let facts = matches(&i, Pattern::from_rel(special::LT)).unwrap();
+        let expected: std::collections::BTreeSet<Fact> = [
+            Fact::new(n2, special::LT, n3),
+            Fact::new(f2, special::LT, n3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(facts.into_iter().collect::<std::collections::BTreeSet<_>>(), expected);
+    }
+}

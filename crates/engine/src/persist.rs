@@ -1,0 +1,347 @@
+//! Full-database persistence: facts *and* rules, kinds, configuration.
+//!
+//! [`loosedb_store::snapshot`] captures the fact heap; a loosely
+//! structured database also carries its rule set ⟨L,R⟩ (§2.6: "a database
+//! is a set of facts P and a set of rules R"), the individual/class
+//! partition (§2.2) and the inference configuration (§6.1 toggles). This
+//! module serializes all four into one image, so a database round-trips
+//! completely — including its integrity constraints.
+//!
+//! Format: `LSDF` magic + version, a length-prefixed store snapshot
+//! (delegated to [`loosedb_store::snapshot`]), then the rule, kind and
+//! configuration sections. Rule templates reference entity ids of the
+//! embedded snapshot, which re-interns deterministically.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use loosedb_store::codec::{self, CodecError};
+use loosedb_store::{snapshot, EntityId};
+
+use crate::config::InferenceConfig;
+use crate::database::Database;
+use crate::rule::{Rule, RuleKind};
+use crate::term::{Template, Term, Var};
+
+const MAGIC: &[u8; 4] = b"LSDF";
+const VERSION: u16 = 1;
+
+/// Serializes a database — facts, rules, kinds, configuration — into one
+/// buffer.
+pub fn encode(db: &Database) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+
+    // Store section, length-prefixed.
+    let store_bytes = snapshot::encode(db.store());
+    out.put_u64_le(store_bytes.len() as u64);
+    out.put_slice(&store_bytes);
+
+    // Rules.
+    let rules: Vec<(&Rule, bool)> = db.rules().iter().collect();
+    out.put_u32_le(rules.len() as u32);
+    for (rule, enabled) in rules {
+        put_str(&mut out, rule.name());
+        out.put_u8(match rule.kind() {
+            RuleKind::Inference => 0,
+            RuleKind::Constraint => 1,
+        });
+        out.put_u8(enabled as u8);
+        out.put_u32_le(rule.var_count() as u32);
+        for i in 0..rule.var_count() {
+            put_str(&mut out, rule.var_name(Var(i as u32)));
+        }
+        put_templates(&mut out, rule.body());
+        put_templates(&mut out, rule.head());
+    }
+
+    // Kinds: explicitly declared class relationships.
+    let class_rels: Vec<EntityId> = db
+        .store()
+        .interner()
+        .ids()
+        .filter(|&id| !loosedb_store::special::is_special(id) && db.kinds().is_class(id))
+        .collect();
+    out.put_u32_le(class_rels.len() as u32);
+    for id in class_rels {
+        out.put_u32_le(id.0);
+    }
+
+    // Configuration.
+    let c = db.config();
+    out.put_u8(c.generalization as u8);
+    out.put_u8(c.membership as u8);
+    out.put_u8(c.synonym as u8);
+    out.put_u8(c.inversion as u8);
+    out.put_u8(c.user_rules as u8);
+    out.put_u64_le(c.composition_limit as u64);
+    out.put_u64_le(c.parallel_threshold as u64);
+    out.put_u64_le(c.max_closure_facts as u64);
+
+    out.freeze()
+}
+
+/// Reconstructs a database from a full image.
+pub fn decode(mut input: impl Buf) -> Result<Database, CodecError> {
+    if input.remaining() < 6 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut magic = [0u8; 4];
+    input.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = input.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+
+    let store_len = codec::get_u64(&mut input)? as usize;
+    if input.remaining() < store_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let store_bytes = input.copy_to_bytes(store_len);
+    let store = snapshot::decode(store_bytes)?;
+    let max_id = store.entity_count() as u32;
+    let mut db = Database::from_store(store);
+
+    // Rules.
+    let rule_count = codec::get_u32(&mut input)?;
+    for _ in 0..rule_count {
+        let name = get_str(&mut input)?;
+        let kind = codec::get_u8(&mut input)?;
+        let enabled = codec::get_u8(&mut input)? != 0;
+        let var_count = codec::get_u32(&mut input)? as usize;
+        if var_count > input.remaining() {
+            return Err(CodecError::BadLength(var_count));
+        }
+        let mut builder = Rule::builder(&name);
+        if kind == 1 {
+            builder = builder.constraint();
+        }
+        let mut vars = Vec::with_capacity(var_count);
+        for _ in 0..var_count {
+            let var_name = get_str(&mut input)?;
+            vars.push(builder.var(var_name));
+        }
+        for tpl in get_templates(&mut input, max_id, vars.len())? {
+            builder = builder.when(tpl.s, tpl.r, tpl.t);
+        }
+        for tpl in get_templates(&mut input, max_id, vars.len())? {
+            builder = builder.then(tpl.s, tpl.r, tpl.t);
+        }
+        let rule = builder.build().map_err(|_| CodecError::BadTag(0xFE))?;
+        db.add_rule(rule).map_err(|_| CodecError::BadTag(0xFD))?;
+        if !enabled {
+            db.exclude_rule(&name);
+        }
+    }
+
+    // Kinds.
+    let class_count = codec::get_u32(&mut input)?;
+    for _ in 0..class_count {
+        let raw = codec::get_u32(&mut input)?;
+        if raw >= max_id {
+            return Err(CodecError::IdOutOfRange(raw));
+        }
+        db.declare_class(EntityId(raw));
+    }
+
+    // Configuration.
+    let config = InferenceConfig {
+        generalization: codec::get_u8(&mut input)? != 0,
+        membership: codec::get_u8(&mut input)? != 0,
+        synonym: codec::get_u8(&mut input)? != 0,
+        inversion: codec::get_u8(&mut input)? != 0,
+        user_rules: codec::get_u8(&mut input)? != 0,
+        composition_limit: codec::get_u64(&mut input)? as usize,
+        parallel_threshold: codec::get_u64(&mut input)? as usize,
+        max_closure_facts: codec::get_u64(&mut input)? as usize,
+    };
+    if config.composition_limit == 0 {
+        return Err(CodecError::BadLength(0));
+    }
+    *db.config_mut() = config;
+
+    Ok(db)
+}
+
+/// Writes a full database image to a file.
+pub fn save(db: &Database, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode(db))
+}
+
+/// Loads a full database image from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Database> {
+    let data = std::fs::read(path)?;
+    decode(data.as_slice())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(input: &mut impl Buf) -> Result<String, CodecError> {
+    let len = codec::get_u32(input)? as usize;
+    if len > input.remaining() {
+        return Err(CodecError::BadLength(len));
+    }
+    let mut buf = vec![0u8; len];
+    input.copy_to_slice(&mut buf);
+    String::from_utf8(buf).map_err(|_| CodecError::BadUtf8)
+}
+
+fn put_templates(out: &mut BytesMut, templates: &[Template]) {
+    out.put_u32_le(templates.len() as u32);
+    for tpl in templates {
+        for term in tpl.terms() {
+            match term {
+                Term::Const(e) => {
+                    out.put_u8(0);
+                    out.put_u32_le(e.0);
+                }
+                Term::Var(v) => {
+                    out.put_u8(1);
+                    out.put_u32_le(v.0);
+                }
+            }
+        }
+    }
+}
+
+fn get_templates(
+    input: &mut impl Buf,
+    max_id: u32,
+    var_count: usize,
+) -> Result<Vec<Template>, CodecError> {
+    let count = codec::get_u32(input)? as usize;
+    if count.checked_mul(15).is_none_or(|bytes| bytes > input.remaining()) {
+        return Err(CodecError::BadLength(count));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut terms = [Term::Var(Var(0)); 3];
+        for slot in &mut terms {
+            let tag = codec::get_u8(input)?;
+            let raw = codec::get_u32(input)?;
+            *slot = match tag {
+                0 => {
+                    if raw >= max_id {
+                        return Err(CodecError::IdOutOfRange(raw));
+                    }
+                    Term::Const(EntityId(raw))
+                }
+                1 => {
+                    if raw as usize >= var_count {
+                        return Err(CodecError::IdOutOfRange(raw));
+                    }
+                    Term::Var(Var(raw))
+                }
+                other => return Err(CodecError::BadTag(other)),
+            };
+        }
+        out.push(Template::new(terms[0], terms[1], terms[2]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::special;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.add(30i64, "isa", "AGE");
+        let age = db.entity("AGE");
+        let zero = db.entity(0i64);
+        let total = db.entity("TOTAL-NUMBER");
+        db.declare_class(total);
+        let mut b = Rule::builder("age-positive");
+        let x = b.var("x");
+        db.add_rule(
+            b.constraint().when(x, special::ISA, age).then(x, special::GT, zero).build().unwrap(),
+        )
+        .unwrap();
+        let mut b = Rule::builder("disabled-rule");
+        let y = b.var("y");
+        let r = db.entity("R");
+        let c = db.entity("C");
+        db.add_rule(b.when(y, r, c).then(y, special::ISA, c).build().unwrap()).unwrap();
+        db.exclude_rule("disabled-rule");
+        db.limit(3);
+        db
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_everything() {
+        let mut original = sample_db();
+        let mut restored = decode(encode(&original)).expect("decode");
+
+        // Facts.
+        assert_eq!(restored.base_len(), original.base_len());
+        // Rules: names, kinds, enablement.
+        let rule = restored.rules().get("age-positive").expect("rule");
+        assert_eq!(rule.kind(), RuleKind::Constraint);
+        assert!(restored.rules().is_enabled("age-positive"));
+        assert!(!restored.rules().is_enabled("disabled-rule"));
+        // Kinds.
+        let total = restored.lookup_symbol("TOTAL-NUMBER").unwrap();
+        assert!(restored.kinds().is_class(total));
+        // Config.
+        assert_eq!(restored.config().composition_limit, 3);
+        assert_eq!(restored.config(), original.config());
+        // Behaviour: the constraint still guards updates.
+        assert!(restored.try_add(-1i64, "isa", "AGE").is_err());
+        assert!(original.try_add(-1i64, "isa", "AGE").is_err());
+        // Closures agree.
+        let facts_of = |db: &mut Database| -> std::collections::BTreeSet<String> {
+            let facts: Vec<_> = db.closure().unwrap().iter().collect();
+            facts.into_iter().map(|f| db.store().display_fact(&f)).collect()
+        };
+        assert_eq!(facts_of(&mut original), facts_of(&mut restored));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let data = encode(&sample_db()).to_vec();
+        for cut in (0..data.len()).step_by(7) {
+            assert!(decode(&data[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut data = encode(&sample_db()).to_vec();
+        data[0] = b'X';
+        assert!(matches!(decode(data.as_slice()), Err(CodecError::BadMagic)));
+        let mut data = encode(&sample_db()).to_vec();
+        data[4] = 0xFF;
+        assert!(matches!(decode(data.as_slice()), Err(CodecError::BadVersion(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("loosedb-full-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.lsdf");
+        save(&db, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.base_len(), db.base_len());
+        assert_eq!(restored.rules().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let db = Database::new();
+        let restored = decode(encode(&db)).expect("decode");
+        assert_eq!(restored.base_len(), 0);
+        assert!(restored.rules().is_empty());
+    }
+}

@@ -1,0 +1,616 @@
+//! Goal-directed proving: is a single fact in the closure, *without*
+//! materializing the closure?
+//!
+//! The paper leaves "performance" as an open problem (§6.2). Forward
+//! chaining pays the whole closure up front; for a cold single-fact check
+//! ("is (JOHN, EARNS, SALARY) true?") that is wasteful. [`Prover`]
+//! answers membership under the **structural rules of §3** — generalization
+//! (G1–G3), membership (M1–M2, upward closure), synonyms, inversion and
+//! the virtual mathematical/hierarchy facts — by reachability analysis
+//! over the *base* facts:
+//!
+//! * a goal's **source** may be lifted *down* from a base fact's source
+//!   through any upward `≺`/`∈` chain (rules G1/M1 chain freely);
+//! * a goal's **relationship** may be lifted *up* from a base
+//!   relationship through individual `≺` steps (rule G2) or swapped
+//!   within a synonym class;
+//! * a goal's **target** may be lifted *up* through `≺`/`∈` chains
+//!   (rules G3/M2);
+//! * one **inversion** may be applied (per §3.4, with the engine's
+//!   existential-lift guard mirrored: the inverted premise's target must
+//!   be exact up to synonyms).
+//!
+//! Scope (documented, also enforced by the equivalence property test):
+//!
+//! * user rules and composition are **not** covered — the prover answers
+//!   membership in the §3 *structural* closure;
+//! * the §3 groups must all be **enabled** (the default configuration):
+//!   with groups selectively disabled, the reachability decomposition
+//!   below no longer matches the fixpoint (e.g. `MemberUp` grants
+//!   `∈`-chains transitive use of `≺` edges even when generalization is
+//!   off), so [`Prover::new`] rejects partial configurations;
+//! * inversion chains of any length are handled in closed form: a small
+//!   automaton over (relationship, flip-parity) states tracks how many
+//!   times the goal has been flipped relative to a base fact, and the
+//!   positional conditions depend only on the parity — during each of its
+//!   *source* phases a side may move down (G1/M1), during *target*
+//!   phases it is frozen (flipping a target-lifted fact would
+//!   universalize an existential; see `closure.rs`'s `lift_free`), and
+//!   the final stretch after the last flip may lift the target up
+//!   (G3/M2).
+
+use std::collections::BTreeSet;
+
+use loosedb_store::{special, EntityId, Fact, FactStore, Pattern};
+
+use crate::config::InferenceConfig;
+use crate::kind::KindRegistry;
+use crate::mathrel::{self, MathTruth};
+
+/// A goal-directed prover over base facts (see module docs).
+///
+/// ```
+/// use loosedb_engine::{InferenceConfig, KindRegistry, Prover};
+/// use loosedb_store::{Fact, FactStore};
+///
+/// let mut store = FactStore::new();
+/// store.add("JOHN", "isa", "EMPLOYEE");
+/// store.add("EMPLOYEE", "EARNS", "SALARY");
+///
+/// let kinds = KindRegistry::new();
+/// let config = InferenceConfig::default();
+/// let prover = Prover::new(&store, &kinds, &config);
+///
+/// // Membership inference (M1), proven without computing the closure.
+/// let goal = Fact::new(
+///     store.lookup_symbol("JOHN").unwrap(),
+///     store.lookup_symbol("EARNS").unwrap(),
+///     store.lookup_symbol("SALARY").unwrap(),
+/// );
+/// assert!(prover.prove(&goal));
+/// ```
+pub struct Prover<'a> {
+    store: &'a FactStore,
+    kinds: &'a KindRegistry,
+}
+
+impl<'a> Prover<'a> {
+    /// Creates a prover over a store with the given kinds.
+    ///
+    /// # Panics
+    /// Panics unless all four structural rule groups (generalization,
+    /// membership, synonym, inversion) are enabled — the reachability
+    /// decomposition is only sound for the full §3 rule set (see module
+    /// docs).
+    pub fn new(store: &'a FactStore, kinds: &'a KindRegistry, config: &'a InferenceConfig) -> Self {
+        assert!(
+            config.generalization && config.membership && config.synonym && config.inversion,
+            "Prover requires all structural rule groups enabled"
+        );
+        Prover { store, kinds }
+    }
+
+    /// True if the goal is in the §3 structural closure of the base
+    /// facts (including the virtual mathematical and hierarchy facts).
+    pub fn prove(&self, goal: &Fact) -> bool {
+        // Anything stored is in the closure, whatever its shape.
+        if self.store.contains(goal) {
+            return true;
+        }
+        // Virtual families.
+        if special::is_math(goal.r) {
+            return mathrel::eval(self.store.interner(), goal) == Some(MathTruth::True);
+        }
+        if goal.r == special::GEN {
+            return self.prove_gen(goal.s, goal.t);
+        }
+        if goal.r == special::SYN {
+            // Reflexive for every entity (mutual reflexive ≺, §3.3).
+            return goal.s == goal.t || self.mutual_gen(goal.s, goal.t);
+        }
+        if goal.r == special::ISA {
+            return self.prove_isa(goal.s, goal.t);
+        }
+        if goal.r == special::INV || goal.r == special::CONTRA {
+            return self.prove_meta_pair(goal);
+        }
+        self.prove_ordinary(goal)
+    }
+
+    // ------------------------------------------------------------------
+    // Reachability primitives over base facts
+    // ------------------------------------------------------------------
+
+    /// Upward reachability from `x` through `≺` and `≈` (both
+    /// directions). Includes `x` itself.
+    fn gen_up(&self, x: EntityId) -> BTreeSet<EntityId> {
+        self.bfs(x, |node, out| {
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::GEN), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::SYN), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(None, Some(special::SYN), Some(node))) {
+                out.push(f.s);
+            }
+        })
+    }
+
+    /// Upward reachability through the *mixed* graph `≺ ∪ ∈` (plus
+    /// synonyms), the chains rules G1/G3/M1/M2 build. Includes `x`.
+    fn mixed_up(&self, x: EntityId) -> BTreeSet<EntityId> {
+        self.bfs(x, |node, out| {
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::GEN), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::ISA), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::SYN), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(None, Some(special::SYN), Some(node))) {
+                out.push(f.s);
+            }
+        })
+    }
+
+    /// Downward version of [`mixed_up`](Self::mixed_up): everything that
+    /// reaches `x` going up. Includes `x`.
+    fn mixed_down(&self, x: EntityId) -> BTreeSet<EntityId> {
+        self.bfs(x, |node, out| {
+            for f in self.store.matching(Pattern::new(None, Some(special::GEN), Some(node))) {
+                out.push(f.s);
+            }
+            for f in self.store.matching(Pattern::new(None, Some(special::ISA), Some(node))) {
+                out.push(f.s);
+            }
+            for f in self.store.matching(Pattern::new(Some(node), Some(special::SYN), None)) {
+                out.push(f.t);
+            }
+            for f in self.store.matching(Pattern::new(None, Some(special::SYN), Some(node))) {
+                out.push(f.s);
+            }
+        })
+    }
+
+    /// The synonym class of `x`: entities identified with `x` by `≈`
+    /// facts or `≺`-cycles. Includes `x`.
+    fn syn_class(&self, x: EntityId) -> BTreeSet<EntityId> {
+        // Mutual upward gen-reachability.
+        let ups = self.gen_up(x);
+        ups.into_iter().filter(|&y| y == x || self.gen_up(y).contains(&x)).collect()
+    }
+
+    fn bfs(
+        &self,
+        start: EntityId,
+        expand: impl Fn(EntityId, &mut Vec<EntityId>),
+    ) -> BTreeSet<EntityId> {
+        let mut seen: BTreeSet<EntityId> = [start].into_iter().collect();
+        let mut frontier = vec![start];
+        let mut scratch = Vec::new();
+        while let Some(node) = frontier.pop() {
+            scratch.clear();
+            expand(node, &mut scratch);
+            for &next in &scratch {
+                if seen.insert(next) {
+                    frontier.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    // ------------------------------------------------------------------
+    // Per-relationship goal kinds
+    // ------------------------------------------------------------------
+
+    /// `(s, ≺, t)`: virtual reflexivity/bounds, or upward reachability.
+    fn prove_gen(&self, s: EntityId, t: EntityId) -> bool {
+        if s == t || t == special::TOP || s == special::BOT {
+            return true;
+        }
+        self.gen_up(s).contains(&t)
+    }
+
+    fn mutual_gen(&self, a: EntityId, b: EntityId) -> bool {
+        self.gen_up(a).contains(&b) && self.gen_up(b).contains(&a)
+    }
+
+    /// `(s, ∈, T)`: a base membership whose class reaches `T` upward
+    /// through `≺` (MemberUp), with synonym slack on the instance side.
+    fn prove_isa(&self, s: EntityId, t: EntityId) -> bool {
+        for s0 in self.syn_class(s) {
+            for f in self.store.matching(Pattern::new(Some(s0), Some(special::ISA), None)) {
+                if t == special::TOP || self.gen_up(f.t).contains(&t) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `(a, ⁺, b)` / `(a, ⊥, b)`: base facts up to synonym substitution;
+    /// `⁺` additionally comes in symmetric pairs (§3.4).
+    fn prove_meta_pair(&self, goal: &Fact) -> bool {
+        let (a_class, b_class) = (self.syn_class(goal.s), self.syn_class(goal.t));
+        for f in self.store.matching(Pattern::from_rel(goal.r)) {
+            if a_class.contains(&f.s) && b_class.contains(&f.t) {
+                return true;
+            }
+            if goal.r == special::INV && a_class.contains(&f.t) && b_class.contains(&f.s) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Source condition: `goal_s` can stand where `base_s` stood —
+    /// `goal_s` reaches `base_s` upward (G1/M1 lower the source), or is a
+    /// synonym, or is the virtual `∇`.
+    fn src_ok(&self, goal_s: EntityId, base_s: EntityId, lifts: bool) -> bool {
+        if goal_s == base_s || goal_s == special::BOT {
+            return true;
+        }
+        if lifts {
+            self.mixed_up(goal_s).contains(&base_s)
+        } else {
+            self.syn_class(goal_s).contains(&base_s)
+        }
+    }
+
+    /// Target condition: `base_t` can be lifted to `goal_t` — upward
+    /// through `≺`/`∈` (G3/M2), or a synonym, or the virtual `Δ`; with
+    /// `exact`, only synonym slack (the inversion premise guard).
+    fn tgt_ok(&self, base_t: EntityId, goal_t: EntityId, lifts: bool, exact: bool) -> bool {
+        if base_t == goal_t {
+            return true;
+        }
+        if exact {
+            return self.syn_class(base_t).contains(&goal_t);
+        }
+        if goal_t == special::TOP {
+            return true;
+        }
+        if lifts {
+            self.mixed_up(base_t).contains(&goal_t)
+        } else {
+            self.syn_class(base_t).contains(&goal_t)
+        }
+    }
+
+    /// Goals with ordinary (or `Δ`) relationships.
+    ///
+    /// A small backward automaton over `(relationship, flips)` states —
+    /// `flips ∈ {0, odd, even ≥ 2}` — enumerates the base relationships a
+    /// derivation could start from, together with how often it was
+    /// flipped by inversion (§3.4). For each reached base fact the
+    /// positional conditions depend only on the flip class:
+    ///
+    /// | flips | source condition | target condition |
+    /// |---|---|---|
+    /// | 0 | `goal.s ⇝up f0.s` | `f0.t ⇝up goal.t` |
+    /// | odd | `goal.s ⇝up f0.t` | `goal.t ∈ UP(DOWN(f0.s))` |
+    /// | even ≥ 2 | `goal.s ⇝up f0.s` | `goal.t ∈ UP(DOWN(f0.t))` |
+    ///
+    /// (`⇝up` is mixed `≺`/`∈`/`≈` reachability; `UP(DOWN(·))` accounts
+    /// for the source-phase lowering between flips followed by the final
+    /// post-flip target lift.) When the relationship chain passes through
+    /// a class relationship, positional lifts collapse to synonym slack.
+    fn prove_ordinary(&self, goal: &Fact) -> bool {
+        for (r0, flips, lifts) in self.rel_automaton(goal.r) {
+            for f0 in self.store.matching(Pattern::from_rel(r0)).collect::<Vec<_>>() {
+                let (anchor_s, anchor_t) = match flips {
+                    Flips::Zero | Flips::Even => (f0.s, f0.t),
+                    Flips::Odd => (f0.t, f0.s),
+                };
+                if !self.src_ok(goal.s, anchor_s, lifts) {
+                    continue;
+                }
+                let tgt = match flips {
+                    Flips::Zero => self.tgt_ok(anchor_t, goal.t, lifts, false),
+                    Flips::Odd | Flips::Even => {
+                        self.tgt_ok_lowered(anchor_t, goal.t, lifts)
+                    }
+                };
+                if tgt {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Target condition for flipped derivations: `goal_t ∈ UP(DOWN(base))`
+    /// — the anchor may have been lowered during its source phases before
+    /// the final upward lift.
+    fn tgt_ok_lowered(&self, base: EntityId, goal_t: EntityId, lifts: bool) -> bool {
+        if base == goal_t || goal_t == special::TOP {
+            return true;
+        }
+        if !lifts {
+            return self.syn_class(base).contains(&goal_t);
+        }
+        let down = self.mixed_down(base);
+        down.contains(&goal_t) || down.iter().any(|&d| self.mixed_up(d).contains(&goal_t))
+    }
+
+    /// The backward `(relationship, flips, lifts-allowed)` states
+    /// reachable from the goal relationship by inverse-pair swaps (flip
+    /// parity changes) and downward individual `≺`/`≈` steps (rule G2
+    /// backward). `lifts-allowed` is the conservative conjunction of the
+    /// individuality of every relationship on the path — positional lifts
+    /// happen at some stage of the chain, and each stage's rules require
+    /// an individual relationship.
+    fn rel_automaton(&self, goal_r: EntityId) -> Vec<(EntityId, Flips, bool)> {
+        let mut best: std::collections::BTreeMap<(EntityId, Flips), bool> =
+            std::collections::BTreeMap::new();
+        let mut queue: Vec<(EntityId, Flips, bool)> = Vec::new();
+        // Visit each (rel, flips) state at most twice: once on first
+        // discovery, once more if it is later reached with lifts allowed.
+        let push = |queue: &mut Vec<(EntityId, Flips, bool)>,
+                    best: &mut std::collections::BTreeMap<(EntityId, Flips), bool>,
+                    r: EntityId,
+                    flips: Flips,
+                    lifts: bool| {
+            match best.get(&(r, flips)) {
+                None => {
+                    best.insert((r, flips), lifts);
+                    queue.push((r, flips, lifts));
+                }
+                Some(false) if lifts => {
+                    best.insert((r, flips), true);
+                    queue.push((r, flips, true));
+                }
+                _ => {}
+            }
+        };
+        // Seeds: Δ in the relationship position projects from any
+        // individual (or ∈) relationship; otherwise start at the goal.
+        if goal_r == special::TOP {
+            for r0 in self.store.relationships() {
+                if self.kinds.is_individual(r0) || r0 == special::ISA {
+                    push(&mut queue, &mut best, r0, Flips::Zero, true);
+                }
+            }
+        } else {
+            push(&mut queue, &mut best, goal_r, Flips::Zero, self.kinds.is_individual(goal_r));
+            // Synonym swaps and class-rel identity are handled inside the
+            // expansion below; a class goal relationship still admits
+            // synonym-only positional slack.
+            if !self.kinds.is_individual(goal_r) {
+                push(&mut queue, &mut best, goal_r, Flips::Zero, false);
+            }
+        }
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let (r, flips, lifts) = queue[cursor];
+            cursor += 1;
+            // Backward G2: relationships strictly below r (individual
+            // premise), and synonym swaps.
+            for f in self.store.matching(Pattern::new(None, Some(special::GEN), Some(r))).collect::<Vec<_>>() {
+                if self.kinds.is_individual(f.s) {
+                    push(&mut queue, &mut best, f.s, flips, lifts && self.kinds.is_individual(f.s));
+                }
+            }
+            for f in self.store.matching(Pattern::new(Some(r), Some(special::SYN), None)).collect::<Vec<_>>() {
+                push(&mut queue, &mut best, f.t, flips, lifts && self.kinds.is_individual(f.t));
+            }
+            for f in self.store.matching(Pattern::new(None, Some(special::SYN), Some(r))).collect::<Vec<_>>() {
+                push(&mut queue, &mut best, f.s, flips, lifts && self.kinds.is_individual(f.s));
+            }
+            // Flip through inverse pairs.
+            for ri in self.inverse_partners_direct(r) {
+                push(
+                    &mut queue,
+                    &mut best,
+                    ri,
+                    flips.flip(),
+                    lifts && self.kinds.is_individual(ri),
+                );
+            }
+        }
+        best.into_iter().map(|((r, flips), lifts)| (r, flips, lifts)).collect()
+    }
+
+    /// Inverse partners of `r` via base `⁺` facts (both directions, with
+    /// synonym slack on both sides).
+    fn inverse_partners_direct(&self, r: EntityId) -> BTreeSet<EntityId> {
+        let class = self.syn_class(r);
+        let mut out = BTreeSet::new();
+        for f in self.store.matching(Pattern::from_rel(special::INV)) {
+            if class.contains(&f.s) {
+                out.extend(self.syn_class(f.t));
+            }
+            if class.contains(&f.t) {
+                out.extend(self.syn_class(f.s));
+            }
+        }
+        out
+    }
+}
+
+/// How many times a derivation was flipped by inversion, collapsed to
+/// the three positionally distinct classes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Flips {
+    /// Never flipped: the direct lift conditions apply.
+    Zero,
+    /// Flipped an odd number of times: source and target anchors swap.
+    Odd,
+    /// Flipped an even number of times (at least twice): anchors as in
+    /// [`Flips::Zero`], but the target may have been lowered between
+    /// flips.
+    Even,
+}
+
+impl Flips {
+    fn flip(self) -> Flips {
+        match self {
+            Flips::Zero | Flips::Even => Flips::Odd,
+            Flips::Odd => Flips::Even,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{compute, Strategy};
+    use crate::rule::RuleSet;
+    use crate::view::{ClosureView, FactView};
+
+    struct Fx {
+        store: FactStore,
+        kinds: KindRegistry,
+        config: InferenceConfig,
+    }
+
+    impl Fx {
+        fn new(build: impl FnOnce(&mut FactStore)) -> Self {
+            let mut store = FactStore::new();
+            build(&mut store);
+            let config = InferenceConfig { user_rules: false, ..Default::default() };
+            Fx { store, kinds: KindRegistry::new(), config }
+        }
+
+        fn prove(&self, s: &str, r: &str, t: &str) -> bool {
+            let goal = Fact::new(
+                self.store.lookup_symbol(s).unwrap_or_else(|| panic!("{s}")),
+                self.store.lookup_symbol(r).unwrap_or_else(|| panic!("{r}")),
+                self.store.lookup_symbol(t).unwrap_or_else(|| panic!("{t}")),
+            );
+            Prover::new(&self.store, &self.kinds, &self.config).prove(&goal)
+        }
+
+        /// Compares the prover against the materialized closure on every
+        /// triple over the used entities.
+        fn assert_equivalent(&mut self) {
+            let closure = compute(
+                &mut self.store.clone(),
+                &self.kinds,
+                &RuleSet::new(),
+                &self.config,
+                Strategy::SemiNaive,
+            )
+            .expect("closure");
+            let view = ClosureView::new(&closure, self.store.interner(), &self.kinds);
+            let prover = Prover::new(&self.store, &self.kinds, &self.config);
+            let entities: Vec<EntityId> = view.domain().to_vec();
+            for &s in &entities {
+                for &r in &entities {
+                    for &t in &entities {
+                        let goal = Fact::new(s, r, t);
+                        let forward = view.holds(&goal);
+                        let backward = prover.prove(&goal);
+                        assert_eq!(
+                            forward,
+                            backward,
+                            "prover disagrees on {} (forward {forward}, backward {backward})",
+                            self.store.display_fact(&goal),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proves_paper_rule_examples() {
+        let fx = Fx::new(|s| {
+            s.add("JOHN", "isa", "EMPLOYEE");
+            s.add("EMPLOYEE", "EARNS", "SALARY");
+            s.add("SALARY", "gen", "COMPENSATION");
+            s.add("MANAGER", "gen", "EMPLOYEE");
+            s.add("SUE", "isa", "MANAGER");
+        });
+        assert!(fx.prove("JOHN", "EARNS", "SALARY")); // M1
+        assert!(fx.prove("EMPLOYEE", "EARNS", "COMPENSATION")); // G3
+        assert!(fx.prove("MANAGER", "EARNS", "SALARY")); // G1
+        assert!(fx.prove("SUE", "EARNS", "COMPENSATION")); // chained
+        assert!(fx.prove("SUE", "isa", "EMPLOYEE")); // MemberUp
+        assert!(!fx.prove("SALARY", "EARNS", "JOHN"));
+        assert!(!fx.prove("EMPLOYEE", "isa", "JOHN"));
+    }
+
+    #[test]
+    fn proves_inversion_with_lifts() {
+        let fx = Fx::new(|s| {
+            s.add("TEACHES", "inv", "TAUGHT-BY");
+            s.add("INST", "TEACHES", "CS100");
+            s.add("ASSISTANT", "gen", "INST");
+        });
+        assert!(fx.prove("CS100", "TAUGHT-BY", "INST")); // plain flip
+        // Pre-flip source lowering: (ASSISTANT, TEACHES, CS100) by G1,
+        // then flipped — the goal target is the lowered source.
+        assert!(fx.prove("CS100", "TAUGHT-BY", "ASSISTANT"));
+        // The flip of a target-lifted fact is blocked (the guard).
+        let fx2 = Fx::new(|s| {
+            s.add("TAUGHT-BY", "inv", "TEACHES");
+            s.add("CRS", "TAUGHT-BY", "INST");
+            s.add("INST", "isa", "INSTRUCTOR");
+            s.add("OTHER", "isa", "INSTRUCTOR");
+        });
+        assert!(fx2.prove("INST", "TEACHES", "CRS"));
+        assert!(fx2.prove("CRS", "TAUGHT-BY", "INSTRUCTOR")); // the lift itself
+        assert!(!fx2.prove("INSTRUCTOR", "TEACHES", "CRS")); // not inverted
+        assert!(!fx2.prove("OTHER", "TEACHES", "CRS"));
+    }
+
+    #[test]
+    fn proves_synonyms() {
+        let fx = Fx::new(|s| {
+            s.add("JOHN", "EARNS", "PAY");
+            s.add("JOHN", "syn", "JOHNNY");
+            s.add("PAY", "syn", "WAGE");
+        });
+        assert!(fx.prove("JOHNNY", "EARNS", "PAY"));
+        assert!(fx.prove("JOHN", "EARNS", "WAGE"));
+        assert!(fx.prove("JOHNNY", "EARNS", "WAGE"));
+        assert!(fx.prove("JOHNNY", "syn", "JOHN")); // symmetry
+        assert!(fx.prove("JOHN", "gen", "JOHNNY")); // definition
+    }
+
+    #[test]
+    fn class_relationships_do_not_lift() {
+        let mut fx = Fx::new(|s| {
+            s.add("EMPLOYEE", "TOTAL", "N180");
+            s.add("JOHN", "isa", "EMPLOYEE");
+        });
+        let total = fx.store.lookup_symbol("TOTAL").unwrap();
+        fx.kinds.declare_class(total);
+        assert!(!fx.prove("JOHN", "TOTAL", "N180"));
+        assert!(fx.prove("EMPLOYEE", "TOTAL", "N180")); // stored
+    }
+
+    #[test]
+    fn equivalent_to_forward_closure_on_rich_world() {
+        let mut fx = Fx::new(|s| {
+            s.add("FRESHMAN", "gen", "STUDENT");
+            s.add("STUDENT", "gen", "PERSON");
+            s.add("TOM", "isa", "FRESHMAN");
+            s.add("STUDENT", "ATTENDS", "SCHOOL");
+            s.add("SCHOOL", "isa", "INSTITUTION");
+            s.add("ATTENDS", "gen", "VISITS");
+            s.add("ATTENDS", "inv", "ATTENDED-BY");
+            s.add("TOM", "syn", "TOMMY");
+            s.add("LOVES", "contra", "HATES");
+            s.add("TOM", "LOVES", "SCHOOL");
+        });
+        fx.assert_equivalent();
+    }
+
+    #[test]
+    #[should_panic(expected = "structural rule groups")]
+    fn partial_configurations_rejected() {
+        let fx = Fx::new(|s| {
+            s.add("A", "R", "B");
+        });
+        let mut config = fx.config.clone();
+        config.exclude(crate::config::RuleGroup::Inversion);
+        let _ = Prover::new(&fx.store, &fx.kinds, &config);
+    }
+}
+

@@ -1,0 +1,374 @@
+//! Rules: the paper's single mechanism for inference and integrity (§2.4–2.6).
+//!
+//! A rule is a pair `⟨L, R⟩` of template sets: whenever the conjunction of
+//! the left-hand templates matches, the instantiated right-hand templates
+//! are facts of the closure. Integrity constraints are *the same
+//! mechanism* (§2.5): they point out facts that must be present, and the
+//! database is valid iff the closure is free of contradictions. The only
+//! difference is attribution — a contradiction traced to a constraint rule
+//! is reported as a violation of that constraint.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::term::{Template, Term, Var};
+
+/// Whether a rule is meant as inference or as an integrity constraint.
+///
+/// Mechanically identical (§2.5); the kind is used for reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleKind {
+    /// Derives facts that enrich the closure.
+    Inference,
+    /// States facts that must hold; failures are integrity violations.
+    Constraint,
+}
+
+/// Errors detected when constructing a rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// The body (left-hand side) is empty; such a rule would assert its
+    /// head unconditionally — assert facts directly instead.
+    EmptyBody,
+    /// The head (right-hand side) is empty.
+    EmptyHead,
+    /// A head variable does not occur in the body, so the rule is not
+    /// range-restricted and its head cannot be instantiated.
+    UnboundHeadVar(String),
+    /// Two rules with the same name were registered.
+    DuplicateName(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::EmptyBody => write!(f, "rule body is empty"),
+            RuleError::EmptyHead => write!(f, "rule head is empty"),
+            RuleError::UnboundHeadVar(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            RuleError::DuplicateName(n) => write!(f, "duplicate rule name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// A validated conjunctive rule `⟨L, R⟩`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    name: String,
+    kind: RuleKind,
+    body: Vec<Template>,
+    head: Vec<Template>,
+    var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Starts building a rule with the given name.
+    pub fn builder(name: impl Into<String>) -> RuleBuilder {
+        RuleBuilder {
+            name: name.into(),
+            kind: RuleKind::Inference,
+            body: Vec::new(),
+            head: Vec::new(),
+            var_names: Vec::new(),
+            var_ids: HashMap::new(),
+        }
+    }
+
+    /// The rule's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inference or constraint.
+    pub fn kind(&self) -> RuleKind {
+        self.kind
+    }
+
+    /// The body templates (left-hand side `L`).
+    pub fn body(&self) -> &[Template] {
+        &self.body
+    }
+
+    /// The head templates (right-hand side `R`).
+    pub fn head(&self) -> &[Template] {
+        &self.head
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of distinct variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+}
+
+/// Builder for [`Rule`]; obtain via [`Rule::builder`].
+#[derive(Clone, Debug)]
+pub struct RuleBuilder {
+    name: String,
+    kind: RuleKind,
+    body: Vec<Template>,
+    head: Vec<Template>,
+    var_names: Vec<String>,
+    var_ids: HashMap<String, Var>,
+}
+
+impl RuleBuilder {
+    /// Returns the variable with the given name, creating it on first use.
+    pub fn var(&mut self, name: impl Into<String>) -> Var {
+        let name = name.into();
+        if let Some(&v) = self.var_ids.get(&name) {
+            return v;
+        }
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.clone());
+        self.var_ids.insert(name, v);
+        v
+    }
+
+    /// Adds a body template.
+    pub fn when(mut self, s: impl Into<Term>, r: impl Into<Term>, t: impl Into<Term>) -> Self {
+        self.body.push(Template::new(s, r, t));
+        self
+    }
+
+    /// Adds a head template.
+    pub fn then(mut self, s: impl Into<Term>, r: impl Into<Term>, t: impl Into<Term>) -> Self {
+        self.head.push(Template::new(s, r, t));
+        self
+    }
+
+    /// Marks the rule as an integrity constraint.
+    pub fn constraint(mut self) -> Self {
+        self.kind = RuleKind::Constraint;
+        self
+    }
+
+    /// Validates and finishes the rule.
+    pub fn build(self) -> Result<Rule, RuleError> {
+        if self.body.is_empty() {
+            return Err(RuleError::EmptyBody);
+        }
+        if self.head.is_empty() {
+            return Err(RuleError::EmptyHead);
+        }
+        let mut body_vars = vec![false; self.var_names.len()];
+        for tpl in &self.body {
+            for v in tpl.vars() {
+                body_vars[v.index()] = true;
+            }
+        }
+        for tpl in &self.head {
+            for v in tpl.vars() {
+                if !body_vars[v.index()] {
+                    return Err(RuleError::UnboundHeadVar(self.var_names[v.index()].clone()));
+                }
+            }
+        }
+        Ok(Rule {
+            name: self.name,
+            kind: self.kind,
+            body: self.body,
+            head: self.head,
+            var_names: self.var_names,
+        })
+    }
+}
+
+/// A registry of user rules with per-rule enablement — the `include(rule)`
+/// / `exclude(rule)` operators of §6.1.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<(Rule, bool)>,
+    by_name: HashMap<String, usize>,
+    epoch: u64,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a rule (enabled). Rule names must be unique.
+    pub fn add(&mut self, rule: Rule) -> Result<(), RuleError> {
+        if self.by_name.contains_key(rule.name()) {
+            return Err(RuleError::DuplicateName(rule.name().to_string()));
+        }
+        self.by_name.insert(rule.name().to_string(), self.rules.len());
+        self.rules.push((rule, true));
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Enables a rule by name (§6.1 `include`). Returns false if unknown.
+    pub fn include(&mut self, name: &str) -> bool {
+        self.set_enabled(name, true)
+    }
+
+    /// Disables a rule by name (§6.1 `exclude`). Returns false if unknown.
+    pub fn exclude(&mut self, name: &str) -> bool {
+        self.set_enabled(name, false)
+    }
+
+    fn set_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        match self.by_name.get(name) {
+            Some(&i) => {
+                if self.rules[i].1 != enabled {
+                    self.rules[i].1 = enabled;
+                    self.epoch += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the named rule exists and is enabled.
+    pub fn is_enabled(&self, name: &str) -> bool {
+        self.by_name.get(name).is_some_and(|&i| self.rules[i].1)
+    }
+
+    /// Looks up a rule by name.
+    pub fn get(&self, name: &str) -> Option<&Rule> {
+        self.by_name.get(name).map(|&i| &self.rules[i].0)
+    }
+
+    /// Iterates over the enabled rules.
+    pub fn enabled(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|(_, on)| *on).map(|(r, _)| r)
+    }
+
+    /// Iterates over all rules with their enablement.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rule, bool)> {
+        self.rules.iter().map(|(r, on)| (r, *on))
+    }
+
+    /// Total number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// A counter bumped on every change; used for closure-cache
+    /// invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::EntityId;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn paper_section_2_4_inference_rule() {
+        // (x, ∈, EMPLOYEE) ⇒ (x, EARN, SALARY)
+        let mut b = Rule::builder("employees-earn");
+        let x = b.var("x");
+        let rule = b
+            .when(x, e(1), e(100)) // (x, isa, EMPLOYEE)
+            .then(x, e(101), e(102)) // (x, EARN, SALARY)
+            .build()
+            .unwrap();
+        assert_eq!(rule.body().len(), 1);
+        assert_eq!(rule.head().len(), 1);
+        assert_eq!(rule.kind(), RuleKind::Inference);
+        assert_eq!(rule.var_name(x), "x");
+    }
+
+    #[test]
+    fn same_var_name_reused() {
+        let mut b = Rule::builder("r");
+        let x1 = b.var("x");
+        let x2 = b.var("x");
+        let y = b.var("y");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_unbound() {
+        assert_eq!(Rule::builder("r").build().unwrap_err(), RuleError::EmptyBody);
+
+        let mut b = Rule::builder("r");
+        let x = b.var("x");
+        assert_eq!(b.when(x, e(1), e(2)).build().unwrap_err(), RuleError::EmptyHead);
+
+        let mut b = Rule::builder("r");
+        let x = b.var("x");
+        let y = b.var("y");
+        let err = b.when(x, e(1), e(2)).then(y, e(1), e(2)).build().unwrap_err();
+        assert_eq!(err, RuleError::UnboundHeadVar("y".to_string()));
+    }
+
+    #[test]
+    fn constraint_kind() {
+        let mut b = Rule::builder("age-positive").constraint();
+        let x = b.var("x");
+        let rule = b.when(x, e(1), e(50)).then(x, e(8), e(60)).build().unwrap();
+        assert_eq!(rule.kind(), RuleKind::Constraint);
+    }
+
+    fn trivial_rule(name: &str) -> Rule {
+        let mut b = Rule::builder(name);
+        let x = b.var("x");
+        b.when(x, e(1), e(2)).then(x, e(3), e(4)).build().unwrap()
+    }
+
+    #[test]
+    fn ruleset_include_exclude() {
+        let mut rs = RuleSet::new();
+        rs.add(trivial_rule("a")).unwrap();
+        rs.add(trivial_rule("b")).unwrap();
+        assert!(rs.is_enabled("a"));
+        assert_eq!(rs.enabled().count(), 2);
+
+        assert!(rs.exclude("a"));
+        assert!(!rs.is_enabled("a"));
+        assert_eq!(rs.enabled().count(), 1);
+
+        assert!(rs.include("a"));
+        assert_eq!(rs.enabled().count(), 2);
+        assert!(!rs.exclude("missing"));
+    }
+
+    #[test]
+    fn ruleset_rejects_duplicates() {
+        let mut rs = RuleSet::new();
+        rs.add(trivial_rule("a")).unwrap();
+        assert_eq!(
+            rs.add(trivial_rule("a")).unwrap_err(),
+            RuleError::DuplicateName("a".to_string())
+        );
+    }
+
+    #[test]
+    fn ruleset_epoch_tracks_changes() {
+        let mut rs = RuleSet::new();
+        let e0 = rs.epoch();
+        rs.add(trivial_rule("a")).unwrap();
+        let e1 = rs.epoch();
+        assert!(e1 > e0);
+        rs.exclude("a");
+        assert!(rs.epoch() > e1);
+        let e2 = rs.epoch();
+        rs.exclude("a"); // no change
+        assert_eq!(rs.epoch(), e2);
+    }
+}

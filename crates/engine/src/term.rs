@@ -1,0 +1,352 @@
+//! Terms, templates and bindings.
+//!
+//! A *template* (§2.4) is a fact in which any position may hold a variable
+//! instead of an entity. Templates serve three roles in the paper: the
+//! left- and right-hand sides of rules, the atomic formulas of the query
+//! language (§2.7), and the primitive queries used by navigation (§4.1).
+
+use std::fmt;
+
+use loosedb_store::{EntityId, Fact, Pattern};
+
+/// A variable identifier, scoped to the rule or query it appears in.
+///
+/// Variables are small dense integers; the structure that owns the
+/// template (a [`crate::rule::Rule`] or a query) maps them back to names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The raw index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One position of a template: a constant entity or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A constant entity.
+    Const(EntityId),
+    /// A variable.
+    Var(Var),
+}
+
+impl Term {
+    /// Returns the constant, if this term is one.
+    #[inline]
+    pub fn as_const(self) -> Option<EntityId> {
+        match self {
+            Term::Const(e) => Some(e),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Returns the variable, if this term is one.
+    #[inline]
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// True if this term is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Resolves this term under a binding set: constants stay, bound
+    /// variables resolve, free variables yield `None`.
+    #[inline]
+    pub fn resolve(self, bindings: &Bindings) -> Option<EntityId> {
+        match self {
+            Term::Const(e) => Some(e),
+            Term::Var(v) => bindings.get(v),
+        }
+    }
+}
+
+impl From<EntityId> for Term {
+    fn from(e: EntityId) -> Self {
+        Term::Const(e)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+/// A template `(s, r, t)` whose positions are [`Term`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Template {
+    /// The source term.
+    pub s: Term,
+    /// The relationship term.
+    pub r: Term,
+    /// The target term.
+    pub t: Term,
+}
+
+impl Template {
+    /// Creates a template from three terms.
+    pub fn new(s: impl Into<Term>, r: impl Into<Term>, t: impl Into<Term>) -> Self {
+        Template { s: s.into(), r: r.into(), t: t.into() }
+    }
+
+    /// The three terms as an array `[s, r, t]`.
+    #[inline]
+    pub fn terms(&self) -> [Term; 3] {
+        [self.s, self.r, self.t]
+    }
+
+    /// All variables occurring in this template, in position order, with
+    /// duplicates.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms().into_iter().filter_map(Term::as_var)
+    }
+
+    /// True if the template contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.vars().next().is_none()
+    }
+
+    /// The ground fact this template denotes, if it has no variables.
+    pub fn as_fact(&self) -> Option<Fact> {
+        Some(Fact::new(self.s.as_const()?, self.r.as_const()?, self.t.as_const()?))
+    }
+
+    /// The storage [`Pattern`] obtained by resolving terms under
+    /// `bindings`: constants and bound variables become bound positions,
+    /// free variables become wildcards.
+    pub fn to_pattern(&self, bindings: &Bindings) -> Pattern {
+        Pattern::new(
+            self.s.resolve(bindings),
+            self.r.resolve(bindings),
+            self.t.resolve(bindings),
+        )
+    }
+
+    /// Attempts to extend `bindings` so that this template matches `fact`.
+    ///
+    /// On success returns the bindings extended with any newly bound
+    /// variables; on mismatch returns `None` and leaves `bindings`
+    /// untouched (the caller keeps its copy).
+    pub fn unify(&self, fact: &Fact, bindings: &Bindings) -> Option<Bindings> {
+        let mut out = bindings.clone();
+        for (term, actual) in self.terms().into_iter().zip(fact.positions()) {
+            match term {
+                Term::Const(e) => {
+                    if e != actual {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match out.get(v) {
+                    Some(bound) if bound != actual => return None,
+                    Some(_) => {}
+                    None => out.bind(v, actual),
+                },
+            }
+        }
+        Some(out)
+    }
+
+    /// Instantiates this template into a ground fact under `bindings`.
+    /// Returns `None` if any variable is unbound.
+    pub fn instantiate(&self, bindings: &Bindings) -> Option<Fact> {
+        Some(Fact::new(
+            self.s.resolve(bindings)?,
+            self.r.resolve(bindings)?,
+            self.t.resolve(bindings)?,
+        ))
+    }
+
+    /// Substitutes every occurrence of entity `from` with `to`, in every
+    /// position. Used by probing to build broader queries.
+    pub fn replace_entity(&self, from: EntityId, to: EntityId) -> Template {
+        let sub = |term: Term| match term {
+            Term::Const(e) if e == from => Term::Const(to),
+            other => other,
+        };
+        Template { s: sub(self.s), r: sub(self.r), t: sub(self.t) }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = |t: Term| match t {
+            Term::Const(e) => e.to_string(),
+            Term::Var(v) => format!("?{}", v.0),
+        };
+        write!(f, "({}, {}, {})", p(self.s), p(self.r), p(self.t))
+    }
+}
+
+/// A set of variable bindings.
+///
+/// Backed by a small vector indexed by variable id — rules and queries
+/// have few variables, so this is faster and simpler than a map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings {
+    slots: Vec<Option<EntityId>>,
+}
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The binding of `v`, if any.
+    #[inline]
+    pub fn get(&self, v: Var) -> Option<EntityId> {
+        self.slots.get(v.index()).copied().flatten()
+    }
+
+    /// Binds `v` to `e`, growing the slot table as needed.
+    #[inline]
+    pub fn bind(&mut self, v: Var, e: EntityId) {
+        if self.slots.len() <= v.index() {
+            self.slots.resize(v.index() + 1, None);
+        }
+        self.slots[v.index()] = Some(e);
+    }
+
+    /// Removes the binding of `v` (used when backtracking).
+    #[inline]
+    pub fn unbind(&mut self, v: Var) {
+        if let Some(slot) = self.slots.get_mut(v.index()) {
+            *slot = None;
+        }
+    }
+
+    /// True if `v` is bound.
+    #[inline]
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Iterates over `(var, entity)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, EntityId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|e| (Var(i as u32), e)))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn unify_binds_fresh_variables() {
+        let tpl = Template::new(Var(0), e(5), Var(1));
+        let fact = Fact::new(e(1), e(5), e(2));
+        let b = tpl.unify(&fact, &Bindings::new()).expect("unifies");
+        assert_eq!(b.get(Var(0)), Some(e(1)));
+        assert_eq!(b.get(Var(1)), Some(e(2)));
+    }
+
+    #[test]
+    fn unify_respects_existing_bindings() {
+        let tpl = Template::new(Var(0), e(5), Var(0)); // self-citation shape (x, CITES, x)
+        assert!(tpl.unify(&Fact::new(e(1), e(5), e(1)), &Bindings::new()).is_some());
+        assert!(tpl.unify(&Fact::new(e(1), e(5), e(2)), &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn unify_rejects_constant_mismatch() {
+        let tpl = Template::new(e(1), Var(0), e(2));
+        assert!(tpl.unify(&Fact::new(e(9), e(5), e(2)), &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn unify_does_not_mutate_input_on_failure() {
+        let tpl = Template::new(Var(0), e(5), Var(0));
+        let mut b = Bindings::new();
+        b.bind(Var(0), e(7));
+        let before = b.clone();
+        assert!(tpl.unify(&Fact::new(e(1), e(5), e(2)), &b).is_none());
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn to_pattern_mixes_constants_and_bindings() {
+        let tpl = Template::new(Var(0), e(5), Var(1));
+        let mut b = Bindings::new();
+        b.bind(Var(0), e(3));
+        let p = tpl.to_pattern(&b);
+        assert_eq!(p, Pattern::new(Some(e(3)), Some(e(5)), None));
+    }
+
+    #[test]
+    fn instantiate_requires_all_bound() {
+        let tpl = Template::new(Var(0), e(5), Var(1));
+        let mut b = Bindings::new();
+        b.bind(Var(0), e(3));
+        assert_eq!(tpl.instantiate(&b), None);
+        b.bind(Var(1), e(4));
+        assert_eq!(tpl.instantiate(&b), Some(Fact::new(e(3), e(5), e(4))));
+    }
+
+    #[test]
+    fn replace_entity_hits_every_position() {
+        let tpl = Template::new(e(1), e(1), Var(0));
+        let out = tpl.replace_entity(e(1), e(9));
+        assert_eq!(out, Template::new(e(9), e(9), Var(0)));
+    }
+
+    #[test]
+    fn ground_template_to_fact() {
+        let tpl = Template::new(e(1), e(2), e(3));
+        assert!(tpl.is_ground());
+        assert_eq!(tpl.as_fact(), Some(Fact::new(e(1), e(2), e(3))));
+        assert_eq!(Template::new(Var(0), e(2), e(3)).as_fact(), None);
+    }
+
+    #[test]
+    fn bindings_bind_unbind() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        b.bind(Var(3), e(7));
+        assert!(b.is_bound(Var(3)));
+        assert!(!b.is_bound(Var(0)));
+        assert_eq!(b.len(), 1);
+        b.unbind(Var(3));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bindings_iter_in_var_order() {
+        let mut b = Bindings::new();
+        b.bind(Var(2), e(1));
+        b.bind(Var(0), e(5));
+        let pairs: Vec<_> = b.iter().collect();
+        assert_eq!(pairs, vec![(Var(0), e(5)), (Var(2), e(1))]);
+    }
+}

@@ -1,0 +1,436 @@
+//! The retrieval view over a closure: materialized facts plus the virtual
+//! families answered at match time.
+//!
+//! Template retrieval (§2.7) is defined against the *closure*, which
+//! conceptually contains three families the engine deliberately never
+//! materializes:
+//!
+//! 1. **Mathematical facts** (§3.6) — answered by [`crate::mathrel`].
+//! 2. **Reflexive/bounded generalizations** (§2.3) — `(E, ≺, E)`,
+//!    `(E, ≺, Δ)`, `(∇, ≺, E)`.
+//! 3. **`Δ`/`∇` projections of ordinary facts** — by rule G2 every fact
+//!    with an individual relationship implies `(s, Δ, t)`; by G3 it
+//!    implies `(s, r, Δ)`; by G1 it implies `(∇, r, t)`. This is what
+//!    makes the probing retraction `(z, Δ, FREE)` of §5.2 mean "related
+//!    to FREE in *any* way".
+//!
+//! [`ClosureView`] merges all three into the pattern-matching contract:
+//! every fact returned for a pattern *matches the pattern as written*.
+
+use std::collections::BTreeSet;
+
+use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
+
+use crate::closure::Closure;
+use crate::kind::KindRegistry;
+use crate::mathrel::{self, MathMatchError, MathTruth};
+
+/// Read access to the virtual closure: what queries evaluate against.
+///
+/// The trait exists so the query evaluator (crate `loosedb-query`) can run
+/// against any provider — the real [`ClosureView`], or test doubles.
+pub trait FactView {
+    /// The entity interner.
+    fn interner(&self) -> &Interner;
+
+    /// All facts of the (virtual) closure matching a pattern.
+    ///
+    /// Errors only for unenumerable mathematical patterns
+    /// (`(x, ≠, y)` with both sides free).
+    fn matches(&self, pattern: Pattern) -> Result<Vec<Fact>, MathMatchError>;
+
+    /// Membership test against the (virtual) closure.
+    fn holds(&self, fact: &Fact) -> bool;
+
+    /// Cheap upper-bound-ish selectivity estimate for planning: the number
+    /// of *stored* matches, capped at `cap` (virtual families excluded).
+    fn count_estimate(&self, pattern: Pattern, cap: usize) -> usize;
+
+    /// The active domain: every entity occurring in the closure, in id
+    /// order. Used for the universal quantifier (§2.7) and for rendering.
+    fn domain(&self) -> &[EntityId];
+}
+
+/// The standard [`FactView`] over a computed [`Closure`].
+pub struct ClosureView<'a> {
+    closure: &'a Closure,
+    interner: &'a Interner,
+    kinds: &'a KindRegistry,
+    domain: Vec<EntityId>,
+}
+
+impl<'a> ClosureView<'a> {
+    /// Builds a view (computes the active domain once, O(closure)).
+    pub fn new(closure: &'a Closure, interner: &'a Interner, kinds: &'a KindRegistry) -> Self {
+        let mut domain: BTreeSet<EntityId> = BTreeSet::new();
+        for f in closure.iter() {
+            domain.insert(f.s);
+            domain.insert(f.r);
+            domain.insert(f.t);
+        }
+        ClosureView { closure, interner, kinds, domain: domain.into_iter().collect() }
+    }
+
+    /// The underlying closure.
+    pub fn closure(&self) -> &Closure {
+        self.closure
+    }
+
+    /// The kind registry.
+    pub fn kinds(&self) -> &KindRegistry {
+        self.kinds
+    }
+
+    /// True if facts with relationship `r` project to the `Δ`/`∇` virtual
+    /// forms: the §3 rules flow individual relationships and membership.
+    fn projectable(&self, r: EntityId) -> bool {
+        self.kinds.is_individual(r) || r == special::ISA
+    }
+
+    /// Matching for patterns whose relationship is (or may be) `≺`.
+    fn match_gen(&self, p: Pattern, out: &mut BTreeSet<Fact>) {
+        // Stored generalization facts.
+        out.extend(self.closure.matching(p));
+        // Virtual: reflexive and hierarchy bounds. Enumerated only when at
+        // least one side is bound; the fully free template (x, ≺, y)
+        // returns explicit generalizations only (documented deviation —
+        // listing (E, ≺, E) for every entity would bury navigation).
+        match (p.s, p.t) {
+            (Some(s), Some(t)) => {
+                if s == t || t == special::TOP || s == special::BOT {
+                    out.insert(Fact::new(s, special::GEN, t));
+                }
+            }
+            (Some(s), None) => {
+                out.insert(Fact::new(s, special::GEN, s));
+                out.insert(Fact::new(s, special::GEN, special::TOP));
+            }
+            (None, Some(t)) => {
+                out.insert(Fact::new(t, special::GEN, t));
+                out.insert(Fact::new(special::BOT, special::GEN, t));
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+impl FactView for ClosureView<'_> {
+    fn interner(&self) -> &Interner {
+        self.interner
+    }
+
+    fn matches(&self, p: Pattern) -> Result<Vec<Fact>, MathMatchError> {
+        // Mathematical relationship: fully virtual.
+        if let Some(r) = p.r {
+            if special::is_math(r) {
+                return mathrel::matches(self.interner, p);
+            }
+        }
+
+        let mut out: BTreeSet<Fact> = BTreeSet::new();
+
+        match p.r {
+            Some(special::GEN) => self.match_gen(p, &mut out),
+            Some(special::SYN) => {
+                out.extend(self.closure.matching(p));
+                // Virtual reflexive synonymy (mutual reflexive ≺, §3.3),
+                // enumerated when a side is bound.
+                match (p.s, p.t) {
+                    (Some(s), Some(t)) if s == t => {
+                        out.insert(Fact::new(s, special::SYN, t));
+                    }
+                    (Some(s), None) => {
+                        out.insert(Fact::new(s, special::SYN, s));
+                    }
+                    (None, Some(t)) => {
+                        out.insert(Fact::new(t, special::SYN, t));
+                    }
+                    _ => {}
+                }
+            }
+            Some(special::TOP) => {
+                // (s, Δ, t): implied by any projectable fact on (s, t);
+                // composes with the ∇-source and Δ-target rewrites.
+                let s_rw = if p.s == Some(special::BOT) { None } else { p.s };
+                let t_rw = if p.t == Some(special::TOP) { None } else { p.t };
+                for w in self.closure.matching(Pattern::new(s_rw, None, t_rw)) {
+                    if self.projectable(w.r) {
+                        let s = if p.s == Some(special::BOT) { special::BOT } else { w.s };
+                        let t = if p.t == Some(special::TOP) { special::TOP } else { w.t };
+                        out.insert(Fact::new(s, special::TOP, t));
+                    }
+                }
+            }
+            _ => {
+                // Ordinary (or unbound) relationship, with Δ/∇ projections
+                // in the source/target positions.
+                let s_rewritten = if p.s == Some(special::BOT) { None } else { p.s };
+                let t_rewritten = if p.t == Some(special::TOP) { None } else { p.t };
+                let base = Pattern::new(s_rewritten, p.r, t_rewritten);
+                let project =
+                    s_rewritten != p.s || t_rewritten != p.t;
+                for w in self.closure.matching(base) {
+                    if project {
+                        if !self.projectable(w.r) {
+                            continue;
+                        }
+                        let s = if p.s == Some(special::BOT) { special::BOT } else { w.s };
+                        let t = if p.t == Some(special::TOP) { special::TOP } else { w.t };
+                        out.insert(Fact::new(s, w.r, t));
+                    } else {
+                        out.insert(w);
+                    }
+                }
+                // An unbound relationship position also matches the
+                // virtual reflexive ≺ facts when both endpoints coincide
+                // — kept out deliberately (see match_gen); but it must
+                // still see stored ≺ facts, which the base scan included.
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    fn holds(&self, fact: &Fact) -> bool {
+        if special::is_math(fact.r) {
+            return mathrel::eval(self.interner, fact) == Some(MathTruth::True);
+        }
+        if self.closure.contains(fact) {
+            return true;
+        }
+        // Virtual generalization facts, and reflexive synonymy.
+        if fact.r == special::GEN
+            && (fact.s == fact.t || fact.t == special::TOP || fact.s == special::BOT)
+        {
+            return true;
+        }
+        if fact.r == special::SYN && fact.s == fact.t {
+            return true;
+        }
+        // Δ/∇ projections.
+        let needs_projection = fact.r == special::TOP
+            || fact.t == special::TOP
+            || fact.s == special::BOT;
+        if needs_projection {
+            let s = (fact.s != special::BOT).then_some(fact.s);
+            let r = (fact.r != special::TOP).then_some(fact.r);
+            let t = (fact.t != special::TOP).then_some(fact.t);
+            return self
+                .closure
+                .matching(Pattern::new(s, r, t))
+                .any(|w| self.projectable(w.r));
+        }
+        false
+    }
+
+    fn count_estimate(&self, p: Pattern, cap: usize) -> usize {
+        self.closure.count_up_to(p, cap)
+    }
+
+    fn domain(&self) -> &[EntityId] {
+        &self.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{compute, Strategy};
+    use crate::config::InferenceConfig;
+    use crate::rule::RuleSet;
+    use loosedb_store::FactStore;
+
+    struct Fixture {
+        store: FactStore,
+        kinds: KindRegistry,
+        closure: Closure,
+    }
+
+    impl Fixture {
+        fn new(build: impl FnOnce(&mut FactStore, &mut KindRegistry)) -> Self {
+            let mut store = FactStore::new();
+            let mut kinds = KindRegistry::new();
+            build(&mut store, &mut kinds);
+            let closure = compute(
+                &mut store,
+                &kinds,
+                &RuleSet::new(),
+                &InferenceConfig::default(),
+                Strategy::SemiNaive,
+            )
+            .unwrap();
+            Fixture { store, kinds, closure }
+        }
+
+        fn view(&self) -> ClosureView<'_> {
+            ClosureView::new(&self.closure, self.store.interner(), &self.kinds)
+        }
+
+        fn id(&self, name: &str) -> EntityId {
+            self.store.lookup_symbol(name).unwrap()
+        }
+    }
+
+    #[test]
+    fn stored_facts_match() {
+        let fx = Fixture::new(|s, _| {
+            s.add("JOHN", "LIKES", "FELIX");
+        });
+        let v = fx.view();
+        let john = fx.id("JOHN");
+        let got = v.matches(Pattern::from_source(john)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(v.holds(&got[0]));
+    }
+
+    #[test]
+    fn math_patterns_are_virtual() {
+        let fx = Fixture::new(|s, _| {
+            s.add("JOHN", "EARNS", 25000i64);
+            s.entity(20000i64);
+        });
+        let v = fx.view();
+        let n25000 = fx.store.lookup(&25000i64.into()).unwrap();
+        let n20000 = fx.store.lookup(&20000i64.into()).unwrap();
+        assert!(v.holds(&Fact::new(n25000, special::GT, n20000)));
+        let gt: Vec<Fact> =
+            v.matches(Pattern::new(None, Some(special::GT), Some(n20000))).unwrap();
+        assert_eq!(gt, vec![Fact::new(n25000, special::GT, n20000)]);
+    }
+
+    #[test]
+    fn delta_relationship_is_any_association() {
+        // §5.2: (z, Δ, FREE) retrieves "the things ... related to FREE".
+        let fx = Fixture::new(|s, _| {
+            s.add("SONG", "COSTS", "FREE");
+            s.add("AIR", "IS", "FREE");
+            s.add("FREE", "gen", "CHEAP");
+        });
+        let v = fx.view();
+        let free = fx.id("FREE");
+        let got = v.matches(Pattern::new(None, Some(special::TOP), Some(free))).unwrap();
+        let sources: BTreeSet<EntityId> = got.iter().map(|f| f.s).collect();
+        assert_eq!(sources, [fx.id("SONG"), fx.id("AIR")].into_iter().collect());
+        assert!(got.iter().all(|f| f.r == special::TOP && f.t == free));
+        assert!(v.holds(&Fact::new(fx.id("SONG"), special::TOP, free)));
+    }
+
+    #[test]
+    fn delta_target_is_wildcard_target() {
+        let fx = Fixture::new(|s, _| {
+            s.add("JOHN", "LOVES", "OPERA");
+            s.add("JOHN", "LOVES", "MOZART");
+        });
+        let v = fx.view();
+        let john = fx.id("JOHN");
+        let loves = fx.id("LOVES");
+        let got =
+            v.matches(Pattern::new(Some(john), Some(loves), Some(special::TOP))).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], Fact::new(john, loves, special::TOP));
+        assert!(v.holds(&got[0]));
+    }
+
+    #[test]
+    fn bot_source_is_wildcard_source() {
+        let fx = Fixture::new(|s, _| {
+            s.add("STUDENT", "LOVE", "MUSIC");
+        });
+        let v = fx.view();
+        let love = fx.id("LOVE");
+        let music = fx.id("MUSIC");
+        let got =
+            v.matches(Pattern::new(Some(special::BOT), Some(love), Some(music))).unwrap();
+        assert_eq!(got, vec![Fact::new(special::BOT, love, music)]);
+        assert!(v.holds(&got[0]));
+    }
+
+    #[test]
+    fn class_relationships_do_not_project() {
+        let fx = Fixture::new(|s, k| {
+            let total = s.entity("TOTAL-NUMBER");
+            k.declare_class(total);
+            s.add("EMPLOYEE", "TOTAL-NUMBER", "N180");
+        });
+        let v = fx.view();
+        let employee = fx.id("EMPLOYEE");
+        let n180 = fx.id("N180");
+        // Class facts do not imply (s, Δ, t).
+        assert!(!v.holds(&Fact::new(employee, special::TOP, n180)));
+        let got = v
+            .matches(Pattern::new(Some(employee), Some(special::TOP), None))
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn virtual_gen_facts_hold_and_enumerate() {
+        let fx = Fixture::new(|s, _| {
+            s.add("EMPLOYEE", "gen", "PERSON");
+        });
+        let v = fx.view();
+        let employee = fx.id("EMPLOYEE");
+        let person = fx.id("PERSON");
+        assert!(v.holds(&Fact::new(employee, special::GEN, employee)));
+        assert!(v.holds(&Fact::new(employee, special::GEN, special::TOP)));
+        assert!(v.holds(&Fact::new(special::BOT, special::GEN, person)));
+        assert!(!v.holds(&Fact::new(person, special::GEN, employee)));
+
+        // (EMPLOYEE, ≺, y): stored parent + reflexive + Δ.
+        let got = v
+            .matches(Pattern::new(Some(employee), Some(special::GEN), None))
+            .unwrap();
+        let targets: BTreeSet<EntityId> = got.iter().map(|f| f.t).collect();
+        assert_eq!(targets, [person, employee, special::TOP].into_iter().collect());
+    }
+
+    #[test]
+    fn fully_free_gen_template_lists_stored_only() {
+        let fx = Fixture::new(|s, _| {
+            s.add("EMPLOYEE", "gen", "PERSON");
+            s.add("JOHN", "LIKES", "FELIX");
+        });
+        let v = fx.view();
+        let got = v.matches(Pattern::from_rel(special::GEN)).unwrap();
+        assert_eq!(got.len(), 1); // only the explicit generalization
+    }
+
+    #[test]
+    fn domain_is_sorted_distinct_closure_entities() {
+        let fx = Fixture::new(|s, _| {
+            s.add("A", "R", "B");
+            s.add("B", "R", "C");
+        });
+        let v = fx.view();
+        let domain = v.domain();
+        assert!(domain.windows(2).all(|w| w[0] < w[1]));
+        assert!(domain.contains(&fx.id("A")));
+        assert!(domain.contains(&fx.id("R")));
+        assert!(domain.contains(&fx.id("C")));
+        // Interned but unused entities are not in the domain.
+        assert!(!domain.contains(&special::CONTRA));
+    }
+
+    #[test]
+    fn returned_facts_always_match_the_pattern() {
+        let fx = Fixture::new(|s, _| {
+            s.add("JOHN", "LOVES", "OPERA");
+            s.add("OPERA", "gen", "MUSIC");
+            s.add("JOHN", "isa", "PERSON");
+        });
+        let v = fx.view();
+        let patterns = [
+            Pattern::ANY,
+            Pattern::from_source(fx.id("JOHN")),
+            Pattern::new(Some(fx.id("JOHN")), Some(special::TOP), None),
+            Pattern::new(None, Some(fx.id("LOVES")), Some(special::TOP)),
+            Pattern::new(Some(special::BOT), Some(fx.id("LOVES")), None),
+            Pattern::new(Some(fx.id("OPERA")), Some(special::GEN), None),
+        ];
+        for p in patterns {
+            for f in v.matches(p).unwrap() {
+                assert!(p.matches(&f), "pattern {p} returned non-matching {f}");
+                assert!(v.holds(&f), "pattern {p} returned fact {f} that does not hold");
+            }
+        }
+    }
+}

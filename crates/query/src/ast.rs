@@ -1,0 +1,361 @@
+//! The query language AST (§2.7).
+//!
+//! Formulas are built from template atoms with conjunction, disjunction
+//! and the two quantifiers — deliberately *without* negation: the paper
+//! argues complements are relationships (`≠`, or a complementary
+//! relationship like `DISLIKES`), not connectives.
+//!
+//! A [`Query`] is a formula together with its free variables, which are
+//! its answer columns: the value of `Q(x₁ … xₙ)` is the set of tuples
+//! satisfying the formula over the database closure.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use loosedb_engine::{Template, Term, Var};
+use loosedb_store::{EntityId, Interner};
+
+/// A well-formed formula (§2.7).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// A template atom: satisfied by every matching closure fact.
+    Atom(Template),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification (active-domain semantics).
+    ForAll(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction helper.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// The free variables of the formula, in ascending id order.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut out, &mut Vec::new());
+        out
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>, bound: &mut Vec<Var>) {
+        match self {
+            Formula::Atom(tpl) => {
+                for v in tpl.vars() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free(out, bound);
+                b.collect_free(out, bound);
+            }
+            Formula::Exists(v, a) | Formula::ForAll(v, a) => {
+                bound.push(*v);
+                a.collect_free(out, bound);
+                bound.pop();
+            }
+        }
+    }
+
+    /// All template atoms, in syntactic order.
+    pub fn atoms(&self) -> Vec<&Template> {
+        let mut out = Vec::new();
+        self.walk_atoms(&mut out);
+        out
+    }
+
+    fn walk_atoms<'a>(&'a self, out: &mut Vec<&'a Template>) {
+        match self {
+            Formula::Atom(t) => out.push(t),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.walk_atoms(out);
+                b.walk_atoms(out);
+            }
+            Formula::Exists(_, a) | Formula::ForAll(_, a) => a.walk_atoms(out),
+        }
+    }
+
+    /// All constant entities mentioned by the formula's atoms, in
+    /// ascending id order — the candidates probing may generalize (§5.1).
+    pub fn constants(&self) -> BTreeSet<EntityId> {
+        self.atoms()
+            .into_iter()
+            .flat_map(|t| t.terms())
+            .filter_map(Term::as_const)
+            .collect()
+    }
+
+    /// Replaces the atom at `index` (in [`Formula::atoms`] order) using
+    /// `replace`; returns the rewritten formula. Used by probing to build
+    /// broader queries (§5.1) and to delete degenerate templates (§5.2,
+    /// where `replace` returns `None`).
+    pub fn rewrite_atom(
+        &self,
+        index: usize,
+        replace: &impl Fn(&Template) -> Option<Template>,
+    ) -> Formula {
+        let mut counter = 0usize;
+        self.rewrite_rec(index, replace, &mut counter).unwrap_or(Formula::TRUE)
+    }
+
+    /// The trivially true formula, represented as the empty conjunction of
+    /// a deleted degenerate template. Encoded as an atom over three fresh
+    /// anonymous variables is *not* equivalent (it requires a non-empty
+    /// database), so deletion is handled structurally: `rewrite_rec`
+    /// returning `None` means "this subformula disappeared".
+    pub const TRUE: Formula = Formula::Atom(Template {
+        s: Term::Var(Var(u32::MAX)),
+        r: Term::Var(Var(u32::MAX)),
+        t: Term::Var(Var(u32::MAX)),
+    });
+
+    /// True if this is the sentinel [`Formula::TRUE`].
+    pub fn is_true_sentinel(&self) -> bool {
+        matches!(self, Formula::Atom(t) if t.s == Term::Var(Var(u32::MAX)))
+    }
+
+    fn rewrite_rec(
+        &self,
+        index: usize,
+        replace: &impl Fn(&Template) -> Option<Template>,
+        counter: &mut usize,
+    ) -> Option<Formula> {
+        match self {
+            Formula::Atom(t) => {
+                let here = *counter;
+                *counter += 1;
+                if here == index {
+                    replace(t).map(Formula::Atom)
+                } else {
+                    Some(Formula::Atom(*t))
+                }
+            }
+            Formula::And(a, b) => {
+                let left = a.rewrite_rec(index, replace, counter);
+                let right = b.rewrite_rec(index, replace, counter);
+                match (left, right) {
+                    (Some(l), Some(r)) => Some(l.and(r)),
+                    (Some(l), None) => Some(l),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                }
+            }
+            Formula::Or(a, b) => {
+                let left = a.rewrite_rec(index, replace, counter);
+                let right = b.rewrite_rec(index, replace, counter);
+                match (left, right) {
+                    (Some(l), Some(r)) => Some(l.or(r)),
+                    // A deleted disjunct was trivially true, making the
+                    // disjunction trivially true.
+                    _ => None,
+                }
+            }
+            Formula::Exists(v, a) => {
+                a.rewrite_rec(index, replace, counter).map(|f| Formula::Exists(*v, Box::new(f)))
+            }
+            Formula::ForAll(v, a) => {
+                a.rewrite_rec(index, replace, counter).map(|f| Formula::ForAll(*v, Box::new(f)))
+            }
+        }
+    }
+}
+
+/// A query: a formula plus its answer columns and variable names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// Display names of all variables; `Var(i)` indexes this table.
+    pub var_names: Vec<String>,
+    /// The answer columns, in declaration (or first-occurrence) order.
+    pub free: Vec<Var>,
+    /// The formula.
+    pub formula: Formula,
+}
+
+impl Query {
+    /// Builds a query from a formula, with answer columns in ascending
+    /// variable order.
+    pub fn from_formula(formula: Formula, var_names: Vec<String>) -> Self {
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        Query { var_names, free, formula }
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.var_names
+            .get(v.index())
+            .map(String::as_str)
+            .unwrap_or("_")
+    }
+
+    /// True if this query is a proposition (closed formula, §2.7).
+    pub fn is_proposition(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Renders the query with names and entity values.
+    pub fn render(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        // Anonymous (`*`) variables cannot be named in a header; list the
+        // named free variables only, and omit the header when there are
+        // none (a bare template query).
+        let named: Vec<Var> =
+            self.free.iter().copied().filter(|v| self.var_name(*v) != "_").collect();
+        if !named.is_empty() {
+            out.push_str("Q(");
+            for (i, v) in named.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('?');
+                out.push_str(self.var_name(*v));
+            }
+            out.push_str(") := ");
+        }
+        out.push_str(&self.render_formula(&self.formula, interner));
+        out
+    }
+
+    fn render_formula(&self, f: &Formula, interner: &Interner) -> String {
+        match f {
+            Formula::Atom(t) => {
+                let term = |x: Term| match x {
+                    Term::Const(e) => interner.display(e),
+                    Term::Var(v) if v.0 == u32::MAX || self.var_name(v) == "_" => {
+                        "*".to_string()
+                    }
+                    Term::Var(v) => format!("?{}", self.var_name(v)),
+                };
+                format!("({}, {}, {})", term(t.s), term(t.r), term(t.t))
+            }
+            Formula::And(a, b) => format!(
+                "{} & {}",
+                self.render_formula(a, interner),
+                self.render_formula(b, interner)
+            ),
+            Formula::Or(a, b) => format!(
+                "({} | {})",
+                self.render_formula(a, interner),
+                self.render_formula(b, interner)
+            ),
+            Formula::Exists(v, a) => {
+                format!("exists ?{} . {}", self.var_name(*v), self.render_formula(a, interner))
+            }
+            Formula::ForAll(v, a) => {
+                format!("forall ?{} . {}", self.var_name(*v), self.render_formula(a, interner))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query with {} free variable(s)", self.free.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> Term {
+        Term::Const(EntityId(i))
+    }
+
+    fn atom(s: Term, r: Term, t: Term) -> Formula {
+        Formula::Atom(Template::new(s, r, t))
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        // Q(y) = ∃x ((x, 1, y) ∧ (x, 2, 3))
+        let f = Formula::Exists(
+            Var(0),
+            Box::new(atom(Term::Var(Var(0)), e(1), Term::Var(Var(1))).and(atom(
+                Term::Var(Var(0)),
+                e(2),
+                e(3),
+            ))),
+        );
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn closed_formula_is_proposition() {
+        let f = atom(e(1), e(2), e(3)).and(atom(e(3), e(2), e(1)));
+        let q = Query::from_formula(f, vec![]);
+        assert!(q.is_proposition());
+    }
+
+    #[test]
+    fn atoms_in_syntactic_order() {
+        let f = atom(e(1), e(2), e(3)).and(atom(e(4), e(5), e(6)).or(atom(e(7), e(8), e(9))));
+        let atoms = f.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0].s, e(1));
+        assert_eq!(atoms[2].s, e(7));
+    }
+
+    #[test]
+    fn constants_collected() {
+        let f = atom(Term::Var(Var(0)), e(2), e(3)).and(atom(e(3), e(5), Term::Var(Var(1))));
+        let consts: Vec<u32> = f.constants().into_iter().map(|c| c.0).collect();
+        assert_eq!(consts, vec![2, 3, 5]);
+    }
+
+    #[test]
+    fn rewrite_single_atom() {
+        let f = atom(e(1), e(2), e(3)).and(atom(e(4), e(5), e(6)));
+        let g = f.rewrite_atom(1, &|t| Some(Template::new(e(9), t.r, t.t)));
+        let atoms = g.atoms();
+        assert_eq!(atoms[0].s, e(1));
+        assert_eq!(atoms[1].s, e(9));
+        // Original untouched.
+        assert_eq!(f.atoms()[1].s, e(4));
+    }
+
+    #[test]
+    fn rewrite_delete_conjunct() {
+        let f = atom(e(1), e(2), e(3)).and(atom(e(4), e(5), e(6)));
+        let g = f.rewrite_atom(0, &|_| None);
+        assert_eq!(g.atoms().len(), 1);
+        assert_eq!(g.atoms()[0].s, e(4));
+    }
+
+    #[test]
+    fn rewrite_delete_only_atom_leaves_true_sentinel() {
+        let f = atom(e(1), e(2), e(3));
+        let g = f.rewrite_atom(0, &|_| None);
+        assert!(g.is_true_sentinel());
+    }
+
+    #[test]
+    fn rewrite_delete_disjunct_makes_disjunction_true() {
+        let f = atom(e(1), e(2), e(3)).or(atom(e(4), e(5), e(6)));
+        let g = f.rewrite_atom(0, &|_| None);
+        assert!(g.is_true_sentinel());
+    }
+
+    #[test]
+    fn rewrite_under_quantifier() {
+        let f = Formula::Exists(Var(0), Box::new(atom(Term::Var(Var(0)), e(2), e(3))));
+        let g = f.rewrite_atom(0, &|t| Some(Template::new(t.s, t.r, e(9))));
+        match g {
+            Formula::Exists(_, inner) => {
+                assert_eq!(inner.atoms()[0].t, e(9));
+            }
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,965 @@
+//! Query evaluation against a [`FactView`].
+//!
+//! The value of a query (§2.7) is the set of tuples over its free
+//! variables that satisfy the formula in the database closure. Evaluation
+//! is bottom-up with one key optimization: conjunctions are flattened and
+//! evaluated by *binding propagation* — partial bindings flow left to
+//! right through the conjuncts, so each atom is matched through the store
+//! indexes with everything already known bound. The conjunct order is
+//! chosen greedily by boundness and selectivity ([`AtomOrdering::Greedy`],
+//! the planner); the syntactic order is kept as the baseline for
+//! experiment E6.
+//!
+//! The universal quantifier uses active-domain semantics: `(∀x) A` holds
+//! for a binding of the remaining variables iff `A` holds for *every
+//! entity occurring in the closure* substituted for `x`.
+
+use std::collections::BTreeSet;
+
+use loosedb_engine::{Bindings, FactView, MathMatchError, Template, Term, Var};
+use loosedb_store::{special, EntityId};
+
+use crate::ast::{Formula, Query};
+
+/// How conjuncts are ordered during evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AtomOrdering {
+    /// Most-bound-first with selectivity tie-breaks (the planner).
+    #[default]
+    Greedy,
+    /// Exactly as written (baseline for experiment E6).
+    Syntactic,
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvalOptions {
+    /// Conjunct ordering strategy.
+    pub ordering: AtomOrdering,
+    /// Abort when an intermediate result exceeds this many rows.
+    pub max_rows: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 1_000_000 }
+    }
+}
+
+/// Errors during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A mathematical atom could not be enumerated with the bindings
+    /// available (e.g. `(x, ≠, y)` with both sides free).
+    Math(MathMatchError),
+    /// An intermediate result exceeded [`EvalOptions::max_rows`].
+    ResultTooLarge {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Math(e) => write!(f, "{e}"),
+            EvalError::ResultTooLarge { limit } => {
+                write!(f, "intermediate result exceeded {limit} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<MathMatchError> for EvalError {
+    fn from(e: MathMatchError) -> Self {
+        EvalError::Math(e)
+    }
+}
+
+/// The value of a query: named columns and a set of tuples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Answer {
+    /// The free variables, in the query's declared order.
+    pub columns: Vec<Var>,
+    /// Display names matching `columns`.
+    pub names: Vec<String>,
+    /// The satisfying tuples, ordered.
+    pub rows: BTreeSet<Vec<EntityId>>,
+}
+
+impl Answer {
+    /// True if the query succeeded — a non-empty answer (probing treats
+    /// the empty answer as *failure*, §5).
+    pub fn succeeded(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// For a proposition (no free variables): its truth value.
+    pub fn is_true(&self) -> bool {
+        self.succeeded()
+    }
+
+    /// Number of answer tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The values of a single-column answer.
+    pub fn single_column(&self) -> Option<Vec<EntityId>> {
+        if self.columns.len() == 1 {
+            Some(self.rows.iter().map(|row| row[0]).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Renders the answer as a simple table.
+    pub fn render(&self, interner: &loosedb_store::Interner) -> String {
+        if self.columns.is_empty() {
+            return if self.is_true() { "true".to_string() } else { "false".to_string() };
+        }
+        let mut out = String::new();
+        out.push_str(&self.names.join(" | "));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|&e| interner.display(e)).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Evaluates a query with default options.
+pub fn eval(query: &Query, view: &impl FactView) -> Result<Answer, EvalError> {
+    eval_with(query, view, EvalOptions::default())
+}
+
+/// Evaluates a query with explicit options.
+pub fn eval_with(
+    query: &Query,
+    view: &impl FactView,
+    opts: EvalOptions,
+) -> Result<Answer, EvalError> {
+    let rel = eval_formula(&query.formula, view, &opts)?;
+    // Project to the declared free-variable order.
+    let positions: Vec<Option<usize>> =
+        query.free.iter().map(|v| rel.cols.iter().position(|c| c == v)).collect();
+    let mut rows = BTreeSet::new();
+    for row in &rel.rows {
+        let projected: Vec<EntityId> = positions
+            .iter()
+            .map(|p| p.map(|i| row[i]).unwrap_or(special::TOP))
+            .collect();
+        rows.insert(projected);
+    }
+    let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
+    Ok(Answer { columns: query.free.clone(), names, rows })
+}
+
+/// Renders the evaluation plan for a query without executing it: the
+/// order the greedy planner would process conjuncts in, with boundness
+/// and the capped selectivity estimate at each step. The paper's user
+/// "zooms" with queries; this is the systems-side view of what a zoom
+/// costs.
+pub fn explain_plan(query: &Query, view: &impl FactView) -> String {
+    let mut out = String::new();
+    explain_formula(&query.formula, query, view, 0, &mut out);
+    out
+}
+
+fn explain_formula(
+    f: &Formula,
+    query: &Query,
+    view: &impl FactView,
+    depth: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    if f.is_true_sentinel() {
+        out.push_str(&format!("{indent}TRUE\n"));
+        return;
+    }
+    match f {
+        Formula::Atom(_) | Formula::And(..) => {
+            let mut conjuncts = Vec::new();
+            flatten_and(f, &mut conjuncts);
+            out.push_str(&format!("{indent}join ({} conjuncts, greedy order):\n", conjuncts.len()));
+            // Simulate the greedy ordering without evaluating: complex
+            // conjuncts are treated as opaque relations of unknown size.
+            let mut remaining: Vec<&Formula> = conjuncts;
+            let mut covered: BTreeSet<Var> = BTreeSet::new();
+            let mut step = 0;
+            while !remaining.is_empty() {
+                // Build Conjunct wrappers for pick_next scoring.
+                let items: Vec<Conjunct<'_>> = remaining
+                    .iter()
+                    .map(|c| match c {
+                        Formula::Atom(tpl) => Conjunct::Atom(tpl),
+                        other => Conjunct::Rel(Rel {
+                            cols: other.free_vars().into_iter().collect(),
+                            rows: BTreeSet::new(),
+                        }),
+                    })
+                    .collect();
+                let next = pick_next(&items, &covered, view);
+                let chosen = remaining.remove(next);
+                step += 1;
+                match chosen {
+                    Formula::Atom(tpl) => {
+                        let bound = tpl
+                            .terms()
+                            .into_iter()
+                            .filter(|t| match t {
+                                Term::Const(_) => true,
+                                Term::Var(v) => covered.contains(v),
+                            })
+                            .count();
+                        let est = view.count_estimate(tpl.to_pattern(&Bindings::new()), 1024);
+                        let est = if est >= 1024 { ">=1024".to_string() } else { est.to_string() };
+                        out.push_str(&format!(
+                            "{indent}  {step}. {}   [bound {bound}/3, const-est {est}]\n",
+                            render_template(tpl, query, view.interner()),
+                        ));
+                        covered.extend(tpl.vars());
+                    }
+                    other => {
+                        out.push_str(&format!("{indent}  {step}. subplan:\n"));
+                        explain_formula(other, query, view, depth + 2, out);
+                        covered.extend(other.free_vars());
+                    }
+                }
+            }
+        }
+        Formula::Or(a, b) => {
+            out.push_str(&format!("{indent}union:\n"));
+            explain_formula(a, query, view, depth + 1, out);
+            explain_formula(b, query, view, depth + 1, out);
+        }
+        Formula::Exists(v, a) => {
+            out.push_str(&format!("{indent}project out ?{}:\n", query.var_name(*v)));
+            explain_formula(a, query, view, depth + 1, out);
+        }
+        Formula::ForAll(v, a) => {
+            out.push_str(&format!(
+                "{indent}divide by active domain over ?{}:\n",
+                query.var_name(*v)
+            ));
+            explain_formula(a, query, view, depth + 1, out);
+        }
+    }
+}
+
+fn render_template(
+    tpl: &Template,
+    query: &Query,
+    interner: &loosedb_store::Interner,
+) -> String {
+    let term = |t: Term| match t {
+        Term::Const(e) => interner.display(e),
+        Term::Var(v) if query.var_name(v) == "_" => "*".to_string(),
+        Term::Var(v) => format!("?{}", query.var_name(v)),
+    };
+    format!("({}, {}, {})", term(tpl.s), term(tpl.r), term(tpl.t))
+}
+
+/// An intermediate relation: sorted columns, tuple set.
+#[derive(Clone, Debug)]
+struct Rel {
+    cols: Vec<Var>,
+    rows: BTreeSet<Vec<EntityId>>,
+}
+
+impl Rel {
+    fn truth(value: bool) -> Rel {
+        let mut rows = BTreeSet::new();
+        if value {
+            rows.insert(Vec::new());
+        }
+        Rel { cols: Vec::new(), rows }
+    }
+}
+
+fn eval_formula(f: &Formula, view: &impl FactView, opts: &EvalOptions) -> Result<Rel, EvalError> {
+    if f.is_true_sentinel() {
+        return Ok(Rel::truth(true));
+    }
+    match f {
+        Formula::Atom(_) | Formula::And(..) => {
+            let mut conjuncts = Vec::new();
+            flatten_and(f, &mut conjuncts);
+            eval_conjunction(&conjuncts, view, opts)
+        }
+        Formula::Or(a, b) => {
+            let left = eval_formula(a, view, opts)?;
+            let right = eval_formula(b, view, opts)?;
+            union(left, right, view, opts)
+        }
+        Formula::Exists(v, a) => {
+            let rel = eval_formula(a, view, opts)?;
+            Ok(project_out(rel, *v))
+        }
+        Formula::ForAll(v, a) => {
+            let rel = eval_formula(a, view, opts)?;
+            Ok(forall(rel, *v, view.domain()))
+        }
+    }
+}
+
+fn flatten_and<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match f {
+        Formula::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// A conjunct during join planning.
+enum Conjunct<'f> {
+    Atom(&'f Template),
+    Rel(Rel),
+}
+
+fn eval_conjunction(
+    conjuncts: &[&Formula],
+    view: &impl FactView,
+    opts: &EvalOptions,
+) -> Result<Rel, EvalError> {
+    // Pre-evaluate complex conjuncts (disjunctions, quantifiers) into
+    // relations; atoms stay symbolic so they can use the indexes.
+    let mut items: Vec<Conjunct<'_>> = Vec::with_capacity(conjuncts.len());
+    let mut free_vars: BTreeSet<Var> = BTreeSet::new();
+    for c in conjuncts {
+        free_vars.extend(c.free_vars());
+        match c {
+            Formula::Atom(tpl) if !c.is_true_sentinel() => items.push(Conjunct::Atom(tpl)),
+            _ if c.is_true_sentinel() => {}
+            other => items.push(Conjunct::Rel(eval_formula(other, view, opts)?)),
+        }
+    }
+
+    let mut remaining: Vec<Conjunct<'_>> = items;
+    let mut covered: BTreeSet<Var> = BTreeSet::new();
+    let mut partials: Vec<Bindings> = vec![Bindings::new()];
+
+    while !remaining.is_empty() {
+        let next_index = match opts.ordering {
+            AtomOrdering::Syntactic => 0,
+            AtomOrdering::Greedy => pick_next(&remaining, &covered, view),
+        };
+        let item = remaining.remove(next_index);
+        let mut extended: Vec<Bindings> = Vec::new();
+        match item {
+            Conjunct::Atom(tpl) => {
+                for b in &partials {
+                    let pattern = tpl.to_pattern(b);
+                    for fact in view.matches(pattern)? {
+                        if let Some(b2) = tpl.unify(&fact, b) {
+                            extended.push(b2);
+                        }
+                    }
+                    if extended.len() > opts.max_rows {
+                        return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
+                    }
+                }
+                covered.extend(tpl.vars());
+            }
+            Conjunct::Rel(rel) => {
+                for b in &partials {
+                    'row: for row in &rel.rows {
+                        let mut merged = b.clone();
+                        for (col, &value) in rel.cols.iter().zip(row) {
+                            match merged.get(*col) {
+                                Some(existing) if existing != value => continue 'row,
+                                Some(_) => {}
+                                None => merged.bind(*col, value),
+                            }
+                        }
+                        extended.push(merged);
+                    }
+                    if extended.len() > opts.max_rows {
+                        return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
+                    }
+                }
+                covered.extend(rel.cols.iter().copied());
+            }
+        }
+        partials = extended;
+        if partials.is_empty() {
+            break;
+        }
+    }
+
+    let cols: Vec<Var> = free_vars.into_iter().collect();
+    let mut rows = BTreeSet::new();
+    for b in partials {
+        let row: Vec<EntityId> = cols
+            .iter()
+            .map(|v| b.get(*v).expect("all conjunct variables bound after full join"))
+            .collect();
+        rows.insert(row);
+    }
+    Ok(Rel { cols, rows })
+}
+
+/// Greedy choice, in lexicographic priority:
+///
+/// 1. **Connectivity** — an atom that shares a variable with what is
+///    already bound (or has no variables at all) extends the join; a
+///    disconnected atom would cross-product every partial binding with
+///    its full extension.
+/// 2. **Boundness** — more constant-or-covered positions mean tighter
+///    index probes; math atoms are slightly deprioritized so they run as
+///    checks once their operands are known.
+/// 3. **Selectivity** — a capped constant-only count probe breaks ties.
+fn pick_next(remaining: &[Conjunct<'_>], covered: &BTreeSet<Var>, view: &impl FactView) -> usize {
+    let nothing_covered = covered.is_empty();
+    let mut best = 0usize;
+    let mut best_key = (i64::MIN, i64::MIN, i64::MIN);
+    for (i, item) in remaining.iter().enumerate() {
+        let key = match item {
+            Conjunct::Atom(tpl) => {
+                let vars: Vec<Var> = tpl.vars().collect();
+                let connected = nothing_covered
+                    || vars.is_empty()
+                    || vars.iter().any(|v| covered.contains(v));
+                let bound = tpl
+                    .terms()
+                    .into_iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => covered.contains(v),
+                    })
+                    .count() as i64;
+                let is_math = tpl.r.as_const().is_some_and(special::is_math);
+                // Selectivity probe with constants only (cheap, capped).
+                let const_pattern = tpl.to_pattern(&Bindings::new());
+                let estimate = if is_math {
+                    1024
+                } else {
+                    view.count_estimate(const_pattern, 1024) as i64
+                };
+                (connected as i64, bound * 2 - is_math as i64, -estimate)
+            }
+            Conjunct::Rel(rel) => {
+                let connected = nothing_covered
+                    || rel.cols.is_empty()
+                    || rel.cols.iter().any(|c| covered.contains(c));
+                let bound = rel.cols.iter().filter(|c| covered.contains(c)).count() as i64;
+                (connected as i64, bound * 2, -(rel.rows.len() as i64))
+            }
+        };
+        if key > best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Union with active-domain padding for heterogeneous columns.
+fn union(a: Rel, b: Rel, view: &impl FactView, opts: &EvalOptions) -> Result<Rel, EvalError> {
+    let cols: Vec<Var> = a
+        .cols
+        .iter()
+        .chain(b.cols.iter())
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut rows = BTreeSet::new();
+    for (rel, _other) in [(&a, &b), (&b, &a)] {
+        let pad_cols: Vec<Var> =
+            cols.iter().copied().filter(|c| !rel.cols.contains(c)).collect();
+        let pad_space = view.domain().len().pow(pad_cols.len() as u32).max(1);
+        if rel.rows.len().saturating_mul(pad_space) > opts.max_rows {
+            return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
+        }
+        for row in &rel.rows {
+            pad_row(&cols, rel, row, &pad_cols, view.domain(), &mut Vec::new(), &mut rows);
+        }
+    }
+    Ok(Rel { cols, rows })
+}
+
+/// Recursively enumerates domain values for the padded columns.
+fn pad_row(
+    cols: &[Var],
+    rel: &Rel,
+    row: &[EntityId],
+    pad_cols: &[Var],
+    domain: &[EntityId],
+    pad_values: &mut Vec<EntityId>,
+    out: &mut BTreeSet<Vec<EntityId>>,
+) {
+    if pad_values.len() == pad_cols.len() {
+        let full: Vec<EntityId> = cols
+            .iter()
+            .map(|c| {
+                if let Some(i) = rel.cols.iter().position(|rc| rc == c) {
+                    row[i]
+                } else {
+                    let j = pad_cols.iter().position(|pc| pc == c).expect("padded");
+                    pad_values[j]
+                }
+            })
+            .collect();
+        out.insert(full);
+        return;
+    }
+    for &d in domain {
+        pad_values.push(d);
+        pad_row(cols, rel, row, pad_cols, domain, pad_values, out);
+        pad_values.pop();
+    }
+}
+
+/// Removes a column (existential projection).
+fn project_out(rel: Rel, v: Var) -> Rel {
+    match rel.cols.iter().position(|c| *c == v) {
+        None => rel,
+        Some(i) => {
+            let cols: Vec<Var> =
+                rel.cols.iter().copied().filter(|c| *c != v).collect();
+            let rows: BTreeSet<Vec<EntityId>> = rel
+                .rows
+                .into_iter()
+                .map(|mut row| {
+                    row.remove(i);
+                    row
+                })
+                .collect();
+            Rel { cols, rows }
+        }
+    }
+}
+
+/// Universal quantification: keep groups covering the whole domain.
+fn forall(rel: Rel, v: Var, domain: &[EntityId]) -> Rel {
+    let Some(vi) = rel.cols.iter().position(|c| *c == v) else {
+        // v not free in the body: (∀x) A ≡ A over a non-empty domain;
+        // over the empty domain the quantification is vacuously true,
+        // which for a formula with no x-dependence is A as well.
+        return rel;
+    };
+    let cols: Vec<Var> = rel.cols.iter().copied().filter(|c| *c != v).collect();
+    let mut groups: std::collections::HashMap<Vec<EntityId>, BTreeSet<EntityId>> =
+        std::collections::HashMap::new();
+    for row in &rel.rows {
+        let mut key = row.clone();
+        let value = key.remove(vi);
+        groups.entry(key).or_default().insert(value);
+    }
+    let rows: BTreeSet<Vec<EntityId>> = groups
+        .into_iter()
+        .filter(|(_, values)| domain.iter().all(|d| values.contains(d)))
+        .map(|(key, _)| key)
+        .collect();
+    Rel { cols, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use loosedb_engine::Database;
+
+    /// Evaluates a textual query against a database built by `build`.
+    fn run(build: impl FnOnce(&mut Database), src: &str) -> (Answer, Database) {
+        let mut db = Database::new();
+        build(&mut db);
+        let query = parse(src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let answer = eval(&query, &view).expect("eval");
+        drop(view);
+        (answer, db)
+    }
+
+    fn names(db: &Database, answer: &Answer) -> Vec<Vec<String>> {
+        answer
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&e| db.display(e)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_template_single_free_var() {
+        let (answer, db) = run(
+            |db| {
+                db.add("WAR-AND-PEACE", "isa", "BOOK");
+                db.add("ULYSSES", "isa", "BOOK");
+                db.add("JOHN", "isa", "PERSON");
+            },
+            "(?y, isa, BOOK)",
+        );
+        let got: std::collections::BTreeSet<Vec<String>> =
+            names(&db, &answer).into_iter().collect();
+        let expected: std::collections::BTreeSet<Vec<String>> =
+            [vec!["WAR-AND-PEACE".to_string()], vec!["ULYSSES".to_string()]]
+                .into_iter()
+                .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn paper_self_citing_authors() {
+        // §2.7: all authors who cite themselves.
+        let (answer, db) = run(
+            |db| {
+                db.add("BOOK-A", "isa", "BOOK");
+                db.add("BOOK-B", "isa", "BOOK");
+                db.add("JOHN", "isa", "PERSON");
+                db.add("MARY", "isa", "PERSON");
+                db.add("BOOK-A", "CITES", "BOOK-A"); // self-citation
+                db.add("BOOK-A", "AUTHOR", "JOHN");
+                db.add("BOOK-B", "CITES", "BOOK-A");
+                db.add("BOOK-B", "AUTHOR", "MARY");
+            },
+            "Q(?y) := exists ?x . (?x, isa, BOOK) & (?y, isa, PERSON) \
+             & (?x, CITES, ?x) & (?x, AUTHOR, ?y)",
+        );
+        assert_eq!(names(&db, &answer), vec![vec!["JOHN".to_string()]]);
+    }
+
+    #[test]
+    fn paper_salary_query() {
+        // §3.6: employees earning over 20000.
+        let (answer, db) = run(
+            |db| {
+                db.add("JOHN", "isa", "EMPLOYEE");
+                db.add("JOHN", "EARNS", 25000i64);
+                db.add("MARY", "isa", "EMPLOYEE");
+                db.add("MARY", "EARNS", 18000i64);
+            },
+            "Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)",
+        );
+        assert_eq!(names(&db, &answer), vec![vec!["JOHN".to_string()]]);
+    }
+
+    #[test]
+    fn proposition_queries() {
+        let (answer, _) = run(
+            |db| {
+                db.add("JOHN", "LIKES", "FELIX");
+                db.add("FELIX", "LIKES", "JOHN");
+            },
+            "(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)",
+        );
+        assert!(answer.is_true());
+
+        let (answer, _) = run(
+            |db| {
+                db.add("JOHN", "LIKES", "FELIX");
+            },
+            "(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)",
+        );
+        assert!(!answer.is_true());
+    }
+
+    #[test]
+    fn negation_free_complement() {
+        // §2.7: "all books whose author is not John" via ≠.
+        let (answer, db) = run(
+            |db| {
+                db.add("BOOK-A", "isa", "BOOK");
+                db.add("BOOK-B", "isa", "BOOK");
+                db.add("BOOK-A", "AUTHOR", "JOHN");
+                db.add("BOOK-B", "AUTHOR", "MARY");
+            },
+            "Q(?x) := exists ?y . (?x, isa, BOOK) & (?x, AUTHOR, ?y) & (?y, !=, JOHN)",
+        );
+        assert_eq!(names(&db, &answer), vec![vec!["BOOK-B".to_string()]]);
+    }
+
+    #[test]
+    fn disjunction_same_columns() {
+        let (answer, db) = run(
+            |db| {
+                db.add("JOHN", "LIKES", "OPERA");
+                db.add("MARY", "LOVES", "OPERA");
+            },
+            "(?x, LIKES, OPERA) | (?x, LOVES, OPERA)",
+        );
+        let got = names(&db, &answer);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn forall_universal() {
+        // Things loved by ALL students.
+        let (answer, db) = run(
+            |db| {
+                db.add("TOM", "isa", "STUDENT-SET");
+                db.add("SUE", "isa", "STUDENT-SET");
+                db.add("TOM", "LOVES", "MUSIC");
+                db.add("SUE", "LOVES", "MUSIC");
+                db.add("TOM", "LOVES", "PIZZA");
+            },
+            // ∀x: if x is relevant at all... active-domain ∀ is strong:
+            // every closure entity must love ?z. Build it explicitly:
+            "Q(?z) := forall ?x . ((?x, LOVES, ?z) | (?x, NOT-LOVER, NOT-LOVER))",
+        );
+        // No entity set has everyone loving something here (the domain
+        // includes STUDENT-SET, LOVES, ...), so the answer is empty —
+        // demonstrating active-domain semantics.
+        assert!(answer.is_empty());
+        drop(db);
+    }
+
+    #[test]
+    fn exists_projects() {
+        let (answer, _) = run(
+            |db| {
+                db.add("JOHN", "EARNS", 25000i64);
+                db.add("MARY", "EARNS", 25000i64);
+            },
+            "exists ?x . (?x, EARNS, 25000)",
+        );
+        assert!(answer.is_true());
+    }
+
+    #[test]
+    fn inference_visible_to_queries() {
+        // Queries run against the closure, not the base facts.
+        let (answer, db) = run(
+            |db| {
+                db.add("JOHN", "isa", "EMPLOYEE");
+                db.add("EMPLOYEE", "EARNS", "SALARY");
+            },
+            "(?x, EARNS, SALARY)",
+        );
+        let got = names(&db, &answer);
+        assert!(got.contains(&vec!["JOHN".to_string()]));
+        assert!(got.contains(&vec!["EMPLOYEE".to_string()]));
+    }
+
+    #[test]
+    fn greedy_and_syntactic_agree() {
+        let mut db = Database::new();
+        for i in 0..20 {
+            db.add(format!("P{i}"), "isa", "PERSON");
+            db.add(format!("P{i}"), "EARNS", 1000 * i);
+        }
+        db.add("P5", "isa", "MANAGER-SET");
+        let query = parse(
+            "Q(?x) := exists ?y . (?x, isa, MANAGER-SET) & (?x, EARNS, ?y) & (?y, >=, 5000)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let greedy = eval_with(
+            &query,
+            &view,
+            EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 1_000_000 },
+        )
+        .unwrap();
+        let syntactic = eval_with(
+            &query,
+            &view,
+            EvalOptions { ordering: AtomOrdering::Syntactic, max_rows: 1_000_000 },
+        )
+        .unwrap();
+        assert_eq!(greedy.rows, syntactic.rows);
+        assert_eq!(greedy.len(), 1);
+    }
+
+    #[test]
+    fn unenumerable_inequality_reported() {
+        let mut db = Database::new();
+        db.add("A", "R", "B");
+        let query = parse("(?x, !=, ?y)", db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let err = eval(&query, &view).unwrap_err();
+        assert!(matches!(err, EvalError::Math(_)));
+    }
+
+    #[test]
+    fn max_rows_guard() {
+        let mut db = Database::new();
+        for i in 0..50 {
+            db.add(format!("A{i}"), "R", format!("B{i}"));
+        }
+        let query = parse("(?x, ?r, ?y)", db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let err = eval_with(
+            &query,
+            &view,
+            EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 10 },
+        )
+        .unwrap_err();
+        assert_eq!(err, EvalError::ResultTooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn empty_database_fails_queries() {
+        let (answer, _) = run(|_| {}, "(?x, isa, ANYTHING)");
+        assert!(answer.is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_template() {
+        // (x, CITES, x): self-citations only (§2.7).
+        let (answer, db) = run(
+            |db| {
+                db.add("A", "CITES", "A");
+                db.add("A", "CITES", "B");
+                db.add("B", "CITES", "A");
+            },
+            "(?x, CITES, ?x)",
+        );
+        assert_eq!(names(&db, &answer), vec![vec!["A".to_string()]]);
+    }
+
+    #[test]
+    fn disjunction_heterogeneous_columns_pads_with_domain() {
+        // (JOHN, LIKES, ?x) | (?y, HATES, BROCCOLI): a tuple (x, y)
+        // satisfies the disjunction if either half does, with the other
+        // variable free to be anything in the active domain.
+        let (answer, db) = run(
+            |db| {
+                db.add("JOHN", "LIKES", "FELIX");
+                db.add("MARY", "HATES", "BROCCOLI");
+            },
+            "Q(?x, ?y) := (JOHN, LIKES, ?x) | (?y, HATES, BROCCOLI)",
+        );
+        let names = names(&db, &answer);
+        // Domain: JOHN LIKES FELIX MARY HATES BROCCOLI = 6 entities.
+        // x=FELIX with any y (6) ∪ y=MARY with any x (6), overlap 1.
+        assert_eq!(names.len(), 11, "{names:?}");
+        assert!(names.contains(&vec!["FELIX".into(), "JOHN".into()]));
+        assert!(names.contains(&vec!["BROCCOLI".into(), "MARY".into()]));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // ∃x ∀y . (x, KNOWS, y) — somebody knows every domain entity.
+        let (answer, _) = run(
+            |db| {
+                // OMNI knows every entity that appears anywhere.
+                db.add("OMNI", "KNOWS", "OMNI");
+                db.add("OMNI", "KNOWS", "KNOWS");
+                db.add("OMNI", "KNOWS", "A");
+                db.add("OMNI", "KNOWS", "B");
+                db.add("A", "KNOWS", "B");
+            },
+            "exists ?x . forall ?y . (?x, KNOWS, ?y)",
+        );
+        assert!(answer.is_true());
+
+        let (answer, _) = run(
+            |db| {
+                db.add("A", "KNOWS", "B");
+                db.add("B", "KNOWS", "A");
+            },
+            "exists ?x . forall ?y . (?x, KNOWS, ?y)",
+        );
+        // Nobody knows KNOWS itself (it is in the domain).
+        assert!(!answer.is_true());
+    }
+
+    #[test]
+    fn proposition_with_disjunction() {
+        let (answer, _) = run(
+            |db| {
+                db.add("JOHN", "LIKES", "FELIX");
+            },
+            "(JOHN, LIKES, FELIX) | (JOHN, HATES, FELIX)",
+        );
+        assert!(answer.is_true());
+        let (answer, _) = run(
+            |db| {
+                db.add("JOHN", "ADMIRES", "FELIX");
+            },
+            "(JOHN, LIKES, FELIX) | (JOHN, HATES, FELIX)",
+        );
+        assert!(!answer.is_true());
+    }
+
+    #[test]
+    fn delta_relationship_template_in_query() {
+        // §5.2's (z, Δ, FREE) as a standalone query.
+        let (answer, db) = run(
+            |db| {
+                db.add("SONG", "COSTS", "FREE");
+                db.add("AIR", "IS", "FREE");
+                db.add("FREE", "gen", "CHEAP"); // gen facts do not project
+            },
+            "(?z, TOP, FREE)",
+        );
+        let got = names(&db, &answer);
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn exists_over_disjunction() {
+        let (answer, db) = run(
+            |db| {
+                db.add("A", "R", "B");
+                db.add("C", "S", "B");
+            },
+            "Q(?t) := exists ?x . (?x, R, ?t) | (?x, S, ?t)",
+        );
+        assert_eq!(names(&db, &answer), vec![vec!["B".to_string()]]);
+    }
+
+    #[test]
+    fn explain_plan_shows_greedy_order() {
+        let mut db = Database::new();
+        for i in 0..30 {
+            db.add(format!("P{i}"), "isa", "PERSON");
+            db.add(format!("P{i}"), "EARNS", 1000 * i);
+        }
+        db.add("P3", "isa", "RARE-SET");
+        let query = parse(
+            "Q(?x) := exists ?y . (?x, isa, PERSON) & (?x, EARNS, ?y) & (?x, isa, RARE-SET)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let plan = explain_plan(&query, &view);
+        // The most selective atom (RARE-SET) comes first.
+        let rare_pos = plan.find("RARE-SET").unwrap();
+        let person_pos = plan.find("PERSON").unwrap();
+        assert!(rare_pos < person_pos, "{plan}");
+        assert!(plan.contains("join (3 conjuncts"));
+        assert!(plan.contains("project out ?y"));
+    }
+
+    #[test]
+    fn explain_plan_handles_union_and_forall() {
+        let mut db = Database::new();
+        db.add("A", "R", "B");
+        let query = parse(
+            "Q(?z) := forall ?x . (?x, R, ?z) | (?z, S, ?x)",
+            db.store_interner_mut(),
+        )
+        .unwrap();
+        let view = db.view().unwrap();
+        let plan = explain_plan(&query, &view);
+        assert!(plan.contains("divide by active domain over ?x"));
+        assert!(plan.contains("union:"));
+    }
+
+    #[test]
+    fn answer_render() {
+        let (answer, db) = run(
+            |db| {
+                db.add("JOHN", "EARNS", 25000i64);
+            },
+            "Q(?who, ?amount) := (?who, EARNS, ?amount)",
+        );
+        let table = answer.render(db.store().interner());
+        assert!(table.contains("who | amount"));
+        assert!(table.contains("JOHN | 25000"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # loosedb-query
+//!
+//! The standard query language of loosedb (§2.7 of Motro, SIGMOD 1984):
+//! predicate-logic formulas over template atoms with conjunction,
+//! disjunction and quantifiers — and *no* negation (complements are
+//! relationships, e.g. `≠`).
+//!
+//! * [`ast`] — formulas and queries, plus the atom-rewriting hooks probing
+//!   builds on.
+//! * [`parser`] — the textual syntax (`Q(?z) := exists ?y . (?z, EARNS,
+//!   ?y) & (?y, >, 20000)`), with `*` wildcards for navigation templates.
+//! * [`eval`] — bottom-up evaluation with index-backed binding
+//!   propagation; greedy conjunct ordering (the planner) or syntactic
+//!   order (the experiment E6 baseline).
+//!
+//! ```
+//! use loosedb_engine::Database;
+//! use loosedb_query::{parse, eval};
+//!
+//! let mut db = Database::new();
+//! db.add("JOHN", "isa", "EMPLOYEE");
+//! db.add("JOHN", "EARNS", 25000i64);
+//!
+//! let q = parse(
+//!     "Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)",
+//!     db.store_interner_mut(),
+//! ).unwrap();
+//! let view = db.view().unwrap();
+//! let answer = eval(&q, &view).unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Formula, Query};
+pub use eval::{eval, eval_with, explain_plan, Answer, AtomOrdering, EvalError, EvalOptions};
+pub use parser::{parse, ParseError};

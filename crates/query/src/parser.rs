@@ -1,0 +1,684 @@
+//! Textual syntax for the query language.
+//!
+//! ```text
+//! query   := [ "Q" "(" varlist ")" ":=" ] formula
+//! formula := conj ( "|" conj )*
+//! conj    := unary ( "&" unary )*
+//! unary   := "exists" var+ "." unary
+//!          | "forall" var+ "." unary
+//!          | "(" formula ")"          -- grouping
+//!          | template
+//! template:= "(" term "," term "," term ")"
+//! term    := "?" IDENT                -- named variable
+//!          | "*"                      -- anonymous variable (§4.1)
+//!          | IDENT | QUOTED | NUMBER  -- entity constants
+//!          | "<" | ">" | "=" | "!=" | "<=" | ">="
+//! ```
+//!
+//! Examples, straight from the paper:
+//!
+//! * navigation templates (§4.1): `(JOHN, *, *)`, `(LEOPOLD, *, MOZART)`
+//! * the self-citing authors query (§2.7):
+//!   `Q(?y) := exists ?x . (?x, isa, BOOK) & (?y, isa, PERSON) & (?x, CITES, ?x) & (?x, AUTHOR, ?y)`
+//! * the salary query (§3.6):
+//!   `Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)`
+//!
+//! Identifiers may contain `-`, `#`, `'` and `$` (`PC#9-WAM`, `5#5-LVB`);
+//! arbitrary entity names can be quoted (`"weird name"`). The ASCII names
+//! `gen isa syn inv contra TOP BOT` denote the special entities.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use loosedb_engine::{Term, Var};
+use loosedb_store::{EntityValue, Interner};
+
+use crate::ast::{Formula, Query};
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    Comma,
+    Amp,
+    Pipe,
+    Dot,
+    Star,
+    Assign, // :=
+    Exists,
+    ForAll,
+    QMark, // leading ? of a variable
+    Ident(String),
+    Quoted(String),
+    Int(i64),
+    Float(f64),
+    Cmp(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { position: self.pos, message: message.into() }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut out = Vec::new();
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = self.src[self.pos..].chars().next().unwrap();
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((start, Token::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((start, Token::RParen));
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((start, Token::Comma));
+                    self.pos += 1;
+                }
+                '&' => {
+                    out.push((start, Token::Amp));
+                    self.pos += 1;
+                }
+                '|' => {
+                    out.push((start, Token::Pipe));
+                    self.pos += 1;
+                }
+                '.' => {
+                    out.push((start, Token::Dot));
+                    self.pos += 1;
+                }
+                '*' => {
+                    out.push((start, Token::Star));
+                    self.pos += 1;
+                }
+                '?' => {
+                    out.push((start, Token::QMark));
+                    self.pos += 1;
+                }
+                ':' => {
+                    if self.src[self.pos..].starts_with(":=") {
+                        out.push((start, Token::Assign));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected ':='"));
+                    }
+                }
+                '<' => {
+                    if self.src[self.pos..].starts_with("<=") {
+                        out.push((start, Token::Cmp("<=")));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Token::Cmp("<")));
+                        self.pos += 1;
+                    }
+                }
+                '>' => {
+                    if self.src[self.pos..].starts_with(">=") {
+                        out.push((start, Token::Cmp(">=")));
+                        self.pos += 2;
+                    } else {
+                        out.push((start, Token::Cmp(">")));
+                        self.pos += 1;
+                    }
+                }
+                '=' => {
+                    out.push((start, Token::Cmp("=")));
+                    self.pos += 1;
+                }
+                '!' => {
+                    if self.src[self.pos..].starts_with("!=") {
+                        out.push((start, Token::Cmp("!=")));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '!='"));
+                    }
+                }
+                '"' => {
+                    let rest = &self.src[self.pos + 1..];
+                    match rest.find('"') {
+                        Some(end) => {
+                            out.push((start, Token::Quoted(rest[..end].to_string())));
+                            self.pos += end + 2;
+                        }
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                '-' | '0'..='9' => {
+                    let tok = self.lex_number()?;
+                    out.push((start, tok));
+                }
+                c if is_ident_start(c) => {
+                    let tok = self.lex_ident();
+                    out.push((start, tok));
+                }
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn lex_number(&mut self) -> Result<Token, ParseError> {
+        let rest = &self.src[self.pos..];
+        let mut len = 0;
+        let bytes = rest.as_bytes();
+        if bytes[0] == b'-' {
+            len += 1;
+            if len >= bytes.len() || !bytes[len].is_ascii_digit() {
+                return Err(self.error("expected digits after '-'"));
+            }
+        }
+        while len < bytes.len() && bytes[len].is_ascii_digit() {
+            len += 1;
+        }
+        let mut is_float = false;
+        if len + 1 < bytes.len() && bytes[len] == b'.' && bytes[len + 1].is_ascii_digit() {
+            is_float = true;
+            len += 1;
+            while len < bytes.len() && bytes[len].is_ascii_digit() {
+                len += 1;
+            }
+        }
+        let text = &rest[..len];
+        self.pos += len;
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| self.error(format!("bad float: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| self.error(format!("bad integer: {e}")))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let rest = &self.src[self.pos..];
+        let len = rest
+            .char_indices()
+            .find(|&(_, c)| !is_ident_continue(c))
+            .map_or(rest.len(), |(i, _)| i);
+        let text = &rest[..len];
+        self.pos += len;
+        match text {
+            "exists" => Token::Exists,
+            "forall" => Token::ForAll,
+            _ => Token::Ident(text.to_string()),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == '$' || c == '#'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '$' | '#' | '-' | '\'')
+}
+
+/// Parses a query, interning entity constants into `interner`.
+pub fn parse(src: &str, interner: &mut Interner) -> Result<Query, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        interner,
+        var_names: Vec::new(),
+        var_ids: HashMap::new(),
+        declared_free: None,
+        quantified: Vec::new(),
+    };
+    let query = parser.parse_query()?;
+    Ok(query)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    interner: &'a mut Interner,
+    var_names: Vec<String>,
+    var_ids: HashMap<String, Var>,
+    declared_free: Option<Vec<Var>>,
+    quantified: Vec<Var>,
+}
+
+impl Parser<'_> {
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let position = self.tokens.get(self.pos).map_or(usize::MAX, |(p, _)| *p);
+        ParseError { position, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error_at(format!("expected {what}"))),
+        }
+    }
+
+    fn fresh_var(&mut self, name: &str) -> Var {
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        if name != "_" {
+            self.var_ids.insert(name.to_string(), v);
+        }
+        v
+    }
+
+    fn named_var(&mut self, name: &str) -> Var {
+        match self.var_ids.get(name) {
+            Some(&v) => v,
+            None => self.fresh_var(name),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        // Optional header: Q(?x, ?y) :=
+        if matches!(self.peek(), Some(Token::Ident(name)) if name == "Q")
+            && self.peek2() == Some(&Token::LParen)
+        {
+            self.next(); // Q
+            self.next(); // (
+            let mut declared = Vec::new();
+            loop {
+                self.expect(&Token::QMark, "'?' before variable name")?;
+                match self.next() {
+                    Some(Token::Ident(name)) => declared.push(self.named_var(&name)),
+                    _ => return Err(self.error_at("expected variable name")),
+                }
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    _ => return Err(self.error_at("expected ',' or ')'")),
+                }
+            }
+            self.expect(&Token::Assign, "':='")?;
+            self.declared_free = Some(declared);
+        }
+
+        let formula = self.parse_formula()?;
+        if self.pos < self.tokens.len() {
+            return Err(self.error_at("trailing input after formula"));
+        }
+
+        let inferred: Vec<Var> = formula.free_vars().into_iter().collect();
+        let free = match self.declared_free.take() {
+            Some(declared) => {
+                for v in &declared {
+                    if !inferred.contains(v) {
+                        return Err(ParseError {
+                            position: 0,
+                            message: format!(
+                                "declared variable ?{} is not free in the formula",
+                                self.var_names[v.index()]
+                            ),
+                        });
+                    }
+                }
+                for v in &inferred {
+                    if self.var_names[v.index()] != "_" && !declared.contains(v) {
+                        return Err(ParseError {
+                            position: 0,
+                            message: format!(
+                                "free variable ?{} is not declared in the query header",
+                                self.var_names[v.index()]
+                            ),
+                        });
+                    }
+                }
+                declared
+            }
+            None => inferred,
+        };
+        Ok(Query { var_names: std::mem::take(&mut self.var_names), free, formula })
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.parse_conjunction()?;
+        while self.peek() == Some(&Token::Pipe) {
+            self.next();
+            let right = self.parse_conjunction()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Token::Amp) {
+            self.next();
+            let right = self.parse_unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::Exists) | Some(Token::ForAll) => {
+                let universal = self.peek() == Some(&Token::ForAll);
+                self.next();
+                let mut vars = Vec::new();
+                loop {
+                    self.expect(&Token::QMark, "'?' before quantified variable")?;
+                    match self.next() {
+                        Some(Token::Ident(name)) => {
+                            if self.var_ids.contains_key(&name) {
+                                return Err(self.error_at(format!(
+                                    "variable ?{name} is already in scope (shadowing is not allowed)"
+                                )));
+                            }
+                            let v = self.fresh_var(&name);
+                            self.quantified.push(v);
+                            vars.push((v, name));
+                        }
+                        _ => return Err(self.error_at("expected variable name")),
+                    }
+                    if self.peek() == Some(&Token::QMark) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect(&Token::Dot, "'.' after quantified variables")?;
+                // The quantifier's scope extends as far right as possible
+                // (to the end of the formula or the enclosing ')').
+                let body = self.parse_formula()?;
+                // Close the scopes (innermost first) and drop the names so
+                // they cannot leak past the quantifier.
+                let mut formula = body;
+                for (v, name) in vars.into_iter().rev() {
+                    self.var_ids.remove(&name);
+                    self.quantified.pop();
+                    formula = if universal {
+                        Formula::ForAll(v, Box::new(formula))
+                    } else {
+                        Formula::Exists(v, Box::new(formula))
+                    };
+                }
+                Ok(formula)
+            }
+            Some(Token::LParen) => {
+                // Template or grouped formula: a template has a term
+                // followed by a comma.
+                if self.looks_like_template() {
+                    self.parse_template()
+                } else {
+                    self.next(); // (
+                    let inner = self.parse_formula()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(inner)
+                }
+            }
+            _ => Err(self.error_at("expected a template, quantifier or '('")),
+        }
+    }
+
+    /// Lookahead: after '(', a term token then ','.
+    fn looks_like_template(&self) -> bool {
+        let mut i = self.pos + 1;
+        // Skip one term: either '?' IDENT, or a single term token.
+        match self.tokens.get(i).map(|(_, t)| t) {
+            Some(Token::QMark) => i += 2,
+            Some(
+                Token::Star
+                | Token::Ident(_)
+                | Token::Quoted(_)
+                | Token::Int(_)
+                | Token::Float(_)
+                | Token::Cmp(_),
+            ) => i += 1,
+            _ => return false,
+        }
+        matches!(self.tokens.get(i).map(|(_, t)| t), Some(Token::Comma))
+    }
+
+    fn parse_template(&mut self) -> Result<Formula, ParseError> {
+        self.expect(&Token::LParen, "'('")?;
+        let s = self.parse_term()?;
+        self.expect(&Token::Comma, "','")?;
+        let r = self.parse_term()?;
+        self.expect(&Token::Comma, "','")?;
+        let t = self.parse_term()?;
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Formula::Atom(loosedb_engine::Template::new(s, r, t)))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Token::QMark) => match self.next() {
+                Some(Token::Ident(name)) => Ok(Term::Var(self.named_var(&name))),
+                _ => Err(self.error_at("expected variable name after '?'")),
+            },
+            Some(Token::Star) => Ok(Term::Var(self.fresh_var("_"))),
+            Some(Token::Ident(name)) => {
+                Ok(Term::Const(self.interner.intern(EntityValue::symbol(name))))
+            }
+            Some(Token::Quoted(text)) => {
+                Ok(Term::Const(self.interner.intern(EntityValue::symbol(text))))
+            }
+            Some(Token::Int(i)) => Ok(Term::Const(self.interner.intern(EntityValue::Int(i)))),
+            Some(Token::Float(f)) => {
+                Ok(Term::Const(self.interner.intern(EntityValue::float(f))))
+            }
+            Some(Token::Cmp(op)) => Ok(Term::Const(
+                self.interner.lookup_symbol(op).expect("comparators are pre-interned"),
+            )),
+            _ => Err(self.error_at("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::special;
+
+    fn parse_ok(src: &str) -> (Query, Interner) {
+        let mut interner = Interner::new();
+        let q = parse(src, &mut interner).expect(src);
+        (q, interner)
+    }
+
+    #[test]
+    fn navigation_template() {
+        let (q, interner) = parse_ok("(JOHN, *, *)");
+        assert_eq!(q.formula.atoms().len(), 1);
+        assert_eq!(q.free.len(), 2); // the two anonymous variables
+        let john = interner.lookup_symbol("JOHN").unwrap();
+        assert_eq!(q.formula.atoms()[0].s, Term::Const(john));
+    }
+
+    #[test]
+    fn paper_self_citing_authors() {
+        let (q, _) = parse_ok(
+            "Q(?y) := exists ?x . (?x, isa, BOOK) & (?y, isa, PERSON) \
+             & (?x, CITES, ?x) & (?x, AUTHOR, ?y)",
+        );
+        assert_eq!(q.free.len(), 1);
+        assert_eq!(q.var_name(q.free[0]), "y");
+        assert_eq!(q.formula.atoms().len(), 4);
+    }
+
+    #[test]
+    fn paper_salary_query_with_comparator() {
+        let (q, _) = parse_ok(
+            "Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)",
+        );
+        let atoms = q.formula.atoms();
+        assert_eq!(atoms[2].r, Term::Const(special::GT));
+    }
+
+    #[test]
+    fn proposition_query() {
+        let (q, _) = parse_ok("(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)");
+        assert!(q.is_proposition());
+    }
+
+    #[test]
+    fn special_entity_names() {
+        let (q, _) = parse_ok("(?x, gen, TOP) & (?x, isa, BOT) & (?x, syn, ?x) & (?x, inv, ?x) & (?x, contra, ?x)");
+        let atoms = q.formula.atoms();
+        assert_eq!(atoms[0].r, Term::Const(special::GEN));
+        assert_eq!(atoms[0].t, Term::Const(special::TOP));
+        assert_eq!(atoms[1].r, Term::Const(special::ISA));
+        assert_eq!(atoms[1].t, Term::Const(special::BOT));
+        assert_eq!(atoms[2].r, Term::Const(special::SYN));
+        assert_eq!(atoms[3].r, Term::Const(special::INV));
+        assert_eq!(atoms[4].r, Term::Const(special::CONTRA));
+    }
+
+    #[test]
+    fn identifiers_with_punctuation() {
+        let (q, interner) = parse_ok("(PC#9-WAM, COMPOSED-BY, MOZART)");
+        let pc9 = interner.lookup_symbol("PC#9-WAM").unwrap();
+        assert_eq!(q.formula.atoms()[0].s, Term::Const(pc9));
+    }
+
+    #[test]
+    fn numbers_and_quoted_symbols() {
+        let (q, interner) = parse_ok("(?x, EARNS, 25000) | (?x, GPA, 2.5) | (?x, R, \"odd name\")");
+        assert!(interner.lookup(&EntityValue::Int(25000)).is_some());
+        assert!(interner.lookup(&EntityValue::float(2.5)).is_some());
+        assert!(interner.lookup_symbol("odd name").is_some());
+        assert_eq!(q.formula.atoms().len(), 3);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let (_, interner) = parse_ok("(?x, >, -5)");
+        assert!(interner.lookup(&EntityValue::Int(-5)).is_some());
+    }
+
+    #[test]
+    fn grouping_and_precedence() {
+        // & binds tighter than |
+        let (q, _) = parse_ok("(A, R, B) & (C, R, D) | (E, R, F)");
+        match &q.formula {
+            Formula::Or(left, _) => assert!(matches!(**left, Formula::And(..))),
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+        let (q2, _) = parse_ok("(A, R, B) & ((C, R, D) | (E, R, F))");
+        assert!(matches!(&q2.formula, Formula::And(..)));
+    }
+
+    #[test]
+    fn forall_parses() {
+        let (q, _) = parse_ok("Q(?z) := forall ?x . (?x, LOVES, ?z)");
+        assert!(matches!(&q.formula, Formula::ForAll(..)));
+        assert_eq!(q.free.len(), 1);
+    }
+
+    #[test]
+    fn multi_var_quantifier() {
+        let (q, _) = parse_ok("exists ?x ?y . (?x, R, ?y)");
+        assert!(q.is_proposition());
+        match &q.formula {
+            Formula::Exists(_, inner) => assert!(matches!(**inner, Formula::Exists(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_rejected() {
+        let mut interner = Interner::new();
+        let err = parse("(?x, R, ?y) & exists ?x . (?x, S, ?y)", &mut interner).unwrap_err();
+        assert!(err.message.contains("shadowing"));
+    }
+
+    #[test]
+    fn undeclared_free_variable_rejected() {
+        let mut interner = Interner::new();
+        let err = parse("Q(?x) := (?x, R, ?y)", &mut interner).unwrap_err();
+        assert!(err.message.contains("not declared"));
+    }
+
+    #[test]
+    fn declared_but_unused_rejected() {
+        let mut interner = Interner::new();
+        let err = parse("Q(?x, ?z) := (?x, R, B)", &mut interner).unwrap_err();
+        assert!(err.message.contains("not free"));
+    }
+
+    #[test]
+    fn header_fixes_column_order() {
+        let (q, _) = parse_ok("Q(?y, ?x) := (?x, R, ?y)");
+        assert_eq!(q.var_name(q.free[0]), "y");
+        assert_eq!(q.var_name(q.free[1]), "x");
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let mut interner = Interner::new();
+        for bad in ["(A, B)", "(A, R, B) &", "exists x . (A, R, B)", "(A, R, B) extra", "", "(A,"] {
+            let err = parse(bad, &mut interner).unwrap_err();
+            assert!(!err.message.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn quantifier_scope_is_closed() {
+        // After the quantifier, ?x refers to a NEW variable (no leak).
+        let (q, _) = parse_ok("(exists ?x . (?x, R, B)) & (?x, S, C)");
+        // The second ?x is free; the first is bound.
+        assert_eq!(q.free.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_render() {
+        let (q, interner) = parse_ok("Q(?z) := exists ?y . (?z, EARNS, ?y) & (?y, >, 20000)");
+        let rendered = q.render(&interner);
+        assert!(rendered.contains("Q(?z)"));
+        assert!(rendered.contains("exists ?y"));
+        assert!(rendered.contains("(?y, >, 20000)"));
+    }
+}

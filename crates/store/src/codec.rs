@@ -1,0 +1,237 @@
+//! Binary encoding of entity values, shared by snapshots and logs.
+//!
+//! The format is deliberately simple and self-describing: a one-byte tag
+//! followed by a fixed or length-prefixed payload. All integers are
+//! little-endian.
+
+use bytes::{Buf, BufMut};
+
+use crate::value::{EntityId, EntityValue};
+
+/// Errors produced while decoding persisted data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a complete record was read.
+    UnexpectedEof,
+    /// The snapshot header did not start with the expected magic bytes.
+    BadMagic,
+    /// The snapshot was written by an unsupported format version.
+    BadVersion(u16),
+    /// An unknown value or operation tag was encountered.
+    BadTag(u8),
+    /// A symbol payload was not valid UTF-8.
+    BadUtf8,
+    /// A float payload decoded to NaN.
+    NanFloat,
+    /// A path or fact referred to an entity id that does not exist (yet).
+    IdOutOfRange(u32),
+    /// A declared length was implausibly large for the remaining input.
+    BadLength(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadMagic => write!(f, "bad snapshot magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::BadUtf8 => write!(f, "symbol is not valid UTF-8"),
+            CodecError::NanFloat => write!(f, "NaN float entity"),
+            CodecError::IdOutOfRange(id) => write!(f, "entity id {id} out of range"),
+            CodecError::BadLength(n) => write!(f, "declared length {n} exceeds input"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_SYMBOL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_PATH: u8 = 3;
+
+/// Encodes one entity value.
+pub fn encode_value(out: &mut impl BufMut, value: &EntityValue) {
+    match value {
+        EntityValue::Symbol(s) => {
+            out.put_u8(TAG_SYMBOL);
+            out.put_u32_le(s.len() as u32);
+            out.put_slice(s.as_bytes());
+        }
+        EntityValue::Int(i) => {
+            out.put_u8(TAG_INT);
+            out.put_i64_le(*i);
+        }
+        EntityValue::Float(f) => {
+            out.put_u8(TAG_FLOAT);
+            out.put_f64_le(*f);
+        }
+        EntityValue::Path(p) => {
+            out.put_u8(TAG_PATH);
+            out.put_u32_le(p.len() as u32);
+            for id in p.iter() {
+                out.put_u32_le(id.0);
+            }
+        }
+    }
+}
+
+/// Reads `n` bytes worth of payload availability, erroring on short input.
+fn need(input: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if input.remaining() < n {
+        Err(CodecError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes one entity value.
+///
+/// `max_id` bounds the ids a path value may reference: persisted entities
+/// are written in id order, so a path may only refer to entities with
+/// strictly smaller ids.
+pub fn decode_value(input: &mut impl Buf, max_id: u32) -> Result<EntityValue, CodecError> {
+    need(input, 1)?;
+    let tag = input.get_u8();
+    match tag {
+        TAG_SYMBOL => {
+            need(input, 4)?;
+            let len = input.get_u32_le() as usize;
+            if len > input.remaining() {
+                return Err(CodecError::BadLength(len));
+            }
+            let mut buf = vec![0u8; len];
+            input.copy_to_slice(&mut buf);
+            let s = String::from_utf8(buf).map_err(|_| CodecError::BadUtf8)?;
+            Ok(EntityValue::Symbol(s.into()))
+        }
+        TAG_INT => {
+            need(input, 8)?;
+            Ok(EntityValue::Int(input.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            need(input, 8)?;
+            let f = input.get_f64_le();
+            if f.is_nan() {
+                return Err(CodecError::NanFloat);
+            }
+            Ok(EntityValue::float(f))
+        }
+        TAG_PATH => {
+            need(input, 4)?;
+            let len = input.get_u32_le() as usize;
+            if len.checked_mul(4).is_none_or(|bytes| bytes > input.remaining()) {
+                return Err(CodecError::BadLength(len));
+            }
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                let raw = input.get_u32_le();
+                if raw >= max_id {
+                    return Err(CodecError::IdOutOfRange(raw));
+                }
+                ids.push(EntityId(raw));
+            }
+            Ok(EntityValue::Path(ids.into()))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Reads a little-endian `u32` with bounds checking.
+pub fn get_u32(input: &mut impl Buf) -> Result<u32, CodecError> {
+    need(input, 4)?;
+    Ok(input.get_u32_le())
+}
+
+/// Reads a little-endian `u64` with bounds checking.
+pub fn get_u64(input: &mut impl Buf) -> Result<u64, CodecError> {
+    need(input, 8)?;
+    Ok(input.get_u64_le())
+}
+
+/// Reads a single byte with bounds checking.
+pub fn get_u8(input: &mut impl Buf) -> Result<u8, CodecError> {
+    need(input, 1)?;
+    Ok(input.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(v: &EntityValue) -> EntityValue {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, v);
+        let mut input = buf.freeze();
+        decode_value(&mut input, u32::MAX).expect("decode")
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let values = [
+            EntityValue::symbol("JOHN"),
+            EntityValue::symbol(""),
+            EntityValue::symbol("naïve-ütf8 ✓"),
+            EntityValue::Int(0),
+            EntityValue::Int(i64::MIN),
+            EntityValue::Int(i64::MAX),
+            EntityValue::float(2.5),
+            EntityValue::float(-1e300),
+            EntityValue::Path(vec![EntityId(1), EntityId(2), EntityId(3)].into()),
+        ];
+        for v in &values {
+            assert_eq!(&roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &EntityValue::symbol("HELLO"));
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(decode_value(&mut partial, u32::MAX).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut input = bytes::Bytes::from_static(&[99]);
+        assert_eq!(decode_value(&mut input, u32::MAX), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn path_id_bounds_enforced() {
+        let mut buf = BytesMut::new();
+        encode_value(
+            &mut buf,
+            &EntityValue::Path(vec![EntityId(5), EntityId(6), EntityId(7)].into()),
+        );
+        let mut input = buf.freeze();
+        assert_eq!(decode_value(&mut input, 6), Err(CodecError::IdOutOfRange(6)));
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0); // symbol
+        buf.put_u32_le(u32::MAX); // ludicrous length
+        let mut input = buf.freeze();
+        assert_eq!(
+            decode_value(&mut input, u32::MAX),
+            Err(CodecError::BadLength(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn nan_float_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_f64_le(f64::NAN);
+        let mut input = buf.freeze();
+        assert_eq!(decode_value(&mut input, u32::MAX), Err(CodecError::NanFloat));
+    }
+}

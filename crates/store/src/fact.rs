@@ -1,0 +1,242 @@
+//! Facts and match patterns.
+//!
+//! A *fact* is the paper's atomic unit of information (§2.1): a named pair
+//! of entities `(source, relationship, target)`. A [`Pattern`] is a fact
+//! with any subset of positions left free — the storage-level counterpart
+//! of the paper's *templates* with variables, used by the index layer to
+//! answer primitive retrievals such as `(JOHN, *, *)`.
+
+use std::fmt;
+
+use crate::value::EntityId;
+
+/// A stored fact `(s, r, t)`: entity `s` is related to entity `t` via the
+/// relationship `r`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fact {
+    /// The source entity.
+    pub s: EntityId,
+    /// The relationship entity (an element of `R ⊆ E`).
+    pub r: EntityId,
+    /// The target entity.
+    pub t: EntityId,
+}
+
+impl Fact {
+    /// Creates a fact from its three positions.
+    #[inline]
+    pub const fn new(s: EntityId, r: EntityId, t: EntityId) -> Self {
+        Fact { s, r, t }
+    }
+
+    /// True if `e` occurs in any of the three positions.
+    #[inline]
+    pub fn mentions(&self, e: EntityId) -> bool {
+        self.s == e || self.r == e || self.t == e
+    }
+
+    /// The fact with source and target swapped (used by inversion, §3.4).
+    #[inline]
+    pub fn flipped(&self, inverse_rel: EntityId) -> Fact {
+        Fact::new(self.t, inverse_rel, self.s)
+    }
+
+    /// The three positions as an array `[s, r, t]`.
+    #[inline]
+    pub fn positions(&self) -> [EntityId; 3] {
+        [self.s, self.r, self.t]
+    }
+}
+
+impl From<(EntityId, EntityId, EntityId)> for Fact {
+    fn from((s, r, t): (EntityId, EntityId, EntityId)) -> Self {
+        Fact::new(s, r, t)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.r, self.t)
+    }
+}
+
+/// One of the three positions of a fact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Position {
+    /// The source position.
+    Source,
+    /// The relationship position.
+    Rel,
+    /// The target position.
+    Target,
+}
+
+impl Position {
+    /// All three positions, in fact order.
+    pub const ALL: [Position; 3] = [Position::Source, Position::Rel, Position::Target];
+
+    /// Extracts this position from a fact.
+    #[inline]
+    pub fn of(self, fact: &Fact) -> EntityId {
+        match self {
+            Position::Source => fact.s,
+            Position::Rel => fact.r,
+            Position::Target => fact.t,
+        }
+    }
+}
+
+/// A match pattern: a fact with any subset of positions bound.
+///
+/// `None` positions match any entity (the `*` of navigation queries, §4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Pattern {
+    /// Required source, if bound.
+    pub s: Option<EntityId>,
+    /// Required relationship, if bound.
+    pub r: Option<EntityId>,
+    /// Required target, if bound.
+    pub t: Option<EntityId>,
+}
+
+impl Pattern {
+    /// The fully free pattern `(*, *, *)`.
+    pub const ANY: Pattern = Pattern { s: None, r: None, t: None };
+
+    /// Creates a pattern from three optional positions.
+    pub const fn new(s: Option<EntityId>, r: Option<EntityId>, t: Option<EntityId>) -> Self {
+        Pattern { s, r, t }
+    }
+
+    /// Pattern binding only the source: `(e, *, *)`.
+    pub const fn from_source(e: EntityId) -> Self {
+        Pattern { s: Some(e), r: None, t: None }
+    }
+
+    /// Pattern binding only the relationship: `(*, r, *)`.
+    pub const fn from_rel(r: EntityId) -> Self {
+        Pattern { s: None, r: Some(r), t: None }
+    }
+
+    /// Pattern binding only the target: `(*, *, e)`.
+    pub const fn from_target(e: EntityId) -> Self {
+        Pattern { s: None, r: None, t: Some(e) }
+    }
+
+    /// Pattern matching exactly one fact.
+    pub const fn from_fact(f: Fact) -> Self {
+        Pattern { s: Some(f.s), r: Some(f.r), t: Some(f.t) }
+    }
+
+    /// True if the fact satisfies every bound position.
+    #[inline]
+    pub fn matches(&self, fact: &Fact) -> bool {
+        self.s.is_none_or(|s| s == fact.s)
+            && self.r.is_none_or(|r| r == fact.r)
+            && self.t.is_none_or(|t| t == fact.t)
+    }
+
+    /// Number of bound positions (0–3).
+    #[inline]
+    pub fn bound_count(&self) -> u32 {
+        self.s.is_some() as u32 + self.r.is_some() as u32 + self.t.is_some() as u32
+    }
+
+    /// The shape of this pattern, used for index selection.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        match (self.s.is_some(), self.r.is_some(), self.t.is_some()) {
+            (false, false, false) => Shape::Free,
+            (true, false, false) => Shape::S,
+            (false, true, false) => Shape::R,
+            (false, false, true) => Shape::T,
+            (true, true, false) => Shape::SR,
+            (true, false, true) => Shape::ST,
+            (false, true, true) => Shape::RT,
+            (true, true, true) => Shape::SRT,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = |x: Option<EntityId>| x.map_or("*".to_string(), |e| e.to_string());
+        write!(f, "({}, {}, {})", p(self.s), p(self.r), p(self.t))
+    }
+}
+
+/// The eight possible bound/free shapes of a [`Pattern`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Shape {
+    Free,
+    S,
+    R,
+    T,
+    SR,
+    ST,
+    RT,
+    SRT,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn fact_mentions() {
+        let f = Fact::new(e(1), e(2), e(3));
+        assert!(f.mentions(e(1)) && f.mentions(e(2)) && f.mentions(e(3)));
+        assert!(!f.mentions(e(4)));
+    }
+
+    #[test]
+    fn fact_flip() {
+        let f = Fact::new(e(1), e(2), e(3));
+        assert_eq!(f.flipped(e(9)), Fact::new(e(3), e(9), e(1)));
+    }
+
+    #[test]
+    fn pattern_matching_each_shape() {
+        let f = Fact::new(e(1), e(2), e(3));
+        assert!(Pattern::ANY.matches(&f));
+        assert!(Pattern::from_source(e(1)).matches(&f));
+        assert!(!Pattern::from_source(e(9)).matches(&f));
+        assert!(Pattern::from_rel(e(2)).matches(&f));
+        assert!(Pattern::from_target(e(3)).matches(&f));
+        assert!(Pattern::new(Some(e(1)), None, Some(e(3))).matches(&f));
+        assert!(!Pattern::new(Some(e(1)), None, Some(e(9))).matches(&f));
+        assert!(Pattern::from_fact(f).matches(&f));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(Pattern::ANY.shape(), Shape::Free);
+        assert_eq!(Pattern::from_source(e(1)).shape(), Shape::S);
+        assert_eq!(Pattern::from_rel(e(1)).shape(), Shape::R);
+        assert_eq!(Pattern::from_target(e(1)).shape(), Shape::T);
+        assert_eq!(Pattern::new(Some(e(1)), Some(e(2)), None).shape(), Shape::SR);
+        assert_eq!(Pattern::new(Some(e(1)), None, Some(e(2))).shape(), Shape::ST);
+        assert_eq!(Pattern::new(None, Some(e(1)), Some(e(2))).shape(), Shape::RT);
+        assert_eq!(Pattern::from_fact(Fact::new(e(1), e(2), e(3))).shape(), Shape::SRT);
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(Pattern::ANY.bound_count(), 0);
+        assert_eq!(Pattern::from_rel(e(1)).bound_count(), 1);
+        assert_eq!(Pattern::from_fact(Fact::new(e(1), e(2), e(3))).bound_count(), 3);
+    }
+
+    #[test]
+    fn position_extraction() {
+        let f = Fact::new(e(1), e(2), e(3));
+        assert_eq!(Position::Source.of(&f), e(1));
+        assert_eq!(Position::Rel.of(&f), e(2));
+        assert_eq!(Position::Target.of(&f), e(3));
+    }
+}

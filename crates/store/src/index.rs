@@ -1,0 +1,327 @@
+//! Triple indexes: three rotations of the fact set in ordered containers.
+//!
+//! The store keeps every fact in three `BTreeSet`s under the orderings
+//! `(s, r, t)`, `(r, t, s)` and `(t, s, r)`. Together these three rotations
+//! answer *every* pattern shape with a single contiguous range scan:
+//!
+//! | shape | index | prefix |
+//! |-------|-------|--------|
+//! | `(s, *, *)` | SRT | `s` |
+//! | `(s, r, *)` | SRT | `s, r` |
+//! | `(*, r, *)` | RTS | `r` |
+//! | `(*, r, t)` | RTS | `r, t` |
+//! | `(*, *, t)` | TSR | `t` |
+//! | `(s, *, t)` | TSR | `t, s` |
+//! | `(s, r, t)` | SRT | exact membership |
+//! | `(*, *, *)` | SRT | full scan |
+//!
+//! This is the classical triple-store layout (three of the six possible
+//! permutations suffice); it is the "investment in organization" that the
+//! paper's trade-off principle (§1) asks retrieval to be measured against —
+//! experiment E1 compares it with the unindexed scan.
+
+use std::collections::btree_set::{self, BTreeSet};
+use std::ops::Bound;
+
+use crate::fact::{Fact, Pattern, Shape};
+use crate::value::EntityId;
+
+type Key = [u32; 3];
+
+/// The three-rotation index over a set of facts.
+#[derive(Clone, Debug, Default)]
+pub struct TripleIndex {
+    srt: BTreeSet<Key>,
+    rts: BTreeSet<Key>,
+    tsr: BTreeSet<Key>,
+}
+
+#[inline]
+fn srt_key(f: &Fact) -> Key {
+    [f.s.0, f.r.0, f.t.0]
+}
+#[inline]
+fn rts_key(f: &Fact) -> Key {
+    [f.r.0, f.t.0, f.s.0]
+}
+#[inline]
+fn tsr_key(f: &Fact) -> Key {
+    [f.t.0, f.s.0, f.r.0]
+}
+
+/// Inclusive range covering all keys with the given bound prefix.
+#[inline]
+fn prefix_range(a: Option<EntityId>, b: Option<EntityId>) -> (Bound<Key>, Bound<Key>) {
+    match (a, b) {
+        (None, _) => (Bound::Unbounded, Bound::Unbounded),
+        (Some(a), None) => (
+            Bound::Included([a.0, 0, 0]),
+            Bound::Included([a.0, u32::MAX, u32::MAX]),
+        ),
+        (Some(a), Some(b)) => (
+            Bound::Included([a.0, b.0, 0]),
+            Bound::Included([a.0, b.0, u32::MAX]),
+        ),
+    }
+}
+
+impl TripleIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact into all three rotations. Returns true if it was new.
+    pub fn insert(&mut self, f: Fact) -> bool {
+        let fresh = self.srt.insert(srt_key(&f));
+        if fresh {
+            self.rts.insert(rts_key(&f));
+            self.tsr.insert(tsr_key(&f));
+        }
+        fresh
+    }
+
+    /// Removes a fact from all three rotations. Returns true if present.
+    pub fn remove(&mut self, f: &Fact) -> bool {
+        let present = self.srt.remove(&srt_key(f));
+        if present {
+            self.rts.remove(&rts_key(f));
+            self.tsr.remove(&tsr_key(f));
+        }
+        present
+    }
+
+    /// Exact membership test.
+    #[inline]
+    pub fn contains(&self, f: &Fact) -> bool {
+        self.srt.contains(&srt_key(f))
+    }
+
+    /// Number of facts stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.srt.len()
+    }
+
+    /// True if no facts are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.srt.is_empty()
+    }
+
+    /// Removes every fact.
+    pub fn clear(&mut self) {
+        self.srt.clear();
+        self.rts.clear();
+        self.tsr.clear();
+    }
+
+    /// Iterates over all facts matching the pattern, using the single
+    /// contiguous range dictated by the pattern's shape. Iteration order is
+    /// deterministic (the order of the chosen rotation).
+    pub fn matching(&self, pattern: Pattern) -> MatchIter<'_> {
+        match pattern.shape() {
+            Shape::Free => MatchIter::Srt(self.srt.range::<Key, _>(..)),
+            Shape::S | Shape::SR => {
+                MatchIter::Srt(self.srt.range(prefix_range(pattern.s, pattern.r)))
+            }
+            Shape::R | Shape::RT => {
+                MatchIter::Rts(self.rts.range(prefix_range(pattern.r, pattern.t)))
+            }
+            Shape::T | Shape::ST => {
+                MatchIter::Tsr(self.tsr.range(prefix_range(pattern.t, pattern.s)))
+            }
+            Shape::SRT => {
+                let f = Fact::new(
+                    pattern.s.expect("shape SRT"),
+                    pattern.r.expect("shape SRT"),
+                    pattern.t.expect("shape SRT"),
+                );
+                MatchIter::One(self.contains(&f).then_some(f))
+            }
+        }
+    }
+
+    /// Counts matches, stopping early at `cap`. Used by the query planner
+    /// for cheap selectivity estimates.
+    pub fn count_up_to(&self, pattern: Pattern, cap: usize) -> usize {
+        if pattern.shape() == Shape::Free {
+            return self.len().min(cap);
+        }
+        self.matching(pattern).take(cap).count()
+    }
+
+    /// Counts all matches of a pattern.
+    pub fn count(&self, pattern: Pattern) -> usize {
+        if pattern.shape() == Shape::Free {
+            return self.len();
+        }
+        self.matching(pattern).count()
+    }
+
+    /// Iterates over all facts in `(s, r, t)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.srt.iter().map(|k| Fact::new(EntityId(k[0]), EntityId(k[1]), EntityId(k[2])))
+    }
+
+    /// Unindexed check whether any fact mentions `e` in any position
+    /// (uses three prefix probes, not a scan).
+    pub fn mentions(&self, e: EntityId) -> bool {
+        self.matching(Pattern::from_source(e)).next().is_some()
+            || self.matching(Pattern::from_rel(e)).next().is_some()
+            || self.matching(Pattern::from_target(e)).next().is_some()
+    }
+
+    /// The distinct relationship entities in use, in id order.
+    pub fn relationships(&self) -> Vec<EntityId> {
+        let mut rels = Vec::new();
+        let mut cursor = self.rts.iter();
+        let mut last: Option<u32> = None;
+        for key in &mut cursor {
+            if last != Some(key[0]) {
+                rels.push(EntityId(key[0]));
+                last = Some(key[0]);
+            }
+        }
+        rels
+    }
+}
+
+/// Iterator over facts matching a pattern (see [`TripleIndex::matching`]).
+pub enum MatchIter<'a> {
+    /// Range over the `(s, r, t)` rotation.
+    Srt(btree_set::Range<'a, Key>),
+    /// Range over the `(r, t, s)` rotation.
+    Rts(btree_set::Range<'a, Key>),
+    /// Range over the `(t, s, r)` rotation.
+    Tsr(btree_set::Range<'a, Key>),
+    /// Zero or one fully bound fact.
+    One(Option<Fact>),
+}
+
+impl Iterator for MatchIter<'_> {
+    type Item = Fact;
+
+    #[inline]
+    fn next(&mut self) -> Option<Fact> {
+        match self {
+            MatchIter::Srt(range) => range
+                .next()
+                .map(|k| Fact::new(EntityId(k[0]), EntityId(k[1]), EntityId(k[2]))),
+            MatchIter::Rts(range) => range
+                .next()
+                .map(|k| Fact::new(EntityId(k[2]), EntityId(k[0]), EntityId(k[1]))),
+            MatchIter::Tsr(range) => range
+                .next()
+                .map(|k| Fact::new(EntityId(k[1]), EntityId(k[2]), EntityId(k[0]))),
+            MatchIter::One(f) => f.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(s: u32, r: u32, t: u32) -> Fact {
+        Fact::new(EntityId(s), EntityId(r), EntityId(t))
+    }
+
+    fn sample() -> TripleIndex {
+        let mut idx = TripleIndex::new();
+        for fact in [f(1, 10, 2), f(1, 10, 3), f(1, 11, 2), f(2, 10, 3), f(3, 11, 1)] {
+            assert!(idx.insert(fact));
+        }
+        idx
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut idx = TripleIndex::new();
+        assert!(idx.insert(f(1, 2, 3)));
+        assert!(!idx.insert(f(1, 2, 3)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_updates_all_rotations() {
+        let mut idx = sample();
+        assert!(idx.remove(&f(1, 10, 2)));
+        assert!(!idx.remove(&f(1, 10, 2)));
+        assert!(!idx.contains(&f(1, 10, 2)));
+        // No rotation still yields the removed fact.
+        assert!(!idx.matching(Pattern::from_source(EntityId(1))).any(|x| x == f(1, 10, 2)));
+        assert!(!idx.matching(Pattern::from_rel(EntityId(10))).any(|x| x == f(1, 10, 2)));
+        assert!(!idx.matching(Pattern::from_target(EntityId(2))).any(|x| x == f(1, 10, 2)));
+    }
+
+    #[test]
+    fn every_shape_returns_exactly_the_matching_facts() {
+        let idx = sample();
+        let all: Vec<Fact> = idx.iter().collect();
+        let patterns = [
+            Pattern::ANY,
+            Pattern::from_source(EntityId(1)),
+            Pattern::from_rel(EntityId(10)),
+            Pattern::from_target(EntityId(2)),
+            Pattern::new(Some(EntityId(1)), Some(EntityId(10)), None),
+            Pattern::new(Some(EntityId(1)), None, Some(EntityId(2))),
+            Pattern::new(None, Some(EntityId(10)), Some(EntityId(3))),
+            Pattern::from_fact(f(2, 10, 3)),
+            Pattern::from_fact(f(9, 9, 9)),
+            Pattern::from_source(EntityId(99)),
+        ];
+        for p in patterns {
+            let via_index: std::collections::BTreeSet<Fact> = idx.matching(p).collect();
+            let via_scan: std::collections::BTreeSet<Fact> =
+                all.iter().copied().filter(|fact| p.matches(fact)).collect();
+            assert_eq!(via_index, via_scan, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn boundary_ids_match() {
+        // u32::MAX in any position must round-trip through the inclusive
+        // range bounds.
+        let mut idx = TripleIndex::new();
+        let hi = u32::MAX;
+        idx.insert(f(hi, hi, hi));
+        idx.insert(f(0, hi, 0));
+        assert_eq!(idx.matching(Pattern::from_source(EntityId(hi))).count(), 1);
+        assert_eq!(idx.matching(Pattern::from_rel(EntityId(hi))).count(), 2);
+        assert_eq!(
+            idx.matching(Pattern::new(Some(EntityId(hi)), Some(EntityId(hi)), None)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn count_up_to_caps() {
+        let idx = sample();
+        assert_eq!(idx.count_up_to(Pattern::from_source(EntityId(1)), 2), 2);
+        assert_eq!(idx.count_up_to(Pattern::from_source(EntityId(1)), 100), 3);
+        assert_eq!(idx.count_up_to(Pattern::ANY, 4), 4);
+    }
+
+    #[test]
+    fn relationships_are_distinct_and_ordered() {
+        let idx = sample();
+        assert_eq!(idx.relationships(), vec![EntityId(10), EntityId(11)]);
+    }
+
+    #[test]
+    fn mentions_checks_all_positions() {
+        let idx = sample();
+        assert!(idx.mentions(EntityId(10))); // relationship position
+        assert!(idx.mentions(EntityId(3))); // source and target positions
+        assert!(!idx.mentions(EntityId(42)));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut idx = sample();
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.matching(Pattern::ANY).count(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Entity interning: the bijection between [`EntityValue`]s and dense
+//! [`EntityId`]s.
+//!
+//! All facts, indexes, rules and queries refer to entities by id; the
+//! interner is the single authority for the id ↔ value mapping. The special
+//! entities of [`crate::special`] are interned eagerly at construction so
+//! their ids are compile-time constants.
+
+use std::collections::HashMap;
+
+use crate::special;
+use crate::value::{EntityId, EntityValue};
+
+/// An append-only entity table.
+///
+/// Interning the same value twice returns the same id; ids are dense and
+/// never reused, so `Vec`-indexed side tables keyed by `EntityId` are cheap.
+#[derive(Clone, Debug)]
+pub struct Interner {
+    values: Vec<EntityValue>,
+    ids: HashMap<EntityValue, EntityId>,
+}
+
+impl Interner {
+    /// Creates an interner with the special entities pre-interned at their
+    /// reserved identifiers.
+    pub fn new() -> Self {
+        let mut interner = Interner {
+            values: Vec::with_capacity(64),
+            ids: HashMap::with_capacity(64),
+        };
+        for name in special::NAMES {
+            interner.intern(EntityValue::symbol(name));
+        }
+        debug_assert_eq!(interner.len(), special::RESERVED as usize);
+        interner
+    }
+
+    /// Interns a value, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, value: impl Into<EntityValue>) -> EntityId {
+        let value = value.into();
+        if let Some(&id) = self.ids.get(&value) {
+            return id;
+        }
+        let id = EntityId(u32::try_from(self.values.len()).expect("entity table overflow"));
+        self.values.push(value.clone());
+        self.ids.insert(value, id);
+        id
+    }
+
+    /// Interns a symbol by name.
+    pub fn symbol(&mut self, name: impl AsRef<str>) -> EntityId {
+        self.intern(EntityValue::symbol(name))
+    }
+
+    /// Looks up a value without interning it.
+    pub fn lookup(&self, value: &EntityValue) -> Option<EntityId> {
+        self.ids.get(value).copied()
+    }
+
+    /// Looks up a symbol by name without interning it.
+    pub fn lookup_symbol(&self, name: &str) -> Option<EntityId> {
+        self.ids.get(&EntityValue::symbol(name)).copied()
+    }
+
+    /// Resolves an id to its value.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: EntityId) -> &EntityValue {
+        &self.values[id.index()]
+    }
+
+    /// Resolves an id if it is valid for this interner.
+    pub fn try_resolve(&self, id: EntityId) -> Option<&EntityValue> {
+        self.values.get(id.index())
+    }
+
+    /// Renders an entity for display, expanding composed-path entities into
+    /// the dotted form the paper uses (`FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY`).
+    pub fn display(&self, id: EntityId) -> String {
+        match self.resolve(id) {
+            EntityValue::Path(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|&p| self.display(p)).collect();
+                rendered.join(".")
+            }
+            other => other.to_string(),
+        }
+    }
+
+    /// Number of interned entities (including the reserved specials).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if only the reserved special entities are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == special::RESERVED as usize
+    }
+
+    /// Iterates over all `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &EntityValue)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (EntityId(i as u32), v))
+    }
+
+    /// Iterates over all ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.values.len() as u32).map(EntityId)
+    }
+
+    /// True if `id` is valid for this interner.
+    pub fn contains_id(&self, id: EntityId) -> bool {
+        id.index() < self.values.len()
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn specials_preinterned_at_reserved_ids() {
+        let interner = Interner::new();
+        assert_eq!(interner.lookup_symbol("gen"), Some(special::GEN));
+        assert_eq!(interner.lookup_symbol("isa"), Some(special::ISA));
+        assert_eq!(interner.lookup_symbol("TOP"), Some(special::TOP));
+        assert_eq!(interner.lookup_symbol("<"), Some(special::LT));
+        assert_eq!(interner.lookup_symbol(">="), Some(special::GE));
+        assert_eq!(interner.len(), special::RESERVED as usize);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut interner = Interner::new();
+        let a = interner.symbol("JOHN");
+        let b = interner.symbol("JOHN");
+        assert_eq!(a, b);
+        assert_eq!(interner.resolve(a).as_symbol(), Some("JOHN"));
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_ids() {
+        let mut interner = Interner::new();
+        let a = interner.symbol("JOHN");
+        let b = interner.symbol("JOHNNY");
+        let c = interner.intern(25000i64);
+        let d = interner.intern(2.5);
+        assert_eq!([a, b, c, d].iter().collect::<std::collections::HashSet<_>>().len(), 4);
+    }
+
+    #[test]
+    fn int_and_float_intern_separately() {
+        let mut interner = Interner::new();
+        let i = interner.intern(EntityValue::Int(2));
+        let f = interner.intern(EntityValue::float(2.0));
+        assert_ne!(i, f);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let interner = Interner::new();
+        assert_eq!(interner.lookup_symbol("JOHN"), None);
+        assert_eq!(interner.len(), special::RESERVED as usize);
+    }
+
+    #[test]
+    fn display_expands_paths() {
+        let mut interner = Interner::new();
+        let fav = interner.symbol("FAVORITE-MUSIC");
+        let pc9 = interner.symbol("PC#9-WAM");
+        let comp = interner.symbol("COMPOSED-BY");
+        let path = interner.intern(EntityValue::Path(Arc::from(vec![fav, pc9, comp].as_slice())));
+        assert_eq!(interner.display(path), "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut interner = Interner::new();
+        interner.symbol("A");
+        interner.symbol("B");
+        let ids: Vec<u32> = interner.iter().map(|(id, _)| id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,57 @@
+//! # loosedb-store
+//!
+//! Storage substrate for a *loosely structured database* (Motro, SIGMOD
+//! 1984): a completely schema-free set of facts — named pairs
+//! `(source, relationship, target)` of entities — with indexed pattern
+//! retrieval and binary persistence.
+//!
+//! This crate knows nothing about inference, integrity, queries or
+//! browsing; those live in `loosedb-engine`, `loosedb-query` and
+//! `loosedb-browse`. What it provides:
+//!
+//! * [`EntityValue`] / [`EntityId`] / [`Interner`] — the universe `E` of
+//!   entities (symbols, numbers and composed relationship paths), interned
+//!   to dense ids.
+//! * [`special`] — the paper's special entities (`≺ ∈ ≈ ⁺ ⊥ Δ ∇` and the
+//!   mathematical comparators) at reserved ids.
+//! * [`Fact`] / [`Pattern`] — facts and storage-level match patterns.
+//! * [`FactStore`] — the store itself, with three rotated BTree indexes
+//!   answering every pattern shape in one range scan, plus an unindexed
+//!   scan baseline for the organization-vs-retrieval trade-off experiment.
+//! * [`snapshot`] and [`log`] — point-in-time images and self-describing
+//!   operation logs.
+//!
+//! ```
+//! use loosedb_store::{FactStore, Pattern};
+//!
+//! let mut store = FactStore::new();
+//! store.add("JOHN", "EARNS", 25000i64);
+//! store.add("JOHN", "isa", "EMPLOYEE");
+//!
+//! let john = store.lookup_symbol("JOHN").unwrap();
+//! let about_john: Vec<_> = store.matching(Pattern::from_source(john)).collect();
+//! assert_eq!(about_john.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod fact;
+pub mod index;
+pub mod interner;
+pub mod log;
+pub mod snapshot;
+pub mod special;
+pub mod store;
+pub mod text;
+pub mod value;
+
+pub use codec::CodecError;
+pub use fact::{Fact, Pattern, Position, Shape};
+pub use index::TripleIndex;
+pub use interner::Interner;
+pub use log::{FactLog, LogOp};
+pub use store::{FactStore, StoreStats};
+pub use text::TextError;
+pub use value::{num_cmp, EntityId, EntityValue};

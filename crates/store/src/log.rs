@@ -1,0 +1,262 @@
+//! Append-only operation log.
+//!
+//! Complements [`crate::snapshot`]: a snapshot captures a point-in-time
+//! image, the log records the stream of insertions and removals since. Log
+//! records are *self-describing* — each carries the full entity values of
+//! its fact — so a log can be replayed into any store (fresh or snapshot-
+//! restored) regardless of id assignment.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{self, CodecError};
+use crate::store::FactStore;
+use crate::value::EntityValue;
+
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+
+/// A single logged operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogOp {
+    /// Insert the fact described by the three values.
+    Insert(EntityValue, EntityValue, EntityValue),
+    /// Remove the fact described by the three values.
+    Remove(EntityValue, EntityValue, EntityValue),
+}
+
+impl LogOp {
+    fn tag(&self) -> u8 {
+        match self {
+            LogOp::Insert(..) => OP_INSERT,
+            LogOp::Remove(..) => OP_REMOVE,
+        }
+    }
+
+    fn values(&self) -> [&EntityValue; 3] {
+        match self {
+            LogOp::Insert(s, r, t) | LogOp::Remove(s, r, t) => [s, r, t],
+        }
+    }
+}
+
+/// An in-memory append-only log of store operations.
+///
+/// Path entities cannot be logged (their ids are store-specific); they are
+/// derived data produced by composition inference and are re-derivable, so
+/// excluding them loses no base information.
+#[derive(Clone, Debug, Default)]
+pub struct FactLog {
+    buf: BytesMut,
+    ops: usize,
+}
+
+impl FactLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation.
+    ///
+    /// # Panics
+    /// Panics if any value is a path entity (derived data; see type docs).
+    pub fn append(&mut self, op: &LogOp) {
+        for v in op.values() {
+            assert!(
+                !matches!(v, EntityValue::Path(_)),
+                "path entities are derived and cannot be logged"
+            );
+        }
+        self.buf.put_u8(op.tag());
+        for v in op.values() {
+            codec::encode_value(&mut self.buf, v);
+        }
+        self.ops += 1;
+    }
+
+    /// Convenience: log an insertion of three values.
+    pub fn insert(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) {
+        self.append(&LogOp::Insert(s.into(), r.into(), t.into()));
+    }
+
+    /// Convenience: log a removal of three values.
+    pub fn remove(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) {
+        self.append(&LogOp::Remove(s.into(), r.into(), t.into()));
+    }
+
+    /// Number of logged operations.
+    pub fn len(&self) -> usize {
+        self.ops
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// The encoded byte size of the log.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// A frozen copy of the encoded log.
+    pub fn bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// Writes the encoded log to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, &self.buf)
+    }
+}
+
+/// Decodes an encoded log into its operations.
+pub fn decode(mut input: impl Buf) -> Result<Vec<LogOp>, CodecError> {
+    let mut ops = Vec::new();
+    while input.has_remaining() {
+        let tag = codec::get_u8(&mut input)?;
+        let s = codec::decode_value(&mut input, 0)?;
+        let r = codec::decode_value(&mut input, 0)?;
+        let t = codec::decode_value(&mut input, 0)?;
+        ops.push(match tag {
+            OP_INSERT => LogOp::Insert(s, r, t),
+            OP_REMOVE => LogOp::Remove(s, r, t),
+            other => return Err(CodecError::BadTag(other)),
+        });
+    }
+    Ok(ops)
+}
+
+/// Replays an encoded log into a store, returning the number of operations
+/// applied.
+pub fn replay(input: impl Buf, store: &mut FactStore) -> Result<usize, CodecError> {
+    let ops = decode(input)?;
+    let n = ops.len();
+    for op in ops {
+        match op {
+            LogOp::Insert(s, r, t) => {
+                store.add(s, r, t);
+            }
+            LogOp::Remove(s, r, t) => {
+                let (s, r, t) = (store.entity(s), store.entity(r), store.entity(t));
+                store.remove(&crate::fact::Fact::new(s, r, t));
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// Loads and replays a log file into a store.
+pub fn replay_file(
+    path: impl AsRef<std::path::Path>,
+    store: &mut FactStore,
+) -> std::io::Result<usize> {
+    let data = std::fs::read(path)?;
+    replay(Bytes::from(data), store)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Pattern;
+
+    #[test]
+    fn log_and_replay() {
+        let mut log = FactLog::new();
+        log.insert("JOHN", "EARNS", 25000i64);
+        log.insert("JOHN", "LIKES", "FELIX");
+        log.remove("JOHN", "LIKES", "FELIX");
+        assert_eq!(log.len(), 3);
+
+        let mut store = FactStore::new();
+        let applied = replay(log.bytes(), &mut store).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(store.len(), 1);
+        let john = store.lookup_symbol("JOHN").unwrap();
+        assert_eq!(store.count(Pattern::from_source(john)), 1);
+    }
+
+    #[test]
+    fn replay_into_populated_store_is_id_independent() {
+        // Fill the target store so its ids differ from the logging store's.
+        let mut store = FactStore::new();
+        store.add("PADDING-1", "PADDING-2", "PADDING-3");
+        let mut log = FactLog::new();
+        log.insert("A", "R", "B");
+        replay(log.bytes(), &mut store).unwrap();
+        let a = store.lookup_symbol("A").unwrap();
+        assert_eq!(store.count(Pattern::from_source(a)), 1);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut log = FactLog::new();
+        log.insert("X", "R", 5i64);
+        log.remove("X", "R", 5i64);
+        let ops = decode(log.bytes()).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(
+            ops[0],
+            LogOp::Insert(
+                EntityValue::symbol("X"),
+                EntityValue::symbol("R"),
+                EntityValue::Int(5)
+            )
+        );
+        assert!(matches!(ops[1], LogOp::Remove(..)));
+    }
+
+    #[test]
+    fn truncated_log_is_an_error() {
+        let mut log = FactLog::new();
+        log.insert("JOHN", "EARNS", 25000i64);
+        let data = log.bytes();
+        for cut in 1..data.len() {
+            assert!(decode(data.slice(..cut)).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "derived")]
+    fn path_values_rejected() {
+        let mut log = FactLog::new();
+        log.insert(
+            EntityValue::Path(vec![crate::value::EntityId(1)].into()),
+            EntityValue::symbol("R"),
+            EntityValue::symbol("B"),
+        );
+    }
+
+    #[test]
+    fn empty_log_replays_to_nothing() {
+        let log = FactLog::new();
+        let mut store = FactStore::new();
+        assert_eq!(replay(log.bytes(), &mut store).unwrap(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut log = FactLog::new();
+        log.insert("A", "R", "B");
+        let dir = std::env::temp_dir().join(format!("loosedb-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.log");
+        log.save(&path).unwrap();
+        let mut store = FactStore::new();
+        assert_eq!(replay_file(&path, &mut store).unwrap(), 1);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

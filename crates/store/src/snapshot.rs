@@ -1,0 +1,183 @@
+//! Whole-store snapshots: a compact, self-contained binary image of a
+//! [`FactStore`].
+//!
+//! The paper leaves "suitable storage strategies" as an open problem (§6.2);
+//! snapshots plus the append-only [`crate::log`] are the persistence design
+//! we provide (and measure in experiment E12). A snapshot stores the entity
+//! table (in id order, excluding the deterministic reserved specials) and
+//! then the fact set as raw id triples.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::codec::{self, CodecError};
+use crate::fact::Fact;
+use crate::special;
+use crate::store::FactStore;
+use crate::value::EntityId;
+
+const MAGIC: &[u8; 4] = b"LSDB";
+const VERSION: u16 = 1;
+
+/// Serializes the store into a snapshot buffer.
+pub fn encode(store: &FactStore) -> Bytes {
+    let mut out = BytesMut::with_capacity(64 + store.len() * 12);
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+
+    let total = store.entity_count() as u32;
+    out.put_u32_le(total - special::RESERVED);
+    for (id, value) in store.interner().iter() {
+        if special::is_special(id) {
+            continue;
+        }
+        codec::encode_value(&mut out, value);
+    }
+
+    out.put_u64_le(store.len() as u64);
+    for f in store.iter() {
+        out.put_u32_le(f.s.0);
+        out.put_u32_le(f.r.0);
+        out.put_u32_le(f.t.0);
+    }
+    out.freeze()
+}
+
+/// Reconstructs a store from a snapshot buffer.
+pub fn decode(mut input: impl bytes::Buf) -> Result<FactStore, CodecError> {
+    if input.remaining() < 6 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let mut magic = [0u8; 4];
+    input.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = input.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+
+    let mut store = FactStore::new();
+    let entity_count = codec::get_u32(&mut input)?;
+    for i in 0..entity_count {
+        let next_id = special::RESERVED + i;
+        let value = codec::decode_value(&mut input, next_id)?;
+        let id = store.entity(value);
+        // Entities were written in id order and specials are pre-interned,
+        // so re-interning must reproduce the same dense ids.
+        if id.0 != next_id {
+            return Err(CodecError::IdOutOfRange(id.0));
+        }
+    }
+
+    let max_id = store.entity_count() as u32;
+    let fact_count = codec::get_u64(&mut input)?;
+    for _ in 0..fact_count {
+        let s = codec::get_u32(&mut input)?;
+        let r = codec::get_u32(&mut input)?;
+        let t = codec::get_u32(&mut input)?;
+        for raw in [s, r, t] {
+            if raw >= max_id {
+                return Err(CodecError::IdOutOfRange(raw));
+            }
+        }
+        store.insert(Fact::new(EntityId(s), EntityId(r), EntityId(t)));
+    }
+    Ok(store)
+}
+
+/// Writes a snapshot to a file.
+pub fn save(store: &FactStore, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode(store))
+}
+
+/// Loads a snapshot from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<FactStore> {
+    let data = std::fs::read(path)?;
+    decode(Bytes::from(data))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Pattern;
+    use crate::value::EntityValue;
+
+    fn sample() -> FactStore {
+        let mut store = FactStore::new();
+        store.add("JOHN", "EARNS", 25000i64);
+        store.add("JOHN", "isa", "EMPLOYEE");
+        store.add("EMPLOYEE", "gen", "PERSON");
+        store.add("GPA", "IS", 2.5);
+        // A path entity referencing earlier entities.
+        let fav = store.entity("FAVORITE-MUSIC");
+        let pc9 = store.entity("PC#9-WAM");
+        let comp = store.entity("COMPOSED-BY");
+        let path = store.entity(EntityValue::Path(vec![fav, pc9, comp].into()));
+        let john = store.lookup_symbol("JOHN").unwrap();
+        let mozart = store.entity("MOZART");
+        store.insert(Fact::new(john, path, mozart));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample();
+        let decoded = decode(encode(&store)).expect("decode");
+        assert_eq!(decoded.len(), store.len());
+        assert_eq!(decoded.entity_count(), store.entity_count());
+        let original: Vec<String> = store.iter().map(|f| store.display_fact(&f)).collect();
+        let restored: Vec<String> = decoded.iter().map(|f| decoded.display_fact(&f)).collect();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn roundtrip_empty_store() {
+        let decoded = decode(encode(&FactStore::new())).expect("decode");
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.entity_count(), special::RESERVED as usize);
+    }
+
+    #[test]
+    fn queries_work_after_restore() {
+        let decoded = decode(encode(&sample())).expect("decode");
+        let john = decoded.lookup_symbol("JOHN").unwrap();
+        assert_eq!(decoded.count(Pattern::from_source(john)), 3);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = encode(&sample()).to_vec();
+        data[0] = b'X';
+        assert!(matches!(decode(Bytes::from(data)), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut data = encode(&sample()).to_vec();
+        data[4] = 0xFF;
+        assert!(matches!(decode(Bytes::from(data)), Err(CodecError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let data = encode(&sample()).to_vec();
+        for cut in 0..data.len() {
+            let result = decode(Bytes::from(data[..cut].to_vec()));
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample();
+        let dir = std::env::temp_dir().join(format!("loosedb-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.lsdb");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! The special entities of the paper, pre-interned at fixed identifiers.
+//!
+//! The paper treats its structural vocabulary — generalization `≺` (§2.3),
+//! membership `∈` (§2.3), synonym `≈` (§3.3), inversion `⁺` (§3.4),
+//! contradiction `⊥` (§3.5), the hierarchy bounds `Δ`/`∇` (§2.3), and the
+//! mathematical comparators (§3.6) — as *ordinary entities*: they may appear
+//! in any position of a fact. We reserve the first [`RESERVED`] identifiers
+//! for them so they can be referred to as constants throughout the system.
+//!
+//! ASCII spellings are used for the textual syntax: `gen` for `≺`, `isa`
+//! for `∈`, `syn` for `≈`, `inv` for `⁺`, `contra` for `⊥`, `TOP` for `Δ`
+//! and `BOT` for `∇`.
+
+use crate::value::EntityId;
+
+/// Generalization `≺`: `(EMPLOYEE, gen, PERSON)` — an individual,
+/// reflexive, transitive relationship imposing a partial hierarchy.
+pub const GEN: EntityId = EntityId(0);
+/// Membership `∈`: `(JOHN, isa, EMPLOYEE)` — a class relationship.
+pub const ISA: EntityId = EntityId(1);
+/// Synonym `≈`: `(JOHN, syn, JOHNNY)`, defined as mutual generalization.
+pub const SYN: EntityId = EntityId(2);
+/// Inversion `⁺`: `(TEACHES, inv, TAUGHT-BY)`; `(inv, inv, inv)` holds.
+pub const INV: EntityId = EntityId(3);
+/// Contradiction `⊥`: `(LOVES, contra, HATES)`; symmetric.
+pub const CONTRA: EntityId = EntityId(4);
+/// The most abstract entity `Δ`: `(E, gen, TOP)` for every entity `E`.
+pub const TOP: EntityId = EntityId(5);
+/// The most specific entity `∇`: `(BOT, gen, E)` for every entity `E`.
+pub const BOT: EntityId = EntityId(6);
+/// Virtual mathematical `<`.
+pub const LT: EntityId = EntityId(7);
+/// Virtual mathematical `>`.
+pub const GT: EntityId = EntityId(8);
+/// Virtual `=` (identity, defined for *all* entities, §3.6).
+pub const EQ: EntityId = EntityId(9);
+/// Virtual `≠` (defined for all entities).
+pub const NE: EntityId = EntityId(10);
+/// Virtual `≤` (derived comparator, §3.6 "may be defined through simple
+/// inference rules"; we provide it natively).
+pub const LE: EntityId = EntityId(11);
+/// Virtual `≥`.
+pub const GE: EntityId = EntityId(12);
+
+/// Number of reserved identifiers; ordinary entities start here.
+pub const RESERVED: u32 = 13;
+
+/// The ASCII names of the special entities, in identifier order.
+pub const NAMES: [&str; RESERVED as usize] = [
+    "gen", "isa", "syn", "inv", "contra", "TOP", "BOT", "<", ">", "=", "!=", "<=", ">=",
+];
+
+/// True if `id` denotes one of the virtual mathematical comparators, whose
+/// extension is never stored (§3.6).
+#[inline]
+pub fn is_math(id: EntityId) -> bool {
+    matches!(id, LT | GT | EQ | NE | LE | GE)
+}
+
+/// True if `id` is any reserved special entity.
+#[inline]
+pub fn is_special(id: EntityId) -> bool {
+    id.0 < RESERVED
+}
+
+/// The display glyph the paper uses for a special entity, if any.
+pub fn glyph(id: EntityId) -> Option<&'static str> {
+    Some(match id {
+        GEN => "≺",
+        ISA => "∈",
+        SYN => "≈",
+        INV => "⁺",
+        CONTRA => "⊥",
+        TOP => "Δ",
+        BOT => "∇",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_align_with_ids() {
+        assert_eq!(NAMES[GEN.index()], "gen");
+        assert_eq!(NAMES[ISA.index()], "isa");
+        assert_eq!(NAMES[SYN.index()], "syn");
+        assert_eq!(NAMES[INV.index()], "inv");
+        assert_eq!(NAMES[CONTRA.index()], "contra");
+        assert_eq!(NAMES[TOP.index()], "TOP");
+        assert_eq!(NAMES[BOT.index()], "BOT");
+        assert_eq!(NAMES[LT.index()], "<");
+        assert_eq!(NAMES[GE.index()], ">=");
+        assert_eq!(NAMES.len(), RESERVED as usize);
+    }
+
+    #[test]
+    fn math_classification() {
+        assert!(is_math(LT) && is_math(GE) && is_math(EQ) && is_math(NE));
+        assert!(!is_math(GEN) && !is_math(ISA) && !is_math(TOP));
+    }
+
+    #[test]
+    fn special_classification() {
+        assert!(is_special(GEN));
+        assert!(is_special(EntityId(RESERVED - 1)));
+        assert!(!is_special(EntityId(RESERVED)));
+    }
+
+    #[test]
+    fn glyphs() {
+        assert_eq!(glyph(GEN), Some("≺"));
+        assert_eq!(glyph(LT), None);
+    }
+}

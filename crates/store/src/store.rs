@@ -1,0 +1,362 @@
+//! The fact store: interner + triple indexes + modification tracking.
+//!
+//! [`FactStore`] is the storage substrate for a loosely structured
+//! database: a completely schema-free set of facts over interned entities.
+//! Anything goes, exactly as §2.6 requires — the same pair of entities may
+//! be related through several relationships, many-to-many relationships are
+//! ordinary, and replicated or mutually inconsistent facts are accepted at
+//! this layer (consistency is the engine's job, via contradiction facts).
+
+use crate::fact::{Fact, Pattern};
+use crate::index::{MatchIter, TripleIndex};
+use crate::interner::Interner;
+use crate::special;
+use crate::value::{EntityId, EntityValue};
+
+/// A schema-free store of facts with indexed pattern retrieval.
+#[derive(Clone, Debug)]
+pub struct FactStore {
+    interner: Interner,
+    index: TripleIndex,
+    epoch: u64,
+}
+
+impl FactStore {
+    /// Creates an empty store (special entities pre-interned).
+    pub fn new() -> Self {
+        FactStore { interner: Interner::new(), index: TripleIndex::new(), epoch: 0 }
+    }
+
+    // ------------------------------------------------------------------
+    // Entities
+    // ------------------------------------------------------------------
+
+    /// Interns an entity value, returning its id.
+    pub fn entity(&mut self, value: impl Into<EntityValue>) -> EntityId {
+        self.interner.intern(value)
+    }
+
+    /// Looks up an entity id without interning.
+    pub fn lookup(&self, value: &EntityValue) -> Option<EntityId> {
+        self.interner.lookup(value)
+    }
+
+    /// Looks up a symbol by name without interning.
+    pub fn lookup_symbol(&self, name: &str) -> Option<EntityId> {
+        self.interner.lookup_symbol(name)
+    }
+
+    /// Resolves an id to its value.
+    pub fn value(&self, id: EntityId) -> &EntityValue {
+        self.interner.resolve(id)
+    }
+
+    /// Renders an entity for display (paths expand to dotted form).
+    pub fn display(&self, id: EntityId) -> String {
+        self.interner.display(id)
+    }
+
+    /// Renders a fact for display: `(JOHN, EARNS, 25000)`.
+    pub fn display_fact(&self, f: &Fact) -> String {
+        format!("({}, {}, {})", self.display(f.s), self.display(f.r), self.display(f.t))
+    }
+
+    /// Read access to the interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (interning only; entities are never
+    /// removed).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Number of interned entities, including the reserved specials.
+    pub fn entity_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// True if `e` occurs in at least one stored fact.
+    pub fn is_used(&self, e: EntityId) -> bool {
+        self.index.mentions(e)
+    }
+
+    // ------------------------------------------------------------------
+    // Facts
+    // ------------------------------------------------------------------
+
+    /// Inserts a fact by id. Returns true if it was not already present.
+    ///
+    /// # Panics
+    /// Panics (debug only) if any id was not interned by this store.
+    pub fn insert(&mut self, f: Fact) -> bool {
+        debug_assert!(
+            self.interner.contains_id(f.s)
+                && self.interner.contains_id(f.r)
+                && self.interner.contains_id(f.t),
+            "fact {f} refers to unknown entities"
+        );
+        let fresh = self.index.insert(f);
+        if fresh {
+            self.epoch += 1;
+        }
+        fresh
+    }
+
+    /// Interns three values and inserts the resulting fact; returns it.
+    ///
+    /// This is the primary construction API: facts are described "one by
+    /// one" (§2), e.g. `store.add("JOHN", "EARNS", 25000)`.
+    pub fn add(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Fact {
+        let f = Fact::new(self.entity(s), self.entity(r), self.entity(t));
+        self.insert(f);
+        f
+    }
+
+    /// Removes a fact. Returns true if it was present.
+    pub fn remove(&mut self, f: &Fact) -> bool {
+        let removed = self.index.remove(f);
+        if removed {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, f: &Fact) -> bool {
+        self.index.contains(f)
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Removes every fact (entities remain interned).
+    pub fn clear(&mut self) {
+        if !self.index.is_empty() {
+            self.epoch += 1;
+        }
+        self.index.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval
+    // ------------------------------------------------------------------
+
+    /// All facts matching a pattern, via the index (one range scan).
+    pub fn matching(&self, pattern: Pattern) -> MatchIter<'_> {
+        self.index.matching(pattern)
+    }
+
+    /// All facts matching a pattern, via a full scan.
+    ///
+    /// This is the "heap of facts without organization" baseline of the
+    /// paper's trade-off principle (§1); experiment E1 measures it against
+    /// [`FactStore::matching`]. It is also used by property tests as the
+    /// oracle for the indexed path.
+    pub fn matching_scan<'a>(&'a self, pattern: Pattern) -> impl Iterator<Item = Fact> + 'a {
+        self.index.iter().filter(move |f| pattern.matches(f))
+    }
+
+    /// Counts matches of a pattern.
+    pub fn count(&self, pattern: Pattern) -> usize {
+        self.index.count(pattern)
+    }
+
+    /// Counts matches, stopping at `cap` (planner selectivity probes).
+    pub fn count_up_to(&self, pattern: Pattern, cap: usize) -> usize {
+        self.index.count_up_to(pattern, cap)
+    }
+
+    /// All stored facts in `(s, r, t)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.index.iter()
+    }
+
+    /// The distinct relationship entities in use.
+    pub fn relationships(&self) -> Vec<EntityId> {
+        self.index.relationships()
+    }
+
+    // ------------------------------------------------------------------
+    // Change tracking
+    // ------------------------------------------------------------------
+
+    /// A counter bumped on every successful mutation. Derived structures
+    /// (e.g. the engine's closure cache) compare epochs to decide whether
+    /// they are stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> StoreStats {
+        let rels = self.relationships();
+        let rel_counts: Vec<(EntityId, usize)> =
+            rels.iter().map(|&r| (r, self.count(Pattern::from_rel(r)))).collect();
+        StoreStats {
+            facts: self.len(),
+            entities: self.entity_count(),
+            distinct_relationships: rels.len(),
+            rel_counts,
+        }
+    }
+}
+
+impl Default for FactStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics of a [`FactStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total number of facts.
+    pub facts: usize,
+    /// Total number of interned entities (including reserved specials and
+    /// entities not used in any fact).
+    pub entities: usize,
+    /// Number of distinct relationship entities in use.
+    pub distinct_relationships: usize,
+    /// Fact count per relationship, in id order.
+    pub rel_counts: Vec<(EntityId, usize)>,
+}
+
+/// Convenience: the seven structural special ids re-exported on the store
+/// type for ergonomic fact building.
+impl FactStore {
+    /// The generalization relationship `≺`.
+    pub const GEN: EntityId = special::GEN;
+    /// The membership relationship `∈`.
+    pub const ISA: EntityId = special::ISA;
+    /// The synonym relationship `≈`.
+    pub const SYN: EntityId = special::SYN;
+    /// The inversion relationship `⁺`.
+    pub const INV: EntityId = special::INV;
+    /// The contradiction relationship `⊥`.
+    pub const CONTRA: EntityId = special::CONTRA;
+    /// The most abstract entity `Δ`.
+    pub const TOP: EntityId = special::TOP;
+    /// The most specific entity `∇`.
+    pub const BOT: EntityId = special::BOT;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_interns_and_inserts() {
+        let mut store = FactStore::new();
+        let f = store.add("JOHN", "EARNS", 25000i64);
+        assert!(store.contains(&f));
+        assert_eq!(store.display_fact(&f), "(JOHN, EARNS, 25000)");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut store = FactStore::new();
+        let a = store.add("JOHN", "LIKES", "FELIX");
+        let b = store.add("JOHN", "LIKES", "FELIX");
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn paper_section_2_6_permissiveness() {
+        // §2.6: inconsistencies and replications are allowed at this layer.
+        let mut store = FactStore::new();
+        store.add("MARY", "MAJOR", "MATH");
+        store.add("MARY", "ASSISTANT", "MATH"); // same pair, different rel
+        store.add("JOHN", "LIKES", "FELIX");
+        store.add("PERSON", "LIKES", "PERSON"); // same rel, other pairs
+        store.add("TOM", "ENROLLED-IN", "CS100");
+        store.add("TOM", "ENROLLED-IN", "MATH101"); // many-to-many
+        store.add("SUE", "ENROLLED-IN", "MATH101");
+        store.add("JOHN", "EARN", 25000i64);
+        store.add("JOHN", "EARN", 40000i64); // inconsistency allowed
+        store.add("JOHN", "INCOME", 40000i64); // replication allowed
+        assert_eq!(store.len(), 10);
+        let john = store.lookup_symbol("JOHN").unwrap();
+        assert_eq!(store.count(Pattern::from_source(john)), 4);
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_real_changes() {
+        let mut store = FactStore::new();
+        let e0 = store.epoch();
+        let f = store.add("A", "R", "B");
+        let e1 = store.epoch();
+        assert!(e1 > e0);
+        store.insert(f); // duplicate: no change
+        assert_eq!(store.epoch(), e1);
+        store.remove(&f);
+        assert!(store.epoch() > e1);
+        let e2 = store.epoch();
+        store.remove(&f); // absent: no change
+        assert_eq!(store.epoch(), e2);
+    }
+
+    #[test]
+    fn scan_and_index_agree() {
+        let mut store = FactStore::new();
+        store.add("A", "R", "B");
+        store.add("A", "R", "C");
+        store.add("B", "S", "C");
+        let r = store.lookup_symbol("R").unwrap();
+        let via_index: Vec<Fact> = store.matching(Pattern::from_rel(r)).collect();
+        let via_scan: Vec<Fact> = store.matching_scan(Pattern::from_rel(r)).collect();
+        assert_eq!(via_index.len(), 2);
+        assert_eq!(
+            via_index.iter().collect::<std::collections::BTreeSet<_>>(),
+            via_scan.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn stats() {
+        let mut store = FactStore::new();
+        store.add("A", "R", "B");
+        store.add("C", "R", "D");
+        store.add("A", "S", "B");
+        let stats = store.stats();
+        assert_eq!(stats.facts, 3);
+        assert_eq!(stats.distinct_relationships, 2);
+        let r = store.lookup_symbol("R").unwrap();
+        assert!(stats.rel_counts.contains(&(r, 2)));
+    }
+
+    #[test]
+    fn clear_keeps_entities() {
+        let mut store = FactStore::new();
+        store.add("A", "R", "B");
+        let entities = store.entity_count();
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.entity_count(), entities);
+        assert!(store.lookup_symbol("A").is_some());
+    }
+
+    #[test]
+    fn special_constants_available() {
+        let mut store = FactStore::new();
+        let employee = store.entity("EMPLOYEE");
+        let person = store.entity("PERSON");
+        store.insert(Fact::new(employee, FactStore::GEN, person));
+        assert!(store.contains(&Fact::new(employee, special::GEN, person)));
+    }
+}

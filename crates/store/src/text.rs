@@ -1,0 +1,326 @@
+//! A plain-text fact format: one fact per line.
+//!
+//! A loosely structured database is "a heap of facts" built "one by one"
+//! (§2); the natural interchange format is a line-oriented triple file:
+//!
+//! ```text
+//! # The §3.1 examples.
+//! EMPLOYEE WORKS-FOR DEPARTMENT
+//! MANAGER gen EMPLOYEE
+//! JOHN EARNS 25000
+//! STUDENT-1 GPA 2.5
+//! "San Francisco" KNOWN-AS "The City"
+//! ```
+//!
+//! Tokens are whitespace-separated; `#` starts a comment; names with
+//! spaces (or starting like numbers) are double-quoted with `\"` and `\\`
+//! escapes; integers and decimals become number entities. Dumping and
+//! re-loading a store is the identity on its facts (path entities, being
+//! derived, are skipped and reported).
+
+use std::fmt;
+
+use crate::store::FactStore;
+use crate::value::EntityValue;
+
+/// A parse error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses a fact file into value triples.
+pub fn parse_facts(input: &str) -> Result<Vec<(EntityValue, EntityValue, EntityValue)>, TextError> {
+    let mut out = Vec::new();
+    for (i, raw_line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let tokens = tokenize(raw_line, line_no)?;
+        match tokens.len() {
+            0 => continue,
+            3 => {
+                let mut it = tokens.into_iter();
+                out.push((
+                    it.next().expect("len 3"),
+                    it.next().expect("len 3"),
+                    it.next().expect("len 3"),
+                ));
+            }
+            n => {
+                return Err(TextError {
+                    line: line_no,
+                    message: format!("expected 3 tokens (source relationship target), found {n}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Loads a fact file into a store; returns the number of facts added
+/// (duplicates within the file or store count once).
+pub fn load_text(store: &mut FactStore, input: &str) -> Result<usize, TextError> {
+    let before = store.len();
+    for (s, r, t) in parse_facts(input)? {
+        store.add(s, r, t);
+    }
+    Ok(store.len() - before)
+}
+
+/// Reads a fact file from disk into a store.
+pub fn load_file(
+    store: &mut FactStore,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<usize> {
+    let input = std::fs::read_to_string(path)?;
+    load_text(store, &input)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Dumps every storable fact as text, in deterministic store order.
+/// Facts mentioning derived path entities are skipped (they are
+/// re-derivable); the second tuple element counts them.
+pub fn dump_text(store: &FactStore) -> (String, usize) {
+    let mut out = String::new();
+    let mut skipped = 0;
+    for f in store.iter() {
+        let values = [store.value(f.s), store.value(f.r), store.value(f.t)];
+        if values.iter().any(|v| v.as_path().is_some()) {
+            skipped += 1;
+            continue;
+        }
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&render_value(v));
+        }
+        out.push('\n');
+    }
+    (out, skipped)
+}
+
+/// Writes the fact file to disk; returns the number of skipped
+/// path-entity facts.
+pub fn dump_file(store: &FactStore, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+    let (text, skipped) = dump_text(store);
+    std::fs::write(path, text)?;
+    Ok(skipped)
+}
+
+fn render_value(v: &EntityValue) -> String {
+    match v {
+        EntityValue::Int(i) => i.to_string(),
+        EntityValue::Float(f) => {
+            let s = f.to_string();
+            // Ensure floats keep a decimal point so they round-trip as
+            // floats, not integers.
+            if s.contains('.') || s.contains('e') || s.contains("inf") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        EntityValue::Symbol(name) => {
+            let plain = !name.is_empty()
+                && !name.contains(|c: char| c.is_whitespace() || c == '"' || c == '#')
+                && parse_number(name).is_none();
+            if plain {
+                name.to_string()
+            } else {
+                let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+                format!("\"{escaped}\"")
+            }
+        }
+        EntityValue::Path(_) => unreachable!("paths filtered by caller"),
+    }
+}
+
+fn parse_number(token: &str) -> Option<EntityValue> {
+    if let Ok(i) = token.parse::<i64>() {
+        return Some(EntityValue::Int(i));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        if f.is_finite() {
+            return Some(EntityValue::float(f));
+        }
+    }
+    None
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<EntityValue>, TextError> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Skip whitespace.
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('#') => break, // comment to end of line
+            Some('"') => {
+                chars.next();
+                let mut name = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(TextError {
+                                line: line_no,
+                                message: "unterminated quoted name".into(),
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(c @ ('"' | '\\')) => name.push(c),
+                            other => {
+                                return Err(TextError {
+                                    line: line_no,
+                                    message: format!("bad escape {other:?}"),
+                                })
+                            }
+                        },
+                        Some(c) => name.push(c),
+                    }
+                }
+                out.push(EntityValue::symbol(name));
+            }
+            Some(_) => {
+                let mut token = String::new();
+                while chars.peek().is_some_and(|c| !c.is_whitespace()) {
+                    let c = *chars.peek().expect("peeked");
+                    if c == '#' {
+                        break;
+                    }
+                    token.push(c);
+                    chars.next();
+                }
+                out.push(parse_number(&token).unwrap_or_else(|| EntityValue::symbol(&token)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::EntityValue as V;
+
+    #[test]
+    fn parses_symbols_numbers_comments() {
+        let input = "\
+# a comment
+EMPLOYEE WORKS-FOR DEPARTMENT
+JOHN EARNS 25000   # trailing comment
+
+STUDENT-1 GPA 2.5
+";
+        let facts = parse_facts(input).unwrap();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[1].2, V::Int(25000));
+        assert_eq!(facts[2].2, V::float(2.5));
+    }
+
+    #[test]
+    fn quoted_names_with_spaces_and_escapes() {
+        let input = r#""San Francisco" KNOWN-AS "The \"City\"""#;
+        let facts = parse_facts(input).unwrap();
+        assert_eq!(facts[0].0, V::symbol("San Francisco"));
+        assert_eq!(facts[0].2, V::symbol("The \"City\""));
+        // Quoting forces symbol-hood even for digits.
+        let facts = parse_facts(r#"X IS "42""#).unwrap();
+        assert_eq!(facts[0].2, V::symbol("42"));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_facts("A B\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("3 tokens"));
+        let err = parse_facts("OK OK OK\nA B C D\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_facts("A B \"unterminated\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn load_dump_roundtrip() {
+        let mut store = FactStore::new();
+        let input = "\
+JOHN EARNS 25000
+JOHN isa EMPLOYEE
+STUDENT-1 GPA 2.5
+\"odd name\" R \"an # inside\"
+A R -7
+";
+        assert_eq!(load_text(&mut store, input).unwrap(), 5);
+        let (dumped, skipped) = dump_text(&store);
+        assert_eq!(skipped, 0);
+        let mut store2 = FactStore::new();
+        load_text(&mut store2, &dumped).unwrap();
+        let a: Vec<String> = store.iter().map(|f| store.display_fact(&f)).collect();
+        let b: Vec<String> = store2.iter().map(|f| store2.display_fact(&f)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn floats_roundtrip_as_floats() {
+        let mut store = FactStore::new();
+        load_text(&mut store, "X IS 2.0").unwrap();
+        let (dumped, _) = dump_text(&store);
+        assert!(dumped.contains("2.0"), "{dumped}");
+        let mut store2 = FactStore::new();
+        load_text(&mut store2, &dumped).unwrap();
+        assert!(store2.lookup(&V::float(2.0)).is_some());
+        assert!(store2.lookup(&V::Int(2)).is_none());
+    }
+
+    #[test]
+    fn numeric_looking_symbols_are_quoted_on_dump() {
+        let mut store = FactStore::new();
+        store.add(EntityValue::symbol("42"), EntityValue::symbol("R"), EntityValue::symbol("x"));
+        let (dumped, _) = dump_text(&store);
+        assert!(dumped.starts_with("\"42\""), "{dumped}");
+        let mut store2 = FactStore::new();
+        load_text(&mut store2, &dumped).unwrap();
+        assert!(store2.lookup(&EntityValue::symbol("42")).is_some());
+    }
+
+    #[test]
+    fn path_facts_skipped_on_dump() {
+        let mut store = FactStore::new();
+        let a = store.entity("A");
+        let r = store.entity("R");
+        let b = store.entity("B");
+        let path = store.entity(EntityValue::Path(vec![r, a, r].into()));
+        store.insert(crate::fact::Fact::new(a, path, b));
+        store.insert(crate::fact::Fact::new(a, r, b));
+        let (dumped, skipped) = dump_text(&store);
+        assert_eq!(skipped, 1);
+        assert_eq!(dumped.lines().count(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("loosedb-text-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("facts.txt");
+        let mut store = FactStore::new();
+        store.add("A", "R", "B");
+        dump_file(&store, &path).unwrap();
+        let mut store2 = FactStore::new();
+        assert_eq!(load_file(&mut store2, &path).unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

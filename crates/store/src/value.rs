@@ -1,0 +1,336 @@
+//! Entity values: the universe `E` of a loosely structured database.
+//!
+//! The paper's universe of entities contains symbolic names (`JOHN`,
+//! `EMPLOYEE`, `WORKS-FOR`), all numbers (`$25000` is modelled as the number
+//! `25000`), and *composed relationship* entities produced by inference by
+//! composition (§3.7), whose name records the path
+//! `r1 · t1 · r2 · t2 · … · rk` (e.g. `FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY`).
+//!
+//! Values are interned (see [`crate::interner`]); everywhere else in the
+//! system entities are referred to by a compact [`EntityId`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A compact identifier for an interned entity.
+///
+/// Identifiers are dense (assigned sequentially from zero), `Copy`, and
+/// totally ordered, which lets facts be stored as plain `(u32, u32, u32)`
+/// triples in ordered indexes. Identifiers below
+/// [`crate::special::RESERVED`] are pre-assigned to the special entities of
+/// the paper (`≺`, `∈`, `≈`, `⁺`, `⊥`, `Δ`, `∇` and the mathematical
+/// comparators).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The raw index of this identifier.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The value of an entity in the universe `E`.
+///
+/// Equality and ordering are *identity* relations on values, suitable for
+/// interning and deterministic iteration. Note that this is distinct from
+/// the *mathematical* comparison used by the virtual relationships `<` and
+/// `>` (see [`num_cmp`]): identity-wise `Int(2)` and `Float(2.0)` are two
+/// different entities (they compare unequal and hash differently), while
+/// mathematically they are equal.
+#[derive(Clone, Debug)]
+pub enum EntityValue {
+    /// A symbolic entity such as `JOHN` or `WORKS-FOR`.
+    Symbol(Arc<str>),
+    /// An integer entity such as `25000`.
+    Int(i64),
+    /// A floating-point entity such as `2.6`. NaN is rejected at
+    /// construction; `-0.0` is normalised to `0.0` so that equality is
+    /// well-behaved.
+    Float(f64),
+    /// A composed relationship path `[r1, t1, r2, t2, …, rk]` (odd length,
+    /// alternating relationship and intermediate entity), produced by
+    /// inference by composition (§3.7).
+    Path(Arc<[EntityId]>),
+}
+
+impl EntityValue {
+    /// Creates a symbol value.
+    pub fn symbol(name: impl AsRef<str>) -> Self {
+        EntityValue::Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Creates a float value, normalising `-0.0` and rejecting NaN.
+    ///
+    /// # Panics
+    /// Panics if `f` is NaN; databases must not contain entities without a
+    /// well-defined identity.
+    pub fn float(f: f64) -> Self {
+        assert!(!f.is_nan(), "NaN cannot be an entity");
+        EntityValue::Float(if f == 0.0 { 0.0 } else { f })
+    }
+
+    /// Returns the symbol name if this value is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            EntityValue::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric magnitude if this value is a number.
+    ///
+    /// Integers outside the exactly-representable `f64` range lose
+    /// precision here; exact integer comparison is handled separately by
+    /// [`num_cmp`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            EntityValue::Int(i) => Some(*i as f64),
+            EntityValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// True if this value is a number (integer or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, EntityValue::Int(_) | EntityValue::Float(_))
+    }
+
+    /// Returns the composition path if this value is a composed
+    /// relationship.
+    pub fn as_path(&self) -> Option<&[EntityId]> {
+        match self {
+            EntityValue::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The number of composition operations recorded in a path entity
+    /// (`None` for non-path values). A path `[r1, t1, r2]` was produced by
+    /// one composition, `[r1, t1, r2, t2, r3]` by two, and so on.
+    pub fn composition_ops(&self) -> Option<usize> {
+        self.as_path().map(|p| p.len() / 2)
+    }
+
+    /// A small integer discriminant used for cross-variant ordering.
+    fn tag(&self) -> u8 {
+        match self {
+            EntityValue::Symbol(_) => 0,
+            EntityValue::Int(_) => 1,
+            EntityValue::Float(_) => 2,
+            EntityValue::Path(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for EntityValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EntityValue::Symbol(a), EntityValue::Symbol(b)) => a == b,
+            (EntityValue::Int(a), EntityValue::Int(b)) => a == b,
+            (EntityValue::Float(a), EntityValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (EntityValue::Path(a), EntityValue::Path(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for EntityValue {}
+
+impl Hash for EntityValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            EntityValue::Symbol(s) => s.hash(state),
+            EntityValue::Int(i) => i.hash(state),
+            EntityValue::Float(f) => f.to_bits().hash(state),
+            EntityValue::Path(p) => p.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for EntityValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EntityValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (EntityValue::Symbol(a), EntityValue::Symbol(b)) => a.cmp(b),
+            (EntityValue::Int(a), EntityValue::Int(b)) => a.cmp(b),
+            (EntityValue::Float(a), EntityValue::Float(b)) => {
+                // Total order on non-NaN floats.
+                a.partial_cmp(b).expect("NaN rejected at construction")
+            }
+            (EntityValue::Path(a), EntityValue::Path(b)) => a.cmp(b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl From<&str> for EntityValue {
+    fn from(s: &str) -> Self {
+        EntityValue::symbol(s)
+    }
+}
+
+impl From<String> for EntityValue {
+    fn from(s: String) -> Self {
+        EntityValue::Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for EntityValue {
+    fn from(i: i64) -> Self {
+        EntityValue::Int(i)
+    }
+}
+
+impl From<f64> for EntityValue {
+    fn from(f: f64) -> Self {
+        EntityValue::float(f)
+    }
+}
+
+impl fmt::Display for EntityValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityValue::Symbol(s) => write!(f, "{s}"),
+            EntityValue::Int(i) => write!(f, "{i}"),
+            EntityValue::Float(x) => write!(f, "{x}"),
+            EntityValue::Path(p) => {
+                // Path display without an interner can only show raw ids;
+                // `Interner::display_path` renders names.
+                let parts: Vec<String> = p.iter().map(|e| e.to_string()).collect();
+                write!(f, "{}", parts.join("."))
+            }
+        }
+    }
+}
+
+/// Mathematical comparison between two entity values (§3.6).
+///
+/// Returns `Some(ordering)` when both values are numbers; integer pairs are
+/// compared exactly, mixed pairs via `f64`. Non-numeric values are not
+/// mathematically comparable and yield `None` — the virtual relationships
+/// `<` and `>` simply do not hold between them (only `=`/`≠` apply to all
+/// entities).
+pub fn num_cmp(a: &EntityValue, b: &EntityValue) -> Option<Ordering> {
+    match (a, b) {
+        (EntityValue::Int(x), EntityValue::Int(y)) => Some(x.cmp(y)),
+        _ => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            x.partial_cmp(&y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &EntityValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn symbol_equality_and_hash() {
+        let a = EntityValue::symbol("JOHN");
+        let b = EntityValue::symbol("JOHN");
+        let c = EntityValue::symbol("JOHNNY");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn int_and_float_are_distinct_entities() {
+        assert_ne!(EntityValue::Int(2), EntityValue::float(2.0));
+    }
+
+    #[test]
+    fn negative_zero_normalised() {
+        assert_eq!(EntityValue::float(-0.0), EntityValue::float(0.0));
+        assert_eq!(hash_of(&EntityValue::float(-0.0)), hash_of(&EntityValue::float(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = EntityValue::float(f64::NAN);
+    }
+
+    #[test]
+    fn cross_variant_ordering_is_total_and_consistent() {
+        let vals = [
+            EntityValue::symbol("A"),
+            EntityValue::symbol("B"),
+            EntityValue::Int(-1),
+            EntityValue::Int(7),
+            EntityValue::float(0.5),
+            EntityValue::Path(Arc::from(vec![EntityId(1), EntityId(2), EntityId(3)].as_slice())),
+        ];
+        for a in &vals {
+            assert_eq!(a.cmp(a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn num_cmp_exact_integers() {
+        // Large integers that collide when rounded to f64 still compare
+        // exactly as integers.
+        let a = EntityValue::Int(9_007_199_254_740_993);
+        let b = EntityValue::Int(9_007_199_254_740_992);
+        assert_eq!(num_cmp(&a, &b), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn num_cmp_mixed() {
+        assert_eq!(
+            num_cmp(&EntityValue::Int(2), &EntityValue::float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            num_cmp(&EntityValue::Int(2), &EntityValue::float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(num_cmp(&EntityValue::symbol("X"), &EntityValue::Int(1)), None);
+    }
+
+    #[test]
+    fn composition_ops_counts_operations() {
+        let one = EntityValue::Path(Arc::from(
+            vec![EntityId(1), EntityId(2), EntityId(3)].as_slice(),
+        ));
+        let two = EntityValue::Path(Arc::from(
+            vec![EntityId(1), EntityId(2), EntityId(3), EntityId(4), EntityId(5)].as_slice(),
+        ));
+        assert_eq!(one.composition_ops(), Some(1));
+        assert_eq!(two.composition_ops(), Some(2));
+        assert_eq!(EntityValue::Int(1).composition_ops(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntityValue::symbol("JOHN").to_string(), "JOHN");
+        assert_eq!(EntityValue::Int(25000).to_string(), "25000");
+        assert_eq!(EntityValue::float(2.5).to_string(), "2.5");
+    }
+}

@@ -1,0 +1,285 @@
+//! An interactive browser for loosely structured databases: navigation,
+//! probing, standard queries and the §6 operators from one prompt.
+//!
+//! Run with `cargo run --example browse_repl`, then type `help`.
+//! Commands can also be piped in:
+//!
+//! ```text
+//! printf 'world music\nfocus JOHN\nprobe (JOHN, ADORES, ?x)\n' \
+//!   | cargo run --example browse_repl
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use loosedb::datagen::{company, music_world, probing_world, university};
+use loosedb::{Database, RuleGroup, Session};
+
+const HELP: &str = "\
+commands:
+  world <music|probing|university|company|empty>   load a world
+  focus <entity>               show the (E,*,*) neighborhood, push focus
+  back                         return to the previous focus
+  try <entity>                 the try(e) operator: all facts mentioning e
+  nav <s> <r> <t>              navigate any template ('*' = free position)
+  query <formula>              evaluate a standard query (§2.7 syntax)
+  probe <formula>              evaluate with automatic retraction (§5)
+  add <s> <r> <t>              insert a fact (unchecked)
+  tryadd <s> <r> <t>           insert with integrity check (§2.5)
+  del <s> <r> <t>              remove a fact
+  explain <s> <r> <t>          derivation of a closure fact
+  include <group> | exclude <group>   toggle a §3 rule group
+  limit <n>                    composition chain limit (§6.1)
+  dist <a> <b>                 semantic distance (§6.1), up to 6 hops
+  plan <formula>               show the evaluation plan without running
+  fn <rel> [class]             functional view of a relationship (§6.1)
+  import <path> | export <path>   plain-text fact files
+  save <path> | load <path>    full-database image (facts+rules+config)
+  stats                        database statistics
+  history                      focus history
+  help                         this text
+  quit                         exit";
+
+fn main() {
+    let stdin = io::stdin();
+    let mut session = Session::new(music_world());
+    println!("loosedb browser — music world loaded; type 'help' for commands");
+    prompt();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            prompt();
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        if let Err(e) = dispatch(&mut session, trimmed) {
+            println!("error: {e}");
+        }
+        prompt();
+    }
+    println!("bye");
+}
+
+fn prompt() {
+    print!("> ");
+    io::stdout().flush().ok();
+}
+
+fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let rest = rest.trim();
+    match cmd {
+        "help" => println!("{HELP}"),
+        "world" => {
+            let db: Database = match rest {
+                "music" => music_world(),
+                "probing" => probing_world(),
+                "university" => university(&Default::default()),
+                "company" => company(&Default::default()),
+                "empty" => Database::new(),
+                other => return Err(format!("unknown world {other:?}")),
+            };
+            *session = Session::new(db);
+            println!("loaded {rest} ({} facts)", session.db().base_len());
+        }
+        "focus" | "f" => {
+            let table = session.focus(rest).map_err(|e| e.to_string())?;
+            print!("{table}");
+        }
+        "back" => {
+            let table = session.back().map_err(|e| e.to_string())?;
+            print!("{table}");
+        }
+        "try" => {
+            let table = session.try_entity(rest).map_err(|e| e.to_string())?;
+            print!("{table}");
+        }
+        "nav" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [s, r, t] = parts.as_slice() else {
+                return Err("usage: nav <s> <r> <t>".into());
+            };
+            let table = session.navigate_parts(s, r, t).map_err(|e| e.to_string())?;
+            print!("{table}");
+        }
+        "query" | "q" => {
+            let answer = session.query(rest).map_err(|e| e.to_string())?;
+            print!("{}", answer.render(session.db().store().interner()));
+            println!("({} answer(s))", answer.len());
+        }
+        "probe" | "p" => {
+            let report = session.probe(rest).map_err(|e| e.to_string())?;
+            print!("{}", report.render_menu(session.db().store().interner()));
+        }
+        "add" | "tryadd" | "del" | "explain" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [s, r, t] = parts.as_slice() else {
+                return Err(format!("usage: {cmd} <s> <r> <t>"));
+            };
+            edit(session, cmd, s, r, t)?;
+        }
+        "include" | "exclude" => {
+            let group = RuleGroup::from_name(rest)
+                .ok_or_else(|| format!("unknown rule group {rest:?}"))?;
+            if cmd == "include" {
+                session.db_mut().include(group);
+            } else {
+                session.db_mut().exclude(group);
+            }
+            println!("{cmd}d {group}");
+        }
+        "limit" => {
+            let n: usize = rest.parse().map_err(|_| "usage: limit <n>".to_string())?;
+            if n == 0 {
+                return Err("limit must be at least 1".into());
+            }
+            session.db_mut().limit(n);
+            println!("composition limit set to {n}");
+        }
+        "stats" => {
+            let stats = session.db().store().stats();
+            println!(
+                "{} facts, {} entities, {} distinct relationships",
+                stats.facts, stats.entities, stats.distinct_relationships
+            );
+            let closure = session.db_mut().closure().map_err(|e| e.to_string())?;
+            let cs = closure.stats();
+            println!(
+                "closure: {} facts ({} derived, {} rounds), consistent: {}",
+                closure.len(),
+                cs.derived_facts,
+                cs.rounds,
+                closure.is_consistent()
+            );
+        }
+        "dist" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [a, b] = parts.as_slice() else {
+                return Err("usage: dist <a> <b>".into());
+            };
+            let a = session
+                .db()
+                .lookup_symbol(a)
+                .ok_or_else(|| format!("unknown entity {a:?}"))?;
+            let b = session
+                .db()
+                .lookup_symbol(b)
+                .ok_or_else(|| format!("unknown entity {b:?}"))?;
+            let view = session.db_mut().view().map_err(|e| e.to_string())?;
+            match loosedb::semantic_distance(&view, a, b, 6).map_err(|e| e.to_string())? {
+                Some(d) => println!("semantic distance: {d}"),
+                None => println!("no chain of ≤ 6 facts relates them"),
+            }
+        }
+        "plan" => {
+            let plan = session.explain_query(rest).map_err(|e| e.to_string())?;
+            print!("{plan}");
+        }
+        "fn" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let (rel, class) = match parts.as_slice() {
+                [rel] => (*rel, None),
+                [rel, class] => (*rel, Some(*class)),
+                _ => return Err("usage: fn <rel> [target-class]".into()),
+            };
+            let f = session.function(rel, class).map_err(|e| e.to_string())?;
+            println!(
+                "{} source(s); {}",
+                f.len(),
+                if f.is_function() { "single-valued (a function)" } else { "multi-valued" }
+            );
+            for (src, targets) in f.entries.iter().take(20) {
+                let names: Vec<String> =
+                    targets.iter().map(|&t| session.db().display(t)).collect();
+                println!("  {} -> {}", session.db().display(*src), names.join(", "));
+            }
+            if f.len() > 20 {
+                println!("  … ({} more)", f.len() - 20);
+            }
+        }
+        "import" => {
+            let text = std::fs::read_to_string(rest).map_err(|e| e.to_string())?;
+            let added = session.db_mut().import_facts(&text).map_err(|e| e.to_string())?;
+            println!("imported {added} new fact(s)");
+        }
+        "export" => {
+            let (text, skipped) = session.db().export_facts();
+            std::fs::write(rest, text).map_err(|e| e.to_string())?;
+            println!("exported base facts to {rest} ({skipped} derived path fact(s) skipped)");
+        }
+        "save" => {
+            session.db().save_full(rest).map_err(|e| e.to_string())?;
+            println!("saved full database image to {rest}");
+        }
+        "load" => {
+            let db = loosedb::Database::load_full(rest).map_err(|e| e.to_string())?;
+            println!("loaded {} facts, {} rules", db.base_len(), db.rules().len());
+            *session = Session::new(db);
+        }
+        "history" => {
+            let names: Vec<String> =
+                session.history().iter().map(|&e| session.db().display(e)).collect();
+            println!("{}", if names.is_empty() { "(empty)".to_string() } else { names.join(" → ") });
+        }
+        other => return Err(format!("unknown command {other:?}; type 'help'")),
+    }
+    Ok(())
+}
+
+/// Fact-editing commands: `add`, `tryadd`, `del`, `explain`.
+fn edit(session: &mut Session, cmd: &str, s: &str, r: &str, t: &str) -> Result<(), String> {
+    let value = |text: &str| -> loosedb::EntityValue {
+        if let Ok(i) = text.parse::<i64>() {
+            i.into()
+        } else if let Ok(f) = text.parse::<f64>() {
+            loosedb::EntityValue::float(f)
+        } else {
+            loosedb::EntityValue::symbol(text)
+        }
+    };
+    let db = session.db_mut();
+    match cmd {
+        "add" => {
+            let f = db.add(value(s), value(r), value(t));
+            println!("added {}", db.display_fact(&f));
+        }
+        "tryadd" => match db.try_add(value(s), value(r), value(t)) {
+            Ok(f) => println!("added {}", db.display_fact(&f)),
+            Err(e) => println!("rejected: {e}"),
+        },
+        "del" => {
+            let fact = loosedb::Fact::new(
+                db.entity(value(s)),
+                db.entity(value(r)),
+                db.entity(value(t)),
+            );
+            if db.remove(&fact) {
+                println!("removed {}", db.display_fact(&fact));
+            } else {
+                println!("no such fact");
+            }
+        }
+        "explain" => {
+            let fact = loosedb::Fact::new(
+                db.entity(value(s)),
+                db.entity(value(r)),
+                db.entity(value(t)),
+            );
+            match db.explain(&fact).map_err(|e| e.to_string())? {
+                Some(lines) => {
+                    for line in lines {
+                        println!("{line}");
+                    }
+                }
+                None => println!("not in the closure"),
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The paper's worked examples, reproduced end to end:
+//!
+//! * §4.1 — the navigation session `(JOHN,*,*)` → `(PC#9-WAM,*,*)` →
+//!   `(LEOPOLD,*,MOZART)`;
+//! * §5.2 — the probing menu for "the free things that all students love";
+//! * §6.1 — the `relation(employee, works-for department, earns salary)`
+//!   table.
+//!
+//! Run with `cargo run --example paper_walkthrough`.
+
+use loosedb::datagen::{music_world, probing_world, relation_world, PROBING_QUERY};
+use loosedb::{navigate, probe_text, relation, FactView, NavigateOptions, Pattern, ProbeOptions};
+
+fn main() {
+    section_4_1();
+    section_5_2();
+    section_6_1();
+}
+
+/// §4.1: browsing by navigation.
+fn section_4_1() {
+    println!("================ §4.1 Navigation ================\n");
+    let mut db = music_world();
+    let opts = NavigateOptions::default();
+
+    // First template: (JOHN, *, *).
+    let john = db.lookup_symbol("JOHN").expect("JOHN");
+    let view = db.view().expect("closure");
+    let table = navigate(&view, Pattern::from_source(john), &opts).expect("navigate");
+    println!("{table}");
+    drop(view);
+
+    // The user picks PC#9-WAM from the FAVORITE-MUSIC column.
+    let pc9 = db.lookup_symbol("PC#9-WAM").expect("PC#9-WAM");
+    let view = db.view().expect("closure");
+    let table = navigate(&view, Pattern::from_source(pc9), &opts).expect("navigate");
+    println!("{table}");
+    drop(view);
+
+    // Finally (LEOPOLD, *, MOZART): every association between the two,
+    // including the composed FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY path —
+    // "the power of composition as a browsing tool".
+    let leopold = db.lookup_symbol("LEOPOLD").expect("LEOPOLD");
+    let mozart = db.lookup_symbol("MOZART").expect("MOZART");
+    let view = db.view().expect("closure");
+    let table =
+        navigate(&view, Pattern::new(Some(leopold), None, Some(mozart)), &opts).expect("navigate");
+    println!("{table}");
+}
+
+/// §5.2: browsing by probing.
+fn section_5_2() {
+    println!("================ §5.2 Probing ================\n");
+    let mut db = probing_world();
+    println!("query: {PROBING_QUERY}\n");
+    let report = probe_text(PROBING_QUERY, &mut db, &ProbeOptions::default()).expect("probe");
+    println!("{}", report.render_menu(db.store().interner()));
+    // Show what each successful broadening actually returns.
+    if let loosedb::ProbeOutcome::RetractionsSucceeded { wave } = &report.outcome {
+        for attempt in report.waves[*wave].attempts.iter().filter(|a| a.succeeded()) {
+            let answer = attempt.answer.as_ref().expect("succeeded");
+            let descr: Vec<String> = attempt
+                .steps
+                .iter()
+                .map(|s| s.describe(db.store().interner()))
+                .collect();
+            println!("--- {} ---", descr.join(" and "));
+            print!("{}", answer.render(db.store().interner()));
+        }
+    }
+}
+
+/// §6.1: the relation operator.
+fn section_6_1() {
+    println!("\n================ §6.1 relation(...) ================\n");
+    let mut db = relation_world();
+    let employee = db.lookup_symbol("EMPLOYEE").expect("EMPLOYEE");
+    let works_for = db.lookup_symbol("WORKS-FOR").expect("WORKS-FOR");
+    let department = db.lookup_symbol("DEPARTMENT").expect("DEPARTMENT");
+    let earns = db.lookup_symbol("EARNS").expect("EARNS");
+    let salary = db.lookup_symbol("SALARY").expect("SALARY");
+    let view = db.view().expect("closure");
+    let table = relation(&view, employee, &[(works_for, department), (earns, salary)])
+        .expect("relation");
+    print!("{}", table.render(view.interner()));
+}

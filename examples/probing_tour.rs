@@ -1,0 +1,85 @@
+//! A tour of probing (§5): retraction sets, waves, critical failures and
+//! the misspelling diagnosis, with the machinery laid open.
+//!
+//! Run with `cargo run --example probing_tour`.
+
+use loosedb::{Database, ProbeOutcome, Session};
+
+fn main() {
+    scenario_menu();
+    scenario_waves();
+    scenario_critical();
+    scenario_misspelling();
+}
+
+/// The §5.2 scenario: the failure menu.
+fn scenario_menu() {
+    println!("=== 1. The §5.2 menu ===\n");
+    let mut session = Session::new(loosedb::datagen::probing_world());
+    println!("query: {}\n", loosedb::datagen::PROBING_QUERY);
+    let report = session.probe(loosedb::datagen::PROBING_QUERY).expect("probe");
+    print!("{}", report.render_menu(session.db().store().interner()));
+    // The full wave, including the failed attempts.
+    println!("\nwave detail:");
+    print!("{}", report.wave_table(0, session.db().store().interner()));
+}
+
+/// A taxonomy the probe must climb wave by wave.
+fn scenario_waves() {
+    println!("\n=== 2. Climbing the broadness lattice ===\n");
+    let mut db = Database::new();
+    db.add("ESPRESSO", "gen", "COFFEE");
+    db.add("COFFEE", "gen", "BEVERAGE");
+    db.add("BEVERAGE", "gen", "CONSUMABLE");
+    db.add("JOHN", "SELLS", "CONSUMABLE");
+    let mut session = Session::new(db);
+
+    println!("query: (JOHN, SELLS, ESPRESSO) — data exists only at CONSUMABLE\n");
+    let report = session.probe("(JOHN, SELLS, ESPRESSO)").expect("probe");
+    for (i, _) in report.waves.iter().enumerate() {
+        println!("--- wave {} ---", i + 1);
+        print!("{}", report.wave_table(i, session.db().store().interner()));
+    }
+    match report.outcome {
+        ProbeOutcome::RetractionsSucceeded { wave } => {
+            println!("\nfirst success in wave {}", wave + 1)
+        }
+        ref other => println!("\noutcome: {other:?}"),
+    }
+}
+
+/// A critical failure: every minimal broadening succeeds, so the probe
+/// has isolated exactly where the database cannot satisfy the query.
+fn scenario_critical() {
+    println!("\n=== 3. Critical failure (§5.2) ===\n");
+    let mut db = Database::new();
+    db.add("FRESHMAN", "gen", "STUDENT");
+    db.add("LOVE", "gen", "LIKE");
+    db.add("FREE", "gen", "CHEAP");
+    db.add("FRESHMAN", "LOVE", "SWAG");
+    db.add("SWAG", "COSTS", "FREE");
+    db.add("STUDENT", "LIKE", "LIBRARY");
+    db.add("LIBRARY", "COSTS", "FREE");
+    db.add("STUDENT", "LOVE", "COFFEE");
+    db.add("COFFEE", "COSTS", "CHEAP");
+    db.add("COFFEE", "ADVERTISED-AS", "FREE");
+    let mut session = Session::new(db);
+
+    let q = "Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)";
+    println!("query: {q}\n");
+    let report = session.probe(q).expect("probe");
+    print!("{}", report.render_menu(session.db().store().interner()));
+    assert!(report.critical, "this scenario is constructed to be critical");
+}
+
+/// §5.2's closing example: an entity that is not in the database.
+fn scenario_misspelling() {
+    println!("\n=== 4. Misspelling diagnosis (§5.2) ===\n");
+    let mut session = Session::new(loosedb::datagen::music_world());
+    for q in ["(JOHN, LOOVES, ?x)", "(JOHN, LIKES, FELIKS)"] {
+        println!("query: {q}");
+        let report = session.probe(q).expect("probe");
+        print!("{}", report.render_menu(session.db().store().interner()));
+        println!();
+    }
+}

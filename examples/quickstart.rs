@@ -1,0 +1,71 @@
+//! Quickstart: build a loosely structured database fact by fact, query
+//! it, browse it, and let probing rescue a failing query.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use loosedb::{Database, Session};
+
+fn main() {
+    // 1. A database is a heap of facts (§2) — no schema, no design phase.
+    //    Schema-level facts (EMPLOYEE EARNS SALARY) and data-level facts
+    //    (JOHN EARNS 25000) are stored uniformly.
+    let mut db = Database::new();
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("MARY", "isa", "EMPLOYEE");
+    db.add("MANAGER", "gen", "EMPLOYEE");
+    db.add("SUE", "isa", "MANAGER");
+    db.add("EMPLOYEE", "EARNS", "SALARY");
+    db.add("JOHN", "EARNS", 25000i64);
+    db.add("MARY", "EARNS", 18000i64);
+    db.add("SUE", "EARNS", 40000i64);
+    db.add("JOHN", "WORKS-FOR", "SHIPPING");
+    db.add("SUE", "WORKS-FOR", "SHIPPING");
+    db.add("WORKS-FOR", "inv", "EMPLOYS");
+    db.add("ADORES", "gen", "LIKES");
+    db.add("JOHN", "LIKES", "FELIX");
+
+    let mut session = Session::new(db);
+
+    // 2. Standard queries (§2.7): predicate logic over the closure.
+    println!("== Who earns more than 20000? ==");
+    let answer = session
+        .query("Q(?who) := exists ?amt . (?who, EARNS, ?amt) & (?amt, >, 20000)")
+        .expect("query");
+    print!("{}", answer.render(session.db().store().interner()));
+
+    // 3. Inference (§3): Sue is a manager, managers are employees, so Sue
+    //    earns a salary; EMPLOYS facts exist by inversion.
+    println!("\n== Who does SHIPPING employ? (inferred by inversion) ==");
+    let answer = session.query("(SHIPPING, EMPLOYS, ?who)").expect("query");
+    print!("{}", answer.render(session.db().store().interner()));
+
+    // 4. Navigation (§4): explore without knowing the organization.
+    println!("\n== Neighborhood of JOHN ==");
+    let table = session.focus("JOHN").expect("focus");
+    print!("{table}");
+
+    // 5. Probing (§5): a failing query is automatically broadened.
+    //    Nobody ADORES anything, but ADORES ≺ LIKES, so retraction finds
+    //    the LIKES fact.
+    println!("\n== Probing (JOHN, ADORES, ?x) ==");
+    let report = session.probe("(JOHN, ADORES, ?x)").expect("probe");
+    print!("{}", report.render_menu(session.db().store().interner()));
+
+    // 6. Structured views (§6.1): the relation operator.
+    println!("\n== relation(EMPLOYEE, earns salary) ==");
+    session.db_mut().add(25000i64, "isa", "SALARY-AMOUNT");
+    session.db_mut().add(18000i64, "isa", "SALARY-AMOUNT");
+    session.db_mut().add(40000i64, "isa", "SALARY-AMOUNT");
+    let table = session
+        .relation("EMPLOYEE", &[("EARNS", "SALARY-AMOUNT")])
+        .expect("relation");
+    print!("{}", table.render(session.db().store().interner()));
+
+    // 7. Integrity (§2.5): contradictions are rejected transactionally.
+    session.db_mut().add("LOVES", "contra", "HATES");
+    session.db_mut().add("JOHN", "LOVES", "FELIX");
+    match session.db_mut().try_add("JOHN", "HATES", "FELIX") {
+        Err(e) => println!("\n== Integrity == \nrejected as expected: {e}"),
+        Ok(_) => unreachable!("contradiction must be rejected"),
+    }
+}

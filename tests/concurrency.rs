@@ -1,0 +1,120 @@
+//! Concurrency tests: a shared database behind `parking_lot::RwLock`,
+//! read by many browsing threads while writers apply checked updates.
+//!
+//! The `Database` type is deliberately single-writer (closure refresh
+//! needs `&mut self`); the supported concurrent pattern is: refresh under
+//! the write lock, then share read guards — exactly what these tests
+//! exercise with `crossbeam::scope`.
+
+use parking_lot::RwLock;
+
+use loosedb::datagen::{company, university, CompanyConfig, UniversityConfig};
+use loosedb::{Database, Pattern, Session};
+
+#[test]
+fn parallel_readers_over_refreshed_database() {
+    let mut db = university(&UniversityConfig {
+        students: 40,
+        courses: 10,
+        instructors: 5,
+        enrollments_per_student: 3,
+        seed: 9,
+    });
+    db.refresh().expect("closure");
+    let shared = RwLock::new(db);
+
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..8 {
+            let shared = &shared;
+            scope.spawn(move |_| {
+                // Each worker evaluates its query twice under short write
+                // locks (the closure cache is warm, so `view()` is a
+                // cheap reborrow, not a recomputation); results must be
+                // stable across threads and iterations.
+                let src = format!("Q(?e) := (?e, ENROLL-STUDENT, STU-{})", worker % 10);
+                let counts: Vec<usize> = (0..2)
+                    .map(|_| {
+                        let mut guard = shared.write();
+                        let q = loosedb::parse(&src, guard.store_interner_mut()).unwrap();
+                        let view = guard.view().unwrap();
+                        loosedb::eval(&q, &view).unwrap().len()
+                    })
+                    .collect();
+                assert_eq!(counts[0], counts[1]);
+                assert!(counts[0] >= 1, "student {} has enrollments", worker % 10);
+            });
+        }
+    })
+    .expect("threads");
+}
+
+#[test]
+fn interleaved_writers_preserve_integrity() {
+    let db = company(&CompanyConfig { employees: 20, ..Default::default() });
+    let shared = RwLock::new(db);
+
+    crossbeam::thread::scope(|scope| {
+        // Writers race to add LOVES/HATES pairs; the contradiction fact
+        // (LOVES, ⊥, HATES) must keep at most one of each pair.
+        for i in 0..6 {
+            let shared = &shared;
+            scope.spawn(move |_| {
+                let a = format!("EMP-{}", i % 5);
+                let b = format!("EMP-{}", (i + 7) % 20);
+                let mut guard = shared.write();
+                let rel = if i % 2 == 0 { "LOVES" } else { "HATES" };
+                // try_add may fail if the opposite was added first —
+                // either way the database stays consistent.
+                let _ = guard.try_add(a.as_str(), rel, b.as_str());
+            });
+        }
+    })
+    .expect("threads");
+
+    let mut db = shared.into_inner();
+    assert!(db.is_consistent().expect("closure"));
+}
+
+#[test]
+fn store_snapshot_readable_while_database_evolves() {
+    // Snapshots are value types: encode under the lock, decode and query
+    // on another thread while the original keeps changing.
+    let mut db = Database::new();
+    for i in 0..100 {
+        db.add(format!("E{i}"), "LINKS", format!("E{}", (i + 1) % 100));
+    }
+    let snapshot = loosedb::store::snapshot::encode(db.store());
+
+    crossbeam::thread::scope(|scope| {
+        let reader = scope.spawn(move |_| {
+            let restored = loosedb::store::snapshot::decode(snapshot).unwrap();
+            assert_eq!(restored.len(), 100);
+            let e0 = restored.lookup_symbol("E0").unwrap();
+            assert_eq!(restored.count(Pattern::from_source(e0)), 1);
+        });
+        for i in 0..50 {
+            db.add(format!("NEW-{i}"), "LINKS", "E0");
+        }
+        reader.join().unwrap();
+    })
+    .expect("threads");
+    assert_eq!(db.base_len(), 150);
+}
+
+#[test]
+fn sessions_are_independent() {
+    // Two sessions over clones of the same store diverge independently.
+    let base = loosedb::datagen::music_world();
+    let snapshot = loosedb::store::snapshot::encode(base.store());
+    let mut a = Session::new(Database::from_store(
+        loosedb::store::snapshot::decode(snapshot.clone()).unwrap(),
+    ));
+    let mut b = Session::new(Database::from_store(
+        loosedb::store::snapshot::decode(snapshot).unwrap(),
+    ));
+
+    a.db_mut().add("JOHN", "LIKES", "BRAHMS");
+    let a_likes = a.query("(JOHN, LIKES, ?x)").unwrap().len();
+    let b_likes = b.query("(JOHN, LIKES, ?x)").unwrap().len();
+    assert_eq!(a_likes, b_likes + 1);
+}

@@ -1,0 +1,269 @@
+//! Cross-crate integration tests: end-to-end flows through the public
+//! facade, spanning storage, inference, queries, browsing and persistence.
+
+use loosedb::datagen::{company, university, CompanyConfig, UniversityConfig};
+use loosedb::{
+    special, Database, EntityValue, Fact, FactView, ProbeOutcome, RuleGroup, Session,
+};
+
+/// The full life of a database: build, infer, query, browse, persist,
+/// reload, keep working.
+#[test]
+fn end_to_end_lifecycle() {
+    let mut db = Database::new();
+
+    // Build a small world, one fact at a time (§2).
+    db.add("TOM", "isa", "STUDENT");
+    db.add("TOM", "ENROLLED-IN", "CS100");
+    db.add("CS100", "TAUGHT-BY", "HARRY");
+    db.add("TAUGHT-BY", "inv", "TEACHES");
+    db.add("STUDENT", "gen", "PERSON");
+    db.add("ENROLLED-IN", "gen", "ATTENDS");
+
+    // Queries see inference: Tom attends CS100 (G2) and Harry teaches it
+    // (inversion).
+    let mut session = Session::new(db);
+    assert!(session.query("(TOM, ATTENDS, CS100)").unwrap().is_true());
+    assert!(session.query("(HARRY, TEACHES, CS100)").unwrap().is_true());
+
+    // Browse: Tom's neighborhood shows both stored and inferred facts.
+    let table = session.focus("TOM").unwrap();
+    let rendered = table.to_string();
+    assert!(rendered.contains("ATTENDS"));
+    assert!(rendered.contains("CS100"));
+
+    // Persist and reload.
+    let dir = std::env::temp_dir().join(format!("loosedb-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("world.lsdb");
+    session.db().save(&path).unwrap();
+    let reloaded = Database::load(&path).unwrap();
+    assert_eq!(reloaded.base_len(), session.db().base_len());
+
+    // The reloaded database answers the same queries.
+    let mut session2 = Session::new(reloaded);
+    assert!(session2.query("(TOM, ATTENDS, CS100)").unwrap().is_true());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Snapshot + log replay: the paper's dynamic database (§6.1 "a database
+/// is a dynamic set of facts") recovered from a checkpoint plus a tail of
+/// operations.
+#[test]
+fn snapshot_plus_log_recovery() {
+    let mut store = loosedb::FactStore::new();
+    store.add("JOHN", "EARNS", 25000i64);
+    store.add("JOHN", "isa", "EMPLOYEE");
+    let snapshot = loosedb::store::snapshot::encode(&store);
+
+    // Operations after the checkpoint.
+    let mut log = loosedb::FactLog::new();
+    log.insert("MARY", "isa", "EMPLOYEE");
+    log.remove("JOHN", "EARNS", 25000i64);
+    log.insert("JOHN", "EARNS", 30000i64);
+
+    // Recover: checkpoint + tail.
+    let mut recovered = loosedb::store::snapshot::decode(snapshot).unwrap();
+    loosedb::store::log::replay(log.bytes(), &mut recovered).unwrap();
+    assert_eq!(recovered.len(), 3);
+
+    let mut session = Session::new(Database::from_store(recovered));
+    assert!(session.query("(MARY, isa, EMPLOYEE)").unwrap().is_true());
+    assert!(session.query("(JOHN, EARNS, 30000)").unwrap().is_true());
+    assert!(!session.query("(JOHN, EARNS, 25000)").unwrap().is_true());
+}
+
+/// The university world end to end: queries, views, probing, explanation.
+#[test]
+fn university_flow() {
+    let db = university(&UniversityConfig {
+        students: 20,
+        courses: 6,
+        instructors: 3,
+        enrollments_per_student: 2,
+        seed: 3,
+    });
+    let mut session = Session::new(db);
+
+    // Every course is taught; every reified enrollment reassembles.
+    let teachers = session
+        .query("Q(?c, ?i) := (?c, TAUGHT-BY, ?i) & (?i, isa, INSTRUCTOR) & (?c, isa, COURSE)")
+        .unwrap();
+    assert_eq!(teachers.len(), 6);
+
+    // Probing with GRADUATE-OF ≺ ATTENDED: a student who attended but did
+    // not graduate is found through retraction.
+    session.db_mut().add("STU-1", "ATTENDED", "STATE-COLLEGE");
+    let report = session.probe("(STU-1, GRADUATE-OF, STATE-COLLEGE)").unwrap();
+    match report.outcome {
+        ProbeOutcome::RetractionsSucceeded { wave } => assert_eq!(wave, 0),
+        ref other => panic!("expected retraction success, got {other:?}"),
+    }
+
+    // relation() over enrollments matches a hand-written query.
+    let table = session
+        .relation("ENROLLMENT", &[("ENROLL-STUDENT", "STUDENT"), ("ENROLL-GRADE", "GRADE")])
+        .unwrap();
+    assert_eq!(table.rows.len(), 40);
+    let by_query = session
+        .query(
+            "Q(?e, ?s, ?g) := (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-GRADE, ?g) \
+             & (?s, isa, STUDENT) & (?g, isa, GRADE) & (?e, isa, ENROLLMENT)",
+        )
+        .unwrap();
+    assert_eq!(by_query.len(), 40);
+}
+
+/// The company world: both §2.5 constraints actively guard updates.
+#[test]
+fn company_integrity_flow() {
+    let mut db = company(&CompanyConfig { employees: 30, ..Default::default() });
+    assert!(db.is_consistent().unwrap());
+
+    // Good updates pass.
+    db.try_add("EMP-1", "LOVES", "EMP-2").unwrap();
+    // Bad updates fail atomically and leave the database consistent.
+    assert!(db.try_add("EMP-1", "HATES", "EMP-2").is_err());
+    assert!(db.try_add(-1i64, "isa", "AGE").is_err());
+    assert!(db.is_consistent().unwrap());
+
+    // Rule toggling (§6.1): excluding user rules waives the constraints.
+    db.exclude(RuleGroup::UserRules);
+    db.try_add(-1i64, "isa", "AGE").unwrap();
+    assert!(db.is_consistent().unwrap()); // no constraint, no violation
+    db.include(RuleGroup::UserRules);
+    assert!(!db.is_consistent().unwrap()); // the bad age is now caught
+    let age_entity = db.lookup(&EntityValue::Int(-1)).unwrap();
+    db.remove(&Fact::new(age_entity, special::ISA, db.lookup_symbol("AGE").unwrap()));
+    assert!(db.is_consistent().unwrap());
+}
+
+/// Composition through the full stack: limit(n) changes what navigation
+/// and queries can see (§6.1).
+#[test]
+fn composition_limits_through_stack() {
+    let mut db = Database::new();
+    db.add("JOHN", "FAVORITE-MUSIC", "PC9");
+    db.add("PC9", "COMPOSED-BY", "MOZART");
+    db.add("MOZART", "BORN-IN", "SALZBURG");
+
+    // limit(1): no composition facts materialize.
+    let closure = db.closure().unwrap();
+    assert_eq!(closure.stats().composition_facts, 0);
+
+    // limit(2): single compositions.
+    db.limit(2);
+    let closure = db.closure().unwrap();
+    assert_eq!(closure.stats().composition_facts, 2);
+
+    // limit(3): the full chain JOHN→SALZBURG appears, queryable as a
+    // template with a variable in the relationship position.
+    db.limit(3);
+    let john = db.lookup_symbol("JOHN").unwrap();
+    let salzburg = db.lookup_symbol("SALZBURG").unwrap();
+    let view = db.view().unwrap();
+    let links = view
+        .matches(loosedb::Pattern::new(Some(john), None, Some(salzburg)))
+        .unwrap();
+    assert_eq!(links.len(), 1);
+    let name = view.interner().display(links[0].r);
+    assert_eq!(name, "FAVORITE-MUSIC.PC9.COMPOSED-BY.MOZART.BORN-IN");
+}
+
+/// Session operators: definitions compose with probing and navigation.
+#[test]
+fn session_operator_suite() {
+    let mut session = Session::new(loosedb::datagen::music_world());
+
+    session
+        .define("likers-of", 1, "Q(?x) := (?x, LIKES, $1)")
+        .unwrap();
+    let answer = session.query("likers-of(MOZART)").unwrap();
+    assert_eq!(answer.len(), 1); // JOHN
+
+    // try(e) works for entities in any position.
+    let table = session.try_entity("FAVORITE-MUSIC").unwrap();
+    assert!(table.to_string().contains("as relationship"));
+
+    // History: focus twice and walk back.
+    session.focus("JOHN").unwrap();
+    session.focus("MOZART").unwrap();
+    assert_eq!(session.history().len(), 2);
+    session.back().unwrap();
+    assert_eq!(session.history().len(), 1);
+}
+
+/// Violations render with names, not raw ids.
+#[test]
+fn violation_display() {
+    let mut db = Database::new();
+    db.add("LOVES", "contra", "HATES");
+    db.add("ROMEO", "LOVES", "TYBALT");
+    db.add("ROMEO", "HATES", "TYBALT");
+    let violations = db.validate().unwrap().to_vec();
+    assert_eq!(violations.len(), 1);
+    let text = db.display_violation(&violations[0]);
+    assert!(text.contains("ROMEO"), "{text}");
+    assert!(text.contains("LOVES") && text.contains("HATES"), "{text}");
+}
+
+/// E5's "pure target climb" claim: with the datum at the taxonomy root,
+/// the query succeeds only at the root — the target position needs
+/// exactly `depth` broadening steps — while full probing finds the
+/// degenerate (∇, Δ, x) escape after three steps.
+#[test]
+fn probe_pure_target_climb() {
+    use loosedb::datagen::{taxonomy, TaxonomyConfig};
+    let mut t = taxonomy(&TaxonomyConfig {
+        depth: 4,
+        branching: 2,
+        dag_probability: 0.0,
+        seed: 5,
+    });
+    let root_name = t.db.display(t.root());
+    t.db.add("JOHN", "WANTS", root_name.as_str());
+
+    // Per level: only the root query succeeds.
+    for (level, entities) in t.levels.clone().iter().enumerate() {
+        let name = t.db.display(entities[0]);
+        let src = format!("(JOHN, WANTS, {name})");
+        let q = loosedb::parse(&src, t.db.store_interner_mut()).unwrap();
+        let view = t.db.view().unwrap();
+        let answer = loosedb::eval(&q, &view).unwrap();
+        assert_eq!(answer.is_true(), level == 0, "level {level}");
+    }
+
+    // Full probing from the leaf hits the Δ/∇ escape at wave 3.
+    let leaf_name = t.db.display(t.leaves()[0]);
+    let src = format!("(JOHN, WANTS, {leaf_name})");
+    let q = loosedb::parse(&src, t.db.store_interner_mut()).unwrap();
+    let view = t.db.view().unwrap();
+    let report = loosedb::probe(&q, &view, &loosedb::ProbeOptions::default());
+    assert_eq!(report.waves.len(), 3);
+    match report.outcome {
+        ProbeOutcome::RetractionsSucceeded { wave } => assert_eq!(wave, 2),
+        ref other => panic!("{other:?}"),
+    }
+}
+
+/// Full-database persistence: facts, rules, kinds and configuration all
+/// round-trip, so integrity constraints survive a restart.
+#[test]
+fn full_image_roundtrip_keeps_constraints() {
+    let dir = std::env::temp_dir().join(format!("loosedb-lsdf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("company.lsdf");
+
+    let db = company(&CompanyConfig { employees: 15, ..Default::default() });
+    db.save_full(&path).unwrap();
+
+    let mut restored = Database::load_full(&path).unwrap();
+    assert_eq!(restored.rules().len(), 2);
+    assert!(restored.is_consistent().unwrap());
+    // The age constraint still guards transactional updates.
+    assert!(restored.try_add(-9i64, "isa", "AGE").is_err());
+    // And the contradiction fact still blocks love/hate pairs.
+    restored.try_add("EMP-1", "LOVES", "EMP-2").unwrap();
+    assert!(restored.try_add("EMP-1", "HATES", "EMP-2").is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,150 @@
+//! Golden tests: the paper's worked examples must render exactly.
+//!
+//! These pin down the §4.1 navigation tables, the §5.2 probing menu and
+//! the §6.1 relation table, end to end through the public API.
+
+use loosedb::datagen::{music_world, probing_world, relation_world, PROBING_QUERY};
+use loosedb::{
+    navigate, probe_text, relation, FactView, NavigateOptions, Pattern, ProbeOptions,
+};
+
+#[test]
+fn golden_section_4_1_john_table() {
+    let mut db = music_world();
+    let john = db.lookup_symbol("JOHN").unwrap();
+    let view = db.view().unwrap();
+    let table = navigate(&view, Pattern::from_source(john), &NavigateOptions::default()).unwrap();
+    let expected = "\
+JOHN,*,*    | BOSS  | FAVORITE-MUSIC | LIKES      | WORKS-FOR
+----------- | ----- | -------------- | ---------- | ---------
+EMPLOYEE    | PETER | CLASSICAL      | CAT        | SHIPPING
+MUSIC-LOVER |       | COMPOSITION    | FELIX      |
+PERSON      |       | CONCERTO       | HEATHCLIFF |
+PET-OWNER   |       | PC#2-PIT       | MARY       |
+            |       | PC#9-WAM       | MOZART     |
+            |       | S#5-LVB        |            |
+";
+    assert_eq!(table.to_string(), expected);
+}
+
+#[test]
+fn golden_section_4_1_pc9_table() {
+    let mut db = music_world();
+    let pc9 = db.lookup_symbol("PC#9-WAM").unwrap();
+    let view = db.view().unwrap();
+    let table = navigate(&view, Pattern::from_source(pc9), &NavigateOptions::default()).unwrap();
+    let expected = "\
+PC#9-WAM,*,* | COMPOSED-BY | FAVORITE-OF | PERFORMED-BY
+------------ | ----------- | ----------- | ------------
+CLASSICAL    | MOZART      | EMPLOYEE    | BARENBOIM
+COMPOSITION  |             | JOHN        | SERKIN
+CONCERTO     |             | LEOPOLD     |
+             |             | MUSIC-LOVER |
+             |             | PERSON      |
+             |             | PET-OWNER   |
+";
+    assert_eq!(table.to_string(), expected);
+}
+
+#[test]
+fn golden_section_4_1_leopold_mozart() {
+    let mut db = music_world();
+    let leopold = db.lookup_symbol("LEOPOLD").unwrap();
+    let mozart = db.lookup_symbol("MOZART").unwrap();
+    let view = db.view().unwrap();
+    let table = navigate(
+        &view,
+        Pattern::new(Some(leopold), None, Some(mozart)),
+        &NavigateOptions::default(),
+    )
+    .unwrap();
+    // The paper's two associations: the direct FATHER-OF fact and the
+    // composed FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY path.
+    let headers: Vec<&str> = (1..=table.columns.len())
+        .map(|i| table.header(i).unwrap())
+        .collect();
+    assert_eq!(
+        headers,
+        vec!["FATHER-OF", "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"]
+    );
+}
+
+#[test]
+fn golden_section_5_2_menu() {
+    let mut db = probing_world();
+    let report = probe_text(PROBING_QUERY, &mut db, &ProbeOptions::default()).unwrap();
+    let menu = report.render_menu(db.store().interner());
+    let expected = "\
+Query failed. Retrying
+
+1. Success with FRESHMAN instead of STUDENT
+2. Success with CHEAP instead of FREE
+
+You may select
+";
+    assert_eq!(menu, expected);
+}
+
+#[test]
+fn golden_section_5_2_retraction_queries() {
+    // The four minimally broader queries the paper lists, verbatim up to
+    // our ASCII syntax.
+    use loosedb::engine::Taxonomy;
+    let mut db = probing_world();
+    let query = loosedb::parse(PROBING_QUERY, db.store_interner_mut()).unwrap();
+    let view = db.view().unwrap();
+    let taxonomy = Taxonomy::new(view.closure());
+    let mut missing = std::collections::BTreeSet::new();
+    let mut rendered: Vec<String> =
+        loosedb::browse::retraction_set(&query, &taxonomy, &mut missing)
+            .into_iter()
+            .map(|(q, _)| q.render(view.interner()))
+            .collect();
+    rendered.sort();
+    assert_eq!(
+        rendered,
+        vec![
+            // Q1: freshmen instead of students (G1).
+            "Q(?z) := (FRESHMAN, LOVE, ?z) & (?z, COSTS, FREE)",
+            // Q2: like instead of love (G2).
+            "Q(?z) := (STUDENT, LIKE, ?z) & (?z, COSTS, FREE)",
+            // Q4: cheap instead of free (G3).
+            "Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, CHEAP)",
+            // Q3: related to FREE in any way (COSTS ≺ Δ).
+            "Q(?z) := (STUDENT, LOVE, ?z) & (?z, TOP, FREE)",
+        ]
+    );
+    assert!(missing.is_empty());
+}
+
+#[test]
+fn golden_section_6_1_relation_table() {
+    let mut db = relation_world();
+    let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+    let works_for = db.lookup_symbol("WORKS-FOR").unwrap();
+    let department = db.lookup_symbol("DEPARTMENT").unwrap();
+    let earns = db.lookup_symbol("EARNS").unwrap();
+    let salary = db.lookup_symbol("SALARY").unwrap();
+    let view = db.view().unwrap();
+    let table =
+        relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
+    let expected = "\
+EMPLOYEE | WORKS-FOR DEPARTMENT | EARNS SALARY
+---------+----------------------+-------------
+JOHN     | SHIPPING             | 26000
+TOM      | ACCOUNTING           | 27000
+MARY     | RECEIVING            | 25000
+";
+    assert_eq!(table.render(view.interner()), expected);
+}
+
+#[test]
+fn golden_misspelling_diagnosis() {
+    // §5.2's closing example: a query with an entity that is not in the
+    // database is reported as "no such database entities".
+    let mut db = music_world();
+    let report =
+        probe_text("(JOHN, LOOVES, ?z)", &mut db, &ProbeOptions::default()).unwrap();
+    let menu = report.render_menu(db.store().interner());
+    assert_eq!(menu, "Query failed: no such database entities: LOOVES\n");
+}

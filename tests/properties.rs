@@ -1,0 +1,553 @@
+//! Property-based tests of the core invariants, across crates.
+//!
+//! The star of the show is the paper's **broadness** property (§5.1): "if
+//! a query succeeds, all broader queries will succeed too" — in fact every
+//! broader query's answer *contains* the original's. Probing is only
+//! sound if the closure engine, the taxonomy analysis, the retraction
+//! generator and the evaluator all agree; this test exercises them
+//! together on random databases.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use loosedb::engine::{closure, InferenceConfig, KindRegistry, RuleSet, Strategy as ClosureStrategy, Taxonomy};
+use loosedb::query::{eval_with, AtomOrdering, EvalOptions};
+use loosedb::{Database, EntityId, Fact, FactStore, FactView, Pattern};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A compact description of a random database: node entities N0..N9,
+/// relationship entities R0..R4, plus generalization edges that form a DAG
+/// (edges only go from lower to higher index, so no accidental synonyms).
+#[derive(Clone, Debug)]
+struct DbSpec {
+    facts: Vec<(u8, u8, u8)>,
+    node_gen_edges: Vec<(u8, u8)>,
+    rel_gen_edges: Vec<(u8, u8)>,
+}
+
+fn db_spec() -> impl Strategy<Value = DbSpec> {
+    (
+        prop::collection::vec((0u8..10, 0u8..5, 0u8..10), 0..25),
+        prop::collection::vec((0u8..9, 0u8..10), 0..8),
+        prop::collection::vec((0u8..4, 0u8..5), 0..4),
+    )
+        .prop_map(|(facts, raw_node_edges, raw_rel_edges)| DbSpec {
+            facts,
+            node_gen_edges: raw_node_edges
+                .into_iter()
+                .filter(|(a, b)| a < b)
+                .collect(),
+            rel_gen_edges: raw_rel_edges.into_iter().filter(|(a, b)| a < b).collect(),
+        })
+}
+
+fn build_db(spec: &DbSpec) -> Database {
+    let mut db = Database::new();
+    for &(s, r, t) in &spec.facts {
+        db.add(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+    }
+    for &(a, b) in &spec.node_gen_edges {
+        db.add(format!("N{a}"), "gen", format!("N{b}"));
+    }
+    for &(a, b) in &spec.rel_gen_edges {
+        db.add(format!("R{a}"), "gen", format!("R{b}"));
+    }
+    db
+}
+
+// ---------------------------------------------------------------------
+// Store invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed pattern matching agrees with the scan baseline for every
+    /// pattern shape.
+    #[test]
+    fn index_matches_scan(
+        facts in prop::collection::vec((0u32..20, 0u32..6, 0u32..20), 0..60),
+        probe in (0u32..20, 0u32..6, 0u32..20),
+        shape in 0u8..8,
+    ) {
+        let mut store = FactStore::new();
+        let mut node = |i: u32| -> EntityId { store.entity(format!("E{i}")) };
+        let interned: Vec<Fact> = facts
+            .iter()
+            .map(|&(s, r, t)| Fact::new(node(s), node(r + 100), node(t)))
+            .collect();
+        for f in &interned {
+            store.insert(*f);
+        }
+        let s = store.entity(format!("E{}", probe.0));
+        let r = store.entity(format!("E{}", probe.1 + 100));
+        let t = store.entity(format!("E{}", probe.2));
+        let pattern = Pattern::new(
+            (shape & 1 != 0).then_some(s),
+            (shape & 2 != 0).then_some(r),
+            (shape & 4 != 0).then_some(t),
+        );
+        let via_index: BTreeSet<Fact> = store.matching(pattern).collect();
+        let via_scan: BTreeSet<Fact> = store.matching_scan(pattern).collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// Snapshot encode/decode is the identity on stores.
+    #[test]
+    fn snapshot_roundtrip(
+        facts in prop::collection::vec((0u32..15, 0u32..5, 0u32..15), 0..40),
+        numbers in prop::collection::vec(-1000i64..1000, 0..10),
+    ) {
+        let mut store = FactStore::new();
+        for (i, &(s, r, t)) in facts.iter().enumerate() {
+            if let Some(&n) = numbers.get(i % numbers.len().max(1)) {
+                store.add(format!("E{s}"), format!("R{r}"), n);
+            }
+            store.add(format!("E{s}"), format!("R{r}"), format!("E{t}"));
+        }
+        let restored = loosedb::store::snapshot::decode(
+            loosedb::store::snapshot::encode(&store),
+        ).expect("decode");
+        prop_assert_eq!(store.len(), restored.len());
+        let a: Vec<String> = store.iter().map(|f| store.display_fact(&f)).collect();
+        let b: Vec<String> = restored.iter().map(|f| restored.display_fact(&f)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Replaying a log of inserts/removes reproduces direct application.
+    #[test]
+    fn log_replay_equivalence(
+        ops in prop::collection::vec((any::<bool>(), 0u32..8, 0u32..3, 0u32..8), 0..40),
+    ) {
+        let mut direct = FactStore::new();
+        let mut log = loosedb::FactLog::new();
+        for &(insert, s, r, t) in &ops {
+            let (s, r, t) =
+                (format!("E{s}"), format!("R{r}"), format!("E{t}"));
+            if insert {
+                direct.add(s.as_str(), r.as_str(), t.as_str());
+                log.insert(s.as_str(), r.as_str(), t.as_str());
+            } else {
+                let fact = Fact::new(
+                    direct.entity(s.as_str()),
+                    direct.entity(r.as_str()),
+                    direct.entity(t.as_str()),
+                );
+                direct.remove(&fact);
+                log.remove(s.as_str(), r.as_str(), t.as_str());
+            }
+        }
+        let mut replayed = FactStore::new();
+        loosedb::store::log::replay(log.bytes(), &mut replayed).expect("replay");
+        let a: BTreeSet<String> = direct.iter().map(|f| direct.display_fact(&f)).collect();
+        let b: BTreeSet<String> =
+            replayed.iter().map(|f| replayed.display_fact(&f)).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closure invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The closure contains the base facts (monotonicity) and computing
+    /// the closure of a closure adds nothing (idempotence).
+    #[test]
+    fn closure_monotone_and_idempotent(spec in db_spec()) {
+        let mut db = build_db(&spec);
+        let base: BTreeSet<Fact> = db.store().iter().collect();
+        let first: BTreeSet<Fact> = db.closure().expect("closure").iter().collect();
+        prop_assert!(first.is_superset(&base));
+
+        let mut second_db = Database::new();
+        // Reinsert closure facts as base facts via raw ids — the interner
+        // must be shared, so rebuild by display strings instead.
+        for f in &first {
+            let s = db.display(f.s);
+            let r = db.display(f.r);
+            let t = db.display(f.t);
+            second_db.add(s.as_str(), r.as_str(), t.as_str());
+        }
+        let second: usize = second_db.closure().expect("closure").stats().derived_facts;
+        prop_assert_eq!(second, 0, "closure of a closure derived new facts");
+    }
+
+    /// Naive and semi-naive strategies produce identical closures.
+    #[test]
+    fn naive_equals_seminaive(spec in db_spec()) {
+        let run = |strategy: ClosureStrategy, spec: &DbSpec| -> BTreeSet<String> {
+            let db = build_db(spec);
+            let mut store = db.store().clone();
+            let c = closure::compute(
+                &mut store,
+                &KindRegistry::new(),
+                &RuleSet::new(),
+                &InferenceConfig::default(),
+                strategy,
+            ).expect("closure");
+            c.iter().map(|f| store.display_fact(&f)).collect()
+        };
+        prop_assert_eq!(run(ClosureStrategy::SemiNaive, &spec), run(ClosureStrategy::Naive, &spec));
+    }
+
+    /// The parallel structural-rule path equals the sequential path.
+    #[test]
+    fn parallel_equals_sequential(spec in db_spec()) {
+        let run = |threshold: usize, spec: &DbSpec| -> BTreeSet<String> {
+            let db = build_db(spec);
+            let mut store = db.store().clone();
+            let config = InferenceConfig { parallel_threshold: threshold, ..Default::default() };
+            let c = closure::compute(
+                &mut store,
+                &KindRegistry::new(),
+                &RuleSet::new(),
+                &config,
+                ClosureStrategy::SemiNaive,
+            ).expect("closure");
+            c.iter().map(|f| store.display_fact(&f)).collect()
+        };
+        prop_assert_eq!(run(1, &spec), run(usize::MAX, &spec));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query evaluation invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy (planned) and syntactic conjunct orders agree.
+    #[test]
+    fn greedy_equals_syntactic(
+        spec in db_spec(),
+        qs in 0u8..10, qr in 0u8..5, qt in 0u8..10,
+    ) {
+        let mut db = build_db(&spec);
+        let src = format!(
+            "Q(?x, ?y) := (?x, R{qr}, ?y) & (N{qs}, R{qr}, ?x) & (?y, gen, N{qt})"
+        );
+        let q = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let greedy = eval_with(&q, &view, EvalOptions {
+            ordering: AtomOrdering::Greedy, max_rows: 100_000,
+        }).expect("greedy");
+        let syntactic = eval_with(&q, &view, EvalOptions {
+            ordering: AtomOrdering::Syntactic, max_rows: 100_000,
+        }).expect("syntactic");
+        prop_assert_eq!(greedy.rows, syntactic.rows);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The broadness property (§5.1)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every query in the retraction set is genuinely *broader*: its
+    /// answer contains the original's (projected to common columns).
+    #[test]
+    fn retractions_are_broader(
+        spec in db_spec(),
+        a_s in 0u8..10, a_r in 0u8..5,
+        b_r in 0u8..5, b_t in 0u8..10,
+    ) {
+        let mut db = build_db(&spec);
+        // Two-atom conjunctive query sharing ?z — the §5.2 shape:
+        // (Na, Ra, ?z) & (?z, Rb, Nb).
+        let src = format!("Q(?z) := (N{a_s}, R{a_r}, ?z) & (?z, R{b_r}, N{b_t})");
+        let query = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000 };
+        let original = eval_with(&query, &view, opts).expect("eval original");
+
+        let taxonomy = Taxonomy::new(view.closure());
+        let mut missing = BTreeSet::new();
+        for (broader, step) in
+            loosedb::browse::retraction_set(&query, &taxonomy, &mut missing)
+        {
+            let broad_answer = eval_with(&broader, &view, opts).expect("eval broader");
+            // Compare on the columns the broadened query still has.
+            for row in &original.rows {
+                let projected: Vec<EntityId> = broader
+                    .free
+                    .iter()
+                    .map(|v| {
+                        let i = original
+                            .columns
+                            .iter()
+                            .position(|c| c == v)
+                            .expect("retraction never adds free variables");
+                        row[i]
+                    })
+                    .collect();
+                prop_assert!(
+                    broad_answer.rows.iter().any(|br| {
+                        broader.free.iter().enumerate().all(|(i, _)| br[i] == projected[i])
+                    }),
+                    "retraction {:?} lost answer {:?} of {:?}",
+                    step,
+                    projected,
+                    src,
+                );
+            }
+        }
+    }
+
+    /// §5.1 verbatim: "if a query succeeds, all broader queries will
+    /// succeed too" — through whole retraction *waves*.
+    #[test]
+    fn success_propagates_upward(
+        spec in db_spec(),
+        a_s in 0u8..10, a_r in 0u8..5, a_t in 0u8..10,
+    ) {
+        let mut db = build_db(&spec);
+        let src = format!("(N{a_s}, R{a_r}, N{a_t})");
+        let query = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000 };
+        let original = eval_with(&query, &view, opts).expect("eval");
+        if !original.succeeded() {
+            return Ok(()); // nothing to propagate
+        }
+        let taxonomy = Taxonomy::new(view.closure());
+        let mut missing = BTreeSet::new();
+        // Two waves up the lattice: every query must succeed.
+        let mut frontier = vec![query];
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for q in &frontier {
+                for (broader, step) in
+                    loosedb::browse::retraction_set(q, &taxonomy, &mut missing)
+                {
+                    let ans = eval_with(&broader, &view, opts).expect("eval");
+                    prop_assert!(
+                        ans.succeeded(),
+                        "broader query {:?} (step {:?}) failed although {} succeeded",
+                        broader.render(view.interner()),
+                        step,
+                        src,
+                    );
+                    next.push(broader);
+                }
+            }
+            frontier = next;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Goal-directed proving (the E14 ablation's correctness basis)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The structural prover agrees with the materialized closure on
+    /// every triple over the active domain, on random databases with
+    /// taxonomy, membership, synonym and inversion structure.
+    #[test]
+    fn prover_equals_forward_closure(
+        spec in db_spec(),
+        isa_edges in prop::collection::vec((0u8..10, 0u8..10), 0..6),
+        syn_pairs in prop::collection::vec((0u8..10, 0u8..10), 0..3),
+        inv_pairs in prop::collection::vec((0u8..5, 0u8..5), 0..2),
+    ) {
+        let mut db = build_db(&spec);
+        for &(a, b) in &isa_edges {
+            db.add(format!("N{a}"), "isa", format!("N{b}"));
+        }
+        for &(a, b) in &syn_pairs {
+            if a != b {
+                db.add(format!("N{a}"), "syn", format!("N{b}"));
+            }
+        }
+        for &(a, b) in &inv_pairs {
+            db.add(format!("R{a}"), "inv", format!("R{b}"));
+        }
+        let config = InferenceConfig { user_rules: false, ..Default::default() };
+        *db.config_mut() = config.clone();
+
+        let store = db.store().clone();
+        let kinds = KindRegistry::new();
+        let closure = closure::compute(
+            &mut store.clone(),
+            &kinds,
+            &RuleSet::new(),
+            &config,
+            ClosureStrategy::SemiNaive,
+        ).expect("closure");
+        let view = loosedb::engine::ClosureView::new(&closure, store.interner(), &kinds);
+        let prover = loosedb::engine::Prover::new(&store, &kinds, &config);
+
+        let domain: Vec<EntityId> = view.domain().to_vec();
+        for &s in &domain {
+            for &r in &domain {
+                for &t in &domain {
+                    let goal = Fact::new(s, r, t);
+                    let forward = view.holds(&goal);
+                    let backward = prover.prove(&goal);
+                    prop_assert_eq!(
+                        forward,
+                        backward,
+                        "prover disagrees on {} (forward {}, backward {})",
+                        store.display_fact(&goal),
+                        forward,
+                        backward
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser and codec robustness
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rendering a parsed query and re-parsing it reaches a fixpoint
+    /// (render ∘ parse is idempotent on its image).
+    #[test]
+    fn parser_render_roundtrip(
+        atoms in prop::collection::vec(
+            (0u8..4, 0u8..3, 0u8..4, 0u8..3, 0u8..2), 1..5),
+        connector_or in prop::collection::vec(any::<bool>(), 0..4),
+        quantify in any::<bool>(),
+    ) {
+        // Build a random query string from a small vocabulary.
+        let term = |kind: u8, idx: u8| match kind {
+            0 => format!("E{idx}"),
+            1 => format!("?v{idx}"),
+            _ => "*".to_string(),
+        };
+        let mut src = String::new();
+        for (i, &(s, sk, t, tk, rk)) in atoms.iter().enumerate() {
+            if i > 0 {
+                let or = connector_or.get(i - 1).copied().unwrap_or(false);
+                src.push_str(if or { " | " } else { " & " });
+            }
+            let rel = if rk == 0 { "REL".to_string() } else { format!("R{s}") };
+            src.push_str(&format!(
+                "({}, {}, {})",
+                term(sk, s),
+                rel,
+                term(tk, t)
+            ));
+        }
+        if quantify {
+            src = format!("exists ?q . (?q, OWNS, E0) & {src}");
+        }
+
+        let mut interner = loosedb::Interner::new();
+        let q1 = loosedb::parse(&src, &mut interner).expect("parse generated query");
+        let rendered1 = q1.render(&interner);
+        let q2 = loosedb::parse(&rendered1, &mut interner)
+            .unwrap_or_else(|e| panic!("re-parse {rendered1:?}: {e}"));
+        let rendered2 = q2.render(&interner);
+        prop_assert_eq!(rendered1, rendered2);
+    }
+
+    /// The snapshot decoder never panics on arbitrary bytes — it returns
+    /// an error or a valid store.
+    #[test]
+    fn snapshot_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = loosedb::store::snapshot::decode(bytes.as_slice());
+    }
+
+    /// Ditto for the log decoder.
+    #[test]
+    fn log_decoder_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = loosedb::store::log::decode(bytes.as_slice());
+    }
+
+    /// Corrupting any single byte of a valid snapshot either fails
+    /// cleanly or decodes to some well-formed store — never panics.
+    #[test]
+    fn snapshot_corruption_is_handled(flip_at in 0usize..500, flip_to in any::<u8>()) {
+        let mut store = FactStore::new();
+        store.add("JOHN", "EARNS", 25000i64);
+        store.add("JOHN", "isa", "EMPLOYEE");
+        store.add("GPA", "IS", 2.5);
+        let mut data = loosedb::store::snapshot::encode(&store).to_vec();
+        let i = flip_at % data.len();
+        data[i] = flip_to;
+        if let Ok(decoded) = loosedb::store::snapshot::decode(data.as_slice()) {
+            // If it decodes, it must be internally consistent.
+            for f in decoded.iter() {
+                let _ = decoded.display_fact(&f);
+            }
+        }
+    }
+
+    /// The query parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_total(src in "[ -~]{0,80}") {
+        let mut interner = loosedb::Interner::new();
+        let _ = loosedb::parse(&src, &mut interner);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental closure maintenance (fact-by-fact `extend`) reaches
+    /// exactly the same closure as full recomputation.
+    #[test]
+    fn incremental_extend_equals_recompute(spec in db_spec()) {
+        use loosedb::engine::closure;
+        let kinds = KindRegistry::new();
+        let rules = RuleSet::new();
+        let config = InferenceConfig::default();
+
+        // Collect the base facts in insertion order via a builder db.
+        let reference = build_db(&spec);
+        let base: Vec<(String, String, String)> = reference
+            .store()
+            .iter()
+            .map(|f| {
+                (
+                    reference.display(f.s),
+                    reference.display(f.r),
+                    reference.display(f.t),
+                )
+            })
+            .collect();
+
+        let mut store_inc = FactStore::new();
+        let mut inc = closure::compute(
+            &mut store_inc, &kinds, &rules, &config, ClosureStrategy::SemiNaive,
+        ).expect("empty closure");
+        for (s, r, t) in &base {
+            let f = store_inc.add(s.as_str(), r.as_str(), t.as_str());
+            closure::extend(&mut inc, &mut store_inc, &kinds, &rules, &config, &[f])
+                .expect("extend");
+        }
+
+        let mut store_full = FactStore::new();
+        for (s, r, t) in &base {
+            store_full.add(s.as_str(), r.as_str(), t.as_str());
+        }
+        let full = closure::compute(
+            &mut store_full, &kinds, &rules, &config, ClosureStrategy::SemiNaive,
+        ).expect("full closure");
+
+        let inc_facts: BTreeSet<String> =
+            inc.iter().map(|f| store_inc.display_fact(&f)).collect();
+        let full_facts: BTreeSet<String> =
+            full.iter().map(|f| store_full.display_fact(&f)).collect();
+        prop_assert_eq!(inc_facts, full_facts);
+        prop_assert_eq!(inc.violations().len(), full.violations().len());
+    }
+}
