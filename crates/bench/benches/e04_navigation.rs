@@ -16,7 +16,8 @@ fn bench(c: &mut Criterion) {
     let mut db = Database::from_store(store);
     *db.config_mut() = loosedb_engine::InferenceConfig::none();
     db.refresh().expect("closure");
-    let picks = [("hub", nodes[0]), ("mid", nodes[nodes.len() / 2]), ("tail", nodes[nodes.len() - 1])];
+    let picks =
+        [("hub", nodes[0]), ("mid", nodes[nodes.len() / 2]), ("tail", nodes[nodes.len() - 1])];
     for (label, node) in picks {
         let view: ClosureView<'_> = db.view().expect("closure");
         group.bench_with_input(BenchmarkId::new(label, 50_000), &node, |b, &node| {

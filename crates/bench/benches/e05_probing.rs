@@ -15,12 +15,8 @@ fn bench(c: &mut Criterion) {
         let label = format!("d{depth}b{branching}");
         group.bench_function(BenchmarkId::new(label, depth), |b| {
             b.iter(|| {
-                let mut t = taxonomy(&TaxonomyConfig {
-                    depth,
-                    branching,
-                    dag_probability: 0.0,
-                    seed: 5,
-                });
+                let mut t =
+                    taxonomy(&TaxonomyConfig { depth, branching, dag_probability: 0.0, seed: 5 });
                 // Data only at the root: probing must climb all the way.
                 let root_name = t.db.display(t.root());
                 let leaf_name = t.db.display(t.leaves()[0]);

@@ -22,9 +22,7 @@ fn bench(c: &mut Criterion) {
             let taught_by = db.lookup_symbol("TAUGHT-BY").unwrap();
             let course = db.lookup_symbol("COURSE-5").unwrap();
             let view = db.view().expect("closure");
-            view.matches(Pattern::new(Some(course), Some(taught_by), None))
-                .expect("match")
-                .len()
+            view.matches(Pattern::new(Some(course), Some(taught_by), None)).expect("match").len()
         })
     });
 
@@ -36,9 +34,7 @@ fn bench(c: &mut Criterion) {
             let teaches = db.lookup_symbol("TEACHES").unwrap();
             let course = db.lookup_symbol("COURSE-5").unwrap();
             let view = db.view().expect("closure");
-            view.matches(Pattern::new(None, Some(teaches), Some(course)))
-                .expect("match")
-                .len()
+            view.matches(Pattern::new(None, Some(teaches), Some(course))).expect("match").len()
         })
     });
     group.finish();

@@ -1,12 +1,30 @@
-//! E12 — Persistence: snapshot encode/decode and log replay vs size
+//! E12 — Persistence: snapshot encode/decode, log replay vs size, WAL
+//! append throughput per sync policy, and crash-recovery (open) time
 //! (the paper's open "storage strategies" problem, §6.2).
 //!
-//! Expected shape: linear in fact count; decode dominated by re-interning
-//! and re-indexing.
+//! Expected shape: snapshot encode/decode and replay linear in fact
+//! count; WAL appends gated by fsync frequency (`Always` pays one fsync
+//! per op, `EveryN`/`OnCheckpoint` amortize it away); recovery time is
+//! snapshot decode plus linear WAL-tail replay.
+
+use std::path::PathBuf;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loosedb_bench::standard_store;
+use loosedb_engine::{DurableDatabase, SyncPolicy};
 use loosedb_store::{log, snapshot, FactLog, FactStore};
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("loosedb-e12-{tag}-{}", std::process::id()))
+}
+
+/// Appends `n` insert ops through the durable journal.
+fn append_ops(db: &mut DurableDatabase, n: usize) {
+    for i in 0..n {
+        db.add(format!("E{}", i % 500), format!("R{}", i % 10), format!("E{}", (i * 3) % 500))
+            .expect("durable add");
+    }
+}
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_persistence");
@@ -24,7 +42,11 @@ fn bench(c: &mut Criterion) {
     // Log replay of 10k operations.
     let mut the_log = FactLog::new();
     for i in 0..10_000 {
-        the_log.insert(format!("E{}", i % 500), format!("R{}", i % 10), format!("E{}", (i * 3) % 500));
+        the_log.insert(
+            format!("E{}", i % 500),
+            format!("R{}", i % 10),
+            format!("E{}", (i * 3) % 500),
+        );
     }
     group.bench_function(BenchmarkId::new("log-replay", 10_000), |b| {
         b.iter(|| {
@@ -32,6 +54,45 @@ fn bench(c: &mut Criterion) {
             log::replay(the_log.bytes(), &mut store).expect("replay")
         })
     });
+
+    // WAL append throughput per sync policy: one long-lived journal, a
+    // batch of appends per iteration (the WAL grows across iterations;
+    // appends stay O(1) each).
+    const BATCH: usize = 500;
+    for (name, policy) in [
+        ("always", SyncPolicy::Always),
+        ("every-64", SyncPolicy::EveryN(64)),
+        ("on-checkpoint", SyncPolicy::OnCheckpoint),
+    ] {
+        let dir = bench_dir(&format!("append-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = DurableDatabase::open(&dir, policy).expect("open");
+        group.bench_with_input(BenchmarkId::new("wal-append", name), &BATCH, |b, &n| {
+            b.iter(|| append_ops(&mut db, n))
+        });
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Recovery time: reopen a directory holding a checkpointed snapshot
+    // of 10k ops plus a 2k-op WAL tail.
+    let dir = bench_dir("recover");
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut db = DurableDatabase::open(&dir, SyncPolicy::OnCheckpoint).expect("open");
+        append_ops(&mut db, 10_000);
+        db.checkpoint().expect("checkpoint");
+        append_ops(&mut db, 2_000);
+        db.sync().expect("sync");
+    }
+    group.bench_function(BenchmarkId::new("recovery-open", "10k+2k-wal"), |b| {
+        b.iter(|| {
+            let db = DurableDatabase::open(&dir, SyncPolicy::OnCheckpoint).expect("recover");
+            assert_eq!(db.recovery().wal_ops_applied, 2_000);
+            db.database_ref().store().len()
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
     group.finish();
 }
 

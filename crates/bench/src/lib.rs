@@ -83,10 +83,7 @@ pub struct Report {
 impl Report {
     /// Starts a table with the given column headers.
     pub fn new(columns: &[&str]) -> Self {
-        Report {
-            columns: columns.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Report { columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Adds a row (must match the column count).
@@ -99,10 +96,7 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            self.columns.iter().map(|_| "---|").collect::<String>()
-        ));
+        out.push_str(&format!("|{}\n", self.columns.iter().map(|_| "---|").collect::<String>()));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

@@ -36,7 +36,9 @@ pub mod session;
 pub mod table;
 
 pub use navigate::{navigate, paths_between, semantic_distance, try_entity, NavigateOptions, Path};
-pub use operators::{function, relation, DefineError, Definitions, FunctionView, RelationRow, RelationTable};
+pub use operators::{
+    function, relation, DefineError, Definitions, FunctionView, RelationRow, RelationTable,
+};
 pub use probe::{
     probe, probe_text, retraction_set, Attempt, ProbeOptions, ProbeOutcome, ProbeReport,
     RetractionStep, Wave,

@@ -242,11 +242,8 @@ pub fn navigate<V: FactView>(
                 if fact.r == special::GEN && (fact.s == fact.t || fact.t == special::TOP) {
                     continue;
                 }
-                let shown = if outgoing {
-                    interner.display(fact.t)
-                } else {
-                    interner.display(fact.s)
-                };
+                let shown =
+                    if outgoing { interner.display(fact.t) } else { interner.display(fact.s) };
                 if outgoing && (fact.r == special::ISA || fact.r == special::GEN) {
                     identity.push(shown);
                 } else {
@@ -344,8 +341,7 @@ mod tests {
         assert!(table.title_cells.contains(&"EMPLOYEE".to_string()));
         assert!(table.title_cells.contains(&"MUSIC-LOVER".to_string()));
         // One column per relationship, cells grouped.
-        let headers: Vec<&str> =
-            table.columns.iter().map(|(h, _)| h.as_str()).collect();
+        let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
         assert_eq!(headers, vec!["FAVORITE-MUSIC", "LIKES", "WORKS-FOR"]);
         let likes = &table.columns[1].1;
         assert_eq!(likes, &vec!["FELIX".to_string(), "MOZART".to_string()]);

@@ -49,8 +49,7 @@ impl RelationTable {
         for row in &self.rows {
             let mut cells = vec![interner.display(row.instance)];
             for cell in &row.cells {
-                let names: Vec<String> =
-                    cell.iter().map(|&e| interner.display(e)).collect();
+                let names: Vec<String> = cell.iter().map(|&e| interner.display(e)).collect();
                 cells.push(names.join(", "));
             }
             grid.push(cells);
@@ -121,9 +120,7 @@ pub fn relation(
                 .matches(Pattern::new(Some(y), Some(*rel), None))?
                 .into_iter()
                 .map(|f| f.t)
-                .filter(|&z|
-
-                    view.holds(&loosedb_store::Fact::new(z, special::ISA, *target_class)))
+                .filter(|&z| view.holds(&loosedb_store::Fact::new(z, special::ISA, *target_class)))
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
@@ -210,10 +207,7 @@ pub fn function(
     }
     Ok(FunctionView {
         rel,
-        entries: map
-            .into_iter()
-            .map(|(s, ts)| (s, ts.into_iter().collect()))
-            .collect(),
+        entries: map.into_iter().map(|(s, ts)| (s, ts.into_iter().collect())).collect(),
     })
 }
 
@@ -280,10 +274,8 @@ impl Definitions {
 
     /// Expands an invocation into query source text.
     pub fn expand(&self, name: &str, args: &[&str]) -> Result<String, DefineError> {
-        let (arity, body) = self
-            .defs
-            .get(name)
-            .ok_or_else(|| DefineError::Unknown(name.to_string()))?;
+        let (arity, body) =
+            self.defs.get(name).ok_or_else(|| DefineError::Unknown(name.to_string()))?;
         if args.len() != *arity {
             return Err(DefineError::ArityMismatch {
                 name: name.to_string(),
@@ -348,12 +340,8 @@ mod tests {
         let earns = db.lookup_symbol("EARNS").unwrap();
         let salary = db.lookup_symbol("SALARY").unwrap();
         let view = db.view().unwrap();
-        let table =
-            relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
-        assert_eq!(
-            table.headers,
-            vec!["EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY"]
-        );
+        let table = relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
+        assert_eq!(table.headers, vec!["EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY"]);
         assert_eq!(table.rows.len(), 3);
         let rendered = table.render(view.interner());
         assert!(rendered.contains("JOHN"), "{rendered}");
@@ -375,11 +363,8 @@ mod tests {
         let department = db.lookup_symbol("DEPARTMENT").unwrap();
         let view = db.view().unwrap();
         let table = relation(&view, employee, &[(works_for, department)]).unwrap();
-        let john_row = table
-            .rows
-            .iter()
-            .find(|r| view.interner().display(r.instance) == "JOHN")
-            .unwrap();
+        let john_row =
+            table.rows.iter().find(|r| view.interner().display(r.instance) == "JOHN").unwrap();
         assert_eq!(john_row.cells[0].len(), 2);
     }
 
@@ -392,11 +377,8 @@ mod tests {
         let department = db.lookup_symbol("DEPARTMENT").unwrap();
         let view = db.view().unwrap();
         let table = relation(&view, employee, &[(works_for, department)]).unwrap();
-        let john_row = table
-            .rows
-            .iter()
-            .find(|r| view.interner().display(r.instance) == "JOHN")
-            .unwrap();
+        let john_row =
+            table.rows.iter().find(|r| view.interner().display(r.instance) == "JOHN").unwrap();
         assert_eq!(john_row.cells[0].len(), 1); // THE-MAN excluded
     }
 
@@ -412,10 +394,7 @@ mod tests {
         let department = db.lookup_symbol("DEPARTMENT").unwrap();
         let view = db.view().unwrap();
         let table = relation(&view, employee, &[(works_for, department)]).unwrap();
-        assert!(table
-            .rows
-            .iter()
-            .any(|r| view.interner().display(r.instance) == "BOSS"));
+        assert!(table.rows.iter().any(|r| view.interner().display(r.instance) == "BOSS"));
     }
 
     #[test]
@@ -498,7 +477,8 @@ mod tests {
     #[test]
     fn many_placeholders_substitute_correctly() {
         let mut defs = Definitions::new();
-        let body: String = (1..=12).map(|i| format!("(${i}, R, X)")).collect::<Vec<_>>().join(" & ");
+        let body: String =
+            (1..=12).map(|i| format!("(${i}, R, X)")).collect::<Vec<_>>().join(" & ");
         defs.define("wide", 12, body).unwrap();
         let args: Vec<String> = (1..=12).map(|i| format!("E{i}")).collect();
         let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();

@@ -43,11 +43,7 @@ pub struct ProbeOptions {
 
 impl Default for ProbeOptions {
     fn default() -> Self {
-        ProbeOptions {
-            max_waves: 8,
-            max_attempts_per_wave: 512,
-            eval: EvalOptions::default(),
-        }
+        ProbeOptions { max_waves: 8, max_attempts_per_wave: 512, eval: EvalOptions::default() }
     }
 }
 
@@ -180,13 +176,10 @@ impl ProbeReport {
                 out
             }
             ProbeOutcome::NoSuchEntities(missing) => {
-                let names: Vec<String> =
-                    missing.iter().map(|e| interner.display(*e)).collect();
+                let names: Vec<String> = missing.iter().map(|e| interner.display(*e)).collect();
                 format!("Query failed: no such database entities: {}\n", names.join(", "))
             }
-            ProbeOutcome::Exhausted => {
-                "Query failed; no broader query succeeded.\n".to_string()
-            }
+            ProbeOutcome::Exhausted => "Query failed; no broader query succeeded.\n".to_string(),
         }
     }
 
@@ -323,16 +316,20 @@ pub fn retraction_set(
             if e == special::TOP || e == special::BOT {
                 continue;
             }
-            let (replacements, make_step): (Vec<EntityId>, fn(EntityId, EntityId) -> RetractionStep) =
-                if position == 0 {
-                    (taxonomy.minimal_specializations(e), |from, to| {
-                        RetractionStep::Specialized { from, to }
-                    })
-                } else {
-                    (taxonomy.minimal_generalizations(e), |from, to| {
-                        RetractionStep::Generalized { from, to }
-                    })
-                };
+            let (replacements, make_step): (
+                Vec<EntityId>,
+                fn(EntityId, EntityId) -> RetractionStep,
+            ) = if position == 0 {
+                (taxonomy.minimal_specializations(e), |from, to| RetractionStep::Specialized {
+                    from,
+                    to,
+                })
+            } else {
+                (taxonomy.minimal_generalizations(e), |from, to| RetractionStep::Generalized {
+                    from,
+                    to,
+                })
+            };
             if replacements.is_empty() && !taxonomy.exists(e) {
                 missing.insert(e);
             }
@@ -343,11 +340,7 @@ pub fn retraction_set(
                     Some(Template::new(terms[0], terms[1], terms[2]))
                 });
                 out.push((
-                    Query {
-                        var_names: query.var_names.clone(),
-                        free: query.free.clone(),
-                        formula,
-                    },
+                    Query { var_names: query.var_names.clone(), free: query.free.clone(), formula },
                     make_step(e, to),
                 ));
             }
@@ -459,9 +452,7 @@ mod tests {
         let freshman_attempt = wave
             .attempts
             .iter()
-            .find(|a| {
-                a.steps.iter().any(|s| matches!(s, RetractionStep::Specialized { .. }))
-            })
+            .find(|a| a.steps.iter().any(|s| matches!(s, RetractionStep::Specialized { .. })))
             .unwrap();
         let names: Vec<String> = freshman_attempt
             .answer
@@ -480,12 +471,10 @@ mod tests {
         // §5.2: (JOHN, LOVES, z) where LOVES is not a database entity.
         let mut db = Database::new();
         db.add("JOHN", "ADORES", "MARY");
-        let report =
-            probe_text("(JOHN, LOVES, ?z)", &mut db, &ProbeOptions::default()).unwrap();
+        let report = probe_text("(JOHN, LOVES, ?z)", &mut db, &ProbeOptions::default()).unwrap();
         match &report.outcome {
             ProbeOutcome::NoSuchEntities(missing) => {
-                let names: Vec<String> =
-                    missing.iter().map(|&e| db.display(e)).collect();
+                let names: Vec<String> = missing.iter().map(|&e| db.display(e)).collect();
                 assert!(names.contains(&"LOVES".to_string()), "{names:?}");
             }
             other => panic!("expected NoSuchEntities, got {other:?}"),
@@ -499,8 +488,7 @@ mod tests {
         db.add("OPERA", "gen", "MUSIC");
         db.add("MUSIC", "gen", "ART");
         db.add("JOHN", "LOVES", "ART");
-        let report =
-            probe_text("(JOHN, LOVES, OPERA)", &mut db, &ProbeOptions::default()).unwrap();
+        let report = probe_text("(JOHN, LOVES, OPERA)", &mut db, &ProbeOptions::default()).unwrap();
         match report.outcome {
             ProbeOutcome::RetractionsSucceeded { wave } => assert_eq!(wave, 1),
             other => panic!("{other:?}"),
@@ -572,8 +560,7 @@ mod tests {
         // as soon as any projectable fact exists.
         let mut db = Database::new();
         db.add("JOHN", "LIKES", "FELIX");
-        let report =
-            probe_text("(?x, !=, ?y)", &mut db, &ProbeOptions::default()).unwrap();
+        let report = probe_text("(?x, !=, ?y)", &mut db, &ProbeOptions::default()).unwrap();
         match &report.outcome {
             ProbeOutcome::RetractionsSucceeded { wave } => {
                 let menu = report.render_menu(db.store().interner());
@@ -594,8 +581,7 @@ mod tests {
         db.add("JOHN", "HATES", "MARY");
         db.add("ADORES", "gen", "LOVES");
         assert!(!db.is_consistent().unwrap());
-        let report =
-            probe_text("(JOHN, ADORES, ?x)", &mut db, &ProbeOptions::default()).unwrap();
+        let report = probe_text("(JOHN, ADORES, ?x)", &mut db, &ProbeOptions::default()).unwrap();
         assert!(matches!(report.outcome, ProbeOutcome::RetractionsSucceeded { wave: 0 }));
     }
 

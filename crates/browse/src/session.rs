@@ -136,9 +136,7 @@ impl Session {
         } else {
             EntityValue::symbol(name)
         };
-        self.db
-            .lookup(&value)
-            .ok_or_else(|| SessionError::UnknownEntity(name.to_string()))
+        self.db.lookup(&value).ok_or_else(|| SessionError::UnknownEntity(name.to_string()))
     }
 
     fn part(&self, name: &str) -> Result<Option<EntityId>, SessionError> {
@@ -253,12 +251,7 @@ impl Session {
     }
 
     /// Defines a named operator (§6 definition facility).
-    pub fn define(
-        &mut self,
-        name: &str,
-        arity: usize,
-        body: &str,
-    ) -> Result<(), SessionError> {
+    pub fn define(&mut self, name: &str, arity: usize, body: &str) -> Result<(), SessionError> {
         Ok(self.defs.define(name, arity, body)?)
     }
 
@@ -353,8 +346,7 @@ mod tests {
     #[test]
     fn defined_operators_invoke() {
         let mut s = session();
-        s.define("earns-more", 1, "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, $1)")
-            .unwrap();
+        s.define("earns-more", 1, "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, $1)").unwrap();
         let yes = s.query("earns-more(20000)").unwrap();
         assert_eq!(yes.len(), 1);
         let no = s.query("earns-more(30000)").unwrap();
@@ -375,7 +367,8 @@ mod tests {
     #[test]
     fn explain_query_through_session() {
         let mut s = session();
-        let plan = s.explain_query("Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, 20000)").unwrap();
+        let plan =
+            s.explain_query("Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, 20000)").unwrap();
         assert!(plan.contains("join"), "{plan}");
         assert!(plan.contains("EARNS"), "{plan}");
     }
@@ -403,9 +396,6 @@ mod tests {
         let mut s = session();
         let table = s.navigate_parts("JOHN", "*", "MOZART").unwrap();
         // John relates to Mozart through the favorite-music path.
-        assert!(table
-            .columns
-            .iter()
-            .any(|(h, _)| h == "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"));
+        assert!(table.columns.iter().any(|(h, _)| h == "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"));
     }
 }

@@ -88,11 +88,9 @@ pub const PROBING_QUERY: &str = "Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, FREE
 /// The §6.1 employee world behind the `relation(...)` example table.
 pub fn relation_world() -> Database {
     let mut db = Database::new();
-    for (who, dept, salary) in [
-        ("JOHN", "SHIPPING", 26000i64),
-        ("TOM", "ACCOUNTING", 27000),
-        ("MARY", "RECEIVING", 25000),
-    ] {
+    for (who, dept, salary) in
+        [("JOHN", "SHIPPING", 26000i64), ("TOM", "ACCOUNTING", 27000), ("MARY", "RECEIVING", 25000)]
+    {
         db.add(who, "isa", "EMPLOYEE");
         db.add(who, "WORKS-FOR", dept);
         db.add(who, "EARNS", salary);
@@ -155,10 +153,7 @@ mod tests {
         .unwrap();
         let headers: Vec<&str> = table.columns.iter().map(|(h, _)| h.as_str()).collect();
         assert!(headers.contains(&"FATHER-OF"), "{headers:?}");
-        assert!(
-            headers.contains(&"FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"),
-            "{headers:?}"
-        );
+        assert!(headers.contains(&"FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"), "{headers:?}");
     }
 
     #[test]

@@ -40,8 +40,7 @@ impl Default for GraphConfig {
 /// (rank 0 is the highest-degree hub under positive skew).
 pub fn zipf_graph(cfg: &GraphConfig) -> (FactStore, Vec<EntityId>, Vec<EntityId>) {
     let mut store = FactStore::new();
-    let nodes: Vec<EntityId> =
-        (0..cfg.entities).map(|i| store.entity(format!("N{i}"))).collect();
+    let nodes: Vec<EntityId> = (0..cfg.entities).map(|i| store.entity(format!("N{i}"))).collect();
     let rels: Vec<EntityId> =
         (0..cfg.relationships).map(|i| store.entity(format!("R{i}"))).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed);

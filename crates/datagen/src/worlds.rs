@@ -225,11 +225,8 @@ mod tests {
             ..Default::default()
         });
         // Every enrollment entity has all three attributes.
-        let q = loosedb_query::parse(
-            "Q(?e) := (?e, isa, ENROLLMENT)",
-            db.store_interner_mut(),
-        )
-        .unwrap();
+        let q = loosedb_query::parse("Q(?e) := (?e, isa, ENROLLMENT)", db.store_interner_mut())
+            .unwrap();
         let view = db.view().unwrap();
         let enrollments = loosedb_query::eval(&q, &view).unwrap();
         assert_eq!(enrollments.len(), 20);

@@ -26,7 +26,9 @@
 
 use std::collections::HashMap;
 
-use loosedb_store::{special, EntityId, EntityValue, Fact, FactStore, Interner, Pattern, TripleIndex};
+use loosedb_store::{
+    special, EntityId, EntityValue, Fact, FactStore, Interner, Pattern, TripleIndex,
+};
 
 use crate::config::InferenceConfig;
 use crate::kind::KindRegistry;
@@ -422,8 +424,7 @@ impl Engine<'_> {
             || self.config.synonym
             || self.config.inversion;
         if structural {
-            let workers =
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
             if delta.len() >= self.config.parallel_threshold && workers > 1 {
                 let chunk_size = delta.len().div_ceil(workers);
                 let engine = &*self;
@@ -570,7 +571,8 @@ impl Engine<'_> {
                 self.all.matching(Pattern::new(None, Some(special::GEN), Some(f.s))).collect();
             let exact = self.is_lift_free(&f);
             for g in children {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(g.s, f.r, f.t),
                     Provenance::Builtin { rule: Builtin::GenSource, from: vec![f, g] },
                     exact,
@@ -581,7 +583,8 @@ impl Engine<'_> {
                 self.all.matching(Pattern::new(Some(f.r), Some(special::GEN), None)).collect();
             let exact = self.is_lift_free(&f);
             for g in rel_parents {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, g.t, f.t),
                     Provenance::Builtin { rule: Builtin::GenRel, from: vec![f, g] },
                     exact,
@@ -594,7 +597,8 @@ impl Engine<'_> {
             // ≺ facts (transitivity) stay exact.
             let exact = f.r == special::GEN && self.is_lift_free(&f);
             for g in target_parents {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, f.r, g.t),
                     Provenance::Builtin { rule: Builtin::GenTarget, from: vec![f, g] },
                     exact,
@@ -611,7 +615,8 @@ impl Engine<'_> {
                 .filter(|h| self.kinds.is_individual(h.r))
                 .collect();
             for h in down {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, h.r, h.t),
                     Provenance::Builtin { rule: Builtin::GenSource, from: vec![h, f] },
                     self.is_lift_free(&h),
@@ -624,7 +629,8 @@ impl Engine<'_> {
                 .filter(|h| self.kinds.is_individual(h.r))
                 .collect();
             for h in via {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(h.s, f.t, h.t),
                     Provenance::Builtin { rule: Builtin::GenRel, from: vec![h, f] },
                     self.is_lift_free(&h),
@@ -637,7 +643,8 @@ impl Engine<'_> {
                 .filter(|h| self.kinds.is_individual(h.r))
                 .collect();
             for h in up {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(h.s, h.r, f.t),
                     Provenance::Builtin { rule: Builtin::GenTarget, from: vec![h, f] },
                     h.r == special::GEN && self.is_lift_free(&h),
@@ -657,7 +664,8 @@ impl Engine<'_> {
                 self.all.matching(Pattern::new(None, Some(special::ISA), Some(f.s))).collect();
             let exact = self.is_lift_free(&f);
             for g in instances {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(g.s, f.r, f.t),
                     Provenance::Builtin { rule: Builtin::MemberSource, from: vec![f, g] },
                     exact,
@@ -667,7 +675,8 @@ impl Engine<'_> {
             let classes: Vec<Fact> =
                 self.all.matching(Pattern::new(Some(f.t), Some(special::ISA), None)).collect();
             for g in classes {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, f.r, g.t),
                     Provenance::Builtin { rule: Builtin::MemberTarget, from: vec![f, g] },
                     false, // target lift: existential (footnote 1)
@@ -682,7 +691,8 @@ impl Engine<'_> {
                 .filter(|h| member_applicable(self.kinds, h.r))
                 .collect();
             for h in class_facts {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, h.r, h.t),
                     Provenance::Builtin { rule: Builtin::MemberSource, from: vec![h, f] },
                     self.is_lift_free(&h),
@@ -694,7 +704,8 @@ impl Engine<'_> {
                 .filter(|h| member_applicable(self.kinds, h.r))
                 .collect();
             for h in instance_targets {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(h.s, h.r, f.t),
                     Provenance::Builtin { rule: Builtin::MemberTarget, from: vec![h, f] },
                     false, // target lift: existential (footnote 1)
@@ -704,7 +715,8 @@ impl Engine<'_> {
             let ups: Vec<Fact> =
                 self.all.matching(Pattern::new(Some(f.t), Some(special::GEN), None)).collect();
             for g in ups {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(f.s, special::ISA, g.t),
                     Provenance::Builtin { rule: Builtin::MemberUp, from: vec![f, g] },
                     true, // ∈ through ≺ is a crisp consequence
@@ -716,7 +728,8 @@ impl Engine<'_> {
             let members: Vec<Fact> =
                 self.all.matching(Pattern::new(None, Some(special::ISA), Some(f.s))).collect();
             for g in members {
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     Fact::new(g.s, special::ISA, f.t),
                     Provenance::Builtin { rule: Builtin::MemberUp, from: vec![g, f] },
                     true,
@@ -729,17 +742,20 @@ impl Engine<'_> {
         // Case A: f = (s, ≈, t).
         if f.r == special::SYN && f.s != f.t {
             // Symmetry and the defining mutual generalization.
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.t, special::SYN, f.s),
                 Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
                 true,
             );
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.s, special::GEN, f.t),
                 Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
                 true,
             );
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.t, special::GEN, f.s),
                 Provenance::Builtin { rule: Builtin::SynDefines, from: vec![f] },
                 true,
@@ -755,7 +771,8 @@ impl Engine<'_> {
             for h in mentioning {
                 let exact = self.is_lift_free(&h);
                 for variant in substitute_all(&h, f.s, f.t) {
-                    push_nonvirtual(out,
+                    push_nonvirtual(
+                        out,
                         variant,
                         Provenance::Builtin { rule: Builtin::SynSubst, from: vec![h, f] },
                         exact,
@@ -774,7 +791,8 @@ impl Engine<'_> {
                     continue;
                 }
                 for variant in substitute_all(&f, e, syn.t) {
-                    push_nonvirtual(out,
+                    push_nonvirtual(
+                        out,
                         variant,
                         Provenance::Builtin { rule: Builtin::SynSubst, from: vec![f, syn] },
                         exact,
@@ -788,7 +806,8 @@ impl Engine<'_> {
             && self.all.contains(&Fact::new(f.t, special::GEN, f.s))
         {
             let reverse = Fact::new(f.t, special::GEN, f.s);
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.s, special::SYN, f.t),
                 Provenance::Builtin { rule: Builtin::SynFromGen, from: vec![f, reverse] },
                 true,
@@ -800,7 +819,8 @@ impl Engine<'_> {
         // Case A: f = (r, ⁺, r') — inverses come in pairs, and all facts
         // with relationship r flip.
         if f.r == special::INV {
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.t, special::INV, f.s),
                 Provenance::Builtin { rule: Builtin::Inversion, from: vec![f] },
                 true,
@@ -810,7 +830,8 @@ impl Engine<'_> {
                 if !self.is_lift_free(&h) {
                     continue;
                 }
-                push_nonvirtual(out,
+                push_nonvirtual(
+                    out,
                     h.flipped(f.t),
                     Provenance::Builtin { rule: Builtin::Inversion, from: vec![h, f] },
                     true,
@@ -826,7 +847,8 @@ impl Engine<'_> {
         let inverses: Vec<Fact> =
             self.all.matching(Pattern::new(Some(f.r), Some(special::INV), None)).collect();
         for inv in inverses {
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 f.flipped(inv.t),
                 Provenance::Builtin { rule: Builtin::Inversion, from: vec![f, inv] },
                 true,
@@ -834,7 +856,12 @@ impl Engine<'_> {
         }
     }
 
-    fn composition_rules(&self, f: Fact, interner: &mut Interner, out: &mut Vec<(Fact, Provenance, bool)>) {
+    fn composition_rules(
+        &self,
+        f: Fact,
+        interner: &mut Interner,
+        out: &mut Vec<(Fact, Provenance, bool)>,
+    ) {
         if special::is_special(f.r) && f.r != special::GEN && f.r != special::ISA {
             // Synonym/inversion/contradiction bookkeeping facts do not
             // describe paths worth composing.
@@ -846,11 +873,8 @@ impl Engine<'_> {
             return;
         }
         // f ∘ g: facts starting where f ends.
-        let successors: Vec<Fact> = self
-            .all
-            .matching(Pattern::from_source(f.t))
-            .filter(|g| composable_rel(g.r))
-            .collect();
+        let successors: Vec<Fact> =
+            self.all.matching(Pattern::from_source(f.t)).filter(|g| composable_rel(g.r)).collect();
         for g in successors {
             if g.t == f.s {
                 continue; // §3.7 cyclic-composition guard (s ≠ u)
@@ -860,18 +884,16 @@ impl Engine<'_> {
             }
             let rel = compose_rels(interner, f.r, f.t, g.r);
             let exact = self.is_lift_free(&f) && self.is_lift_free(&g);
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(f.s, rel, g.t),
                 Provenance::Builtin { rule: Builtin::Composition, from: vec![f, g] },
                 exact,
             );
         }
         // g ∘ f: facts ending where f starts.
-        let predecessors: Vec<Fact> = self
-            .all
-            .matching(Pattern::from_target(f.s))
-            .filter(|g| composable_rel(g.r))
-            .collect();
+        let predecessors: Vec<Fact> =
+            self.all.matching(Pattern::from_target(f.s)).filter(|g| composable_rel(g.r)).collect();
         for g in predecessors {
             if g.s == f.t {
                 continue;
@@ -881,7 +903,8 @@ impl Engine<'_> {
             }
             let rel = compose_rels(interner, g.r, f.s, f.r);
             let exact = self.is_lift_free(&g) && self.is_lift_free(&f);
-            push_nonvirtual(out,
+            push_nonvirtual(
+                out,
                 Fact::new(g.s, rel, f.t),
                 Provenance::Builtin { rule: Builtin::Composition, from: vec![g, f] },
                 exact,
@@ -926,7 +949,10 @@ impl Engine<'_> {
                                 .expect("range restriction validated at build time");
                             self.emit(
                                 fact,
-                                Provenance::User { rule: rule.name().to_string(), from: from.clone() },
+                                Provenance::User {
+                                    rule: rule.name().to_string(),
+                                    from: from.clone(),
+                                },
                                 interner,
                             );
                         }
@@ -964,12 +990,8 @@ impl Engine<'_> {
             })
             .expect("non-empty");
         let (atom_pos, tpl) = atoms[choice_idx];
-        let rest: Vec<(usize, Template)> = atoms
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != choice_idx)
-            .map(|(_, a)| *a)
-            .collect();
+        let rest: Vec<(usize, Template)> =
+            atoms.iter().enumerate().filter(|(i, _)| *i != choice_idx).map(|(_, a)| *a).collect();
 
         let pattern = tpl.to_pattern(&bindings);
         let candidates: Vec<Fact> = if pattern.r.is_some_and(special::is_math) {
@@ -994,7 +1016,8 @@ impl Engine<'_> {
     fn check_consistency(&mut self, interner: &Interner) {
         // Stored facts asserting mathematical relationships must agree
         // with mathematics.
-        let math_rels = [special::LT, special::GT, special::EQ, special::NE, special::LE, special::GE];
+        let math_rels =
+            [special::LT, special::GT, special::EQ, special::NE, special::LE, special::GE];
         for rel in math_rels {
             let stored: Vec<Fact> = self.all.matching(Pattern::from_rel(rel)).collect();
             for f in stored {
@@ -1169,11 +1192,7 @@ mod tests {
         }
 
         fn has(&mut self, c: &Closure, s: &str, r: &str, t: &str) -> bool {
-            let f = Fact::new(
-                self.store.entity(s),
-                self.store.entity(r),
-                self.store.entity(t),
-            );
+            let f = Fact::new(self.store.entity(s), self.store.entity(r), self.store.entity(t));
             c.contains(&f)
         }
     }
@@ -1363,14 +1382,9 @@ mod tests {
         let c = w.closure();
         let tom = w.store.lookup_symbol("TOM").unwrap();
         let harry = w.store.lookup_symbol("HARRY").unwrap();
-        let composed: Vec<Fact> = c
-            .matching(Pattern::new(Some(tom), None, Some(harry)))
-            .collect();
+        let composed: Vec<Fact> = c.matching(Pattern::new(Some(tom), None, Some(harry))).collect();
         assert_eq!(composed.len(), 1);
-        assert_eq!(
-            w.store.display(composed[0].r),
-            "ENROLLED-IN.CS100.TAUGHT-BY"
-        );
+        assert_eq!(w.store.display(composed[0].r), "ENROLLED-IN.CS100.TAUGHT-BY");
         assert_eq!(c.stats().composition_facts, 1);
     }
 
@@ -1413,8 +1427,8 @@ mod tests {
         let mut w = World::new();
         w.config.composition_limit = usize::MAX;
         w.store.add("A", "R", "B");
-        let err = compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive)
-            .unwrap_err();
+        let err =
+            compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive).unwrap_err();
         assert_eq!(err, ClosureError::UnboundedComposition);
     }
 
@@ -1545,9 +1559,7 @@ mod tests {
         let mut b = Rule::builder("tautology");
         let x = b.var("x");
         let y = b.var("y");
-        w.rules
-            .add(b.when(x, earns, y).then(y, special::GE, y).build().unwrap())
-            .unwrap();
+        w.rules.add(b.when(x, earns, y).then(y, special::GE, y).build().unwrap()).unwrap();
         w.store.add("JOHN", "EARNS", 25000i64);
         let c = w.closure();
         assert!(c.is_consistent());
@@ -1635,8 +1647,8 @@ mod tests {
         for i in 0..12 {
             w.store.add("HUB", "syn", format!("ALIAS-{i}"));
         }
-        let err = compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive)
-            .unwrap_err();
+        let err =
+            compute(&mut w.store, &w.kinds, &w.rules, &w.config, Strategy::SemiNaive).unwrap_err();
         assert_eq!(err, ClosureError::TooLarge { limit: 10 });
     }
 
@@ -1696,8 +1708,7 @@ mod tests {
         for (s, r, t) in facts {
             store_full.add(s, r, t);
         }
-        let full =
-            compute(&mut store_full, &kinds, &rules, &config, Strategy::SemiNaive).unwrap();
+        let full = compute(&mut store_full, &kinds, &rules, &config, Strategy::SemiNaive).unwrap();
 
         let inc_facts: std::collections::BTreeSet<String> =
             inc.iter().map(|f| store_inc.display_fact(&f)).collect();
@@ -1708,7 +1719,7 @@ mod tests {
         // Exactness agrees too.
         for f in inc.iter() {
             let mirrored = Fact::new(
-                store_full.lookup_symbol(&store_inc.display(f.s)).map(|x| x).unwrap_or(f.s),
+                store_full.lookup_symbol(&store_inc.display(f.s)).unwrap_or(f.s),
                 store_full.lookup_symbol(&store_inc.display(f.r)).unwrap_or(f.r),
                 store_full.lookup_symbol(&store_inc.display(f.t)).unwrap_or(f.t),
             );

@@ -16,7 +16,9 @@
 //!   it introduces no *new* integrity violation, otherwise it is rolled
 //!   back and the offending violations are returned.
 
-use loosedb_store::{log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore, LogOp};
+use loosedb_store::{
+    log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore, LogOp,
+};
 
 use crate::closure::{self, Closure, ClosureError, Provenance, Strategy, Violation};
 use crate::config::{InferenceConfig, RuleGroup};
@@ -602,7 +604,7 @@ mod tests {
         db.add("MANAGER", "gen", "EMPLOYEE");
         let len1 = db.closure().unwrap().len();
         assert_eq!(len1, 3); // 2 base + 1 derived
-        // Cached: no recomputation observable, same result.
+                             // Cached: no recomputation observable, same result.
         assert_eq!(db.closure().unwrap().len(), len1);
         // Fact change invalidates.
         db.add("DIRECTOR", "gen", "MANAGER");
@@ -715,7 +717,7 @@ mod tests {
         let f = db.add("JOHN", "LIKES", "FELIX");
         db.remove(&f);
         db.remove(&f); // no-op: not logged
-        // Rejected transaction: not logged.
+                       // Rejected transaction: not logged.
         assert!(db.try_add("JOHN", "HATES", "MARY").is_err());
         // Accepted transaction: logged.
         db.try_add("JOHN", "LOVES", "FELIX").unwrap();

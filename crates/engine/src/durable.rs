@@ -1,0 +1,688 @@
+//! Crash-safe database journaling: a [`DurableDatabase`] wraps a
+//! [`Database`] with a write-ahead log, snapshot generations and a
+//! checksummed manifest, so the paper's "dynamic set of facts" (§6.1)
+//! survives process crashes and torn writes.
+//!
+//! # On-disk layout
+//!
+//! A durable database owns a directory:
+//!
+//! ```text
+//! <dir>/MANIFEST                 checksummed pointer to the live generation
+//! <dir>/snap-<gen 16 digits>.lsdf  full image (facts, rules, kinds, config)
+//! <dir>/wal-<gen 16 digits>.log    checksummed operation frames since it
+//! ```
+//!
+//! The manifest records the live generation number plus the byte length
+//! and CRC32 of its snapshot, and carries its own trailing CRC32; it is
+//! replaced atomically (temp + fsync + rename), making the manifest write
+//! the *commit point* of a checkpoint. Recovery reads the manifest, loads
+//! the snapshot it vouches for, then replays the generation's WAL frame
+//! by frame, stopping at the first torn or corrupt record and truncating
+//! the damaged tail. If the manifest itself is damaged or stale, recovery
+//! falls back to the newest snapshot that decodes, and to an empty
+//! database below that.
+//!
+//! # What is and is not journaled
+//!
+//! WAL records cover base-fact insertions and removals made through
+//! [`DurableDatabase::add`] / [`DurableDatabase::remove`] /
+//! [`DurableDatabase::try_add`]. Rules, kind declarations and
+//! configuration changes are captured by the *snapshot* at the next
+//! [`DurableDatabase::checkpoint`], not by the WAL — make them before
+//! writing facts, or checkpoint after changing them. Facts mentioning
+//! derived path entities are applied in memory but never logged (they are
+//! store-specific and re-derivable; see [`loosedb_store::FactLog`]).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use loosedb_store::io::{atomic_write_with, crc32, RealIo, StorageIo};
+use loosedb_store::log::{self as factlog, LogOp};
+use loosedb_store::{EntityValue, Fact};
+
+use crate::database::{Database, TransactionError};
+use crate::persist;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"LSDM";
+const MANIFEST_VERSION: u16 = 1;
+const MANIFEST_LEN: usize = 4 + 2 + 8 + 8 + 4 + 4;
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// When WAL appends are flushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every append: an acknowledged operation is durable.
+    Always,
+    /// Fsync after every `n` appends: at most `n` acknowledged operations
+    /// can be lost to a crash (power loss; OS crash). A plain process
+    /// crash loses nothing — the OS still holds the written bytes.
+    EveryN(u32),
+    /// Never fsync the WAL; only [`DurableDatabase::checkpoint`] (and
+    /// [`DurableDatabase::sync`]) make operations durable.
+    OnCheckpoint,
+}
+
+/// How a database came back at [`DurableDatabase::open_with`] time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// The generation recovered into.
+    pub generation: u64,
+    /// True if a snapshot was loaded (false: started from empty).
+    pub snapshot_loaded: bool,
+    /// True if the manifest was missing/damaged and recovery had to scan
+    /// for the newest decodable snapshot instead.
+    pub used_fallback: bool,
+    /// Operations replayed from the WAL tail.
+    pub wal_ops_applied: usize,
+    /// True if the WAL ended in a torn or corrupt record whose tail was
+    /// truncated away.
+    pub wal_tail_truncated: bool,
+}
+
+/// A [`Database`] wrapped in a crash-safe journal: every fact mutation is
+/// appended to a checksummed write-ahead log before it is applied, and
+/// [`checkpoint`](DurableDatabase::checkpoint) rotates the log into a new
+/// atomic snapshot generation.
+///
+/// The I/O layer is pluggable ([`StorageIo`]) so crash-recovery tests can
+/// inject faults at every I/O point; [`DurableDatabase::open`] uses the
+/// real filesystem.
+pub struct DurableDatabase<I: StorageIo = RealIo> {
+    io: I,
+    dir: PathBuf,
+    db: Database,
+    policy: SyncPolicy,
+    generation: u64,
+    /// Appends since the last fsync (for [`SyncPolicy::EveryN`]).
+    unsynced: u32,
+    /// Operations appended to the current WAL (recovered + new).
+    wal_ops: u64,
+    recovery: RecoveryInfo,
+}
+
+fn snap_name(generation: u64) -> String {
+    format!("snap-{generation:016}.lsdf")
+}
+
+fn wal_name(generation: u64) -> String {
+    format!("wal-{generation:016}.log")
+}
+
+/// Parses `prefix-<16 digits>.suffix` back to a generation number.
+fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() == 16 && digits.bytes().all(|b| b.is_ascii_digit()) {
+        digits.parse().ok()
+    } else {
+        None
+    }
+}
+
+fn encode_manifest(generation: u64, snapshot_len: u64, snapshot_crc: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MANIFEST_LEN);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&snapshot_len.to_le_bytes());
+    out.extend_from_slice(&snapshot_crc.to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a manifest, returning `(generation, snapshot_len,
+/// snapshot_crc)`; `None` if it is damaged in any way.
+fn decode_manifest(data: &[u8]) -> Option<(u64, u64, u32)> {
+    if data.len() != MANIFEST_LEN || &data[0..4] != MANIFEST_MAGIC {
+        return None;
+    }
+    let stored = u32::from_le_bytes(data[MANIFEST_LEN - 4..].try_into().ok()?);
+    if crc32(&data[..MANIFEST_LEN - 4]) != stored {
+        return None;
+    }
+    let version = u16::from_le_bytes(data[4..6].try_into().ok()?);
+    if version != MANIFEST_VERSION {
+        return None;
+    }
+    let generation = u64::from_le_bytes(data[6..14].try_into().ok()?);
+    let snapshot_len = u64::from_le_bytes(data[14..22].try_into().ok()?);
+    let snapshot_crc = u32::from_le_bytes(data[22..26].try_into().ok()?);
+    Some((generation, snapshot_len, snapshot_crc))
+}
+
+impl DurableDatabase<RealIo> {
+    /// Opens (creating or recovering) a durable database directory on the
+    /// real filesystem.
+    pub fn open(dir: impl Into<PathBuf>, policy: SyncPolicy) -> io::Result<Self> {
+        Self::open_with(RealIo, dir, policy)
+    }
+}
+
+impl<I: StorageIo> DurableDatabase<I> {
+    /// Opens a durable database through an explicit I/O layer.
+    ///
+    /// Recovery sequence: read the manifest; load the snapshot generation
+    /// it vouches for (falling back to the newest snapshot that decodes,
+    /// then to empty); replay the live WAL up to the first damaged frame;
+    /// truncate the damaged tail if there is one.
+    pub fn open_with(io: I, dir: impl Into<PathBuf>, policy: SyncPolicy) -> io::Result<Self> {
+        let dir = dir.into();
+        if !io.exists(&dir) {
+            io.create_dir_all(&dir)?;
+        }
+        let mut recovery = RecoveryInfo::default();
+
+        // 1. The snapshot the manifest vouches for.
+        let mut db = None;
+        let manifest_path = dir.join(MANIFEST_NAME);
+        if io.exists(&manifest_path) {
+            if let Some((generation, len, crc)) = decode_manifest(&io.read(&manifest_path)?) {
+                let snap = dir.join(snap_name(generation));
+                if let Ok(image) = io.read(&snap) {
+                    if image.len() as u64 == len && crc32(&image) == crc {
+                        if let Ok(decoded) = persist::decode(image.as_slice()) {
+                            recovery.generation = generation;
+                            recovery.snapshot_loaded = true;
+                            db = Some(decoded);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Fallback: the newest snapshot that still decodes.
+        if db.is_none() {
+            let mut generations: Vec<u64> = io
+                .list(&dir)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|p| p.file_name()?.to_str().map(str::to_owned))
+                .filter_map(|name| parse_generation(&name, "snap-", ".lsdf"))
+                .collect();
+            generations.sort_unstable_by(|a, b| b.cmp(a));
+            for generation in generations {
+                let Ok(image) = io.read(&dir.join(snap_name(generation))) else { continue };
+                if let Ok(decoded) = persist::decode(image.as_slice()) {
+                    recovery.generation = generation;
+                    recovery.snapshot_loaded = true;
+                    recovery.used_fallback = true;
+                    db = Some(decoded);
+                    break;
+                }
+            }
+        }
+        let mut db = db.unwrap_or_default();
+
+        // 3. Replay the live WAL, leniently.
+        let wal_path = dir.join(wal_name(recovery.generation));
+        if io.exists(&wal_path) {
+            let data = io.read(&wal_path)?;
+            let mut frames = factlog::Frames::new(&data);
+            for op in &mut frames {
+                match op {
+                    Ok(op) => {
+                        apply_to_db(&mut db, op);
+                        recovery.wal_ops_applied += 1;
+                    }
+                    Err(_) => recovery.wal_tail_truncated = true,
+                }
+            }
+            if recovery.wal_tail_truncated {
+                io.truncate(&wal_path, frames.valid_bytes() as u64)?;
+            }
+        }
+
+        Ok(DurableDatabase {
+            io,
+            dir,
+            db,
+            policy,
+            generation: recovery.generation,
+            unsynced: 0,
+            wal_ops: recovery.wal_ops_applied as u64,
+            recovery,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Journaled mutations
+    // ------------------------------------------------------------------
+
+    /// Durably adds a fact: the operation is appended to the WAL (and
+    /// flushed according to the [`SyncPolicy`]) *before* it is applied in
+    /// memory. On error the in-memory database is unchanged.
+    pub fn add(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> io::Result<Fact> {
+        let (s, r, t) = (s.into(), r.into(), t.into());
+        self.journal(&LogOp::Insert(s.clone(), r.clone(), t.clone()))?;
+        Ok(self.db.add(s, r, t))
+    }
+
+    /// Durably removes a base fact; `Ok(false)` if it was not present
+    /// (nothing is journaled then).
+    pub fn remove(&mut self, f: &Fact) -> io::Result<bool> {
+        if !self.db.contains_base(f) {
+            return Ok(false);
+        }
+        let store = self.db.store();
+        let op = LogOp::Remove(
+            store.value(f.s).clone(),
+            store.value(f.r).clone(),
+            store.value(f.t).clone(),
+        );
+        self.journal(&op)?;
+        Ok(self.db.remove(f))
+    }
+
+    /// Durable transactional insert: integrity-checked in memory first
+    /// (see [`Database::try_add`]), journaled only if it commits. If the
+    /// WAL append then fails, the fact is rolled back out of memory and
+    /// the I/O error returned — memory never runs ahead of an appendable
+    /// journal.
+    pub fn try_add(
+        &mut self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Result<Fact, DurableError> {
+        let (s, r, t) = (s.into(), r.into(), t.into());
+        let fact = self.db.try_add(s.clone(), r.clone(), t.clone())?;
+        if let Err(e) = self.journal(&LogOp::Insert(s, r, t)) {
+            self.db.remove(&fact);
+            return Err(DurableError::Io(e));
+        }
+        Ok(fact)
+    }
+
+    /// Appends one operation frame to the WAL and flushes per policy.
+    /// Facts naming derived path entities are not journaled (no-op here).
+    fn journal(&mut self, op: &LogOp) -> io::Result<()> {
+        let values: [&EntityValue; 3] = match op {
+            LogOp::Insert(s, r, t) | LogOp::Remove(s, r, t) => [s, r, t],
+        };
+        if values.iter().any(|v| matches!(v, EntityValue::Path(_))) {
+            return Ok(());
+        }
+        let frame = factlog::encode_frame(op);
+        let wal = self.wal_path();
+        self.io.append(&wal, &frame)?;
+        self.wal_ops += 1;
+        match self.policy {
+            SyncPolicy::Always => self.io.fsync(&wal)?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.io.fsync(&wal)?;
+                    self.unsynced = 0;
+                }
+            }
+            SyncPolicy::OnCheckpoint => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes any unsynced WAL appends to stable storage now.
+    pub fn sync(&mut self) -> io::Result<()> {
+        let wal = self.wal_path();
+        if self.io.exists(&wal) {
+            self.io.fsync(&wal)?;
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Writes a new snapshot generation and rotates the WAL.
+    ///
+    /// Sequence: write `snap-<gen+1>` atomically → create its empty WAL →
+    /// atomically replace the manifest (the commit point) → retire the
+    /// previous generation's files. A crash *before* the manifest write
+    /// recovers from the old generation (whose WAL still holds every
+    /// operation); a crash *after* it recovers from the new one. Returns
+    /// the new generation number.
+    pub fn checkpoint(&mut self) -> io::Result<u64> {
+        let next = self.generation + 1;
+        let image = persist::encode(&self.db);
+        atomic_write_with(&self.io, &self.dir.join(snap_name(next)), &image)?;
+
+        let new_wal = self.dir.join(wal_name(next));
+        self.io.write(&new_wal, &[])?;
+        self.io.fsync(&new_wal)?;
+
+        let manifest = encode_manifest(next, image.len() as u64, crc32(&image));
+        atomic_write_with(&self.io, &self.dir.join(MANIFEST_NAME), &manifest)?;
+
+        // The new generation is durable; retire everything older.
+        let old = self.generation;
+        self.generation = next;
+        self.unsynced = 0;
+        self.wal_ops = 0;
+        for stale in [self.dir.join(snap_name(old)), self.dir.join(wal_name(old))] {
+            if self.io.exists(&stale) {
+                self.io.remove_file(&stale)?;
+            }
+        }
+        // Leftovers from generations interrupted mid-checkpoint.
+        for path in self.io.list(&self.dir).unwrap_or_default() {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let generation = parse_generation(name, "snap-", ".lsdf")
+                .or_else(|| parse_generation(name, "wal-", ".log"));
+            if generation.is_some_and(|g| g < next) {
+                self.io.remove_file(&path)?;
+            }
+        }
+        Ok(next)
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    /// The wrapped database (closure, queries, validation…).
+    pub fn database(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Read-only access to the wrapped database.
+    pub fn database_ref(&self) -> &Database {
+        &self.db
+    }
+
+    /// How the last [`open`](DurableDatabase::open_with) recovered.
+    pub fn recovery(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    /// The live snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Operations sitting in the current WAL (replayed + appended).
+    pub fn wal_ops(&self) -> u64 {
+        self.wal_ops
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The underlying I/O layer (fault-injection tests inspect it).
+    pub fn io_ref(&self) -> &I {
+        &self.io
+    }
+
+    /// The current sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Changes the sync policy for subsequent appends.
+    pub fn set_policy(&mut self, policy: SyncPolicy) {
+        self.policy = policy;
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(wal_name(self.generation))
+    }
+}
+
+/// Applies a recovered WAL operation to the in-memory database.
+fn apply_to_db(db: &mut Database, op: LogOp) {
+    match op {
+        LogOp::Insert(s, r, t) => {
+            db.add(s, r, t);
+        }
+        LogOp::Remove(s, r, t) => {
+            let f = Fact::new(db.entity(s), db.entity(r), db.entity(t));
+            db.remove(&f);
+        }
+    }
+}
+
+/// Errors from durable transactional updates: either the transaction was
+/// rejected in memory, or the journal append failed (and the update was
+/// rolled back).
+#[derive(Debug)]
+pub enum DurableError {
+    /// The in-memory transaction was rejected (integrity or closure).
+    Transaction(TransactionError),
+    /// Appending to the write-ahead log failed; the fact was rolled back.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Transaction(e) => write!(f, "{e}"),
+            DurableError::Io(e) => write!(f, "journal append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<TransactionError> for DurableError {
+    fn from(e: TransactionError) -> Self {
+        DurableError::Transaction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_store::io::MemIo;
+    use std::sync::Arc;
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/durable")
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_rejection() {
+        let m = encode_manifest(7, 1234, 0xDEAD_BEEF);
+        assert_eq!(decode_manifest(&m), Some((7, 1234, 0xDEAD_BEEF)));
+        for i in 0..m.len() {
+            let mut bad = m.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(decode_manifest(&bad), None, "flip at {i}");
+        }
+        assert_eq!(decode_manifest(&m[..m.len() - 1]), None);
+        assert_eq!(decode_manifest(&[]), None);
+    }
+
+    #[test]
+    fn fresh_open_add_reopen() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("JOHN", "EARNS", 25000i64).unwrap();
+        db.add("JOHN", "isa", "EMPLOYEE").unwrap();
+        let f = db.add("JOHN", "LIKES", "FELIX").unwrap();
+        db.remove(&f).unwrap();
+        drop(db);
+
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert_eq!(db.database_ref().base_len(), 2);
+        assert_eq!(db.recovery().wal_ops_applied, 4);
+        assert!(!db.recovery().snapshot_loaded);
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_retires() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("A", "R", "B").unwrap();
+        assert_eq!(db.checkpoint().unwrap(), 1);
+        assert_eq!(db.wal_ops(), 0);
+        db.add("C", "R", "D").unwrap();
+        drop(db);
+
+        // Only generation-1 files plus MANIFEST remain.
+        let names: Vec<String> = io
+            .list(&dir())
+            .unwrap()
+            .iter()
+            .filter_map(|p| p.file_name()?.to_str().map(str::to_owned))
+            .collect();
+        assert_eq!(
+            names,
+            vec!["MANIFEST", "snap-0000000000000001.lsdf", "wal-0000000000000001.log"]
+        );
+
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert_eq!(db.generation(), 1);
+        assert!(db.recovery().snapshot_loaded);
+        assert!(!db.recovery().used_fallback);
+        assert_eq!(db.recovery().wal_ops_applied, 1);
+        assert_eq!(db.database_ref().base_len(), 2);
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_newest_snapshot() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("A", "R", "B").unwrap();
+        db.checkpoint().unwrap();
+        db.add("C", "R", "D").unwrap();
+        drop(db);
+
+        let manifest = dir().join(MANIFEST_NAME);
+        let mut data = io.read(&manifest).unwrap();
+        data[9] ^= 0xFF;
+        io.write(&manifest, &data).unwrap();
+
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert!(db.recovery().used_fallback);
+        assert_eq!(db.generation(), 1);
+        assert_eq!(db.database_ref().base_len(), 2);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_open() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("A", "R", "B").unwrap();
+        db.add("C", "R", "D").unwrap();
+        drop(db);
+
+        // Tear the last record in half.
+        let wal = dir().join(wal_name(0));
+        let data = io.read(&wal).unwrap();
+        let torn = data.len() - 5;
+        io.truncate(&wal, torn as u64).unwrap();
+
+        let db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        assert_eq!(db.recovery().wal_ops_applied, 1);
+        assert!(db.recovery().wal_tail_truncated);
+        assert_eq!(db.database_ref().base_len(), 1);
+        // The damaged tail is gone: a further reopen sees a clean log.
+        drop(db);
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert!(!db.recovery().wal_tail_truncated);
+        assert_eq!(db.recovery().wal_ops_applied, 1);
+    }
+
+    #[test]
+    fn try_add_journals_commits_and_skips_rejections() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("LOVES", "contra", "HATES").unwrap();
+        db.add("JOHN", "LOVES", "MARY").unwrap();
+        let err = db.try_add("JOHN", "HATES", "MARY").unwrap_err();
+        assert!(matches!(err, DurableError::Transaction(_)));
+        db.try_add("JOHN", "LOVES", "FELIX").unwrap();
+        drop(db);
+
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert_eq!(db.recovery().wal_ops_applied, 3);
+        assert_eq!(db.database_ref().base_len(), 3);
+        let john = db.database_ref().lookup_symbol("JOHN").unwrap();
+        let hates = db.database_ref().lookup_symbol("HATES");
+        // HATES exists as an entity (from the contra fact) but no
+        // (JOHN, HATES, MARY) fact survived.
+        let mary = db.database_ref().lookup_symbol("MARY").unwrap();
+        assert!(!db.database_ref().contains_base(&Fact::new(john, hates.unwrap(), mary)));
+    }
+
+    #[test]
+    fn path_facts_apply_in_memory_but_skip_the_journal() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        let a = db.database().entity("A");
+        db.add(
+            EntityValue::Path(vec![a].into()),
+            EntityValue::symbol("R"),
+            EntityValue::symbol("B"),
+        )
+        .unwrap();
+        assert_eq!(db.database_ref().base_len(), 1);
+        assert_eq!(db.wal_ops(), 0);
+        drop(db);
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert_eq!(db.database_ref().base_len(), 0);
+    }
+
+    #[test]
+    fn every_n_policy_syncs_in_batches() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7i64 {
+            db.add(i, "isa", "N").unwrap();
+        }
+        // All appended ops are visible on reopen (MemIo writes always
+        // land); policy only controls fsync cadence.
+        drop(db);
+        let db = DurableDatabase::open_with(io, dir(), SyncPolicy::EveryN(3)).unwrap();
+        assert_eq!(db.recovery().wal_ops_applied, 7);
+    }
+
+    #[test]
+    fn checkpoint_preserves_rules_kinds_and_config() {
+        use crate::rule::Rule;
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.add("JOHN", "isa", "EMPLOYEE").unwrap();
+        {
+            let inner = db.database();
+            let mut b = Rule::builder("custom");
+            let x = b.var("x");
+            let emp = inner.entity("EMPLOYEE");
+            let works = inner.entity("WORKS");
+            inner
+                .add_rule(
+                    b.when(x, loosedb_store::special::ISA, emp)
+                        .then(x, works, emp)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+            let total = inner.entity("TOTAL");
+            inner.declare_class(total);
+            inner.limit(4);
+        }
+        db.checkpoint().unwrap();
+        db.add("MARY", "isa", "EMPLOYEE").unwrap();
+        drop(db);
+
+        let mut db = DurableDatabase::open_with(io, dir(), SyncPolicy::Always).unwrap();
+        assert!(db.database_ref().rules().get("custom").is_some());
+        let total = db.database_ref().lookup_symbol("TOTAL").unwrap();
+        assert!(db.database_ref().kinds().is_class(total));
+        assert_eq!(db.database_ref().config().composition_limit, 4);
+        // The restored rule still fires, including on post-checkpoint facts.
+        let mary = db.database_ref().lookup_symbol("MARY").unwrap();
+        let works = db.database_ref().lookup_symbol("WORKS").unwrap();
+        let emp = db.database_ref().lookup_symbol("EMPLOYEE").unwrap();
+        let closure = db.database().closure().unwrap();
+        assert!(closure.contains(&Fact::new(mary, works, emp)));
+    }
+}

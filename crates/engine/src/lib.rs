@@ -19,6 +19,8 @@
 //! * [`view`] — the retrieval view merging materialized and virtual facts.
 //! * [`database`] — the [`Database`] type: facts + rules + cached closure,
 //!   with transactional integrity-checked updates.
+//! * [`durable`] — crash-safe journaling: a checksummed write-ahead log,
+//!   atomic snapshot generations and fault-injectable recovery.
 //!
 //! ```
 //! use loosedb_engine::Database;
@@ -41,6 +43,7 @@
 pub mod closure;
 pub mod config;
 pub mod database;
+pub mod durable;
 pub mod kind;
 pub mod mathrel;
 pub mod persist;
@@ -53,6 +56,7 @@ pub mod view;
 pub use closure::{Builtin, Closure, ClosureError, ClosureStats, Provenance, Strategy, Violation};
 pub use config::{InferenceConfig, RuleGroup};
 pub use database::{Database, TransactionError};
+pub use durable::{DurableDatabase, DurableError, RecoveryInfo, SyncPolicy};
 pub use kind::{KindRegistry, RelKind};
 pub use mathrel::{MathMatchError, MathTruth};
 pub use prove::Prover;

@@ -109,10 +109,7 @@ impl std::error::Error for MathMatchError {}
 ///
 /// # Panics
 /// Panics if the pattern's relationship is unbound or not a comparator.
-pub fn matches(
-    interner: &Interner,
-    pattern: Pattern,
-) -> Result<Vec<Fact>, MathMatchError> {
+pub fn matches(interner: &Interner, pattern: Pattern) -> Result<Vec<Fact>, MathMatchError> {
     let rel = pattern.r.expect("math pattern must bind the relationship");
     assert!(special::is_math(rel), "not a mathematical comparator");
     let mut out = Vec::new();
@@ -165,9 +162,7 @@ fn candidates<'a>(
 ) -> Box<dyn Iterator<Item = EntityId> + 'a> {
     match rel {
         special::EQ | special::NE => Box::new(interner.ids()),
-        _ => Box::new(
-            interner.iter().filter(|(_, v)| v.is_numeric()).map(|(id, _)| id),
-        ),
+        _ => Box::new(interner.iter().filter(|(_, v)| v.is_numeric()).map(|(id, _)| id)),
     }
 }
 
@@ -230,8 +225,7 @@ mod tests {
         let (i, n2, n3, f2, _) = setup();
         // (x, <, 3): x ranges over numerics {2, 3, 2.0} → {2, 2.0}
         let facts = matches(&i, Pattern::new(None, Some(special::LT), Some(n3))).unwrap();
-        let sources: std::collections::BTreeSet<EntityId> =
-            facts.iter().map(|f| f.s).collect();
+        let sources: std::collections::BTreeSet<EntityId> = facts.iter().map(|f| f.s).collect();
         assert_eq!(sources, [n2, f2].into_iter().collect());
     }
 
@@ -266,12 +260,8 @@ mod tests {
     fn enumerate_lt_both_free_pairs() {
         let (i, n2, n3, f2, _) = setup();
         let facts = matches(&i, Pattern::from_rel(special::LT)).unwrap();
-        let expected: std::collections::BTreeSet<Fact> = [
-            Fact::new(n2, special::LT, n3),
-            Fact::new(f2, special::LT, n3),
-        ]
-        .into_iter()
-        .collect();
+        let expected: std::collections::BTreeSet<Fact> =
+            [Fact::new(n2, special::LT, n3), Fact::new(f2, special::LT, n3)].into_iter().collect();
         assert_eq!(facts.into_iter().collect::<std::collections::BTreeSet<_>>(), expected);
     }
 }

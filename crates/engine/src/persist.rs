@@ -166,9 +166,10 @@ pub fn decode(mut input: impl Buf) -> Result<Database, CodecError> {
     Ok(db)
 }
 
-/// Writes a full database image to a file.
+/// Writes a full database image to a file atomically (temp + fsync +
+/// rename), so a crash mid-save leaves any previous image intact.
 pub fn save(db: &Database, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-    std::fs::write(path, encode(db))
+    loosedb_store::io::atomic_write(path, &encode(db))
 }
 
 /// Loads a full database image from a file.

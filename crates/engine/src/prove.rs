@@ -311,9 +311,7 @@ impl<'a> Prover<'a> {
                 }
                 let tgt = match flips {
                     Flips::Zero => self.tgt_ok(anchor_t, goal.t, lifts, false),
-                    Flips::Odd | Flips::Even => {
-                        self.tgt_ok_lowered(anchor_t, goal.t, lifts)
-                    }
+                    Flips::Odd | Flips::Even => self.tgt_ok_lowered(anchor_t, goal.t, lifts),
                 };
                 if tgt {
                     return true;
@@ -390,15 +388,27 @@ impl<'a> Prover<'a> {
             cursor += 1;
             // Backward G2: relationships strictly below r (individual
             // premise), and synonym swaps.
-            for f in self.store.matching(Pattern::new(None, Some(special::GEN), Some(r))).collect::<Vec<_>>() {
+            for f in self
+                .store
+                .matching(Pattern::new(None, Some(special::GEN), Some(r)))
+                .collect::<Vec<_>>()
+            {
                 if self.kinds.is_individual(f.s) {
                     push(&mut queue, &mut best, f.s, flips, lifts && self.kinds.is_individual(f.s));
                 }
             }
-            for f in self.store.matching(Pattern::new(Some(r), Some(special::SYN), None)).collect::<Vec<_>>() {
+            for f in self
+                .store
+                .matching(Pattern::new(Some(r), Some(special::SYN), None))
+                .collect::<Vec<_>>()
+            {
                 push(&mut queue, &mut best, f.t, flips, lifts && self.kinds.is_individual(f.t));
             }
-            for f in self.store.matching(Pattern::new(None, Some(special::SYN), Some(r))).collect::<Vec<_>>() {
+            for f in self
+                .store
+                .matching(Pattern::new(None, Some(special::SYN), Some(r)))
+                .collect::<Vec<_>>()
+            {
                 push(&mut queue, &mut best, f.s, flips, lifts && self.kinds.is_individual(f.s));
             }
             // Flip through inverse pairs.
@@ -543,8 +553,8 @@ mod tests {
             s.add("ASSISTANT", "gen", "INST");
         });
         assert!(fx.prove("CS100", "TAUGHT-BY", "INST")); // plain flip
-        // Pre-flip source lowering: (ASSISTANT, TEACHES, CS100) by G1,
-        // then flipped — the goal target is the lowered source.
+                                                         // Pre-flip source lowering: (ASSISTANT, TEACHES, CS100) by G1,
+                                                         // then flipped — the goal target is the lowered source.
         assert!(fx.prove("CS100", "TAUGHT-BY", "ASSISTANT"));
         // The flip of a target-lifted fact is blocked (the guard).
         let fx2 = Fx::new(|s| {
@@ -613,4 +623,3 @@ mod tests {
         let _ = Prover::new(&fx.store, &fx.kinds, &config);
     }
 }
-

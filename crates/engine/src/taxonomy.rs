@@ -145,10 +145,7 @@ fn minimal_elements(
     set: &BTreeSet<EntityId>,
     below: impl Fn(EntityId, EntityId) -> bool,
 ) -> Vec<EntityId> {
-    set.iter()
-        .copied()
-        .filter(|&a| !set.iter().any(|&b| b != a && below(b, a)))
-        .collect()
+    set.iter().copied().filter(|&a| !set.iter().any(|&b| b != a && below(b, a))).collect()
 }
 
 #[cfg(test)]

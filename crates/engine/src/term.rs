@@ -130,11 +130,7 @@ impl Template {
     /// `bindings`: constants and bound variables become bound positions,
     /// free variables become wildcards.
     pub fn to_pattern(&self, bindings: &Bindings) -> Pattern {
-        Pattern::new(
-            self.s.resolve(bindings),
-            self.r.resolve(bindings),
-            self.t.resolve(bindings),
-        )
+        Pattern::new(self.s.resolve(bindings), self.r.resolve(bindings), self.t.resolve(bindings))
     }
 
     /// Attempts to extend `bindings` so that this template matches `fact`.
@@ -238,10 +234,7 @@ impl Bindings {
 
     /// Iterates over `(var, entity)` pairs in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (Var, EntityId)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| slot.map(|e| (Var(i as u32), e)))
+        self.slots.iter().enumerate().filter_map(|(i, slot)| slot.map(|e| (Var(i as u32), e)))
     }
 
     /// Number of bound variables.

@@ -167,8 +167,7 @@ impl FactView for ClosureView<'_> {
                 let s_rewritten = if p.s == Some(special::BOT) { None } else { p.s };
                 let t_rewritten = if p.t == Some(special::TOP) { None } else { p.t };
                 let base = Pattern::new(s_rewritten, p.r, t_rewritten);
-                let project =
-                    s_rewritten != p.s || t_rewritten != p.t;
+                let project = s_rewritten != p.s || t_rewritten != p.t;
                 for w in self.closure.matching(base) {
                     if project {
                         if !self.projectable(w.r) {
@@ -207,17 +206,13 @@ impl FactView for ClosureView<'_> {
             return true;
         }
         // Δ/∇ projections.
-        let needs_projection = fact.r == special::TOP
-            || fact.t == special::TOP
-            || fact.s == special::BOT;
+        let needs_projection =
+            fact.r == special::TOP || fact.t == special::TOP || fact.s == special::BOT;
         if needs_projection {
             let s = (fact.s != special::BOT).then_some(fact.s);
             let r = (fact.r != special::TOP).then_some(fact.r);
             let t = (fact.t != special::TOP).then_some(fact.t);
-            return self
-                .closure
-                .matching(Pattern::new(s, r, t))
-                .any(|w| self.projectable(w.r));
+            return self.closure.matching(Pattern::new(s, r, t)).any(|w| self.projectable(w.r));
         }
         false
     }
@@ -292,8 +287,7 @@ mod tests {
         let n25000 = fx.store.lookup(&25000i64.into()).unwrap();
         let n20000 = fx.store.lookup(&20000i64.into()).unwrap();
         assert!(v.holds(&Fact::new(n25000, special::GT, n20000)));
-        let gt: Vec<Fact> =
-            v.matches(Pattern::new(None, Some(special::GT), Some(n20000))).unwrap();
+        let gt: Vec<Fact> = v.matches(Pattern::new(None, Some(special::GT), Some(n20000))).unwrap();
         assert_eq!(gt, vec![Fact::new(n25000, special::GT, n20000)]);
     }
 
@@ -323,8 +317,7 @@ mod tests {
         let v = fx.view();
         let john = fx.id("JOHN");
         let loves = fx.id("LOVES");
-        let got =
-            v.matches(Pattern::new(Some(john), Some(loves), Some(special::TOP))).unwrap();
+        let got = v.matches(Pattern::new(Some(john), Some(loves), Some(special::TOP))).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0], Fact::new(john, loves, special::TOP));
         assert!(v.holds(&got[0]));
@@ -338,8 +331,7 @@ mod tests {
         let v = fx.view();
         let love = fx.id("LOVE");
         let music = fx.id("MUSIC");
-        let got =
-            v.matches(Pattern::new(Some(special::BOT), Some(love), Some(music))).unwrap();
+        let got = v.matches(Pattern::new(Some(special::BOT), Some(love), Some(music))).unwrap();
         assert_eq!(got, vec![Fact::new(special::BOT, love, music)]);
         assert!(v.holds(&got[0]));
     }
@@ -356,9 +348,7 @@ mod tests {
         let n180 = fx.id("N180");
         // Class facts do not imply (s, Δ, t).
         assert!(!v.holds(&Fact::new(employee, special::TOP, n180)));
-        let got = v
-            .matches(Pattern::new(Some(employee), Some(special::TOP), None))
-            .unwrap();
+        let got = v.matches(Pattern::new(Some(employee), Some(special::TOP), None)).unwrap();
         assert!(got.is_empty());
     }
 
@@ -376,9 +366,7 @@ mod tests {
         assert!(!v.holds(&Fact::new(person, special::GEN, employee)));
 
         // (EMPLOYEE, ≺, y): stored parent + reflexive + Δ.
-        let got = v
-            .matches(Pattern::new(Some(employee), Some(special::GEN), None))
-            .unwrap();
+        let got = v.matches(Pattern::new(Some(employee), Some(special::GEN), None)).unwrap();
         let targets: BTreeSet<EntityId> = got.iter().map(|f| f.t).collect();
         assert_eq!(targets, [person, employee, special::TOP].into_iter().collect());
     }

@@ -1,0 +1,67 @@
+//! Corruption-robustness of the full-database image (`LSDF`): damaged
+//! inputs must decode to `Err` or a well-formed database — never panic,
+//! never allocate from an attacker-controlled length prefix.
+
+use proptest::prelude::*;
+
+use loosedb_engine::{persist, Database, Rule};
+
+fn sample_db(facts: &[(u8, u8, u8)]) -> Database {
+    let mut db = Database::new();
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add(30i64, "isa", "AGE");
+    for &(s, r, t) in facts {
+        db.add(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+    }
+    let age = db.entity("AGE");
+    let zero = db.entity(0i64);
+    let total = db.entity("TOTAL");
+    db.declare_class(total);
+    let mut b = Rule::builder("age-positive");
+    let x = b.var("x");
+    db.add_rule(
+        b.constraint()
+            .when(x, loosedb_store::special::ISA, age)
+            .then(x, loosedb_store::special::GT, zero)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A flipped byte anywhere in a full image either fails to decode or
+    /// yields a database whose facts and rules are well-formed.
+    #[test]
+    fn persist_bit_flip_never_panics(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 0..10),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let db = sample_db(&facts);
+        let mut data = persist::encode(&db).to_vec();
+        let idx = pos % data.len();
+        data[idx] ^= 1 << bit;
+        if let Ok(decoded) = persist::decode(data.as_slice()) {
+            for f in decoded.store().iter() {
+                let _ = decoded.display_fact(&f);
+            }
+            let _ = decoded.rules().len();
+        }
+    }
+
+    /// Any strict prefix of a full image is an error, not a panic.
+    #[test]
+    fn persist_truncation_always_errors(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 0..10),
+        pos in 0usize..10_000,
+    ) {
+        let db = sample_db(&facts);
+        let data = persist::encode(&db).to_vec();
+        let cut = pos % data.len();
+        prop_assert!(persist::decode(&data[..cut]).is_err());
+    }
+}

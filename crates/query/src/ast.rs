@@ -90,11 +90,7 @@ impl Formula {
     /// All constant entities mentioned by the formula's atoms, in
     /// ascending id order — the candidates probing may generalize (§5.1).
     pub fn constants(&self) -> BTreeSet<EntityId> {
-        self.atoms()
-            .into_iter()
-            .flat_map(|t| t.terms())
-            .filter_map(Term::as_const)
-            .collect()
+        self.atoms().into_iter().flat_map(|t| t.terms()).filter_map(Term::as_const).collect()
     }
 
     /// Replaces the atom at `index` (in [`Formula::atoms`] order) using
@@ -193,10 +189,7 @@ impl Query {
 
     /// The display name of a variable.
     pub fn var_name(&self, v: Var) -> &str {
-        self.var_names
-            .get(v.index())
-            .map(String::as_str)
-            .unwrap_or("_")
+        self.var_names.get(v.index()).map(String::as_str).unwrap_or("_")
     }
 
     /// True if this query is a proposition (closed formula, §2.7).
@@ -232,9 +225,7 @@ impl Query {
             Formula::Atom(t) => {
                 let term = |x: Term| match x {
                     Term::Const(e) => interner.display(e),
-                    Term::Var(v) if v.0 == u32::MAX || self.var_name(v) == "_" => {
-                        "*".to_string()
-                    }
+                    Term::Var(v) if v.0 == u32::MAX || self.var_name(v) == "_" => "*".to_string(),
                     Term::Var(v) => format!("?{}", self.var_name(v)),
                 };
                 format!("({}, {}, {})", term(t.s), term(t.r), term(t.t))

@@ -154,10 +154,8 @@ pub fn eval_with(
         query.free.iter().map(|v| rel.cols.iter().position(|c| c == v)).collect();
     let mut rows = BTreeSet::new();
     for row in &rel.rows {
-        let projected: Vec<EntityId> = positions
-            .iter()
-            .map(|p| p.map(|i| row[i]).unwrap_or(special::TOP))
-            .collect();
+        let projected: Vec<EntityId> =
+            positions.iter().map(|p| p.map(|i| row[i]).unwrap_or(special::TOP)).collect();
         rows.insert(projected);
     }
     let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
@@ -257,11 +255,7 @@ fn explain_formula(
     }
 }
 
-fn render_template(
-    tpl: &Template,
-    query: &Query,
-    interner: &loosedb_store::Interner,
-) -> String {
+fn render_template(tpl: &Template, query: &Query, interner: &loosedb_store::Interner) -> String {
     let term = |t: Term| match t {
         Term::Const(e) => interner.display(e),
         Term::Var(v) if query.var_name(v) == "_" => "*".to_string(),
@@ -429,9 +423,8 @@ fn pick_next(remaining: &[Conjunct<'_>], covered: &BTreeSet<Var>, view: &impl Fa
         let key = match item {
             Conjunct::Atom(tpl) => {
                 let vars: Vec<Var> = tpl.vars().collect();
-                let connected = nothing_covered
-                    || vars.is_empty()
-                    || vars.iter().any(|v| covered.contains(v));
+                let connected =
+                    nothing_covered || vars.is_empty() || vars.iter().any(|v| covered.contains(v));
                 let bound = tpl
                     .terms()
                     .into_iter()
@@ -443,11 +436,8 @@ fn pick_next(remaining: &[Conjunct<'_>], covered: &BTreeSet<Var>, view: &impl Fa
                 let is_math = tpl.r.as_const().is_some_and(special::is_math);
                 // Selectivity probe with constants only (cheap, capped).
                 let const_pattern = tpl.to_pattern(&Bindings::new());
-                let estimate = if is_math {
-                    1024
-                } else {
-                    view.count_estimate(const_pattern, 1024) as i64
-                };
+                let estimate =
+                    if is_math { 1024 } else { view.count_estimate(const_pattern, 1024) as i64 };
                 (connected as i64, bound * 2 - is_math as i64, -estimate)
             }
             Conjunct::Rel(rel) => {
@@ -468,18 +458,11 @@ fn pick_next(remaining: &[Conjunct<'_>], covered: &BTreeSet<Var>, view: &impl Fa
 
 /// Union with active-domain padding for heterogeneous columns.
 fn union(a: Rel, b: Rel, view: &impl FactView, opts: &EvalOptions) -> Result<Rel, EvalError> {
-    let cols: Vec<Var> = a
-        .cols
-        .iter()
-        .chain(b.cols.iter())
-        .copied()
-        .collect::<BTreeSet<_>>()
-        .into_iter()
-        .collect();
+    let cols: Vec<Var> =
+        a.cols.iter().chain(b.cols.iter()).copied().collect::<BTreeSet<_>>().into_iter().collect();
     let mut rows = BTreeSet::new();
     for (rel, _other) in [(&a, &b), (&b, &a)] {
-        let pad_cols: Vec<Var> =
-            cols.iter().copied().filter(|c| !rel.cols.contains(c)).collect();
+        let pad_cols: Vec<Var> = cols.iter().copied().filter(|c| !rel.cols.contains(c)).collect();
         let pad_space = view.domain().len().pow(pad_cols.len() as u32).max(1);
         if rel.rows.len().saturating_mul(pad_space) > opts.max_rows {
             return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
@@ -528,8 +511,7 @@ fn project_out(rel: Rel, v: Var) -> Rel {
     match rel.cols.iter().position(|c| *c == v) {
         None => rel,
         Some(i) => {
-            let cols: Vec<Var> =
-                rel.cols.iter().copied().filter(|c| *c != v).collect();
+            let cols: Vec<Var> = rel.cols.iter().copied().filter(|c| *c != v).collect();
             let rows: BTreeSet<Vec<EntityId>> = rel
                 .rows
                 .into_iter()
@@ -585,11 +567,7 @@ mod tests {
     }
 
     fn names(db: &Database, answer: &Answer) -> Vec<Vec<String>> {
-        answer
-            .rows
-            .iter()
-            .map(|row| row.iter().map(|&e| db.display(e)).collect())
-            .collect()
+        answer.rows.iter().map(|row| row.iter().map(|&e| db.display(e)).collect()).collect()
     }
 
     #[test]
@@ -605,9 +583,7 @@ mod tests {
         let got: std::collections::BTreeSet<Vec<String>> =
             names(&db, &answer).into_iter().collect();
         let expected: std::collections::BTreeSet<Vec<String>> =
-            [vec!["WAR-AND-PEACE".to_string()], vec!["ULYSSES".to_string()]]
-                .into_iter()
-                .collect();
+            [vec!["WAR-AND-PEACE".to_string()], vec!["ULYSSES".to_string()]].into_iter().collect();
         assert_eq!(got, expected);
     }
 
@@ -791,12 +767,9 @@ mod tests {
         }
         let query = parse("(?x, ?r, ?y)", db.store_interner_mut()).unwrap();
         let view = db.view().unwrap();
-        let err = eval_with(
-            &query,
-            &view,
-            EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 10 },
-        )
-        .unwrap_err();
+        let err =
+            eval_with(&query, &view, EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 10 })
+                .unwrap_err();
         assert_eq!(err, EvalError::ResultTooLarge { limit: 10 });
     }
 
@@ -939,11 +912,9 @@ mod tests {
     fn explain_plan_handles_union_and_forall() {
         let mut db = Database::new();
         db.add("A", "R", "B");
-        let query = parse(
-            "Q(?z) := forall ?x . (?x, R, ?z) | (?z, S, ?x)",
-            db.store_interner_mut(),
-        )
-        .unwrap();
+        let query =
+            parse("Q(?z) := forall ?x . (?x, R, ?z) | (?z, S, ?x)", db.store_interner_mut())
+                .unwrap();
         let view = db.view().unwrap();
         let plan = explain_plan(&query, &view);
         assert!(plan.contains("divide by active domain over ?x"));

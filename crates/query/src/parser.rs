@@ -214,13 +214,9 @@ impl<'a> Lexer<'a> {
         let text = &rest[..len];
         self.pos += len;
         if is_float {
-            text.parse::<f64>()
-                .map(Token::Float)
-                .map_err(|e| self.error(format!("bad float: {e}")))
+            text.parse::<f64>().map(Token::Float).map_err(|e| self.error(format!("bad float: {e}")))
         } else {
-            text.parse::<i64>()
-                .map(Token::Int)
-                .map_err(|e| self.error(format!("bad integer: {e}")))
+            text.parse::<i64>().map(Token::Int).map_err(|e| self.error(format!("bad integer: {e}")))
         }
     }
 
@@ -507,9 +503,7 @@ impl Parser<'_> {
                 Ok(Term::Const(self.interner.intern(EntityValue::symbol(text))))
             }
             Some(Token::Int(i)) => Ok(Term::Const(self.interner.intern(EntityValue::Int(i)))),
-            Some(Token::Float(f)) => {
-                Ok(Term::Const(self.interner.intern(EntityValue::float(f))))
-            }
+            Some(Token::Float(f)) => Ok(Term::Const(self.interner.intern(EntityValue::float(f)))),
             Some(Token::Cmp(op)) => Ok(Term::Const(
                 self.interner.lookup_symbol(op).expect("comparators are pre-interned"),
             )),
@@ -551,9 +545,8 @@ mod tests {
 
     #[test]
     fn paper_salary_query_with_comparator() {
-        let (q, _) = parse_ok(
-            "Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)",
-        );
+        let (q, _) =
+            parse_ok("Q(?z) := exists ?y . (?z, isa, EMPLOYEE) & (?z, EARNS, ?y) & (?y, >, 20000)");
         let atoms = q.formula.atoms();
         assert_eq!(atoms[2].r, Term::Const(special::GT));
     }
@@ -566,7 +559,9 @@ mod tests {
 
     #[test]
     fn special_entity_names() {
-        let (q, _) = parse_ok("(?x, gen, TOP) & (?x, isa, BOT) & (?x, syn, ?x) & (?x, inv, ?x) & (?x, contra, ?x)");
+        let (q, _) = parse_ok(
+            "(?x, gen, TOP) & (?x, isa, BOT) & (?x, syn, ?x) & (?x, inv, ?x) & (?x, contra, ?x)",
+        );
         let atoms = q.formula.atoms();
         assert_eq!(atoms[0].r, Term::Const(special::GEN));
         assert_eq!(atoms[0].t, Term::Const(special::TOP));

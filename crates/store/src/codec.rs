@@ -27,6 +27,13 @@ pub enum CodecError {
     IdOutOfRange(u32),
     /// A declared length was implausibly large for the remaining input.
     BadLength(usize),
+    /// A record's checksum did not match its contents.
+    BadChecksum {
+        /// The checksum stored alongside the record.
+        stored: u32,
+        /// The checksum computed from the record bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -40,6 +47,9 @@ impl std::fmt::Display for CodecError {
             CodecError::NanFloat => write!(f, "NaN float entity"),
             CodecError::IdOutOfRange(id) => write!(f, "entity id {id} out of range"),
             CodecError::BadLength(n) => write!(f, "declared length {n} exceeds input"),
+            CodecError::BadChecksum { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
         }
     }
 }

@@ -54,14 +54,12 @@ fn tsr_key(f: &Fact) -> Key {
 fn prefix_range(a: Option<EntityId>, b: Option<EntityId>) -> (Bound<Key>, Bound<Key>) {
     match (a, b) {
         (None, _) => (Bound::Unbounded, Bound::Unbounded),
-        (Some(a), None) => (
-            Bound::Included([a.0, 0, 0]),
-            Bound::Included([a.0, u32::MAX, u32::MAX]),
-        ),
-        (Some(a), Some(b)) => (
-            Bound::Included([a.0, b.0, 0]),
-            Bound::Included([a.0, b.0, u32::MAX]),
-        ),
+        (Some(a), None) => {
+            (Bound::Included([a.0, 0, 0]), Bound::Included([a.0, u32::MAX, u32::MAX]))
+        }
+        (Some(a), Some(b)) => {
+            (Bound::Included([a.0, b.0, 0]), Bound::Included([a.0, b.0, u32::MAX]))
+        }
     }
 }
 
@@ -205,15 +203,15 @@ impl Iterator for MatchIter<'_> {
     #[inline]
     fn next(&mut self) -> Option<Fact> {
         match self {
-            MatchIter::Srt(range) => range
-                .next()
-                .map(|k| Fact::new(EntityId(k[0]), EntityId(k[1]), EntityId(k[2]))),
-            MatchIter::Rts(range) => range
-                .next()
-                .map(|k| Fact::new(EntityId(k[2]), EntityId(k[0]), EntityId(k[1]))),
-            MatchIter::Tsr(range) => range
-                .next()
-                .map(|k| Fact::new(EntityId(k[1]), EntityId(k[2]), EntityId(k[0]))),
+            MatchIter::Srt(range) => {
+                range.next().map(|k| Fact::new(EntityId(k[0]), EntityId(k[1]), EntityId(k[2])))
+            }
+            MatchIter::Rts(range) => {
+                range.next().map(|k| Fact::new(EntityId(k[2]), EntityId(k[0]), EntityId(k[1])))
+            }
+            MatchIter::Tsr(range) => {
+                range.next().map(|k| Fact::new(EntityId(k[1]), EntityId(k[2]), EntityId(k[0])))
+            }
             MatchIter::One(f) => f.take(),
         }
     }

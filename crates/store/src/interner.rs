@@ -25,10 +25,8 @@ impl Interner {
     /// Creates an interner with the special entities pre-interned at their
     /// reserved identifiers.
     pub fn new() -> Self {
-        let mut interner = Interner {
-            values: Vec::with_capacity(64),
-            ids: HashMap::with_capacity(64),
-        };
+        let mut interner =
+            Interner { values: Vec::with_capacity(64), ids: HashMap::with_capacity(64) };
         for name in special::NAMES {
             interner.intern(EntityValue::symbol(name));
         }
@@ -100,10 +98,7 @@ impl Interner {
 
     /// Iterates over all `(id, value)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (EntityId, &EntityValue)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (EntityId(i as u32), v))
+        self.values.iter().enumerate().map(|(i, v)| (EntityId(i as u32), v))
     }
 
     /// Iterates over all ids in id order.

@@ -18,8 +18,10 @@
 //! * [`FactStore`] — the store itself, with three rotated BTree indexes
 //!   answering every pattern shape in one range scan, plus an unindexed
 //!   scan baseline for the organization-vs-retrieval trade-off experiment.
-//! * [`snapshot`] and [`log`] — point-in-time images and self-describing
-//!   operation logs.
+//! * [`snapshot`] and [`log`] — point-in-time images and checksummed,
+//!   crash-recoverable operation logs.
+//! * [`io`] — atomic file replacement, CRC32, and a pluggable storage
+//!   layer with fault injection for crash testing.
 //!
 //! ```
 //! use loosedb_store::{FactStore, Pattern};
@@ -40,6 +42,7 @@ pub mod codec;
 pub mod fact;
 pub mod index;
 pub mod interner;
+pub mod io;
 pub mod log;
 pub mod snapshot;
 pub mod special;
@@ -51,6 +54,7 @@ pub use codec::CodecError;
 pub use fact::{Fact, Pattern, Position, Shape};
 pub use index::TripleIndex;
 pub use interner::Interner;
+pub use io::{atomic_write, crc32, FaultIo, MemIo, RealIo, StorageIo};
 pub use log::{FactLog, LogOp};
 pub use store::{FactStore, StoreStats};
 pub use text::TextError;

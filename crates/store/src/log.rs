@@ -1,19 +1,40 @@
-//! Append-only operation log.
+//! Append-only operation log with checksummed framing.
 //!
 //! Complements [`crate::snapshot`]: a snapshot captures a point-in-time
 //! image, the log records the stream of insertions and removals since. Log
 //! records are *self-describing* — each carries the full entity values of
 //! its fact — so a log can be replayed into any store (fresh or snapshot-
 //! restored) regardless of id assignment.
+//!
+//! # On-disk framing
+//!
+//! Each record is a frame:
+//!
+//! ```text
+//! [payload len: u32 le][crc32(payload): u32 le][payload]
+//! payload = op tag (u8) + three encoded entity values
+//! ```
+//!
+//! The frame makes crash recovery possible: a write torn mid-record leaves
+//! either a short frame (length prefix promises more bytes than exist) or
+//! a checksum mismatch, and in both cases the damage is confined to the
+//! log's *tail*. [`recover`] applies every intact frame in order, stops at
+//! the first damaged one, and reports the byte length of the valid prefix
+//! so the caller can truncate the tail away. The strict [`decode`] /
+//! [`replay`] entry points instead treat any damage as an error.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::codec::{self, CodecError};
+use crate::io::crc32;
 use crate::store::FactStore;
 use crate::value::EntityValue;
 
 const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
+
+/// Bytes of frame header: payload length + checksum.
+pub const FRAME_HEADER_LEN: usize = 8;
 
 /// A single logged operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +60,30 @@ impl LogOp {
     }
 }
 
+/// Encodes one operation as a self-contained checksummed frame, ready to
+/// be appended to a log file.
+///
+/// # Panics
+/// Panics if any value is a path entity (derived data; see [`FactLog`]).
+pub fn encode_frame(op: &LogOp) -> Vec<u8> {
+    for v in op.values() {
+        assert!(
+            !matches!(v, EntityValue::Path(_)),
+            "path entities are derived and cannot be logged"
+        );
+    }
+    let mut payload = BytesMut::new();
+    payload.put_u8(op.tag());
+    for v in op.values() {
+        codec::encode_value(&mut payload, v);
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
 /// An in-memory append-only log of store operations.
 ///
 /// Path entities cannot be logged (their ids are store-specific); they are
@@ -61,16 +106,7 @@ impl FactLog {
     /// # Panics
     /// Panics if any value is a path entity (derived data; see type docs).
     pub fn append(&mut self, op: &LogOp) {
-        for v in op.values() {
-            assert!(
-                !matches!(v, EntityValue::Path(_)),
-                "path entities are derived and cannot be logged"
-            );
-        }
-        self.buf.put_u8(op.tag());
-        for v in op.values() {
-            codec::encode_value(&mut self.buf, v);
-        }
+        self.buf.put_slice(&encode_frame(op));
         self.ops += 1;
     }
 
@@ -114,55 +150,167 @@ impl FactLog {
         Bytes::copy_from_slice(&self.buf)
     }
 
-    /// Writes the encoded log to a file.
+    /// Writes the encoded log to a file atomically (temp + rename).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, &self.buf)
+        crate::io::atomic_write(path, &self.buf)
     }
 }
 
-/// Decodes an encoded log into its operations.
-pub fn decode(mut input: impl Buf) -> Result<Vec<LogOp>, CodecError> {
-    let mut ops = Vec::new();
-    while input.has_remaining() {
+/// A streaming iterator over the frames of an encoded log.
+///
+/// Yields each decoded operation in order; the first damaged frame (torn
+/// tail, checksum mismatch, or malformed payload) yields one `Err` and
+/// ends the iteration. [`Frames::valid_bytes`] reports how many leading
+/// bytes held intact frames — the truncation point for crash recovery.
+#[derive(Debug)]
+pub struct Frames<'a> {
+    data: &'a [u8],
+    offset: usize,
+    failed: bool,
+}
+
+impl<'a> Frames<'a> {
+    /// Starts iterating over an encoded log.
+    pub fn new(data: &'a [u8]) -> Self {
+        Frames { data, offset: 0, failed: false }
+    }
+
+    /// Byte length of the valid prefix decoded so far.
+    pub fn valid_bytes(&self) -> usize {
+        self.offset
+    }
+
+    /// True if iteration ended at a damaged frame rather than clean EOF.
+    pub fn damaged(&self) -> bool {
+        self.failed
+    }
+
+    fn next_frame(&mut self) -> Result<LogOp, CodecError> {
+        let rest = &self.data[self.offset..];
+        if rest.len() < FRAME_HEADER_LEN {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let stored = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let body = &rest[FRAME_HEADER_LEN..];
+        if len > body.len() {
+            // A torn frame: the length prefix promises bytes that never
+            // reached the disk. No allocation happens based on `len`.
+            return Err(CodecError::UnexpectedEof);
+        }
+        let payload = &body[..len];
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CodecError::BadChecksum { stored, computed });
+        }
+        let mut input = payload;
         let tag = codec::get_u8(&mut input)?;
         let s = codec::decode_value(&mut input, 0)?;
         let r = codec::decode_value(&mut input, 0)?;
         let t = codec::decode_value(&mut input, 0)?;
-        ops.push(match tag {
+        if input.has_remaining() {
+            return Err(CodecError::BadLength(len));
+        }
+        let op = match tag {
             OP_INSERT => LogOp::Insert(s, r, t),
             OP_REMOVE => LogOp::Remove(s, r, t),
             other => return Err(CodecError::BadTag(other)),
-        });
+        };
+        self.offset += FRAME_HEADER_LEN + len;
+        Ok(op)
     }
-    Ok(ops)
 }
 
-/// Replays an encoded log into a store, returning the number of operations
-/// applied.
-pub fn replay(input: impl Buf, store: &mut FactStore) -> Result<usize, CodecError> {
-    let ops = decode(input)?;
-    let n = ops.len();
-    for op in ops {
-        match op {
-            LogOp::Insert(s, r, t) => {
-                store.add(s, r, t);
-            }
-            LogOp::Remove(s, r, t) => {
-                let (s, r, t) = (store.entity(s), store.entity(r), store.entity(t));
-                store.remove(&crate::fact::Fact::new(s, r, t));
+impl Iterator for Frames<'_> {
+    type Item = Result<LogOp, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset == self.data.len() {
+            return None;
+        }
+        match self.next_frame() {
+            Ok(op) => Some(Ok(op)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
             }
         }
+    }
+}
+
+/// Applies one operation to a store.
+pub fn apply(op: LogOp, store: &mut FactStore) {
+    match op {
+        LogOp::Insert(s, r, t) => {
+            store.add(s, r, t);
+        }
+        LogOp::Remove(s, r, t) => {
+            let (s, r, t) = (store.entity(s), store.entity(r), store.entity(t));
+            store.remove(&crate::fact::Fact::new(s, r, t));
+        }
+    }
+}
+
+/// Strictly decodes an encoded log into its operations; any damaged frame
+/// is an error.
+pub fn decode(input: impl AsRef<[u8]>) -> Result<Vec<LogOp>, CodecError> {
+    Frames::new(input.as_ref()).collect()
+}
+
+/// Strictly replays an encoded log into a store, streaming record by
+/// record; returns the number of operations applied. Any damaged frame is
+/// an error — but operations before it have already been applied, so use
+/// this only where damage is fatal anyway (e.g. [`replay_file`] after a
+/// clean shutdown). For crash recovery use [`recover`].
+pub fn replay(input: impl AsRef<[u8]>, store: &mut FactStore) -> Result<usize, CodecError> {
+    let mut n = 0;
+    for op in Frames::new(input.as_ref()) {
+        apply(op?, store);
+        n += 1;
     }
     Ok(n)
 }
 
-/// Loads and replays a log file into a store.
+/// The outcome of lenient crash recovery over a log ([`recover`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Recovery {
+    /// Operations decoded from intact frames and applied.
+    pub applied: usize,
+    /// Byte length of the valid log prefix; the caller should truncate
+    /// the file to this length to drop the damaged tail.
+    pub valid_bytes: usize,
+    /// True if a damaged frame stopped the replay (torn tail or
+    /// corruption), false if the whole log was intact.
+    pub damaged: bool,
+}
+
+/// Leniently replays a possibly crash-damaged log into a store: applies
+/// every intact frame in order, stops at the first torn or corrupt one,
+/// and reports how much of the log was valid. Never fails — a log that is
+/// damaged from byte zero simply recovers zero operations.
+pub fn recover(input: impl AsRef<[u8]>, store: &mut FactStore) -> Recovery {
+    let mut frames = Frames::new(input.as_ref());
+    let mut applied = 0;
+    let mut damaged = false;
+    for op in &mut frames {
+        match op {
+            Ok(op) => {
+                apply(op, store);
+                applied += 1;
+            }
+            Err(_) => damaged = true,
+        }
+    }
+    Recovery { applied, valid_bytes: frames.valid_bytes(), damaged }
+}
+
+/// Loads and strictly replays a log file into a store.
 pub fn replay_file(
     path: impl AsRef<std::path::Path>,
     store: &mut FactStore,
 ) -> std::io::Result<usize> {
     let data = std::fs::read(path)?;
-    replay(Bytes::from(data), store)
+    replay(data, store)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -208,11 +356,7 @@ mod tests {
         assert_eq!(ops.len(), 2);
         assert_eq!(
             ops[0],
-            LogOp::Insert(
-                EntityValue::symbol("X"),
-                EntityValue::symbol("R"),
-                EntityValue::Int(5)
-            )
+            LogOp::Insert(EntityValue::symbol("X"), EntityValue::symbol("R"), EntityValue::Int(5))
         );
         assert!(matches!(ops[1], LogOp::Remove(..)));
     }
@@ -228,14 +372,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "derived")]
-    fn path_values_rejected() {
+    fn corrupt_byte_is_an_error() {
         let mut log = FactLog::new();
-        log.insert(
+        log.insert("JOHN", "EARNS", 25000i64);
+        let clean = log.bytes().to_vec();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn recover_stops_at_torn_tail() {
+        let mut log = FactLog::new();
+        log.insert("A", "R", "B");
+        log.insert("C", "R", "D");
+        log.insert("E", "R", "F");
+        let clean = log.bytes().to_vec();
+
+        // Cut anywhere inside the third frame: two ops recover.
+        let two_frames = {
+            let mut l = FactLog::new();
+            l.insert("A", "R", "B");
+            l.insert("C", "R", "D");
+            l.byte_len()
+        };
+        for cut in two_frames + 1..clean.len() {
+            let mut store = FactStore::new();
+            let report = recover(&clean[..cut], &mut store);
+            assert_eq!(report.applied, 2, "cut at {cut}");
+            assert_eq!(report.valid_bytes, two_frames);
+            assert!(report.damaged);
+            assert_eq!(store.len(), 2);
+        }
+
+        // The intact log recovers everything and reports no damage.
+        let mut store = FactStore::new();
+        let report = recover(&clean, &mut store);
+        assert_eq!(report, Recovery { applied: 3, valid_bytes: clean.len(), damaged: false });
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn recover_stops_at_bit_rot() {
+        let mut log = FactLog::new();
+        log.insert("A", "R", "B");
+        log.insert("C", "R", "D");
+        let mut data = log.bytes().to_vec();
+        let first = FRAME_HEADER_LEN + {
+            let mut l = FactLog::new();
+            l.insert("A", "R", "B");
+            l.byte_len() - FRAME_HEADER_LEN
+        };
+        // Corrupt the second frame's payload.
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        let mut store = FactStore::new();
+        let report = recover(&data, &mut store);
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.valid_bytes, first);
+        assert!(report.damaged);
+    }
+
+    #[test]
+    fn path_values_rejected() {
+        let op = LogOp::Insert(
             EntityValue::Path(vec![crate::value::EntityId(1)].into()),
             EntityValue::symbol("R"),
             EntityValue::symbol("B"),
         );
+        let panic = std::panic::catch_unwind(|| encode_frame(&op));
+        assert!(panic.is_err());
     }
 
     #[test]

@@ -86,9 +86,10 @@ pub fn decode(mut input: impl bytes::Buf) -> Result<FactStore, CodecError> {
     Ok(store)
 }
 
-/// Writes a snapshot to a file.
+/// Writes a snapshot to a file atomically (temp + fsync + rename), so a
+/// crash mid-save leaves any previous snapshot intact.
 pub fn save(store: &FactStore, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-    std::fs::write(path, encode(store))
+    crate::io::atomic_write(path, &encode(store))
 }
 
 /// Loads a snapshot from a file.

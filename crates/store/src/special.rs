@@ -46,9 +46,8 @@ pub const GE: EntityId = EntityId(12);
 pub const RESERVED: u32 = 13;
 
 /// The ASCII names of the special entities, in identifier order.
-pub const NAMES: [&str; RESERVED as usize] = [
-    "gen", "isa", "syn", "inv", "contra", "TOP", "BOT", "<", ">", "=", "!=", "<=", ">=",
-];
+pub const NAMES: [&str; RESERVED as usize] =
+    ["gen", "isa", "syn", "inv", "contra", "TOP", "BOT", "<", ">", "=", "!=", "<=", ">="];
 
 /// True if `id` denotes one of the virtual mathematical comparators, whose
 /// extension is never stored (§3.6).

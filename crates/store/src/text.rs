@@ -114,7 +114,7 @@ pub fn dump_text(store: &FactStore) -> (String, usize) {
 /// path-entity facts.
 pub fn dump_file(store: &FactStore, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
     let (text, skipped) = dump_text(store);
-    std::fs::write(path, text)?;
+    crate::io::atomic_write(path, text.as_bytes())?;
     Ok(skipped)
 }
 

@@ -303,22 +303,15 @@ mod tests {
 
     #[test]
     fn num_cmp_mixed() {
-        assert_eq!(
-            num_cmp(&EntityValue::Int(2), &EntityValue::float(2.5)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            num_cmp(&EntityValue::Int(2), &EntityValue::float(2.0)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(num_cmp(&EntityValue::Int(2), &EntityValue::float(2.5)), Some(Ordering::Less));
+        assert_eq!(num_cmp(&EntityValue::Int(2), &EntityValue::float(2.0)), Some(Ordering::Equal));
         assert_eq!(num_cmp(&EntityValue::symbol("X"), &EntityValue::Int(1)), None);
     }
 
     #[test]
     fn composition_ops_counts_operations() {
-        let one = EntityValue::Path(Arc::from(
-            vec![EntityId(1), EntityId(2), EntityId(3)].as_slice(),
-        ));
+        let one =
+            EntityValue::Path(Arc::from(vec![EntityId(1), EntityId(2), EntityId(3)].as_slice()));
         let two = EntityValue::Path(Arc::from(
             vec![EntityId(1), EntityId(2), EntityId(3), EntityId(4), EntityId(5)].as_slice(),
         ));

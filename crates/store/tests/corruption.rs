@@ -1,0 +1,125 @@
+//! Corruption-robustness properties of the persisted formats: decoding
+//! arbitrarily damaged snapshot and log images must return `Err` (or a
+//! self-consistent value where the format has no checksum) — and must
+//! never panic or allocate absurd amounts from attacker-controlled
+//! length prefixes.
+
+use proptest::prelude::*;
+
+use loosedb_store::{log, snapshot, EntityValue, FactLog, FactStore};
+
+/// A store with symbols, ints, floats and a path entity — every codec
+/// tag appears in its snapshot image.
+fn sample_store(facts: &[(u8, u8, u8)]) -> FactStore {
+    let mut store = FactStore::new();
+    store.add("JOHN", "EARNS", 25000i64);
+    store.add("GPA", "IS", 2.5);
+    for &(s, r, t) in facts {
+        store.add(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+    }
+    let fav = store.entity("FAVORITE-MUSIC");
+    let comp = store.entity("COMPOSED-BY");
+    let path = store.entity(EntityValue::Path(vec![fav, comp].into()));
+    let john = store.lookup_symbol("JOHN").unwrap();
+    let mozart = store.entity("MOZART");
+    store.insert(loosedb_store::Fact::new(john, path, mozart));
+    store
+}
+
+fn sample_log(facts: &[(u8, u8, u8)]) -> FactLog {
+    let mut wal = FactLog::new();
+    wal.insert("JOHN", "EARNS", 25000i64);
+    wal.insert("GPA", "IS", 2.5);
+    for &(s, r, t) in facts {
+        wal.insert(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+        if s % 3 == 0 {
+            wal.remove(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+        }
+    }
+    wal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any single flipped bit in a log image fails the frame checksum:
+    /// strict decode errors, and lenient recovery stops cleanly at the
+    /// damaged frame with a valid-prefix report.
+    #[test]
+    fn log_bit_flip_always_errors(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 1..12),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let wal = sample_log(&facts);
+        let mut data = wal.bytes().to_vec();
+        let idx = pos % data.len();
+        data[idx] ^= 1 << bit;
+
+        prop_assert!(log::decode(&data).is_err(), "flip at byte {idx}");
+
+        let mut store = FactStore::new();
+        let report = log::recover(&data, &mut store);
+        prop_assert!(report.damaged);
+        prop_assert!(report.applied < wal.len());
+        prop_assert!(report.valid_bytes <= idx);
+        // The valid prefix really is decodable on its own.
+        prop_assert!(log::decode(&data[..report.valid_bytes]).is_ok());
+    }
+
+    /// Truncating a log is only acceptable at an exact frame boundary
+    /// (a shorter but intact log); any mid-frame cut is a strict-decode
+    /// error, and lenient recovery agrees in both cases.
+    #[test]
+    fn log_truncation_errors_off_frame_boundaries(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 1..12),
+        pos in 0usize..10_000,
+    ) {
+        let wal = sample_log(&facts);
+        let data = wal.bytes().to_vec();
+        let cut = pos % data.len();
+        let mut store = FactStore::new();
+        let report = log::recover(&data[..cut], &mut store);
+        prop_assert!(report.applied < wal.len());
+        // Strict decode succeeds iff the cut hit a frame boundary.
+        prop_assert_eq!(log::decode(&data[..cut]).is_ok(), !report.damaged);
+        if report.damaged {
+            prop_assert!(report.valid_bytes < cut);
+        } else {
+            prop_assert_eq!(report.valid_bytes, cut);
+        }
+    }
+
+    /// Snapshot images carry no checksum, so a flipped byte may still
+    /// decode — but it must never panic, and whatever decodes is a
+    /// well-formed store.
+    #[test]
+    fn snapshot_bit_flip_never_panics(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 0..12),
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let store = sample_store(&facts);
+        let mut data = snapshot::encode(&store).to_vec();
+        let idx = pos % data.len();
+        data[idx] ^= 1 << bit;
+        if let Ok(decoded) = snapshot::decode(bytes::Bytes::from(data)) {
+            // Well-formed: every fact's ids resolve.
+            for f in decoded.iter() {
+                let _ = decoded.display_fact(&f);
+            }
+        }
+    }
+
+    /// Any strict prefix of a snapshot image is an error, not a panic.
+    #[test]
+    fn snapshot_truncation_always_errors(
+        facts in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 0..12),
+        pos in 0usize..10_000,
+    ) {
+        let store = sample_store(&facts);
+        let data = snapshot::encode(&store).to_vec();
+        let cut = pos % data.len();
+        prop_assert!(snapshot::decode(bytes::Bytes::from(data[..cut].to_vec())).is_err());
+    }
+}

@@ -124,8 +124,8 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
             edit(session, cmd, s, r, t)?;
         }
         "include" | "exclude" => {
-            let group = RuleGroup::from_name(rest)
-                .ok_or_else(|| format!("unknown rule group {rest:?}"))?;
+            let group =
+                RuleGroup::from_name(rest).ok_or_else(|| format!("unknown rule group {rest:?}"))?;
             if cmd == "include" {
                 session.db_mut().include(group);
             } else {
@@ -162,14 +162,8 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
             let [a, b] = parts.as_slice() else {
                 return Err("usage: dist <a> <b>".into());
             };
-            let a = session
-                .db()
-                .lookup_symbol(a)
-                .ok_or_else(|| format!("unknown entity {a:?}"))?;
-            let b = session
-                .db()
-                .lookup_symbol(b)
-                .ok_or_else(|| format!("unknown entity {b:?}"))?;
+            let a = session.db().lookup_symbol(a).ok_or_else(|| format!("unknown entity {a:?}"))?;
+            let b = session.db().lookup_symbol(b).ok_or_else(|| format!("unknown entity {b:?}"))?;
             let view = session.db_mut().view().map_err(|e| e.to_string())?;
             match loosedb::semantic_distance(&view, a, b, 6).map_err(|e| e.to_string())? {
                 Some(d) => println!("semantic distance: {d}"),
@@ -194,8 +188,7 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
                 if f.is_function() { "single-valued (a function)" } else { "multi-valued" }
             );
             for (src, targets) in f.entries.iter().take(20) {
-                let names: Vec<String> =
-                    targets.iter().map(|&t| session.db().display(t)).collect();
+                let names: Vec<String> = targets.iter().map(|&t| session.db().display(t)).collect();
                 println!("  {} -> {}", session.db().display(*src), names.join(", "));
             }
             if f.len() > 20 {
@@ -224,7 +217,10 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
         "history" => {
             let names: Vec<String> =
                 session.history().iter().map(|&e| session.db().display(e)).collect();
-            println!("{}", if names.is_empty() { "(empty)".to_string() } else { names.join(" → ") });
+            println!(
+                "{}",
+                if names.is_empty() { "(empty)".to_string() } else { names.join(" → ") }
+            );
         }
         other => return Err(format!("unknown command {other:?}; type 'help'")),
     }
@@ -253,11 +249,8 @@ fn edit(session: &mut Session, cmd: &str, s: &str, r: &str, t: &str) -> Result<(
             Err(e) => println!("rejected: {e}"),
         },
         "del" => {
-            let fact = loosedb::Fact::new(
-                db.entity(value(s)),
-                db.entity(value(r)),
-                db.entity(value(t)),
-            );
+            let fact =
+                loosedb::Fact::new(db.entity(value(s)), db.entity(value(r)), db.entity(value(t)));
             if db.remove(&fact) {
                 println!("removed {}", db.display_fact(&fact));
             } else {
@@ -265,11 +258,8 @@ fn edit(session: &mut Session, cmd: &str, s: &str, r: &str, t: &str) -> Result<(
             }
         }
         "explain" => {
-            let fact = loosedb::Fact::new(
-                db.entity(value(s)),
-                db.entity(value(r)),
-                db.entity(value(t)),
-            );
+            let fact =
+                loosedb::Fact::new(db.entity(value(s)), db.entity(value(r)), db.entity(value(t)));
             match db.explain(&fact).map_err(|e| e.to_string())? {
                 Some(lines) => {
                     for line in lines {

@@ -11,12 +11,8 @@ fn main() {
     // The generated world carries the paper's two §2.5 constraints:
     // ages are positive, and an employee never earns more than their
     // manager (with the membership guards the paper's own rule uses).
-    let mut db = company(&CompanyConfig {
-        employees: 20,
-        departments: 4,
-        with_constraints: true,
-        seed: 11,
-    });
+    let mut db =
+        company(&CompanyConfig { employees: 20, departments: 4, with_constraints: true, seed: 11 });
 
     println!("== Validation against both §2.5 constraints ==");
     match db.validate() {
@@ -83,7 +79,9 @@ fn main() {
 
     // Generalization chain (§3.1): WORKS-FOR ≺ IS-PAID-BY.
     println!("\n== Who is paid by DEPT-0? (inferred, never stored) ==");
-    let answer = session.query("Q(?who) := (?who, IS-PAID-BY, DEPT-0) & (?who, isa, PERSON)").expect("query");
+    let answer = session
+        .query("Q(?who) := (?who, IS-PAID-BY, DEPT-0) & (?who, isa, PERSON)")
+        .expect("query");
     let n = answer.len();
     print!("{}", answer.render(session.db().store().interner()));
     println!("({n} employees; the IS-PAID-BY relationship was never asserted directly)");

@@ -59,11 +59,8 @@ fn section_5_2() {
     if let loosedb::ProbeOutcome::RetractionsSucceeded { wave } = &report.outcome {
         for attempt in report.waves[*wave].attempts.iter().filter(|a| a.succeeded()) {
             let answer = attempt.answer.as_ref().expect("succeeded");
-            let descr: Vec<String> = attempt
-                .steps
-                .iter()
-                .map(|s| s.describe(db.store().interner()))
-                .collect();
+            let descr: Vec<String> =
+                attempt.steps.iter().map(|s| s.describe(db.store().interner())).collect();
             println!("--- {} ---", descr.join(" and "));
             print!("{}", answer.render(db.store().interner()));
         }
@@ -80,7 +77,7 @@ fn section_6_1() {
     let earns = db.lookup_symbol("EARNS").expect("EARNS");
     let salary = db.lookup_symbol("SALARY").expect("SALARY");
     let view = db.view().expect("closure");
-    let table = relation(&view, employee, &[(works_for, department), (earns, salary)])
-        .expect("relation");
+    let table =
+        relation(&view, employee, &[(works_for, department), (earns, salary)]).expect("relation");
     print!("{}", table.render(view.interner()));
 }

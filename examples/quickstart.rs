@@ -56,9 +56,7 @@ fn main() {
     session.db_mut().add(25000i64, "isa", "SALARY-AMOUNT");
     session.db_mut().add(18000i64, "isa", "SALARY-AMOUNT");
     session.db_mut().add(40000i64, "isa", "SALARY-AMOUNT");
-    let table = session
-        .relation("EMPLOYEE", &[("EARNS", "SALARY-AMOUNT")])
-        .expect("relation");
+    let table = session.relation("EMPLOYEE", &[("EARNS", "SALARY-AMOUNT")]).expect("relation");
     print!("{}", table.render(session.db().store().interner()));
 
     // 7. Integrity (§2.5): contradictions are rejected transactionally.

@@ -38,10 +38,7 @@ fn main() {
     // The relation operator (§6.1): a structured view over the heap.
     println!("\n== relation(ENROLLMENT, enroll-student student, enroll-grade grade) ==");
     let table = session
-        .relation(
-            "ENROLLMENT",
-            &[("ENROLL-STUDENT", "STUDENT"), ("ENROLL-GRADE", "GRADE")],
-        )
+        .relation("ENROLLMENT", &[("ENROLL-STUDENT", "STUDENT"), ("ENROLL-GRADE", "GRADE")])
         .expect("relation");
     let rendered = table.render(session.db().store().interner());
     for line in rendered.lines().take(8) {
@@ -58,9 +55,8 @@ fn main() {
     // own failing query. GRADUATE-OF ≺ ATTENDED holds in this world; no
     // student is a QUARTERBACK, so the probe diagnoses the missing entity.
     println!("\n== Probing the paper's §5 query ==");
-    let report = session
-        .probe("Q(?x) := (?x, isa, QUARTERBACK) & (?x, GRADUATE-OF, USC)")
-        .expect("probe");
+    let report =
+        session.probe("Q(?x) := (?x, isa, QUARTERBACK) & (?x, GRADUATE-OF, USC)").expect("probe");
     print!("{}", report.render_menu(session.db().store().interner()));
 
     // A query that fails only because GRADUATE-OF is too strong broadens

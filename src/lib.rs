@@ -50,17 +50,19 @@ pub use loosedb_query as query;
 pub use loosedb_store as store;
 
 pub use loosedb_browse::{
-    function, navigate, paths_between, probe, probe_text, relation, semantic_distance,
-    try_entity, Definitions, FunctionView, GroupedTable,
-    NavigateOptions, ProbeOptions, ProbeOutcome, ProbeReport, RelationTable, RetractionStep,
-    Session, SessionError,
+    function, navigate, paths_between, probe, probe_text, relation, semantic_distance, try_entity,
+    Definitions, FunctionView, GroupedTable, NavigateOptions, ProbeOptions, ProbeOutcome,
+    ProbeReport, RelationTable, RetractionStep, Session, SessionError,
 };
 pub use loosedb_engine::{
-    Builtin, Closure, ClosureError, ClosureView, Database, FactView, InferenceConfig, KindRegistry,
-    MathTruth, Provenance, Prover, RelKind, Rule, RuleGroup, RuleKind, Strategy, Taxonomy,
-    Template, Term, TransactionError, Var, Violation,
+    Builtin, Closure, ClosureError, ClosureView, Database, DurableDatabase, DurableError, FactView,
+    InferenceConfig, KindRegistry, MathTruth, Provenance, Prover, RecoveryInfo, RelKind, Rule,
+    RuleGroup, RuleKind, Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var,
+    Violation,
 };
-pub use loosedb_query::{eval, eval_with, explain_plan, parse, Answer, AtomOrdering, EvalOptions, Formula, Query};
+pub use loosedb_query::{
+    eval, eval_with, explain_plan, parse, Answer, AtomOrdering, EvalOptions, Formula, Query,
+};
 pub use loosedb_store::{
     special, EntityId, EntityValue, Fact, FactLog, FactStore, Interner, Pattern,
 };

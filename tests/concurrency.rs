@@ -109,9 +109,8 @@ fn sessions_are_independent() {
     let mut a = Session::new(Database::from_store(
         loosedb::store::snapshot::decode(snapshot.clone()).unwrap(),
     ));
-    let mut b = Session::new(Database::from_store(
-        loosedb::store::snapshot::decode(snapshot).unwrap(),
-    ));
+    let mut b =
+        Session::new(Database::from_store(loosedb::store::snapshot::decode(snapshot).unwrap()));
 
     a.db_mut().add("JOHN", "LIKES", "BRAHMS");
     let a_likes = a.query("(JOHN, LIKES, ?x)").unwrap().len();

@@ -2,9 +2,7 @@
 //! facade, spanning storage, inference, queries, browsing and persistence.
 
 use loosedb::datagen::{company, university, CompanyConfig, UniversityConfig};
-use loosedb::{
-    special, Database, EntityValue, Fact, FactView, ProbeOutcome, RuleGroup, Session,
-};
+use loosedb::{special, Database, EntityValue, Fact, FactView, ProbeOutcome, RuleGroup, Session};
 
 /// The full life of a database: build, infer, query, browse, persist,
 /// reload, keep working.
@@ -162,9 +160,7 @@ fn composition_limits_through_stack() {
     let john = db.lookup_symbol("JOHN").unwrap();
     let salzburg = db.lookup_symbol("SALZBURG").unwrap();
     let view = db.view().unwrap();
-    let links = view
-        .matches(loosedb::Pattern::new(Some(john), None, Some(salzburg)))
-        .unwrap();
+    let links = view.matches(loosedb::Pattern::new(Some(john), None, Some(salzburg))).unwrap();
     assert_eq!(links.len(), 1);
     let name = view.interner().display(links[0].r);
     assert_eq!(name, "FAVORITE-MUSIC.PC9.COMPOSED-BY.MOZART.BORN-IN");
@@ -175,9 +171,7 @@ fn composition_limits_through_stack() {
 fn session_operator_suite() {
     let mut session = Session::new(loosedb::datagen::music_world());
 
-    session
-        .define("likers-of", 1, "Q(?x) := (?x, LIKES, $1)")
-        .unwrap();
+    session.define("likers-of", 1, "Q(?x) := (?x, LIKES, $1)").unwrap();
     let answer = session.query("likers-of(MOZART)").unwrap();
     assert_eq!(answer.len(), 1); // JOHN
 
@@ -214,12 +208,7 @@ fn violation_display() {
 #[test]
 fn probe_pure_target_climb() {
     use loosedb::datagen::{taxonomy, TaxonomyConfig};
-    let mut t = taxonomy(&TaxonomyConfig {
-        depth: 4,
-        branching: 2,
-        dag_probability: 0.0,
-        seed: 5,
-    });
+    let mut t = taxonomy(&TaxonomyConfig { depth: 4, branching: 2, dag_probability: 0.0, seed: 5 });
     let root_name = t.db.display(t.root());
     t.db.add("JOHN", "WANTS", root_name.as_str());
 

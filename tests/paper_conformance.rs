@@ -353,8 +353,7 @@ fn s5_2_critical_failure() {
     db.add("COFFEE", "ADVERTISED-AS", "FREE");
 
     let mut session = Session::new(db);
-    let report =
-        session.probe("Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)").unwrap();
+    let report = session.probe("Q(?z) := (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)").unwrap();
     match &report.outcome {
         loosedb::ProbeOutcome::RetractionsSucceeded { wave: 0 } => {
             // (z, Δ, FREE) succeeds too (facts mention FREE), so all five
@@ -376,9 +375,8 @@ fn s6_1_operator_suite() {
     assert!(table.to_string().contains("(JOHN, WORKS-FOR, SHIPPING)"));
 
     // relation(...): the structured view.
-    let table = session
-        .relation("EMPLOYEE", &[("WORKS-FOR", "DEPARTMENT"), ("EARNS", "SALARY")])
-        .unwrap();
+    let table =
+        session.relation("EMPLOYEE", &[("WORKS-FOR", "DEPARTMENT"), ("EARNS", "SALARY")]).unwrap();
     assert_eq!(table.rows.len(), 3);
 
     // include/exclude/limit.
@@ -422,9 +420,7 @@ fn numbers_are_entities() {
     db.add("STUDENT-1", "GPA", EntityValue::float(2.5));
     db.add("STUDENT-2", "GPA", EntityValue::float(3.7));
     let mut session = Session::new(db);
-    let under = session
-        .query("Q(?s) := exists ?g . (?s, GPA, ?g) & (?g, <, 2.6)")
-        .unwrap();
+    let under = session.query("Q(?s) := exists ?g . (?s, GPA, ?g) & (?g, <, 2.6)").unwrap();
     assert_eq!(under.len(), 1);
     // Mixed int/float comparison.
     assert!(session.query("(3.7, >, 3)").unwrap().is_true());

@@ -4,9 +4,7 @@
 //! the §6.1 relation table, end to end through the public API.
 
 use loosedb::datagen::{music_world, probing_world, relation_world, PROBING_QUERY};
-use loosedb::{
-    navigate, probe_text, relation, FactView, NavigateOptions, Pattern, ProbeOptions,
-};
+use loosedb::{navigate, probe_text, relation, FactView, NavigateOptions, Pattern, ProbeOptions};
 
 #[test]
 fn golden_section_4_1_john_table() {
@@ -60,13 +58,8 @@ fn golden_section_4_1_leopold_mozart() {
     .unwrap();
     // The paper's two associations: the direct FATHER-OF fact and the
     // composed FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY path.
-    let headers: Vec<&str> = (1..=table.columns.len())
-        .map(|i| table.header(i).unwrap())
-        .collect();
-    assert_eq!(
-        headers,
-        vec!["FATHER-OF", "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"]
-    );
+    let headers: Vec<&str> = (1..=table.columns.len()).map(|i| table.header(i).unwrap()).collect();
+    assert_eq!(headers, vec!["FATHER-OF", "FAVORITE-MUSIC.PC#9-WAM.COMPOSED-BY"]);
 }
 
 #[test]
@@ -126,8 +119,7 @@ fn golden_section_6_1_relation_table() {
     let earns = db.lookup_symbol("EARNS").unwrap();
     let salary = db.lookup_symbol("SALARY").unwrap();
     let view = db.view().unwrap();
-    let table =
-        relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
+    let table = relation(&view, employee, &[(works_for, department), (earns, salary)]).unwrap();
     let expected = "\
 EMPLOYEE | WORKS-FOR DEPARTMENT | EARNS SALARY
 ---------+----------------------+-------------
@@ -143,8 +135,7 @@ fn golden_misspelling_diagnosis() {
     // §5.2's closing example: a query with an entity that is not in the
     // database is reported as "no such database entities".
     let mut db = music_world();
-    let report =
-        probe_text("(JOHN, LOOVES, ?z)", &mut db, &ProbeOptions::default()).unwrap();
+    let report = probe_text("(JOHN, LOOVES, ?z)", &mut db, &ProbeOptions::default()).unwrap();
     let menu = report.render_menu(db.store().interner());
     assert_eq!(menu, "Query failed: no such database entities: LOOVES\n");
 }

@@ -11,7 +11,9 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use loosedb::engine::{closure, InferenceConfig, KindRegistry, RuleSet, Strategy as ClosureStrategy, Taxonomy};
+use loosedb::engine::{
+    closure, InferenceConfig, KindRegistry, RuleSet, Strategy as ClosureStrategy, Taxonomy,
+};
 use loosedb::query::{eval_with, AtomOrdering, EvalOptions};
 use loosedb::{Database, EntityId, Fact, FactStore, FactView, Pattern};
 
@@ -37,10 +39,7 @@ fn db_spec() -> impl Strategy<Value = DbSpec> {
     )
         .prop_map(|(facts, raw_node_edges, raw_rel_edges)| DbSpec {
             facts,
-            node_gen_edges: raw_node_edges
-                .into_iter()
-                .filter(|(a, b)| a < b)
-                .collect(),
+            node_gen_edges: raw_node_edges.into_iter().filter(|(a, b)| a < b).collect(),
             rel_gen_edges: raw_rel_edges.into_iter().filter(|(a, b)| a < b).collect(),
         })
 }

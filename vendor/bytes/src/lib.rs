@@ -1,0 +1,437 @@
+//! Offline shim for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this workspace carries minimal in-repo implementations of the small
+//! API subsets it actually uses (see `vendor/` in the repository root).
+//! This crate provides [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`]
+//! traits with the methods the loosedb codec layers call. Semantics match
+//! the real crate for that subset; cheap zero-copy cloning/slicing of
+//! [`Bytes`] is preserved via `Arc`.
+
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read access to a contiguous, consumable buffer of bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies bytes into `dst`, consuming them.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Copies `len` bytes out as an owned [`Bytes`], consuming them.
+    ///
+    /// # Panics
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let mut v = vec![0u8; len];
+        self.copy_to_slice(&mut v);
+        Bytes::from(v)
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Wraps a static slice (copied here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-range sharing the same backing allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.start += cnt;
+    }
+}
+
+/// A growable byte buffer; freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+    /// Read cursor so `BytesMut` can also act as a [`Buf`].
+    cursor: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap), cursor: 0 }
+    }
+
+    /// Length of the unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len() - self.cursor
+    }
+
+    /// True if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner).slice(self.cursor..)
+    }
+
+    /// Discards the contents.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+        self.cursor = 0;
+    }
+
+    /// The unconsumed bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner[self.cursor..]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::copy_from_slice(self.as_slice()), f)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        self.cursor += cnt;
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(2.5);
+        buf.put_slice(b"xyz");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.get_f64_le(), 2.5);
+        let mut rest = [0u8; 3];
+        b.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bytes_slice_is_zero_copy_and_cheap_to_clone() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let c = s.clone();
+        assert_eq!(c, s);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 2, 3];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.get_u8(), 1);
+        assert_eq!(s.remaining(), 2);
+        let rest = s.copy_to_bytes(2);
+        assert_eq!(&rest[..], &[2, 3]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline shim for the [`crossbeam`](https://docs.rs/crossbeam) crate:
+//! scoped threads over `std::thread::scope` (see `vendor/` in the
+//! repository root).
+//!
+//! One semantic difference from real crossbeam: if a spawned thread
+//! panics and its handle is never joined, [`thread::scope`] propagates
+//! the panic (std semantics) instead of returning `Err` — callers that
+//! `.expect()` the scope result observe a test failure either way.
+
+#![warn(rust_2018_idioms)]
+
+/// Scoped thread spawning.
+pub mod thread {
+    use std::any::Any;
+
+    /// The result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the [`scope`] closure.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// The argument passed to every spawned closure. Real crossbeam
+    /// passes a nested `&Scope`; the loosedb codebase always ignores it,
+    /// so this shim passes an inert placeholder.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SpawnScope;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread; `Err` carries a panic payload.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(SpawnScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(SpawnScope)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns after all of them finish.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = super::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|part| scope.spawn(move |_| part.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_reports_panics() {
+        let caught = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope");
+        assert!(caught);
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! A deterministic, non-shrinking property-test runner with the strategy
+//! combinators loosedb's tests use: numeric ranges, tuples, collection
+//! vectors, `any`, `prop_map`, and character-class string patterns (see
+//! `vendor/` in the repository root). Failing cases report their inputs
+//! but are not minimized; seeds derive from the test name, so runs are
+//! reproducible.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case (carried by `prop_assert!`-style macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded deterministically from the test name.
+    pub fn new(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { rng: TestRng(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The RNG for generating the next case.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Uniform whole-domain sampling for [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: rand::Standard + fmt::Debug> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A strategy generating any value of `T`.
+pub fn any<T: rand::Standard + fmt::Debug>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// A string pattern strategy: character classes with repetition counts.
+///
+/// This shim supports the subset of regex syntax loosedb uses: a
+/// sequence of literal characters or `[..]` classes (with `a-z` ranges),
+/// each optionally followed by `{lo,hi}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            class.extend((lo..=hi).collect::<Vec<_>>());
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                class.push(p);
+                            }
+                        }
+                    }
+                }
+                class.extend(prev);
+                assert!(!class.is_empty(), "empty character class in pattern {pattern:?}");
+                class
+            }
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))],
+            other => vec![other],
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+            let (lo, hi) = spec.split_once(',').unwrap_or((spec.as_str(), spec.as_str()));
+            (
+                lo.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pattern:?}")),
+                hi.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pattern:?}")),
+            )
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..hi + 1);
+        for _ in 0..n {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Strategy modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// A strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values, `size` elements long.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_binds {
+    ($runner:ident; $reprs:ident;) => {};
+    ($runner:ident; $reprs:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::generate(&($strat), $runner.rng());
+        $reprs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+    };
+    ($runner:ident; $reprs:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strat), $runner.rng());
+        $reprs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+        $crate::__proptest_binds!($runner; $reprs; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    // Attributes (doc comments and `#[test]` itself) pass through; the
+    // source's `#[test]` marker is matched by the `$meta` repetition.
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(stringify!($name));
+            for case in 0..config.cases {
+                let mut reprs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $crate::__proptest_binds!(runner; reprs; $($params)*);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property failed at case {}/{}: {}\ninputs:\n  {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        reprs.join("\n  ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuples, ranges, vec and map compose.
+        #[test]
+        fn combinators_generate_in_bounds(
+            pair in (0u8..10, 0i64..5).prop_map(|(a, b)| (a, b + 1)),
+            items in prop::collection::vec(0u32..7, 0..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((1..=5).contains(&pair.1));
+            prop_assert!(items.len() < 20);
+            prop_assert!(items.iter().all(|&x| x < 7));
+            let _ = flag;
+        }
+
+        /// Single-parameter form without a trailing comma.
+        #[test]
+        fn string_pattern_generates_printables(s in "[ -~]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use crate::{Strategy, TestRunner};
+        let mut a = TestRunner::new("x");
+        let mut b = TestRunner::new("x");
+        let s = 0u32..1000;
+        let va: Vec<u32> = (0..50).map(|_| s.generate(a.rng())).collect();
+        let vb: Vec<u32> = (0..50).map(|_| s.generate(b.rng())).collect();
+        assert_eq!(va, vb);
+    }
+}
