@@ -1,0 +1,35 @@
+//! E16 — Snapshot-isolated concurrent reads over `SharedDatabase`.
+//!
+//! Reader threads navigate random entity neighborhoods of the 50k-fact
+//! Zipf world through immutable `Arc<Generation>` snapshots, scaling
+//! 1→8 threads, with a writer paced to 0%, 1% or 10% of total
+//! operations. Expected shape: read throughput scales with reader count
+//! up to the core count (readers never take a lock during evaluation),
+//! and the p99 read latency under a write mix stays close to the
+//! read-only p99 (a publish is a pointer swap, not a pause).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::{run_mix, shared_world};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_concurrency");
+    group.sample_size(10);
+    let window = Duration::from_millis(200);
+    for write_pct in [0u32, 1, 10] {
+        for readers in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new(format!("write{write_pct}pct"), readers), |b| {
+                b.iter(|| {
+                    let (shared, nodes) = shared_world(50_000);
+                    let outcome = run_mix(&shared, &nodes, readers, write_pct, window);
+                    (outcome.reads, outcome.p99)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,11 +8,14 @@
 //! `experiments` binary (`cargo run -p loosedb-bench --release --bin
 //! experiments`) that regenerates the EXPERIMENTS.md tables.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use loosedb_browse::{navigate, NavigateOptions};
 use loosedb_datagen::{zipf_graph, GraphConfig};
-use loosedb_engine::Database;
-use loosedb_store::FactStore;
+use loosedb_engine::{Database, InferenceConfig, SharedDatabase};
+use loosedb_store::{EntityId, FactStore, Pattern};
 
 /// Fact-count scales used by the storage experiments.
 pub const STORE_SCALES: [usize; 3] = [1_000, 10_000, 100_000];
@@ -44,6 +47,119 @@ pub fn structural_world(people: usize, classes: usize) -> Database {
     }
     db.add("KNOWS", "inv", "KNOWN-BY");
     db
+}
+
+/// Builds the E16 serving world: the standard Zipf store behind a
+/// [`SharedDatabase`], with inference disabled (matching E4's navigation
+/// setup — the default config explodes via composition on this world).
+pub fn shared_world(facts: usize) -> (Arc<SharedDatabase>, Vec<EntityId>) {
+    let (store, nodes) = standard_store(facts);
+    let mut db = Database::from_store(store);
+    *db.config_mut() = InferenceConfig::none();
+    let shared = Arc::new(SharedDatabase::new(db).expect("closure"));
+    (shared, nodes)
+}
+
+/// Measured outcome of one E16 reader/writer mix run ([`run_mix`]).
+pub struct MixOutcome {
+    /// Navigation reads completed across all reader threads.
+    pub reads: u64,
+    /// Writes published while the readers ran.
+    pub writes: u64,
+    /// Wall-clock of the measured window.
+    pub elapsed: Duration,
+    /// Median per-read latency across all readers.
+    pub p50: Duration,
+    /// 99th-percentile per-read latency across all readers.
+    pub p99: Duration,
+}
+
+impl MixOutcome {
+    /// Reads per second over the measured window.
+    pub fn throughput(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the E16 workload: `readers` threads navigate random entity
+/// neighborhoods over generation snapshots for `duration`, while this
+/// thread publishes writes paced to `write_pct` percent of total
+/// operations (0 disables writing). Per-read latencies are collected on
+/// every reader and merged for the percentiles.
+pub fn run_mix(
+    shared: &Arc<SharedDatabase>,
+    nodes: &[EntityId],
+    readers: usize,
+    write_pct: u32,
+    duration: Duration,
+) -> MixOutcome {
+    assert!(write_pct < 100);
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let opts = NavigateOptions::default();
+    let started = Instant::now();
+
+    let (latencies, writes) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(readers);
+        for seed in 0..readers {
+            let stop = &stop;
+            let reads = &reads;
+            let opts = &opts;
+            handles.push(scope.spawn(move || {
+                // Cheap xorshift so node choice costs nothing measurable.
+                let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (seed as u64 + 1);
+                let mut local: Vec<u64> = Vec::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let node = nodes[(state % nodes.len() as u64) as usize];
+                    let t0 = Instant::now();
+                    let generation = shared.snapshot();
+                    let table = navigate(&generation.view(), Pattern::from_source(node), opts)
+                        .expect("navigate");
+                    local.push(t0.elapsed().as_nanos() as u64);
+                    std::hint::black_box(table.height());
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+                local
+            }));
+        }
+
+        // This thread is the writer, paced so writes stay at `write_pct`
+        // percent of completed operations.
+        let mut writes = 0u64;
+        while started.elapsed() < duration {
+            let done = reads.load(Ordering::Relaxed);
+            let target =
+                if write_pct == 0 { 0 } else { done * write_pct as u64 / (100 - write_pct) as u64 };
+            if writes < target {
+                writes += 1;
+                shared
+                    .insert(format!("E16-W{writes}"), "E16-LINK", format!("E16-W{}", writes / 2))
+                    .expect("insert");
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let latencies: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().expect("reader")).collect();
+        (latencies, writes)
+    });
+
+    let elapsed = started.elapsed();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let pick = |q: f64| {
+        if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((sorted.len() - 1) as f64 * q) as usize;
+            Duration::from_nanos(sorted[idx])
+        }
+    };
+    MixOutcome { reads: sorted.len() as u64, writes, elapsed, p50: pick(0.5), p99: pick(0.99) }
 }
 
 /// Median wall-clock of `reps` runs of `f` (with a warm-up run). Returns

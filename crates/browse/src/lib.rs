@@ -33,6 +33,7 @@ pub mod navigate;
 pub mod operators;
 pub mod probe;
 pub mod session;
+pub mod shared;
 pub mod table;
 
 pub use navigate::{navigate, paths_between, semantic_distance, try_entity, NavigateOptions, Path};
@@ -44,4 +45,5 @@ pub use probe::{
     RetractionStep, Wave,
 };
 pub use session::{Session, SessionError};
+pub use shared::{CacheStats, SharedSession};
 pub use table::GroupedTable;

@@ -235,29 +235,39 @@ pub fn navigate<V: FactView>(
         _ => {
             let mut table = GroupedTable::new(title);
             let outgoing = pattern.s.is_some();
-            let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
-            let mut identity: Vec<String> = Vec::new();
+            // Group by relationship *id* — each relationship name is
+            // rendered once per distinct relationship (not once per fact),
+            // and duplicate entities are deduplicated before rendering.
+            let mut groups: BTreeMap<EntityId, Vec<EntityId>> = BTreeMap::new();
+            let mut identity: Vec<EntityId> = Vec::new();
             for fact in view.matches(pattern)? {
                 // Skip virtual reflexive/Δ noise in displays.
                 if fact.r == special::GEN && (fact.s == fact.t || fact.t == special::TOP) {
                     continue;
                 }
-                let shown =
-                    if outgoing { interner.display(fact.t) } else { interner.display(fact.s) };
+                let shown = if outgoing { fact.t } else { fact.s };
                 if outgoing && (fact.r == special::ISA || fact.r == special::GEN) {
                     identity.push(shown);
                 } else {
-                    groups.entry(interner.display(fact.r)).or_default().push(shown);
+                    groups.entry(fact.r).or_default().push(shown);
                 }
             }
-            identity.sort();
-            identity.dedup();
-            truncate(&mut identity, opts.max_cells);
-            table.title_cells = identity;
-            for (rel, mut cells) in groups {
+            let render = |ids: Vec<EntityId>, max: usize| {
+                let mut ids = ids;
+                ids.sort_unstable();
+                ids.dedup();
+                let mut cells: Vec<String> = ids.iter().map(|&e| interner.display(e)).collect();
                 cells.sort();
-                cells.dedup();
-                truncate(&mut cells, opts.max_cells);
+                truncate(&mut cells, max);
+                cells
+            };
+            table.title_cells = render(identity, opts.max_cells);
+            // Columns stay alphabetical by rendered relationship name.
+            let mut columns: Vec<(String, Vec<EntityId>)> =
+                groups.into_iter().map(|(rel, cells)| (interner.display(rel), cells)).collect();
+            columns.sort_by(|a, b| a.0.cmp(&b.0));
+            for (rel, cells) in columns {
+                let cells = render(cells, opts.max_cells);
                 table.push_column(rel, cells);
             }
             Ok(table)

@@ -292,6 +292,29 @@ impl Definitions {
         Ok(out)
     }
 
+    /// Expands `name(arg1; arg2; …)` invocations; plain query text (and
+    /// `Q(...)` headers) passes through unchanged.
+    pub fn maybe_expand(&self, src: &str) -> Result<String, DefineError> {
+        let trimmed = src.trim();
+        if let Some(open) = trimmed.find('(') {
+            let name = &trimmed[..open];
+            if trimmed.ends_with(')')
+                && !name.is_empty()
+                && name != "Q"
+                && self.names().any(|n| n == name)
+            {
+                let inner = &trimmed[open + 1..trimmed.len() - 1];
+                let args: Vec<&str> = if inner.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    inner.split(';').map(str::trim).collect()
+                };
+                return self.expand(name, &args);
+            }
+        }
+        Ok(src.to_string())
+    }
+
     /// Names of the defined operators.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.defs.keys().map(String::as_str)

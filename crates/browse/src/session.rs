@@ -258,24 +258,7 @@ impl Session {
     /// Expands `name(arg1; arg2; …)` invocations; plain query text passes
     /// through.
     fn maybe_expand(&self, src: &str) -> Result<String, SessionError> {
-        let trimmed = src.trim();
-        if let Some(open) = trimmed.find('(') {
-            let name = &trimmed[..open];
-            if trimmed.ends_with(')')
-                && !name.is_empty()
-                && name != "Q"
-                && self.defs.names().any(|n| n == name)
-            {
-                let inner = &trimmed[open + 1..trimmed.len() - 1];
-                let args: Vec<&str> = if inner.trim().is_empty() {
-                    Vec::new()
-                } else {
-                    inner.split(';').map(str::trim).collect()
-                };
-                return Ok(self.defs.expand(name, &args)?);
-            }
-        }
-        Ok(src.to_string())
+        Ok(self.defs.maybe_expand(src)?)
     }
 }
 

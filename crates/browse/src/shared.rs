@@ -1,0 +1,485 @@
+//! Concurrent browsing sessions over a [`SharedDatabase`].
+//!
+//! [`SharedSession`] is the snapshot-isolated counterpart of
+//! [`crate::Session`]: it holds an `Arc<SharedDatabase>` instead of owning
+//! the database, takes a fresh generation snapshot per operation, and
+//! evaluates navigation, probing and queries entirely outside any lock.
+//! Many sessions on distinct threads share one database; a writer
+//! publishing a new generation never blocks them and is never blocked by
+//! them.
+//!
+//! Two pieces of machinery make a read-only session fully featured:
+//!
+//! * **Extension interner.** Query text may mention constants the frozen
+//!   snapshot never interned (`(?x, EARNS, 99999)` where no fact uses
+//!   `99999`). Parsing is first attempted against the generation's frozen
+//!   interner ([`loosedb_query::parse_frozen`]); on
+//!   [`FrozenParseError::UnknownConstant`] the session falls back to a
+//!   private clone of that interner, extends it, and evaluates through
+//!   [`Generation::view_with_interner`]. Interners are append-only, so
+//!   ids below the snapshot's length resolve identically and the new ids
+//!   cannot occur in any closure fact — the query is answered exactly as
+//!   if the constants had been interned before the snapshot froze.
+//! * **Generation-keyed query cache.** Answers are cached per expanded
+//!   query text and invalidated wholesale when the epoch moves — the
+//!   publish counter doubles as a cache key, so no write tracking is
+//!   needed ([`CacheStats`] reports hit rates).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use loosedb_engine::{Generation, SharedDatabase};
+use loosedb_query::{eval_with, Answer, FrozenParseError, Query};
+use loosedb_store::{EntityId, EntityValue, Interner, Pattern};
+
+use crate::navigate::{navigate, try_entity, NavigateOptions};
+use crate::operators::{relation, Definitions, FunctionView, RelationTable};
+use crate::probe::{probe, ProbeOptions, ProbeReport};
+use crate::session::SessionError;
+use crate::table::GroupedTable;
+
+/// Hit/miss counters of a session's query cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Answers served from the cache.
+    pub hits: u64,
+    /// Answers that had to be evaluated.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries retained.
+    pub capacity: usize,
+}
+
+/// An LRU map from expanded query text to its answer, valid for exactly
+/// one generation: the epoch is part of the state and any access under a
+/// newer epoch clears the map first.
+struct QueryCache {
+    capacity: usize,
+    epoch: u64,
+    tick: u64,
+    map: HashMap<String, (u64, Arc<Answer>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    fn new(capacity: usize) -> Self {
+        QueryCache { capacity, epoch: 0, tick: 0, map: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    fn roll(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    fn get(&mut self, epoch: u64, key: &str) -> Option<Arc<Answer>> {
+        self.roll(epoch);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((last_used, answer)) => {
+                *last_used = tick;
+                self.hits += 1;
+                Some(Arc::clone(answer))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, epoch: u64, key: String, answer: Arc<Answer>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.roll(epoch);
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // O(n) eviction of the least-recently-used entry; capacities
+            // are interactive-session sized, so a linked list would be
+            // overkill.
+            if let Some(lru) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, answer));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A private extension of one generation's interner, for resolving query
+/// constants the frozen snapshot has never seen.
+struct ExtInterner {
+    epoch: u64,
+    interner: Interner,
+}
+
+/// A browsing session over a [`SharedDatabase`]: the concurrent, read-only
+/// counterpart of [`crate::Session`].
+///
+/// Every operation snapshots the current generation once and evaluates
+/// against it, so each result is internally consistent even while writers
+/// publish; consecutive operations may observe successive generations
+/// (monotonically — epochs never go backwards).
+pub struct SharedSession {
+    shared: Arc<SharedDatabase>,
+    defs: Definitions,
+    /// Options used for navigation displays.
+    pub nav_opts: NavigateOptions,
+    /// Options used for probing.
+    pub probe_opts: ProbeOptions,
+    history: Vec<EntityId>,
+    ext: Option<ExtInterner>,
+    cache: QueryCache,
+}
+
+/// Default query-cache capacity (entries) for a session.
+const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+impl SharedSession {
+    /// Starts a session over a shared database.
+    pub fn new(shared: Arc<SharedDatabase>) -> Self {
+        Self::with_cache_capacity(shared, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Starts a session with a specific query-cache capacity (0 disables
+    /// caching).
+    pub fn with_cache_capacity(shared: Arc<SharedDatabase>, capacity: usize) -> Self {
+        SharedSession {
+            shared,
+            defs: Definitions::new(),
+            nav_opts: NavigateOptions::default(),
+            probe_opts: ProbeOptions::default(),
+            history: Vec::new(),
+            ext: None,
+            cache: QueryCache::new(capacity),
+        }
+    }
+
+    /// The shared database this session reads from.
+    pub fn shared(&self) -> &Arc<SharedDatabase> {
+        &self.shared
+    }
+
+    /// The current generation (the snapshot the next operation would use).
+    pub fn snapshot(&self) -> Arc<Generation> {
+        self.shared.snapshot()
+    }
+
+    /// The epoch of the current generation.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// Hit/miss counters of this session's query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The focus history, oldest first.
+    pub fn history(&self) -> &[EntityId] {
+        &self.history
+    }
+
+    fn resolve(&self, generation: &Generation, name: &str) -> Result<EntityId, SessionError> {
+        if name == "*" {
+            return Err(SessionError::UnknownEntity("*".into()));
+        }
+        let value = if let Ok(i) = name.parse::<i64>() {
+            EntityValue::Int(i)
+        } else if let Ok(x) = name.parse::<f64>() {
+            EntityValue::float(x)
+        } else {
+            EntityValue::symbol(name)
+        };
+        generation.lookup(&value).ok_or_else(|| SessionError::UnknownEntity(name.to_string()))
+    }
+
+    fn part(&self, generation: &Generation, name: &str) -> Result<Option<EntityId>, SessionError> {
+        if name == "*" {
+            Ok(None)
+        } else {
+            self.resolve(generation, name).map(Some)
+        }
+    }
+
+    /// The session's extension interner for `generation`, refreshed
+    /// whenever the epoch moves (stale extensions would miss constants
+    /// interned by later writes).
+    fn ext_for(&mut self, generation: &Generation) -> &mut Interner {
+        let stale = self.ext.as_ref().is_none_or(|e| e.epoch != generation.epoch());
+        if stale {
+            self.ext = Some(ExtInterner {
+                epoch: generation.epoch(),
+                interner: generation.interner().clone(),
+            });
+        }
+        &mut self.ext.as_mut().expect("just ensured").interner
+    }
+
+    /// Parses `src` against the generation, extending the private interner
+    /// only when the text mentions unknown constants. Returns the query
+    /// and the interner to evaluate it under (the generation's own, or the
+    /// session's extension).
+    fn parse_on<'a>(
+        &'a mut self,
+        generation: &'a Generation,
+        src: &str,
+    ) -> Result<(Query, &'a Interner), SessionError> {
+        match loosedb_query::parse_frozen(src, generation.interner()) {
+            Ok(query) => Ok((query, generation.interner())),
+            Err(FrozenParseError::Parse(e)) => Err(SessionError::Parse(e)),
+            Err(FrozenParseError::UnknownConstant { .. }) => {
+                let ext = self.ext_for(generation);
+                let query = loosedb_query::parse(src, ext)?;
+                Ok((query, &*ext))
+            }
+        }
+    }
+
+    /// Focuses on an entity: renders its neighborhood `(E, *, *)` and
+    /// pushes it on the focus history.
+    pub fn focus(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
+        let generation = self.shared.snapshot();
+        let e = self.resolve(&generation, name)?;
+        let table = navigate(&generation.view(), Pattern::from_source(e), &self.nav_opts)?;
+        self.history.push(e);
+        Ok(table)
+    }
+
+    /// Returns to the previous focus, re-rendering its neighborhood
+    /// against the *current* generation.
+    pub fn back(&mut self) -> Result<GroupedTable, SessionError> {
+        if self.history.len() < 2 {
+            return Err(SessionError::NoHistory);
+        }
+        self.history.pop();
+        let e = *self.history.last().expect("non-empty");
+        let generation = self.shared.snapshot();
+        Ok(navigate(&generation.view(), Pattern::from_source(e), &self.nav_opts)?)
+    }
+
+    /// Navigates an arbitrary template given as three names (`"*"` for a
+    /// free position).
+    pub fn navigate_parts(
+        &mut self,
+        s: &str,
+        r: &str,
+        t: &str,
+    ) -> Result<GroupedTable, SessionError> {
+        let generation = self.shared.snapshot();
+        let pattern = Pattern::new(
+            self.part(&generation, s)?,
+            self.part(&generation, r)?,
+            self.part(&generation, t)?,
+        );
+        Ok(navigate(&generation.view(), pattern, &self.nav_opts)?)
+    }
+
+    /// Evaluates a standard query. Answers are cached per generation: a
+    /// repeated query on an unchanged database is served from the cache,
+    /// and any published write invalidates every cached answer at once.
+    pub fn query(&mut self, src: &str) -> Result<Arc<Answer>, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let generation = self.shared.snapshot();
+        if let Some(hit) = self.cache.get(generation.epoch(), &expanded) {
+            return Ok(hit);
+        }
+        let eval_opts = self.probe_opts.eval;
+        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let view = generation.view_with_interner(interner);
+        let answer = Arc::new(eval_with(&query, &view, eval_opts)?);
+        self.cache.insert(generation.epoch(), expanded, Arc::clone(&answer));
+        Ok(answer)
+    }
+
+    /// Probes a query (§5): evaluates it and, on failure, runs automatic
+    /// retraction. Probe reports are not cached (they enumerate
+    /// alternatives, not answers).
+    pub fn probe(&mut self, src: &str) -> Result<ProbeReport, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let generation = self.shared.snapshot();
+        let probe_opts = self.probe_opts;
+        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let view = generation.view_with_interner(interner);
+        Ok(probe(&query, &view, &probe_opts))
+    }
+
+    /// The §6.1 `try(e)` operator.
+    pub fn try_entity(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
+        let generation = self.shared.snapshot();
+        let e = self.resolve(&generation, name)?;
+        Ok(try_entity(&generation.view(), e)?)
+    }
+
+    /// The §6.1 `relation(s, r1 t1, …)` operator, by entity names.
+    pub fn relation(
+        &mut self,
+        class: &str,
+        columns: &[(&str, &str)],
+    ) -> Result<RelationTable, SessionError> {
+        let generation = self.shared.snapshot();
+        let class = self.resolve(&generation, class)?;
+        let cols: Vec<(EntityId, EntityId)> = columns
+            .iter()
+            .map(|(r, t)| Ok((self.resolve(&generation, r)?, self.resolve(&generation, t)?)))
+            .collect::<Result<_, SessionError>>()?;
+        Ok(relation(&generation.view(), class, &cols)?)
+    }
+
+    /// Renders the evaluation plan of a query without executing it.
+    pub fn explain_query(&mut self, src: &str) -> Result<String, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let generation = self.shared.snapshot();
+        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let view = generation.view_with_interner(interner);
+        Ok(loosedb_query::explain_plan(&query, &view))
+    }
+
+    /// The functional view of a relationship (§6.1), optionally restricted
+    /// to targets of a class.
+    pub fn function(
+        &mut self,
+        rel: &str,
+        target_class: Option<&str>,
+    ) -> Result<FunctionView, SessionError> {
+        let generation = self.shared.snapshot();
+        let rel = self.resolve(&generation, rel)?;
+        let class = target_class.map(|c| self.resolve(&generation, c)).transpose()?;
+        Ok(crate::operators::function(&generation.view(), rel, class)?)
+    }
+
+    /// Defines a named operator (§6 definition facility). Definitions are
+    /// session-private, like a user's workspace in the paper.
+    pub fn define(&mut self, name: &str, arity: usize, body: &str) -> Result<(), SessionError> {
+        Ok(self.defs.define(name, arity, body)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loosedb_engine::Database;
+
+    fn shared() -> Arc<SharedDatabase> {
+        let mut db = Database::new();
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("JOHN", "LIKES", "FELIX");
+        db.add("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+        db.add("PC#9-WAM", "COMPOSED-BY", "MOZART");
+        db.add("JOHN", "EARNS", 25000i64);
+        Arc::new(SharedDatabase::new(db).unwrap())
+    }
+
+    #[test]
+    fn focus_query_and_history() {
+        let mut s = SharedSession::new(shared());
+        let t1 = s.focus("JOHN").unwrap();
+        assert!(t1.title_cells.contains(&"EMPLOYEE".to_string()));
+        s.focus("PC#9-WAM").unwrap();
+        assert_eq!(s.history().len(), 2);
+        let t3 = s.back().unwrap();
+        assert!(t3.title_cells.contains(&"EMPLOYEE".to_string()));
+
+        let answer = s.query("(?x, COMPOSED-BY, MOZART)").unwrap();
+        assert_eq!(answer.len(), 1);
+    }
+
+    #[test]
+    fn unknown_constants_fall_back_to_extension_interner() {
+        let mut s = SharedSession::new(shared());
+        // 30000 was never interned by any fact; frozen parse misses and
+        // the extension path answers (emptily, but correctly).
+        let none = s.query("Q(?x) := (?x, EARNS, 30000)").unwrap();
+        assert!(none.is_empty());
+        // Known constants keep answering through the frozen path.
+        let one = s.query("Q(?x) := (?x, EARNS, 25000)").unwrap();
+        assert_eq!(one.len(), 1);
+        // Comparators evaluate through the extension too.
+        let cmp = s.query("Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, 20000)").unwrap();
+        assert_eq!(cmp.len(), 1);
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_rolls_on_writes() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        let a1 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let a2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "repeat must be served from cache");
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        db.insert("JOHN", "LIKES", "MARY").unwrap();
+        let a3 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert_eq!(a3.len(), 2, "new generation must invalidate the cache");
+        assert!(!Arc::ptr_eq(&a1, &a3));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut s = SharedSession::with_cache_capacity(shared(), 2);
+        s.query("(JOHN, LIKES, ?x)").unwrap();
+        s.query("(JOHN, EARNS, ?x)").unwrap();
+        s.query("(JOHN, LIKES, ?x)").unwrap(); // touch; EARNS is now LRU
+        s.query("(JOHN, isa, ?x)").unwrap(); // evicts EARNS
+        let before = s.cache_stats().hits;
+        s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert_eq!(s.cache_stats().hits, before + 1, "LIKES must still be cached");
+        assert_eq!(s.cache_stats().len, 2);
+    }
+
+    #[test]
+    fn sessions_see_writes_published_after_snapshot() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        assert!(matches!(s.focus("MARY"), Err(SessionError::UnknownEntity(_))));
+        db.insert("MARY", "isa", "EMPLOYEE").unwrap();
+        let table = s.focus("MARY").unwrap();
+        assert!(table.title_cells.contains(&"EMPLOYEE".to_string()));
+    }
+
+    #[test]
+    fn defined_operators_and_probe() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        s.define("earns-more", 1, "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, $1)").unwrap();
+        assert_eq!(s.query("earns-more(20000)").unwrap().len(), 1);
+        assert!(s.query("earns-more(30000)").unwrap().is_empty());
+
+        db.insert("ADORES", "gen", "LIKES").unwrap();
+        let report = s.probe("(JOHN, ADORES, ?x)").unwrap();
+        let menu = report.render_menu(s.snapshot().interner());
+        assert!(menu.contains("with LIKES instead of ADORES"), "{menu}");
+    }
+
+    #[test]
+    fn relation_function_and_explain() {
+        let db = shared();
+        db.write(|d| {
+            d.add("SHIPPING", "isa", "DEPARTMENT");
+            d.add("JOHN", "WORKS-FOR", "SHIPPING");
+        })
+        .unwrap();
+        let mut s = SharedSession::new(db);
+        let table = s.relation("EMPLOYEE", &[("WORKS-FOR", "DEPARTMENT")]).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        let f = s.function("COMPOSED-BY", None).unwrap();
+        assert!(f.is_function());
+        let plan = s.explain_query("Q(?x) := (?x, WORKS-FOR, SHIPPING)").unwrap();
+        assert!(plan.contains("WORKS-FOR"), "{plan}");
+    }
+}

@@ -25,6 +25,7 @@
 //!   source `∇`) via the hierarchy bounds — same reason.
 
 use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 use loosedb_store::{
     special, EntityId, EntityValue, Fact, FactStore, Interner, Pattern, TripleIndex,
@@ -409,7 +410,98 @@ fn always_exact(r: EntityId) -> bool {
     matches!(r, special::GEN | special::ISA | special::SYN | special::INV | special::CONTRA)
 }
 
+/// An owned, shareable snapshot of the structural-rule state for one
+/// fixpoint round. The fact indexes are *moved* in from the engine (no
+/// copy — they are immutable during a round) and reclaimed afterwards;
+/// the registry and configuration are small and cloned.
+struct RoundCtx {
+    kinds: KindRegistry,
+    config: InferenceConfig,
+    all: TripleIndex,
+    lift_free: TripleIndex,
+}
+
+impl RoundCtx {
+    fn structural(&self) -> StructuralCtx<'_> {
+        StructuralCtx {
+            kinds: &self.kinds,
+            config: &self.config,
+            all: &self.all,
+            lift_free: &self.lift_free,
+        }
+    }
+}
+
+/// Candidate derivations produced by one chunk of a round.
+type RoundOut = Vec<(Fact, Provenance, bool)>;
+
+/// One chunk of a round's delta, dispatched to the worker pool.
+struct RoundJob {
+    ctx: Arc<RoundCtx>,
+    chunk: Vec<Fact>,
+    seq: usize,
+    results: mpsc::Sender<(usize, RoundOut)>,
+}
+
+/// The process-wide closure worker pool: long-lived threads fed chunked
+/// rounds over a shared queue. Earlier the engine spawned a fresh
+/// `crossbeam::thread::scope` per fixpoint round, paying thread setup and
+/// teardown every round (measured in E13); the pool spawns its threads
+/// once, on first use, and they block on the queue between rounds.
+struct WorkerPool {
+    /// The job queue. Guarded by a mutex so concurrent closure
+    /// computations (e.g. parallel tests) can share the one pool.
+    jobs: Mutex<mpsc::Sender<RoundJob>>,
+    workers: usize,
+}
+
+fn worker_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let (jobs, queue) = mpsc::channel::<RoundJob>();
+        let queue = Arc::new(Mutex::new(queue));
+        for i in 0..workers {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("loosedb-closure-{i}"))
+                .spawn(move || loop {
+                    // Hold the queue lock only while dequeuing.
+                    let job = match queue.lock().expect("pool queue").recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    };
+                    let RoundJob { ctx, chunk, seq, results } = job;
+                    let mut out = RoundOut::new();
+                    {
+                        let rules = ctx.structural();
+                        for &f in &chunk {
+                            rules.apply_structural(f, &mut out);
+                        }
+                    }
+                    // Release our share of the round state *before*
+                    // reporting, so the engine thread's Arc::try_unwrap
+                    // reclaims the indexes as soon as all results are in.
+                    drop(ctx);
+                    let _ = results.send((seq, out));
+                })
+                .expect("spawn closure worker");
+        }
+        WorkerPool { jobs: Mutex::new(jobs), workers }
+    })
+}
+
 impl Engine<'_> {
+    /// The borrowed structural-rule state of this engine.
+    fn structural(&self) -> StructuralCtx<'_> {
+        StructuralCtx {
+            kinds: self.kinds,
+            config: self.config,
+            all: &self.all,
+            lift_free: &self.lift_free,
+        }
+    }
+
     /// Applies every enabled rule to the delta, accumulating candidate
     /// derivations in `pending`.
     ///
@@ -424,36 +516,19 @@ impl Engine<'_> {
             || self.config.synonym
             || self.config.inversion;
         if structural {
-            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            if delta.len() >= self.config.parallel_threshold && workers > 1 {
-                let chunk_size = delta.len().div_ceil(workers);
-                let engine = &*self;
-                let results: Vec<Vec<(Fact, Provenance, bool)>> =
-                    crossbeam::thread::scope(|scope| {
-                        let handles: Vec<_> = delta
-                            .chunks(chunk_size)
-                            .map(|part| {
-                                scope.spawn(move |_| {
-                                    let mut out = Vec::new();
-                                    for &f in part {
-                                        engine.apply_structural(f, &mut out);
-                                    }
-                                    out
-                                })
-                            })
-                            .collect();
-                        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-                    })
-                    .expect("closure worker panicked");
-                for out in results {
+            // The pool is only consulted (and lazily spawned) for deltas
+            // wide enough to clear the threshold.
+            let pool = (delta.len() >= self.config.parallel_threshold).then(worker_pool);
+            match pool {
+                Some(pool) if pool.workers > 1 => self.parallel_structural(delta, pool),
+                _ => {
+                    let rules = self.structural();
+                    let mut out = Vec::new();
+                    for &f in delta {
+                        rules.apply_structural(f, &mut out);
+                    }
                     self.pending.extend(out);
                 }
-            } else {
-                let mut out = Vec::new();
-                for &f in delta {
-                    self.apply_structural(f, &mut out);
-                }
-                self.pending.extend(out);
             }
         }
         if self.config.composition_enabled() {
@@ -469,19 +544,57 @@ impl Engine<'_> {
         Ok(())
     }
 
-    /// The §3.1–3.4 rule groups for one delta fact.
-    fn apply_structural(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
-        if self.config.generalization {
-            self.gen_rules(f, out);
+    /// Fans one round's delta out to the long-lived worker pool. The fact
+    /// indexes are *moved* (not copied) into a shared [`RoundCtx`], the
+    /// chunks are processed on the pool threads, the per-chunk outputs are
+    /// merged in chunk order — so the result is identical to the
+    /// sequential path — and the indexes are reclaimed afterwards.
+    fn parallel_structural(&mut self, delta: &[Fact], pool: &WorkerPool) {
+        let chunk_size = delta.len().div_ceil(pool.workers);
+        let mut ctx = Arc::new(RoundCtx {
+            kinds: self.kinds.clone(),
+            config: self.config.clone(),
+            all: std::mem::take(&mut self.all),
+            lift_free: std::mem::take(&mut self.lift_free),
+        });
+        let (results, collect) = mpsc::channel();
+        let mut sent = 0;
+        {
+            let jobs = pool.jobs.lock().expect("pool queue");
+            for (seq, chunk) in delta.chunks(chunk_size).enumerate() {
+                jobs.send(RoundJob {
+                    ctx: Arc::clone(&ctx),
+                    chunk: chunk.to_vec(),
+                    seq,
+                    results: results.clone(),
+                })
+                .expect("worker pool alive");
+                sent += 1;
+            }
         }
-        if self.config.membership {
-            self.member_rules(f, out);
+        drop(results);
+        let mut outs: Vec<RoundOut> = (0..sent).map(|_| RoundOut::new()).collect();
+        for _ in 0..sent {
+            let (seq, out) = collect.recv().expect("closure worker panicked");
+            outs[seq] = out;
         }
-        if self.config.synonym {
-            self.syn_rules(f, out);
-        }
-        if self.config.inversion {
-            self.inv_rules(f, out);
+        // Every worker drops its Arc before reporting its result, so once
+        // all results are in, the indexes can be reclaimed without a copy.
+        // The yield loop covers the tiny window between a worker's final
+        // drop and the refcount becoming visible here.
+        let ctx = loop {
+            match Arc::try_unwrap(ctx) {
+                Ok(owned) => break owned,
+                Err(shared) => {
+                    ctx = shared;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        self.all = ctx.all;
+        self.lift_free = ctx.lift_free;
+        for out in outs {
+            self.pending.extend(out);
         }
     }
 
@@ -557,6 +670,41 @@ impl Engine<'_> {
         }
         // User-rule heads state exact facts (like base assertions).
         self.pending.push((fact, prov, true));
+    }
+}
+
+/// The borrowed state the §3.1–3.4 structural rule groups read: pure joins
+/// against the immutable fact set of the previous round. Factored out of
+/// [`Engine`] so the same rule code runs both inline on the engine's
+/// thread and, for wide deltas, on the long-lived worker pool (which gets
+/// an owned, shareable snapshot of this state — see [`RoundCtx`]).
+struct StructuralCtx<'a> {
+    kinds: &'a KindRegistry,
+    config: &'a InferenceConfig,
+    all: &'a TripleIndex,
+    lift_free: &'a TripleIndex,
+}
+
+impl StructuralCtx<'_> {
+    /// The §3.1–3.4 rule groups for one delta fact.
+    fn apply_structural(&self, f: Fact, out: &mut Vec<(Fact, Provenance, bool)>) {
+        if self.config.generalization {
+            self.gen_rules(f, out);
+        }
+        if self.config.membership {
+            self.member_rules(f, out);
+        }
+        if self.config.synonym {
+            self.syn_rules(f, out);
+        }
+        if self.config.inversion {
+            self.inv_rules(f, out);
+        }
+    }
+
+    /// True if the fact has a known target-lift-free derivation.
+    fn is_lift_free(&self, f: &Fact) -> bool {
+        always_exact(f.r) || self.lift_free.contains(f)
     }
 
     // ------------------------------------------------------------------
@@ -855,7 +1003,9 @@ impl Engine<'_> {
             );
         }
     }
+}
 
+impl Engine<'_> {
     fn composition_rules(
         &self,
         f: Fact,

@@ -16,9 +16,7 @@
 //!   it introduces no *new* integrity violation, otherwise it is rolled
 //!   back and the offending violations are returned.
 
-use loosedb_store::{
-    log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore, LogOp,
-};
+use loosedb_store::{log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore};
 
 use crate::closure::{self, Closure, ClosureError, Provenance, Strategy, Violation};
 use crate::config::{InferenceConfig, RuleGroup};
@@ -244,13 +242,18 @@ impl Database {
 
     fn log_op(&mut self, f: &Fact, insert: bool) {
         let Some(wal) = &mut self.wal else { return };
-        let s = self.store.value(f.s).clone();
-        let r = self.store.value(f.r).clone();
-        let t = self.store.value(f.t).clone();
+        let s = self.store.value(f.s);
+        let r = self.store.value(f.r);
+        let t = self.store.value(f.t);
         if s.as_path().is_some() || r.as_path().is_some() || t.as_path().is_some() {
             return; // derived path entities are not logged
         }
-        wal.append(&if insert { LogOp::Insert(s, r, t) } else { LogOp::Remove(s, r, t) });
+        // Frames are encoded straight from the borrows; nothing is cloned.
+        if insert {
+            wal.insert_ref(s, r, t);
+        } else {
+            wal.remove_ref(s, r, t);
+        }
     }
 
     /// True if `f` is a *base* fact (for closure membership see

@@ -49,6 +49,7 @@ pub mod mathrel;
 pub mod persist;
 pub mod prove;
 pub mod rule;
+pub mod shared;
 pub mod taxonomy;
 pub mod term;
 pub mod view;
@@ -61,6 +62,7 @@ pub use kind::{KindRegistry, RelKind};
 pub use mathrel::{MathMatchError, MathTruth};
 pub use prove::Prover;
 pub use rule::{Rule, RuleBuilder, RuleError, RuleKind, RuleSet};
+pub use shared::{Generation, SharedDatabase};
 pub use taxonomy::Taxonomy;
 pub use term::{Bindings, Template, Term, Var};
 pub use view::{ClosureView, FactView};

@@ -1,0 +1,375 @@
+//! Concurrent serving: snapshot-isolated reads over a single-writer
+//! database.
+//!
+//! The paper's browsing model (§4) is interactive neighborhood inspection
+//! by many independent sessions; [`crate::Database`] alone is
+//! single-threaded by construction because every read refreshes the cached
+//! closure through `&mut self`. [`SharedDatabase`] layers a copy-on-write
+//! **generation** scheme on top:
+//!
+//! * Readers call [`SharedDatabase::snapshot`] and receive an
+//!   `Arc<`[`Generation`]`>` — an immutable bundle of store, kind
+//!   registry, materialized closure, precomputed active domain and an
+//!   epoch number. They evaluate navigation, probing and queries against
+//!   [`Generation::view`] for as long as they like, entirely outside any
+//!   lock.
+//! * A single writer (serialized by an internal mutex) applies updates to
+//!   the owned [`Database`], re-derives the closure — through the
+//!   incremental [`crate::closure::extend`] fast path for insertions —
+//!   and *publishes* the next generation by swapping an `Arc` pointer
+//!   under a `parking_lot` write lock held only for the assignment.
+//!
+//! The result is snapshot isolation: a reader never observes a half-applied
+//! update (store and closure travel together in one generation), never
+//! blocks a writer, and is never blocked by one — the only shared lock is
+//! held for an `Arc` clone (readers) or a pointer store (the writer).
+//! Epochs increase by exactly one per published generation, which gives
+//! downstream caches a free invalidation key (see the generation-keyed
+//! query cache in `loosedb-browse`).
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use loosedb_store::{EntityId, EntityValue, Fact, FactStore, Interner};
+
+use crate::closure::{Closure, ClosureError};
+use crate::database::{Database, TransactionError};
+use crate::kind::KindRegistry;
+use crate::view::{compute_domain, ClosureView};
+
+/// One immutable published generation: everything a reader needs to
+/// evaluate retrieval, frozen at a single point in time.
+pub struct Generation {
+    epoch: u64,
+    store: FactStore,
+    kinds: KindRegistry,
+    closure: Closure,
+    domain: Vec<EntityId>,
+}
+
+impl Generation {
+    fn build(epoch: u64, db: &mut Database) -> Result<Self, ClosureError> {
+        db.refresh()?;
+        let closure = db.closure()?.clone();
+        Ok(Generation {
+            epoch,
+            store: db.store().clone(),
+            kinds: db.kinds().clone(),
+            domain: compute_domain(&closure),
+            closure,
+        })
+    }
+
+    /// The generation number: increases by exactly one per publish, so it
+    /// doubles as a cache-invalidation key.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen fact store.
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// The frozen entity interner.
+    pub fn interner(&self) -> &Interner {
+        self.store.interner()
+    }
+
+    /// The materialized closure of this generation.
+    pub fn closure(&self) -> &Closure {
+        &self.closure
+    }
+
+    /// The kind registry of this generation.
+    pub fn kinds(&self) -> &KindRegistry {
+        &self.kinds
+    }
+
+    /// Looks up an entity in the frozen interner.
+    pub fn lookup(&self, value: &EntityValue) -> Option<EntityId> {
+        self.store.lookup(value)
+    }
+
+    /// Looks up a symbol by name in the frozen interner.
+    pub fn lookup_symbol(&self, name: &str) -> Option<EntityId> {
+        self.store.lookup_symbol(name)
+    }
+
+    /// Renders an entity for display.
+    pub fn display(&self, id: EntityId) -> String {
+        self.store.display(id)
+    }
+
+    /// A retrieval view over this generation. Cheap — the active domain
+    /// was computed once at publish time and is borrowed, not rebuilt.
+    pub fn view(&self) -> ClosureView<'_> {
+        ClosureView::with_domain(&self.closure, self.store.interner(), &self.kinds, &self.domain)
+    }
+
+    /// A retrieval view that resolves entities through `interner` instead
+    /// of the generation's own.
+    ///
+    /// `interner` must be an *extension* of this generation's interner — a
+    /// clone that has only had further values appended (interners are
+    /// append-only, so every id the closure mentions resolves identically).
+    /// This is how a reader session evaluates a query mentioning constants
+    /// the frozen snapshot never interned: it parses against a private
+    /// extension and the extra ids, being beyond the snapshot's range,
+    /// simply match nothing.
+    pub fn view_with_interner<'a>(&'a self, interner: &'a Interner) -> ClosureView<'a> {
+        debug_assert!(
+            interner.len() >= self.interner().len(),
+            "interner must extend the generation's interner"
+        );
+        ClosureView::with_domain(&self.closure, interner, &self.kinds, &self.domain)
+    }
+}
+
+/// A concurrently readable database: immutable `Arc`-shared closure
+/// generations published by a single writer.
+///
+/// ```
+/// use loosedb_engine::{Database, SharedDatabase};
+/// use loosedb_engine::FactView;
+///
+/// let mut db = Database::new();
+/// db.add("JOHN", "isa", "EMPLOYEE");
+/// db.add("EMPLOYEE", "EARNS", "SALARY");
+/// let shared = SharedDatabase::new(db).unwrap();
+///
+/// // Readers hold generations; writers publish new ones.
+/// let before = shared.snapshot();
+/// shared.insert("MARY", "isa", "EMPLOYEE").unwrap();
+/// let after = shared.snapshot();
+///
+/// // The old generation still answers from its frozen state.
+/// assert!(before.lookup_symbol("MARY").is_none());
+/// let mary = after.lookup_symbol("MARY").unwrap();
+/// let earns = after.lookup_symbol("EARNS").unwrap();
+/// let salary = after.lookup_symbol("SALARY").unwrap();
+/// assert!(after.view().holds(&loosedb_store::Fact::new(mary, earns, salary)));
+/// assert_eq!(after.epoch(), before.epoch() + 1);
+/// ```
+pub struct SharedDatabase {
+    /// The current generation. Readers hold the lock just long enough to
+    /// clone the `Arc`; the writer holds it just long enough to store a
+    /// pointer — evaluation never happens under this lock.
+    current: RwLock<Arc<Generation>>,
+    /// The owned database, mutated by at most one writer at a time.
+    writer: Mutex<Database>,
+}
+
+impl SharedDatabase {
+    /// Takes ownership of a database, computes its closure and publishes
+    /// the first generation (epoch 1).
+    pub fn new(mut db: Database) -> Result<Self, ClosureError> {
+        let first = Generation::build(1, &mut db)?;
+        Ok(SharedDatabase { current: RwLock::new(Arc::new(first)), writer: Mutex::new(db) })
+    }
+
+    /// The current generation. Lock-free for all practical purposes: the
+    /// read lock is held only for an `Arc` clone, never during
+    /// evaluation, so an in-flight write delays a reader by at most one
+    /// pointer store.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The epoch of the current generation.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Publishes the writer database's current state as the next
+    /// generation. `db` must be the guard of `self.writer`.
+    fn publish(&self, db: &mut Database) -> Result<(), ClosureError> {
+        // Only the writer mutates `current`, and the caller holds the
+        // writer mutex, so reading the epoch outside the write lock is
+        // race-free.
+        let epoch = self.current.read().epoch;
+        let next = Generation::build(epoch + 1, db)?;
+        *self.current.write() = Arc::new(next);
+        Ok(())
+    }
+
+    /// Inserts a fact (unchecked, like [`Database::add`]) and publishes a
+    /// new generation. The closure is maintained incrementally
+    /// ([`crate::closure::extend`]); readers keep serving the previous
+    /// generation throughout.
+    pub fn insert(
+        &self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Result<Fact, ClosureError> {
+        let mut db = self.writer.lock();
+        let before = db.store().epoch();
+        let fact = db.add_incremental(s, r, t)?;
+        if db.store().epoch() != before {
+            self.publish(&mut db)?;
+        }
+        Ok(fact)
+    }
+
+    /// Transactionally inserts a fact ([`Database::try_add`] semantics):
+    /// on success a new generation is published; a rejected update
+    /// publishes nothing and readers never see it.
+    pub fn try_insert(
+        &self,
+        s: impl Into<EntityValue>,
+        r: impl Into<EntityValue>,
+        t: impl Into<EntityValue>,
+    ) -> Result<Fact, TransactionError> {
+        let mut db = self.writer.lock();
+        let before = db.store().epoch();
+        let fact = db.try_add(s, r, t)?;
+        if db.store().epoch() != before {
+            self.publish(&mut db)?;
+        }
+        Ok(fact)
+    }
+
+    /// Removes a base fact and publishes a new generation (removal falls
+    /// back to full closure recomputation — derived facts may lose
+    /// support).
+    pub fn remove(&self, f: &Fact) -> Result<bool, ClosureError> {
+        let mut db = self.writer.lock();
+        let removed = db.remove(f);
+        if removed {
+            self.publish(&mut db)?;
+        }
+        Ok(removed)
+    }
+
+    /// Applies an arbitrary batch of updates to the writer database, then
+    /// publishes exactly one new generation. Readers observe the batch
+    /// atomically: either the generation before all of `f`'s changes or
+    /// the one after all of them, never an intermediate state.
+    pub fn write<T>(&self, f: impl FnOnce(&mut Database) -> T) -> Result<T, ClosureError> {
+        let mut db = self.writer.lock();
+        let out = f(&mut db);
+        self.publish(&mut db)?;
+        Ok(out)
+    }
+
+    /// Consumes the shared database, returning the owned writer database.
+    pub fn into_inner(self) -> Database {
+        self.writer.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::FactView;
+    use loosedb_store::Pattern;
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let g1 = shared.snapshot();
+        assert_eq!(g1.epoch(), 1);
+        let n1 = g1.closure().len();
+
+        shared.insert("MARY", "isa", "EMPLOYEE").unwrap();
+        // The held generation is untouched; the new one has more facts.
+        assert_eq!(g1.closure().len(), n1);
+        assert!(g1.lookup_symbol("MARY").is_none());
+        let g2 = shared.snapshot();
+        assert_eq!(g2.epoch(), 2);
+        assert!(g2.closure().len() > n1);
+    }
+
+    #[test]
+    fn derived_facts_travel_with_the_generation() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        shared.insert("MARY", "isa", "EMPLOYEE").unwrap();
+        let g = shared.snapshot();
+        let mary = g.lookup_symbol("MARY").unwrap();
+        let earns = g.lookup_symbol("EARNS").unwrap();
+        let salary = g.lookup_symbol("SALARY").unwrap();
+        // Membership inference applied before publication.
+        assert!(g.view().holds(&Fact::new(mary, earns, salary)));
+    }
+
+    #[test]
+    fn rejected_transaction_publishes_nothing() {
+        let mut db = base();
+        db.add("LOVES", "contra", "HATES");
+        db.add("JOHN", "LOVES", "MARY");
+        let shared = SharedDatabase::new(db).unwrap();
+        let before = shared.epoch();
+        assert!(shared.try_insert("JOHN", "HATES", "MARY").is_err());
+        assert_eq!(shared.epoch(), before);
+        // An accepted transaction publishes exactly one generation.
+        shared.try_insert("JOHN", "LOVES", "SUE").unwrap();
+        assert_eq!(shared.epoch(), before + 1);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_publish() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let before = shared.epoch();
+        shared.insert("JOHN", "isa", "EMPLOYEE").unwrap();
+        assert_eq!(shared.epoch(), before);
+    }
+
+    #[test]
+    fn batched_write_publishes_once() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let before = shared.epoch();
+        shared
+            .write(|db| {
+                db.add("A", "LINKS", "B");
+                db.add("B", "LINKS", "C");
+                db.add("C", "LINKS", "D");
+            })
+            .unwrap();
+        assert_eq!(shared.epoch(), before + 1);
+        let g = shared.snapshot();
+        let links = g.lookup_symbol("LINKS").unwrap();
+        assert_eq!(g.view().matches(Pattern::from_rel(links)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn removal_publishes_recomputed_closure() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let g = shared.snapshot();
+        let john = g.lookup_symbol("JOHN").unwrap();
+        let isa = g.lookup_symbol("isa").unwrap();
+        let employee = g.lookup_symbol("EMPLOYEE").unwrap();
+        let earns = g.lookup_symbol("EARNS").unwrap();
+        let salary = g.lookup_symbol("SALARY").unwrap();
+        let derived = Fact::new(john, earns, salary);
+        assert!(g.view().holds(&derived));
+
+        assert!(shared.remove(&Fact::new(john, isa, employee)).unwrap());
+        let g2 = shared.snapshot();
+        // The derived fact lost its support and is gone in the new
+        // generation; the old generation still holds it.
+        assert!(!g2.view().holds(&derived));
+        assert!(g.view().holds(&derived));
+    }
+
+    #[test]
+    fn view_with_extended_interner_matches_nothing_for_new_ids() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let g = shared.snapshot();
+        let mut ext = g.interner().clone();
+        let ghost = ext.symbol("NEVER-STORED");
+        let view = g.view_with_interner(&ext);
+        assert!(view.matches(Pattern::from_source(ghost)).unwrap().is_empty());
+        // Known ids resolve identically through the extension.
+        let john = g.lookup_symbol("JOHN").unwrap();
+        assert_eq!(view.matches(Pattern::from_source(john)).unwrap().len(), 2);
+    }
+}

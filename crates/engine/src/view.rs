@@ -17,6 +17,7 @@
 //! [`ClosureView`] merges all three into the pattern-matching contract:
 //! every fact returned for a pattern *matches the pattern as written*.
 
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 
 use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
@@ -51,24 +52,43 @@ pub trait FactView {
     fn domain(&self) -> &[EntityId];
 }
 
+/// Computes the active domain of a closure: every entity occurring in it,
+/// sorted and deduplicated. O(closure).
+pub fn compute_domain(closure: &Closure) -> Vec<EntityId> {
+    let mut domain: BTreeSet<EntityId> = BTreeSet::new();
+    for f in closure.iter() {
+        domain.insert(f.s);
+        domain.insert(f.r);
+        domain.insert(f.t);
+    }
+    domain.into_iter().collect()
+}
+
 /// The standard [`FactView`] over a computed [`Closure`].
 pub struct ClosureView<'a> {
     closure: &'a Closure,
     interner: &'a Interner,
     kinds: &'a KindRegistry,
-    domain: Vec<EntityId>,
+    domain: Cow<'a, [EntityId]>,
 }
 
 impl<'a> ClosureView<'a> {
     /// Builds a view (computes the active domain once, O(closure)).
     pub fn new(closure: &'a Closure, interner: &'a Interner, kinds: &'a KindRegistry) -> Self {
-        let mut domain: BTreeSet<EntityId> = BTreeSet::new();
-        for f in closure.iter() {
-            domain.insert(f.s);
-            domain.insert(f.r);
-            domain.insert(f.t);
-        }
-        ClosureView { closure, interner, kinds, domain: domain.into_iter().collect() }
+        ClosureView { closure, interner, kinds, domain: Cow::Owned(compute_domain(closure)) }
+    }
+
+    /// Builds a view over a precomputed domain (must be the
+    /// [`compute_domain`] of `closure`). Lets callers that serve many
+    /// views over one immutable closure — e.g. a published
+    /// [`crate::shared::Generation`] — skip the O(closure) domain scan.
+    pub fn with_domain(
+        closure: &'a Closure,
+        interner: &'a Interner,
+        kinds: &'a KindRegistry,
+        domain: &'a [EntityId],
+    ) -> Self {
+        ClosureView { closure, interner, kinds, domain: Cow::Borrowed(domain) }
     }
 
     /// The underlying closure.

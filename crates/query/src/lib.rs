@@ -39,4 +39,4 @@ pub mod parser;
 
 pub use ast::{Formula, Query};
 pub use eval::{eval, eval_with, explain_plan, Answer, AtomOrdering, EvalError, EvalOptions};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_frozen, FrozenParseError, ParseError};

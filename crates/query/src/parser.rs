@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use loosedb_engine::{Term, Var};
-use loosedb_store::{EntityValue, Interner};
+use loosedb_store::{EntityId, EntityValue, Interner};
 
 use crate::ast::{Formula, Query};
 
@@ -51,6 +51,45 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Why a frozen-interner parse ([`parse_frozen`]) failed.
+///
+/// `UnknownConstant` is not a syntax error: the query is well-formed but
+/// mentions an entity the read-only interner has never seen. Callers
+/// serving reads over an immutable snapshot use this signal to retry with
+/// a private, extendable interner clone (see `SharedSession` in
+/// `loosedb-browse`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrozenParseError {
+    /// The input is syntactically invalid.
+    Parse(ParseError),
+    /// The input is valid but names a constant absent from the interner.
+    UnknownConstant {
+        /// Byte offset of the constant in the input.
+        position: usize,
+        /// The constant that could not be resolved.
+        value: EntityValue,
+    },
+}
+
+impl fmt::Display for FrozenParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrozenParseError::Parse(e) => e.fmt(f),
+            FrozenParseError::UnknownConstant { position, value } => {
+                write!(f, "unknown constant {value} at byte {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrozenParseError {}
+
+impl From<ParseError> for FrozenParseError {
+    fn from(e: ParseError) -> Self {
+        FrozenParseError::Parse(e)
+    }
+}
 
 #[derive(Clone, Debug, PartialEq)]
 enum Token {
@@ -250,7 +289,7 @@ pub fn parse(src: &str, interner: &mut Interner) -> Result<Query, ParseError> {
     let mut parser = Parser {
         tokens,
         pos: 0,
-        interner,
+        interner: Access::Mut(interner),
         var_names: Vec::new(),
         var_ids: HashMap::new(),
         declared_free: None,
@@ -260,10 +299,73 @@ pub fn parse(src: &str, interner: &mut Interner) -> Result<Query, ParseError> {
     Ok(query)
 }
 
+/// Parses a query against a read-only interner: constants are looked up,
+/// never interned, so a frozen snapshot (a published closure generation)
+/// can serve query parsing without mutation. A constant the interner has
+/// never seen yields [`FrozenParseError::UnknownConstant`] rather than a
+/// syntax error.
+pub fn parse_frozen(src: &str, interner: &Interner) -> Result<Query, FrozenParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        interner: Access::Frozen { interner, miss: None },
+        var_names: Vec::new(),
+        var_ids: HashMap::new(),
+        declared_free: None,
+        quantified: Vec::new(),
+    };
+    match parser.parse_query() {
+        Ok(query) => Ok(query),
+        Err(parse_err) => match parser.interner {
+            // An unknown constant surfaces as a ParseError internally so
+            // the recursive-descent plumbing stays uniform; the recorded
+            // miss distinguishes it from a genuine syntax error.
+            Access::Frozen { miss: Some((position, value)), .. } => {
+                Err(FrozenParseError::UnknownConstant { position, value })
+            }
+            _ => Err(parse_err.into()),
+        },
+    }
+}
+
+/// How the parser resolves entity constants: by interning into a mutable
+/// interner (classic [`parse`]) or by lookup against a frozen one
+/// ([`parse_frozen`]).
+enum Access<'a> {
+    Mut(&'a mut Interner),
+    Frozen { interner: &'a Interner, miss: Option<(usize, EntityValue)> },
+}
+
+impl Access<'_> {
+    fn resolve(&mut self, value: EntityValue, position: usize) -> Result<EntityId, ParseError> {
+        match self {
+            Access::Mut(interner) => Ok(interner.intern(value)),
+            Access::Frozen { interner, miss } => match interner.lookup(&value) {
+                Some(id) => Ok(id),
+                None => {
+                    let message = format!("unknown constant {value}");
+                    if miss.is_none() {
+                        *miss = Some((position, value));
+                    }
+                    Err(ParseError { position, message })
+                }
+            },
+        }
+    }
+
+    fn lookup_symbol(&self, name: &str) -> Option<EntityId> {
+        match self {
+            Access::Mut(interner) => interner.lookup_symbol(name),
+            Access::Frozen { interner, .. } => interner.lookup_symbol(name),
+        }
+    }
+}
+
 struct Parser<'a> {
     tokens: Vec<(usize, Token)>,
     pos: usize,
-    interner: &'a mut Interner,
+    interner: Access<'a>,
     var_names: Vec<String>,
     var_ids: HashMap<String, Var>,
     declared_free: Option<Vec<Var>>,
@@ -490,6 +592,7 @@ impl Parser<'_> {
     }
 
     fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let position = self.tokens.get(self.pos).map_or(usize::MAX, |(p, _)| *p);
         match self.next() {
             Some(Token::QMark) => match self.next() {
                 Some(Token::Ident(name)) => Ok(Term::Var(self.named_var(&name))),
@@ -497,13 +600,17 @@ impl Parser<'_> {
             },
             Some(Token::Star) => Ok(Term::Var(self.fresh_var("_"))),
             Some(Token::Ident(name)) => {
-                Ok(Term::Const(self.interner.intern(EntityValue::symbol(name))))
+                Ok(Term::Const(self.interner.resolve(EntityValue::symbol(name), position)?))
             }
             Some(Token::Quoted(text)) => {
-                Ok(Term::Const(self.interner.intern(EntityValue::symbol(text))))
+                Ok(Term::Const(self.interner.resolve(EntityValue::symbol(text), position)?))
             }
-            Some(Token::Int(i)) => Ok(Term::Const(self.interner.intern(EntityValue::Int(i)))),
-            Some(Token::Float(f)) => Ok(Term::Const(self.interner.intern(EntityValue::float(f)))),
+            Some(Token::Int(i)) => {
+                Ok(Term::Const(self.interner.resolve(EntityValue::Int(i), position)?))
+            }
+            Some(Token::Float(f)) => {
+                Ok(Term::Const(self.interner.resolve(EntityValue::float(f), position)?))
+            }
             Some(Token::Cmp(op)) => Ok(Term::Const(
                 self.interner.lookup_symbol(op).expect("comparators are pre-interned"),
             )),
@@ -666,6 +773,45 @@ mod tests {
         let (q, _) = parse_ok("(exists ?x . (?x, R, B)) & (?x, S, C)");
         // The second ?x is free; the first is bound.
         assert_eq!(q.free.len(), 1);
+    }
+
+    #[test]
+    fn frozen_parse_resolves_known_constants() {
+        let mut interner = Interner::new();
+        parse("(JOHN, LIKES, 42)", &mut interner).unwrap();
+        let frozen = parse_frozen("(JOHN, LIKES, 42)", &interner).unwrap();
+        let john = interner.lookup_symbol("JOHN").unwrap();
+        assert_eq!(frozen.formula.atoms()[0].s, Term::Const(john));
+        // No mutation: the interner is untouched by construction (shared ref).
+        assert!(interner.lookup_symbol("MARY").is_none());
+    }
+
+    #[test]
+    fn frozen_parse_reports_unknown_constant() {
+        let mut interner = Interner::new();
+        parse("(JOHN, LIKES, FELIX)", &mut interner).unwrap();
+        let err = parse_frozen("(JOHN, LIKES, MARY)", &interner).unwrap_err();
+        match err {
+            FrozenParseError::UnknownConstant { value, .. } => {
+                assert_eq!(value, EntityValue::symbol("MARY"));
+            }
+            other => panic!("expected UnknownConstant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_parse_distinguishes_syntax_errors() {
+        let interner = Interner::new();
+        let err = parse_frozen("(?x, ?y", &interner).unwrap_err();
+        assert!(matches!(err, FrozenParseError::Parse(_)));
+    }
+
+    #[test]
+    fn frozen_parse_handles_comparators_and_variables() {
+        let interner = Interner::new();
+        // Comparators are pre-interned; variables never touch the interner.
+        let q = parse_frozen("(?x, >, ?y)", &interner).unwrap();
+        assert_eq!(q.formula.atoms()[0].r, Term::Const(special::GT));
     }
 
     #[test]

@@ -66,15 +66,21 @@ impl LogOp {
 /// # Panics
 /// Panics if any value is a path entity (derived data; see [`FactLog`]).
 pub fn encode_frame(op: &LogOp) -> Vec<u8> {
-    for v in op.values() {
+    encode_frame_parts(op.tag(), op.values())
+}
+
+/// Encodes a frame straight from borrowed values — the zero-copy core of
+/// [`encode_frame`] and the `*_ref` appenders.
+fn encode_frame_parts(tag: u8, values: [&EntityValue; 3]) -> Vec<u8> {
+    for v in values {
         assert!(
             !matches!(v, EntityValue::Path(_)),
             "path entities are derived and cannot be logged"
         );
     }
     let mut payload = BytesMut::new();
-    payload.put_u8(op.tag());
-    for v in op.values() {
+    payload.put_u8(tag);
+    for v in values {
         codec::encode_value(&mut payload, v);
     }
     let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
@@ -128,6 +134,26 @@ impl FactLog {
         t: impl Into<EntityValue>,
     ) {
         self.append(&LogOp::Remove(s.into(), r.into(), t.into()));
+    }
+
+    /// Logs an insertion from borrowed values: the frame is encoded
+    /// directly from the borrows, so the hot write path never clones an
+    /// `EntityValue` just to log it.
+    ///
+    /// # Panics
+    /// Panics if any value is a path entity (derived data; see type docs).
+    pub fn insert_ref(&mut self, s: &EntityValue, r: &EntityValue, t: &EntityValue) {
+        self.buf.put_slice(&encode_frame_parts(OP_INSERT, [s, r, t]));
+        self.ops += 1;
+    }
+
+    /// Logs a removal from borrowed values (see [`FactLog::insert_ref`]).
+    ///
+    /// # Panics
+    /// Panics if any value is a path entity (derived data; see type docs).
+    pub fn remove_ref(&mut self, s: &EntityValue, r: &EntityValue, t: &EntityValue) {
+        self.buf.put_slice(&encode_frame_parts(OP_REMOVE, [s, r, t]));
+        self.ops += 1;
     }
 
     /// Number of logged operations.

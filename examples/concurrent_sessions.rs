@@ -1,0 +1,80 @@
+//! Concurrent browsing: several sessions on distinct threads sharing one
+//! `SharedDatabase`, with reads proceeding while a writer publishes.
+//!
+//! Each session holds an `Arc<SharedDatabase>` and snapshots an immutable
+//! closure generation per operation — no reader ever blocks on a write,
+//! and no write ever waits for readers to finish. The demo also shows the
+//! generation-keyed query cache: repeats hit the cache until a write
+//! publishes a new epoch.
+//!
+//! Run with `cargo run --example concurrent_sessions`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use loosedb::{Database, SharedDatabase, SharedSession};
+
+fn main() {
+    // The §2 world: employees, music, a taxonomy — built single-threaded,
+    // then handed to the concurrent serving layer.
+    let mut db = Database::new();
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("MARY", "isa", "EMPLOYEE");
+    db.add("EMPLOYEE", "EARNS", "SALARY");
+    db.add("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+    db.add("PC#9-WAM", "COMPOSED-BY", "MOZART");
+    db.add("MARY", "LIKES", "FELIX");
+    let shared = Arc::new(SharedDatabase::new(db).expect("initial closure"));
+    println!("published generation {} to all sessions\n", shared.epoch());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut browsers = Vec::new();
+    for (who, focus) in [("alice", "JOHN"), ("bob", "MARY"), ("carol", "MOZART")] {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        browsers.push(thread::spawn(move || {
+            // Each thread runs its own independent session: private focus
+            // history, private definitions, private query cache.
+            let mut session = SharedSession::new(shared);
+            let mut tables = 0usize;
+            let mut answers = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let table = session.focus(focus).expect("navigate");
+                tables += 1;
+                let employees = session.query("(?who, EARNS, SALARY)").expect("query");
+                answers += employees.len();
+                if tables == 1 {
+                    println!("[{who}] first look at {focus}:\n{table}");
+                }
+            }
+            let stats = session.cache_stats();
+            println!(
+                "[{who}] rendered {tables} tables, saw {answers} answer rows, \
+                 cache {} hits / {} misses (final epoch {})",
+                stats.hits,
+                stats.misses,
+                session.epoch(),
+            );
+        }));
+    }
+
+    // The writer publishes while the browsers above keep reading: every
+    // insert lands as a fresh generation; in-flight reads keep their
+    // snapshot, the next operation sees the new epoch.
+    for i in 0..20 {
+        shared.insert(format!("CONTRACTOR-{i}"), "isa", "EMPLOYEE").expect("insert");
+        thread::yield_now();
+    }
+    println!("\nwriter finished at epoch {}\n", shared.epoch());
+    stop.store(true, Ordering::Relaxed);
+    for b in browsers {
+        b.join().expect("browser thread");
+    }
+
+    // The final generation reflects every write, including inferred facts:
+    // each contractor EARNS SALARY by membership inference.
+    let mut session = SharedSession::new(Arc::clone(&shared));
+    let all = session.query("(?who, EARNS, SALARY)").expect("query");
+    println!("final generation: {} entities earn a salary", all.len());
+}

@@ -51,17 +51,18 @@ pub use loosedb_store as store;
 
 pub use loosedb_browse::{
     function, navigate, paths_between, probe, probe_text, relation, semantic_distance, try_entity,
-    Definitions, FunctionView, GroupedTable, NavigateOptions, ProbeOptions, ProbeOutcome,
-    ProbeReport, RelationTable, RetractionStep, Session, SessionError,
+    CacheStats, Definitions, FunctionView, GroupedTable, NavigateOptions, ProbeOptions,
+    ProbeOutcome, ProbeReport, RelationTable, RetractionStep, Session, SessionError, SharedSession,
 };
 pub use loosedb_engine::{
     Builtin, Closure, ClosureError, ClosureView, Database, DurableDatabase, DurableError, FactView,
-    InferenceConfig, KindRegistry, MathTruth, Provenance, Prover, RecoveryInfo, RelKind, Rule,
-    RuleGroup, RuleKind, Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var,
-    Violation,
+    Generation, InferenceConfig, KindRegistry, MathTruth, Provenance, Prover, RecoveryInfo,
+    RelKind, Rule, RuleGroup, RuleKind, SharedDatabase, Strategy, SyncPolicy, Taxonomy, Template,
+    Term, TransactionError, Var, Violation,
 };
 pub use loosedb_query::{
-    eval, eval_with, explain_plan, parse, Answer, AtomOrdering, EvalOptions, Formula, Query,
+    eval, eval_with, explain_plan, parse, parse_frozen, Answer, AtomOrdering, EvalOptions, Formula,
+    FrozenParseError, Query,
 };
 pub use loosedb_store::{
     special, EntityId, EntityValue, Fact, FactLog, FactStore, Interner, Pattern,

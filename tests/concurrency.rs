@@ -6,10 +6,13 @@
 //! the write lock, then share read guards — exactly what these tests
 //! exercise with `crossbeam::scope`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use parking_lot::RwLock;
 
 use loosedb::datagen::{company, university, CompanyConfig, UniversityConfig};
-use loosedb::{Database, Pattern, Session};
+use loosedb::{Database, FactView, Pattern, Session, SharedDatabase, SharedSession};
 
 #[test]
 fn parallel_readers_over_refreshed_database() {
@@ -99,6 +102,147 @@ fn store_snapshot_readable_while_database_evolves() {
     })
     .expect("threads");
     assert_eq!(db.base_len(), 150);
+}
+
+/// Satellite stress test (run it in `--release` so it actually races):
+/// readers iterate navigation tables and queries through `SharedSession`s
+/// while a writer churns inserts. Every reader must observe a single
+/// consistent generation per operation — each published closure contains
+/// the membership-inference consequence of every base fact it contains —
+/// and epochs must only move forward.
+#[test]
+fn shared_database_readers_observe_consistent_generations() {
+    let mut db = Database::new();
+    db.add("DEPT-SEED", "isa", "DEPARTMENT");
+    db.add("DEPARTMENT", "HAS", "BUDGET");
+    let shared = Arc::new(SharedDatabase::new(db).expect("closure"));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    crossbeam::thread::scope(|scope| {
+        for _reader in 0..4 {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move |_| {
+                let mut session = SharedSession::new(Arc::clone(&shared));
+                let mut last_epoch = 0u64;
+                let mut ops = 0usize;
+                while !stop.load(Ordering::Relaxed) || ops < 50 {
+                    let generation = shared.snapshot();
+                    // Epochs never go backwards.
+                    assert!(generation.epoch() >= last_epoch, "epoch regressed");
+                    last_epoch = generation.epoch();
+
+                    // No torn closure: every department the snapshot knows
+                    // has the derived (dept, HAS, BUDGET) consequence in
+                    // the SAME snapshot. A reader that saw the store of one
+                    // generation and the closure of another would fail.
+                    let view = generation.view();
+                    let isa = generation.lookup_symbol("isa").expect("seeded");
+                    let dept = generation.lookup_symbol("DEPARTMENT").expect("seeded");
+                    let has = generation.lookup_symbol("HAS").expect("seeded");
+                    let budget = generation.lookup_symbol("BUDGET").expect("seeded");
+                    let members =
+                        view.matches(Pattern::new(None, Some(isa), Some(dept))).expect("matches");
+                    assert!(!members.is_empty());
+                    for m in &members {
+                        assert!(
+                            view.holds(&loosedb::Fact::new(m.s, has, budget)),
+                            "torn closure: member without derived consequence"
+                        );
+                    }
+
+                    // The session API sees the same consistency.
+                    let table = session.focus("DEPT-SEED").expect("focus");
+                    assert!(table.title_cells.contains(&"DEPARTMENT".to_string()));
+                    let answer = session.query("(?d, isa, DEPARTMENT)").expect("query");
+                    assert!(!answer.is_empty());
+                    ops += 1;
+                }
+            });
+        }
+
+        // Writer: churn inserts through the incremental path.
+        let epoch_before = shared.epoch();
+        for i in 0..60 {
+            shared.insert(format!("DEPT-{i}"), "isa", "DEPARTMENT").expect("insert");
+            std::thread::yield_now();
+        }
+        assert_eq!(shared.epoch(), epoch_before + 60, "one publish per insert");
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("threads");
+
+    // Final generation contains everything the writer added.
+    let generation = shared.snapshot();
+    let isa = generation.lookup_symbol("isa").unwrap();
+    let dept = generation.lookup_symbol("DEPARTMENT").unwrap();
+    let members = generation.view().matches(Pattern::new(None, Some(isa), Some(dept))).unwrap();
+    assert_eq!(members.len(), 61);
+}
+
+/// Batched writes are atomic: readers either see none or all of an L/R
+/// pair added inside one `write(..)` call — never a half-applied batch.
+#[test]
+fn shared_database_batches_are_atomic() {
+    let mut db = Database::new();
+    db.add("SEED", "L", "SEED");
+    db.add("SEED", "R", "SEED");
+    let shared = Arc::new(SharedDatabase::new(db).expect("closure"));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..3 {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move |_| {
+                while !stop.load(Ordering::Relaxed) {
+                    let generation = shared.snapshot();
+                    let view = generation.view();
+                    let l = generation.lookup_symbol("L").expect("seeded");
+                    let r = generation.lookup_symbol("R").expect("seeded");
+                    let lefts = view.matches(Pattern::from_rel(l)).expect("matches");
+                    let rights = view.matches(Pattern::from_rel(r)).expect("matches");
+                    // The L and R halves of each batch always arrive
+                    // together in one generation.
+                    assert_eq!(lefts.len(), rights.len(), "torn batch visible");
+                }
+            });
+        }
+
+        for i in 0..40 {
+            shared
+                .write(|db| {
+                    db.add(format!("N-{i}"), "L", "SEED");
+                    db.add(format!("N-{i}"), "R", "SEED");
+                })
+                .expect("write");
+        }
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("threads");
+}
+
+/// Incrementally published generations are byte-for-byte equivalent to a
+/// from-scratch closure over the same base facts.
+#[test]
+fn published_generation_matches_fresh_recompute() {
+    let mut db = Database::new();
+    db.add("A0", "isa", "KIND");
+    db.add("KIND", "OWNS", "THING");
+    let shared = SharedDatabase::new(db).expect("closure");
+    for i in 1..30 {
+        shared.insert(format!("A{i}"), "isa", "KIND").expect("insert");
+    }
+    let generation = shared.snapshot();
+
+    // Rebuild from the same base facts without any incremental step.
+    let mut fresh = Database::from_store(generation.store().clone());
+    fresh.refresh().expect("closure");
+    let fresh_closure = fresh.closure().expect("closure");
+    assert_eq!(generation.closure().len(), fresh_closure.len());
+    for f in generation.closure().iter() {
+        assert!(fresh_closure.contains(&f), "incremental-only fact {f:?}");
+    }
 }
 
 #[test]
