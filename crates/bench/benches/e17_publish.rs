@@ -1,0 +1,35 @@
+//! E17 — O(delta) generation publish over structurally-shared indexes.
+//!
+//! A single-fact write through `SharedDatabase::insert` extends the
+//! closure incrementally and publishes a new generation by path-copying
+//! O(log N) persistent-index nodes; everything untouched is shared by
+//! `Arc`. Expected shape: publish latency is flat in database size (the
+//! seed's deep-copy publish grew linearly), and taking a snapshot stays
+//! a pointer bump regardless of scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::shared_world;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_publish");
+    group.sample_size(10);
+    for facts in [50_000usize, 200_000] {
+        let (shared, _) = shared_world(facts);
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::new("single_fact_publish", facts), |b| {
+            b.iter(|| {
+                i += 1;
+                shared
+                    .insert(format!("E17-{i}"), "E17-LINK", format!("E17-{}", i / 2))
+                    .expect("insert")
+            })
+        });
+        group.bench_function(BenchmarkId::new("snapshot", facts), |b| {
+            b.iter(|| shared.snapshot().epoch())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

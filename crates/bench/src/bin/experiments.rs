@@ -1,7 +1,10 @@
 //! Regenerates every EXPERIMENTS.md table: one section per experiment
-//! E1–E16 (DESIGN.md §3), printed as markdown.
+//! E1–E17 (DESIGN.md §3), printed as markdown. E17 additionally writes
+//! its numbers to `BENCH_publish.json` so later PRs can track the
+//! publish-cost trajectory mechanically.
 //!
-//! Run with `cargo run -p loosedb-bench --release --bin experiments`.
+//! Run with `cargo run -p loosedb-bench --release --bin experiments`;
+//! pass experiment ids (`experiments e16 e17`) to run a subset.
 //! Timings are medians of several runs via `std::time::Instant`; the
 //! Criterion benches in `crates/bench/benches/` provide the
 //! statistically rigorous versions of the same measurements.
@@ -22,24 +25,61 @@ use loosedb_query::{eval, eval_with, parse, AtomOrdering, EvalOptions};
 use loosedb_store::{log, snapshot, FactLog, FactStore, Pattern};
 
 fn main() {
+    let only: Vec<String> = std::env::args().skip(1).collect();
+    let run = |id: &str| only.is_empty() || only.iter().any(|a| a.eq_ignore_ascii_case(id));
     println!("# loosedb experiments — measured results\n");
     println!("(regenerate with `cargo run -p loosedb-bench --release --bin experiments`)\n");
-    e01();
-    e02();
-    e03();
-    e04();
-    e05();
-    e06();
-    e07();
-    e08();
-    e09();
-    e10();
-    e11();
-    e12();
-    e13();
-    e14();
-    e15();
-    e16();
+    if run("e01") {
+        e01();
+    }
+    if run("e02") {
+        e02();
+    }
+    if run("e03") {
+        e03();
+    }
+    if run("e04") {
+        e04();
+    }
+    if run("e05") {
+        e05();
+    }
+    if run("e06") {
+        e06();
+    }
+    if run("e07") {
+        e07();
+    }
+    if run("e08") {
+        e08();
+    }
+    if run("e09") {
+        e09();
+    }
+    if run("e10") {
+        e10();
+    }
+    if run("e11") {
+        e11();
+    }
+    if run("e12") {
+        e12();
+    }
+    if run("e13") {
+        e13();
+    }
+    if run("e14") {
+        e14();
+    }
+    if run("e15") {
+        e15();
+    }
+    if run("e16") {
+        e16();
+    }
+    if run("e17") {
+        e17();
+    }
 }
 
 fn section(id: &str, title: &str, report: &Report, note: &str) {
@@ -725,5 +765,107 @@ fn e15() {
         "Shape: extending a warm closure costs only the new fact's consequence \
          cone (microseconds, size-independent); recomputation grows linearly with \
          the database. This is what makes transactional try_add practical.",
+    );
+}
+
+fn e17() {
+    use std::collections::BTreeSet;
+    use std::time::{Duration, Instant};
+    let mut report = Report::new(&[
+        "facts",
+        "publish (persistent)",
+        "seed-style clone publish",
+        "domain rescan alone",
+        "writes/s",
+        "read p50",
+        "read p99",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for facts in [50_000usize, 200_000, 500_000, 2_000_000] {
+        let (shared, nodes) = shared_world(facts);
+
+        // Median single-fact publish on the structurally-shared path.
+        let mut i = 0u64;
+        let (publish, _) = measure(9, || {
+            i += 1;
+            shared
+                .insert(format!("E17-A{i}"), "E17-LINK", format!("E17-A{}", i / 2))
+                .expect("insert")
+        });
+
+        // The seed's Generation::build deep-copied every ordered index
+        // (three rotations in the store, three in the closure) and
+        // rescanned the closure for the active domain on every publish.
+        // Reconstruct that cost from the same data so the comparison
+        // stays honest as the persistent path evolves.
+        let generation = shared.snapshot();
+        let key =
+            |f: loosedb_store::Fact| (f.s.index() as u32, f.r.index() as u32, f.t.index() as u32);
+        let base_keys: BTreeSet<(u32, u32, u32)> = generation.store().iter().map(key).collect();
+        let closure_keys: BTreeSet<(u32, u32, u32)> =
+            generation.closure().iter().map(key).collect();
+        let (baseline, _) = measure(3, || {
+            for _ in 0..3 {
+                std::hint::black_box(base_keys.clone());
+                std::hint::black_box(closure_keys.clone());
+            }
+            loosedb_engine::view::compute_domain(generation.closure()).len()
+        });
+        let (rescan, _) =
+            measure(3, || loosedb_engine::view::compute_domain(generation.closure()).len());
+        drop((generation, base_keys, closure_keys));
+
+        // Sustained single-writer throughput, each write published.
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut writes = 0u64;
+        while start.elapsed() < window {
+            writes += 1;
+            shared
+                .insert(format!("E17-B{writes}"), "E17-LINK", format!("E17-B{}", writes / 2))
+                .expect("insert");
+        }
+        let wps = writes as f64 / start.elapsed().as_secs_f64();
+
+        // Read latency over snapshots (E4-style navigation, no writer).
+        let reads = run_mix(&shared, &nodes, 1, 0, Duration::from_millis(300));
+
+        report.row(&[
+            facts.to_string(),
+            fmt_duration(publish),
+            fmt_duration(baseline),
+            fmt_duration(rescan),
+            format!("{wps:.0}"),
+            fmt_duration(reads.p50),
+            fmt_duration(reads.p99),
+        ]);
+        json_rows.push(format!(
+            "    {{ \"facts\": {facts}, \"publish_ns\": {}, \"seed_clone_publish_ns\": {}, \
+             \"domain_rescan_ns\": {}, \"writes_per_sec\": {wps:.0}, \"read_p50_ns\": {}, \
+             \"read_p99_ns\": {} }}",
+            publish.as_nanos(),
+            baseline.as_nanos(),
+            rescan.as_nanos(),
+            reads.p50.as_nanos(),
+            reads.p99.as_nanos(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"E17\",\n  \"title\": \"O(delta) generation publish vs \
+         database size\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_publish.json", json).expect("write BENCH_publish.json");
+    section(
+        "E17",
+        "O(delta) generation publish: persistent indexes vs seed deep-copy",
+        &report,
+        "Shape: a single-fact publish path-copies O(log N) index nodes and bumps \
+         Arcs for everything else, so its latency is flat from 50k to 2M facts \
+         where the seed's deep-copy publish (six BTreeSet clones plus a full \
+         active-domain rescan, reconstructed above) grows linearly -- three \
+         orders of magnitude apart at 2M. Sustained write throughput holds \
+         correspondingly, and snapshot read latency matches E4/E16. Numbers \
+         also land in BENCH_publish.json for trend tracking.",
     );
 }

@@ -1,5 +1,5 @@
 //! Shared workload builders and measurement helpers for the loosedb
-//! evaluation (experiments E1–E13; see DESIGN.md §3 and EXPERIMENTS.md).
+//! evaluation (experiments E1–E17; see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! The paper (Motro, SIGMOD 1984) is a design paper with no evaluation
 //! section; these experiments quantify the costs it reasons about

@@ -20,17 +20,23 @@
 //!   ids below the snapshot's length resolve identically and the new ids
 //!   cannot occur in any closure fact — the query is answered exactly as
 //!   if the constants had been interned before the snapshot froze.
-//! * **Generation-keyed query cache.** Answers are cached per expanded
-//!   query text and invalidated wholesale when the epoch moves — the
-//!   publish counter doubles as a cache key, so no write tracking is
-//!   needed ([`CacheStats`] reports hit rates).
+//! * **Generation-keyed query cache with carry-over.** Answers are cached
+//!   per expanded query text. When the epoch moves, the session asks the
+//!   database *which relationships* the intervening publishes touched
+//!   ([`SharedDatabase::rels_changed_between`]) and drops only the cached
+//!   answers whose dependency relationships intersect the delta; every
+//!   other answer survives the write. Queries whose dependencies cannot
+//!   be pinned to frozen relationship constants (unbound relationship
+//!   positions, universal quantifiers, disjunctions, mathematical
+//!   comparators, extension-interned constants) are invalidated on any
+//!   epoch move, as before ([`CacheStats`] reports hit and carry rates).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use loosedb_engine::{Generation, SharedDatabase};
-use loosedb_query::{eval_with, Answer, FrozenParseError, Query};
-use loosedb_store::{EntityId, EntityValue, Interner, Pattern};
+use loosedb_query::{eval_with, Answer, Formula, FrozenParseError, Query};
+use loosedb_store::{special, EntityId, EntityValue, Interner, Pattern};
 
 use crate::navigate::{navigate, try_entity, NavigateOptions};
 use crate::operators::{relation, Definitions, FunctionView, RelationTable};
@@ -45,45 +51,121 @@ pub struct CacheStats {
     pub hits: u64,
     /// Answers that had to be evaluated.
     pub misses: u64,
+    /// Entries carried over a publish because their dependency
+    /// relationships were disjoint from the write delta.
+    pub carried: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum number of entries retained.
     pub capacity: usize,
 }
 
-/// An LRU map from expanded query text to its answer, valid for exactly
-/// one generation: the epoch is part of the state and any access under a
-/// newer epoch clears the map first.
+/// What a cached answer depends on — the invalidation granularity.
+#[derive(Clone, Debug)]
+enum Deps {
+    /// The answer can only change if a write touches one of these
+    /// relationship entities (all frozen-interned constants).
+    Rels(BTreeSet<EntityId>),
+    /// The answer may depend on anything (unbound relationship position,
+    /// `Δ` projection, math comparator, universal quantifier, disjunction,
+    /// or an extension-interned constant): drop it on any epoch move.
+    All,
+}
+
+/// Computes the relationships a query's answer can depend on.
+///
+/// Precise tracking requires every atom's relationship to be a constant
+/// interned *below* `frozen_len` (the snapshot's interner length): an
+/// extension-interned constant may be re-interned at a different id by a
+/// later writer, so its delta would not match ours. Structure that pulls
+/// in the whole database disqualifies too: `∀` ranges over the active
+/// domain, disjunctions pad columns from it, `Δ` in relationship position
+/// projects over every individual relationship, and mathematical
+/// comparators enumerate interned numbers (which writes extend).
+fn dependency_rels(query: &Query, frozen_len: usize) -> Deps {
+    fn walk(f: &Formula, frozen_len: usize, out: &mut BTreeSet<EntityId>) -> bool {
+        match f {
+            Formula::Atom(t) => {
+                let Some(r) = t.r.as_const() else { return false };
+                if special::is_math(r) || r == special::TOP || r.index() >= frozen_len {
+                    return false;
+                }
+                out.insert(r);
+                true
+            }
+            Formula::And(a, b) => walk(a, frozen_len, out) && walk(b, frozen_len, out),
+            Formula::Exists(_, a) => walk(a, frozen_len, out),
+            Formula::Or(..) | Formula::ForAll(..) => false,
+        }
+    }
+    let mut rels = BTreeSet::new();
+    if walk(&query.formula, frozen_len, &mut rels) {
+        Deps::Rels(rels)
+    } else {
+        Deps::All
+    }
+}
+
+struct CacheEntry {
+    last_used: u64,
+    answer: Arc<Answer>,
+    deps: Deps,
+}
+
+/// An LRU map from expanded query text to its answer plus the
+/// relationships the answer depends on. When the epoch moves, entries
+/// whose dependencies are disjoint from the publish delta's relationships
+/// are carried over; the rest (and every `Deps::All` entry) are dropped.
 struct QueryCache {
     capacity: usize,
     epoch: u64,
     tick: u64,
-    map: HashMap<String, (u64, Arc<Answer>)>,
+    map: HashMap<String, CacheEntry>,
     hits: u64,
     misses: u64,
+    carried: u64,
 }
 
 impl QueryCache {
     fn new(capacity: usize) -> Self {
-        QueryCache { capacity, epoch: 0, tick: 0, map: HashMap::new(), hits: 0, misses: 0 }
-    }
-
-    fn roll(&mut self, epoch: u64) {
-        if epoch != self.epoch {
-            self.map.clear();
-            self.epoch = epoch;
+        QueryCache {
+            capacity,
+            epoch: 0,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            carried: 0,
         }
     }
 
-    fn get(&mut self, epoch: u64, key: &str) -> Option<Arc<Answer>> {
-        self.roll(epoch);
+    /// Brings the cache up to `epoch`, keeping every entry the
+    /// intervening write deltas provably did not touch.
+    fn roll(&mut self, epoch: u64, shared: &SharedDatabase) {
+        if epoch == self.epoch {
+            return;
+        }
+        match shared.rels_changed_between(self.epoch, epoch) {
+            Some(changed) if !self.map.is_empty() => {
+                self.map.retain(|_, e| match &e.deps {
+                    Deps::Rels(d) => d.intersection(&changed).next().is_none(),
+                    Deps::All => false,
+                });
+                self.carried += self.map.len() as u64;
+            }
+            _ => self.map.clear(),
+        }
+        self.epoch = epoch;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<Answer>> {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
-            Some((last_used, answer)) => {
-                *last_used = tick;
+            Some(entry) => {
+                entry.last_used = tick;
                 self.hits += 1;
-                Some(Arc::clone(answer))
+                Some(Arc::clone(&entry.answer))
             }
             None => {
                 self.misses += 1;
@@ -92,28 +174,29 @@ impl QueryCache {
         }
     }
 
-    fn insert(&mut self, epoch: u64, key: String, answer: Arc<Answer>) {
+    fn insert(&mut self, key: String, answer: Arc<Answer>, deps: Deps) {
         if self.capacity == 0 {
             return;
         }
-        self.roll(epoch);
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             // O(n) eviction of the least-recently-used entry; capacities
             // are interactive-session sized, so a linked list would be
             // overkill.
-            if let Some(lru) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k.clone())
+            if let Some(lru) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&lru);
             }
         }
         self.tick += 1;
-        self.map.insert(key, (self.tick, answer));
+        self.map.insert(key, CacheEntry { last_used: self.tick, answer, deps });
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            carried: self.carried,
             len: self.map.len(),
             capacity: self.capacity,
         }
@@ -289,20 +372,24 @@ impl SharedSession {
         Ok(navigate(&generation.view(), pattern, &self.nav_opts)?)
     }
 
-    /// Evaluates a standard query. Answers are cached per generation: a
-    /// repeated query on an unchanged database is served from the cache,
-    /// and any published write invalidates every cached answer at once.
+    /// Evaluates a standard query. Answers are cached per expanded text;
+    /// a repeated query on an unchanged database is served from the
+    /// cache, and a published write invalidates only the cached answers
+    /// whose dependency relationships intersect the write delta (answers
+    /// that cannot be tracked precisely are dropped on any publish).
     pub fn query(&mut self, src: &str) -> Result<Arc<Answer>, SessionError> {
         let expanded = self.defs.maybe_expand(src)?;
         let generation = self.shared.snapshot();
-        if let Some(hit) = self.cache.get(generation.epoch(), &expanded) {
+        self.cache.roll(generation.epoch(), &self.shared);
+        if let Some(hit) = self.cache.get(&expanded) {
             return Ok(hit);
         }
         let eval_opts = self.probe_opts.eval;
         let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let deps = dependency_rels(&query, generation.interner().len());
         let view = generation.view_with_interner(interner);
         let answer = Arc::new(eval_with(&query, &view, eval_opts)?);
-        self.cache.insert(generation.epoch(), expanded, Arc::clone(&answer));
+        self.cache.insert(expanded, Arc::clone(&answer), deps);
         Ok(answer)
     }
 
@@ -440,6 +527,73 @@ mod tests {
         s.query("(JOHN, LIKES, ?x)").unwrap();
         assert_eq!(s.cache_stats().hits, before + 1, "LIKES must still be cached");
         assert_eq!(s.cache_stats().len, 2);
+    }
+
+    #[test]
+    fn cache_carries_answers_over_disjoint_writes() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        let likes = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let earns = s.query("(JOHN, EARNS, ?x)").unwrap();
+
+        // The write touches only FAVORITE-MUSIC; both cached answers
+        // depend on other relationships and must survive the publish.
+        db.insert("MARY", "FAVORITE-MUSIC", "PC#9-WAM").unwrap();
+        let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let earns2 = s.query("(JOHN, EARNS, ?x)").unwrap();
+        assert!(Arc::ptr_eq(&likes, &likes2), "disjoint write must not evict LIKES");
+        assert!(Arc::ptr_eq(&earns, &earns2), "disjoint write must not evict EARNS");
+        assert_eq!(s.cache_stats().carried, 2);
+    }
+
+    #[test]
+    fn cache_invalidates_only_entries_touching_the_write_delta() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        let likes = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let earns = s.query("(JOHN, EARNS, ?x)").unwrap();
+
+        db.insert("JOHN", "LIKES", "MARY").unwrap();
+        let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert_eq!(likes2.len(), 2, "stale LIKES answer must be re-evaluated");
+        assert!(!Arc::ptr_eq(&likes, &likes2));
+        let earns2 = s.query("(JOHN, EARNS, ?x)").unwrap();
+        assert!(Arc::ptr_eq(&earns, &earns2), "EARNS is untouched by a LIKES write");
+    }
+
+    #[test]
+    fn untrackable_queries_drop_on_any_publish() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        // The comparator atom enumerates interned numbers, so this answer
+        // cannot be pinned to relationship ids.
+        let src = "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, 20000)";
+        let cmp = s.query(src).unwrap();
+        db.insert("MARY", "FAVORITE-MUSIC", "PC#9-WAM").unwrap();
+        let cmp2 = s.query(src).unwrap();
+        assert!(!Arc::ptr_eq(&cmp, &cmp2), "math-dependent answers must not be carried");
+    }
+
+    #[test]
+    fn removals_clear_the_whole_cache() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        let likes = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let fact = {
+            let g = db.snapshot();
+            let i = g.interner();
+            loosedb_store::Fact::new(
+                i.lookup(&"JOHN".into()).unwrap(),
+                i.lookup(&"FAVORITE-MUSIC".into()).unwrap(),
+                i.lookup(&"PC#9-WAM".into()).unwrap(),
+            )
+        };
+        // Removal forces a full closure recomputation; the publish delta
+        // degrades to "anything may have changed" and the cache resets.
+        assert!(db.remove(&fact).unwrap());
+        let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert!(!Arc::ptr_eq(&likes, &likes2), "a removal must clear every entry");
+        assert_eq!(likes.as_ref(), likes2.as_ref(), "the answer itself is unchanged");
     }
 
     #[test]

@@ -24,11 +24,11 @@
 //! * inferred facts whose relationship is `Δ` or whose target is `Δ` (or
 //!   source `∇`) via the hierarchy bounds — same reason.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 use loosedb_store::{
-    special, EntityId, EntityValue, Fact, FactStore, Interner, Pattern, TripleIndex,
+    special, EntityId, EntityValue, Fact, FactStore, Interner, PMap, Pattern, TripleIndex,
 };
 
 use crate::config::InferenceConfig;
@@ -181,12 +181,79 @@ pub struct ClosureStats {
     pub duplicate_derivations: usize,
 }
 
+/// The active domain of a closure, maintained incrementally: for every
+/// entity, the number of closure fact positions mentioning it.
+///
+/// Backed by a persistent map so cloning it into a published generation is
+/// O(1) and each fact added by [`extend`] costs O(log D). The count keys,
+/// in ascending id order, *are* the active domain — the per-publish
+/// `compute_domain` rescan this replaces was O(closure · log D).
+/// The closure never shrinks in place (removals trigger a full
+/// recomputation), so no decrement path is needed.
+#[derive(Clone, Debug, Default)]
+pub struct DomainCounts {
+    counts: PMap<EntityId, u32>,
+}
+
+impl DomainCounts {
+    #[inline]
+    fn note(&mut self, e: EntityId) {
+        match self.counts.get_mut(&e) {
+            Some(c) => *c += 1,
+            None => {
+                self.counts.insert(e, 1);
+            }
+        }
+    }
+
+    /// Records one closure fact (three position mentions).
+    #[inline]
+    pub fn add_fact(&mut self, f: &Fact) {
+        self.note(f.s);
+        self.note(f.r);
+        self.note(f.t);
+    }
+
+    /// Number of distinct entities in the domain.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no entity occurs.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates the domain in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.counts.iter().map(|(k, _)| *k)
+    }
+
+    /// Materializes the domain as a sorted vector.
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        self.iter().collect()
+    }
+}
+
+/// What an incremental [`extend`] run changed.
+///
+/// Snapshot publishers use the relationship set to invalidate only the
+/// cached query answers that could observe the delta (see
+/// `loosedb-browse`'s session cache carry-over).
+#[derive(Clone, Debug, Default)]
+pub struct ExtendDelta {
+    /// Relationships of every fact the extension added to the closure
+    /// (base and derived), plus those upgraded to an exact derivation.
+    pub rels: BTreeSet<EntityId>,
+}
+
 /// The materialized closure of a fact set under a rule set.
 #[derive(Clone, Debug)]
 pub struct Closure {
     facts: TripleIndex,
     lift_free: TripleIndex,
-    provenance: HashMap<Fact, Provenance>,
+    provenance: PMap<Fact, Provenance>,
+    domain: DomainCounts,
     violations: Vec<Violation>,
     stats: ClosureStats,
 }
@@ -260,6 +327,12 @@ impl Closure {
     pub fn relationships(&self) -> Vec<EntityId> {
         self.facts.relationships()
     }
+
+    /// The incrementally maintained active domain (entity occurrence
+    /// counts over the materialized closure).
+    pub fn domain(&self) -> &DomainCounts {
+        &self.domain
+    }
 }
 
 /// Computes the closure of the store's facts under the configured rules.
@@ -286,7 +359,9 @@ pub fn compute(
         config,
         all: TripleIndex::new(),
         lift_free: TripleIndex::new(),
-        provenance: HashMap::new(),
+        provenance: PMap::new(),
+        domain: DomainCounts::default(),
+        added_rels: BTreeSet::new(),
         stats: ClosureStats::default(),
         pending: Vec::new(),
         violations: Vec::new(),
@@ -295,7 +370,9 @@ pub fn compute(
     let base: Vec<Fact> = store.iter().collect();
     engine.stats.base_facts = base.len();
     for f in &base {
-        engine.all.insert(*f);
+        if engine.all.insert(*f) {
+            engine.domain.add_fact(f);
+        }
         engine.lift_free.insert(*f);
     }
 
@@ -316,6 +393,7 @@ pub fn compute(
         facts: engine.all,
         lift_free: engine.lift_free,
         provenance: engine.provenance,
+        domain: engine.domain,
         violations: engine.violations,
         stats: engine.stats,
     })
@@ -341,7 +419,7 @@ pub fn extend(
     rules: &RuleSet,
     config: &InferenceConfig,
     new_facts: &[Fact],
-) -> Result<(), ClosureError> {
+) -> Result<ExtendDelta, ClosureError> {
     if config.composition_enabled() && config.composition_limit > 64 {
         return Err(ClosureError::UnboundedComposition);
     }
@@ -352,6 +430,8 @@ pub fn extend(
         all: std::mem::take(&mut closure.facts),
         lift_free: std::mem::take(&mut closure.lift_free),
         provenance: std::mem::take(&mut closure.provenance),
+        domain: std::mem::take(&mut closure.domain),
+        added_rels: BTreeSet::new(),
         stats: closure.stats,
         pending: Vec::new(),
         // Emit-time violations of the previous run are kept; the final
@@ -364,6 +444,8 @@ pub fn extend(
         debug_assert!(store.contains(&f), "extend() requires facts already in the store");
         if engine.all.insert(f) {
             engine.lift_free.insert(f);
+            engine.domain.add_fact(&f);
+            engine.added_rels.insert(f.r);
             engine.stats.base_facts += 1;
             delta.push(f);
         }
@@ -380,9 +462,10 @@ pub fn extend(
     closure.facts = engine.all;
     closure.lift_free = engine.lift_free;
     closure.provenance = engine.provenance;
+    closure.domain = engine.domain;
     closure.violations = engine.violations;
     closure.stats = engine.stats;
-    Ok(())
+    Ok(ExtendDelta { rels: engine.added_rels })
 }
 
 struct Engine<'a> {
@@ -398,7 +481,12 @@ struct Engine<'a> {
     /// fixpoint. `≺`/`∈`/`≈`/`⁺`/`⊥` facts are always exact (their
     /// "lifts" are crisp set-theoretic consequences).
     lift_free: TripleIndex,
-    provenance: HashMap<Fact, Provenance>,
+    provenance: PMap<Fact, Provenance>,
+    /// Active-domain occurrence counts, bumped for every fact that enters
+    /// `all` so publishers never rescan the closure.
+    domain: DomainCounts,
+    /// Relationships of facts added this run (reported by [`extend`]).
+    added_rels: BTreeSet<EntityId>,
     stats: ClosureStats,
     pending: Vec<(Fact, Provenance, bool)>,
     violations: Vec<Violation>,
@@ -608,6 +696,7 @@ impl Engine<'_> {
                 // *upgrade*: it re-enters the delta so inversion (which
                 // fires on exact facts only) gets a chance at it.
                 if lift_free && self.lift_free.insert(fact) {
+                    self.added_rels.insert(fact.r);
                     fresh.push(fact);
                 } else {
                     self.stats.duplicate_derivations += 1;
@@ -615,6 +704,8 @@ impl Engine<'_> {
                 continue;
             }
             self.all.insert(fact);
+            self.domain.add_fact(&fact);
+            self.added_rels.insert(fact.r);
             if lift_free {
                 self.lift_free.insert(fact);
             }

@@ -16,9 +16,11 @@
 //!   it introduces no *new* integrity violation, otherwise it is rolled
 //!   back and the offending violations are returned.
 
+use std::collections::BTreeSet;
+
 use loosedb_store::{log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore};
 
-use crate::closure::{self, Closure, ClosureError, Provenance, Strategy, Violation};
+use crate::closure::{self, Closure, ClosureError, ExtendDelta, Provenance, Strategy, Violation};
 use crate::config::{InferenceConfig, RuleGroup};
 use crate::kind::KindRegistry;
 use crate::rule::{Rule, RuleError, RuleSet};
@@ -53,6 +55,26 @@ impl From<ClosureError> for TransactionError {
     }
 }
 
+/// How the closure changed since the last [`Database::take_publish_delta`]
+/// drain — what a snapshot publisher needs to invalidate downstream caches
+/// precisely instead of wholesale.
+#[derive(Clone, Debug)]
+pub enum PublishDelta {
+    /// All changes are confined to facts whose relationship is in this
+    /// set (possibly empty: nothing changed). Cached answers that touch
+    /// none of these relationships are still valid.
+    Rels(BTreeSet<EntityId>),
+    /// The closure was fully recomputed (removal, rule/kind/config change,
+    /// or a cold cache); no cached answer can be trusted.
+    Full,
+}
+
+impl PublishDelta {
+    fn empty() -> Self {
+        PublishDelta::Rels(BTreeSet::new())
+    }
+}
+
 struct Cached {
     closure: Closure,
     store_epoch: u64,
@@ -72,6 +94,8 @@ pub struct Database {
     strategy: Strategy,
     cache: Option<Cached>,
     wal: Option<FactLog>,
+    /// Changes accumulated since the last [`Database::take_publish_delta`].
+    pending_delta: PublishDelta,
 }
 
 impl Database {
@@ -90,6 +114,7 @@ impl Database {
             strategy: Strategy::SemiNaive,
             cache: None,
             wal: None,
+            pending_delta: PublishDelta::empty(),
         }
     }
 
@@ -371,6 +396,9 @@ impl Database {
         if self.cache_is_fresh() {
             return Ok(());
         }
+        // A full recomputation can change any answer (removals, rule or
+        // kind toggles have non-monotone effects).
+        self.pending_delta = PublishDelta::Full;
         let closure = closure::compute(
             &mut self.store,
             &self.kinds,
@@ -457,7 +485,7 @@ impl Database {
             &[fact],
         );
         match extended {
-            Ok(()) => {
+            Ok(delta) => {
                 let new: Vec<Violation> = cached
                     .closure
                     .violations()
@@ -468,6 +496,7 @@ impl Database {
                 if new.is_empty() {
                     cached.store_epoch = self.store.epoch();
                     self.cache = Some(cached);
+                    self.note_extend_delta(delta);
                     // Committed: record in the write-ahead log (rejected
                     // transactions leave no trace).
                     self.log_op(&fact, true);
@@ -502,7 +531,7 @@ impl Database {
         }
         let mut cached = self.cache.take().expect("fresh after refresh");
         self.store.insert(fact);
-        closure::extend(
+        let delta = closure::extend(
             &mut cached.closure,
             &mut self.store,
             &self.kinds,
@@ -512,8 +541,24 @@ impl Database {
         )?;
         cached.store_epoch = self.store.epoch();
         self.cache = Some(cached);
+        self.note_extend_delta(delta);
         self.log_op(&fact, true);
         Ok(fact)
+    }
+
+    /// Folds an incremental-extension delta into the pending publish
+    /// delta (a `Full` marker absorbs everything).
+    fn note_extend_delta(&mut self, d: ExtendDelta) {
+        if let PublishDelta::Rels(rels) = &mut self.pending_delta {
+            rels.extend(d.rels);
+        }
+    }
+
+    /// Drains the description of everything that changed since the last
+    /// drain. Called by `SharedDatabase` at publish time so sessions can
+    /// keep cached answers whose relationships the delta never touched.
+    pub fn take_publish_delta(&mut self) -> PublishDelta {
+        std::mem::replace(&mut self.pending_delta, PublishDelta::empty())
     }
 
     // ------------------------------------------------------------------
@@ -780,5 +825,52 @@ mod tests {
         assert_eq!(db.closure().unwrap().len(), 1);
         db.include_rule("employees-earn");
         assert_eq!(db.closure().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn incremental_domain_counts_match_reference_scan() {
+        let mut db = Database::new();
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.add("MANAGER", "gen", "EMPLOYEE");
+        db.closure().unwrap();
+        // Extend the closure incrementally several times; the maintained
+        // occurrence counts must stay identical to the full rescan the
+        // seed performed on every publish.
+        db.add_incremental("JOHN", "isa", "EMPLOYEE").unwrap();
+        db.add_incremental("JOHN", "LIKES", "FELIX").unwrap();
+        db.add_incremental("DIRECTOR", "gen", "MANAGER").unwrap();
+        let closure = db.closure().unwrap();
+        let incremental = closure.domain().to_vec();
+        assert_eq!(incremental, crate::view::compute_domain(closure));
+    }
+
+    #[test]
+    fn publish_delta_tracks_rels_and_degrades_to_full() {
+        let mut db = Database::new();
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.closure().unwrap();
+        // The initial closure is a full computation.
+        assert!(matches!(db.take_publish_delta(), PublishDelta::Full));
+
+        // Incremental adds accumulate exactly the touched relationships
+        // (including derived facts: membership fires EARNS for JOHN).
+        db.add_incremental("JOHN", "isa", "EMPLOYEE").unwrap();
+        db.add_incremental("JOHN", "LIKES", "FELIX").unwrap();
+        let isa = special::ISA;
+        let earns = db.lookup_symbol("EARNS").unwrap();
+        let likes = db.lookup_symbol("LIKES").unwrap();
+        match db.take_publish_delta() {
+            PublishDelta::Rels(rels) => {
+                assert_eq!(rels, [isa, earns, likes].into_iter().collect());
+            }
+            PublishDelta::Full => panic!("incremental adds must stay precise"),
+        }
+
+        // A removal forces a recomputation: the next delta is Full.
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let felix = db.lookup_symbol("FELIX").unwrap();
+        assert!(db.remove(&Fact::new(john, likes, felix)));
+        db.closure().unwrap();
+        assert!(matches!(db.take_publish_delta(), PublishDelta::Full));
     }
 }

@@ -54,9 +54,12 @@ pub mod taxonomy;
 pub mod term;
 pub mod view;
 
-pub use closure::{Builtin, Closure, ClosureError, ClosureStats, Provenance, Strategy, Violation};
+pub use closure::{
+    Builtin, Closure, ClosureError, ClosureStats, DomainCounts, ExtendDelta, Provenance, Strategy,
+    Violation,
+};
 pub use config::{InferenceConfig, RuleGroup};
-pub use database::{Database, TransactionError};
+pub use database::{Database, PublishDelta, TransactionError};
 pub use durable::{DurableDatabase, DurableError, RecoveryInfo, SyncPolicy};
 pub use kind::{KindRegistry, RelKind};
 pub use mathrel::{MathMatchError, MathTruth};

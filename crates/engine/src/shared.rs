@@ -9,15 +9,27 @@
 //!
 //! * Readers call [`SharedDatabase::snapshot`] and receive an
 //!   `Arc<`[`Generation`]`>` — an immutable bundle of store, kind
-//!   registry, materialized closure, precomputed active domain and an
-//!   epoch number. They evaluate navigation, probing and queries against
-//!   [`Generation::view`] for as long as they like, entirely outside any
-//!   lock.
+//!   registry, materialized closure (with its incrementally maintained
+//!   active domain) and an epoch number. They evaluate navigation,
+//!   probing and queries against [`Generation::view`] for as long as they
+//!   like, entirely outside any lock.
 //! * A single writer (serialized by an internal mutex) applies updates to
 //!   the owned [`Database`], re-derives the closure — through the
 //!   incremental [`crate::closure::extend`] fast path for insertions —
 //!   and *publishes* the next generation by swapping an `Arc` pointer
 //!   under a `parking_lot` write lock held only for the assignment.
+//!
+//! Publishing is **O(delta · log N)**, not O(N): the store's triple
+//! indexes, the interner and the closure (facts, provenance, domain
+//! counts) are all persistent structures ([`loosedb_store::pindex`]), so
+//! [`Generation::build`] clones them by bumping reference counts and the
+//! writer's next update path-copies only the nodes it touches. E17
+//! measures the resulting flat publish latency from 50k to 2M facts.
+//!
+//! Each publish also records *which relationships* the write delta
+//! touched ([`crate::database::PublishDelta`]) in a bounded history ring;
+//! [`SharedDatabase::rels_changed_between`] lets session caches carry
+//! answers across epochs instead of discarding everything per publish.
 //!
 //! The result is snapshot isolation: a reader never observes a half-applied
 //! update (store and closure travel together in one generation), never
@@ -27,6 +39,7 @@
 //! downstream caches a free invalidation key (see the generation-keyed
 //! query cache in `loosedb-browse`).
 
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -34,9 +47,13 @@ use parking_lot::{Mutex, RwLock};
 use loosedb_store::{EntityId, EntityValue, Fact, FactStore, Interner};
 
 use crate::closure::{Closure, ClosureError};
-use crate::database::{Database, TransactionError};
+use crate::database::{Database, PublishDelta, TransactionError};
 use crate::kind::KindRegistry;
-use crate::view::{compute_domain, ClosureView};
+use crate::view::ClosureView;
+
+/// Publishes kept in the delta-relationship history ring. Sessions older
+/// than this many generations fall back to full cache invalidation.
+const DELTA_HISTORY: usize = 64;
 
 /// One immutable published generation: everything a reader needs to
 /// evaluate retrieval, frozen at a single point in time.
@@ -45,20 +62,19 @@ pub struct Generation {
     store: FactStore,
     kinds: KindRegistry,
     closure: Closure,
-    domain: Vec<EntityId>,
 }
 
 impl Generation {
+    /// Freezes the writer's current state. O(delta · log N): `refresh`
+    /// extends the closure incrementally, and every clone below is a
+    /// structural share (reference-count bumps on persistent-tree roots
+    /// and interner chunks), not a copy. The active domain travels inside
+    /// the closure as incrementally maintained occurrence counts — there
+    /// is no per-publish rescan of any kind.
     fn build(epoch: u64, db: &mut Database) -> Result<Self, ClosureError> {
         db.refresh()?;
         let closure = db.closure()?.clone();
-        Ok(Generation {
-            epoch,
-            store: db.store().clone(),
-            kinds: db.kinds().clone(),
-            domain: compute_domain(&closure),
-            closure,
-        })
+        Ok(Generation { epoch, store: db.store().clone(), kinds: db.kinds().clone(), closure })
     }
 
     /// The generation number: increases by exactly one per publish, so it
@@ -103,9 +119,10 @@ impl Generation {
     }
 
     /// A retrieval view over this generation. Cheap — the active domain
-    /// was computed once at publish time and is borrowed, not rebuilt.
+    /// is maintained incrementally by the closure and only materialized
+    /// if a universal quantifier asks for it.
     pub fn view(&self) -> ClosureView<'_> {
-        ClosureView::with_domain(&self.closure, self.store.interner(), &self.kinds, &self.domain)
+        ClosureView::new(&self.closure, self.store.interner(), &self.kinds)
     }
 
     /// A retrieval view that resolves entities through `interner` instead
@@ -123,7 +140,7 @@ impl Generation {
             interner.len() >= self.interner().len(),
             "interner must extend the generation's interner"
         );
-        ClosureView::with_domain(&self.closure, interner, &self.kinds, &self.domain)
+        ClosureView::new(&self.closure, interner, &self.kinds)
     }
 }
 
@@ -159,6 +176,10 @@ pub struct SharedDatabase {
     current: RwLock<Arc<Generation>>,
     /// The owned database, mutated by at most one writer at a time.
     writer: Mutex<Database>,
+    /// Ring of `(epoch, delta)` for the most recent publishes: which
+    /// relationships each generation's write delta touched. Lets session
+    /// caches invalidate per relationship instead of wholesale.
+    deltas: Mutex<VecDeque<(u64, PublishDelta)>>,
 }
 
 impl SharedDatabase {
@@ -166,7 +187,12 @@ impl SharedDatabase {
     /// the first generation (epoch 1).
     pub fn new(mut db: Database) -> Result<Self, ClosureError> {
         let first = Generation::build(1, &mut db)?;
-        Ok(SharedDatabase { current: RwLock::new(Arc::new(first)), writer: Mutex::new(db) })
+        db.take_publish_delta(); // epoch 1 is every session's floor
+        Ok(SharedDatabase {
+            current: RwLock::new(Arc::new(first)),
+            writer: Mutex::new(db),
+            deltas: Mutex::new(VecDeque::new()),
+        })
     }
 
     /// The current generation. Lock-free for all practical purposes: the
@@ -190,8 +216,50 @@ impl SharedDatabase {
         // race-free.
         let epoch = self.current.read().epoch;
         let next = Generation::build(epoch + 1, db)?;
+        let delta = db.take_publish_delta();
+        {
+            let mut deltas = self.deltas.lock();
+            deltas.push_back((epoch + 1, delta));
+            while deltas.len() > DELTA_HISTORY {
+                deltas.pop_front();
+            }
+        }
         *self.current.write() = Arc::new(next);
         Ok(())
+    }
+
+    /// The relationships touched by every publish in `(from, to]`, or
+    /// `None` if that cannot be answered precisely — some publish in the
+    /// span was a full recomputation (removal, rule/kind/config change),
+    /// or the span has left the bounded history ring. `None` means "assume
+    /// anything changed".
+    ///
+    /// A session holding cached answers valid at epoch `from` that has
+    /// just observed epoch `to` may keep every answer touching none of
+    /// the returned relationships.
+    pub fn rels_changed_between(&self, from: u64, to: u64) -> Option<BTreeSet<EntityId>> {
+        if from > to {
+            return None;
+        }
+        let mut rels = BTreeSet::new();
+        if from == to {
+            return Some(rels);
+        }
+        let deltas = self.deltas.lock();
+        let mut covered = 0u64;
+        for (epoch, delta) in deltas.iter() {
+            if *epoch <= from || *epoch > to {
+                continue;
+            }
+            match delta {
+                PublishDelta::Rels(r) => rels.extend(r.iter().copied()),
+                PublishDelta::Full => return None,
+            }
+            covered += 1;
+        }
+        // Every epoch in the span must still be in the ring; otherwise the
+        // answer would silently miss evicted deltas.
+        (covered == to - from).then_some(rels)
     }
 
     /// Inserts a fact (unchecked, like [`Database::add`]) and publishes a

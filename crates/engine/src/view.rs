@@ -17,7 +17,7 @@
 //! [`ClosureView`] merges all three into the pattern-matching contract:
 //! every fact returned for a pattern *matches the pattern as written*.
 
-use std::borrow::Cow;
+use std::cell::OnceCell;
 use std::collections::BTreeSet;
 
 use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
@@ -52,8 +52,13 @@ pub trait FactView {
     fn domain(&self) -> &[EntityId];
 }
 
-/// Computes the active domain of a closure: every entity occurring in it,
-/// sorted and deduplicated. O(closure).
+/// Computes the active domain of a closure by rescanning every fact:
+/// every entity occurring in it, sorted and deduplicated. O(closure).
+///
+/// Retrieval no longer uses this — the closure maintains its domain
+/// incrementally ([`Closure::domain`]) so publishing a generation never
+/// rescans — but it stays as the reference implementation the property
+/// tests compare the incremental counts against.
 pub fn compute_domain(closure: &Closure) -> Vec<EntityId> {
     let mut domain: BTreeSet<EntityId> = BTreeSet::new();
     for f in closure.iter() {
@@ -69,26 +74,18 @@ pub struct ClosureView<'a> {
     closure: &'a Closure,
     interner: &'a Interner,
     kinds: &'a KindRegistry,
-    domain: Cow<'a, [EntityId]>,
+    /// Sorted active domain, materialized from the closure's incremental
+    /// occurrence counts the first time a universal quantifier (or
+    /// disjunction padding) asks for it. Most queries never do, so view
+    /// construction is O(1).
+    domain: OnceCell<Vec<EntityId>>,
 }
 
 impl<'a> ClosureView<'a> {
-    /// Builds a view (computes the active domain once, O(closure)).
+    /// Builds a view. O(1): the active domain is maintained incrementally
+    /// by the closure and only materialized on first use.
     pub fn new(closure: &'a Closure, interner: &'a Interner, kinds: &'a KindRegistry) -> Self {
-        ClosureView { closure, interner, kinds, domain: Cow::Owned(compute_domain(closure)) }
-    }
-
-    /// Builds a view over a precomputed domain (must be the
-    /// [`compute_domain`] of `closure`). Lets callers that serve many
-    /// views over one immutable closure — e.g. a published
-    /// [`crate::shared::Generation`] — skip the O(closure) domain scan.
-    pub fn with_domain(
-        closure: &'a Closure,
-        interner: &'a Interner,
-        kinds: &'a KindRegistry,
-        domain: &'a [EntityId],
-    ) -> Self {
-        ClosureView { closure, interner, kinds, domain: Cow::Borrowed(domain) }
+        ClosureView { closure, interner, kinds, domain: OnceCell::new() }
     }
 
     /// The underlying closure.
@@ -242,7 +239,7 @@ impl FactView for ClosureView<'_> {
     }
 
     fn domain(&self) -> &[EntityId] {
-        &self.domain
+        self.domain.get_or_init(|| self.closure.domain().to_vec())
     }
 }
 

@@ -6,27 +6,74 @@
 //! entities of [`crate::special`] are interned eagerly at construction so
 //! their ids are compile-time constants.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::pindex::PMap;
 use crate::special;
 use crate::value::{EntityId, EntityValue};
+
+/// Values per copy-on-write chunk of the id → value table. A power of two
+/// keeps `resolve` a shift and a mask; 1024 bounds the bytes a writer
+/// re-copies when it appends to a chunk still shared with a snapshot.
+const CHUNK: usize = 1024;
+
+/// The id → value direction of the interner: a chunked vector whose chunks
+/// are `Arc`-shared. Cloning is O(len / CHUNK) pointer bumps; pushing
+/// copies at most one chunk (and only when a snapshot still shares it).
+#[derive(Clone, Debug, Default)]
+struct ChunkedValues {
+    chunks: Vec<Arc<Vec<EntityValue>>>,
+    len: usize,
+}
+
+impl ChunkedValues {
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<&EntityValue> {
+        if i >= self.len {
+            return None;
+        }
+        Some(&self.chunks[i / CHUNK][i % CHUNK])
+    }
+
+    fn push(&mut self, value: EntityValue) {
+        if self.len.is_multiple_of(CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let last = self.chunks.last_mut().expect("chunk just ensured");
+        Arc::make_mut(last).push(value);
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &EntityValue> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
 
 /// An append-only entity table.
 ///
 /// Interning the same value twice returns the same id; ids are dense and
 /// never reused, so `Vec`-indexed side tables keyed by `EntityId` are cheap.
+///
+/// Both directions of the mapping are structurally shared, so `clone` (the
+/// generation-publish path) costs O(len / CHUNK) reference-count bumps
+/// rather than a copy of every interned string: the value table is chunked
+/// behind `Arc`s and the reverse index is a persistent [`PMap`].
 #[derive(Clone, Debug)]
 pub struct Interner {
-    values: Vec<EntityValue>,
-    ids: HashMap<EntityValue, EntityId>,
+    values: ChunkedValues,
+    ids: PMap<EntityValue, EntityId>,
 }
 
 impl Interner {
     /// Creates an interner with the special entities pre-interned at their
     /// reserved identifiers.
     pub fn new() -> Self {
-        let mut interner =
-            Interner { values: Vec::with_capacity(64), ids: HashMap::with_capacity(64) };
+        let mut interner = Interner { values: ChunkedValues::default(), ids: PMap::new() };
         for name in special::NAMES {
             interner.intern(EntityValue::symbol(name));
         }
@@ -66,7 +113,7 @@ impl Interner {
     /// # Panics
     /// Panics if `id` was not produced by this interner.
     pub fn resolve(&self, id: EntityId) -> &EntityValue {
-        &self.values[id.index()]
+        self.values.get(id.index()).expect("id interned by this interner")
     }
 
     /// Resolves an id if it is valid for this interner.

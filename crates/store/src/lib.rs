@@ -15,9 +15,12 @@
 //! * [`special`] — the paper's special entities (`≺ ∈ ≈ ⁺ ⊥ Δ ∇` and the
 //!   mathematical comparators) at reserved ids.
 //! * [`Fact`] / [`Pattern`] — facts and storage-level match patterns.
-//! * [`FactStore`] — the store itself, with three rotated BTree indexes
+//! * [`FactStore`] — the store itself, with three rotated ordered indexes
 //!   answering every pattern shape in one range scan, plus an unindexed
 //!   scan baseline for the organization-vs-retrieval trade-off experiment.
+//! * [`pindex`] — the persistent (structurally shared) B-tree those
+//!   indexes are built on: `clone` is O(1), updates copy O(log N) nodes,
+//!   which is what makes snapshot publishing O(delta).
 //! * [`snapshot`] and [`log`] — point-in-time images and checksummed,
 //!   crash-recoverable operation logs.
 //! * [`io`] — atomic file replacement, CRC32, and a pluggable storage
@@ -44,6 +47,7 @@ pub mod index;
 pub mod interner;
 pub mod io;
 pub mod log;
+pub mod pindex;
 pub mod snapshot;
 pub mod special;
 pub mod store;
@@ -56,6 +60,7 @@ pub use index::TripleIndex;
 pub use interner::Interner;
 pub use io::{atomic_write, crc32, FaultIo, MemIo, RealIo, StorageIo};
 pub use log::{FactLog, LogOp};
+pub use pindex::{PMap, PSet};
 pub use store::{FactStore, StoreStats};
 pub use text::TextError;
 pub use value::{num_cmp, EntityId, EntityValue};

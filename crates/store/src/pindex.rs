@@ -1,0 +1,734 @@
+//! Persistent ordered containers: an immutable B-tree with `Arc`-shared
+//! nodes and path-copying updates.
+//!
+//! [`PMap`] and [`PSet`] are drop-in ordered containers whose `clone` is
+//! O(1) (a reference-count bump on the root) and whose `insert`/`remove`
+//! copy only the O(log N) nodes on the root-to-leaf path that actually
+//! changes — every untouched subtree is shared *by pointer* with all other
+//! clones. This is what makes generation publishing O(delta · log N): a
+//! published [`crate::TripleIndex`] generation and the writer's working
+//! copy share all but a handful of nodes.
+//!
+//! Two properties make the sharing safe:
+//!
+//! * Nodes are only reachable through `Arc`s and are never mutated while
+//!   shared: every write path goes through [`Arc::make_mut`], which mutates
+//!   in place when the node is uniquely owned (the common case for a
+//!   writer between publishes — "transient" mutation at ordinary B-tree
+//!   speed) and clones the node first when a snapshot still holds it.
+//! * Structure is a B+-tree: all entries live in leaves, interior nodes
+//!   hold only routing separators, so path copies never duplicate values
+//!   outside the touched leaf.
+//!
+//! The tree is parameterised over `K: Ord + Clone` / `V: Clone`; the store
+//! instantiates it with `[u32; 3]` rotation keys (see [`crate::TripleIndex`]),
+//! the interner with `EntityValue` keys, and the engine with `Fact`
+//! provenance entries and domain occurrence counts.
+
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Maximum entries per leaf and children per branch. 16 keeps nodes around
+/// a cache line or two for the store's 12-byte rotation keys while keeping
+/// path copies (the publish cost) small.
+const B: usize = 16;
+/// Minimum fill for non-root nodes.
+const MIN: usize = B / 2;
+
+enum Node<K, V> {
+    /// All entries live in leaves, in ascending key order.
+    Leaf { entries: Vec<(K, V)> },
+    /// Routing node: `children.len() == seps.len() + 1`; every key in
+    /// `children[..=i]` is `< seps[i]` and every key in `children[i+1..]`
+    /// is `>= seps[i]`. Separators may be stale copies of since-removed
+    /// keys; the invariant above is all routing needs.
+    Branch { seps: Vec<K>, children: Vec<Arc<Node<K, V>>> },
+}
+
+impl<K: Clone, V: Clone> Clone for Node<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Leaf { entries } => Node::Leaf { entries: entries.clone() },
+            Node::Branch { seps, children } => {
+                Node::Branch { seps: seps.clone(), children: children.clone() }
+            }
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for Node<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Leaf { entries } => f.debug_struct("Leaf").field("entries", entries).finish(),
+            Node::Branch { seps, children } => f
+                .debug_struct("Branch")
+                .field("seps", seps)
+                .field("children", &children.len())
+                .finish(),
+        }
+    }
+}
+
+/// Child index that may contain `key`: first child whose separator exceeds it.
+#[inline]
+fn route<K: Ord>(seps: &[K], key: &K) -> usize {
+    seps.partition_point(|s| s <= key)
+}
+
+/// A persistent ordered map. `clone` is O(1); `insert`/`remove` are
+/// O(log N) and copy only the touched root-to-leaf path when the tree is
+/// shared with another clone (pure in-place mutation otherwise).
+pub struct PMap<K, V> {
+    root: Arc<Node<K, V>>,
+    len: usize,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    #[inline]
+    fn clone(&self) -> Self {
+        Self { root: Arc::clone(&self.root), len: self.len }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        Self { root: Arc::new(Node::Leaf { entries: Vec::new() }), len: 0 }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PMap {{ len: {} }}", self.len)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops every entry (O(1) if other clones still share the nodes).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                        Ok(i) => Some(&entries[i].1),
+                        Err(_) => None,
+                    };
+                }
+                Node::Branch { seps, children } => node = &children[route(seps, key)],
+            }
+        }
+    }
+
+    /// True if the key is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Mutable lookup. Path-copies the nodes down to the key when the tree
+    /// is shared (even on a miss — prefer [`PMap::get`] to probe first
+    /// when misses are common).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        fn rec<'a, K: Ord + Clone, V: Clone>(
+            node: &'a mut Arc<Node<K, V>>,
+            key: &K,
+        ) -> Option<&'a mut V> {
+            match Arc::make_mut(node) {
+                Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                    Ok(i) => Some(&mut entries[i].1),
+                    Err(_) => None,
+                },
+                Node::Branch { seps, children } => {
+                    let ci = route(seps, key);
+                    rec(&mut children[ci], key)
+                }
+            }
+        }
+        rec(&mut self.root, key)
+    }
+
+    /// Inserts a key/value pair, returning the previous value if the key
+    /// was already present. Copies only the root-to-leaf path when shared.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = insert_rec(&mut self.root, key, value);
+        if let Some((sep, right)) = split {
+            let left =
+                std::mem::replace(&mut self.root, Arc::new(Node::Leaf { entries: Vec::new() }));
+            self.root = Arc::new(Node::Branch { seps: vec![sep], children: vec![left, right] });
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        // Probe first so a miss never path-copies shared nodes.
+        if !self.contains_key(key) {
+            return None;
+        }
+        let removed = remove_rec(&mut self.root, key);
+        debug_assert!(removed.is_some());
+        self.len -= 1;
+        // Collapse a root branch left with a single child.
+        loop {
+            let single = match &*self.root {
+                Node::Branch { children, .. } if children.len() == 1 => Arc::clone(&children[0]),
+                _ => break,
+            };
+            self.root = single;
+        }
+        removed
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// Iterates entries whose keys fall in `bounds`, in ascending order.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Range<'_, K, V> {
+        let mut stack = Vec::new();
+        match bounds.start_bound() {
+            Bound::Unbounded => stack.push((&*self.root, 0usize)),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let excl = matches!(bounds.start_bound(), Bound::Excluded(_));
+                let mut node = &*self.root;
+                loop {
+                    match node {
+                        Node::Branch { seps, children } => {
+                            let ci = route(seps, k);
+                            // Children before `ci` hold only keys below the
+                            // start bound; resume after `ci` once it drains.
+                            stack.push((node, ci + 1));
+                            node = &children[ci];
+                        }
+                        Node::Leaf { entries } => {
+                            let i = if excl {
+                                entries.partition_point(|(ek, _)| ek <= k)
+                            } else {
+                                entries.partition_point(|(ek, _)| ek < k)
+                            };
+                            stack.push((node, i));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => Bound::Unbounded,
+            Bound::Included(k) => Bound::Included(k.clone()),
+            Bound::Excluded(k) => Bound::Excluded(k.clone()),
+        };
+        Range { stack, end }
+    }
+
+    /// Calls `f` with the address of every node in the tree. Testing aid:
+    /// structural-sharing assertions compare the node sets of two clones
+    /// to prove untouched subtrees are pointer-equal.
+    pub fn for_each_node_addr(&self, f: &mut dyn FnMut(usize)) {
+        fn walk<K, V>(node: &Arc<Node<K, V>>, f: &mut dyn FnMut(usize)) {
+            f(Arc::as_ptr(node) as *const u8 as usize);
+            if let Node::Branch { children, .. } = &**node {
+                for c in children {
+                    walk(c, f);
+                }
+            }
+        }
+        walk(&self.root, f);
+    }
+}
+
+impl<K: Ord + Clone + PartialEq, V: Clone + PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+impl<K: Ord + Clone + Eq, V: Clone + Eq> Eq for PMap<K, V> {}
+
+/// Result of a recursive insert: previous value (replacement) and, on
+/// overflow, the separator plus new right sibling to graft into the parent.
+type Split<K, V> = Option<(K, Arc<Node<K, V>>)>;
+
+fn insert_rec<K: Ord + Clone, V: Clone>(
+    node: &mut Arc<Node<K, V>>,
+    key: K,
+    value: V,
+) -> (Option<V>, Split<K, V>) {
+    match Arc::make_mut(node) {
+        Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
+            Err(i) => {
+                entries.insert(i, (key, value));
+                if entries.len() > B {
+                    let right = entries.split_off(entries.len() / 2);
+                    let sep = right[0].0.clone();
+                    (None, Some((sep, Arc::new(Node::Leaf { entries: right }))))
+                } else {
+                    (None, None)
+                }
+            }
+        },
+        Node::Branch { seps, children } => {
+            let ci = route(seps, &key);
+            let (old, split) = insert_rec(&mut children[ci], key, value);
+            if let Some((sep, right)) = split {
+                seps.insert(ci, sep);
+                children.insert(ci + 1, right);
+                if children.len() > B {
+                    let mid = children.len() / 2;
+                    let right_children = children.split_off(mid);
+                    let right_seps = seps.split_off(mid);
+                    let promoted = seps.pop().expect("split branch has separators");
+                    let right =
+                        Arc::new(Node::Branch { seps: right_seps, children: right_children });
+                    return (old, Some((promoted, right)));
+                }
+            }
+            (old, None)
+        }
+    }
+}
+
+fn remove_rec<K: Ord + Clone, V: Clone>(node: &mut Arc<Node<K, V>>, key: &K) -> Option<V> {
+    match Arc::make_mut(node) {
+        Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => Some(entries.remove(i).1),
+            Err(_) => None,
+        },
+        Node::Branch { seps, children } => {
+            let ci = route(seps, key);
+            let removed = remove_rec(&mut children[ci], key)?;
+            if underfull(&children[ci]) {
+                rebalance(seps, children, ci);
+            }
+            Some(removed)
+        }
+    }
+}
+
+fn underfull<K, V>(node: &Arc<Node<K, V>>) -> bool {
+    match &**node {
+        Node::Leaf { entries } => entries.len() < MIN,
+        Node::Branch { children, .. } => children.len() < MIN,
+    }
+}
+
+fn can_lend<K, V>(node: &Arc<Node<K, V>>) -> bool {
+    match &**node {
+        Node::Leaf { entries } => entries.len() > MIN,
+        Node::Branch { children, .. } => children.len() > MIN,
+    }
+}
+
+/// Restores the fill invariant of `children[ci]` by borrowing from a
+/// sibling or merging with one. Called with `children[ci]` underfull.
+fn rebalance<K: Ord + Clone, V: Clone>(
+    seps: &mut Vec<K>,
+    children: &mut Vec<Arc<Node<K, V>>>,
+    ci: usize,
+) {
+    if ci > 0 && can_lend(&children[ci - 1]) {
+        borrow_from_left(seps, children, ci);
+    } else if ci + 1 < children.len() && can_lend(&children[ci + 1]) {
+        borrow_from_right(seps, children, ci);
+    } else if ci > 0 {
+        merge(seps, children, ci - 1);
+    } else {
+        merge(seps, children, ci);
+    }
+}
+
+/// Moves the last entry (or child) of `children[ci - 1]` to the front of
+/// `children[ci]`, rotating separators through the parent.
+fn borrow_from_left<K: Ord + Clone, V: Clone>(
+    seps: &mut [K],
+    children: &mut [Arc<Node<K, V>>],
+    ci: usize,
+) {
+    let (head, tail) = children.split_at_mut(ci);
+    let left = Arc::make_mut(&mut head[ci - 1]);
+    let cur = Arc::make_mut(&mut tail[0]);
+    match (left, cur) {
+        (Node::Leaf { entries: le }, Node::Leaf { entries: ce }) => {
+            let moved = le.pop().expect("lender is non-empty");
+            seps[ci - 1] = moved.0.clone();
+            ce.insert(0, moved);
+        }
+        (Node::Branch { seps: ls, children: lc }, Node::Branch { seps: cs, children: cc }) => {
+            let child = lc.pop().expect("lender is non-empty");
+            let new_sep = ls.pop().expect("lender branch has separators");
+            let old_sep = std::mem::replace(&mut seps[ci - 1], new_sep);
+            cs.insert(0, old_sep);
+            cc.insert(0, child);
+        }
+        _ => unreachable!("siblings are at the same depth"),
+    }
+}
+
+/// Moves the first entry (or child) of `children[ci + 1]` to the back of
+/// `children[ci]`, rotating separators through the parent.
+fn borrow_from_right<K: Ord + Clone, V: Clone>(
+    seps: &mut [K],
+    children: &mut [Arc<Node<K, V>>],
+    ci: usize,
+) {
+    let (head, tail) = children.split_at_mut(ci + 1);
+    let cur = Arc::make_mut(&mut head[ci]);
+    let right = Arc::make_mut(&mut tail[0]);
+    match (cur, right) {
+        (Node::Leaf { entries: ce }, Node::Leaf { entries: re }) => {
+            ce.push(re.remove(0));
+            seps[ci] = re[0].0.clone();
+        }
+        (Node::Branch { seps: cs, children: cc }, Node::Branch { seps: rs, children: rc }) => {
+            let child = rc.remove(0);
+            let new_sep = rs.remove(0);
+            let old_sep = std::mem::replace(&mut seps[ci], new_sep);
+            cs.push(old_sep);
+            cc.push(child);
+        }
+        _ => unreachable!("siblings are at the same depth"),
+    }
+}
+
+/// Merges `children[i + 1]` into `children[i]`, dropping separator `i`.
+/// Only called when the pair fits in one node.
+fn merge<K: Ord + Clone, V: Clone>(
+    seps: &mut Vec<K>,
+    children: &mut Vec<Arc<Node<K, V>>>,
+    i: usize,
+) {
+    let sep = seps.remove(i);
+    let right = children.remove(i + 1);
+    let left = Arc::make_mut(&mut children[i]);
+    match (left, &*right) {
+        (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+            le.extend(re.iter().cloned());
+        }
+        (Node::Branch { seps: ls, children: lc }, Node::Branch { seps: rs, children: rc }) => {
+            ls.push(sep);
+            ls.extend(rs.iter().cloned());
+            lc.extend(rc.iter().cloned());
+        }
+        _ => unreachable!("siblings are at the same depth"),
+    }
+}
+
+/// In-order iterator over a key range (see [`PMap::range`]).
+pub struct Range<'a, K, V> {
+    /// Stack of (node, next index): entry index in leaves, child index in
+    /// branches. Untouched siblings are never visited.
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    end: Bound<K>,
+}
+
+impl<'a, K: Ord, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            let (node, idx) = self.stack.last_mut()?;
+            match node {
+                Node::Leaf { entries } => {
+                    if *idx < entries.len() {
+                        let (k, v) = &entries[*idx];
+                        *idx += 1;
+                        let in_range = match &self.end {
+                            Bound::Unbounded => true,
+                            Bound::Included(e) => k <= e,
+                            Bound::Excluded(e) => k < e,
+                        };
+                        if in_range {
+                            return Some((k, v));
+                        }
+                        self.stack.clear();
+                        return None;
+                    }
+                    self.stack.pop();
+                }
+                Node::Branch { children, .. } => {
+                    if *idx < children.len() {
+                        let child = &children[*idx];
+                        *idx += 1;
+                        self.stack.push((child, 0));
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A persistent ordered set: [`PMap`] with unit values.
+#[derive(Clone, Default)]
+pub struct PSet<K> {
+    map: PMap<K, ()>,
+}
+
+impl<K: Ord + Clone> PartialEq for PSet<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
+}
+impl<K: Ord + Clone> Eq for PSet<K> {}
+
+impl<K: fmt::Debug> fmt::Debug for PSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PSet {{ len: {} }}", self.map.len)
+    }
+}
+
+impl<K: Ord + Clone> PSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self { map: PMap::new() }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every element.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts an element; returns true if it was not already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        self.map.insert(key, ()).is_none()
+    }
+
+    /// Removes an element; returns true if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> SetRange<'_, K> {
+        SetRange(self.map.iter())
+    }
+
+    /// Iterates elements within `bounds` in ascending order.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> SetRange<'_, K> {
+        SetRange(self.map.range(bounds))
+    }
+
+    /// See [`PMap::for_each_node_addr`].
+    pub fn for_each_node_addr(&self, f: &mut dyn FnMut(usize)) {
+        self.map.for_each_node_addr(f);
+    }
+}
+
+/// In-order iterator over set elements in a key range.
+pub struct SetRange<'a, K>(Range<'a, K, ()>);
+
+impl<'a, K: Ord> Iterator for SetRange<'a, K> {
+    type Item = &'a K;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a K> {
+        self.0.next().map(|(k, ())| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: PMap<u32, u32> = PMap::new();
+        for i in 0..500u32 {
+            assert_eq!(m.insert(i * 7 % 501, i), None);
+        }
+        assert_eq!(m.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(m.get(&(i * 7 % 501)), Some(&i));
+        }
+        let prev = m.get(&3).copied();
+        assert_eq!(m.insert(3, 999), prev);
+        assert_eq!(m.get(&3), Some(&999));
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.remove(&3), Some(999));
+        assert_eq!(m.remove(&3), None);
+        assert_eq!(m.len(), 499);
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut m: PMap<u32, u64> = PMap::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 4096) as u32;
+            if x & 0x10000 == 0 || model.len() < 32 {
+                assert_eq!(m.insert(k, step), model.insert(k, step), "step {step}");
+            } else {
+                assert_eq!(m.remove(&k), model.remove(&k), "step {step}");
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        assert!(m.iter().map(|(k, v)| (*k, *v)).eq(model.iter().map(|(k, v)| (*k, *v))));
+    }
+
+    #[test]
+    fn range_bounds_agree_with_btreemap() {
+        let mut m: PMap<u32, ()> = PMap::new();
+        let mut model: BTreeMap<u32, ()> = BTreeMap::new();
+        for i in (0..1000u32).step_by(3) {
+            m.insert(i, ());
+            model.insert(i, ());
+        }
+        let bounds: Vec<(Bound<u32>, Bound<u32>)> = vec![
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(10), Bound::Included(500)),
+            (Bound::Included(11), Bound::Excluded(502)),
+            (Bound::Excluded(9), Bound::Included(9)),
+            (Bound::Included(999), Bound::Unbounded),
+            (Bound::Unbounded, Bound::Excluded(0)),
+            (Bound::Included(1001), Bound::Included(2000)),
+        ];
+        for b in bounds {
+            let got: Vec<u32> = m.range(b).map(|(k, _)| *k).collect();
+            let want: Vec<u32> = model.range(b).map(|(k, _)| *k).collect();
+            assert_eq!(got, want, "bounds {b:?}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_structure_and_diverges_on_write() {
+        let mut a: PMap<u32, u32> = PMap::new();
+        for i in 0..10_000 {
+            a.insert(i, i);
+        }
+        let b = a.clone();
+        let mut before = Vec::new();
+        a.for_each_node_addr(&mut |p| before.push(p));
+
+        a.insert(10_000, 10_000);
+        a.remove(&0);
+        assert_eq!(b.len(), 10_000);
+        assert_eq!(b.get(&0), Some(&0));
+        assert_eq!(a.get(&0), None);
+
+        // The updated tree reuses almost every node of the snapshot: only
+        // the two touched root-to-leaf paths were copied.
+        let shared: std::collections::HashSet<usize> = before.into_iter().collect();
+        let mut fresh = 0usize;
+        let mut total = 0usize;
+        a.for_each_node_addr(&mut |p| {
+            total += 1;
+            if !shared.contains(&p) {
+                fresh += 1;
+            }
+        });
+        assert!(total > 100, "tree should have many nodes, has {total}");
+        assert!(fresh <= 16, "expected O(log N) fresh nodes, found {fresh}/{total}");
+    }
+
+    #[test]
+    fn unique_owner_mutates_in_place() {
+        let mut a: PMap<u32, u32> = PMap::new();
+        for i in 0..5_000 {
+            a.insert(i, i);
+        }
+        let mut before = Vec::new();
+        a.for_each_node_addr(&mut |p| before.push(p));
+        let root_before = before[0];
+        a.insert(2_500, 99); // replacement, uniquely owned: no copying
+        let mut after = Vec::new();
+        a.for_each_node_addr(&mut |p| after.push(p));
+        assert_eq!(root_before, after[0], "unique root must be reused in place");
+        assert_eq!(before, after, "no node should be reallocated");
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s: PSet<[u32; 3]> = PSet::new();
+        assert!(s.insert([1, 2, 3]));
+        assert!(!s.insert([1, 2, 3]));
+        assert!(s.contains(&[1, 2, 3]));
+        assert!(s.remove(&[1, 2, 3]));
+        assert!(!s.remove(&[1, 2, 3]));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let mut s: PSet<u32> = PSet::new();
+        for round in 0..3 {
+            for i in 0..2_000u32 {
+                assert!(s.insert(i), "round {round}");
+            }
+            assert_eq!(s.len(), 2_000);
+            for i in 0..2_000u32 {
+                assert!(s.remove(&i), "round {round}");
+            }
+            assert!(s.is_empty(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn reverse_and_random_deletion_orders() {
+        for seed in [1u64, 7, 42] {
+            let mut s: PSet<u32> = PSet::new();
+            let mut keys: Vec<u32> = (0..3_000).collect();
+            for &k in &keys {
+                s.insert(k);
+            }
+            // Pseudo-shuffle deletion order with a deterministic hash.
+            keys.sort_by_key(|k| {
+                (seed.wrapping_add(*k as u64)).wrapping_mul(6364136223846793005).rotate_left(17)
+            });
+            for (n, k) in keys.iter().enumerate() {
+                assert!(s.remove(k), "seed {seed} step {n}");
+                assert_eq!(s.len(), 3_000 - n - 1);
+            }
+        }
+    }
+}

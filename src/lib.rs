@@ -55,15 +55,16 @@ pub use loosedb_browse::{
     ProbeOutcome, ProbeReport, RelationTable, RetractionStep, Session, SessionError, SharedSession,
 };
 pub use loosedb_engine::{
-    Builtin, Closure, ClosureError, ClosureView, Database, DurableDatabase, DurableError, FactView,
-    Generation, InferenceConfig, KindRegistry, MathTruth, Provenance, Prover, RecoveryInfo,
-    RelKind, Rule, RuleGroup, RuleKind, SharedDatabase, Strategy, SyncPolicy, Taxonomy, Template,
-    Term, TransactionError, Var, Violation,
+    Builtin, Closure, ClosureError, ClosureView, Database, DomainCounts, DurableDatabase,
+    DurableError, ExtendDelta, FactView, Generation, InferenceConfig, KindRegistry, MathTruth,
+    Provenance, Prover, PublishDelta, RecoveryInfo, RelKind, Rule, RuleGroup, RuleKind,
+    SharedDatabase, Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var,
+    Violation,
 };
 pub use loosedb_query::{
     eval, eval_with, explain_plan, parse, parse_frozen, Answer, AtomOrdering, EvalOptions, Formula,
     FrozenParseError, Query,
 };
 pub use loosedb_store::{
-    special, EntityId, EntityValue, Fact, FactLog, FactStore, Interner, Pattern,
+    special, EntityId, EntityValue, Fact, FactLog, FactStore, Interner, PMap, PSet, Pattern,
 };
