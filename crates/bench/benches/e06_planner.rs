@@ -27,9 +27,13 @@ fn bench(c: &mut Criterion) {
     {
         group.bench_function(BenchmarkId::new(label, 300), |b| {
             b.iter(|| {
-                eval_with(&query, &view, EvalOptions { ordering, max_rows: 10_000_000 })
-                    .expect("eval")
-                    .len()
+                eval_with(
+                    &query,
+                    &view,
+                    EvalOptions { ordering, max_rows: 10_000_000, ..EvalOptions::default() },
+                )
+                .expect("eval")
+                .len()
             })
         });
     }

@@ -1,0 +1,54 @@
+//! E18 — set-at-a-time hash joins vs the nested-loop oracle, and the
+//! shape-keyed plan cache's hit/miss latency split.
+//!
+//! Chain queries (`chain_query_src`) share a variable between adjacent
+//! atoms, so the hash join probes each atom once per *distinct* binding
+//! of the shared variable where the nested loop probes once per partial
+//! row. Expected shape: the gap widens with atom count and world size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::{chain_query_src, query_world};
+use loosedb_query::{
+    eval_with, parse, plan_query, EvalOptions, ExecStrategy, PlanCache, QueryPlan,
+};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_query");
+    group.sample_size(10);
+    let mut db = query_world(50_000);
+    let opts = |strategy| EvalOptions { strategy, max_rows: 10_000_000, ..Default::default() };
+
+    for atoms in [2usize, 3, 4] {
+        let src = chain_query_src(atoms);
+        let query = parse(&src, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        for (label, strategy) in
+            [("hash-join", ExecStrategy::HashJoin), ("nested-loop", ExecStrategy::NestedLoop)]
+        {
+            group.bench_function(BenchmarkId::new(label, atoms), |b| {
+                b.iter(|| eval_with(&query, &view, opts(strategy)).expect("eval").len())
+            });
+        }
+    }
+
+    // Plan-cache split: cold planning probes the view per atom; a hit is
+    // one shape hash plus a map lookup.
+    let src = chain_query_src(4);
+    let query = parse(&src, db.store_interner_mut()).unwrap();
+    let view = db.view().unwrap();
+    let eval_opts = opts(ExecStrategy::HashJoin);
+    group.bench_function(BenchmarkId::new("plan", "cold"), |b| {
+        b.iter(|| plan_query(&query, &view, &eval_opts).probes())
+    });
+    let mut plans = PlanCache::new(8);
+    let plan: Arc<QueryPlan> = Arc::new(plan_query(&query, &view, &eval_opts));
+    plans.insert(&query, &eval_opts, plan);
+    group.bench_function(BenchmarkId::new("plan", "cache-hit"), |b| {
+        b.iter(|| plans.get(&query, &eval_opts).expect("cached").groups().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

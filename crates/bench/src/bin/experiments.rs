@@ -1,7 +1,9 @@
 //! Regenerates every EXPERIMENTS.md table: one section per experiment
-//! E1–E17 (DESIGN.md §3), printed as markdown. E17 additionally writes
-//! its numbers to `BENCH_publish.json` so later PRs can track the
-//! publish-cost trajectory mechanically.
+//! E1–E18 (DESIGN.md §3), printed as markdown. E17 and E18 additionally
+//! write their numbers to `BENCH_publish.json` / `BENCH_query.json` so
+//! later PRs can track the publish-cost and query-cost trajectories
+//! mechanically; `experiments --check` validates both files against the
+//! expected schema (used by CI).
 //!
 //! Run with `cargo run -p loosedb-bench --release --bin experiments`;
 //! pass experiment ids (`experiments e16 e17`) to run a subset.
@@ -10,7 +12,8 @@
 //! statistically rigorous versions of the same measurements.
 
 use loosedb_bench::{
-    fmt_duration, measure, run_mix, shared_world, standard_store, structural_world, Report,
+    chain_query_src, fmt_duration, measure, query_world, run_mix, shared_world, standard_store,
+    structural_world, Report,
 };
 use loosedb_browse::{navigate, probe, relation, NavigateOptions, ProbeOptions};
 use loosedb_datagen::{
@@ -21,11 +24,16 @@ use loosedb_engine::{
     ClosureView, Database, DurableDatabase, FactView, InferenceConfig, RuleGroup, Strategy,
     SyncPolicy,
 };
-use loosedb_query::{eval, eval_with, parse, AtomOrdering, EvalOptions};
+use loosedb_query::{
+    eval, eval_with, parse, plan_query, AtomOrdering, EvalOptions, ExecStrategy, PlanCache,
+};
 use loosedb_store::{log, snapshot, FactLog, FactStore, Pattern};
 
 fn main() {
     let only: Vec<String> = std::env::args().skip(1).collect();
+    if only.iter().any(|a| a == "--check") {
+        std::process::exit(if check_bench_files() { 0 } else { 1 });
+    }
     let run = |id: &str| only.is_empty() || only.iter().any(|a| a.eq_ignore_ascii_case(id));
     println!("# loosedb experiments — measured results\n");
     println!("(regenerate with `cargo run -p loosedb-bench --release --bin experiments`)\n");
@@ -80,6 +88,78 @@ fn main() {
     if run("e17") {
         e17();
     }
+    if run("e18") {
+        e18();
+    }
+}
+
+/// Validates the machine-readable bench files against their expected
+/// schema: every required key must appear and the brace nesting must
+/// balance (the files are hand-rolled JSON, so this is the cheap,
+/// dependency-free sanity net CI runs on every push).
+fn check_bench_files() -> bool {
+    let specs: [(&str, &[&str]); 2] = [
+        (
+            "BENCH_publish.json",
+            &[
+                "\"experiment\": \"E17\"",
+                "\"rows\"",
+                "\"facts\"",
+                "\"publish_ns\"",
+                "\"seed_clone_publish_ns\"",
+                "\"domain_rescan_ns\"",
+                "\"writes_per_sec\"",
+                "\"read_p50_ns\"",
+                "\"read_p99_ns\"",
+            ],
+        ),
+        (
+            "BENCH_query.json",
+            &[
+                "\"experiment\": \"E18\"",
+                "\"rows\"",
+                "\"facts\"",
+                "\"atoms\"",
+                "\"hash_join_ns\"",
+                "\"nested_loop_ns\"",
+                "\"speedup\"",
+                "\"plan\"",
+                "\"cold_plan_ns\"",
+                "\"cache_hit_ns\"",
+                "\"hit_speedup\"",
+            ],
+        ),
+    ];
+    let mut ok = true;
+    for (path, keys) in specs {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("--check: {path} is missing (run the experiments binary first)");
+            ok = false;
+            continue;
+        };
+        for key in keys {
+            if !text.contains(key) {
+                eprintln!("--check: {path} lacks required key {key}");
+                ok = false;
+            }
+        }
+        let depth = text.chars().try_fold(0i64, |d, c| {
+            let d = match c {
+                '{' | '[' => d + 1,
+                '}' | ']' => d - 1,
+                _ => d,
+            };
+            (d >= 0).then_some(d)
+        });
+        if depth != Some(0) {
+            eprintln!("--check: {path} has unbalanced braces");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("--check: bench files OK");
+    }
+    ok
 }
 
 fn section(id: &str, title: &str, report: &Report, note: &str) {
@@ -272,7 +352,8 @@ fn e06() {
                    & (?e, ENROLL-STUDENT, ?s) & (?g, =, A) & (?e, ENROLL-COURSE, CRS-0)";
         let query = parse(src, db.store_interner_mut()).unwrap();
         let view = db.view().unwrap();
-        let opts = |ordering| EvalOptions { ordering, max_rows: 10_000_000 };
+        let opts =
+            |ordering| EvalOptions { ordering, max_rows: 10_000_000, ..EvalOptions::default() };
         let (greedy, n1) =
             measure(5, || eval_with(&query, &view, opts(AtomOrdering::Greedy)).unwrap().len());
         let (syntactic, n2) =
@@ -867,5 +948,111 @@ fn e17() {
          orders of magnitude apart at 2M. Sustained write throughput holds \
          correspondingly, and snapshot read latency matches E4/E16. Numbers \
          also land in BENCH_publish.json for trend tracking.",
+    );
+}
+
+fn e18() {
+    fn opts(strategy: ExecStrategy) -> EvalOptions {
+        EvalOptions { strategy, max_rows: 10_000_000, ..Default::default() }
+    }
+
+    /// One (facts, atoms) cell: median hash-join vs nested-loop time on
+    /// the chain query. The nested-loop oracle counts every duplicate
+    /// partial row against `max_rows`, so on large worlds it can overflow
+    /// where the hash join (one probe per distinct key) does not; such
+    /// cells report the overflow instead of a time.
+    fn cell(facts: usize, atoms: usize, report: &mut Report, json_rows: &mut Vec<String>) {
+        let mut db = query_world(facts);
+        let src = chain_query_src(atoms);
+        let query = parse(&src, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let (hash, n1) = measure(5, || {
+            eval_with(&query, &view, opts(ExecStrategy::HashJoin)).expect("hash join").len()
+        });
+        let (nested, n2) = measure(3, || {
+            eval_with(&query, &view, opts(ExecStrategy::NestedLoop)).map(|a| a.len()).ok()
+        });
+        let (nested_cell, speedup_cell, nested_json, speedup_json) = match n2 {
+            Some(n) => {
+                assert_eq!(n1, n, "strategies must agree");
+                let speedup = nested.as_secs_f64() / hash.as_secs_f64().max(1e-9);
+                (
+                    fmt_duration(nested),
+                    format!("{speedup:.1}x"),
+                    nested.as_nanos().to_string(),
+                    format!("{speedup:.1}"),
+                )
+            }
+            None => ("overflow (>10M rows)".into(), "-".into(), "null".into(), "null".into()),
+        };
+        report.row(&[
+            facts.to_string(),
+            atoms.to_string(),
+            fmt_duration(hash),
+            nested_cell,
+            speedup_cell,
+        ]);
+        json_rows.push(format!(
+            "    {{ \"facts\": {facts}, \"atoms\": {atoms}, \"hash_join_ns\": {}, \
+             \"nested_loop_ns\": {nested_json}, \"speedup\": {speedup_json} }}",
+            hash.as_nanos(),
+        ));
+    }
+
+    let mut report = Report::new(&["facts", "atoms", "hash join", "nested loop", "speedup"]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for atoms in [2usize, 3, 4, 5, 6] {
+        cell(50_000, atoms, &mut report, &mut json_rows);
+    }
+    for facts in [5_000usize, 20_000, 200_000] {
+        cell(facts, 3, &mut report, &mut json_rows);
+    }
+
+    // Plan-cache latency split: cold planning probes the view once per
+    // atom; a hit is one shape hash plus a map lookup.
+    let mut db = query_world(50_000);
+    let src = chain_query_src(4);
+    let query = parse(&src, db.store_interner_mut()).unwrap();
+    let view = db.view().unwrap();
+    let eval_opts = opts(ExecStrategy::HashJoin);
+    let (cold, probes) = measure(9, || plan_query(&query, &view, &eval_opts).probes());
+    let mut plans = PlanCache::new(8);
+    plans.insert(&query, &eval_opts, std::sync::Arc::new(plan_query(&query, &view, &eval_opts)));
+    let (hit, _) = measure(9, || plans.get(&query, &eval_opts).expect("cached").groups().len());
+    let hit_speedup = cold.as_secs_f64() / hit.as_secs_f64().max(1e-9);
+    let mut plan_report =
+        Report::new(&["query", "count probes", "cold plan", "plan-cache hit", "hit speedup"]);
+    plan_report.row(&[
+        "4-atom chain @ 50k".to_string(),
+        probes.to_string(),
+        fmt_duration(cold),
+        fmt_duration(hit),
+        format!("{hit_speedup:.0}x"),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E18\",\n  \"title\": \"set-at-a-time hash joins vs \
+         nested-loop, shape-keyed plan cache\",\n  \"rows\": [\n{}\n  ],\n  \"plan\": \
+         {{ \"facts\": 50000, \"atoms\": 4, \"probes\": {probes}, \"cold_plan_ns\": {}, \
+         \"cache_hit_ns\": {}, \"hit_speedup\": {hit_speedup:.0} }}\n}}\n",
+        json_rows.join(",\n"),
+        cold.as_nanos(),
+        hit.as_nanos(),
+    );
+    std::fs::write("BENCH_query.json", json).expect("write BENCH_query.json");
+
+    println!("## E18 — set-at-a-time hash joins vs nested-loop; plan cache\n");
+    print!("{}", report.render());
+    println!("\nPlan-cache latency split (planning once per query *shape*):\n");
+    print!("{}", plan_report.render());
+    println!(
+        "\nShape: the hash join probes each atom once per distinct shared-variable \
+         binding where the nested loop probes once per partial row, so the gap \
+         widens with atom count and world size; interior existential variables are \
+         projected away mid-join (semi-join pushdown) instead of being carried to \
+         the end. Planning itself (count probes + greedy ordering) is memoized by \
+         query shape in an epoch-scoped cache, so repeated browsing queries pay a \
+         hash lookup instead of view probes. Numbers also land in \
+         BENCH_query.json for trend tracking.\n"
     );
 }

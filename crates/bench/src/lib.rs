@@ -1,5 +1,5 @@
 //! Shared workload builders and measurement helpers for the loosedb
-//! evaluation (experiments E1–E17; see DESIGN.md §3 and EXPERIMENTS.md).
+//! evaluation (experiments E1–E18; see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! The paper (Motro, SIGMOD 1984) is a design paper with no evaluation
 //! section; these experiments quantify the costs it reasons about
@@ -47,6 +47,42 @@ pub fn structural_world(people: usize, classes: usize) -> Database {
     }
     db.add("KNOWS", "inv", "KNOWN-BY");
     db
+}
+
+/// Builds the E18 query world: the standard Zipf store as a closed
+/// [`Database`] with inference disabled, so query timings measure the
+/// executor rather than closure derivation.
+pub fn query_world(facts: usize) -> Database {
+    let (store, _) = standard_store(facts);
+    let mut db = Database::from_store(store);
+    *db.config_mut() = InferenceConfig::none();
+    db
+}
+
+/// Source text of the E18 chain query over `atoms` conjoined atoms:
+/// `Q(?xN) := exists ?x1 … ?x{N-1} . (N0, R0, ?x1) & (?x1, R1, ?x2) &
+/// …` — every adjacent pair shares a variable (pure hash-join territory)
+/// and the interior variables are existential, so semi-join projection
+/// pushdown can drop them as the join proceeds: each intermediate
+/// relation is at most one column of distinct entities. The chain is
+/// anchored at the Zipf hub `N0`, the browsing pattern ("everything
+/// reachable from here") — with *both* endpoints free the answer itself
+/// is quadratic in the world's entity count, which measures
+/// materialization, not join strategy.
+pub fn chain_query_src(atoms: usize) -> String {
+    assert!((1..=19).contains(&atoms), "chain uses distinct relationships R0..R18");
+    let body: Vec<String> = (0..atoms)
+        .map(|i| {
+            let src = if i == 0 { "N0".to_string() } else { format!("?x{i}") };
+            format!("({src}, R{i}, ?x{})", i + 1)
+        })
+        .collect();
+    let mids: Vec<String> = (1..atoms).map(|i| format!("?x{i}")).collect();
+    if mids.is_empty() {
+        format!("Q(?x{atoms}) := {}", body.join(" & "))
+    } else {
+        format!("Q(?x{atoms}) := exists {} . {}", mids.join(" "), body.join(" & "))
+    }
 }
 
 /// Builds the E16 serving world: the standard Zipf store behind a
@@ -236,6 +272,18 @@ mod tests {
         let mut db = structural_world(50, 5);
         let closure = db.closure().unwrap();
         assert!(closure.len() > db.base_len());
+    }
+
+    #[test]
+    fn chain_query_parses_and_evaluates() {
+        let mut db = query_world(1_000);
+        for atoms in [1usize, 3] {
+            let src = chain_query_src(atoms);
+            let query = loosedb_query::parse(&src, db.store_interner_mut()).expect("parse");
+            assert_eq!(query.formula.atoms().len(), atoms);
+            let view = db.view().expect("closure");
+            loosedb_query::eval(&query, &view).expect("eval");
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use loosedb_engine::{Generation, SharedDatabase};
-use loosedb_query::{eval_with, Answer, Formula, FrozenParseError, Query};
+use loosedb_query::{
+    eval_planned, eval_with, plan_and_eval, Answer, AtomOrdering, Formula, FrozenParseError,
+    PlanCache, PlanCacheStats, Query,
+};
 use loosedb_store::{special, EntityId, EntityValue, Interner, Pattern};
 
 use crate::navigate::{navigate, try_entity, NavigateOptions};
@@ -210,6 +213,40 @@ struct ExtInterner {
     interner: Interner,
 }
 
+/// Parses `src` against the generation, extending the private interner
+/// only when the text mentions unknown constants. Returns the query and
+/// the interner to evaluate it under (the generation's own, or the
+/// session's extension).
+///
+/// A free function over the extension slot rather than a method: the
+/// returned interner keeps `ext` borrowed, and callers still need the
+/// session's *other* fields (the plan cache in particular) while they
+/// evaluate.
+fn parse_on<'a>(
+    ext: &'a mut Option<ExtInterner>,
+    generation: &'a Generation,
+    src: &str,
+) -> Result<(Query, &'a Interner), SessionError> {
+    match loosedb_query::parse_frozen(src, generation.interner()) {
+        Ok(query) => Ok((query, generation.interner())),
+        Err(FrozenParseError::Parse(e)) => Err(SessionError::Parse(e)),
+        Err(FrozenParseError::UnknownConstant { .. }) => {
+            // Refresh the extension whenever the epoch moves: a stale
+            // extension would miss constants interned by later writes.
+            let stale = ext.as_ref().is_none_or(|e| e.epoch != generation.epoch());
+            if stale {
+                *ext = Some(ExtInterner {
+                    epoch: generation.epoch(),
+                    interner: generation.interner().clone(),
+                });
+            }
+            let interner = &mut ext.as_mut().expect("just ensured").interner;
+            let query = loosedb_query::parse(src, interner)?;
+            Ok((query, &*interner))
+        }
+    }
+}
+
 /// A browsing session over a [`SharedDatabase`]: the concurrent, read-only
 /// counterpart of [`crate::Session`].
 ///
@@ -227,10 +264,14 @@ pub struct SharedSession {
     history: Vec<EntityId>,
     ext: Option<ExtInterner>,
     cache: QueryCache,
+    plans: PlanCache,
 }
 
 /// Default query-cache capacity (entries) for a session.
 const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Default plan-cache capacity (distinct query shapes) for a session.
+const DEFAULT_PLAN_CAPACITY: usize = 64;
 
 impl SharedSession {
     /// Starts a session over a shared database.
@@ -249,6 +290,7 @@ impl SharedSession {
             history: Vec::new(),
             ext: None,
             cache: QueryCache::new(capacity),
+            plans: PlanCache::new(DEFAULT_PLAN_CAPACITY),
         }
     }
 
@@ -270,6 +312,12 @@ impl SharedSession {
     /// Hit/miss counters of this session's query cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Hit/miss counters of this session's plan cache (query *shapes*
+    /// whose join order was memoized across evaluations).
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// The focus history, oldest first.
@@ -296,40 +344,6 @@ impl SharedSession {
             Ok(None)
         } else {
             self.resolve(generation, name).map(Some)
-        }
-    }
-
-    /// The session's extension interner for `generation`, refreshed
-    /// whenever the epoch moves (stale extensions would miss constants
-    /// interned by later writes).
-    fn ext_for(&mut self, generation: &Generation) -> &mut Interner {
-        let stale = self.ext.as_ref().is_none_or(|e| e.epoch != generation.epoch());
-        if stale {
-            self.ext = Some(ExtInterner {
-                epoch: generation.epoch(),
-                interner: generation.interner().clone(),
-            });
-        }
-        &mut self.ext.as_mut().expect("just ensured").interner
-    }
-
-    /// Parses `src` against the generation, extending the private interner
-    /// only when the text mentions unknown constants. Returns the query
-    /// and the interner to evaluate it under (the generation's own, or the
-    /// session's extension).
-    fn parse_on<'a>(
-        &'a mut self,
-        generation: &'a Generation,
-        src: &str,
-    ) -> Result<(Query, &'a Interner), SessionError> {
-        match loosedb_query::parse_frozen(src, generation.interner()) {
-            Ok(query) => Ok((query, generation.interner())),
-            Err(FrozenParseError::Parse(e)) => Err(SessionError::Parse(e)),
-            Err(FrozenParseError::UnknownConstant { .. }) => {
-                let ext = self.ext_for(generation);
-                let query = loosedb_query::parse(src, ext)?;
-                Ok((query, &*ext))
-            }
         }
     }
 
@@ -377,18 +391,45 @@ impl SharedSession {
     /// cache, and a published write invalidates only the cached answers
     /// whose dependency relationships intersect the write delta (answers
     /// that cannot be tracked precisely are dropped on any publish).
+    ///
+    /// Below the answer cache sits a *plan* cache keyed on query shape:
+    /// when the same formula is re-evaluated (after a write invalidated
+    /// its answer, or under different constants with identical structure),
+    /// the memoized join order is replayed instead of re-probing the view,
+    /// and the same delta-based carry-over keeps plans alive across
+    /// disjoint writes. A replayed plan only fixes the join order — if it
+    /// is stale it costs performance, never correctness — so plans can be
+    /// carried more aggressively than answers.
     pub fn query(&mut self, src: &str) -> Result<Arc<Answer>, SessionError> {
         let expanded = self.defs.maybe_expand(src)?;
         let generation = self.shared.snapshot();
-        self.cache.roll(generation.epoch(), &self.shared);
+        let epoch = generation.epoch();
+        self.cache.roll(epoch, &self.shared);
+        if self.plans.epoch() != epoch {
+            let changed = self.shared.rels_changed_between(self.plans.epoch(), epoch);
+            self.plans.roll(epoch, changed.as_ref());
+        }
         if let Some(hit) = self.cache.get(&expanded) {
             return Ok(hit);
         }
         let eval_opts = self.probe_opts.eval;
-        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let (query, interner) = parse_on(&mut self.ext, &generation, &expanded)?;
         let deps = dependency_rels(&query, generation.interner().len());
         let view = generation.view_with_interner(interner);
-        let answer = Arc::new(eval_with(&query, &view, eval_opts)?);
+        let answer = if eval_opts.ordering == AtomOrdering::Greedy {
+            match self.plans.get(&query, &eval_opts) {
+                Some(plan) => Arc::new(eval_planned(&query, &view, eval_opts, &plan)?),
+                None => {
+                    let (answer, plan) = plan_and_eval(&query, &view, eval_opts)?;
+                    self.plans.insert(&query, &eval_opts, Arc::new(plan));
+                    Arc::new(answer)
+                }
+            }
+        } else {
+            // Syntactic ordering needs no probes, so a plan cache would
+            // only add bookkeeping.
+            Arc::new(eval_with(&query, &view, eval_opts)?)
+        };
         self.cache.insert(expanded, Arc::clone(&answer), deps);
         Ok(answer)
     }
@@ -400,7 +441,7 @@ impl SharedSession {
         let expanded = self.defs.maybe_expand(src)?;
         let generation = self.shared.snapshot();
         let probe_opts = self.probe_opts;
-        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let (query, interner) = parse_on(&mut self.ext, &generation, &expanded)?;
         let view = generation.view_with_interner(interner);
         Ok(probe(&query, &view, &probe_opts))
     }
@@ -431,7 +472,7 @@ impl SharedSession {
     pub fn explain_query(&mut self, src: &str) -> Result<String, SessionError> {
         let expanded = self.defs.maybe_expand(src)?;
         let generation = self.shared.snapshot();
-        let (query, interner) = self.parse_on(&generation, &expanded)?;
+        let (query, interner) = parse_on(&mut self.ext, &generation, &expanded)?;
         let view = generation.view_with_interner(interner);
         Ok(loosedb_query::explain_plan(&query, &view))
     }
@@ -594,6 +635,34 @@ mod tests {
         let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
         assert!(!Arc::ptr_eq(&likes, &likes2), "a removal must clear every entry");
         assert_eq!(likes.as_ref(), likes2.as_ref(), "the answer itself is unchanged");
+    }
+
+    #[test]
+    fn plan_cache_survives_answer_eviction_and_disjoint_writes() {
+        let db = shared();
+        // Answer capacity 1: the second query evicts the first answer,
+        // but the plan cache keys on shape and keeps both plans.
+        let mut s = SharedSession::with_cache_capacity(Arc::clone(&db), 1);
+        s.query("(JOHN, LIKES, ?x)").unwrap();
+        s.query("(JOHN, EARNS, ?x)").unwrap();
+        s.query("(JOHN, LIKES, ?x)").unwrap(); // answer re-evaluated, plan replayed
+        let stats = s.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2), "{stats:?}");
+
+        // A write disjoint from both shapes carries the plans over the
+        // publish, so the re-evaluation after it still skips planning.
+        db.insert("MARY", "FAVORITE-MUSIC", "PC#9-WAM").unwrap();
+        s.query("(JOHN, EARNS, ?x)").unwrap();
+        let stats = s.plan_stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert!(stats.carried >= 2, "{stats:?}");
+
+        // A write touching EARNS drops that plan; the next evaluation
+        // plans afresh.
+        db.insert("MARY", "EARNS", 1000i64).unwrap();
+        s.query("(JOHN, EARNS, ?x)").unwrap();
+        let stats = s.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 3), "{stats:?}");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::cell::OnceCell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
 
@@ -50,6 +51,16 @@ pub trait FactView {
     /// The active domain: every entity occurring in the closure, in id
     /// order. Used for the universal quantifier (§2.7) and for rendering.
     fn domain(&self) -> &[EntityId];
+
+    /// How many [`FactView::count_estimate`] probes have been issued
+    /// through this view so far. Planning instrumentation: the query
+    /// planner's selectivity probes all flow through `count_estimate`, so
+    /// this counter lets callers (and the E18 experiment) verify that a
+    /// cached plan is replayed without re-probing. Views that do not
+    /// track probes report 0.
+    fn count_probes(&self) -> u64 {
+        0
+    }
 }
 
 /// Computes the active domain of a closure by rescanning every fact:
@@ -79,13 +90,17 @@ pub struct ClosureView<'a> {
     /// disjunction padding) asks for it. Most queries never do, so view
     /// construction is O(1).
     domain: OnceCell<Vec<EntityId>>,
+    /// Selectivity probes issued through [`FactView::count_estimate`].
+    /// Atomic (not `Cell`) so views can keep being shared across reader
+    /// threads; ordering is relaxed — it is a statistics counter.
+    probes: AtomicU64,
 }
 
 impl<'a> ClosureView<'a> {
     /// Builds a view. O(1): the active domain is maintained incrementally
     /// by the closure and only materialized on first use.
     pub fn new(closure: &'a Closure, interner: &'a Interner, kinds: &'a KindRegistry) -> Self {
-        ClosureView { closure, interner, kinds, domain: OnceCell::new() }
+        ClosureView { closure, interner, kinds, domain: OnceCell::new(), probes: AtomicU64::new(0) }
     }
 
     /// The underlying closure.
@@ -235,11 +250,16 @@ impl FactView for ClosureView<'_> {
     }
 
     fn count_estimate(&self, p: Pattern, cap: usize) -> usize {
+        self.probes.fetch_add(1, Ordering::Relaxed);
         self.closure.count_up_to(p, cap)
     }
 
     fn domain(&self) -> &[EntityId] {
         self.domain.get_or_init(|| self.closure.domain().to_vec())
+    }
+
+    fn count_probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 }
 

@@ -16,7 +16,11 @@ use loosedb_engine::{Template, Term, Var};
 use loosedb_store::{EntityId, Interner};
 
 /// A well-formed formula (§2.7).
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// `Hash` is derived so a formula can serve as a *query shape* key: the
+/// plan cache (`crate::plan`) memoizes join orders keyed on the
+/// structural hash of the frozen-parse formula.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Formula {
     /// A template atom: satisfied by every matching closure fact.
     Atom(Template),

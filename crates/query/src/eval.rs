@@ -1,28 +1,40 @@
 //! Query evaluation against a [`FactView`].
 //!
 //! The value of a query (§2.7) is the set of tuples over its free
-//! variables that satisfy the formula in the database closure. Evaluation
-//! is bottom-up with one key optimization: conjunctions are flattened and
-//! evaluated by *binding propagation* — partial bindings flow left to
-//! right through the conjuncts, so each atom is matched through the store
-//! indexes with everything already known bound. The conjunct order is
-//! chosen greedily by boundness and selectivity ([`AtomOrdering::Greedy`],
-//! the planner); the syntactic order is kept as the baseline for
-//! experiment E6.
+//! variables that satisfy the formula in the database closure.
+//! Evaluation is bottom-up and **set-at-a-time**: conjunctions are
+//! flattened and joined in the order fixed by a [`QueryPlan`] (see
+//! [`crate::plan`]), with each step a hash join between the current
+//! partial relation and the next conjunct's extension, keyed on their
+//! shared variables. Atom extensions are probed through the store
+//! indexes once per *distinct* join-key value, results are deduplicated
+//! incrementally at every step, and existential subformulas evaluate by
+//! semi-join projection pushdown — columns that no remaining conjunct
+//! and no enclosing scope needs are never materialized. Relations are
+//! column-oriented: a flat row-major `Vec<EntityId>` arena, not a set
+//! of per-row allocations.
+//!
+//! The seed's binding-at-a-time nested-loop executor is retained behind
+//! [`ExecStrategy::NestedLoop`] as the reference oracle the property
+//! tests compare against (and as the E18 baseline).
 //!
 //! The universal quantifier uses active-domain semantics: `(∀x) A` holds
 //! for a binding of the remaining variables iff `A` holds for *every
-//! entity occurring in the closure* substituted for `x`.
+//! entity occurring in the closure* substituted for `x`. Because
+//! division does not commute with projection (∀∃ ≠ ∃∀), pushdown is
+//! disabled below `ForAll` — its body always materializes its full free
+//! columns.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use loosedb_engine::{Bindings, FactView, MathMatchError, Template, Term, Var};
 use loosedb_store::{special, EntityId};
 
 use crate::ast::{Formula, Query};
+use crate::plan::{conj_infos, greedy_order, plan_query, GroupPlan, QueryPlan, ESTIMATE_CAP};
 
-/// How conjuncts are ordered during evaluation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// How conjuncts are ordered during planning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum AtomOrdering {
     /// Most-bound-first with selectivity tie-breaks (the planner).
     #[default]
@@ -31,18 +43,36 @@ pub enum AtomOrdering {
     Syntactic,
 }
 
+/// How a conjunction is executed once ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ExecStrategy {
+    /// Set-at-a-time: hash joins over column-oriented relations with
+    /// incremental deduplication and semi-join projection pushdown.
+    #[default]
+    HashJoin,
+    /// The seed's binding-at-a-time nested loops, kept as the reference
+    /// oracle and the E18 baseline.
+    NestedLoop,
+}
+
 /// Evaluation options.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EvalOptions {
     /// Conjunct ordering strategy.
     pub ordering: AtomOrdering,
+    /// Join execution strategy.
+    pub strategy: ExecStrategy,
     /// Abort when an intermediate result exceeds this many rows.
     pub max_rows: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 1_000_000 }
+        EvalOptions {
+            ordering: AtomOrdering::Greedy,
+            strategy: ExecStrategy::HashJoin,
+            max_rows: 1_000_000,
+        }
     }
 }
 
@@ -56,6 +86,11 @@ pub enum EvalError {
     ResultTooLarge {
         /// The configured bound.
         limit: usize,
+        /// How many rows had been produced when the check fired. The
+        /// check runs inside the match loop, so this stays within one
+        /// row of the limit for row-at-a-time production (padding unions
+        /// report their up-front size estimate instead).
+        produced: usize,
     },
 }
 
@@ -63,8 +98,8 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::Math(e) => write!(f, "{e}"),
-            EvalError::ResultTooLarge { limit } => {
-                write!(f, "intermediate result exceeded {limit} rows")
+            EvalError::ResultTooLarge { limit, produced } => {
+                write!(f, "intermediate result exceeded {limit} rows ({produced} produced)")
             }
         }
     }
@@ -142,20 +177,56 @@ pub fn eval(query: &Query, view: &impl FactView) -> Result<Answer, EvalError> {
     eval_with(query, view, EvalOptions::default())
 }
 
-/// Evaluates a query with explicit options.
+/// Evaluates a query with explicit options: plans, then executes.
 pub fn eval_with(
     query: &Query,
     view: &impl FactView,
     opts: EvalOptions,
 ) -> Result<Answer, EvalError> {
-    let rel = eval_formula(&query.formula, view, &opts)?;
+    let plan = plan_query(query, view, &opts);
+    eval_planned(query, view, opts, &plan)
+}
+
+/// Plans and executes, returning both the answer and the plan (for
+/// callers that memoize plans, e.g. the `SharedSession` plan cache).
+pub fn plan_and_eval(
+    query: &Query,
+    view: &impl FactView,
+    opts: EvalOptions,
+) -> Result<(Answer, QueryPlan), EvalError> {
+    let plan = plan_query(query, view, &opts);
+    let answer = eval_planned(query, view, opts, &plan)?;
+    Ok((answer, plan))
+}
+
+/// Executes a query under a previously built (possibly cached) plan,
+/// issuing no planning probes. A plan that no longer matches the
+/// formula shape falls back to syntactic order per group — replay is a
+/// performance contract, never a correctness one.
+pub fn eval_planned(
+    query: &Query,
+    view: &impl FactView,
+    opts: EvalOptions,
+    plan: &QueryPlan,
+) -> Result<Answer, EvalError> {
+    // Columns anything above the formula can observe: the declared
+    // answer columns. Everything else is fair game for pushdown.
+    let formula_free = query.formula.free_vars();
+    let needed_set: BTreeSet<Var> =
+        query.free.iter().copied().filter(|v| formula_free.contains(v)).collect();
+    let needed = match opts.strategy {
+        ExecStrategy::HashJoin => Some(&needed_set),
+        ExecStrategy::NestedLoop => None,
+    };
+    let mut cursor = 0usize;
+    let rel = eval_formula(&query.formula, view, &opts, needed, plan, &mut cursor)?;
     // Project to the declared free-variable order.
-    let positions: Vec<Option<usize>> =
-        query.free.iter().map(|v| rel.cols.iter().position(|c| c == v)).collect();
+    let positions: Vec<Option<usize>> = query.free.iter().map(|v| rel.col_pos(*v)).collect();
     let mut rows = BTreeSet::new();
-    for row in &rel.rows {
+    for i in 0..rel.rows {
+        let row = rel.row(i);
         let projected: Vec<EntityId> =
-            positions.iter().map(|p| p.map(|i| row[i]).unwrap_or(special::TOP)).collect();
+            positions.iter().map(|p| p.map(|j| row[j]).unwrap_or(special::TOP)).collect();
         rows.insert(projected);
     }
     let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
@@ -163,10 +234,10 @@ pub fn eval_with(
 }
 
 /// Renders the evaluation plan for a query without executing it: the
-/// order the greedy planner would process conjuncts in, with boundness
-/// and the capped selectivity estimate at each step. The paper's user
-/// "zooms" with queries; this is the systems-side view of what a zoom
-/// costs.
+/// order the greedy planner would process conjuncts in, with boundness,
+/// the capped selectivity estimate, and the hash-join key columns at
+/// each step. The paper's user "zooms" with queries; this is the
+/// systems-side view of what a zoom costs.
 pub fn explain_plan(query: &Query, view: &impl FactView) -> String {
     let mut out = String::new();
     explain_formula(&query.formula, query, view, 0, &mut out);
@@ -187,30 +258,24 @@ fn explain_formula(
     }
     match f {
         Formula::Atom(_) | Formula::And(..) => {
-            let mut conjuncts = Vec::new();
-            flatten_and(f, &mut conjuncts);
+            let conjuncts = flatten_conjuncts(f);
+            if conjuncts.is_empty() {
+                out.push_str(&format!("{indent}TRUE\n"));
+                return;
+            }
             out.push_str(&format!("{indent}join ({} conjuncts, greedy order):\n", conjuncts.len()));
-            // Simulate the greedy ordering without evaluating: complex
-            // conjuncts are treated as opaque relations of unknown size.
-            let mut remaining: Vec<&Formula> = conjuncts;
+            let infos = conj_infos(&conjuncts, view);
+            let (order, keys) = greedy_order(&infos, AtomOrdering::Greedy);
             let mut covered: BTreeSet<Var> = BTreeSet::new();
-            let mut step = 0;
-            while !remaining.is_empty() {
-                // Build Conjunct wrappers for pick_next scoring.
-                let items: Vec<Conjunct<'_>> = remaining
-                    .iter()
-                    .map(|c| match c {
-                        Formula::Atom(tpl) => Conjunct::Atom(tpl),
-                        other => Conjunct::Rel(Rel {
-                            cols: other.free_vars().into_iter().collect(),
-                            rows: BTreeSet::new(),
-                        }),
-                    })
-                    .collect();
-                let next = pick_next(&items, &covered, view);
-                let chosen = remaining.remove(next);
-                step += 1;
-                match chosen {
+            for (step, &ci) in order.iter().enumerate() {
+                let key_note = if keys[step].is_empty() {
+                    String::new()
+                } else {
+                    let names: Vec<String> =
+                        keys[step].iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+                    format!(" [key {}]", names.join(" "))
+                };
+                match conjuncts[ci] {
                     Formula::Atom(tpl) => {
                         let bound = tpl
                             .terms()
@@ -220,16 +285,21 @@ fn explain_formula(
                                 Term::Var(v) => covered.contains(v),
                             })
                             .count();
-                        let est = view.count_estimate(tpl.to_pattern(&Bindings::new()), 1024);
-                        let est = if est >= 1024 { ">=1024".to_string() } else { est.to_string() };
+                        let est = infos[ci].estimate;
+                        let est = if est >= ESTIMATE_CAP {
+                            ">=1024".to_string()
+                        } else {
+                            est.to_string()
+                        };
                         out.push_str(&format!(
-                            "{indent}  {step}. {}   [bound {bound}/3, const-est {est}]\n",
+                            "{indent}  {}. {}   [bound {bound}/3, const-est {est}]{key_note}\n",
+                            step + 1,
                             render_template(tpl, query, view.interner()),
                         ));
                         covered.extend(tpl.vars());
                     }
                     other => {
-                        out.push_str(&format!("{indent}  {step}. subplan:\n"));
+                        out.push_str(&format!("{indent}  {}. subplan:{key_note}\n", step + 1));
                         explain_formula(other, query, view, depth + 2, out);
                         covered.extend(other.free_vars());
                     }
@@ -264,112 +334,520 @@ fn render_template(tpl: &Template, query: &Query, interner: &loosedb_store::Inte
     format!("({}, {}, {})", term(tpl.s), term(tpl.r), term(tpl.t))
 }
 
-/// An intermediate relation: sorted columns, tuple set.
+/// An intermediate relation, column-oriented: named columns over a flat
+/// row-major arena. `data.len() == cols.len() * rows` always; a
+/// zero-arity relation with one row is "true", with none "false".
 #[derive(Clone, Debug)]
 struct Rel {
     cols: Vec<Var>,
-    rows: BTreeSet<Vec<EntityId>>,
+    data: Vec<EntityId>,
+    rows: usize,
 }
 
 impl Rel {
     fn truth(value: bool) -> Rel {
-        let mut rows = BTreeSet::new();
-        if value {
-            rows.insert(Vec::new());
+        Rel { cols: Vec::new(), data: Vec::new(), rows: value as usize }
+    }
+
+    fn empty(cols: Vec<Var>) -> Rel {
+        Rel { cols, data: Vec::new(), rows: 0 }
+    }
+
+    fn row(&self, i: usize) -> &[EntityId] {
+        let a = self.cols.len();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    fn col_pos(&self, v: Var) -> Option<usize> {
+        self.cols.iter().position(|c| *c == v)
+    }
+
+    /// Projects to a subset of the columns (in the given order),
+    /// deduplicating the surviving rows.
+    fn project_to(&self, keep: &[Var]) -> Rel {
+        let pos: Vec<usize> =
+            keep.iter().map(|v| self.col_pos(*v).expect("projection column present")).collect();
+        let mut out = Rel::empty(keep.to_vec());
+        let mut dedup = RowDedup::default();
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &p in &pos {
+                out.data.push(row[p]);
+            }
+            dedup.commit(&mut out);
         }
-        Rel { cols: Vec::new(), rows }
+        out
+    }
+
+    /// Removes one column (existential projection), if present.
+    fn project_out(self, v: Var) -> Rel {
+        if self.col_pos(v).is_none() {
+            return self;
+        }
+        let keep: Vec<Var> = self.cols.iter().copied().filter(|c| *c != v).collect();
+        self.project_to(&keep)
     }
 }
 
-fn eval_formula(f: &Formula, view: &impl FactView, opts: &EvalOptions) -> Result<Rel, EvalError> {
-    if f.is_true_sentinel() {
-        return Ok(Rel::truth(true));
+/// Incremental row deduplication over a [`Rel`] arena: a hash-bucketed
+/// index of committed row numbers. The caller stages a candidate row at
+/// the arena tail, then [`RowDedup::commit`] either accepts it (row
+/// count advances) or truncates it away. No per-row allocation.
+#[derive(Default)]
+struct RowDedup {
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+fn hash_row(row: &[EntityId]) -> u64 {
+    // FNV-1a with an extra xorshift mix; rows are short (join arity).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in row {
+        h ^= e.0 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    match f {
-        Formula::Atom(_) | Formula::And(..) => {
-            let mut conjuncts = Vec::new();
-            flatten_and(f, &mut conjuncts);
-            eval_conjunction(&conjuncts, view, opts)
+    h ^= h >> 29;
+    h
+}
+
+impl RowDedup {
+    /// Commits the staged row at the tail of `rel.data`. Returns true if
+    /// the row was new (kept), false if it was a duplicate (truncated).
+    fn commit(&mut self, rel: &mut Rel) -> bool {
+        let arity = rel.cols.len();
+        let start = rel.rows * arity;
+        debug_assert_eq!(rel.data.len(), start + arity);
+        let h = hash_row(&rel.data[start..]);
+        let bucket = self.buckets.entry(h).or_default();
+        for &r in bucket.iter() {
+            let rs = r as usize * arity;
+            if rel.data[rs..rs + arity] == rel.data[start..start + arity] {
+                rel.data.truncate(start);
+                return false;
+            }
         }
-        Formula::Or(a, b) => {
-            let left = eval_formula(a, view, opts)?;
-            let right = eval_formula(b, view, opts)?;
-            union(left, right, view, opts)
-        }
-        Formula::Exists(v, a) => {
-            let rel = eval_formula(a, view, opts)?;
-            Ok(project_out(rel, *v))
-        }
-        Formula::ForAll(v, a) => {
-            let rel = eval_formula(a, view, opts)?;
-            Ok(forall(rel, *v, view.domain()))
-        }
+        bucket.push(rel.rows as u32);
+        rel.rows += 1;
+        true
     }
 }
 
-fn flatten_and<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
-    match f {
-        Formula::And(a, b) => {
-            flatten_and(a, out);
-            flatten_and(b, out);
+/// Flattens nested conjunctions into a conjunct list, dropping TRUE
+/// sentinels (they are identity elements of conjunction). Shared with
+/// the planner so plan groups and evaluation groups line up.
+pub(crate) fn flatten_conjuncts(f: &Formula) -> Vec<&Formula> {
+    fn rec<'f>(f: &'f Formula, out: &mut Vec<&'f Formula>) {
+        match f {
+            Formula::And(a, b) => {
+                rec(a, out);
+                rec(b, out);
+            }
+            other => out.push(other),
         }
-        other => out.push(other),
     }
+    let mut out = Vec::new();
+    rec(f, &mut out);
+    out.retain(|c| !c.is_true_sentinel());
+    out
 }
 
-/// A conjunct during join planning.
+/// True if `order` is a permutation of `0..n` (a replayable group plan).
+fn valid_order(order: &[usize], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    order.iter().all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+}
+
+/// A conjunct during join execution.
 enum Conjunct<'f> {
     Atom(&'f Template),
     Rel(Rel),
 }
 
-fn eval_conjunction(
+fn eval_formula(
+    f: &Formula,
+    view: &impl FactView,
+    opts: &EvalOptions,
+    needed: Option<&BTreeSet<Var>>,
+    plan: &QueryPlan,
+    cursor: &mut usize,
+) -> Result<Rel, EvalError> {
+    if f.is_true_sentinel() {
+        return Ok(Rel::truth(true));
+    }
+    match f {
+        Formula::Atom(_) | Formula::And(..) => {
+            let conjuncts = flatten_conjuncts(f);
+            if conjuncts.is_empty() {
+                return Ok(Rel::truth(true));
+            }
+            let group = plan.groups().get(*cursor);
+            *cursor += 1;
+            match opts.strategy {
+                ExecStrategy::HashJoin => {
+                    eval_conjunction_hash(&conjuncts, view, opts, needed, group, plan, cursor)
+                }
+                ExecStrategy::NestedLoop => {
+                    eval_conjunction_nested(&conjuncts, view, opts, group, plan, cursor)
+                }
+            }
+        }
+        Formula::Or(a, b) => {
+            let left = eval_formula(a, view, opts, needed, plan, cursor)?;
+            let right = eval_formula(b, view, opts, needed, plan, cursor)?;
+            union(left, right, view, opts)
+        }
+        Formula::Exists(v, a) => match needed {
+            // Pushdown: the body never materializes the quantified
+            // column — `needed \ {v}` projects it out at the source.
+            Some(n) => {
+                let mut nb = n.clone();
+                nb.remove(v);
+                let rel = eval_formula(a, view, opts, Some(&nb), plan, cursor)?;
+                debug_assert!(rel.col_pos(*v).is_none());
+                Ok(rel)
+            }
+            None => {
+                let rel = eval_formula(a, view, opts, None, plan, cursor)?;
+                Ok(rel.project_out(*v))
+            }
+        },
+        Formula::ForAll(v, a) => {
+            // Division does not commute with projection (∀∃ ≠ ∃∀): the
+            // body keeps its full free columns.
+            let rel = eval_formula(a, view, opts, None, plan, cursor)?;
+            let rel = forall(rel, *v, view.domain());
+            match needed {
+                Some(n) => {
+                    let keep: Vec<Var> =
+                        rel.cols.iter().copied().filter(|c| n.contains(c)).collect();
+                    if keep.len() < rel.cols.len() {
+                        Ok(rel.project_to(&keep))
+                    } else {
+                        Ok(rel)
+                    }
+                }
+                None => Ok(rel),
+            }
+        }
+    }
+}
+
+/// Pre-evaluates the complex conjuncts of a group (disjunctions,
+/// quantifiers) into relations, in flatten order so the plan-group
+/// cursor stays aligned; atoms stay symbolic so joins can probe the
+/// store indexes.
+fn materialize_conjuncts<'f>(
+    conjuncts: &[&'f Formula],
+    var_sets: &[BTreeSet<Var>],
+    view: &impl FactView,
+    opts: &EvalOptions,
+    needed: Option<&BTreeSet<Var>>,
+    plan: &QueryPlan,
+    cursor: &mut usize,
+) -> Result<Vec<Conjunct<'f>>, EvalError> {
+    let mut items: Vec<Conjunct<'f>> = Vec::with_capacity(conjuncts.len());
+    for (i, c) in conjuncts.iter().enumerate() {
+        match c {
+            Formula::Atom(tpl) => items.push(Conjunct::Atom(tpl)),
+            other => {
+                // The subrelation must keep what the enclosing scope
+                // needs plus whatever joins against the other conjuncts;
+                // everything else is projected out at the source.
+                let sub_needed: Option<BTreeSet<Var>> = needed.map(|nd| {
+                    let mut keep = nd.clone();
+                    for (j, vs) in var_sets.iter().enumerate() {
+                        if j != i {
+                            keep.extend(vs.iter().copied());
+                        }
+                    }
+                    keep
+                });
+                let rel = eval_formula(other, view, opts, sub_needed.as_ref(), plan, cursor)?;
+                items.push(Conjunct::Rel(rel));
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Set-at-a-time conjunction: hash-joins the conjuncts in plan order.
+fn eval_conjunction_hash(
     conjuncts: &[&Formula],
     view: &impl FactView,
     opts: &EvalOptions,
+    needed: Option<&BTreeSet<Var>>,
+    group: Option<&GroupPlan>,
+    plan: &QueryPlan,
+    cursor: &mut usize,
 ) -> Result<Rel, EvalError> {
-    // Pre-evaluate complex conjuncts (disjunctions, quantifiers) into
-    // relations; atoms stay symbolic so they can use the indexes.
-    let mut items: Vec<Conjunct<'_>> = Vec::with_capacity(conjuncts.len());
-    let mut free_vars: BTreeSet<Var> = BTreeSet::new();
-    for c in conjuncts {
-        free_vars.extend(c.free_vars());
-        match c {
-            Formula::Atom(tpl) if !c.is_true_sentinel() => items.push(Conjunct::Atom(tpl)),
-            _ if c.is_true_sentinel() => {}
-            other => items.push(Conjunct::Rel(eval_formula(other, view, opts)?)),
+    let n = conjuncts.len();
+    let var_sets: Vec<BTreeSet<Var>> = conjuncts.iter().map(|c| c.free_vars()).collect();
+    let items = materialize_conjuncts(conjuncts, &var_sets, view, opts, needed, plan, cursor)?;
+    let order: Vec<usize> = match group {
+        Some(g) if valid_order(&g.order, n) => g.order.clone(),
+        _ => (0..n).collect(),
+    };
+
+    let mut cur = Rel::truth(true);
+    for (step, &ci) in order.iter().enumerate() {
+        if cur.rows == 0 {
+            break;
+        }
+        cur = match &items[ci] {
+            Conjunct::Atom(tpl) => join_atom(cur, tpl, view, opts)?,
+            Conjunct::Rel(rel) => join_rel(cur, rel, opts)?,
+        };
+        if let Some(nd) = needed {
+            // Semi-join pushdown: drop columns no remaining conjunct
+            // and no enclosing scope references. This is what keeps
+            // chain-query intermediates thin — and small, since the
+            // projection dedups.
+            let mut keep_set: BTreeSet<Var> = nd.clone();
+            for &cj in &order[step + 1..] {
+                match &items[cj] {
+                    Conjunct::Atom(tpl) => keep_set.extend(tpl.vars()),
+                    Conjunct::Rel(rel) => keep_set.extend(rel.cols.iter().copied()),
+                }
+            }
+            let keep: Vec<Var> =
+                cur.cols.iter().copied().filter(|c| keep_set.contains(c)).collect();
+            if keep.len() < cur.cols.len() {
+                cur = cur.project_to(&keep);
+            }
         }
     }
 
-    let mut remaining: Vec<Conjunct<'_>> = items;
-    let mut covered: BTreeSet<Var> = BTreeSet::new();
-    let mut partials: Vec<Bindings> = vec![Bindings::new()];
+    // Final shape: the group's free variables (∩ needed), sorted.
+    let mut final_set: BTreeSet<Var> = BTreeSet::new();
+    for vs in &var_sets {
+        final_set.extend(vs.iter().copied());
+    }
+    if let Some(nd) = needed {
+        final_set.retain(|v| nd.contains(v));
+    }
+    let final_cols: Vec<Var> = final_set.into_iter().collect();
+    if cur.rows == 0 {
+        return Ok(Rel::empty(final_cols));
+    }
+    if cur.cols == final_cols {
+        return Ok(cur);
+    }
+    Ok(cur.project_to(&final_cols))
+}
 
-    while !remaining.is_empty() {
-        let next_index = match opts.ordering {
-            AtomOrdering::Syntactic => 0,
-            AtomOrdering::Greedy => pick_next(&remaining, &covered, view),
-        };
-        let item = remaining.remove(next_index);
+/// One hash-join step against an atom's extension. The store is probed
+/// once per *distinct* value of the join key (the template's variables
+/// already bound in `cur`), not once per partial row; the matches are
+/// grouped by key and the join streams `cur` against the groups.
+fn join_atom(
+    cur: Rel,
+    tpl: &Template,
+    view: &impl FactView,
+    opts: &EvalOptions,
+) -> Result<Rel, EvalError> {
+    // Distinct template variables in position order.
+    let mut tvars: Vec<Var> = Vec::new();
+    for v in tpl.vars() {
+        if !tvars.contains(&v) {
+            tvars.push(v);
+        }
+    }
+    let key_vars: Vec<Var> = tvars.iter().copied().filter(|v| cur.col_pos(*v).is_some()).collect();
+    let new_vars: Vec<Var> = tvars.iter().copied().filter(|v| cur.col_pos(*v).is_none()).collect();
+    let key_pos: Vec<usize> =
+        key_vars.iter().map(|v| cur.col_pos(*v).expect("key var present")).collect();
+
+    let mut out_cols = cur.cols.clone();
+    out_cols.extend(new_vars.iter().copied());
+    if cur.rows == 0 {
+        return Ok(Rel::empty(out_cols));
+    }
+
+    // 1. The distinct join-key values present in `cur`.
+    let karity = key_vars.len();
+    let mut keys = Rel::empty(key_vars.clone());
+    if karity == 0 {
+        keys.rows = 1; // the single (empty) probe
+    } else {
+        let mut kd = RowDedup::default();
+        for i in 0..cur.rows {
+            let row = cur.row(i);
+            for &p in &key_pos {
+                keys.data.push(row[p]);
+            }
+            kd.commit(&mut keys);
+        }
+    }
+
+    // 2. One index probe per distinct key; match payloads grouped by key.
+    let npay = new_vars.len();
+    let mut groups: HashMap<&[EntityId], (Vec<EntityId>, usize)> =
+        HashMap::with_capacity(keys.rows);
+    let mut produced = 0usize;
+    for k in 0..keys.rows {
+        let keyrow = &keys.data[k * karity..(k + 1) * karity];
+        let mut b = Bindings::new();
+        for (v, &val) in key_vars.iter().zip(keyrow) {
+            b.bind(*v, val);
+        }
+        let pattern = tpl.to_pattern(&b);
+        let mut payload: Vec<EntityId> = Vec::new();
+        let mut count = 0usize;
+        for fact in view.matches(pattern)? {
+            let Some(b2) = tpl.unify(&fact, &b) else { continue };
+            count += 1;
+            produced += 1;
+            if produced > opts.max_rows {
+                return Err(EvalError::ResultTooLarge { limit: opts.max_rows, produced });
+            }
+            for v in &new_vars {
+                payload.push(b2.get(*v).expect("template variable bound by unify"));
+            }
+        }
+        groups.insert(keyrow, (payload, count));
+    }
+
+    // 3. Hash join `cur` against the grouped matches, deduplicating as
+    //    rows land in the output arena.
+    let mut out = Rel::empty(out_cols);
+    let mut dedup = RowDedup::default();
+    let mut scratch: Vec<EntityId> = Vec::with_capacity(karity);
+    for i in 0..cur.rows {
+        let row = cur.row(i);
+        scratch.clear();
+        for &p in &key_pos {
+            scratch.push(row[p]);
+        }
+        let Some((payload, count)) = groups.get(scratch.as_slice()) else { continue };
+        if npay == 0 {
+            // Semi-join: the atom adds no columns, it only filters.
+            if *count > 0 {
+                out.data.extend_from_slice(row);
+                if dedup.commit(&mut out) && out.rows > opts.max_rows {
+                    return Err(EvalError::ResultTooLarge {
+                        limit: opts.max_rows,
+                        produced: out.rows,
+                    });
+                }
+            }
+        } else {
+            for chunk in payload.chunks(npay) {
+                out.data.extend_from_slice(row);
+                out.data.extend_from_slice(chunk);
+                if dedup.commit(&mut out) && out.rows > opts.max_rows {
+                    return Err(EvalError::ResultTooLarge {
+                        limit: opts.max_rows,
+                        produced: out.rows,
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One hash-join step against a materialized relation (a pre-evaluated
+/// complex conjunct), keyed on the shared columns; a genuine cross
+/// product only when there are none.
+fn join_rel(cur: Rel, sub: &Rel, opts: &EvalOptions) -> Result<Rel, EvalError> {
+    let shared: Vec<Var> = sub.cols.iter().copied().filter(|v| cur.col_pos(*v).is_some()).collect();
+    let cur_pos: Vec<usize> =
+        shared.iter().map(|v| cur.col_pos(*v).expect("shared in cur")).collect();
+    let sub_pos: Vec<usize> =
+        shared.iter().map(|v| sub.col_pos(*v).expect("shared in sub")).collect();
+    let pay_vars: Vec<Var> =
+        sub.cols.iter().copied().filter(|v| cur.col_pos(*v).is_none()).collect();
+    let pay_pos: Vec<usize> =
+        pay_vars.iter().map(|v| sub.col_pos(*v).expect("payload in sub")).collect();
+
+    let mut out_cols = cur.cols.clone();
+    out_cols.extend(pay_vars.iter().copied());
+    if cur.rows == 0 || sub.rows == 0 {
+        return Ok(Rel::empty(out_cols));
+    }
+
+    // Build side: sub rows grouped by shared-column values.
+    let mut map: HashMap<Vec<EntityId>, Vec<u32>> = HashMap::new();
+    for j in 0..sub.rows {
+        let row = sub.row(j);
+        let key: Vec<EntityId> = sub_pos.iter().map(|&p| row[p]).collect();
+        map.entry(key).or_default().push(j as u32);
+    }
+
+    // Probe side: stream `cur`.
+    let mut out = Rel::empty(out_cols);
+    let mut dedup = RowDedup::default();
+    let mut scratch: Vec<EntityId> = Vec::with_capacity(cur_pos.len());
+    for i in 0..cur.rows {
+        let row = cur.row(i);
+        scratch.clear();
+        for &p in &cur_pos {
+            scratch.push(row[p]);
+        }
+        let Some(matches) = map.get(scratch.as_slice()) else { continue };
+        for &j in matches {
+            let srow = sub.row(j as usize);
+            out.data.extend_from_slice(row);
+            for &p in &pay_pos {
+                out.data.push(srow[p]);
+            }
+            if dedup.commit(&mut out) && out.rows > opts.max_rows {
+                return Err(EvalError::ResultTooLarge { limit: opts.max_rows, produced: out.rows });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The retained binding-at-a-time oracle: nested-loop joins with
+/// per-partial index probes, as the seed shipped it (modulo the
+/// in-loop `max_rows` check). Property tests compare the hash-join
+/// executor against this path.
+fn eval_conjunction_nested(
+    conjuncts: &[&Formula],
+    view: &impl FactView,
+    opts: &EvalOptions,
+    group: Option<&GroupPlan>,
+    plan: &QueryPlan,
+    cursor: &mut usize,
+) -> Result<Rel, EvalError> {
+    let n = conjuncts.len();
+    let var_sets: Vec<BTreeSet<Var>> = conjuncts.iter().map(|c| c.free_vars()).collect();
+    let items = materialize_conjuncts(conjuncts, &var_sets, view, opts, None, plan, cursor)?;
+    let order: Vec<usize> = match group {
+        Some(g) if valid_order(&g.order, n) => g.order.clone(),
+        _ => (0..n).collect(),
+    };
+
+    let mut partials: Vec<Bindings> = vec![Bindings::new()];
+    for &ci in &order {
+        if partials.is_empty() {
+            break;
+        }
         let mut extended: Vec<Bindings> = Vec::new();
-        match item {
+        match &items[ci] {
             Conjunct::Atom(tpl) => {
                 for b in &partials {
                     let pattern = tpl.to_pattern(b);
                     for fact in view.matches(pattern)? {
                         if let Some(b2) = tpl.unify(&fact, b) {
                             extended.push(b2);
+                            if extended.len() > opts.max_rows {
+                                return Err(EvalError::ResultTooLarge {
+                                    limit: opts.max_rows,
+                                    produced: extended.len(),
+                                });
+                            }
                         }
                     }
-                    if extended.len() > opts.max_rows {
-                        return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
-                    }
                 }
-                covered.extend(tpl.vars());
             }
             Conjunct::Rel(rel) => {
                 for b in &partials {
-                    'row: for row in &rel.rows {
+                    'row: for i in 0..rel.rows {
+                        let row = rel.row(i);
                         let mut merged = b.clone();
                         for (col, &value) in rel.cols.iter().zip(row) {
                             match merged.get(*col) {
@@ -379,174 +857,121 @@ fn eval_conjunction(
                             }
                         }
                         extended.push(merged);
-                    }
-                    if extended.len() > opts.max_rows {
-                        return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
+                        if extended.len() > opts.max_rows {
+                            return Err(EvalError::ResultTooLarge {
+                                limit: opts.max_rows,
+                                produced: extended.len(),
+                            });
+                        }
                     }
                 }
-                covered.extend(rel.cols.iter().copied());
             }
         }
         partials = extended;
-        if partials.is_empty() {
-            break;
-        }
     }
 
-    let cols: Vec<Var> = free_vars.into_iter().collect();
-    let mut rows = BTreeSet::new();
-    for b in partials {
-        let row: Vec<EntityId> = cols
-            .iter()
-            .map(|v| b.get(*v).expect("all conjunct variables bound after full join"))
-            .collect();
-        rows.insert(row);
+    let mut cols_set: BTreeSet<Var> = BTreeSet::new();
+    for vs in &var_sets {
+        cols_set.extend(vs.iter().copied());
     }
-    Ok(Rel { cols, rows })
-}
-
-/// Greedy choice, in lexicographic priority:
-///
-/// 1. **Connectivity** — an atom that shares a variable with what is
-///    already bound (or has no variables at all) extends the join; a
-///    disconnected atom would cross-product every partial binding with
-///    its full extension.
-/// 2. **Boundness** — more constant-or-covered positions mean tighter
-///    index probes; math atoms are slightly deprioritized so they run as
-///    checks once their operands are known.
-/// 3. **Selectivity** — a capped constant-only count probe breaks ties.
-fn pick_next(remaining: &[Conjunct<'_>], covered: &BTreeSet<Var>, view: &impl FactView) -> usize {
-    let nothing_covered = covered.is_empty();
-    let mut best = 0usize;
-    let mut best_key = (i64::MIN, i64::MIN, i64::MIN);
-    for (i, item) in remaining.iter().enumerate() {
-        let key = match item {
-            Conjunct::Atom(tpl) => {
-                let vars: Vec<Var> = tpl.vars().collect();
-                let connected =
-                    nothing_covered || vars.is_empty() || vars.iter().any(|v| covered.contains(v));
-                let bound = tpl
-                    .terms()
-                    .into_iter()
-                    .filter(|t| match t {
-                        Term::Const(_) => true,
-                        Term::Var(v) => covered.contains(v),
-                    })
-                    .count() as i64;
-                let is_math = tpl.r.as_const().is_some_and(special::is_math);
-                // Selectivity probe with constants only (cheap, capped).
-                let const_pattern = tpl.to_pattern(&Bindings::new());
-                let estimate =
-                    if is_math { 1024 } else { view.count_estimate(const_pattern, 1024) as i64 };
-                (connected as i64, bound * 2 - is_math as i64, -estimate)
-            }
-            Conjunct::Rel(rel) => {
-                let connected = nothing_covered
-                    || rel.cols.is_empty()
-                    || rel.cols.iter().any(|c| covered.contains(c));
-                let bound = rel.cols.iter().filter(|c| covered.contains(c)).count() as i64;
-                (connected as i64, bound * 2, -(rel.rows.len() as i64))
-            }
-        };
-        if key > best_key {
-            best_key = key;
-            best = i;
+    let cols: Vec<Var> = cols_set.into_iter().collect();
+    let mut out = Rel::empty(cols);
+    let mut dedup = RowDedup::default();
+    for b in &partials {
+        for k in 0..out.cols.len() {
+            let v = out.cols[k];
+            out.data.push(b.get(v).expect("all conjunct variables bound after full join"));
         }
+        dedup.commit(&mut out);
     }
-    best
+    Ok(out)
 }
 
 /// Union with active-domain padding for heterogeneous columns.
 fn union(a: Rel, b: Rel, view: &impl FactView, opts: &EvalOptions) -> Result<Rel, EvalError> {
     let cols: Vec<Var> =
         a.cols.iter().chain(b.cols.iter()).copied().collect::<BTreeSet<_>>().into_iter().collect();
-    let mut rows = BTreeSet::new();
-    for (rel, _other) in [(&a, &b), (&b, &a)] {
-        let pad_cols: Vec<Var> = cols.iter().copied().filter(|c| !rel.cols.contains(c)).collect();
-        let pad_space = view.domain().len().pow(pad_cols.len() as u32).max(1);
-        if rel.rows.len().saturating_mul(pad_space) > opts.max_rows {
-            return Err(EvalError::ResultTooLarge { limit: opts.max_rows });
+    let arity = cols.len();
+    let domain = view.domain();
+    let mut out = Rel::empty(cols);
+    let mut dedup = RowDedup::default();
+    for rel in [&a, &b] {
+        let src: Vec<Option<usize>> = out.cols.iter().map(|c| rel.col_pos(*c)).collect();
+        let pad_positions: Vec<usize> =
+            src.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        let pad_space =
+            domain.len().checked_pow(pad_positions.len() as u32).unwrap_or(usize::MAX).max(1);
+        let produced = rel.rows.saturating_mul(pad_space);
+        if produced > opts.max_rows {
+            return Err(EvalError::ResultTooLarge { limit: opts.max_rows, produced });
         }
-        for row in &rel.rows {
-            pad_row(&cols, rel, row, &pad_cols, view.domain(), &mut Vec::new(), &mut rows);
+        if rel.rows == 0 || (!pad_positions.is_empty() && domain.is_empty()) {
+            continue;
         }
-    }
-    Ok(Rel { cols, rows })
-}
-
-/// Recursively enumerates domain values for the padded columns.
-fn pad_row(
-    cols: &[Var],
-    rel: &Rel,
-    row: &[EntityId],
-    pad_cols: &[Var],
-    domain: &[EntityId],
-    pad_values: &mut Vec<EntityId>,
-    out: &mut BTreeSet<Vec<EntityId>>,
-) {
-    if pad_values.len() == pad_cols.len() {
-        let full: Vec<EntityId> = cols
-            .iter()
-            .map(|c| {
-                if let Some(i) = rel.cols.iter().position(|rc| rc == c) {
-                    row[i]
-                } else {
-                    let j = pad_cols.iter().position(|pc| pc == c).expect("padded");
-                    pad_values[j]
+        let mut scratch: Vec<EntityId> = vec![special::TOP; arity];
+        for i in 0..rel.rows {
+            let row = rel.row(i);
+            for (k, s) in src.iter().enumerate() {
+                if let Some(j) = *s {
+                    scratch[k] = row[j];
                 }
-            })
-            .collect();
-        out.insert(full);
-        return;
-    }
-    for &d in domain {
-        pad_values.push(d);
-        pad_row(cols, rel, row, pad_cols, domain, pad_values, out);
-        pad_values.pop();
-    }
-}
-
-/// Removes a column (existential projection).
-fn project_out(rel: Rel, v: Var) -> Rel {
-    match rel.cols.iter().position(|c| *c == v) {
-        None => rel,
-        Some(i) => {
-            let cols: Vec<Var> = rel.cols.iter().copied().filter(|c| *c != v).collect();
-            let rows: BTreeSet<Vec<EntityId>> = rel
-                .rows
-                .into_iter()
-                .map(|mut row| {
-                    row.remove(i);
-                    row
-                })
-                .collect();
-            Rel { cols, rows }
+            }
+            // Odometer over the padded positions' domain assignments.
+            let mut odometer = vec![0usize; pad_positions.len()];
+            loop {
+                for (k, &p) in pad_positions.iter().enumerate() {
+                    scratch[p] = domain[odometer[k]];
+                }
+                out.data.extend_from_slice(&scratch);
+                if dedup.commit(&mut out) && out.rows > opts.max_rows {
+                    return Err(EvalError::ResultTooLarge {
+                        limit: opts.max_rows,
+                        produced: out.rows,
+                    });
+                }
+                let mut k = 0;
+                while k < odometer.len() {
+                    odometer[k] += 1;
+                    if odometer[k] < domain.len() {
+                        break;
+                    }
+                    odometer[k] = 0;
+                    k += 1;
+                }
+                if k == odometer.len() {
+                    break;
+                }
+            }
         }
     }
+    Ok(out)
 }
 
 /// Universal quantification: keep groups covering the whole domain.
 fn forall(rel: Rel, v: Var, domain: &[EntityId]) -> Rel {
-    let Some(vi) = rel.cols.iter().position(|c| *c == v) else {
+    let Some(vi) = rel.col_pos(v) else {
         // v not free in the body: (∀x) A ≡ A over a non-empty domain;
         // over the empty domain the quantification is vacuously true,
         // which for a formula with no x-dependence is A as well.
         return rel;
     };
     let cols: Vec<Var> = rel.cols.iter().copied().filter(|c| *c != v).collect();
-    let mut groups: std::collections::HashMap<Vec<EntityId>, BTreeSet<EntityId>> =
-        std::collections::HashMap::new();
-    for row in &rel.rows {
-        let mut key = row.clone();
-        let value = key.remove(vi);
-        groups.entry(key).or_default().insert(value);
+    let mut groups: HashMap<Vec<EntityId>, BTreeSet<EntityId>> = HashMap::new();
+    for i in 0..rel.rows {
+        let row = rel.row(i);
+        let mut key: Vec<EntityId> = Vec::with_capacity(row.len() - 1);
+        key.extend_from_slice(&row[..vi]);
+        key.extend_from_slice(&row[vi + 1..]);
+        groups.entry(key).or_default().insert(row[vi]);
     }
-    let rows: BTreeSet<Vec<EntityId>> = groups
-        .into_iter()
-        .filter(|(_, values)| domain.iter().all(|d| values.contains(d)))
-        .map(|(key, _)| key)
-        .collect();
-    Rel { cols, rows }
+    let mut out = Rel::empty(cols);
+    for (key, values) in groups {
+        if domain.iter().all(|d| values.contains(d)) {
+            out.data.extend_from_slice(&key);
+            out.rows += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -568,6 +993,32 @@ mod tests {
 
     fn names(db: &Database, answer: &Answer) -> Vec<Vec<String>> {
         answer.rows.iter().map(|row| row.iter().map(|&e| db.display(e)).collect()).collect()
+    }
+
+    /// All four ordering × strategy combinations.
+    fn all_options(max_rows: usize) -> [EvalOptions; 4] {
+        [
+            EvalOptions {
+                ordering: AtomOrdering::Greedy,
+                strategy: ExecStrategy::HashJoin,
+                max_rows,
+            },
+            EvalOptions {
+                ordering: AtomOrdering::Syntactic,
+                strategy: ExecStrategy::HashJoin,
+                max_rows,
+            },
+            EvalOptions {
+                ordering: AtomOrdering::Greedy,
+                strategy: ExecStrategy::NestedLoop,
+                max_rows,
+            },
+            EvalOptions {
+                ordering: AtomOrdering::Syntactic,
+                strategy: ExecStrategy::NestedLoop,
+                max_rows,
+            },
+        ]
     }
 
     #[test]
@@ -736,17 +1187,61 @@ mod tests {
         let greedy = eval_with(
             &query,
             &view,
-            EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 1_000_000 },
+            EvalOptions { ordering: AtomOrdering::Greedy, ..EvalOptions::default() },
         )
         .unwrap();
         let syntactic = eval_with(
             &query,
             &view,
-            EvalOptions { ordering: AtomOrdering::Syntactic, max_rows: 1_000_000 },
+            EvalOptions { ordering: AtomOrdering::Syntactic, ..EvalOptions::default() },
         )
         .unwrap();
         assert_eq!(greedy.rows, syntactic.rows);
         assert_eq!(greedy.len(), 1);
+    }
+
+    #[test]
+    fn hash_join_and_nested_loop_agree_across_suite() {
+        // The oracle check, inline edition: every strategy × ordering
+        // combination must agree on a formula zoo (the proptest in
+        // tests/query_equivalence.rs does this over random worlds).
+        let build = |db: &mut Database| {
+            db.add("BOOK-A", "isa", "BOOK");
+            db.add("BOOK-B", "isa", "BOOK");
+            db.add("BOOK-A", "AUTHOR", "JOHN");
+            db.add("BOOK-B", "AUTHOR", "MARY");
+            db.add("BOOK-A", "CITES", "BOOK-A");
+            db.add("BOOK-B", "CITES", "BOOK-A");
+            db.add("JOHN", "isa", "PERSON");
+            db.add("MARY", "isa", "PERSON");
+            db.add("JOHN", "EARNS", 25000i64);
+            db.add("MARY", "EARNS", 18000i64);
+        };
+        let suite = [
+            "(?x, isa, BOOK)",
+            "(?x, isa, BOOK) & (?x, AUTHOR, ?y)",
+            "Q(?y) := exists ?x . (?x, isa, BOOK) & (?x, CITES, ?x) & (?x, AUTHOR, ?y)",
+            "Q(?z) := exists ?y . (?z, isa, PERSON) & (?z, EARNS, ?y) & (?y, >, 20000)",
+            "(?x, AUTHOR, JOHN) | (?x, AUTHOR, MARY)",
+            "Q(?x, ?y) := (?x, CITES, ?x) | (?y, AUTHOR, MARY)",
+            "exists ?x . forall ?y . (?x, KNOWS, ?y)",
+            "Q(?p) := (?p, isa, PERSON) & ((?p, EARNS, 25000) | (?p, EARNS, 18000))",
+            "(JOHN, isa, PERSON) & (MARY, isa, PERSON)",
+            "(?x, ?r, ?y) & (?y, isa, PERSON)",
+        ];
+        for src in suite {
+            let mut db = Database::new();
+            build(&mut db);
+            let query = parse(src, db.store_interner_mut()).expect("parse");
+            let view = db.view().expect("closure");
+            let mut results = Vec::new();
+            for opts in all_options(1_000_000) {
+                results.push(eval_with(&query, &view, opts).expect("eval"));
+            }
+            for r in &results[1..] {
+                assert_eq!(results[0].rows, r.rows, "strategies disagree on {src}");
+            }
+        }
     }
 
     #[test]
@@ -760,17 +1255,26 @@ mod tests {
     }
 
     #[test]
-    fn max_rows_guard() {
+    fn max_rows_guard_fires_inside_match_stream() {
         let mut db = Database::new();
         for i in 0..50 {
             db.add(format!("A{i}"), "R", format!("B{i}"));
         }
         let query = parse("(?x, ?r, ?y)", db.store_interner_mut()).unwrap();
         let view = db.view().unwrap();
-        let err =
-            eval_with(&query, &view, EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 10 })
-                .unwrap_err();
-        assert_eq!(err, EvalError::ResultTooLarge { limit: 10 });
+        for opts in all_options(10) {
+            let err = eval_with(&query, &view, opts).unwrap_err();
+            match err {
+                EvalError::ResultTooLarge { limit, produced } => {
+                    assert_eq!(limit, 10);
+                    // The check runs inside the match loop: a single
+                    // atom's stream stops one row past the limit, not
+                    // after materializing all 50 matches.
+                    assert_eq!(produced, 11, "{opts:?}");
+                }
+                other => panic!("expected ResultTooLarge, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -906,6 +1410,8 @@ mod tests {
         assert!(rare_pos < person_pos, "{plan}");
         assert!(plan.contains("join (3 conjuncts"));
         assert!(plan.contains("project out ?y"));
+        // Later steps show their hash-join key columns.
+        assert!(plan.contains("[key ?x]"), "{plan}");
     }
 
     #[test]
@@ -932,5 +1438,36 @@ mod tests {
         let table = answer.render(db.store().interner());
         assert!(table.contains("who | amount"));
         assert!(table.contains("JOHN | 25000"));
+    }
+
+    #[test]
+    fn stale_plan_falls_back_to_syntactic_order() {
+        // Replaying a plan that does not match the formula shape must
+        // still produce the right answer (the performance contract
+        // degrades, never correctness).
+        let mut db = Database::new();
+        db.add("A", "R", "B");
+        db.add("B", "S", "C");
+        let query = parse("(?x, R, ?y) & (?y, S, ?z)", db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let bogus = QueryPlan::default(); // no groups at all
+        let answer = eval_planned(&query, &view, EvalOptions::default(), &bogus).unwrap();
+        let fresh = eval_with(&query, &view, EvalOptions::default()).unwrap();
+        assert_eq!(answer, fresh);
+        assert_eq!(answer.len(), 1);
+    }
+
+    #[test]
+    fn row_dedup_accepts_new_and_rejects_duplicates() {
+        let mut rel = Rel::empty(vec![Var(0), Var(1)]);
+        let mut dedup = RowDedup::default();
+        rel.data.extend([EntityId(1), EntityId(2)]);
+        assert!(dedup.commit(&mut rel));
+        rel.data.extend([EntityId(1), EntityId(3)]);
+        assert!(dedup.commit(&mut rel));
+        rel.data.extend([EntityId(1), EntityId(2)]);
+        assert!(!dedup.commit(&mut rel), "duplicate row must be truncated away");
+        assert_eq!(rel.rows, 2);
+        assert_eq!(rel.data.len(), 4);
     }
 }

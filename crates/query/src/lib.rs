@@ -9,9 +9,14 @@
 //!   builds on.
 //! * [`parser`] — the textual syntax (`Q(?z) := exists ?y . (?z, EARNS,
 //!   ?y) & (?y, >, 20000)`), with `*` wildcards for navigation templates.
-//! * [`eval`] — bottom-up evaluation with index-backed binding
-//!   propagation; greedy conjunct ordering (the planner) or syntactic
-//!   order (the experiment E6 baseline).
+//! * [`eval`] — bottom-up, set-at-a-time evaluation: hash joins over
+//!   column-oriented relations with incremental deduplication and
+//!   semi-join projection pushdown; the seed's binding-at-a-time
+//!   nested-loop path is retained as the reference oracle
+//!   (`ExecStrategy::NestedLoop`).
+//! * [`plan`] — shape-keyed query planning: greedy join orders from
+//!   capped count probes, memoized in an epoch-scoped [`PlanCache`] so
+//!   repeated browsing queries skip planning entirely.
 //!
 //! ```
 //! use loosedb_engine::Database;
@@ -36,7 +41,12 @@
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{Formula, Query};
-pub use eval::{eval, eval_with, explain_plan, Answer, AtomOrdering, EvalError, EvalOptions};
+pub use eval::{
+    eval, eval_planned, eval_with, explain_plan, plan_and_eval, Answer, AtomOrdering, EvalError,
+    EvalOptions, ExecStrategy,
+};
 pub use parser::{parse, parse_frozen, FrozenParseError, ParseError};
+pub use plan::{plan_dependencies, plan_query, PlanCache, PlanCacheStats, QueryPlan};

@@ -1,0 +1,570 @@
+//! Shape-keyed query planning (the E18 executor's front half).
+//!
+//! Planning — flattening conjunctions, scoring conjuncts with capped
+//! constant-only count probes, and fixing a greedy join order with its
+//! key columns — is a *pure* phase separated from execution so it can
+//! run once per query shape and be memoized. [`plan_query`] walks the
+//! formula in the same preorder as the evaluator and emits one
+//! [`GroupPlan`] per conjunction node; `eval_planned`
+//! ([`crate::eval::eval_planned`]) replays those decisions without
+//! issuing a single selectivity probe.
+//!
+//! [`PlanCache`] memoizes plans keyed on the structural hash of the
+//! frozen-parse formula ([`shape_hash`]), scoped to a database epoch.
+//! On publish, a plan is carried over when the write delta's touched
+//! relationships are provably disjoint from the plan's dependency set
+//! ([`plan_dependencies`]) — the same `rels_changed_between` machinery
+//! the `SharedSession` answer cache uses, except that a *stale plan is
+//! still correct* (only potentially suboptimal), so the carry-over rule
+//! here trades strictness for hit rate, not safety.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use loosedb_engine::{Bindings, FactView, Template, Term, Var};
+use loosedb_store::{special, EntityId};
+
+use crate::ast::{Formula, Query};
+use crate::eval::{flatten_conjuncts, AtomOrdering, EvalOptions};
+
+/// The selectivity cap for constant-only count probes; also the
+/// "unknown size" estimate assigned to math atoms and complex
+/// (non-atom) conjuncts, whose extents planning cannot probe.
+pub(crate) const ESTIMATE_CAP: i64 = 1024;
+
+/// The recorded decisions for one conjunction (`And`-group): the join
+/// order over the flattened conjunct list and, per step, the variables
+/// the hash join keys on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// Conjunct indices (into the flattened, sentinel-free conjunct
+    /// list) in the order they are joined.
+    pub order: Vec<usize>,
+    /// Join-key columns per step: the conjunct's variables already bound
+    /// by earlier steps, sorted. Empty means the step is a cross product
+    /// (always true for the first step; later only for genuinely
+    /// disconnected conjuncts).
+    pub keys: Vec<Vec<Var>>,
+}
+
+/// A complete plan for a query: one [`GroupPlan`] per conjunction node,
+/// in evaluation preorder (a conjunction's own group precedes the
+/// groups of its complex conjuncts, which follow in flatten order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryPlan {
+    pub(crate) groups: Vec<GroupPlan>,
+    /// Count probes issued while planning (0 when replaying a cached
+    /// plan — that is the whole point).
+    pub(crate) probes: u64,
+}
+
+impl QueryPlan {
+    /// The per-conjunction plans, in evaluation preorder.
+    pub fn groups(&self) -> &[GroupPlan] {
+        &self.groups
+    }
+
+    /// Count probes issued while this plan was built.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Renders the plan compactly: per group, the join order with each
+    /// step's key columns.
+    pub fn render(&self, query: &Query) -> String {
+        let mut out = String::new();
+        for (gi, g) in self.groups.iter().enumerate() {
+            out.push_str(&format!("group {gi}:"));
+            for (step, &ci) in g.order.iter().enumerate() {
+                let keys: Vec<String> =
+                    g.keys[step].iter().map(|v| format!("?{}", query.var_name(*v))).collect();
+                if keys.is_empty() {
+                    out.push_str(&format!(" {ci}"));
+                } else {
+                    out.push_str(&format!(" {ci}[{}]", keys.join(" ")));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Plans a query without executing it: one greedy (or syntactic) join
+/// order per conjunction node, using only capped constant-only count
+/// probes. The result can be replayed any number of times with
+/// [`crate::eval::eval_planned`].
+pub fn plan_query(query: &Query, view: &impl FactView, opts: &EvalOptions) -> QueryPlan {
+    let before = view.count_probes();
+    let mut plan = QueryPlan::default();
+    plan_formula(&query.formula, view, opts, &mut plan);
+    plan.probes = view.count_probes().saturating_sub(before);
+    plan
+}
+
+fn plan_formula(f: &Formula, view: &impl FactView, opts: &EvalOptions, plan: &mut QueryPlan) {
+    if f.is_true_sentinel() {
+        return;
+    }
+    match f {
+        Formula::Atom(_) | Formula::And(..) => {
+            let conjuncts = flatten_conjuncts(f);
+            if conjuncts.is_empty() {
+                return;
+            }
+            let slot = plan.groups.len();
+            plan.groups.push(GroupPlan::default());
+            let infos = conj_infos(&conjuncts, view);
+            let (order, keys) = greedy_order(&infos, opts.ordering);
+            plan.groups[slot] = GroupPlan { order, keys };
+            // Recurse into complex conjuncts in flatten order — the same
+            // order the evaluator pre-materializes them in, so the group
+            // cursor stays aligned between planning and replay.
+            for c in conjuncts {
+                if !matches!(c, Formula::Atom(_)) {
+                    plan_formula(c, view, opts, plan);
+                }
+            }
+        }
+        Formula::Or(a, b) => {
+            plan_formula(a, view, opts, plan);
+            plan_formula(b, view, opts, plan);
+        }
+        Formula::Exists(_, a) | Formula::ForAll(_, a) => plan_formula(a, view, opts, plan),
+    }
+}
+
+/// What the planner knows about one conjunct.
+pub(crate) struct ConjInfo<'f> {
+    /// The atom's template, if the conjunct is an atom.
+    pub tpl: Option<&'f Template>,
+    /// Distinct variables, in first-occurrence order.
+    pub vars: Vec<Var>,
+    /// Capped constant-only extent estimate ([`ESTIMATE_CAP`] when
+    /// unknown: math atoms and complex conjuncts).
+    pub estimate: i64,
+    /// True for mathematical atoms, which should run as checks once
+    /// their operands are bound.
+    pub is_math: bool,
+}
+
+/// Builds planner info for each conjunct, probing the view once per
+/// non-math atom (the probes are constant-only, so they are the same at
+/// every step — computing them up front is what stops greedy ordering
+/// from re-probing the same atoms n times).
+pub(crate) fn conj_infos<'f>(conjuncts: &[&'f Formula], view: &impl FactView) -> Vec<ConjInfo<'f>> {
+    conjuncts
+        .iter()
+        .map(|c| match c {
+            Formula::Atom(tpl) => {
+                let mut vars = Vec::new();
+                for v in tpl.vars() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                let is_math = tpl.r.as_const().is_some_and(special::is_math);
+                let estimate = if is_math {
+                    ESTIMATE_CAP
+                } else {
+                    (view.count_estimate(tpl.to_pattern(&Bindings::new()), ESTIMATE_CAP as usize)
+                        as i64)
+                        .min(ESTIMATE_CAP)
+                };
+                ConjInfo { tpl: Some(tpl), vars, estimate, is_math }
+            }
+            other => ConjInfo {
+                tpl: None,
+                vars: other.free_vars().into_iter().collect(),
+                estimate: ESTIMATE_CAP,
+                is_math: false,
+            },
+        })
+        .collect()
+}
+
+/// Chooses the join order for one conjunction. Greedy choice, in
+/// lexicographic priority:
+///
+/// 1. **Connectivity** — a conjunct sharing a variable with what is
+///    already bound (or having no variables at all) extends the join; a
+///    disconnected conjunct would cross-product.
+/// 2. **Boundness** — more constant-or-covered positions mean tighter
+///    index probes; math atoms are slightly deprioritized so they run
+///    as checks once their operands are known.
+/// 3. **Selectivity** — the (precomputed) capped constant-only count
+///    estimate breaks ties.
+///
+/// Also returns, per step, the chosen conjunct's already-covered
+/// variables: the hash-join key columns.
+pub(crate) fn greedy_order(
+    infos: &[ConjInfo<'_>],
+    ordering: AtomOrdering,
+) -> (Vec<usize>, Vec<Vec<Var>>) {
+    let n = infos.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut keys: Vec<Vec<Var>> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut covered: BTreeSet<Var> = BTreeSet::new();
+    for step in 0..n {
+        let next = match ordering {
+            AtomOrdering::Syntactic => step,
+            AtomOrdering::Greedy => {
+                let nothing_covered = covered.is_empty();
+                let mut best = usize::MAX;
+                let mut best_key = (i64::MIN, i64::MIN, i64::MIN);
+                for (i, info) in infos.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    let connected = nothing_covered
+                        || info.vars.is_empty()
+                        || info.vars.iter().any(|v| covered.contains(v));
+                    let bound = match info.tpl {
+                        Some(tpl) => tpl
+                            .terms()
+                            .into_iter()
+                            .filter(|t| match t {
+                                Term::Const(_) => true,
+                                Term::Var(v) => covered.contains(v),
+                            })
+                            .count() as i64,
+                        None => info.vars.iter().filter(|v| covered.contains(v)).count() as i64,
+                    };
+                    let key = (connected as i64, bound * 2 - info.is_math as i64, -info.estimate);
+                    if best == usize::MAX || key > best_key {
+                        best_key = key;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        used[next] = true;
+        order.push(next);
+        keys.push(infos[next].vars.iter().copied().filter(|v| covered.contains(v)).collect());
+        covered.extend(infos[next].vars.iter().copied());
+    }
+    (order, keys)
+}
+
+/// The relationships a plan's quality depends on: the constant
+/// relationship positions of the query's atoms. `None` means the plan
+/// depends on unpredictable extents (a variable or mathematical
+/// relationship position) and should be dropped on any publish.
+///
+/// This governs *carry-over across epochs*, not correctness — a plan
+/// replayed against a changed database still computes the right answer,
+/// just possibly in a worse order.
+pub fn plan_dependencies(query: &Query) -> Option<BTreeSet<EntityId>> {
+    let mut rels = BTreeSet::new();
+    for tpl in query.formula.atoms() {
+        match tpl.r {
+            Term::Const(r) if special::is_math(r) || r == special::TOP => return None,
+            Term::Const(r) => {
+                rels.insert(r);
+            }
+            Term::Var(v) if v.0 == u32::MAX => {} // TRUE sentinel atom
+            Term::Var(_) => return None,
+        }
+    }
+    Some(rels)
+}
+
+/// The memoization key for a query shape: the structural hash of the
+/// formula, the declared answer columns, and the ordering strategy
+/// (syntactic and greedy plans differ for the same formula).
+pub fn shape_hash(query: &Query, opts: &EvalOptions) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    query.formula.hash(&mut h);
+    query.free.hash(&mut h);
+    opts.ordering.hash(&mut h);
+    h.finish()
+}
+
+/// Cumulative [`PlanCache`] statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that found a usable plan.
+    pub hits: u64,
+    /// Lookups that missed (cold planning followed).
+    pub misses: u64,
+    /// Plans carried across a publish because the write delta did not
+    /// touch their dependency relationships.
+    pub carried: u64,
+    /// Plans currently cached.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+struct PlanEntry {
+    /// Guards against shape-hash collisions: a hit must also match the
+    /// formula and answer columns exactly.
+    formula: Formula,
+    free: Vec<Var>,
+    ordering: AtomOrdering,
+    plan: Arc<QueryPlan>,
+    deps: Option<BTreeSet<EntityId>>,
+    last_used: u64,
+}
+
+/// An epoch-scoped LRU cache of query plans, keyed on [`shape_hash`].
+///
+/// The owner calls [`PlanCache::roll`] whenever the database epoch it
+/// serves from advances, passing the set of relationships the
+/// intervening publishes touched (from
+/// `SharedDatabase::rels_changed_between`); plans whose dependency sets
+/// are disjoint from the delta survive the roll.
+pub struct PlanCache {
+    capacity: usize,
+    epoch: u64,
+    tick: u64,
+    map: HashMap<u64, PlanEntry>,
+    hits: u64,
+    misses: u64,
+    carried: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            epoch: 0,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            carried: 0,
+        }
+    }
+
+    /// The epoch the cached plans were built (or last validated) at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the cache to `epoch`. `changed` is the set of
+    /// relationships touched by publishes since the cache's epoch
+    /// (`None` when unknown — e.g. the delta history was exhausted);
+    /// entries whose dependencies are disjoint from it are kept.
+    pub fn roll(&mut self, epoch: u64, changed: Option<&BTreeSet<EntityId>>) {
+        if epoch == self.epoch {
+            return;
+        }
+        match changed {
+            Some(delta) => {
+                self.map.retain(|_, entry| match &entry.deps {
+                    Some(deps) => deps.is_disjoint(delta),
+                    None => false,
+                });
+                self.carried += self.map.len() as u64;
+            }
+            None => self.map.clear(),
+        }
+        self.epoch = epoch;
+    }
+
+    /// Looks up the plan for a query shape.
+    pub fn get(&mut self, query: &Query, opts: &EvalOptions) -> Option<Arc<QueryPlan>> {
+        self.tick += 1;
+        let key = shape_hash(query, opts);
+        match self.map.get_mut(&key) {
+            Some(entry)
+                if entry.formula == query.formula
+                    && entry.free == query.free
+                    && entry.ordering == opts.ordering =>
+            {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a freshly built plan, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, query: &Query, opts: &EvalOptions, plan: Arc<QueryPlan>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, entry)| entry.last_used) {
+                self.map.remove(&oldest);
+            }
+        }
+        let key = shape_hash(query, opts);
+        self.map.insert(
+            key,
+            PlanEntry {
+                formula: query.formula.clone(),
+                free: query.free.clone(),
+                ordering: opts.ordering,
+                plan,
+                deps: plan_dependencies(query),
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            carried: self.carried,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_planned, eval_with, ExecStrategy};
+    use crate::parser::parse;
+    use loosedb_engine::Database;
+
+    fn world() -> Database {
+        let mut db = Database::new();
+        for i in 0..30 {
+            db.add(format!("P{i}"), "isa", "PERSON");
+            db.add(format!("P{i}"), "EARNS", 1000 * i);
+        }
+        db.add("P3", "isa", "RARE-SET");
+        db
+    }
+
+    const SRC: &str =
+        "Q(?x) := exists ?y . (?x, isa, PERSON) & (?x, EARNS, ?y) & (?x, isa, RARE-SET)";
+
+    #[test]
+    fn planning_probes_once_per_atom_and_replay_probes_zero() {
+        let mut db = world();
+        let query = parse(SRC, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let plan = plan_query(&query, &view, &EvalOptions::default());
+        // One constant-only probe per non-math atom, cached across steps.
+        assert_eq!(plan.probes, 3);
+        assert_eq!(view.count_probes(), 3);
+        let answer = eval_planned(&query, &view, EvalOptions::default(), &plan).unwrap();
+        assert_eq!(answer.len(), 1);
+        // Replay issued no further probes.
+        assert_eq!(view.count_probes(), 3);
+    }
+
+    #[test]
+    fn plan_orders_selective_atom_first() {
+        let mut db = world();
+        let query = parse(SRC, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let plan = plan_query(&query, &view, &EvalOptions::default());
+        assert_eq!(plan.groups.len(), 1);
+        let group = &plan.groups[0];
+        // Conjunct 2 is (?x, isa, RARE-SET) — the most selective.
+        assert_eq!(group.order[0], 2);
+        // The first step keys on nothing; later steps key on ?x.
+        assert!(group.keys[0].is_empty());
+        assert!(!group.keys[1].is_empty());
+    }
+
+    #[test]
+    fn replayed_plan_matches_fresh_eval() {
+        let mut db = world();
+        let query = parse(SRC, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        for strategy in [ExecStrategy::HashJoin, ExecStrategy::NestedLoop] {
+            let opts = EvalOptions { strategy, ..EvalOptions::default() };
+            let plan = plan_query(&query, &view, &opts);
+            let replayed = eval_planned(&query, &view, opts, &plan).unwrap();
+            let fresh = eval_with(&query, &view, opts).unwrap();
+            assert_eq!(replayed, fresh);
+        }
+    }
+
+    #[test]
+    fn cache_hits_same_shape_and_guards_different_shape() {
+        let mut db = world();
+        let q1 = parse(SRC, db.store_interner_mut()).unwrap();
+        let q2 = parse("(?x, isa, PERSON)", db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let opts = EvalOptions::default();
+        let mut cache = PlanCache::new(8);
+        assert!(cache.get(&q1, &opts).is_none());
+        cache.insert(&q1, &opts, Arc::new(plan_query(&q1, &view, &opts)));
+        assert!(cache.get(&q1, &opts).is_some());
+        assert!(cache.get(&q2, &opts).is_none());
+        // Syntactic and greedy shapes are distinct.
+        let syn = EvalOptions { ordering: AtomOrdering::Syntactic, ..opts };
+        assert!(cache.get(&q1, &syn).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn roll_keeps_disjoint_plans_and_drops_touched_ones() {
+        let mut db = world();
+        let query = parse(SRC, db.store_interner_mut()).unwrap();
+        let opts = EvalOptions::default();
+        let plan = {
+            let view = db.view().unwrap();
+            Arc::new(plan_query(&query, &view, &opts))
+        };
+        let isa = db.store().lookup_symbol("isa").unwrap();
+
+        let mut cache = PlanCache::new(8);
+        cache.insert(&query, &opts, Arc::clone(&plan));
+        // Disjoint delta: the plan survives.
+        let unrelated: BTreeSet<EntityId> = [EntityId(u32::MAX - 1)].into_iter().collect();
+        cache.roll(1, Some(&unrelated));
+        assert!(cache.get(&query, &opts).is_some());
+        // Touched delta: dropped.
+        let touched: BTreeSet<EntityId> = [isa].into_iter().collect();
+        cache.roll(2, Some(&touched));
+        assert!(cache.get(&query, &opts).is_none());
+        // Unknown delta: everything dropped.
+        cache.insert(&query, &opts, plan);
+        cache.roll(3, None);
+        assert!(cache.get(&query, &opts).is_none());
+        assert_eq!(cache.epoch(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut db = world();
+        let q1 = parse("(?x, isa, PERSON)", db.store_interner_mut()).unwrap();
+        let q2 = parse("(?x, isa, RARE-SET)", db.store_interner_mut()).unwrap();
+        let q3 = parse("(?x, EARNS, ?y)", db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let opts = EvalOptions::default();
+        let mut cache = PlanCache::new(2);
+        for q in [&q1, &q2] {
+            cache.insert(q, &opts, Arc::new(plan_query(q, &view, &opts)));
+        }
+        assert!(cache.get(&q2, &opts).is_some()); // refresh q2
+        assert!(cache.get(&q1, &opts).is_some()); // refresh q1 (now newest)
+        cache.insert(&q3, &opts, Arc::new(plan_query(&q3, &view, &opts)));
+        assert!(cache.get(&q2, &opts).is_none(), "q2 was the LRU entry");
+        assert!(cache.get(&q1, &opts).is_some());
+        assert!(cache.get(&q3, &opts).is_some());
+    }
+
+    #[test]
+    fn dependencies_are_constant_rels_or_none() {
+        let mut db = Database::new();
+        db.add("A", "R", "B");
+        let q = parse("(?x, R, ?y) & (?y, R, ?z)", db.store_interner_mut()).unwrap();
+        let r = db.store().lookup_symbol("R").unwrap();
+        assert_eq!(plan_dependencies(&q), Some([r].into_iter().collect()));
+        let q = parse("(?x, ?r, ?y)", db.store_interner_mut()).unwrap();
+        assert_eq!(plan_dependencies(&q), None);
+        let q = parse("(?x, >, 5)", db.store_interner_mut()).unwrap();
+        assert_eq!(plan_dependencies(&q), None);
+    }
+}

@@ -236,10 +236,10 @@ proptest! {
         let q = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
         let view = db.view().expect("closure");
         let greedy = eval_with(&q, &view, EvalOptions {
-            ordering: AtomOrdering::Greedy, max_rows: 100_000,
+            ordering: AtomOrdering::Greedy, max_rows: 100_000, ..EvalOptions::default()
         }).expect("greedy");
         let syntactic = eval_with(&q, &view, EvalOptions {
-            ordering: AtomOrdering::Syntactic, max_rows: 100_000,
+            ordering: AtomOrdering::Syntactic, max_rows: 100_000, ..EvalOptions::default()
         }).expect("syntactic");
         prop_assert_eq!(greedy.rows, syntactic.rows);
     }
@@ -266,7 +266,7 @@ proptest! {
         let src = format!("Q(?z) := (N{a_s}, R{a_r}, ?z) & (?z, R{b_r}, N{b_t})");
         let query = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
         let view = db.view().expect("closure");
-        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000 };
+        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000, ..EvalOptions::default() };
         let original = eval_with(&query, &view, opts).expect("eval original");
 
         let taxonomy = Taxonomy::new(view.closure());
@@ -313,7 +313,7 @@ proptest! {
         let src = format!("(N{a_s}, R{a_r}, N{a_t})");
         let query = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
         let view = db.view().expect("closure");
-        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000 };
+        let opts = EvalOptions { ordering: AtomOrdering::Greedy, max_rows: 100_000, ..EvalOptions::default() };
         let original = eval_with(&query, &view, opts).expect("eval");
         if !original.succeeded() {
             return Ok(()); // nothing to propagate

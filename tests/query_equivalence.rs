@@ -1,0 +1,185 @@
+//! Property-based equivalence of the two query executors.
+//!
+//! The set-at-a-time hash-join executor (the default) must return exactly
+//! the answer of the binding-at-a-time nested-loop oracle it replaced, on
+//! every formula shape the language can express — conjunctions with
+//! shared variables, disconnected conjuncts (cross products),
+//! disjunctions, both quantifiers, and math comparators — and under both
+//! conjunct orderings. Random small worlds give the coverage hand-picked
+//! examples cannot.
+//!
+//! One asymmetry is expected and deliberate: the `max_rows` guard counts
+//! *rows produced*, and the nested-loop oracle produces duplicate partial
+//! rows the hash join never materializes (it probes once per distinct
+//! join key). The oracle can therefore hit `ResultTooLarge` on inputs the
+//! hash join handles; answers are compared only when both strategies
+//! return `Ok`. `same_outcome_under_generous_limit` pins the flip side:
+//! with room to breathe, both succeed and agree.
+
+use proptest::prelude::*;
+
+use loosedb::query::{eval_with, AtomOrdering, EvalOptions, ExecStrategy};
+use loosedb::Database;
+
+/// A compact random world: node entities N0..N9, relationships R0..R4,
+/// a few integers, and generalization edges forming a DAG.
+#[derive(Clone, Debug)]
+struct WorldSpec {
+    facts: Vec<(u8, u8, u8)>,
+    numbers: Vec<(u8, i64)>,
+    gen_edges: Vec<(u8, u8)>,
+}
+
+fn world_spec() -> impl Strategy<Value = WorldSpec> {
+    (
+        prop::collection::vec((0u8..10, 0u8..5, 0u8..10), 0..30),
+        prop::collection::vec((0u8..10, 0i64..100), 0..6),
+        prop::collection::vec((0u8..9, 0u8..10), 0..6),
+    )
+        .prop_map(|(facts, numbers, raw_edges)| WorldSpec {
+            facts,
+            numbers,
+            gen_edges: raw_edges.into_iter().filter(|(a, b)| a < b).collect(),
+        })
+}
+
+fn build_world(spec: &WorldSpec) -> Database {
+    let mut db = Database::new();
+    for &(s, r, t) in &spec.facts {
+        db.add(format!("N{s}"), format!("R{r}"), format!("N{t}"));
+    }
+    for &(s, n) in &spec.numbers {
+        db.add(format!("N{s}"), "EARNS", n);
+    }
+    for &(a, b) in &spec.gen_edges {
+        db.add(format!("N{a}"), "gen", format!("N{b}"));
+    }
+    db
+}
+
+/// All four (strategy, ordering) combinations under one row limit.
+fn combos(max_rows: usize) -> [EvalOptions; 4] {
+    [
+        (ExecStrategy::HashJoin, AtomOrdering::Greedy),
+        (ExecStrategy::HashJoin, AtomOrdering::Syntactic),
+        (ExecStrategy::NestedLoop, AtomOrdering::Greedy),
+        (ExecStrategy::NestedLoop, AtomOrdering::Syntactic),
+    ]
+    .map(|(strategy, ordering)| EvalOptions { ordering, strategy, max_rows })
+}
+
+/// Evaluates `src` under all four combos and asserts every pair that
+/// returned `Ok` produced identical answer rows.
+fn assert_agreement(db: &mut Database, src: &str, max_rows: usize) -> Result<(), TestCaseError> {
+    let query = loosedb::parse(src, db.store_interner_mut()).expect("parse");
+    let view = db.view().expect("closure");
+    let answers: Vec<_> =
+        combos(max_rows).into_iter().map(|opts| (opts, eval_with(&query, &view, opts))).collect();
+    let mut ok = answers.iter().filter_map(|(o, r)| r.as_ref().ok().map(|a| (o, a)));
+    if let Some((first_opts, first)) = ok.next() {
+        for (opts, answer) in ok {
+            prop_assert_eq!(
+                &first.rows,
+                &answer.rows,
+                "{:?} and {:?} disagree on {}",
+                first_opts,
+                opts,
+                src,
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conjunctive chains with shared variables: the bread-and-butter
+    /// hash-join path (existential middles exercise semi-join pushdown).
+    #[test]
+    fn chains_agree(
+        spec in world_spec(),
+        r1 in 0u8..5, r2 in 0u8..5, r3 in 0u8..5,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!(
+            "Q(?a, ?c) := exists ?b . (?a, R{r1}, ?b) & (?b, R{r2}, ?c) & (?a, R{r3}, ?c)"
+        );
+        assert_agreement(&mut db, &src, 100_000)?;
+    }
+
+    /// Disconnected conjuncts force the cross-product fallback, where the
+    /// join has no shared key columns.
+    #[test]
+    fn cross_products_agree(
+        spec in world_spec(),
+        r1 in 0u8..5, r2 in 0u8..5,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!("Q(?a, ?b, ?c, ?d) := (?a, R{r1}, ?b) & (?c, R{r2}, ?d)");
+        assert_agreement(&mut db, &src, 100_000)?;
+    }
+
+    /// Disjunction pads heterogeneous columns from the active domain; both
+    /// executors must pad identically.
+    #[test]
+    fn disjunctions_agree(
+        spec in world_spec(),
+        r1 in 0u8..5, r2 in 0u8..5, s in 0u8..10,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!("Q(?x) := (?x, R{r1}, N{s}) | (N{s}, R{r2}, ?x)");
+        assert_agreement(&mut db, &src, 100_000)?;
+    }
+
+    /// Universal quantification (relational division) over the active
+    /// domain, with a conjunctive body.
+    #[test]
+    fn universals_agree(
+        spec in world_spec(),
+        r1 in 0u8..5, r2 in 0u8..5,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!(
+            "Q(?x) := forall ?y . exists ?z . (?x, R{r1}, ?z) & (?y, R{r2}, ?z)"
+        );
+        assert_agreement(&mut db, &src, 100_000)?;
+    }
+
+    /// Math comparators enumerate interned numbers; mixed with a join they
+    /// exercise the planner's math-last heuristic on both paths.
+    #[test]
+    fn comparators_agree(
+        spec in world_spec(),
+        threshold in 0i64..100,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!(
+            "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, {threshold})"
+        );
+        assert_agreement(&mut db, &src, 100_000)?;
+    }
+
+    /// Under a generous limit neither strategy overflows, so all four
+    /// combos must return `Ok` with identical rows — no vacuous agreement.
+    #[test]
+    fn same_outcome_under_generous_limit(
+        spec in world_spec(),
+        r1 in 0u8..5, r2 in 0u8..5,
+    ) {
+        let mut db = build_world(&spec);
+        let src = format!("Q(?a, ?c) := exists ?b . (?a, R{r1}, ?b) & (?b, R{r2}, ?c)");
+        let query = loosedb::parse(&src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let mut rows = None;
+        for opts in combos(10_000_000) {
+            let answer = eval_with(&query, &view, opts).expect("generous limit");
+            let got = answer.rows;
+            if let Some(prev) = &rows {
+                prop_assert_eq!(prev, &got, "{:?} diverged on {}", opts, src);
+            } else {
+                rows = Some(got);
+            }
+        }
+    }
+}
