@@ -201,6 +201,7 @@ pub fn navigate<V: FactView>(
     pattern: Pattern,
     opts: &NavigateOptions,
 ) -> Result<GroupedTable, MathMatchError> {
+    let _span = loosedb_obs::span!("browse.navigate");
     let interner = view.interner();
     let title = render_pattern(interner, pattern);
 

@@ -217,6 +217,7 @@ impl ProbeReport {
 /// assert!(menu.contains("Success with LIKES instead of ADORES"));
 /// ```
 pub fn probe(query: &Query, view: &ClosureView<'_>, opts: &ProbeOptions) -> ProbeReport {
+    let _span = loosedb_obs::span!("browse.probe", max_waves = opts.max_waves);
     let taxonomy = Taxonomy::new(view.closure());
 
     // Attempt the original query first.
@@ -237,7 +238,8 @@ pub fn probe(query: &Query, view: &ClosureView<'_>, opts: &ProbeOptions) -> Prob
     let mut waves: Vec<Wave> = Vec::new();
     let mut frontier: Vec<(Query, Vec<RetractionStep>)> = vec![(query.clone(), Vec::new())];
 
-    for _wave in 0..opts.max_waves {
+    for wave_index in 0..opts.max_waves {
+        let mut wspan = loosedb_obs::span!("browse.retraction_wave", wave = wave_index);
         let mut wave = Wave::default();
         for (base, steps) in &frontier {
             for (broadened, step) in retraction_set(base, &taxonomy, &mut missing) {
@@ -257,6 +259,8 @@ pub fn probe(query: &Query, view: &ClosureView<'_>, opts: &ProbeOptions) -> Prob
                 wave.attempts.push(Attempt { query: broadened, steps: all_steps, answer });
             }
         }
+        wspan.record("attempts", wave.attempts.len());
+        wspan.record("successes", wave.attempts.iter().filter(|a| a.succeeded()).count());
         if wave.attempts.is_empty() {
             break;
         }

@@ -7,6 +7,8 @@
 //! with automatic retraction, the `try` operator, `relation(...)` views
 //! and the definition facility.
 
+use std::time::Instant;
+
 use loosedb_engine::{ClosureError, Database, MathMatchError, TransactionError};
 use loosedb_query::{eval_with, Answer, EvalError, ParseError};
 use loosedb_store::{EntityId, EntityValue, Pattern};
@@ -153,7 +155,10 @@ impl Session {
         let e = self.resolve(name)?;
         let table = {
             let view = self.db.view()?;
-            navigate(&view, Pattern::from_source(e), &self.nav_opts)?
+            let start = Instant::now();
+            let table = navigate(&view, Pattern::from_source(e), &self.nav_opts)?;
+            self.record_nav(start);
+            table
         };
         self.history.push(e);
         Ok(table)
@@ -167,7 +172,16 @@ impl Session {
         self.history.pop();
         let e = *self.history.last().expect("non-empty");
         let view = self.db.view()?;
-        Ok(navigate(&view, Pattern::from_source(e), &self.nav_opts)?)
+        let start = Instant::now();
+        let table = navigate(&view, Pattern::from_source(e), &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
+    }
+
+    fn record_nav(&self, start: Instant) {
+        let m = self.db.metrics();
+        m.nav_builds.inc();
+        m.nav_build_ns.record_duration(start.elapsed());
     }
 
     /// The focus history, oldest first.
@@ -185,7 +199,10 @@ impl Session {
     ) -> Result<GroupedTable, SessionError> {
         let pattern = Pattern::new(self.part(s)?, self.part(r)?, self.part(t)?);
         let view = self.db.view()?;
-        Ok(navigate(&view, pattern, &self.nav_opts)?)
+        let start = Instant::now();
+        let table = navigate(&view, pattern, &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
     }
 
     /// Evaluates a standard query (§2.7) given in the textual syntax.
@@ -194,7 +211,13 @@ impl Session {
         let query = loosedb_query::parse(&expanded, self.db.store_interner_mut())?;
         let eval_opts = self.probe_opts.eval;
         let view = self.db.view()?;
-        Ok(eval_with(&query, &view, eval_opts)?)
+        let start = Instant::now();
+        let answer = eval_with(&query, &view, eval_opts)?;
+        let m = self.db.metrics();
+        m.query_evals.inc();
+        m.query_eval_ns.record_duration(start.elapsed());
+        m.query_rows.record(answer.len() as u64);
+        Ok(answer)
     }
 
     /// Probes a query (§5): evaluates it and, on failure, runs automatic
@@ -204,7 +227,9 @@ impl Session {
         let query = loosedb_query::parse(&expanded, self.db.store_interner_mut())?;
         let probe_opts = self.probe_opts;
         let view = self.db.view()?;
-        Ok(probe(&query, &view, &probe_opts))
+        let report = probe(&query, &view, &probe_opts);
+        crate::shared::record_probe(self.db.metrics(), &report);
+        Ok(report)
     }
 
     /// The §6.1 `try(e)` operator.

@@ -33,6 +33,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 use loosedb_engine::{Generation, SharedDatabase};
 use loosedb_query::{
@@ -57,6 +58,8 @@ pub struct CacheStats {
     /// Entries carried over a publish because their dependency
     /// relationships were disjoint from the write delta.
     pub carried: u64,
+    /// Entries dropped to make room when the cache was full.
+    pub evictions: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum number of entries retained.
@@ -127,6 +130,10 @@ struct QueryCache {
     hits: u64,
     misses: u64,
     carried: u64,
+    evictions: u64,
+    /// Registry mirror (`browse.query_cache.*`); the local counters stay
+    /// authoritative per session, the mirror aggregates across sessions.
+    metrics: Option<loosedb_obs::CacheCounters>,
 }
 
 impl QueryCache {
@@ -139,7 +146,13 @@ impl QueryCache {
             hits: 0,
             misses: 0,
             carried: 0,
+            evictions: 0,
+            metrics: None,
         }
+    }
+
+    fn with_metrics(capacity: usize, metrics: loosedb_obs::CacheCounters) -> Self {
+        QueryCache { metrics: Some(metrics), ..QueryCache::new(capacity) }
     }
 
     /// Brings the cache up to `epoch`, keeping every entry the
@@ -155,8 +168,14 @@ impl QueryCache {
                     Deps::All => false,
                 });
                 self.carried += self.map.len() as u64;
+                if let Some(m) = &self.metrics {
+                    m.carried.add(self.map.len() as u64);
+                }
             }
             _ => self.map.clear(),
+        }
+        if let Some(m) = &self.metrics {
+            m.len.set(self.map.len() as u64);
         }
         self.epoch = epoch;
     }
@@ -168,10 +187,16 @@ impl QueryCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(Arc::clone(&entry.answer))
             }
             None => {
                 self.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -189,10 +214,17 @@ impl QueryCache {
                 self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&lru);
+                self.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
         self.tick += 1;
         self.map.insert(key, CacheEntry { last_used: self.tick, answer, deps });
+        if let Some(m) = &self.metrics {
+            m.len.set(self.map.len() as u64);
+        }
     }
 
     fn stats(&self) -> CacheStats {
@@ -200,9 +232,22 @@ impl QueryCache {
             hits: self.hits,
             misses: self.misses,
             carried: self.carried,
+            evictions: self.evictions,
             len: self.map.len(),
             capacity: self.capacity,
         }
+    }
+}
+
+/// Folds a probe report into the `browse.probe.*` registry metrics.
+/// Shared by [`SharedSession`] and [`crate::Session`].
+pub(crate) fn record_probe(metrics: &loosedb_obs::Metrics, report: &ProbeReport) {
+    metrics.probe_runs.inc();
+    metrics.probe_waves.add(report.waves.len() as u64);
+    for wave in &report.waves {
+        metrics.probe_attempts.add(wave.attempts.len() as u64);
+        metrics.probe_wave_size.record(wave.attempts.len() as u64);
+        metrics.probe_successes.add(wave.successes().count() as u64);
     }
 }
 
@@ -282,6 +327,7 @@ impl SharedSession {
     /// Starts a session with a specific query-cache capacity (0 disables
     /// caching).
     pub fn with_cache_capacity(shared: Arc<SharedDatabase>, capacity: usize) -> Self {
+        let metrics = Arc::clone(shared.metrics());
         SharedSession {
             shared,
             defs: Definitions::new(),
@@ -289,8 +335,8 @@ impl SharedSession {
             probe_opts: ProbeOptions::default(),
             history: Vec::new(),
             ext: None,
-            cache: QueryCache::new(capacity),
-            plans: PlanCache::new(DEFAULT_PLAN_CAPACITY),
+            cache: QueryCache::with_metrics(capacity, metrics.query_cache.clone()),
+            plans: PlanCache::with_metrics(DEFAULT_PLAN_CAPACITY, metrics.plan_cache.clone()),
         }
     }
 
@@ -352,7 +398,9 @@ impl SharedSession {
     pub fn focus(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
         let generation = self.shared.snapshot();
         let e = self.resolve(&generation, name)?;
+        let start = Instant::now();
         let table = navigate(&generation.view(), Pattern::from_source(e), &self.nav_opts)?;
+        self.record_nav(start);
         self.history.push(e);
         Ok(table)
     }
@@ -366,7 +414,10 @@ impl SharedSession {
         self.history.pop();
         let e = *self.history.last().expect("non-empty");
         let generation = self.shared.snapshot();
-        Ok(navigate(&generation.view(), Pattern::from_source(e), &self.nav_opts)?)
+        let start = Instant::now();
+        let table = navigate(&generation.view(), Pattern::from_source(e), &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
     }
 
     /// Navigates an arbitrary template given as three names (`"*"` for a
@@ -383,7 +434,16 @@ impl SharedSession {
             self.part(&generation, r)?,
             self.part(&generation, t)?,
         );
-        Ok(navigate(&generation.view(), pattern, &self.nav_opts)?)
+        let start = Instant::now();
+        let table = navigate(&generation.view(), pattern, &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
+    }
+
+    fn record_nav(&self, start: Instant) {
+        let m = self.shared.metrics();
+        m.nav_builds.inc();
+        m.nav_build_ns.record_duration(start.elapsed());
     }
 
     /// Evaluates a standard query. Answers are cached per expanded text;
@@ -416,6 +476,7 @@ impl SharedSession {
         let (query, interner) = parse_on(&mut self.ext, &generation, &expanded)?;
         let deps = dependency_rels(&query, generation.interner().len());
         let view = generation.view_with_interner(interner);
+        let start = Instant::now();
         let answer = if eval_opts.ordering == AtomOrdering::Greedy {
             match self.plans.get(&query, &eval_opts) {
                 Some(plan) => Arc::new(eval_planned(&query, &view, eval_opts, &plan)?),
@@ -430,6 +491,10 @@ impl SharedSession {
             // only add bookkeeping.
             Arc::new(eval_with(&query, &view, eval_opts)?)
         };
+        let m = self.shared.metrics();
+        m.query_evals.inc();
+        m.query_eval_ns.record_duration(start.elapsed());
+        m.query_rows.record(answer.len() as u64);
         self.cache.insert(expanded, Arc::clone(&answer), deps);
         Ok(answer)
     }
@@ -443,7 +508,9 @@ impl SharedSession {
         let probe_opts = self.probe_opts;
         let (query, interner) = parse_on(&mut self.ext, &generation, &expanded)?;
         let view = generation.view_with_interner(interner);
-        Ok(probe(&query, &view, &probe_opts))
+        let report = probe(&query, &view, &probe_opts);
+        record_probe(self.shared.metrics(), &report);
+        Ok(report)
     }
 
     /// The §6.1 `try(e)` operator.

@@ -367,6 +367,8 @@ pub fn compute(
         violations: Vec::new(),
     };
 
+    let mut span = loosedb_obs::span!("engine.closure.compute", base_facts = store.len());
+
     let base: Vec<Fact> = store.iter().collect();
     engine.stats.base_facts = base.len();
     for f in &base {
@@ -388,6 +390,9 @@ pub fn compute(
     }
 
     engine.check_consistency(store.interner());
+
+    span.record("rounds", engine.stats.rounds);
+    span.record("derived_facts", engine.stats.derived_facts);
 
     Ok(Closure {
         facts: engine.all,
@@ -439,6 +444,9 @@ pub fn extend(
         violations: std::mem::take(&mut closure.violations),
     };
 
+    let mut span = loosedb_obs::span!("engine.closure.extend", new_facts = new_facts.len());
+
+    let rounds_before = engine.stats.rounds;
     let mut delta: Vec<Fact> = Vec::new();
     for &f in new_facts {
         debug_assert!(store.contains(&f), "extend() requires facts already in the store");
@@ -458,6 +466,9 @@ pub fn extend(
     }
 
     engine.check_consistency(store.interner());
+
+    span.record("rounds", engine.stats.rounds - rounds_before);
+    span.record("delta_rels", engine.added_rels.len());
 
     closure.facts = engine.all;
     closure.lift_free = engine.lift_free;

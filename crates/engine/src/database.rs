@@ -17,7 +17,10 @@
 //!   back and the offending violations are returned.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
 
+use loosedb_obs::Metrics;
 use loosedb_store::{log as factlog, snapshot, EntityId, EntityValue, Fact, FactLog, FactStore};
 
 use crate::closure::{self, Closure, ClosureError, ExtendDelta, Provenance, Strategy, Violation};
@@ -96,6 +99,10 @@ pub struct Database {
     wal: Option<FactLog>,
     /// Changes accumulated since the last [`Database::take_publish_delta`].
     pending_delta: PublishDelta,
+    /// Shared metrics registry; cloned into generations and wrappers
+    /// (`SharedDatabase`, `DurableDatabase`) so every layer reports to
+    /// the same counters.
+    metrics: Arc<Metrics>,
 }
 
 impl Database {
@@ -115,7 +122,13 @@ impl Database {
             cache: None,
             wal: None,
             pending_delta: PublishDelta::empty(),
+            metrics: Arc::new(Metrics::new()),
         }
+    }
+
+    /// The metrics registry this database reports to.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Restores a database from a snapshot checkpoint plus an operation
@@ -399,6 +412,7 @@ impl Database {
         // A full recomputation can change any answer (removals, rule or
         // kind toggles have non-monotone effects).
         self.pending_delta = PublishDelta::Full;
+        let started = Instant::now();
         let closure = closure::compute(
             &mut self.store,
             &self.kinds,
@@ -406,6 +420,9 @@ impl Database {
             &self.config,
             self.strategy,
         )?;
+        self.metrics.closure_computes.inc();
+        self.metrics.closure_compute_ns.record_duration(started.elapsed());
+        self.metrics.closure_facts.set(closure.len() as u64);
         self.cache = Some(Cached {
             closure,
             store_epoch: self.store.epoch(),
@@ -428,7 +445,8 @@ impl Database {
     pub fn view(&mut self) -> Result<ClosureView<'_>, ClosureError> {
         self.refresh()?;
         let cached = self.cache.as_ref().expect("refreshed");
-        Ok(ClosureView::new(&cached.closure, self.store.interner(), &self.kinds))
+        Ok(ClosureView::new(&cached.closure, self.store.interner(), &self.kinds)
+            .with_probe_counter(self.metrics.count_probes.clone()))
     }
 
     // ------------------------------------------------------------------
@@ -476,6 +494,7 @@ impl Database {
         // The cache is fresh after validate(); extend it in place.
         let mut cached = self.cache.take().expect("fresh after validate");
         self.store.insert(fact);
+        let started = Instant::now();
         let extended = closure::extend(
             &mut cached.closure,
             &mut self.store,
@@ -484,6 +503,8 @@ impl Database {
             &self.config,
             &[fact],
         );
+        self.metrics.closure_extends.inc();
+        self.metrics.closure_extend_ns.record_duration(started.elapsed());
         match extended {
             Ok(delta) => {
                 let new: Vec<Violation> = cached
@@ -495,6 +516,7 @@ impl Database {
                     .collect();
                 if new.is_empty() {
                     cached.store_epoch = self.store.epoch();
+                    self.metrics.closure_facts.set(cached.closure.len() as u64);
                     self.cache = Some(cached);
                     self.note_extend_delta(delta);
                     // Committed: record in the write-ahead log (rejected
@@ -531,6 +553,7 @@ impl Database {
         }
         let mut cached = self.cache.take().expect("fresh after refresh");
         self.store.insert(fact);
+        let started = Instant::now();
         let delta = closure::extend(
             &mut cached.closure,
             &mut self.store,
@@ -539,7 +562,10 @@ impl Database {
             &self.config,
             &[fact],
         )?;
+        self.metrics.closure_extends.inc();
+        self.metrics.closure_extend_ns.record_duration(started.elapsed());
         cached.store_epoch = self.store.epoch();
+        self.metrics.closure_facts.set(cached.closure.len() as u64);
         self.cache = Some(cached);
         self.note_extend_delta(delta);
         self.log_op(&fact, true);

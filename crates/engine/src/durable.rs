@@ -36,6 +36,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use loosedb_store::io::{atomic_write_with, crc32, RealIo, StorageIo};
 use loosedb_store::log::{self as factlog, LogOp};
@@ -233,6 +234,7 @@ impl<I: StorageIo> DurableDatabase<I> {
             }
         }
 
+        db.metrics().wal_recovered_ops.add(recovery.wal_ops_applied as u64);
         Ok(DurableDatabase {
             io,
             dir,
@@ -310,14 +312,22 @@ impl<I: StorageIo> DurableDatabase<I> {
         }
         let frame = factlog::encode_frame(op);
         let wal = self.wal_path();
+        let mut span = loosedb_obs::span!("store.wal.append", bytes = frame.len());
         self.io.append(&wal, &frame)?;
+        let metrics = self.db.metrics();
+        metrics.wal_appends.inc();
+        metrics.wal_append_bytes.add(frame.len() as u64);
         self.wal_ops += 1;
         match self.policy {
-            SyncPolicy::Always => self.io.fsync(&wal)?,
+            SyncPolicy::Always => {
+                self.fsync_timed(&wal)?;
+                span.record("fsynced", true);
+            }
             SyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
-                    self.io.fsync(&wal)?;
+                    self.fsync_timed(&wal)?;
+                    span.record("fsynced", true);
                     self.unsynced = 0;
                 }
             }
@@ -326,11 +336,22 @@ impl<I: StorageIo> DurableDatabase<I> {
         Ok(())
     }
 
+    /// One WAL fsync, with its latency recorded.
+    fn fsync_timed(&mut self, wal: &std::path::Path) -> io::Result<()> {
+        let started = Instant::now();
+        let _span = loosedb_obs::span!("store.wal.fsync");
+        self.io.fsync(wal)?;
+        let metrics = self.db.metrics();
+        metrics.wal_fsyncs.inc();
+        metrics.wal_fsync_ns.record_duration(started.elapsed());
+        Ok(())
+    }
+
     /// Flushes any unsynced WAL appends to stable storage now.
     pub fn sync(&mut self) -> io::Result<()> {
         let wal = self.wal_path();
         if self.io.exists(&wal) {
-            self.io.fsync(&wal)?;
+            self.fsync_timed(&wal)?;
         }
         self.unsynced = 0;
         Ok(())
@@ -349,7 +370,9 @@ impl<I: StorageIo> DurableDatabase<I> {
     /// operation); a crash *after* it recovers from the new one. Returns
     /// the new generation number.
     pub fn checkpoint(&mut self) -> io::Result<u64> {
+        let started = Instant::now();
         let next = self.generation + 1;
+        let _span = loosedb_obs::span!("store.wal.checkpoint", generation = next);
         let image = persist::encode(&self.db);
         atomic_write_with(&self.io, &self.dir.join(snap_name(next)), &image)?;
 
@@ -379,6 +402,9 @@ impl<I: StorageIo> DurableDatabase<I> {
                 self.io.remove_file(&path)?;
             }
         }
+        let metrics = self.db.metrics();
+        metrics.checkpoints.inc();
+        metrics.checkpoint_ns.record_duration(started.elapsed());
         Ok(next)
     }
 
@@ -394,6 +420,12 @@ impl<I: StorageIo> DurableDatabase<I> {
     /// Read-only access to the wrapped database.
     pub fn database_ref(&self) -> &Database {
         &self.db
+    }
+
+    /// The metrics registry (shared with the wrapped database): WAL
+    /// appends/fsyncs, checkpoints and recovery counters report here.
+    pub fn metrics(&self) -> &std::sync::Arc<loosedb_obs::Metrics> {
+        self.db.metrics()
     }
 
     /// How the last [`open`](DurableDatabase::open_with) recovered.

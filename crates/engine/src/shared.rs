@@ -41,9 +41,11 @@
 
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
+use loosedb_obs::{Metrics, MetricsSnapshot};
 use loosedb_store::{EntityId, EntityValue, Fact, FactStore, Interner};
 
 use crate::closure::{Closure, ClosureError};
@@ -62,6 +64,9 @@ pub struct Generation {
     store: FactStore,
     kinds: KindRegistry,
     closure: Closure,
+    /// The owning database's metrics; views created from this generation
+    /// report their selectivity probes here.
+    metrics: Arc<Metrics>,
 }
 
 impl Generation {
@@ -74,7 +79,13 @@ impl Generation {
     fn build(epoch: u64, db: &mut Database) -> Result<Self, ClosureError> {
         db.refresh()?;
         let closure = db.closure()?.clone();
-        Ok(Generation { epoch, store: db.store().clone(), kinds: db.kinds().clone(), closure })
+        Ok(Generation {
+            epoch,
+            store: db.store().clone(),
+            kinds: db.kinds().clone(),
+            closure,
+            metrics: Arc::clone(db.metrics()),
+        })
     }
 
     /// The generation number: increases by exactly one per publish, so it
@@ -123,6 +134,7 @@ impl Generation {
     /// if a universal quantifier asks for it.
     pub fn view(&self) -> ClosureView<'_> {
         ClosureView::new(&self.closure, self.store.interner(), &self.kinds)
+            .with_probe_counter(self.metrics.count_probes.clone())
     }
 
     /// A retrieval view that resolves entities through `interner` instead
@@ -141,6 +153,12 @@ impl Generation {
             "interner must extend the generation's interner"
         );
         ClosureView::new(&self.closure, interner, &self.kinds)
+            .with_probe_counter(self.metrics.count_probes.clone())
+    }
+
+    /// The metrics registry shared with the owning database.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 }
 
@@ -180,6 +198,9 @@ pub struct SharedDatabase {
     /// relationships each generation's write delta touched. Lets session
     /// caches invalidate per relationship instead of wholesale.
     deltas: Mutex<VecDeque<(u64, PublishDelta)>>,
+    /// Writer-database metrics, cloned out so readers can snapshot
+    /// without touching the writer mutex.
+    metrics: Arc<Metrics>,
 }
 
 impl SharedDatabase {
@@ -188,11 +209,27 @@ impl SharedDatabase {
     pub fn new(mut db: Database) -> Result<Self, ClosureError> {
         let first = Generation::build(1, &mut db)?;
         db.take_publish_delta(); // epoch 1 is every session's floor
+        let metrics = Arc::clone(db.metrics());
+        metrics.epoch.set(1);
         Ok(SharedDatabase {
             current: RwLock::new(Arc::new(first)),
             writer: Mutex::new(db),
             deltas: Mutex::new(VecDeque::new()),
+            metrics,
         })
+    }
+
+    /// The metrics registry shared by the writer database and every
+    /// published generation.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// A typed point-in-time snapshot of every well-known metric. Does
+    /// not take the writer mutex — safe to call from any thread at any
+    /// time.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The current generation. Lock-free for all practical purposes: the
@@ -215,8 +252,16 @@ impl SharedDatabase {
         // writer mutex, so reading the epoch outside the write lock is
         // race-free.
         let epoch = self.current.read().epoch;
+        let started = Instant::now();
+        let mut span = loosedb_obs::span!("engine.publish", epoch = epoch + 1);
         let next = Generation::build(epoch + 1, db)?;
         let delta = db.take_publish_delta();
+        if let PublishDelta::Rels(rels) = &delta {
+            self.metrics.publish_delta_rels.record(rels.len() as u64);
+            span.record("delta_rels", rels.len() as u64);
+        } else {
+            span.record("delta_full", true);
+        }
         {
             let mut deltas = self.deltas.lock();
             deltas.push_back((epoch + 1, delta));
@@ -225,6 +270,9 @@ impl SharedDatabase {
             }
         }
         *self.current.write() = Arc::new(next);
+        self.metrics.publishes.inc();
+        self.metrics.publish_ns.record_duration(started.elapsed());
+        self.metrics.epoch.set(epoch + 1);
         Ok(())
     }
 

@@ -94,13 +94,31 @@ pub struct ClosureView<'a> {
     /// Atomic (not `Cell`) so views can keep being shared across reader
     /// threads; ordering is relaxed — it is a statistics counter.
     probes: AtomicU64,
+    /// Optional registry-wide probe counter (`query.count_probes`); the
+    /// per-view `probes` field keeps the per-plan counts exact while
+    /// this handle aggregates across all views of a database.
+    registry_probes: Option<loosedb_obs::Counter>,
 }
 
 impl<'a> ClosureView<'a> {
     /// Builds a view. O(1): the active domain is maintained incrementally
     /// by the closure and only materialized on first use.
     pub fn new(closure: &'a Closure, interner: &'a Interner, kinds: &'a KindRegistry) -> Self {
-        ClosureView { closure, interner, kinds, domain: OnceCell::new(), probes: AtomicU64::new(0) }
+        ClosureView {
+            closure,
+            interner,
+            kinds,
+            domain: OnceCell::new(),
+            probes: AtomicU64::new(0),
+            registry_probes: None,
+        }
+    }
+
+    /// Additionally reports every selectivity probe to `counter`
+    /// (the shared `query.count_probes` registry metric).
+    pub fn with_probe_counter(mut self, counter: loosedb_obs::Counter) -> Self {
+        self.registry_probes = Some(counter);
+        self
     }
 
     /// The underlying closure.
@@ -251,6 +269,9 @@ impl FactView for ClosureView<'_> {
 
     fn count_estimate(&self, p: Pattern, cap: usize) -> usize {
         self.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = &self.registry_probes {
+            counter.inc();
+        }
         self.closure.count_up_to(p, cap)
     }
 

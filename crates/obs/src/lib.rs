@@ -1,0 +1,112 @@
+//! Observability layer for loosedb: a lock-free metrics registry, a
+//! Prometheus text exporter, and feature-gated structured tracing
+//! spans.
+//!
+//! The paper reasons qualitatively about exactly the costs this crate
+//! makes visible at runtime — closure materialization, composition
+//! blow-up, retraction waves (Motro §3, §5) — and EXPERIMENTS.md
+//! measures them offline. This crate is the live counterpart:
+//!
+//! - **Metrics** ([`Metrics`], [`Registry`]) are always compiled in:
+//!   every handle is an `Arc`-shared atomic, recording is wait-free
+//!   and allocation-free, and the typed [`MetricsSnapshot`] is the
+//!   stable read surface (`SharedDatabase::metrics_snapshot()`).
+//! - **Spans** ([`trace`], [`span!`]) compile to no-ops unless the
+//!   `trace` feature is on (lib crates expose it as `obs`), and even
+//!   then cost one relaxed load until capture is enabled.
+//! - **Export**: [`prometheus_text`] renders a [`Registry`] in the
+//!   Prometheus exposition format; serving it is the caller's problem.
+//!
+//! See DESIGN.md §11 for the metric name catalogue and span hierarchy.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod prometheus;
+pub mod trace;
+
+pub use metrics::{
+    bucket_upper_bound, BrowseSnapshot, CacheCounters, CacheSnapshot, ClosureSnapshot, Counter,
+    Gauge, Histogram, HistogramSnapshot, Metric, Metrics, MetricsSnapshot, PublishSnapshot,
+    QuerySnapshot, Registry, WalSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use prometheus::prometheus_text;
+
+/// Opens a timed span with optional `key = value` fields and returns a
+/// guard that reports the span when dropped:
+///
+/// ```ignore
+/// let mut span = loosedb_obs::span!("engine.publish", epoch = 3u64);
+/// // … work …
+/// span.record("delta_rels", 17u64);
+/// ```
+///
+/// With the `trace` feature off this expands to a zero-sized no-op
+/// guard and the field expressions are never evaluated — keep them
+/// side-effect free.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        if $crate::trace::capturing() {
+            $crate::trace::SpanGuard::enter(
+                $crate::trace::new_span($name)$(.with(stringify!($key), $value))*
+            )
+        } else {
+            $crate::trace::SpanGuard::noop()
+        }
+    }};
+}
+
+/// Opens a timed span (no-op: the `trace` feature is off).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_variables, unreachable_code, clippy::overly_complex_bool_expr)]
+        if false {
+            $(let _ = &$value;)*
+        }
+        $crate::trace::SpanGuard::noop()
+    }};
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod trace_tests {
+    #[test]
+    fn span_macro_captures_when_enabled() {
+        crate::trace::set_capture(true);
+        {
+            let mut span = crate::span!("test.outer", epoch = 4u64);
+            span.record("rows", 2u64);
+        }
+        let spans = crate::trace::drain();
+        crate::trace::set_capture(false);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.outer");
+        assert_eq!(spans[0].fields.len(), 2);
+        let rendered = crate::trace::render_span(&spans[0]);
+        assert!(rendered.contains("epoch=4"), "{rendered}");
+        assert!(rendered.contains("rows=2"), "{rendered}");
+    }
+
+    #[test]
+    fn span_macro_skips_when_capture_off() {
+        crate::trace::set_capture(false);
+        drop(crate::span!("test.skipped"));
+        assert!(crate::trace::drain().is_empty());
+    }
+}
+
+#[cfg(all(test, not(feature = "trace")))]
+mod noop_tests {
+    #[test]
+    fn span_macro_is_a_noop() {
+        let mut span = crate::span!("test.noop", ignored = 1u64);
+        span.record("also_ignored", 2u64);
+        assert!(!crate::trace::capturing());
+        assert!(crate::trace::drain().is_empty());
+        // The guard is zero-sized with the feature off.
+        assert_eq!(std::mem::size_of::<crate::trace::SpanGuard>(), 0);
+    }
+}

@@ -1,0 +1,721 @@
+//! Lock-free metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! All metric handles are `Arc`-shared wrappers over atomics: cloning a
+//! handle is cheap, recording an event is one or two relaxed atomic
+//! operations and never allocates. The [`Registry`] maps catalogue
+//! names to handles so exporters ([`crate::prometheus_text`]) can walk
+//! every metric without knowing the typed [`Metrics`] struct.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (epoch, cache length).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` counts values whose bit
+/// length is `i` (power-of-two bucketing): bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds `2^(i-1) ..= 2^i - 1`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket histogram with power-of-two buckets.
+///
+/// Recording is one relaxed `fetch_add` on the bucket plus two on the
+/// count/sum totals — no locks, no allocation. Quantile readouts
+/// return the inclusive upper bound of the bucket containing the
+/// requested rank, so they are deterministic and conservative (never
+/// below the true quantile by more than the bucket width).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length, clamped to the last bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Point-in-time snapshot with quantile readouts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-th observation (1-based, rounded up).
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper_bound(i);
+                }
+            }
+            bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            buckets: counts,
+        }
+    }
+}
+
+/// Snapshot of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    /// An empty snapshot, shaped like a live one (all-zero buckets), so
+    /// `snapshot == Default::default()` tests "never recorded".
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+/// Name-keyed metric registry. Registration takes a write lock; the
+/// returned handles are used directly afterwards, so the hot path
+/// never touches the registry again.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    /// If `name` is registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.inner.write().expect("metrics registry");
+        match map.entry(name).or_insert_with(|| Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    /// If `name` is registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.inner.write().expect("metrics registry");
+        match map.entry(name).or_insert_with(|| Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    /// If `name` is registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut map = self.inner.write().expect("metrics registry");
+        match map.entry(name).or_insert_with(|| Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.read().expect("metrics registry").get(name).cloned()
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn collect(&self) -> Vec<(&'static str, Metric)> {
+        self.inner
+            .read()
+            .expect("metrics registry")
+            .iter()
+            .map(|(name, metric)| (*name, metric.clone()))
+            .collect()
+    }
+}
+
+/// Hit/miss/evict/carry counters plus a length gauge for an epoch-keyed
+/// cache (the plan cache and the browse answer cache share this shape).
+#[derive(Clone, Debug)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: Counter,
+    /// Lookups that missed.
+    pub misses: Counter,
+    /// Entries evicted by the LRU capacity policy.
+    pub evictions: Counter,
+    /// Entries carried across a generation roll.
+    pub carried: Counter,
+    /// Current entry count.
+    pub len: Gauge,
+}
+
+impl CacheCounters {
+    /// Registers the five cache metrics under `<prefix>.{hits,…}`.
+    fn register(
+        registry: &Registry,
+        hits: &'static str,
+        misses: &'static str,
+        evictions: &'static str,
+        carried: &'static str,
+        len: &'static str,
+    ) -> Self {
+        CacheCounters {
+            hits: registry.counter(hits),
+            misses: registry.counter(misses),
+            evictions: registry.counter(evictions),
+            carried: registry.counter(carried),
+            len: registry.gauge(len),
+        }
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            carried: self.carried.get(),
+            len: self.len.get(),
+        }
+    }
+}
+
+/// Snapshot of one cache's counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity policy.
+    pub evictions: u64,
+    /// Entries carried across a generation roll.
+    pub carried: u64,
+    /// Entry count at snapshot time.
+    pub len: u64,
+}
+
+/// The well-known loosedb metrics, registered once per [`Metrics::new`]
+/// under the catalogue names documented in DESIGN.md §11.
+#[derive(Debug)]
+pub struct Metrics {
+    registry: Registry,
+
+    // -- store / durability --
+    /// WAL frames appended (`store.wal.appends`).
+    pub wal_appends: Counter,
+    /// WAL bytes appended (`store.wal.append_bytes`).
+    pub wal_append_bytes: Counter,
+    /// WAL fsyncs issued (`store.wal.fsyncs`).
+    pub wal_fsyncs: Counter,
+    /// WAL fsync latency in nanoseconds (`store.wal.fsync_nanos`).
+    pub wal_fsync_ns: Histogram,
+    /// Checkpoints taken (`store.wal.checkpoints`).
+    pub checkpoints: Counter,
+    /// Checkpoint latency in nanoseconds (`store.wal.checkpoint_nanos`).
+    pub checkpoint_ns: Histogram,
+    /// WAL operations replayed at recovery (`store.wal.recovered_ops`).
+    pub wal_recovered_ops: Counter,
+
+    // -- engine / closure --
+    /// Full closure computations (`engine.closure.computes`).
+    pub closure_computes: Counter,
+    /// Full-compute latency in nanoseconds (`engine.closure.compute_nanos`).
+    pub closure_compute_ns: Histogram,
+    /// Incremental closure extensions (`engine.closure.extends`).
+    pub closure_extends: Counter,
+    /// Extend latency in nanoseconds (`engine.closure.extend_nanos`).
+    pub closure_extend_ns: Histogram,
+    /// Facts in the latest closure (`engine.closure.facts`).
+    pub closure_facts: Gauge,
+
+    // -- engine / generations --
+    /// Generations published (`engine.publish.count`).
+    pub publishes: Counter,
+    /// Publish latency in nanoseconds (`engine.publish.nanos`).
+    pub publish_ns: Histogram,
+    /// Relationships touched per publish delta (`engine.publish.delta_rels`).
+    pub publish_delta_rels: Histogram,
+    /// Current epoch (`engine.epoch`).
+    pub epoch: Gauge,
+
+    // -- query --
+    /// Queries evaluated (`query.evals`).
+    pub query_evals: Counter,
+    /// Evaluation latency in nanoseconds (`query.eval_nanos`).
+    pub query_eval_ns: Histogram,
+    /// Rows per answer (`query.rows`).
+    pub query_rows: Histogram,
+    /// Index probes issued by views (`query.count_probes`; absorbs
+    /// `FactView::count_probes`).
+    pub count_probes: Counter,
+    /// Plan-cache counters (`query.plan_cache.*`; absorbs `PlanCacheStats`).
+    pub plan_cache: CacheCounters,
+
+    // -- browse --
+    /// Answer-cache counters (`browse.query_cache.*`; absorbs the
+    /// session `CacheStats`).
+    pub query_cache: CacheCounters,
+    /// Navigation tables built (`browse.nav.builds`).
+    pub nav_builds: Counter,
+    /// Navigation-table build latency in nanoseconds (`browse.nav.build_nanos`).
+    pub nav_build_ns: Histogram,
+    /// Probe invocations (`browse.probe.runs`).
+    pub probe_runs: Counter,
+    /// Retraction waves executed (`browse.probe.waves`).
+    pub probe_waves: Counter,
+    /// Retraction attempts across all waves (`browse.probe.attempts`).
+    pub probe_attempts: Counter,
+    /// Attempts per wave (`browse.probe.wave_size`).
+    pub probe_wave_size: Histogram,
+    /// Probes rescued by retraction (`browse.probe.retraction_successes`).
+    pub probe_successes: Counter,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates a registry populated with the well-known metrics.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        Metrics {
+            wal_appends: registry.counter("store.wal.appends"),
+            wal_append_bytes: registry.counter("store.wal.append_bytes"),
+            wal_fsyncs: registry.counter("store.wal.fsyncs"),
+            wal_fsync_ns: registry.histogram("store.wal.fsync_nanos"),
+            checkpoints: registry.counter("store.wal.checkpoints"),
+            checkpoint_ns: registry.histogram("store.wal.checkpoint_nanos"),
+            wal_recovered_ops: registry.counter("store.wal.recovered_ops"),
+            closure_computes: registry.counter("engine.closure.computes"),
+            closure_compute_ns: registry.histogram("engine.closure.compute_nanos"),
+            closure_extends: registry.counter("engine.closure.extends"),
+            closure_extend_ns: registry.histogram("engine.closure.extend_nanos"),
+            closure_facts: registry.gauge("engine.closure.facts"),
+            publishes: registry.counter("engine.publish.count"),
+            publish_ns: registry.histogram("engine.publish.nanos"),
+            publish_delta_rels: registry.histogram("engine.publish.delta_rels"),
+            epoch: registry.gauge("engine.epoch"),
+            query_evals: registry.counter("query.evals"),
+            query_eval_ns: registry.histogram("query.eval_nanos"),
+            query_rows: registry.histogram("query.rows"),
+            count_probes: registry.counter("query.count_probes"),
+            plan_cache: CacheCounters::register(
+                &registry,
+                "query.plan_cache.hits",
+                "query.plan_cache.misses",
+                "query.plan_cache.evictions",
+                "query.plan_cache.carried",
+                "query.plan_cache.len",
+            ),
+            query_cache: CacheCounters::register(
+                &registry,
+                "browse.query_cache.hits",
+                "browse.query_cache.misses",
+                "browse.query_cache.evictions",
+                "browse.query_cache.carried",
+                "browse.query_cache.len",
+            ),
+            nav_builds: registry.counter("browse.nav.builds"),
+            nav_build_ns: registry.histogram("browse.nav.build_nanos"),
+            probe_runs: registry.counter("browse.probe.runs"),
+            probe_waves: registry.counter("browse.probe.waves"),
+            probe_attempts: registry.counter("browse.probe.attempts"),
+            probe_wave_size: registry.histogram("browse.probe.wave_size"),
+            probe_successes: registry.counter("browse.probe.retraction_successes"),
+            registry,
+        }
+    }
+
+    /// The underlying name-keyed registry (for exporters and ad-hoc
+    /// metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Typed point-in-time snapshot of every well-known metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            wal: WalSnapshot {
+                appends: self.wal_appends.get(),
+                append_bytes: self.wal_append_bytes.get(),
+                fsyncs: self.wal_fsyncs.get(),
+                fsync_ns: self.wal_fsync_ns.snapshot(),
+                checkpoints: self.checkpoints.get(),
+                checkpoint_ns: self.checkpoint_ns.snapshot(),
+                recovered_ops: self.wal_recovered_ops.get(),
+            },
+            closure: ClosureSnapshot {
+                computes: self.closure_computes.get(),
+                compute_ns: self.closure_compute_ns.snapshot(),
+                extends: self.closure_extends.get(),
+                extend_ns: self.closure_extend_ns.snapshot(),
+                facts: self.closure_facts.get(),
+            },
+            publish: PublishSnapshot {
+                publishes: self.publishes.get(),
+                publish_ns: self.publish_ns.snapshot(),
+                delta_rels: self.publish_delta_rels.snapshot(),
+                epoch: self.epoch.get(),
+            },
+            query: QuerySnapshot {
+                evals: self.query_evals.get(),
+                eval_ns: self.query_eval_ns.snapshot(),
+                rows: self.query_rows.snapshot(),
+                count_probes: self.count_probes.get(),
+                plan_cache: self.plan_cache.snapshot(),
+            },
+            browse: BrowseSnapshot {
+                query_cache: self.query_cache.snapshot(),
+                nav_builds: self.nav_builds.get(),
+                nav_build_ns: self.nav_build_ns.snapshot(),
+                probe_runs: self.probe_runs.get(),
+                probe_waves: self.probe_waves.get(),
+                probe_attempts: self.probe_attempts.get(),
+                probe_wave_size: self.probe_wave_size.snapshot(),
+                probe_successes: self.probe_successes.get(),
+            },
+        }
+    }
+}
+
+/// Typed snapshot of every well-known metric ([`Metrics::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Durability metrics.
+    pub wal: WalSnapshot,
+    /// Closure metrics.
+    pub closure: ClosureSnapshot,
+    /// Generation-publish metrics.
+    pub publish: PublishSnapshot,
+    /// Query metrics.
+    pub query: QuerySnapshot,
+    /// Browsing metrics.
+    pub browse: BrowseSnapshot,
+}
+
+/// Durability (WAL/checkpoint) metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WalSnapshot {
+    /// WAL frames appended.
+    pub appends: u64,
+    /// WAL bytes appended.
+    pub append_bytes: u64,
+    /// Fsyncs issued.
+    pub fsyncs: u64,
+    /// Fsync latency.
+    pub fsync_ns: HistogramSnapshot,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Checkpoint latency.
+    pub checkpoint_ns: HistogramSnapshot,
+    /// Operations replayed at recovery.
+    pub recovered_ops: u64,
+}
+
+/// Closure compute/extend metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ClosureSnapshot {
+    /// Full recomputations.
+    pub computes: u64,
+    /// Full-compute latency.
+    pub compute_ns: HistogramSnapshot,
+    /// Incremental extensions.
+    pub extends: u64,
+    /// Extend latency.
+    pub extend_ns: HistogramSnapshot,
+    /// Facts in the latest closure.
+    pub facts: u64,
+}
+
+/// Generation-publish metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PublishSnapshot {
+    /// Generations published.
+    pub publishes: u64,
+    /// Publish latency.
+    pub publish_ns: HistogramSnapshot,
+    /// Relationships per publish delta.
+    pub delta_rels: HistogramSnapshot,
+    /// Current epoch.
+    pub epoch: u64,
+}
+
+/// Query-evaluation metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct QuerySnapshot {
+    /// Queries evaluated.
+    pub evals: u64,
+    /// Evaluation latency.
+    pub eval_ns: HistogramSnapshot,
+    /// Rows per answer.
+    pub rows: HistogramSnapshot,
+    /// Index probes issued by views.
+    pub count_probes: u64,
+    /// Plan-cache counters.
+    pub plan_cache: CacheSnapshot,
+}
+
+/// Browsing (navigation/probe) metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BrowseSnapshot {
+    /// Answer-cache counters.
+    pub query_cache: CacheSnapshot,
+    /// Navigation tables built.
+    pub nav_builds: u64,
+    /// Navigation-table build latency.
+    pub nav_build_ns: HistogramSnapshot,
+    /// Probe invocations.
+    pub probe_runs: u64,
+    /// Retraction waves executed.
+    pub probe_waves: u64,
+    /// Retraction attempts across all waves.
+    pub probe_attempts: u64,
+    /// Attempts per wave.
+    pub probe_wave_size: HistogramSnapshot,
+    /// Probes rescued by retraction.
+    pub probe_successes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles_are_deterministic() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(100); // bucket 7 (64..127)
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 201);
+        // ranks: p50 → rank 2 → value 1's bucket (upper bound 1);
+        // p95/p99 → rank 4 → 100's bucket (upper bound 127).
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p95, 127);
+        assert_eq!(s.p99, 127);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[7], 2);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, u64::MAX);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.collect().len(), 1);
+        assert!(matches!(r.get("x"), Some(Metric::Counter(_))));
+        assert!(r.get("y").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_conflicts() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_handles() {
+        let m = Metrics::new();
+        m.wal_appends.add(3);
+        m.epoch.set(9);
+        m.plan_cache.hits.inc();
+        let s = m.snapshot();
+        assert_eq!(s.wal.appends, 3);
+        assert_eq!(s.publish.epoch, 9);
+        assert_eq!(s.query.plan_cache.hits, 1);
+        assert_eq!(s.browse.query_cache, CacheSnapshot::default());
+        // The same counters are visible through the registry.
+        let Some(Metric::Counter(c)) = m.registry().get("store.wal.appends") else {
+            panic!("wal.appends not registered");
+        };
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.count_probes.inc();
+                        m.query_rows.record(5);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.query.count_probes, 80_000);
+        assert_eq!(s.query.rows.count, 80_000);
+        assert_eq!(s.query.rows.sum, 400_000);
+    }
+}

@@ -1,0 +1,82 @@
+//! Prometheus text-format export (exposition format 0.0.4). No HTTP
+//! server — callers scrape [`prometheus_text`] however they serve it.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, Metric, Registry};
+
+/// Mangles a catalogue name (`store.wal.appends`) into a Prometheus
+/// metric name (`loosedb_store_wal_appends`).
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("loosedb_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders every metric in `registry` in the Prometheus text format:
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="…"}` series plus `_sum`/`_count`.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, metric) in registry.collect() {
+        let pname = mangle(name);
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                let _ = writeln!(out, "{pname} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let snap = h.snapshot();
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                let mut cumulative = 0u64;
+                for (i, &count) in snap.buckets.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                let _ = writeln!(out, "{pname}_sum {}", snap.sum);
+                let _ = writeln!(out, "{pname}_count {}", snap.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("a.count").add(2);
+        r.gauge("b.gauge").set(7);
+        let h = r.histogram("c.hist");
+        h.record(3);
+        h.record(100);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE loosedb_a_count counter"), "{text}");
+        assert!(text.contains("loosedb_a_count 2"), "{text}");
+        assert!(text.contains("loosedb_b_gauge 7"), "{text}");
+        assert!(text.contains("# TYPE loosedb_c_hist histogram"), "{text}");
+        assert!(text.contains("loosedb_c_hist_bucket{le=\"3\"} 1"), "{text}");
+        assert!(text.contains("loosedb_c_hist_bucket{le=\"127\"} 2"), "{text}");
+        assert!(text.contains("loosedb_c_hist_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("loosedb_c_hist_sum 103"), "{text}");
+        assert!(text.contains("loosedb_c_hist_count 2"), "{text}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Structured tracing spans, feature-gated behind `trace`.
+//!
+//! With the feature on, this module wraps the vendored `tracing` shim:
+//! spans carry typed fields, measure wall-clock duration, and land in
+//! a bounded global buffer when capture is enabled. With the feature
+//! off every function here is a no-op and [`SpanGuard`] is a zero-sized
+//! type, so `obs::span!` call sites compile to nothing.
+//!
+//! Capture is off by default even with the feature compiled in; turn
+//! it on with [`set_capture`] (the REPL `spans on` command does this).
+
+#[cfg(feature = "trace")]
+mod imp {
+    pub use tracing::{SpanRecord, Value as FieldValue};
+
+    /// Enables or disables span capture globally.
+    pub fn set_capture(on: bool) {
+        tracing::collector::set_capture(on);
+    }
+
+    /// Whether spans are currently captured (the hot-path check).
+    #[inline]
+    pub fn capturing() -> bool {
+        tracing::collector::capturing()
+    }
+
+    /// Removes and returns all captured spans, oldest first.
+    pub fn drain() -> Vec<SpanRecord> {
+        tracing::collector::drain()
+    }
+
+    /// Starts building a span (used by the `span!` macro).
+    pub fn new_span(name: &'static str) -> tracing::Span {
+        tracing::Span::new(name)
+    }
+
+    /// RAII guard for an active span; reports on drop.
+    #[derive(Debug)]
+    pub struct SpanGuard(Option<tracing::EnteredSpan>);
+
+    impl SpanGuard {
+        /// A guard that records nothing.
+        pub fn noop() -> Self {
+            SpanGuard(None)
+        }
+
+        /// Enters `span` (used by the `span!` macro).
+        pub fn enter(span: tracing::Span) -> Self {
+            SpanGuard(Some(span.enter()))
+        }
+
+        /// Records an additional field on the active span.
+        #[inline]
+        pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+            if let Some(entered) = self.0.as_mut() {
+                entered.record(key, value);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    /// A typed span-field value (mirror of the `trace`-enabled type so
+    /// callers compile identically in both modes).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum FieldValue {
+        /// Unsigned integer field.
+        U64(u64),
+        /// Signed integer field.
+        I64(i64),
+        /// Floating-point field.
+        F64(f64),
+        /// Boolean field.
+        Bool(bool),
+        /// String field.
+        Str(String),
+    }
+
+    impl std::fmt::Display for FieldValue {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                FieldValue::U64(v) => write!(f, "{v}"),
+                FieldValue::I64(v) => write!(f, "{v}"),
+                FieldValue::F64(v) => write!(f, "{v}"),
+                FieldValue::Bool(v) => write!(f, "{v}"),
+                FieldValue::Str(v) => write!(f, "{v}"),
+            }
+        }
+    }
+
+    impl From<u64> for FieldValue {
+        fn from(v: u64) -> Self {
+            FieldValue::U64(v)
+        }
+    }
+    impl From<u32> for FieldValue {
+        fn from(v: u32) -> Self {
+            FieldValue::U64(v as u64)
+        }
+    }
+    impl From<usize> for FieldValue {
+        fn from(v: usize) -> Self {
+            FieldValue::U64(v as u64)
+        }
+    }
+    impl From<i64> for FieldValue {
+        fn from(v: i64) -> Self {
+            FieldValue::I64(v)
+        }
+    }
+    impl From<f64> for FieldValue {
+        fn from(v: f64) -> Self {
+            FieldValue::F64(v)
+        }
+    }
+    impl From<bool> for FieldValue {
+        fn from(v: bool) -> Self {
+            FieldValue::Bool(v)
+        }
+    }
+    impl From<&str> for FieldValue {
+        fn from(v: &str) -> Self {
+            FieldValue::Str(v.to_string())
+        }
+    }
+    impl From<String> for FieldValue {
+        fn from(v: String) -> Self {
+            FieldValue::Str(v)
+        }
+    }
+
+    /// A finished span (never produced with the feature off).
+    #[derive(Debug, Clone)]
+    pub struct SpanRecord {
+        /// Static span name.
+        pub name: &'static str,
+        /// Enclosing span, if any.
+        pub parent: Option<&'static str>,
+        /// Recorded fields.
+        pub fields: Vec<(&'static str, FieldValue)>,
+        /// Wall-clock duration in nanoseconds.
+        pub nanos: u64,
+    }
+
+    /// No-op: spans are compiled out.
+    pub fn set_capture(_on: bool) {}
+
+    /// Always false with the feature off.
+    #[inline]
+    pub fn capturing() -> bool {
+        false
+    }
+
+    /// Always empty with the feature off.
+    pub fn drain() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    /// Zero-sized no-op span guard.
+    #[derive(Debug)]
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// A guard that records nothing.
+        pub fn noop() -> Self {
+            SpanGuard
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn record(&mut self, _key: &'static str, _value: impl Into<FieldValue>) {}
+    }
+}
+
+pub use imp::*;
+
+/// Renders a drained span for terminal display:
+/// `name{k=v, …} 12.3µs ← parent`.
+pub fn render_span(record: &SpanRecord) -> String {
+    let fields: Vec<String> = record.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let nanos = record.nanos;
+    let took = if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    };
+    let parent = match record.parent {
+        Some(p) => format!(" ← {p}"),
+        None => String::new(),
+    };
+    format!("{}{{{}}} {}{}", record.name, fields.join(", "), took, parent)
+}

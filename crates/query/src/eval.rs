@@ -209,6 +209,7 @@ pub fn eval_planned(
     opts: EvalOptions,
     plan: &QueryPlan,
 ) -> Result<Answer, EvalError> {
+    let mut span = loosedb_obs::span!("query.execute", free_vars = query.free.len());
     // Columns anything above the formula can observe: the declared
     // answer columns. Everything else is fair game for pushdown.
     let formula_free = query.formula.free_vars();
@@ -230,6 +231,7 @@ pub fn eval_planned(
         rows.insert(projected);
     }
     let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
+    span.record("rows", rows.len());
     Ok(Answer { columns: query.free.clone(), names, rows })
 }
 
@@ -682,6 +684,8 @@ fn join_atom(
     }
 
     // 2. One index probe per distinct key; match payloads grouped by key.
+    let mut span =
+        loosedb_obs::span!("query.join_atom", rows_in = cur.rows, distinct_keys = keys.rows);
     let npay = new_vars.len();
     let mut groups: HashMap<&[EntityId], (Vec<EntityId>, usize)> =
         HashMap::with_capacity(keys.rows);
@@ -745,6 +749,8 @@ fn join_atom(
             }
         }
     }
+    span.record("produced", produced);
+    span.record("rows_out", out.rows);
     Ok(out)
 }
 
@@ -769,6 +775,7 @@ fn join_rel(cur: Rel, sub: &Rel, opts: &EvalOptions) -> Result<Rel, EvalError> {
     }
 
     // Build side: sub rows grouped by shared-column values.
+    let mut span = loosedb_obs::span!("query.join_rel", rows_in = cur.rows, build_rows = sub.rows);
     let mut map: HashMap<Vec<EntityId>, Vec<u32>> = HashMap::new();
     for j in 0..sub.rows {
         let row = sub.row(j);
@@ -798,6 +805,7 @@ fn join_rel(cur: Rel, sub: &Rel, opts: &EvalOptions) -> Result<Rel, EvalError> {
             }
         }
     }
+    span.record("rows_out", out.rows);
     Ok(out)
 }
 

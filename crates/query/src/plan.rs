@@ -290,6 +290,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that missed (cold planning followed).
     pub misses: u64,
+    /// Entries evicted by the LRU capacity policy.
+    pub evictions: u64,
     /// Plans carried across a publish because the write delta did not
     /// touch their dependency relationships.
     pub carried: u64,
@@ -324,7 +326,11 @@ pub struct PlanCache {
     map: HashMap<u64, PlanEntry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     carried: u64,
+    /// Optional shared registry counters (`query.plan_cache.*`); the
+    /// local fields above stay authoritative for per-cache stats.
+    metrics: Option<loosedb_obs::CacheCounters>,
 }
 
 impl PlanCache {
@@ -337,8 +343,18 @@ impl PlanCache {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
             carried: 0,
+            metrics: None,
         }
+    }
+
+    /// Like [`PlanCache::new`], additionally mirroring every transition
+    /// into the shared registry counters (`query.plan_cache.*`).
+    pub fn with_metrics(capacity: usize, metrics: loosedb_obs::CacheCounters) -> Self {
+        let mut cache = PlanCache::new(capacity);
+        cache.metrics = Some(metrics);
+        cache
     }
 
     /// The epoch the cached plans were built (or last validated) at.
@@ -361,8 +377,14 @@ impl PlanCache {
                     None => false,
                 });
                 self.carried += self.map.len() as u64;
+                if let Some(m) = &self.metrics {
+                    m.carried.add(self.map.len() as u64);
+                }
             }
             None => self.map.clear(),
+        }
+        if let Some(m) = &self.metrics {
+            m.len.set(self.map.len() as u64);
         }
         self.epoch = epoch;
     }
@@ -379,10 +401,16 @@ impl PlanCache {
             {
                 entry.last_used = self.tick;
                 self.hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(Arc::clone(&entry.plan))
             }
             _ => {
                 self.misses += 1;
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -395,6 +423,10 @@ impl PlanCache {
         if self.map.len() >= self.capacity {
             if let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, entry)| entry.last_used) {
                 self.map.remove(&oldest);
+                self.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
         let key = shape_hash(query, opts);
@@ -409,6 +441,9 @@ impl PlanCache {
                 last_used: self.tick,
             },
         );
+        if let Some(m) = &self.metrics {
+            m.len.set(self.map.len() as u64);
+        }
     }
 
     /// Cumulative statistics.
@@ -416,6 +451,7 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits,
             misses: self.misses,
+            evictions: self.evictions,
             carried: self.carried,
             len: self.map.len(),
             capacity: self.capacity,

@@ -1,0 +1,131 @@
+//! Backfill tests for the query layer's bookkeeping: plan-cache
+//! hit/miss/evict/carry transitions (local stats and their registry
+//! mirrors), and the `EvalError::ResultTooLarge` diagnostic fields.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use loosedb_engine::Database;
+use loosedb_obs::Metrics;
+use loosedb_query::{eval_with, parse, plan_and_eval, EvalError, EvalOptions, PlanCache, Query};
+use loosedb_store::EntityId;
+
+fn world() -> Database {
+    let mut db = Database::new();
+    db.add("JOHN", "LIKES", "FELIX");
+    db.add("JOHN", "LIKES", "MARY");
+    db.add("JOHN", "EARNS", 25000i64);
+    db.add("MARY", "WORKS-FOR", "SHIPPING");
+    db
+}
+
+fn parsed(db: &mut Database, src: &str) -> Query {
+    parse(src, db.store_interner_mut()).unwrap()
+}
+
+fn rel_id(db: &Database, name: &str) -> EntityId {
+    db.lookup_symbol(name).unwrap()
+}
+
+/// Every cache transition — miss, insert, hit, carry, invalidation,
+/// eviction — shows up both in the local `PlanCacheStats` and in the
+/// mirrored `query.plan_cache.*` registry counters.
+#[test]
+fn plan_cache_transitions_mirror_into_the_registry() {
+    let mut db = world();
+    let metrics = Metrics::new();
+    let mut cache = PlanCache::with_metrics(2, metrics.plan_cache.clone());
+    let opts = EvalOptions::default();
+
+    let likes = parsed(&mut db, "(JOHN, LIKES, ?x)");
+    let earns = parsed(&mut db, "(JOHN, EARNS, ?x)");
+    let works = parsed(&mut db, "(?x, WORKS-FOR, SHIPPING)");
+    let likes_rel = rel_id(&db, "LIKES");
+    let earns_rel = rel_id(&db, "EARNS");
+    let view = db.view().unwrap();
+
+    // Cold: miss, plan, insert.
+    assert!(cache.get(&likes, &opts).is_none());
+    let (_, plan) = plan_and_eval(&likes, &view, opts).unwrap();
+    cache.insert(&likes, &opts, Arc::new(plan));
+    // Warm: hit.
+    assert!(cache.get(&likes, &opts).is_some());
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+
+    // A disjoint write delta carries the plan across the epoch roll.
+    let delta: BTreeSet<EntityId> = [earns_rel].into();
+    cache.roll(2, Some(&delta));
+    assert!(cache.get(&likes, &opts).is_some());
+    assert_eq!(cache.stats().carried, 1);
+
+    // A delta touching LIKES invalidates it: the next lookup misses.
+    let delta: BTreeSet<EntityId> = [likes_rel].into();
+    cache.roll(3, Some(&delta));
+    assert!(cache.get(&likes, &opts).is_none());
+
+    // Fill past capacity 2: the LRU entry is evicted.
+    for q in [&likes, &earns, &works] {
+        let (_, plan) = plan_and_eval(q, &view, opts).unwrap();
+        cache.insert(q, &opts, Arc::new(plan));
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1, "{stats:?}");
+    assert_eq!(stats.len, 2);
+
+    // The registry mirror agrees with the local stats on every counter.
+    let mirror = metrics.plan_cache.snapshot();
+    assert_eq!(mirror.hits, stats.hits);
+    assert_eq!(mirror.misses, stats.misses);
+    assert_eq!(mirror.evictions, stats.evictions);
+    assert_eq!(mirror.carried, stats.carried);
+    assert_eq!(mirror.len, stats.len as u64);
+}
+
+/// An unknown delta (`None`) clears the cache outright — nothing is
+/// carried and the mirrored length gauge drops to zero.
+#[test]
+fn plan_cache_unknown_delta_clears_everything() {
+    let mut db = world();
+    let metrics = Metrics::new();
+    let mut cache = PlanCache::with_metrics(4, metrics.plan_cache.clone());
+    let opts = EvalOptions::default();
+    let likes = parsed(&mut db, "(JOHN, LIKES, ?x)");
+    let view = db.view().unwrap();
+
+    let (_, plan) = plan_and_eval(&likes, &view, opts).unwrap();
+    cache.insert(&likes, &opts, Arc::new(plan));
+    assert_eq!(cache.stats().len, 1);
+
+    cache.roll(2, None);
+    let stats = cache.stats();
+    assert_eq!((stats.len, stats.carried), (0, 0), "{stats:?}");
+    assert_eq!(metrics.plan_cache.snapshot().len, 0);
+}
+
+/// `ResultTooLarge` reports the configured limit and how many rows had
+/// been produced when the evaluator gave up — `produced` always exceeds
+/// `limit`, never by more than one batch of duplicates.
+#[test]
+fn result_too_large_reports_limit_and_produced() {
+    let mut db = Database::new();
+    for i in 0..20 {
+        db.add("JOHN", "LIKES", format!("T{i}"));
+    }
+    let query = parsed(&mut db, "(JOHN, LIKES, ?x)");
+    let view = db.view().unwrap();
+    let opts = EvalOptions { max_rows: 5, ..Default::default() };
+    match eval_with(&query, &view, opts) {
+        Err(EvalError::ResultTooLarge { limit, produced }) => {
+            assert_eq!(limit, 5);
+            assert!(produced > limit, "produced={produced} must exceed limit={limit}");
+            assert!(produced <= 20, "produced={produced} cannot exceed the extension");
+        }
+        other => panic!("expected ResultTooLarge, got {other:?}"),
+    }
+
+    // Under the limit, the same query succeeds — the error is a budget,
+    // not a truncation.
+    let opts = EvalOptions { max_rows: 64, ..Default::default() };
+    assert_eq!(eval_with(&query, &view, opts).unwrap().len(), 20);
+}

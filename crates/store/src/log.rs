@@ -289,11 +289,13 @@ pub fn decode(input: impl AsRef<[u8]>) -> Result<Vec<LogOp>, CodecError> {
 /// this only where damage is fatal anyway (e.g. [`replay_file`] after a
 /// clean shutdown). For crash recovery use [`recover`].
 pub fn replay(input: impl AsRef<[u8]>, store: &mut FactStore) -> Result<usize, CodecError> {
+    let mut span = loosedb_obs::span!("store.log.replay", bytes = input.as_ref().len());
     let mut n = 0;
     for op in Frames::new(input.as_ref()) {
         apply(op?, store);
         n += 1;
     }
+    span.record("ops", n);
     Ok(n)
 }
 
@@ -315,6 +317,7 @@ pub struct Recovery {
 /// and reports how much of the log was valid. Never fails — a log that is
 /// damaged from byte zero simply recovers zero operations.
 pub fn recover(input: impl AsRef<[u8]>, store: &mut FactStore) -> Recovery {
+    let mut span = loosedb_obs::span!("store.log.recover", bytes = input.as_ref().len());
     let mut frames = Frames::new(input.as_ref());
     let mut applied = 0;
     let mut damaged = false;
@@ -327,6 +330,8 @@ pub fn recover(input: impl AsRef<[u8]>, store: &mut FactStore) -> Recovery {
             Err(_) => damaged = true,
         }
     }
+    span.record("ops", applied);
+    span.record("damaged", damaged);
     Recovery { applied, valid_bytes: frames.valid_bytes(), damaged }
 }
 

@@ -89,12 +89,15 @@ pub fn decode(mut input: impl bytes::Buf) -> Result<FactStore, CodecError> {
 /// Writes a snapshot to a file atomically (temp + fsync + rename), so a
 /// crash mid-save leaves any previous snapshot intact.
 pub fn save(store: &FactStore, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let _span = loosedb_obs::span!("store.snapshot.save", facts = store.len());
     crate::io::atomic_write(path, &encode(store))
 }
 
 /// Loads a snapshot from a file.
 pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<FactStore> {
+    let mut span = loosedb_obs::span!("store.snapshot.load");
     let data = std::fs::read(path)?;
+    span.record("bytes", data.len());
     decode(Bytes::from(data))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }

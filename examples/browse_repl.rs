@@ -35,9 +35,12 @@ commands:
   import <path> | export <path>   plain-text fact files
   save <path> | load <path>    full-database image (facts+rules+config)
   stats                        database statistics
+  metrics                      observability counters (Prometheus text format)
+  spans <on|off|show>          capture / dump tracing spans (needs --features obs)
   history                      focus history
   help                         this text
-  quit                         exit";
+  quit                         exit
+(commands also accept a leading ':', e.g. ':metrics')";
 
 fn main() {
     let stdin = io::stdin();
@@ -72,6 +75,7 @@ fn prompt() {
 
 fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
     let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let cmd = cmd.strip_prefix(':').unwrap_or(cmd);
     let rest = rest.trim();
     match cmd {
         "help" => println!("{HELP}"),
@@ -214,6 +218,33 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
             println!("loaded {} facts, {} rules", db.base_len(), db.rules().len());
             *session = Session::new(db);
         }
+        "metrics" => {
+            print!("{}", loosedb::obs::prometheus_text(session.db().metrics().registry()));
+        }
+        "spans" => match rest {
+            "on" => {
+                loosedb::obs::trace::set_capture(true);
+                if loosedb::obs::trace::capturing() {
+                    println!("span capture on");
+                } else {
+                    println!("span capture unavailable (rebuild with --features obs)");
+                }
+            }
+            "off" => {
+                loosedb::obs::trace::set_capture(false);
+                println!("span capture off");
+            }
+            "show" | "" => {
+                let spans = loosedb::obs::trace::drain();
+                if spans.is_empty() {
+                    println!("(no spans captured; try 'spans on' under --features obs)");
+                }
+                for s in &spans {
+                    println!("{}", loosedb::obs::trace::render_span(s));
+                }
+            }
+            other => return Err(format!("usage: spans <on|off|show>, not {other:?}")),
+        },
         "history" => {
             let names: Vec<String> =
                 session.history().iter().map(|&e| session.db().display(e)).collect();

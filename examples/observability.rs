@@ -1,0 +1,67 @@
+//! The observability layer end to end: metrics, snapshots, spans, and the
+//! Prometheus text exporter.
+//!
+//! Run with `cargo run --example observability` for metrics only, or with
+//! `--features obs` to also capture tracing spans:
+//!
+//! ```text
+//! cargo run --example observability --features obs
+//! ```
+
+use std::sync::Arc;
+
+use loosedb::{Database, SharedDatabase, SharedSession};
+
+fn main() {
+    // Span capture is a no-op unless the `obs` feature is compiled in;
+    // metrics are always live.
+    loosedb::obs::trace::set_capture(true);
+
+    let mut db = Database::new();
+    db.add("ADORES", "gen", "LIKES");
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("JOHN", "LIKES", "FELIX");
+    db.add("JOHN", "EARNS", 25000i64);
+    let shared = Arc::new(SharedDatabase::new(db).expect("consistent seed"));
+
+    // A session browses: navigation, queries (twice — the repeat hits the
+    // answer cache), and a probe whose retraction wave succeeds.
+    let mut session = SharedSession::new(Arc::clone(&shared));
+    session.focus("JOHN").expect("JOHN is interned");
+    session.query("(JOHN, LIKES, ?x)").expect("query");
+    session.query("(JOHN, LIKES, ?x)").expect("cached repeat");
+    session.probe("(JOHN, ADORES, ?x)").expect("probe");
+
+    // A writer publishes; the epoch gauge and publish counters move.
+    shared.insert("MARY", "LIKES", "FELIX").expect("insert");
+
+    // 1. The typed snapshot: exact counter values, histogram quantiles.
+    let snap = shared.metrics_snapshot();
+    println!("== metrics_snapshot() ==");
+    println!("epoch                    {}", snap.publish.epoch);
+    println!("publishes                {}", snap.publish.publishes);
+    println!("closure computes/extends {}/{}", snap.closure.computes, snap.closure.extends);
+    println!("query evals              {}", snap.query.evals);
+    println!(
+        "query cache hit/miss     {}/{}",
+        snap.browse.query_cache.hits, snap.browse.query_cache.misses
+    );
+    println!("navigation builds        {}", snap.browse.nav_builds);
+    println!("probe runs/waves         {}/{}", snap.browse.probe_runs, snap.browse.probe_waves);
+    println!("probe wave size p50      {}", snap.browse.probe_wave_size.p50);
+    println!("eval latency p99 (ns) ≤  {}", snap.query.eval_ns.p99);
+
+    // 2. Captured spans (empty without `--features obs`).
+    let spans = loosedb::obs::trace::drain();
+    println!("\n== captured spans ({}) ==", spans.len());
+    for s in &spans {
+        println!("{}", loosedb::obs::trace::render_span(s));
+    }
+    if spans.is_empty() {
+        println!("(rebuild with --features obs to capture spans)");
+    }
+
+    // 3. The Prometheus text exposition — what a scraper would read.
+    println!("\n== prometheus_text() ==");
+    print!("{}", loosedb::obs::prometheus_text(shared.metrics().registry()));
+}

@@ -16,6 +16,7 @@
 //! | queries | [`query`] | §2.7 formulas: parser and evaluator |
 //! | browsing | [`browse`] | §4 navigation, §5 probing, §6 operators |
 //! | workloads | [`datagen`] | seeded worlds and synthetic generators |
+//! | observability | [`obs`] | metrics registry, tracing spans, Prometheus export |
 //!
 //! ## Quickstart
 //!
@@ -46,8 +47,11 @@
 pub use loosedb_browse as browse;
 pub use loosedb_datagen as datagen;
 pub use loosedb_engine as engine;
+pub use loosedb_obs as obs;
 pub use loosedb_query as query;
 pub use loosedb_store as store;
+
+pub use loosedb_obs::{Metrics, MetricsSnapshot};
 
 pub use loosedb_browse::{
     function, navigate, paths_between, probe, probe_text, relation, semantic_distance, try_entity,

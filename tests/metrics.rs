@@ -1,0 +1,205 @@
+//! Metrics-correctness tests: deterministic workloads whose counters are
+//! exactly predicted, asserted against the typed
+//! [`loosedb::MetricsSnapshot`], plus a multi-threaded test that
+//! concurrent sessions never lose increments.
+
+use std::sync::Arc;
+
+use loosedb::obs::CacheSnapshot;
+use loosedb::query::{eval_with, EvalOptions, ExecStrategy};
+use loosedb::{Database, DurableDatabase, FactView, SharedDatabase, SharedSession, SyncPolicy};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("loosedb-metrics-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// N durable inserts produce exactly N WAL appends and (under
+/// `SyncPolicy::Always`) exactly N fsyncs; a checkpoint is counted once;
+/// reopening replays exactly the journaled operations.
+#[test]
+fn wal_counters_are_exactly_predicted() {
+    let dir = temp_dir("wal");
+    const N: u64 = 10;
+    {
+        let mut db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+        for i in 0..N {
+            db.add(format!("E{i}"), "isa", "THING").unwrap();
+        }
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.wal.appends, N);
+        assert_eq!(snap.wal.fsyncs, N);
+        assert_eq!(snap.wal.fsync_ns.count, N);
+        assert!(snap.wal.append_bytes > 0, "{snap:?}");
+        assert_eq!(snap.wal.checkpoints, 0);
+        assert_eq!(snap.wal.recovered_ops, 0);
+    }
+
+    // Reopen: every journaled op is replayed and counted (a fresh
+    // `Metrics` belongs to the recovered database).
+    {
+        let db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.wal.recovered_ops, N);
+        assert_eq!(snap.wal.appends, 0, "recovery replays, it does not journal");
+    }
+
+    // A checkpoint rotates the WAL: counted once, and the next reopen has
+    // nothing to replay.
+    {
+        let mut db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+        db.checkpoint().unwrap();
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.wal.checkpoints, 1);
+        assert_eq!(snap.wal.checkpoint_ns.count, 1);
+    }
+    {
+        let db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(db.metrics().snapshot().wal.recovered_ops, 0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fixed single-threaded browsing workload: every counter in the typed
+/// snapshot is exactly the number of operations issued.
+#[test]
+fn browsing_workload_counters_are_exactly_predicted() {
+    let mut db = Database::new();
+    db.add("ADORES", "gen", "LIKES");
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("JOHN", "LIKES", "FELIX");
+    db.add("JOHN", "EARNS", 25000i64);
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+    let mut s = SharedSession::new(Arc::clone(&shared));
+
+    s.focus("JOHN").unwrap(); // 1 navigation build
+    s.query("(JOHN, LIKES, ?x)").unwrap(); // miss → 1 eval
+    s.query("(JOHN, LIKES, ?x)").unwrap(); // hit → 0 evals
+    s.query("(JOHN, EARNS, ?x)").unwrap(); // miss → 1 eval
+    s.probe("(JOHN, ADORES, ?x)").unwrap(); // 1 run, first wave succeeds
+    shared.insert("MARY", "LIKES", "FELIX").unwrap(); // 1 publish
+
+    let snap = shared.metrics_snapshot();
+    // Engine: the initial closure plus one incremental extension.
+    assert_eq!(snap.closure.computes, 1);
+    assert_eq!(snap.closure.extends, 1);
+    assert_eq!(snap.publish.publishes, 1);
+    assert_eq!(snap.publish.epoch, 2);
+    assert_eq!(snap.publish.delta_rels.count, 1);
+    // Queries: two cache misses evaluated, each returning one row.
+    assert_eq!(snap.query.evals, 2);
+    assert_eq!(snap.query.eval_ns.count, 2);
+    assert_eq!(snap.query.rows.count, 2);
+    assert_eq!(snap.query.rows.sum, 2);
+    // The query cache as a whole is timing-free: assert it structurally.
+    assert_eq!(
+        snap.browse.query_cache,
+        CacheSnapshot { hits: 1, misses: 2, evictions: 0, carried: 0, len: 2 },
+        "2 query misses + 1 hit (probes bypass the answer cache)"
+    );
+    assert_eq!(snap.browse.nav_builds, 1);
+    assert_eq!(snap.browse.nav_build_ns.count, 1);
+    // Probe: one run whose single wave tried ADORES→LIKES (a success)
+    // and ADORES→Δ broadenings.
+    assert_eq!(snap.browse.probe_runs, 1);
+    assert_eq!(snap.browse.probe_waves, 1);
+    assert_eq!(snap.browse.probe_wave_size.count, 1);
+    assert_eq!(snap.browse.probe_attempts, snap.browse.probe_wave_size.sum);
+    assert!(snap.browse.probe_successes >= 1, "{snap:?}");
+    // No durable layer in this workload.
+    assert_eq!(snap.wal, Default::default());
+}
+
+/// The registry's `query.count_probes` counter absorbs the per-view
+/// `FactView::count_probes` atomic: after a planned evaluation both agree
+/// exactly, and the NestedLoop oracle (which never plans) issues none.
+#[test]
+fn planning_probe_counter_matches_per_view_oracle() {
+    let mut db = Database::new();
+    db.add("JOHN", "LIKES", "FELIX");
+    db.add("JOHN", "WORKS-FOR", "SHIPPING");
+    db.add("SHIPPING", "isa", "DEPARTMENT");
+    let src = "Q(?x) := exists ?d . (?x, WORKS-FOR, ?d) & (?d, isa, DEPARTMENT)";
+    let query = loosedb::parse(src, db.store_interner_mut()).unwrap();
+
+    let view = db.view().unwrap();
+    eval_with(&query, &view, EvalOptions::default()).unwrap();
+    let per_view = view.count_probes();
+    assert!(per_view > 0, "greedy planning must issue count probes");
+    assert_eq!(db.metrics().snapshot().query.count_probes, per_view);
+
+    // The nested-loop oracle issues its own (fewer) probes; the registry
+    // mirrors whatever each view observed, so the totals stay in sync.
+    let before = db.metrics().snapshot().query.count_probes;
+    let view = db.view().unwrap();
+    let opts = EvalOptions {
+        ordering: loosedb::AtomOrdering::Syntactic,
+        strategy: ExecStrategy::NestedLoop,
+        ..Default::default()
+    };
+    eval_with(&query, &view, opts).unwrap();
+    let oracle_probes = view.count_probes();
+    assert_eq!(db.metrics().snapshot().query.count_probes, before + oracle_probes);
+}
+
+/// 8 reader threads browsing concurrently with 1 publishing writer: no
+/// increment is ever lost — the final counters are exactly the sum of all
+/// operations issued.
+#[test]
+fn concurrent_readers_and_writer_lose_no_increments() {
+    const READERS: usize = 8;
+    const NAVS_PER_READER: u64 = 200;
+    const WRITES: u64 = 50;
+
+    let mut db = Database::new();
+    db.add("JOHN", "isa", "EMPLOYEE");
+    db.add("JOHN", "LIKES", "FELIX");
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                let mut s = SharedSession::new(shared);
+                for _ in 0..NAVS_PER_READER {
+                    s.focus("JOHN").unwrap();
+                }
+            });
+        }
+        let writer = Arc::clone(&shared);
+        scope.spawn(move || {
+            for i in 0..WRITES {
+                writer.insert(format!("E{i}"), "isa", "EMPLOYEE").unwrap();
+            }
+        });
+    });
+
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.browse.nav_builds, READERS as u64 * NAVS_PER_READER);
+    assert_eq!(snap.browse.nav_build_ns.count, READERS as u64 * NAVS_PER_READER);
+    assert_eq!(snap.publish.publishes, WRITES);
+    assert_eq!(snap.publish.epoch, 1 + WRITES);
+    assert_eq!(snap.closure.extends, WRITES);
+}
+
+/// The Prometheus exposition reflects the same registry the typed
+/// snapshot reads: a counter asserted through one surface shows up
+/// identically in the other.
+#[test]
+fn prometheus_export_agrees_with_snapshot() {
+    let mut db = Database::new();
+    db.add("JOHN", "LIKES", "FELIX");
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+    let mut s = SharedSession::new(Arc::clone(&shared));
+    s.query("(JOHN, LIKES, ?x)").unwrap();
+
+    let snap = shared.metrics_snapshot();
+    let text = loosedb::obs::prometheus_text(shared.metrics().registry());
+    assert!(
+        text.contains(&format!("loosedb_query_evals {}", snap.query.evals)),
+        "snapshot and exposition disagree:\n{text}"
+    );
+    assert!(text.contains("# TYPE loosedb_query_eval_nanos histogram"), "{text}");
+    assert!(text.contains(&format!("loosedb_engine_epoch {}", snap.publish.epoch)), "{text}");
+}

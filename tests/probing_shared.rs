@@ -1,0 +1,113 @@
+//! Probing and retraction-wave integration tests on the concurrent
+//! ([`SharedSession`]) and durable ([`DurableDatabase`]) paths, asserting
+//! the wave metrics (and, under `--features obs`, the per-wave span)
+//! fire with the right wave sizes.
+
+use std::sync::Arc;
+
+use loosedb::{
+    probe_text, Database, DurableDatabase, ProbeOptions, ProbeOutcome, SharedDatabase,
+    SharedSession, SyncPolicy,
+};
+
+fn probing_seed(db: &mut Database) {
+    // Two-level taxonomy: the original query fails, wave 1 (MUSIC) fails,
+    // wave 2 (ART) succeeds.
+    db.add("OPERA", "gen", "MUSIC");
+    db.add("MUSIC", "gen", "ART");
+    db.add("JOHN", "LOVES", "ART");
+}
+
+/// Probing through a `SharedSession` records one run, the two waves it
+/// took, and a wave-size histogram observation per wave.
+#[test]
+fn shared_session_probe_records_wave_metrics() {
+    let mut db = Database::new();
+    probing_seed(&mut db);
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+    let mut s = SharedSession::new(Arc::clone(&shared));
+
+    let report = s.probe("(JOHN, LOVES, OPERA)").unwrap();
+    assert!(matches!(report.outcome, ProbeOutcome::RetractionsSucceeded { wave: 1 }));
+    assert_eq!(report.waves.len(), 2);
+
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.browse.probe_runs, 1);
+    assert_eq!(snap.browse.probe_waves, 2);
+    assert_eq!(snap.browse.probe_wave_size.count, 2);
+    // The histogram's sum is the total attempts, which equals the
+    // per-wave attempt counts the report itself carries.
+    let attempts: u64 = report.waves.iter().map(|w| w.attempts.len() as u64).sum();
+    assert_eq!(snap.browse.probe_wave_size.sum, attempts);
+    assert_eq!(snap.browse.probe_attempts, attempts);
+    assert_eq!(snap.browse.probe_successes, 1);
+
+    // A successful query is still one probe run but adds no waves.
+    s.probe("(JOHN, LOVES, ART)").unwrap();
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.browse.probe_runs, 2);
+    assert_eq!(snap.browse.probe_waves, 2);
+}
+
+/// Retraction over a recovered durable database: probing works on the
+/// replayed state and its metrics land in the recovered database's
+/// registry.
+#[test]
+fn durable_database_probe_after_recovery() {
+    let dir = std::env::temp_dir().join(format!("loosedb-probing-shared-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+        db.add("OPERA", "gen", "MUSIC").unwrap();
+        db.add("MUSIC", "gen", "ART").unwrap();
+        db.add("JOHN", "LOVES", "ART").unwrap();
+    }
+    // Reopen: the WAL replays the three facts into a fresh database.
+    let mut db = DurableDatabase::open(&dir, SyncPolicy::Always).unwrap();
+    assert_eq!(db.metrics().snapshot().wal.recovered_ops, 3);
+
+    let report =
+        probe_text("(JOHN, LOVES, OPERA)", db.database(), &ProbeOptions::default()).unwrap();
+    assert!(matches!(report.outcome, ProbeOutcome::RetractionsSucceeded { wave: 1 }));
+
+    // `probe_text` is the bare protocol (no session), so the session-side
+    // counters stay zero — the closure compute it triggered is recorded.
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.closure.computes, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Under `--features obs`, each retraction wave emits a
+/// `browse.retraction_wave` span whose `attempts` field matches the
+/// report's wave sizes. Without the feature, capture stays silent.
+#[test]
+fn retraction_wave_spans_carry_wave_sizes() {
+    let mut db = Database::new();
+    probing_seed(&mut db);
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+    let mut s = SharedSession::new(Arc::clone(&shared));
+
+    loosedb::obs::trace::set_capture(true);
+    let report = s.probe("(JOHN, LOVES, OPERA)").unwrap();
+    let spans = loosedb::obs::trace::drain();
+    loosedb::obs::trace::set_capture(false);
+
+    if !cfg!(feature = "obs") {
+        assert!(spans.is_empty(), "span capture must be a no-op without the obs feature");
+        return;
+    }
+    let waves: Vec<_> = spans.iter().filter(|s| s.name == "browse.retraction_wave").collect();
+    assert_eq!(waves.len(), report.waves.len(), "one span per wave: {spans:?}");
+    for (i, span) in waves.iter().enumerate() {
+        let field = |name: &str| -> Option<String> {
+            span.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| format!("{v}"))
+        };
+        assert_eq!(field("wave").as_deref(), Some(i.to_string().as_str()), "{span:?}");
+        assert_eq!(
+            field("attempts").as_deref(),
+            Some(report.waves[i].attempts.len().to_string().as_str()),
+            "{span:?}"
+        );
+        assert_eq!(span.parent, Some("browse.probe"), "{span:?}");
+    }
+}

@@ -348,6 +348,64 @@ proptest! {
 // Goal-directed proving (the E14 ablation's correctness basis)
 // ---------------------------------------------------------------------
 
+/// Replay one prover-vs-closure scenario and collect every triple the two
+/// disagree on. Shared by the property below and by the explicit
+/// regression tests promoted from `tests/properties.proptest-regressions`
+/// (the seed-corpus policy is documented in DESIGN.md).
+fn prover_closure_disagreements(
+    spec: &DbSpec,
+    isa_edges: &[(u8, u8)],
+    syn_pairs: &[(u8, u8)],
+    inv_pairs: &[(u8, u8)],
+) -> Vec<String> {
+    let mut db = build_db(spec);
+    for &(a, b) in isa_edges {
+        db.add(format!("N{a}"), "isa", format!("N{b}"));
+    }
+    for &(a, b) in syn_pairs {
+        if a != b {
+            db.add(format!("N{a}"), "syn", format!("N{b}"));
+        }
+    }
+    for &(a, b) in inv_pairs {
+        db.add(format!("R{a}"), "inv", format!("R{b}"));
+    }
+    let config = InferenceConfig { user_rules: false, ..Default::default() };
+    *db.config_mut() = config.clone();
+
+    let store = db.store().clone();
+    let kinds = KindRegistry::new();
+    let closure = closure::compute(
+        &mut store.clone(),
+        &kinds,
+        &RuleSet::new(),
+        &config,
+        ClosureStrategy::SemiNaive,
+    )
+    .expect("closure");
+    let view = loosedb::engine::ClosureView::new(&closure, store.interner(), &kinds);
+    let prover = loosedb::engine::Prover::new(&store, &kinds, &config);
+
+    let domain: Vec<EntityId> = view.domain().to_vec();
+    let mut disagreements = Vec::new();
+    for &s in &domain {
+        for &r in &domain {
+            for &t in &domain {
+                let goal = Fact::new(s, r, t);
+                let forward = view.holds(&goal);
+                let backward = prover.prove(&goal);
+                if forward != backward {
+                    disagreements.push(format!(
+                        "prover disagrees on {} (forward {forward}, backward {backward})",
+                        store.display_fact(&goal)
+                    ));
+                }
+            }
+        }
+    }
+    disagreements
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -361,52 +419,22 @@ proptest! {
         syn_pairs in prop::collection::vec((0u8..10, 0u8..10), 0..3),
         inv_pairs in prop::collection::vec((0u8..5, 0u8..5), 0..2),
     ) {
-        let mut db = build_db(&spec);
-        for &(a, b) in &isa_edges {
-            db.add(format!("N{a}"), "isa", format!("N{b}"));
-        }
-        for &(a, b) in &syn_pairs {
-            if a != b {
-                db.add(format!("N{a}"), "syn", format!("N{b}"));
-            }
-        }
-        for &(a, b) in &inv_pairs {
-            db.add(format!("R{a}"), "inv", format!("R{b}"));
-        }
-        let config = InferenceConfig { user_rules: false, ..Default::default() };
-        *db.config_mut() = config.clone();
-
-        let store = db.store().clone();
-        let kinds = KindRegistry::new();
-        let closure = closure::compute(
-            &mut store.clone(),
-            &kinds,
-            &RuleSet::new(),
-            &config,
-            ClosureStrategy::SemiNaive,
-        ).expect("closure");
-        let view = loosedb::engine::ClosureView::new(&closure, store.interner(), &kinds);
-        let prover = loosedb::engine::Prover::new(&store, &kinds, &config);
-
-        let domain: Vec<EntityId> = view.domain().to_vec();
-        for &s in &domain {
-            for &r in &domain {
-                for &t in &domain {
-                    let goal = Fact::new(s, r, t);
-                    let forward = view.holds(&goal);
-                    let backward = prover.prove(&goal);
-                    prop_assert_eq!(
-                        forward,
-                        backward,
-                        "prover disagrees on {} (forward {}, backward {})",
-                        store.display_fact(&goal),
-                        forward,
-                        backward
-                    );
-                }
-            }
-        }
+        let bad = prover_closure_disagreements(&spec, &isa_edges, &syn_pairs, &inv_pairs);
+        prop_assert!(bad.is_empty(), "{bad:?}");
     }
+}
+
+/// Regression promoted from the checked-in seed corpus
+/// (`tests/properties.proptest-regressions`): a single fact whose target
+/// also carries an `isa` membership edge, combined with an inversion
+/// between relationship entities, once made the structural prover
+/// disagree with the forward closure. Kept as an explicit test so the
+/// case survives corpus pruning and runs without the proptest driver.
+#[test]
+fn prover_regression_membership_target_with_inversion() {
+    let spec = DbSpec { facts: vec![(0, 1, 5)], node_gen_edges: vec![], rel_gen_edges: vec![] };
+    let bad = prover_closure_disagreements(&spec, &[(0, 5)], &[], &[(2, 1)]);
+    assert!(bad.is_empty(), "{bad:?}");
 }
 
 // ---------------------------------------------------------------------

@@ -70,14 +70,31 @@ pub struct TestRunner {
 }
 
 impl TestRunner {
-    /// Creates a runner seeded deterministically from the test name.
+    /// Creates a runner seeded deterministically from the test name and
+    /// the `PROPTEST_RNG_SEED` environment variable (if set and
+    /// parseable as `u64`). Seed `0` — what CI pins — reproduces the
+    /// bare per-name stream byte for byte; any other value perturbs
+    /// every test's stream reproducibly, so a nightly job can explore
+    /// fresh corpora while any failure stays one `PROPTEST_RNG_SEED=N`
+    /// away from replay.
     pub fn new(test_name: &str) -> Self {
+        let extra = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRunner { rng: TestRng(StdRng::seed_from_u64(Self::seed_for(test_name, extra))) }
+    }
+
+    /// The seed for `test_name` under an explicit perturbation: FNV-1a
+    /// of the name, XORed with the perturbation spread by a 64-bit odd
+    /// multiplier (`extra == 0` leaves the name hash untouched).
+    pub fn seed_for(test_name: &str, extra: u64) -> u64 {
         let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
         for b in test_name.bytes() {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRunner { rng: TestRng(StdRng::seed_from_u64(seed)) }
+        seed ^ extra.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     /// The RNG for generating the next case.
@@ -416,5 +433,19 @@ mod tests {
         let va: Vec<u32> = (0..50).map(|_| s.generate(a.rng())).collect();
         let vb: Vec<u32> = (0..50).map(|_| s.generate(b.rng())).collect();
         assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn env_seed_perturbs_reproducibly_and_zero_is_identity() {
+        use crate::TestRunner;
+        // Zero (CI's pin) reproduces the bare name hash.
+        assert_eq!(TestRunner::seed_for("t", 0), TestRunner::seed_for("t", 0));
+        let bare = TestRunner::seed_for("t", 0);
+        // A non-zero perturbation changes the seed but stays a pure
+        // function of (name, extra).
+        assert_ne!(TestRunner::seed_for("t", 7), bare);
+        assert_eq!(TestRunner::seed_for("t", 7), TestRunner::seed_for("t", 7));
+        // Distinct names stay distinct under the same perturbation.
+        assert_ne!(TestRunner::seed_for("t", 7), TestRunner::seed_for("u", 7));
     }
 }

@@ -1,0 +1,267 @@
+//! Minimal offline shim of the `tracing` crate: the API subset
+//! `loosedb-obs` needs for structured spans.
+//!
+//! The build environment has no network or registry access, so this
+//! shim mirrors the upstream surface (spans with typed fields, an
+//! `enter()` guard, a collector) in a deliberately small way:
+//!
+//! - a [`Span`] is a name plus `(key, Value)` fields;
+//! - entering a span returns an [`EnteredSpan`] guard that measures
+//!   wall-clock duration and records the parent from a thread-local
+//!   span stack;
+//! - finished spans land in a bounded global ring buffer
+//!   ([`collector`]) that callers drain explicitly — there is no
+//!   subscriber machinery.
+//!
+//! Capture is off by default: when [`collector::capturing`] is false,
+//! span construction short-circuits to a no-op so instrumented hot
+//! paths pay one relaxed atomic load.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A typed span-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer field (counts, sizes, epochs).
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// Boolean field (e.g. cache hit/miss disposition).
+    Bool(bool),
+    /// String field.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A finished span as stored by the collector.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static span name (e.g. `"engine.publish"`).
+    pub name: &'static str,
+    /// Name of the innermost enclosing span on the same thread, if any.
+    pub parent: Option<&'static str>,
+    /// Recorded fields, in record order.
+    pub fields: Vec<(&'static str, Value)>,
+    /// Wall-clock duration from `enter()` to drop, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// An unstarted span: a name and its initial fields.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    /// Creates a span with no fields.
+    pub fn new(name: &'static str) -> Self {
+        Span { name, fields: Vec::new() }
+    }
+
+    /// Adds a field (builder style).
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Starts timing the span and pushes it on the thread-local stack.
+    pub fn enter(self) -> EnteredSpan {
+        let parent = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(self.name);
+            parent
+        });
+        EnteredSpan { span: self, parent, start: Instant::now() }
+    }
+}
+
+/// RAII guard for an active span; the span is reported on drop.
+#[derive(Debug)]
+pub struct EnteredSpan {
+    span: Span,
+    parent: Option<&'static str>,
+    start: Instant,
+}
+
+impl EnteredSpan {
+    /// Records an additional field on the active span.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        self.span.fields.push((key, value.into()));
+    }
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        collector::push(SpanRecord {
+            name: self.span.name,
+            parent: self.parent,
+            fields: std::mem::take(&mut self.span.fields),
+            nanos: self.start.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The global bounded span buffer.
+pub mod collector {
+    use super::*;
+
+    /// Most spans retained; older spans are dropped first.
+    pub const CAPACITY: usize = 4096;
+
+    static CAPTURING: AtomicBool = AtomicBool::new(false);
+    static BUFFER: Mutex<VecDeque<SpanRecord>> = Mutex::new(VecDeque::new());
+
+    /// Enables or disables span capture globally.
+    pub fn set_capture(on: bool) {
+        CAPTURING.store(on, Ordering::Relaxed);
+        if !on {
+            BUFFER.lock().expect("span buffer").clear();
+        }
+    }
+
+    /// Whether spans are currently being captured (one relaxed load —
+    /// this is the hot-path check instrumented code performs before
+    /// building a span at all).
+    pub fn capturing() -> bool {
+        CAPTURING.load(Ordering::Relaxed)
+    }
+
+    /// Appends a finished span, evicting the oldest past [`CAPACITY`].
+    pub fn push(record: SpanRecord) {
+        if !capturing() {
+            return;
+        }
+        let mut buf = BUFFER.lock().expect("span buffer");
+        if buf.len() == CAPACITY {
+            buf.pop_front();
+        }
+        buf.push_back(record);
+    }
+
+    /// Removes and returns all captured spans, oldest first.
+    pub fn drain() -> Vec<SpanRecord> {
+        BUFFER.lock().expect("span buffer").drain(..).collect()
+    }
+}
+
+/// Builds a [`Span`] with optional `key = value` fields:
+/// `span!("engine.publish", epoch = 3u64)`.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {{
+        $crate::Span::new($name)$(.with(stringify!($key), $value))*
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_fields_duration_and_parent() {
+        collector::set_capture(true);
+        {
+            let outer = span!("outer", epoch = 7u64).enter();
+            {
+                let mut inner = span!("inner").enter();
+                inner.record("rows", 3u64);
+            }
+            drop(outer);
+        }
+        let spans = collector::drain();
+        collector::set_capture(false);
+        // Inner drops first, so it precedes outer in the buffer.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some("outer"));
+        assert_eq!(spans[0].fields, vec![("rows", Value::U64(3))]);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].fields, vec![("epoch", Value::U64(7))]);
+    }
+
+    #[test]
+    fn capture_off_discards_spans() {
+        collector::set_capture(false);
+        drop(span!("ignored").enter());
+        assert!(collector::drain().is_empty());
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        collector::set_capture(true);
+        for _ in 0..(collector::CAPACITY + 10) {
+            drop(span!("filler").enter());
+        }
+        let spans = collector::drain();
+        collector::set_capture(false);
+        assert_eq!(spans.len(), collector::CAPACITY);
+    }
+}
