@@ -1,0 +1,63 @@
+//! E20 — WAL-shipped replication: write-to-follower-visible latency.
+//!
+//! A leader seeded with the standard world ships CRC-framed WAL ops to
+//! a follower over an in-memory filesystem; each iteration commits one
+//! leader write and polls the follower until it has published the op.
+//! Expected shape: ship-and-apply latency is flat in database size
+//! (frame verify + mirror fsync + O(delta) publish), and taking a
+//! follower snapshot stays a pointer bump — the follower serves reads
+//! off the same generation machinery as a standalone [`SharedDatabase`].
+//!
+//! [`SharedDatabase`]: loosedb_engine::SharedDatabase
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::standard_store;
+use loosedb_engine::{
+    Database, DurableDatabase, InferenceConfig, Replica, ReplicaOptions, SyncPolicy,
+};
+use loosedb_store::io::MemIo;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e20_replication");
+    group.sample_size(10);
+    for facts in [50_000usize, 200_000] {
+        let (store, _) = standard_store(facts);
+        let mut db = Database::from_store(store);
+        *db.config_mut() = InferenceConfig::none();
+        let mem = Arc::new(MemIo::new());
+        let mut leader = DurableDatabase::create_with(
+            Arc::clone(&mem),
+            "/leader",
+            db,
+            0,
+            SyncPolicy::OnCheckpoint,
+        )
+        .expect("create leader");
+        let mut replica =
+            Replica::open_with(Arc::clone(&mem), "/leader", "/replica", ReplicaOptions::default())
+                .expect("bootstrap");
+        replica.catch_up().expect("catch up");
+
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::new("ship_one_fact", facts), |b| {
+            b.iter(|| {
+                i += 1;
+                leader.add(format!("E20-{i}"), "E20-LINK", format!("E20-{}", i / 2)).expect("add");
+                let mut applied = 0;
+                while applied == 0 {
+                    applied = replica.poll().expect("poll").ops_applied;
+                }
+                applied
+            })
+        });
+        group.bench_function(BenchmarkId::new("follower_snapshot", facts), |b| {
+            b.iter(|| replica.shared().snapshot().epoch())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -35,7 +35,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use loosedb_engine::{Generation, SharedDatabase};
+use loosedb_engine::{DeltaSummary, Generation, SharedDatabase};
 use loosedb_query::{
     eval_planned, eval_with, plan_and_eval, Answer, AtomOrdering, Formula, FrozenParseError,
     PlanCache, PlanCacheStats, Query,
@@ -466,8 +466,15 @@ impl SharedSession {
         let epoch = generation.epoch();
         self.cache.roll(epoch, &self.shared);
         if self.plans.epoch() != epoch {
-            let changed = self.shared.rels_changed_between(self.plans.epoch(), epoch);
-            self.plans.roll(epoch, changed.as_ref());
+            match self.shared.delta_between(self.plans.epoch(), epoch) {
+                DeltaSummary::Precise(changed) => self.plans.roll(epoch, Some(&changed)),
+                // A full recompute at a known epoch (removal, rule
+                // change): answers above were dropped, but structurally
+                // tracked plans survive — stale join orders cost
+                // performance, never correctness.
+                DeltaSummary::FullAt(_) => self.plans.roll_stale(epoch),
+                DeltaSummary::Unknown => self.plans.roll(epoch, None),
+            }
         }
         if let Some(hit) = self.cache.get(&expanded) {
             return Ok(hit);
@@ -730,6 +737,32 @@ mod tests {
         s.query("(JOHN, EARNS, ?x)").unwrap();
         let stats = s.plan_stats();
         assert_eq!((stats.hits, stats.misses), (2, 3), "{stats:?}");
+    }
+
+    #[test]
+    fn removal_keeps_structural_plans_but_clears_answers() {
+        let db = shared();
+        let mut s = SharedSession::new(Arc::clone(&db));
+        assert_eq!(s.query("(JOHN, LIKES, ?x)").unwrap().len(), 1);
+        assert_eq!(s.query("(JOHN, EARNS, ?x)").unwrap().len(), 1);
+        let stats = s.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2), "{stats:?}");
+
+        // A removal publishes a Full delta — but at a known epoch, so
+        // structurally tracked plans ride across it (stale join orders
+        // cost performance, never correctness). Answers must still be
+        // re-evaluated against the recomputed closure.
+        let g = db.snapshot();
+        let john = g.lookup_symbol("JOHN").unwrap();
+        let earns = g.lookup_symbol("EARNS").unwrap();
+        let salary = g.interner().lookup(&25000i64.into()).unwrap();
+        assert!(db.remove(&loosedb_store::Fact::new(john, earns, salary)).unwrap());
+
+        assert!(s.query("(JOHN, EARNS, ?x)").unwrap().is_empty());
+        assert_eq!(s.query("(JOHN, LIKES, ?x)").unwrap().len(), 1);
+        let stats = s.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2), "{stats:?}");
+        assert_eq!(stats.carried, 2, "{stats:?}");
     }
 
     #[test]

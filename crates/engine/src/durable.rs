@@ -40,15 +40,11 @@ use std::time::Instant;
 
 use loosedb_store::io::{atomic_write_with, crc32, RealIo, StorageIo};
 use loosedb_store::log::{self as factlog, LogOp};
+use loosedb_store::ship::{parse_generation, snap_name, wal_name, Manifest, MANIFEST_NAME};
 use loosedb_store::{EntityValue, Fact};
 
 use crate::database::{Database, TransactionError};
 use crate::persist;
-
-const MANIFEST_MAGIC: &[u8; 4] = b"LSDM";
-const MANIFEST_VERSION: u16 = 1;
-const MANIFEST_LEN: usize = 4 + 2 + 8 + 8 + 4 + 4;
-const MANIFEST_NAME: &str = "MANIFEST";
 
 /// When WAL appends are flushed to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,57 +95,9 @@ pub struct DurableDatabase<I: StorageIo = RealIo> {
     unsynced: u32,
     /// Operations appended to the current WAL (recovered + new).
     wal_ops: u64,
+    /// Retired WAL generations kept for lagging replication followers.
+    retain_wals: u64,
     recovery: RecoveryInfo,
-}
-
-fn snap_name(generation: u64) -> String {
-    format!("snap-{generation:016}.lsdf")
-}
-
-fn wal_name(generation: u64) -> String {
-    format!("wal-{generation:016}.log")
-}
-
-/// Parses `prefix-<16 digits>.suffix` back to a generation number.
-fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
-    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
-    if digits.len() == 16 && digits.bytes().all(|b| b.is_ascii_digit()) {
-        digits.parse().ok()
-    } else {
-        None
-    }
-}
-
-fn encode_manifest(generation: u64, snapshot_len: u64, snapshot_crc: u32) -> Vec<u8> {
-    let mut out = Vec::with_capacity(MANIFEST_LEN);
-    out.extend_from_slice(MANIFEST_MAGIC);
-    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
-    out.extend_from_slice(&generation.to_le_bytes());
-    out.extend_from_slice(&snapshot_len.to_le_bytes());
-    out.extend_from_slice(&snapshot_crc.to_le_bytes());
-    let crc = crc32(&out);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out
-}
-
-/// Decodes a manifest, returning `(generation, snapshot_len,
-/// snapshot_crc)`; `None` if it is damaged in any way.
-fn decode_manifest(data: &[u8]) -> Option<(u64, u64, u32)> {
-    if data.len() != MANIFEST_LEN || &data[0..4] != MANIFEST_MAGIC {
-        return None;
-    }
-    let stored = u32::from_le_bytes(data[MANIFEST_LEN - 4..].try_into().ok()?);
-    if crc32(&data[..MANIFEST_LEN - 4]) != stored {
-        return None;
-    }
-    let version = u16::from_le_bytes(data[4..6].try_into().ok()?);
-    if version != MANIFEST_VERSION {
-        return None;
-    }
-    let generation = u64::from_le_bytes(data[6..14].try_into().ok()?);
-    let snapshot_len = u64::from_le_bytes(data[14..22].try_into().ok()?);
-    let snapshot_crc = u32::from_le_bytes(data[22..26].try_into().ok()?);
-    Some((generation, snapshot_len, snapshot_crc))
 }
 
 impl DurableDatabase<RealIo> {
@@ -178,12 +126,12 @@ impl<I: StorageIo> DurableDatabase<I> {
         let mut db = None;
         let manifest_path = dir.join(MANIFEST_NAME);
         if io.exists(&manifest_path) {
-            if let Some((generation, len, crc)) = decode_manifest(&io.read(&manifest_path)?) {
-                let snap = dir.join(snap_name(generation));
+            if let Some(m) = Manifest::decode(&io.read(&manifest_path)?) {
+                let snap = dir.join(snap_name(m.generation));
                 if let Ok(image) = io.read(&snap) {
-                    if image.len() as u64 == len && crc32(&image) == crc {
+                    if image.len() as u64 == m.snapshot_len && crc32(&image) == m.snapshot_crc {
                         if let Ok(decoded) = persist::decode(image.as_slice()) {
-                            recovery.generation = generation;
+                            recovery.generation = m.generation;
                             recovery.snapshot_loaded = true;
                             db = Some(decoded);
                         }
@@ -243,7 +191,50 @@ impl<I: StorageIo> DurableDatabase<I> {
             generation: recovery.generation,
             unsynced: 0,
             wal_ops: recovery.wal_ops_applied as u64,
+            retain_wals: 0,
             recovery,
+        })
+    }
+
+    /// Creates a durable database directory holding `db` at an explicit
+    /// `generation` — no recovery, no journal replay. This is the
+    /// promotion hook: a replica that has lost its leader converts its
+    /// replayed state into a fresh writable journal with one call.
+    ///
+    /// Sequence: write `snap-<generation>` atomically → create its empty
+    /// WAL → atomically replace the manifest (the commit point), exactly
+    /// like a [`DurableDatabase::checkpoint`]. Pre-existing files in the
+    /// directory are left alone.
+    pub fn create_with(
+        io: I,
+        dir: impl Into<PathBuf>,
+        db: Database,
+        generation: u64,
+        policy: SyncPolicy,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        if !io.exists(&dir) {
+            io.create_dir_all(&dir)?;
+        }
+        let image = persist::encode(&db);
+        atomic_write_with(&io, &dir.join(snap_name(generation)), &image)?;
+        let wal = dir.join(wal_name(generation));
+        io.write(&wal, &[])?;
+        io.fsync(&wal)?;
+        let manifest =
+            Manifest { generation, snapshot_len: image.len() as u64, snapshot_crc: crc32(&image) };
+        atomic_write_with(&io, &dir.join(MANIFEST_NAME), &manifest.encode())?;
+        db.metrics().checkpoints.inc();
+        Ok(DurableDatabase {
+            io,
+            dir,
+            db,
+            policy,
+            generation,
+            unsynced: 0,
+            wal_ops: 0,
+            retain_wals: 0,
+            recovery: RecoveryInfo { generation, snapshot_loaded: true, ..RecoveryInfo::default() },
         })
     }
 
@@ -380,25 +371,26 @@ impl<I: StorageIo> DurableDatabase<I> {
         self.io.write(&new_wal, &[])?;
         self.io.fsync(&new_wal)?;
 
-        let manifest = encode_manifest(next, image.len() as u64, crc32(&image));
-        atomic_write_with(&self.io, &self.dir.join(MANIFEST_NAME), &manifest)?;
+        let manifest = Manifest {
+            generation: next,
+            snapshot_len: image.len() as u64,
+            snapshot_crc: crc32(&image),
+        };
+        atomic_write_with(&self.io, &self.dir.join(MANIFEST_NAME), &manifest.encode())?;
 
-        // The new generation is durable; retire everything older.
-        let old = self.generation;
+        // The new generation is durable; retire everything older. Stale
+        // snapshots always go (only the manifest's one matters); retired
+        // WALs within the retention window stay so a lagging follower
+        // can finish tailing them instead of re-bootstrapping.
+        let wal_floor = next.saturating_sub(self.retain_wals);
         self.generation = next;
         self.unsynced = 0;
         self.wal_ops = 0;
-        for stale in [self.dir.join(snap_name(old)), self.dir.join(wal_name(old))] {
-            if self.io.exists(&stale) {
-                self.io.remove_file(&stale)?;
-            }
-        }
-        // Leftovers from generations interrupted mid-checkpoint.
         for path in self.io.list(&self.dir).unwrap_or_default() {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-            let generation = parse_generation(name, "snap-", ".lsdf")
-                .or_else(|| parse_generation(name, "wal-", ".log"));
-            if generation.is_some_and(|g| g < next) {
+            let stale = parse_generation(name, "snap-", ".lsdf").is_some_and(|g| g < next)
+                || parse_generation(name, "wal-", ".log").is_some_and(|g| g < wal_floor);
+            if stale {
                 self.io.remove_file(&path)?;
             }
         }
@@ -463,6 +455,19 @@ impl<I: StorageIo> DurableDatabase<I> {
         self.policy = policy;
     }
 
+    /// Keeps the WALs of the last `n` retired generations through future
+    /// checkpoints (default 0: retire immediately). A follower tailing
+    /// this directory can then finish a rotated segment instead of
+    /// re-bootstrapping whenever a checkpoint outruns it.
+    pub fn set_retain_wals(&mut self, n: u64) {
+        self.retain_wals = n;
+    }
+
+    /// Retired WAL generations kept for followers.
+    pub fn retain_wals(&self) -> u64 {
+        self.retain_wals
+    }
+
     fn wal_path(&self) -> PathBuf {
         self.dir.join(wal_name(self.generation))
     }
@@ -517,19 +522,6 @@ mod tests {
 
     fn dir() -> PathBuf {
         PathBuf::from("/durable")
-    }
-
-    #[test]
-    fn manifest_roundtrip_and_rejection() {
-        let m = encode_manifest(7, 1234, 0xDEAD_BEEF);
-        assert_eq!(decode_manifest(&m), Some((7, 1234, 0xDEAD_BEEF)));
-        for i in 0..m.len() {
-            let mut bad = m.clone();
-            bad[i] ^= 0x10;
-            assert_eq!(decode_manifest(&bad), None, "flip at {i}");
-        }
-        assert_eq!(decode_manifest(&m[..m.len() - 1]), None);
-        assert_eq!(decode_manifest(&[]), None);
     }
 
     #[test]
@@ -675,6 +667,55 @@ mod tests {
         drop(db);
         let db = DurableDatabase::open_with(io, dir(), SyncPolicy::EveryN(3)).unwrap();
         assert_eq!(db.recovery().wal_ops_applied, 7);
+    }
+
+    #[test]
+    fn retained_wals_survive_checkpoints() {
+        let io = Arc::new(MemIo::new());
+        let mut db = DurableDatabase::open_with(io.clone(), dir(), SyncPolicy::Always).unwrap();
+        db.set_retain_wals(1);
+        db.add("A", "R", "B").unwrap();
+        db.checkpoint().unwrap();
+        db.add("C", "R", "D").unwrap();
+        db.checkpoint().unwrap();
+        drop(db);
+        // Stale snapshots are always retired; the retention window keeps
+        // exactly the previous generation's WAL for lagging followers.
+        let names: Vec<String> = io
+            .list(&dir())
+            .unwrap()
+            .iter()
+            .filter_map(|p| p.file_name()?.to_str().map(str::to_owned))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "MANIFEST",
+                "snap-0000000000000002.lsdf",
+                "wal-0000000000000001.log",
+                "wal-0000000000000002.log"
+            ]
+        );
+    }
+
+    #[test]
+    fn create_with_builds_a_ready_directory() {
+        let mut inner = Database::new();
+        inner.add("JOHN", "isa", "EMPLOYEE");
+        let io = Arc::new(MemIo::new());
+        let promoted = PathBuf::from("/promoted");
+        let db = DurableDatabase::create_with(io.clone(), &*promoted, inner, 5, SyncPolicy::Always)
+            .unwrap();
+        assert_eq!(db.generation(), 5);
+        drop(db);
+        let mut db = DurableDatabase::open_with(io, promoted, SyncPolicy::Always).unwrap();
+        assert_eq!(db.generation(), 5);
+        assert!(db.recovery().snapshot_loaded);
+        assert!(!db.recovery().used_fallback);
+        assert_eq!(db.database_ref().base_len(), 1);
+        // The promoted directory accepts writes and checkpoints.
+        db.add("MARY", "isa", "EMPLOYEE").unwrap();
+        assert_eq!(db.checkpoint().unwrap(), 6);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod kind;
 pub mod mathrel;
 pub mod persist;
 pub mod prove;
+pub mod replica;
 pub mod rule;
 pub mod shared;
 pub mod taxonomy;
@@ -64,8 +65,9 @@ pub use durable::{DurableDatabase, DurableError, RecoveryInfo, SyncPolicy};
 pub use kind::{KindRegistry, RelKind};
 pub use mathrel::{MathMatchError, MathTruth};
 pub use prove::Prover;
+pub use replica::{PollReport, Replica, ReplicaError, ReplicaInfo, ReplicaOptions};
 pub use rule::{Rule, RuleBuilder, RuleError, RuleKind, RuleSet};
-pub use shared::{Generation, SharedDatabase};
+pub use shared::{DeltaSummary, Generation, SharedDatabase};
 pub use taxonomy::Taxonomy;
 pub use term::{Bindings, Template, Term, Var};
 pub use view::{ClosureView, FactView};

@@ -57,6 +57,31 @@ use crate::view::ClosureView;
 /// than this many generations fall back to full cache invalidation.
 const DELTA_HISTORY: usize = 64;
 
+/// What [`SharedDatabase::delta_between`] can say about an epoch span
+/// `(from, to]`.
+///
+/// The distinction between the last two variants matters to caches with
+/// different correctness needs. A *derived-answer* cache must treat both
+/// as "anything may have changed". A *structural* cache (query plans,
+/// whose staleness costs performance but never correctness) may carry
+/// its entries across [`DeltaSummary::FullAt`] — the span is fully
+/// accounted for, one publish just could not enumerate its touched
+/// relationships — while [`DeltaSummary::Unknown`] means the span left
+/// the bounded history ring entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaSummary {
+    /// Exactly these relationships were touched by publishes in the
+    /// span; anything disjoint from them is untouched.
+    Precise(BTreeSet<EntityId>),
+    /// Every publish in the span is still in the ring, but at least one
+    /// was a full recomputation (removal, rule/kind/config change); the
+    /// earliest such epoch is recorded.
+    FullAt(u64),
+    /// Part of the span has been evicted from the ring: nothing can be
+    /// said about what changed.
+    Unknown,
+}
+
 /// One immutable published generation: everything a reader needs to
 /// evaluate retrieval, frozen at a single point in time.
 pub struct Generation {
@@ -276,6 +301,45 @@ impl SharedDatabase {
         Ok(())
     }
 
+    /// What happened across the epoch span `(from, to]`, as precisely as
+    /// the bounded delta history can say. See [`DeltaSummary`] for the
+    /// three answers and what a cache holder may do with each.
+    pub fn delta_between(&self, from: u64, to: u64) -> DeltaSummary {
+        if from > to {
+            return DeltaSummary::Unknown;
+        }
+        let mut rels = BTreeSet::new();
+        if from == to {
+            return DeltaSummary::Precise(rels);
+        }
+        let deltas = self.deltas.lock();
+        let mut covered = 0u64;
+        let mut full_at = None;
+        for (epoch, delta) in deltas.iter() {
+            if *epoch <= from || *epoch > to {
+                continue;
+            }
+            match delta {
+                PublishDelta::Rels(r) => rels.extend(r.iter().copied()),
+                PublishDelta::Full => {
+                    if full_at.is_none() {
+                        full_at = Some(*epoch);
+                    }
+                }
+            }
+            covered += 1;
+        }
+        // Every epoch in the span must still be in the ring; otherwise the
+        // answer would silently miss evicted deltas.
+        if covered != to - from {
+            return DeltaSummary::Unknown;
+        }
+        match full_at {
+            Some(epoch) => DeltaSummary::FullAt(epoch),
+            None => DeltaSummary::Precise(rels),
+        }
+    }
+
     /// The relationships touched by every publish in `(from, to]`, or
     /// `None` if that cannot be answered precisely — some publish in the
     /// span was a full recomputation (removal, rule/kind/config change),
@@ -284,30 +348,15 @@ impl SharedDatabase {
     ///
     /// A session holding cached answers valid at epoch `from` that has
     /// just observed epoch `to` may keep every answer touching none of
-    /// the returned relationships.
+    /// the returned relationships. Callers that can act on the
+    /// distinction between "a full recompute happened at a known epoch"
+    /// and "the span left the ring" should use
+    /// [`SharedDatabase::delta_between`] instead.
     pub fn rels_changed_between(&self, from: u64, to: u64) -> Option<BTreeSet<EntityId>> {
-        if from > to {
-            return None;
+        match self.delta_between(from, to) {
+            DeltaSummary::Precise(rels) => Some(rels),
+            DeltaSummary::FullAt(_) | DeltaSummary::Unknown => None,
         }
-        let mut rels = BTreeSet::new();
-        if from == to {
-            return Some(rels);
-        }
-        let deltas = self.deltas.lock();
-        let mut covered = 0u64;
-        for (epoch, delta) in deltas.iter() {
-            if *epoch <= from || *epoch > to {
-                continue;
-            }
-            match delta {
-                PublishDelta::Rels(r) => rels.extend(r.iter().copied()),
-                PublishDelta::Full => return None,
-            }
-            covered += 1;
-        }
-        // Every epoch in the span must still be in the ring; otherwise the
-        // answer would silently miss evicted deltas.
-        (covered == to - from).then_some(rels)
     }
 
     /// Inserts a fact (unchecked, like [`Database::add`]) and publishes a
@@ -368,6 +417,16 @@ impl SharedDatabase {
         let out = f(&mut db);
         self.publish(&mut db)?;
         Ok(out)
+    }
+
+    /// Runs `f` with shared (read-only) access to the writer database,
+    /// without publishing. The writer lock is held for the duration, so
+    /// `f` observes a state no concurrent [`SharedDatabase::write`] is
+    /// halfway through — this is how a replica snapshots itself (base
+    /// images at rotation, promotion) without spending an epoch.
+    pub fn read_writer<T>(&self, f: impl FnOnce(&Database) -> T) -> T {
+        let db = self.writer.lock();
+        f(&db)
     }
 
     /// Consumes the shared database, returning the owned writer database.
@@ -474,6 +533,47 @@ mod tests {
         // generation; the old generation still holds it.
         assert!(!g2.view().holds(&derived));
         assert!(g.view().holds(&derived));
+    }
+
+    #[test]
+    fn full_publish_is_pinned_to_its_epoch_in_the_delta_ring() {
+        let shared = SharedDatabase::new(base()).unwrap();
+        let floor = shared.epoch();
+        shared.insert("A", "R1", "B").unwrap(); // floor + 1: precise
+        let g = shared.snapshot();
+        let a = g.lookup_symbol("A").unwrap();
+        let r1 = g.lookup_symbol("R1").unwrap();
+        let b = g.lookup_symbol("B").unwrap();
+        shared.remove(&Fact::new(a, r1, b)).unwrap(); // floor + 2: Full
+        shared.insert("C", "R2", "D").unwrap(); // floor + 3: precise
+        shared.insert("E", "R3", "F").unwrap(); // floor + 4: precise
+
+        // Spans before the Full stay precise: the removal does not nuke
+        // carry for older spans.
+        assert!(matches!(shared.delta_between(floor, floor + 1), DeltaSummary::Precise(_)));
+        // Spans crossing the Full see it, pinned to its exact epoch.
+        assert_eq!(shared.delta_between(floor + 1, floor + 2), DeltaSummary::FullAt(floor + 2));
+        assert_eq!(shared.delta_between(floor, floor + 4), DeltaSummary::FullAt(floor + 2));
+        // Spans strictly after the Full are precise again.
+        match shared.delta_between(floor + 2, floor + 4) {
+            DeltaSummary::Precise(rels) => {
+                let g = shared.snapshot();
+                assert!(rels.contains(&g.lookup_symbol("R2").unwrap()));
+                assert!(rels.contains(&g.lookup_symbol("R3").unwrap()));
+                assert!(!rels.contains(&r1));
+            }
+            other => panic!("expected Precise, got {other:?}"),
+        }
+        // rels_changed_between is the collapsed view of the same answer.
+        assert!(shared.rels_changed_between(floor, floor + 4).is_none());
+        assert!(shared.rels_changed_between(floor + 2, floor + 4).is_some());
+
+        // Evict the ring: the span becomes Unknown, not FullAt.
+        for i in 0..(DELTA_HISTORY as u64 + 4) {
+            shared.insert(format!("S{i}"), "BULK", format!("T{i}")).unwrap();
+        }
+        assert_eq!(shared.delta_between(floor, floor + 4), DeltaSummary::Unknown);
+        assert_eq!(shared.delta_between(floor + 1, floor + 2), DeltaSummary::Unknown);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Fault-injected crash sweep for WAL-shipped replicas.
+//!
+//! A leader (on an always-synced [`MemIo`]) drives a deterministic
+//! workload with checkpoints mid-stream while a follower tails it
+//! through [`FaultIo`] — so the follower is killed at *every* mutating
+//! I/O point of its bootstrap, mirror-append, replay-publish and
+//! cursor-commit sequence in turn. After each kill the memory filesystem
+//! is crashed (unsynced bytes vanish), the follower is reopened through
+//! a clean handle, and the suite asserts:
+//!
+//! * the recovered replica state is a *prefix* of the leader's workload
+//!   — never a torn or bit-flipped mixture (every mirrored frame is
+//!   re-verified against its CRC during resume);
+//! * catching up from the recovered cursor converges to exactly the
+//!   leader's final state.
+//!
+//! The sweep runs twice: with `retain_wals = 0`, leader checkpoints
+//! retire segments while the follower holds a cursor into them (the
+//! re-bootstrap path), and with `retain_wals = 1`, the follower walks
+//! through rotation on the retained WAL (the local-checkpoint path).
+//! Both cover the satellite case of a checkpoint racing an active
+//! [`FrameStream`] tail.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use loosedb_engine::{Database, DurableDatabase, Replica, ReplicaOptions, SyncPolicy};
+use loosedb_store::io::{FaultIo, MemIo};
+use loosedb_store::{EntityValue, FactStore, StorageIo};
+
+/// One workload operation, self-describing like a WAL record.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(EntityValue, EntityValue, EntityValue),
+    Remove(EntityValue, EntityValue, EntityValue),
+}
+
+const TOTAL_OPS: usize = 72;
+const CHECKPOINTS: &[usize] = &[24, 48];
+const POLL_EVERY: usize = 3;
+
+fn opts() -> ReplicaOptions {
+    // Small batches keep the follower lagging, so checkpoints genuinely
+    // race an in-progress tail.
+    ReplicaOptions { batch_ops: 2, max_retries: 2, retry_backoff: Duration::ZERO }
+}
+
+/// A deterministic workload: inserts of symbols and numbers with
+/// removals (some no-ops) mixed in, from a seeded LCG.
+fn workload() -> Vec<Op> {
+    let mut rng: u64 = 0xA076_1D64_78BD_642F;
+    let mut step = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng >> 33) as u32
+    };
+    let mut inserted: Vec<(EntityValue, EntityValue, EntityValue)> = Vec::new();
+    let mut ops = Vec::with_capacity(TOTAL_OPS);
+    for i in 0..TOTAL_OPS {
+        let roll = step();
+        if i % 5 == 3 && !inserted.is_empty() {
+            let (s, r, t) = inserted[(roll as usize) % inserted.len()].clone();
+            ops.push(Op::Remove(s, r, t));
+        } else {
+            let s = EntityValue::symbol(format!("E{}", step() % 18));
+            let r = EntityValue::symbol(format!("R{}", step() % 6));
+            let t = match step() % 2 {
+                0 => EntityValue::symbol(format!("T{}", step() % 9)),
+                _ => EntityValue::Int((step() % 30) as i64),
+            };
+            inserted.push((s.clone(), r.clone(), t.clone()));
+            ops.push(Op::Insert(s, r, t));
+        }
+    }
+    ops
+}
+
+/// Canonical, id-independent rendering of the base facts — a
+/// re-bootstrapped follower (fresh interning) compares equal to the
+/// leader.
+type State = BTreeSet<String>;
+
+fn rendered(store: &FactStore) -> State {
+    store
+        .iter()
+        .map(|f| format!("{} {} {}", store.value(f.s), store.value(f.r), store.value(f.t)))
+        .collect()
+}
+
+/// Oracle: `states[j]` is the state after the first `j` ops.
+fn oracle_states(ops: &[Op]) -> Vec<State> {
+    let mut db = Database::new();
+    let mut states = vec![rendered(db.store())];
+    for op in ops {
+        match op {
+            Op::Insert(s, r, t) => {
+                db.add(s.clone(), r.clone(), t.clone());
+            }
+            Op::Remove(s, r, t) => {
+                let f = loosedb_store::Fact::new(
+                    db.entity(s.clone()),
+                    db.entity(r.clone()),
+                    db.entity(t.clone()),
+                );
+                db.remove(&f);
+            }
+        }
+        states.push(rendered(db.store()));
+    }
+    states
+}
+
+fn leader_apply(leader: &mut DurableDatabase<Arc<MemIo>>, op: &Op) {
+    match op {
+        Op::Insert(s, r, t) => {
+            leader.add(s.clone(), r.clone(), t.clone()).unwrap();
+        }
+        Op::Remove(s, r, t) => {
+            let inner = leader.database();
+            let f = loosedb_store::Fact::new(
+                inner.entity(s.clone()),
+                inner.entity(r.clone()),
+                inner.entity(t.clone()),
+            );
+            leader.remove(&f).unwrap();
+        }
+    }
+}
+
+/// Runs the full leader workload while a follower (behind `FaultIo`
+/// with `fault_limit`) tails it. The leader never faults and always
+/// finishes; the follower is dropped at its first error. Returns the
+/// faulted follower's I/O op count when it survived the whole run.
+fn drive(mem: &Arc<MemIo>, fault_limit: usize, retain: u64, ops: &[Op]) -> Option<usize> {
+    let mut leader =
+        DurableDatabase::open_with(Arc::clone(mem), "/leader", SyncPolicy::Always).unwrap();
+    leader.set_retain_wals(retain);
+    let faulty = FaultIo::new(Arc::clone(mem), fault_limit);
+    let mut replica = Replica::open_with(faulty, "/leader", "/replica", opts()).ok();
+    for (i, op) in ops.iter().enumerate() {
+        leader_apply(&mut leader, op);
+        if CHECKPOINTS.contains(&(i + 1)) {
+            leader.checkpoint().unwrap();
+        }
+        if (i + 1) % POLL_EVERY == 0 {
+            if let Some(r) = &mut replica {
+                if r.poll().is_err() {
+                    replica = None;
+                }
+            }
+        }
+    }
+    // Drain: crash points past the interleave land in catch-up.
+    if let Some(r) = &mut replica {
+        if r.catch_up().is_err() {
+            replica = None;
+        }
+    }
+    replica.map(|r| r.io_ref().ops_used())
+}
+
+/// The sweep: kill the follower at every one of its mutating I/O
+/// points, crash the filesystem, reopen through a clean handle, and
+/// check prefix-consistency plus convergence.
+fn sweep(retain: u64) {
+    let ops = workload();
+    let states = oracle_states(&ops);
+
+    let probe = Arc::new(MemIo::new());
+    let total_io =
+        drive(&probe, usize::MAX, retain, &ops).expect("fault-free follower must survive");
+    assert!(total_io > 20, "suspiciously few follower I/O points: {total_io}");
+    // The fault-free follower converged; pin that before sweeping.
+    {
+        let mut replica = Replica::open_with(probe, "/leader", "/replica", opts()).unwrap();
+        replica.catch_up().unwrap();
+        assert_eq!(rendered(replica.shared().snapshot().store()), states[TOTAL_OPS]);
+    }
+
+    let mut resumed_after_crash = 0usize;
+    let mut rebootstrapped_after_crash = 0usize;
+    for crash_at in 0..total_io {
+        let mem = Arc::new(MemIo::new());
+        assert!(
+            drive(&mem, crash_at, retain, &ops).is_none(),
+            "crash point {crash_at} did not crash the follower"
+        );
+        // Power loss: unsynced bytes vanish (the leader synced
+        // everything; only follower-local state can be torn).
+        mem.crash();
+        let mut replica = Replica::open_with(Arc::clone(&mem), "/leader", "/replica", opts())
+            .unwrap_or_else(|e| panic!("reopen after crash at {crash_at}: {e}"));
+        if replica.info().resumed {
+            resumed_after_crash += 1;
+        } else {
+            rebootstrapped_after_crash += 1;
+        }
+        // The recovered state is a CRC-verified *prefix* of the
+        // workload, never a torn mixture.
+        let recovered = rendered(replica.shared().snapshot().store());
+        assert!(
+            states.contains(&recovered),
+            "crash at {crash_at}: recovered replica state is not a workload prefix"
+        );
+        // And from that prefix the follower converges to the leader.
+        replica.catch_up().unwrap_or_else(|e| panic!("catch-up after crash at {crash_at}: {e}"));
+        assert_eq!(
+            rendered(replica.shared().snapshot().store()),
+            states[TOTAL_OPS],
+            "crash at {crash_at}: follower did not converge after recovery"
+        );
+        // Leader files were never touched by the follower's crash.
+        assert!(mem.exists(Path::new("/leader/MANIFEST")));
+    }
+    // The sweep must exercise both recovery paths, or the assertions
+    // above test less than they claim.
+    assert!(resumed_after_crash > 0, "sweep never resumed from local state");
+    assert!(rebootstrapped_after_crash > 0, "sweep never re-bootstrapped");
+}
+
+#[test]
+fn follower_killed_at_every_io_point_recovers_and_converges_with_retirement() {
+    // retain_wals = 0: every leader checkpoint retires the segment the
+    // lagging follower is tailing — rotation races the active cursor
+    // and recovery goes through snapshot re-bootstrap.
+    sweep(0);
+}
+
+#[test]
+fn follower_killed_at_every_io_point_recovers_and_converges_with_retained_wal() {
+    // retain_wals = 1: the follower walks through rotation on the
+    // retained WAL, so crash points land inside the local-checkpoint
+    // sequence (base write → mirror reset → cursor advance) too.
+    sweep(1);
+}
+
+#[test]
+fn checkpoint_retires_segment_under_an_active_cursor_mid_batch() {
+    // The tightest race, deterministically: the follower consumes half a
+    // segment, the leader checkpoints twice (retiring even the retained
+    // WAL window of the first), then keeps writing. The follower's next
+    // poll finds its segment gone mid-batch and must re-bootstrap — and
+    // still converge, including across a crash at that exact moment.
+    let ops = workload();
+    let states = oracle_states(&ops);
+    let mem = Arc::new(MemIo::new());
+    let mut leader =
+        DurableDatabase::open_with(Arc::clone(&mem), "/leader", SyncPolicy::Always).unwrap();
+    leader.set_retain_wals(1);
+    for op in &ops[..24] {
+        leader_apply(&mut leader, op);
+    }
+    let mut replica = Replica::open_with(Arc::clone(&mem), "/leader", "/replica", opts()).unwrap();
+    for _ in 0..4 {
+        replica.poll().unwrap(); // mid-segment cursor, well behind
+    }
+    let held = replica.cursor();
+    leader.checkpoint().unwrap(); // generation 1, wal-0 retained
+    for op in &ops[24..48] {
+        leader_apply(&mut leader, op);
+    }
+    leader.checkpoint().unwrap(); // generation 2, wal-0 now retired
+    for op in &ops[48..] {
+        leader_apply(&mut leader, op);
+    }
+    assert!(mem.read(Path::new(&format!("/leader/wal-{:016}.log", held.segment))).is_err());
+    replica.catch_up().unwrap();
+    assert!(replica.info().bootstraps >= 2, "{:?}", replica.info());
+    assert_eq!(rendered(replica.shared().snapshot().store()), states[TOTAL_OPS]);
+
+    // Crash immediately after that recovery and reopen: still a prefix,
+    // still converges.
+    mem.crash();
+    drop(replica);
+    let mut replica = Replica::open_with(Arc::clone(&mem), "/leader", "/replica", opts()).unwrap();
+    let recovered = rendered(replica.shared().snapshot().store());
+    assert!(states.contains(&recovered));
+    replica.catch_up().unwrap();
+    assert_eq!(rendered(replica.shared().snapshot().store()), states[TOTAL_OPS]);
+}

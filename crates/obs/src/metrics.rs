@@ -387,6 +387,25 @@ pub struct Metrics {
     /// Plan-cache counters (`query.plan_cache.*`; absorbs `PlanCacheStats`).
     pub plan_cache: CacheCounters,
 
+    // -- replication --
+    /// Shipped frames applied by a replica (`repl.frames_applied`).
+    pub repl_frames_applied: Counter,
+    /// Frames rejected at the checksum (`repl.frames_rejected`).
+    pub repl_frames_rejected: Counter,
+    /// Corrupt-frame re-fetch attempts (`repl.retries`).
+    pub repl_retries: Counter,
+    /// Bootstraps from a leader snapshot, initial or after falling
+    /// behind segment retirement (`repl.bootstraps`).
+    pub repl_bootstraps: Counter,
+    /// Poll rounds executed by a replica (`repl.polls`).
+    pub repl_polls: Counter,
+    /// Bytes of leader WAL not yet applied, current segment
+    /// (`repl.lag_bytes`).
+    pub repl_lag_bytes: Gauge,
+    /// Latency of one replica apply+publish batch in nanoseconds
+    /// (`repl.apply_nanos`).
+    pub repl_apply_ns: Histogram,
+
     // -- browse --
     /// Answer-cache counters (`browse.query_cache.*`; absorbs the
     /// session `CacheStats`).
@@ -446,6 +465,13 @@ impl Metrics {
                 "query.plan_cache.carried",
                 "query.plan_cache.len",
             ),
+            repl_frames_applied: registry.counter("repl.frames_applied"),
+            repl_frames_rejected: registry.counter("repl.frames_rejected"),
+            repl_retries: registry.counter("repl.retries"),
+            repl_bootstraps: registry.counter("repl.bootstraps"),
+            repl_polls: registry.counter("repl.polls"),
+            repl_lag_bytes: registry.gauge("repl.lag_bytes"),
+            repl_apply_ns: registry.histogram("repl.apply_nanos"),
             query_cache: CacheCounters::register(
                 &registry,
                 "browse.query_cache.hits",
@@ -503,6 +529,15 @@ impl Metrics {
                 count_probes: self.count_probes.get(),
                 plan_cache: self.plan_cache.snapshot(),
             },
+            repl: ReplicationSnapshot {
+                frames_applied: self.repl_frames_applied.get(),
+                frames_rejected: self.repl_frames_rejected.get(),
+                retries: self.repl_retries.get(),
+                bootstraps: self.repl_bootstraps.get(),
+                polls: self.repl_polls.get(),
+                lag_bytes: self.repl_lag_bytes.get(),
+                apply_ns: self.repl_apply_ns.snapshot(),
+            },
             browse: BrowseSnapshot {
                 query_cache: self.query_cache.snapshot(),
                 nav_builds: self.nav_builds.get(),
@@ -528,8 +563,29 @@ pub struct MetricsSnapshot {
     pub publish: PublishSnapshot,
     /// Query metrics.
     pub query: QuerySnapshot,
+    /// Replication metrics.
+    pub repl: ReplicationSnapshot,
     /// Browsing metrics.
     pub browse: BrowseSnapshot,
+}
+
+/// Replication (WAL shipping / replica replay) metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ReplicationSnapshot {
+    /// Shipped frames applied.
+    pub frames_applied: u64,
+    /// Frames rejected at the checksum.
+    pub frames_rejected: u64,
+    /// Corrupt-frame re-fetch attempts.
+    pub retries: u64,
+    /// Bootstraps from a leader snapshot.
+    pub bootstraps: u64,
+    /// Poll rounds executed.
+    pub polls: u64,
+    /// Unapplied leader-WAL bytes in the current segment.
+    pub lag_bytes: u64,
+    /// Apply+publish batch latency.
+    pub apply_ns: HistogramSnapshot,
 }
 
 /// Durability (WAL/checkpoint) metrics.

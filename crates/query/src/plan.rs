@@ -389,6 +389,28 @@ impl PlanCache {
         self.epoch = epoch;
     }
 
+    /// Advances the cache across a span containing a full-recompute
+    /// publish (a removal or rule/kind/config change at a *known* epoch,
+    /// `DeltaSummary::FullAt` in engine terms). Unlike
+    /// [`PlanCache::roll`] with `changed: None`, this keeps every
+    /// structurally tracked plan: a plan only fixes a join order, so
+    /// replaying one against recomputed extents costs performance at
+    /// worst, never correctness (see [`plan_dependencies`]). Plans with
+    /// unpredictable dependencies (`deps: None`) are still dropped, as on
+    /// every roll.
+    pub fn roll_stale(&mut self, epoch: u64) {
+        if epoch == self.epoch {
+            return;
+        }
+        self.map.retain(|_, entry| entry.deps.is_some());
+        self.carried += self.map.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.carried.add(self.map.len() as u64);
+            m.len.set(self.map.len() as u64);
+        }
+        self.epoch = epoch;
+    }
+
     /// Looks up the plan for a query shape.
     pub fn get(&mut self, query: &Query, opts: &EvalOptions) -> Option<Arc<QueryPlan>> {
         self.tick += 1;

@@ -25,6 +25,8 @@
 //!   crash-recoverable operation logs.
 //! * [`io`] — atomic file replacement, CRC32, and a pluggable storage
 //!   layer with fault injection for crash testing.
+//! * [`ship`] — the replication feed: checksummed manifest and cursor
+//!   codecs plus a tailing [`FrameStream`] over a leader's WAL segments.
 //!
 //! ```
 //! use loosedb_store::{FactStore, Pattern};
@@ -48,6 +50,7 @@ pub mod interner;
 pub mod io;
 pub mod log;
 pub mod pindex;
+pub mod ship;
 pub mod snapshot;
 pub mod special;
 pub mod store;
@@ -61,6 +64,7 @@ pub use interner::Interner;
 pub use io::{atomic_write, crc32, FaultIo, MemIo, RealIo, StorageIo};
 pub use log::{FactLog, LogOp};
 pub use pindex::{PMap, PSet};
+pub use ship::{FrameStream, Manifest, ShipBatch, ShipCursor, ShipError};
 pub use store::{FactStore, StoreStats};
 pub use text::TextError;
 pub use value::{num_cmp, EntityId, EntityValue};

@@ -1,0 +1,588 @@
+//! WAL shipping: tailing a leader's log segments for replication.
+//!
+//! A durable database directory (see `loosedb-engine`'s journaling
+//! layer) is already a complete replication feed: the checksummed
+//! manifest names the live snapshot generation, and each generation's
+//! WAL holds self-describing, CRC32-framed operations
+//! ([`crate::log`]). This module adds the reader side:
+//!
+//! * [`Manifest`] — the checksummed generation pointer at the head of a
+//!   journal directory (moved here from the engine so a follower can
+//!   read a leader directory without engine types).
+//! * [`ShipCursor`] — a resumable `(segment, offset, epoch)` position in
+//!   the leader's log stream, with a checksummed file encoding.
+//! * [`FrameStream`] — a tailing reader that decodes intact frames from
+//!   the cursor onward, re-verifying every CRC, waiting on a torn live
+//!   tail, advancing through segment rotation, and distinguishing
+//!   mid-stream corruption ([`ShipError::CorruptFrame`]) from a segment
+//!   the leader has already retired ([`ShipError::SegmentRetired`]).
+//!
+//! Every read goes through [`StorageIo`], so fault-injection tests can
+//! kill a follower at any I/O point and drive recovery through the same
+//! handle.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::codec::CodecError;
+use crate::io::{crc32, StorageIo};
+use crate::log::{Frames, LogOp};
+
+/// File name of the manifest inside a journal directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+const MANIFEST_MAGIC: &[u8; 4] = b"LSDM";
+const MANIFEST_VERSION: u16 = 1;
+const MANIFEST_LEN: usize = 4 + 2 + 8 + 8 + 4 + 4;
+
+const CURSOR_MAGIC: &[u8; 4] = b"LSRC";
+const CURSOR_VERSION: u16 = 1;
+const CURSOR_LEN: usize = 4 + 2 + 8 + 8 + 8 + 4;
+
+/// File name of the snapshot of a generation.
+pub fn snap_name(generation: u64) -> String {
+    format!("snap-{generation:016}.lsdf")
+}
+
+/// File name of the write-ahead log of a generation.
+pub fn wal_name(generation: u64) -> String {
+    format!("wal-{generation:016}.log")
+}
+
+/// Parses `prefix<16 digits>suffix` back to a generation number.
+pub fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() == 16 && digits.bytes().all(|b| b.is_ascii_digit()) {
+        digits.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// The checksummed manifest at the head of a journal directory: which
+/// generation is live, and the length and CRC32 of its snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// The live snapshot generation.
+    pub generation: u64,
+    /// Byte length of the live snapshot image.
+    pub snapshot_len: u64,
+    /// CRC32 of the live snapshot image.
+    pub snapshot_crc: u32,
+}
+
+impl Manifest {
+    /// Encodes the manifest with its trailing CRC32.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MANIFEST_LEN);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.snapshot_len.to_le_bytes());
+        out.extend_from_slice(&self.snapshot_crc.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a manifest; `None` if it is damaged in any way.
+    pub fn decode(data: &[u8]) -> Option<Manifest> {
+        if data.len() != MANIFEST_LEN || &data[0..4] != MANIFEST_MAGIC {
+            return None;
+        }
+        let stored = u32::from_le_bytes(data[MANIFEST_LEN - 4..].try_into().ok()?);
+        if crc32(&data[..MANIFEST_LEN - 4]) != stored {
+            return None;
+        }
+        let version = u16::from_le_bytes(data[4..6].try_into().ok()?);
+        if version != MANIFEST_VERSION {
+            return None;
+        }
+        Some(Manifest {
+            generation: u64::from_le_bytes(data[6..14].try_into().ok()?),
+            snapshot_len: u64::from_le_bytes(data[14..22].try_into().ok()?),
+            snapshot_crc: u32::from_le_bytes(data[22..26].try_into().ok()?),
+        })
+    }
+
+    /// Reads and decodes the manifest of a journal directory; `None` if
+    /// it is missing or damaged.
+    pub fn read_from(io: &dyn StorageIo, dir: &Path) -> Option<Manifest> {
+        let path = dir.join(MANIFEST_NAME);
+        if !io.exists(&path) {
+            return None;
+        }
+        Manifest::decode(&io.read(&path).ok()?)
+    }
+}
+
+/// A resumable position in a leader's log stream.
+///
+/// `segment` is the leader generation whose WAL is being consumed,
+/// `offset` the byte position inside it (always a frame boundary), and
+/// `epoch` the count of operations applied since the follower's
+/// bootstrap — the follower's logical clock across segment rotations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShipCursor {
+    /// Leader generation whose WAL the cursor points into.
+    pub segment: u64,
+    /// Byte offset of the next unconsumed frame in that WAL.
+    pub offset: u64,
+    /// Operations applied since bootstrap (the follower's logical clock).
+    pub epoch: u64,
+}
+
+impl ShipCursor {
+    /// The cursor at the start of a segment, carrying an epoch forward.
+    pub fn start_of(segment: u64, epoch: u64) -> Self {
+        ShipCursor { segment, offset: 0, epoch }
+    }
+
+    /// Encodes the cursor with its trailing CRC32 (for an atomic cursor
+    /// file).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CURSOR_LEN);
+        out.extend_from_slice(CURSOR_MAGIC);
+        out.extend_from_slice(&CURSOR_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.segment.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a cursor; `None` if it is damaged in any way.
+    pub fn decode(data: &[u8]) -> Option<ShipCursor> {
+        if data.len() != CURSOR_LEN || &data[0..4] != CURSOR_MAGIC {
+            return None;
+        }
+        let stored = u32::from_le_bytes(data[CURSOR_LEN - 4..].try_into().ok()?);
+        if crc32(&data[..CURSOR_LEN - 4]) != stored {
+            return None;
+        }
+        let version = u16::from_le_bytes(data[4..6].try_into().ok()?);
+        if version != CURSOR_VERSION {
+            return None;
+        }
+        Some(ShipCursor {
+            segment: u64::from_le_bytes(data[6..14].try_into().ok()?),
+            offset: u64::from_le_bytes(data[14..22].try_into().ok()?),
+            epoch: u64::from_le_bytes(data[22..30].try_into().ok()?),
+        })
+    }
+}
+
+/// Why a [`FrameStream::poll`] could not make progress.
+#[derive(Debug)]
+pub enum ShipError {
+    /// Reading the leader directory failed.
+    Io(io::Error),
+    /// The leader directory has no decodable manifest (not a journal
+    /// directory, or the leader is mid-bootstrap).
+    NoManifest,
+    /// A frame failed its checksum (or decoded to garbage) in a place
+    /// that cannot be a live torn tail: bit rot, or follower/leader
+    /// divergence after a leader crash. The caller should re-read with
+    /// bounded retry and re-bootstrap if the damage persists.
+    CorruptFrame {
+        /// Segment holding the damaged frame.
+        segment: u64,
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What the frame decoder rejected.
+        source: CodecError,
+    },
+    /// The cursor's segment is gone and the leader has moved past it
+    /// (checkpoint retirement outran the follower, or the leader was
+    /// reset). The follower must re-bootstrap from the newest snapshot.
+    SegmentRetired {
+        /// The segment the cursor was consuming.
+        segment: u64,
+        /// The leader's live generation.
+        live: u64,
+    },
+}
+
+impl std::fmt::Display for ShipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipError::Io(e) => write!(f, "shipping I/O failed: {e}"),
+            ShipError::NoManifest => write!(f, "leader directory has no decodable manifest"),
+            ShipError::CorruptFrame { segment, offset, source } => {
+                write!(f, "corrupt frame in segment {segment} at offset {offset}: {source}")
+            }
+            ShipError::SegmentRetired { segment, live } => {
+                write!(f, "segment {segment} retired by the leader (live generation {live})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+impl From<io::Error> for ShipError {
+    fn from(e: io::Error) -> Self {
+        ShipError::Io(e)
+    }
+}
+
+/// One batch of shipped operations from [`FrameStream::poll`].
+#[derive(Debug, Default)]
+pub struct ShipBatch {
+    /// Decoded operations, in log order.
+    pub ops: Vec<LogOp>,
+    /// The raw frame bytes the operations were decoded from — exactly
+    /// the bytes between the previous and new cursor offsets, so a
+    /// follower can mirror them verbatim into its own log.
+    pub bytes: Vec<u8>,
+    /// True if the cursor advanced to the start of the next segment
+    /// after consuming these operations (the old segment was read to
+    /// its final end).
+    pub rotated: bool,
+    /// The leader's live generation at poll time.
+    pub live_segment: u64,
+    /// Unconsumed bytes remaining in the polled segment's WAL — the
+    /// follower's byte lag within its current segment.
+    pub lag_bytes: u64,
+}
+
+/// A tailing reader over a leader's WAL segments.
+///
+/// `poll` reads from the cursor onward and returns every intact frame
+/// (up to a batch limit). A torn frame at the tail of the *live*
+/// segment is not an error — the leader may still be appending — the
+/// stream simply stops before it and will retry on the next poll. A
+/// checksum failure anywhere else is [`ShipError::CorruptFrame`]; a
+/// missing segment the leader has moved past is
+/// [`ShipError::SegmentRetired`].
+#[derive(Debug)]
+pub struct FrameStream<I> {
+    io: I,
+    dir: PathBuf,
+    cursor: ShipCursor,
+}
+
+impl<I: StorageIo> FrameStream<I> {
+    /// Opens a stream over the journal directory `dir`, resuming from
+    /// `cursor`.
+    pub fn new(io: I, dir: impl Into<PathBuf>, cursor: ShipCursor) -> Self {
+        FrameStream { io, dir: dir.into(), cursor }
+    }
+
+    /// The current cursor (resumable across process restarts).
+    pub fn cursor(&self) -> ShipCursor {
+        self.cursor
+    }
+
+    /// Repositions the stream (after a re-bootstrap).
+    pub fn seek(&mut self, cursor: ShipCursor) {
+        self.cursor = cursor;
+    }
+
+    /// The leader directory being tailed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reads the next batch of at most `max_ops` operations.
+    ///
+    /// An empty batch with `rotated: false` means the follower is caught
+    /// up (or the live segment's tail is torn mid-append — indistinguishable
+    /// from "caught up" until the leader finishes the append).
+    pub fn poll(&mut self, max_ops: usize) -> Result<ShipBatch, ShipError> {
+        // A leader writes its first manifest at its first checkpoint, so
+        // a missing manifest means a live generation 0; a manifest that
+        // exists but does not decode is damage.
+        let live = match Manifest::read_from(&self.io, &self.dir) {
+            Some(m) => m.generation,
+            None if !self.io.exists(&self.dir.join(MANIFEST_NAME)) => 0,
+            None => return Err(ShipError::NoManifest),
+        };
+        if self.cursor.segment > live {
+            // The leader regressed below our cursor (restored from an
+            // older backup, or reset). Only a re-bootstrap can help.
+            return Err(ShipError::SegmentRetired { segment: self.cursor.segment, live });
+        }
+        let wal = self.dir.join(wal_name(self.cursor.segment));
+        let data = match self.io.read(&wal) {
+            Ok(data) => data,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if live > self.cursor.segment {
+                    return Err(ShipError::SegmentRetired { segment: self.cursor.segment, live });
+                }
+                // The live generation's WAL is created lazily on the
+                // first append (generation 0 before any write): empty.
+                return Ok(ShipBatch { live_segment: live, ..ShipBatch::default() });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let start = self.cursor.offset as usize;
+        if start > data.len() {
+            // The file shrank below our cursor: the leader crashed and
+            // truncated a tail we had already consumed (divergence).
+            return Err(ShipError::SegmentRetired { segment: self.cursor.segment, live });
+        }
+
+        let mut frames = Frames::new(&data[start..]);
+        let mut ops = Vec::new();
+        let mut damage = None;
+        for op in &mut frames {
+            match op {
+                Ok(op) => {
+                    ops.push(op);
+                    if ops.len() >= max_ops {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    damage = Some(e);
+                    break;
+                }
+            }
+        }
+        let consumed = frames.valid_bytes();
+        let new_offset = start + consumed;
+
+        if let Some(e) = &damage {
+            // A short frame at the tail of the live segment is the
+            // leader's append in flight: wait, don't error. Anything
+            // else — a checksum or decode failure, or a short frame in
+            // a segment the leader has already finished — will never
+            // heal by waiting.
+            let in_flight = matches!(e, CodecError::UnexpectedEof) && live == self.cursor.segment;
+            if !in_flight && ops.is_empty() {
+                return Err(ShipError::CorruptFrame {
+                    segment: self.cursor.segment,
+                    offset: new_offset as u64,
+                    source: damage.expect("just matched"),
+                });
+            }
+            // With intact frames in hand, deliver them first; the
+            // damage (if real) resurfaces on the next poll.
+        }
+
+        let rotated = damage.is_none()
+            && new_offset == data.len()
+            && live > self.cursor.segment
+            && ops.len() < max_ops;
+        self.cursor.epoch += ops.len() as u64;
+        if rotated {
+            self.cursor = ShipCursor::start_of(self.cursor.segment + 1, self.cursor.epoch);
+        } else {
+            self.cursor.offset = new_offset as u64;
+        }
+        Ok(ShipBatch {
+            bytes: data[start..new_offset].to_vec(),
+            ops,
+            rotated,
+            live_segment: live,
+            lag_bytes: (data.len() - new_offset) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+    use crate::log::{encode_frame, FactLog};
+    use std::sync::Arc;
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/leader")
+    }
+
+    fn write_manifest(io: &MemIo, generation: u64) {
+        let m = Manifest { generation, snapshot_len: 0, snapshot_crc: 0 };
+        io.write(&dir().join(MANIFEST_NAME), &m.encode()).unwrap();
+    }
+
+    fn append_ops(io: &MemIo, generation: u64, names: &[&str]) {
+        let mut log = FactLog::new();
+        for n in names {
+            log.insert(*n, "R", "B");
+        }
+        io.append(&dir().join(wal_name(generation)), &log.bytes()).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_rejection() {
+        let m = Manifest { generation: 7, snapshot_len: 1234, snapshot_crc: 0xDEAD_BEEF };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes), Some(m));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert_eq!(Manifest::decode(&bad), None, "flip at {i}");
+        }
+        assert_eq!(Manifest::decode(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Manifest::decode(&[]), None);
+    }
+
+    #[test]
+    fn cursor_roundtrip_and_rejection() {
+        let c = ShipCursor { segment: 3, offset: 1024, epoch: 99 };
+        let bytes = c.encode();
+        assert_eq!(ShipCursor::decode(&bytes), Some(c));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            assert_eq!(ShipCursor::decode(&bad), None, "flip at {i}");
+        }
+        assert_eq!(ShipCursor::decode(&[]), None);
+    }
+
+    #[test]
+    fn poll_reads_frames_and_advances() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        append_ops(&io, 0, &["A", "B", "C"]);
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        let batch = stream.poll(2).unwrap();
+        assert_eq!(batch.ops.len(), 2);
+        assert!(!batch.rotated);
+        assert!(batch.lag_bytes > 0);
+        let batch = stream.poll(16).unwrap();
+        assert_eq!(batch.ops.len(), 1);
+        assert_eq!(batch.lag_bytes, 0);
+        assert_eq!(stream.cursor().epoch, 3);
+        // Caught up: polls return empty batches.
+        assert!(stream.poll(16).unwrap().ops.is_empty());
+        // The raw batch bytes are the verbatim frames.
+        append_ops(&io, 0, &["D"]);
+        let batch = stream.poll(16).unwrap();
+        assert_eq!(batch.bytes, encode_frame(&batch.ops[0].clone()));
+    }
+
+    #[test]
+    fn torn_live_tail_waits_then_delivers() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        let frame = {
+            let mut log = FactLog::new();
+            log.insert("A", "R", "B");
+            log.bytes().to_vec()
+        };
+        let wal = dir().join(wal_name(0));
+        // Half a frame: an append in flight.
+        io.append(&wal, &frame[..frame.len() / 2]).unwrap();
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        let batch = stream.poll(16).unwrap();
+        assert!(batch.ops.is_empty());
+        assert_eq!(stream.cursor().offset, 0);
+        // The append completes; the next poll sees the whole frame.
+        io.append(&wal, &frame[frame.len() / 2..]).unwrap();
+        let batch = stream.poll(16).unwrap();
+        assert_eq!(batch.ops.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_at_the_checksum() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        append_ops(&io, 0, &["A", "B"]);
+        let wal = dir().join(wal_name(0));
+        let mut data = io.read(&wal).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF; // bit rot in the second frame's payload
+        io.write(&wal, &data).unwrap();
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        // First poll delivers the intact prefix.
+        let batch = stream.poll(16).unwrap();
+        assert_eq!(batch.ops.len(), 1);
+        // The damage is now at the cursor: a hard error, not a wait —
+        // live-tail forgiveness covers only short frames, not bad CRCs.
+        match stream.poll(16) {
+            Err(ShipError::CorruptFrame { segment: 0, .. }) => {}
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        // A repaired file heals the stream in place (re-fetch semantics).
+        let mut fixed = io.read(&wal).unwrap();
+        fixed[last] ^= 0xFF;
+        io.write(&wal, &fixed).unwrap();
+        assert_eq!(stream.poll(16).unwrap().ops.len(), 1);
+    }
+
+    #[test]
+    fn rotation_advances_to_the_next_segment() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        append_ops(&io, 0, &["A"]);
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        assert_eq!(stream.poll(16).unwrap().ops.len(), 1);
+        // The leader checkpoints: generation 1 is live, segment 0 kept.
+        write_manifest(&io, 1);
+        append_ops(&io, 1, &["B", "C"]);
+        let batch = stream.poll(16).unwrap();
+        assert!(batch.rotated);
+        assert!(batch.ops.is_empty());
+        assert_eq!(stream.cursor(), ShipCursor { segment: 1, offset: 0, epoch: 1 });
+        let batch = stream.poll(16).unwrap();
+        assert_eq!(batch.ops.len(), 2);
+        assert_eq!(stream.cursor().epoch, 3);
+    }
+
+    #[test]
+    fn retired_segment_demands_rebootstrap() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        append_ops(&io, 0, &["A"]);
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        assert_eq!(stream.poll(16).unwrap().ops.len(), 1);
+        // The leader checkpoints and retires segment 0 entirely.
+        write_manifest(&io, 1);
+        io.remove_file(&dir().join(wal_name(0))).unwrap();
+        append_ops(&io, 1, &["B"]);
+        match stream.poll(16) {
+            Err(ShipError::SegmentRetired { segment: 0, live: 1 }) => {}
+            other => panic!("expected SegmentRetired, got {other:?}"),
+        }
+        // Re-bootstrap: seek to the live segment and resume.
+        stream.seek(ShipCursor::start_of(1, 0));
+        assert_eq!(stream.poll(16).unwrap().ops.len(), 1);
+    }
+
+    #[test]
+    fn missing_manifest_tails_generation_zero() {
+        // A leader writes its first manifest at its first checkpoint, so
+        // a fresh leader directory is tailed as live generation 0.
+        let io = Arc::new(MemIo::new());
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        assert!(stream.poll(16).unwrap().ops.is_empty());
+        append_ops(&io, 0, &["A"]);
+        assert_eq!(stream.poll(16).unwrap().ops.len(), 1);
+    }
+
+    #[test]
+    fn damaged_manifest_and_leader_regression_are_detected() {
+        let io = Arc::new(MemIo::new());
+        io.write(&dir().join(MANIFEST_NAME), b"garbage").unwrap();
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        assert!(matches!(stream.poll(16), Err(ShipError::NoManifest)));
+        write_manifest(&io, 0);
+        stream.seek(ShipCursor::start_of(5, 0));
+        assert!(matches!(stream.poll(16), Err(ShipError::SegmentRetired { segment: 5, live: 0 })));
+    }
+
+    #[test]
+    fn empty_live_wal_is_caught_up_not_an_error() {
+        let io = Arc::new(MemIo::new());
+        write_manifest(&io, 0);
+        // No wal file at all: generation 0 before the first append.
+        let mut stream = FrameStream::new(Arc::clone(&io), dir(), ShipCursor::default());
+        let batch = stream.poll(16).unwrap();
+        assert!(batch.ops.is_empty() && !batch.rotated);
+        assert_eq!(batch.live_segment, 0);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        assert_eq!(snap_name(7), "snap-0000000000000007.lsdf");
+        assert_eq!(wal_name(12), "wal-0000000000000012.log");
+        assert_eq!(parse_generation(&snap_name(42), "snap-", ".lsdf"), Some(42));
+        assert_eq!(parse_generation(&wal_name(42), "wal-", ".log"), Some(42));
+        assert_eq!(parse_generation("snap-42.lsdf", "snap-", ".lsdf"), None);
+        assert_eq!(parse_generation("wal-00000000000000x2.log", "wal-", ".log"), None);
+    }
+}

@@ -12,7 +12,7 @@
 use std::io::{self, BufRead, Write};
 
 use loosedb::datagen::{company, music_world, probing_world, university};
-use loosedb::{Database, RuleGroup, Session};
+use loosedb::{Database, Replica, RuleGroup, Session, SharedSession, SyncPolicy};
 
 const HELP: &str = "\
 commands:
@@ -38,15 +38,34 @@ commands:
   metrics                      observability counters (Prometheus text format)
   spans <on|off|show>          capture / dump tracing spans (needs --features obs)
   history                      focus history
+  replica <leader-dir> [local-dir]   attach as a WAL-shipped read replica
+  sync                         (replica mode) poll the leader once
+  catchup                      (replica mode) drain the backlog
+  promote <dir>                (replica mode) fail over to a writable journal
+  detach                       leave replica mode, keeping the replicated data
   help                         this text
   quit                         exit
+(replica mode is read-only: browse commands serve from the follower's
+ snapshots; editing commands need 'detach' or 'promote' first)
 (commands also accept a leading ':', e.g. ':metrics')";
+
+/// Replica-mode state: the tailing [`Replica`] plus a [`SharedSession`]
+/// serving reads off its generation snapshots.
+struct ReplicaMode {
+    replica: Replica,
+    session: SharedSession,
+}
+
+struct Repl {
+    session: Session,
+    replica: Option<ReplicaMode>,
+}
 
 fn main() {
     let stdin = io::stdin();
-    let mut session = Session::new(music_world());
+    let mut repl = Repl { session: Session::new(music_world()), replica: None };
     println!("loosedb browser — music world loaded; type 'help' for commands");
-    prompt();
+    prompt(&repl);
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -54,29 +73,170 @@ fn main() {
         };
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            prompt();
+            prompt(&repl);
             continue;
         }
         if trimmed == "quit" || trimmed == "exit" {
             break;
         }
-        if let Err(e) = dispatch(&mut session, trimmed) {
+        if let Err(e) = dispatch(&mut repl, trimmed) {
             println!("error: {e}");
         }
-        prompt();
+        prompt(&repl);
     }
     println!("bye");
 }
 
-fn prompt() {
-    print!("> ");
+fn prompt(repl: &Repl) {
+    print!("{}", if repl.replica.is_some() { "(replica)> " } else { "> " });
     io::stdout().flush().ok();
 }
 
-fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
+/// Rebuilds a local editable [`Session`] from a replica's current
+/// database (an encode/decode round-trip through the persist image).
+fn local_session_from(shared: &loosedb::SharedDatabase) -> Result<Session, String> {
+    let image = shared.read_writer(|db| loosedb::engine::persist::encode(db).to_vec());
+    let db = loosedb::engine::persist::decode(&image[..]).map_err(|e| e.to_string())?;
+    Ok(Session::new(db))
+}
+
+fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
     let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
     let cmd = cmd.strip_prefix(':').unwrap_or(cmd);
     let rest = rest.trim();
+
+    // Replica-mode commands, and read routing to the follower session.
+    match cmd {
+        "replica" => {
+            if repl.replica.is_some() {
+                return Err("already in replica mode; 'detach' first".into());
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let (leader, local) = match parts.as_slice() {
+                [leader] => ((*leader).to_string(), format!("{leader}-replica")),
+                [leader, local] => ((*leader).to_string(), (*local).to_string()),
+                _ => return Err("usage: replica <leader-dir> [local-dir]".into()),
+            };
+            let mut replica = Replica::open(&leader, &local).map_err(|e| e.to_string())?;
+            let applied = replica.catch_up().map_err(|e| e.to_string())?;
+            let info = replica.info();
+            let cursor = replica.cursor();
+            println!(
+                "attached to {leader} ({}); caught up {applied} op(s), \
+                 epoch {}, segment {}",
+                if info.resumed { "resumed local state" } else { "bootstrapped from snapshot" },
+                cursor.epoch,
+                cursor.segment,
+            );
+            let session = SharedSession::new(replica.shared().clone());
+            repl.replica = Some(ReplicaMode { replica, session });
+            return Ok(());
+        }
+        "sync" | "catchup" | "promote" | "detach" => {
+            let Some(mode) = repl.replica.as_mut() else {
+                return Err(format!("{cmd} only works in replica mode; see 'replica'"));
+            };
+            match cmd {
+                "sync" => {
+                    let report = mode.replica.poll().map_err(|e| e.to_string())?;
+                    println!(
+                        "applied {} op(s), lag {} byte(s), live segment {}{}{}",
+                        report.ops_applied,
+                        report.lag_bytes,
+                        report.live_segment,
+                        if report.rotated { ", rotated" } else { "" },
+                        if report.rebootstrapped { ", re-bootstrapped" } else { "" },
+                    );
+                }
+                "catchup" => {
+                    let applied = mode.replica.catch_up().map_err(|e| e.to_string())?;
+                    println!("caught up: {applied} op(s) applied");
+                }
+                "promote" => {
+                    if rest.is_empty() {
+                        return Err("usage: promote <new-journal-dir>".into());
+                    }
+                    let ReplicaMode { replica, session } = repl.replica.take().expect("checked");
+                    drop(session); // release the shared handle before promotion
+                    let durable = replica
+                        .promote(rest, SyncPolicy::OnCheckpoint)
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "promoted: writable journal at {rest} (generation {})",
+                        durable.generation()
+                    );
+                    let image = loosedb::engine::persist::encode(durable.database_ref()).to_vec();
+                    let db =
+                        loosedb::engine::persist::decode(&image[..]).map_err(|e| e.to_string())?;
+                    repl.session = Session::new(db);
+                    println!("local session now holds the promoted data (read-write)");
+                }
+                _ => {
+                    let mode = repl.replica.take().expect("checked");
+                    repl.session = local_session_from(mode.replica.shared())?;
+                    println!("detached; local session holds the replicated data (read-write)");
+                }
+            }
+            return Ok(());
+        }
+        _ => {}
+    }
+    if let Some(mode) = repl.replica.as_mut() {
+        let s = &mut mode.session;
+        match cmd {
+            "focus" | "f" => print!("{}", s.focus(rest).map_err(|e| e.to_string())?),
+            "back" => print!("{}", s.back().map_err(|e| e.to_string())?),
+            "try" => print!("{}", s.try_entity(rest).map_err(|e| e.to_string())?),
+            "nav" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [a, b, c] = parts.as_slice() else {
+                    return Err("usage: nav <s> <r> <t>".into());
+                };
+                print!("{}", s.navigate_parts(a, b, c).map_err(|e| e.to_string())?);
+            }
+            "query" | "q" => {
+                let generation = s.snapshot();
+                let answer = s.query(rest).map_err(|e| e.to_string())?;
+                print!("{}", answer.render(generation.interner()));
+                println!("({} answer(s))", answer.len());
+            }
+            "probe" | "p" => {
+                let generation = s.snapshot();
+                let report = s.probe(rest).map_err(|e| e.to_string())?;
+                print!("{}", report.render_menu(generation.interner()));
+            }
+            "plan" => print!("{}", s.explain_query(rest).map_err(|e| e.to_string())?),
+            "stats" => {
+                let generation = s.snapshot();
+                let stats = generation.store().stats();
+                println!(
+                    "{} facts, {} entities, {} distinct relationships (epoch {})",
+                    stats.facts,
+                    stats.entities,
+                    stats.distinct_relationships,
+                    generation.epoch()
+                );
+            }
+            "metrics" => {
+                let mode = repl.replica.as_ref().expect("checked");
+                print!(
+                    "{}",
+                    loosedb::obs::prometheus_text(mode.replica.shared().metrics().registry())
+                );
+            }
+            "help" => println!("{HELP}"),
+            "spans" => return spans(rest),
+            other => {
+                return Err(format!(
+                    "{other:?} is unavailable in replica mode (read-only); \
+                     'detach' or 'promote <dir>' first"
+                ))
+            }
+        }
+        return Ok(());
+    }
+
+    let session = &mut repl.session;
     match cmd {
         "help" => println!("{HELP}"),
         "world" => {
@@ -221,30 +381,7 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
         "metrics" => {
             print!("{}", loosedb::obs::prometheus_text(session.db().metrics().registry()));
         }
-        "spans" => match rest {
-            "on" => {
-                loosedb::obs::trace::set_capture(true);
-                if loosedb::obs::trace::capturing() {
-                    println!("span capture on");
-                } else {
-                    println!("span capture unavailable (rebuild with --features obs)");
-                }
-            }
-            "off" => {
-                loosedb::obs::trace::set_capture(false);
-                println!("span capture off");
-            }
-            "show" | "" => {
-                let spans = loosedb::obs::trace::drain();
-                if spans.is_empty() {
-                    println!("(no spans captured; try 'spans on' under --features obs)");
-                }
-                for s in &spans {
-                    println!("{}", loosedb::obs::trace::render_span(s));
-                }
-            }
-            other => return Err(format!("usage: spans <on|off|show>, not {other:?}")),
-        },
+        "spans" => return spans(rest),
         "history" => {
             let names: Vec<String> =
                 session.history().iter().map(|&e| session.db().display(e)).collect();
@@ -254,6 +391,35 @@ fn dispatch(session: &mut Session, line: &str) -> Result<(), String> {
             );
         }
         other => return Err(format!("unknown command {other:?}; type 'help'")),
+    }
+    Ok(())
+}
+
+/// The `spans` command, shared by local and replica mode.
+fn spans(rest: &str) -> Result<(), String> {
+    match rest {
+        "on" => {
+            loosedb::obs::trace::set_capture(true);
+            if loosedb::obs::trace::capturing() {
+                println!("span capture on");
+            } else {
+                println!("span capture unavailable (rebuild with --features obs)");
+            }
+        }
+        "off" => {
+            loosedb::obs::trace::set_capture(false);
+            println!("span capture off");
+        }
+        "show" | "" => {
+            let spans = loosedb::obs::trace::drain();
+            if spans.is_empty() {
+                println!("(no spans captured; try 'spans on' under --features obs)");
+            }
+            for s in &spans {
+                println!("{}", loosedb::obs::trace::render_span(s));
+            }
+        }
+        other => return Err(format!("usage: spans <on|off|show>, not {other:?}")),
     }
     Ok(())
 }

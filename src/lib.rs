@@ -59,11 +59,11 @@ pub use loosedb_browse::{
     ProbeOutcome, ProbeReport, RelationTable, RetractionStep, Session, SessionError, SharedSession,
 };
 pub use loosedb_engine::{
-    Builtin, Closure, ClosureError, ClosureView, Database, DomainCounts, DurableDatabase,
-    DurableError, ExtendDelta, FactView, Generation, InferenceConfig, KindRegistry, MathTruth,
-    Provenance, Prover, PublishDelta, RecoveryInfo, RelKind, Rule, RuleGroup, RuleKind,
-    SharedDatabase, Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var,
-    Violation,
+    Builtin, Closure, ClosureError, ClosureView, Database, DeltaSummary, DomainCounts,
+    DurableDatabase, DurableError, ExtendDelta, FactView, Generation, InferenceConfig,
+    KindRegistry, MathTruth, PollReport, Provenance, Prover, PublishDelta, RecoveryInfo, RelKind,
+    Replica, ReplicaError, ReplicaInfo, ReplicaOptions, Rule, RuleGroup, RuleKind, SharedDatabase,
+    Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var, Violation,
 };
 pub use loosedb_query::{
     eval, eval_with, explain_plan, parse, parse_frozen, Answer, AtomOrdering, EvalOptions, Formula,

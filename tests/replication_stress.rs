@@ -1,0 +1,208 @@
+//! Replication stress: one leader and two followers racing in real
+//! threads over a shared in-memory filesystem, with a kill-loop.
+//!
+//! The leader drives a few thousand inserts/removals with periodic
+//! checkpoints (retaining one WAL, so segment retirement genuinely
+//! races the followers). Each follower runs a loop of short-lived
+//! incarnations behind [`FaultIo`] with a pseudo-random fault budget:
+//! an incarnation opens, tails for a while, and dies at an injected
+//! I/O fault mid-commit (or is dropped while healthy) — then the next
+//! incarnation reopens from whatever local state the last one left.
+//!
+//! When the leader finishes, the filesystem is crashed (unsynced bytes
+//! vanish; the leader is always-synced so only follower-local tails can
+//! be torn), both followers are reopened through clean handles, and the
+//! suite asserts both converge to exactly the leader's final state.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use loosedb::{DurableDatabase, EntityValue, Fact, FactStore, Replica, ReplicaOptions, SyncPolicy};
+use loosedb_store::io::{FaultIo, MemIo};
+
+const TOTAL_OPS: usize = 1500;
+const CHECKPOINT_EVERY: usize = 400;
+
+#[derive(Clone)]
+enum Op {
+    Insert(EntityValue, EntityValue, EntityValue),
+    Remove(EntityValue, EntityValue, EntityValue),
+}
+
+fn lcg(state: &mut u64) -> u32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*state >> 33) as u32
+}
+
+fn workload(seed: u64) -> Vec<Op> {
+    let mut rng = seed;
+    let mut inserted: Vec<(EntityValue, EntityValue, EntityValue)> = Vec::new();
+    let mut ops = Vec::with_capacity(TOTAL_OPS);
+    for i in 0..TOTAL_OPS {
+        let roll = lcg(&mut rng);
+        if i % 4 == 3 && !inserted.is_empty() {
+            let (s, r, t) = inserted[(roll as usize) % inserted.len()].clone();
+            ops.push(Op::Remove(s, r, t));
+        } else {
+            let s = EntityValue::symbol(format!("E{}", lcg(&mut rng) % 64));
+            let r = EntityValue::symbol(format!("R{}", lcg(&mut rng) % 8));
+            let t = match lcg(&mut rng) % 2 {
+                0 => EntityValue::symbol(format!("T{}", lcg(&mut rng) % 24)),
+                _ => EntityValue::Int((lcg(&mut rng) % 100) as i64),
+            };
+            inserted.push((s.clone(), r.clone(), t.clone()));
+            ops.push(Op::Insert(s, r, t));
+        }
+    }
+    ops
+}
+
+fn rendered(store: &FactStore) -> BTreeSet<String> {
+    store
+        .iter()
+        .map(|f| format!("{} {} {}", store.value(f.s), store.value(f.r), store.value(f.t)))
+        .collect()
+}
+
+fn opts() -> ReplicaOptions {
+    ReplicaOptions { batch_ops: 16, max_retries: 2, retry_backoff: Duration::from_micros(50) }
+}
+
+/// One follower's kill-loop: fault-injected incarnations, each of
+/// which tails until it dies at an injected I/O fault or reaches the
+/// live head (and is then dropped while healthy — itself a kill: the
+/// next incarnation must resume from the mirror and cursor it left).
+/// The loop runs until the follower has fully caught up *after* the
+/// leader finished; the fault budgets are far smaller than the total
+/// replication work, so multiple incarnations and multiple injected
+/// deaths are guaranteed, not probabilistic.
+fn follower_kill_loop(
+    mem: Arc<MemIo>,
+    local_dir: String,
+    done: Arc<AtomicBool>,
+    seed: u64,
+) -> (usize, usize) {
+    let mut rng = seed;
+    let mut incarnations = 0usize;
+    let mut faulted = 0usize;
+    loop {
+        incarnations += 1;
+        assert!(incarnations < 10_000, "kill-loop in {local_dir} is not making progress");
+        let budget = 4 + (lcg(&mut rng) % 24) as usize;
+        let io = FaultIo::new(Arc::clone(&mem), budget);
+        let Ok(mut replica) = Replica::open_with(io, "/leader", &local_dir, opts()) else {
+            faulted += 1;
+            continue;
+        };
+        loop {
+            match replica.poll() {
+                Ok(report) if report.caught_up => {
+                    if done.load(Ordering::Acquire) {
+                        return (incarnations, faulted);
+                    }
+                    std::thread::yield_now();
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    faulted += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn leader_apply(leader: &mut DurableDatabase<Arc<MemIo>>, i: usize, op: &Op) {
+    match op {
+        Op::Insert(s, r, t) => {
+            leader.add(s.clone(), r.clone(), t.clone()).unwrap();
+        }
+        Op::Remove(s, r, t) => {
+            let inner = leader.database();
+            let f = Fact::new(
+                inner.entity(s.clone()),
+                inner.entity(r.clone()),
+                inner.entity(t.clone()),
+            );
+            leader.remove(&f).unwrap();
+        }
+    }
+    if (i + 1).is_multiple_of(CHECKPOINT_EVERY) {
+        leader.checkpoint().unwrap();
+    }
+}
+
+#[test]
+fn two_followers_survive_kill_loop_and_converge_after_crash() {
+    let mem = Arc::new(MemIo::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let ops = workload(0xA076_1D64_78BD_642F);
+
+    // Preload half the workload before the followers start, landing
+    // *between* checkpoints: bootstrapping then costs a snapshot decode
+    // plus a WAL replay far larger than any single fault budget, so the
+    // first incarnations are guaranteed to die at injected faults and
+    // the kill-loop assertions below are arithmetic, not racy. (Later
+    // incarnations may leapfrog via re-bootstrap when a leader
+    // checkpoint retires their segment — that path is part of the
+    // stress — but the ops past the final checkpoint can only ever be
+    // replayed frame by frame.)
+    let preload = 700;
+    let mut leader =
+        DurableDatabase::open_with(Arc::clone(&mem), "/leader", SyncPolicy::Always).unwrap();
+    leader.set_retain_wals(1);
+    for (i, op) in ops[..preload].iter().enumerate() {
+        leader_apply(&mut leader, i, op);
+    }
+
+    let followers: Vec<_> = (0..2)
+        .map(|i| {
+            let mem = Arc::clone(&mem);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                follower_kill_loop(mem, format!("/replica-{i}"), done, 0x9E37_79B9 + i as u64)
+            })
+        })
+        .collect();
+
+    for (i, op) in ops[preload..].iter().enumerate() {
+        leader_apply(&mut leader, preload + i, op);
+    }
+    let final_state = rendered(leader.database().store());
+    done.store(true, Ordering::Release);
+
+    let mut total_incarnations = 0usize;
+    let mut total_faulted = 0usize;
+    for handle in followers {
+        let (incarnations, faulted) = handle.join().unwrap();
+        total_incarnations += incarnations;
+        total_faulted += faulted;
+    }
+    // The loop must actually have churned through incarnations, and
+    // some of them must have died to an injected fault — without that,
+    // "survives the kill-loop" tests nothing. Each follower needs at
+    // least three incarnations (its budget cannot cover even the
+    // post-final-checkpoint replay) and at least one injected death.
+    assert!(total_incarnations >= 6, "only {total_incarnations} incarnations");
+    assert!(total_faulted >= 2, "only {total_faulted} incarnations hit an injected fault");
+
+    // Power loss after the leader is done (everything leader-side is
+    // synced; only follower-local tails can be torn), then both
+    // followers reopen through clean handles and must converge.
+    mem.crash();
+    for i in 0..2 {
+        let mut replica =
+            Replica::open_with(Arc::clone(&mem), "/leader", format!("/replica-{i}"), opts())
+                .unwrap_or_else(|e| panic!("follower {i} failed to reopen after crash: {e}"));
+        replica.catch_up().unwrap_or_else(|e| panic!("follower {i} failed to catch up: {e}"));
+        assert_eq!(
+            rendered(replica.shared().snapshot().store()),
+            final_state,
+            "follower {i} did not converge to the leader's final state"
+        );
+        assert_eq!(replica.poll().unwrap().lag_bytes, 0);
+    }
+}
