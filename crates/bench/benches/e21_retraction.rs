@@ -1,0 +1,73 @@
+//! E21 — Incremental retraction vs full recomputation on remove.
+//!
+//! `remove_incremental` runs the support-counted delete-and-rederive
+//! wave over the removed fact's consequence cone only; the baseline
+//! invalidates the closure and recomputes from scratch. Expected shape:
+//! incremental cost is proportional to the consequence set (near-zero
+//! for a leaf fact, the inherited-fact count for a membership edge),
+//! not the database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::structural_world;
+use loosedb_store::Fact;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_retraction");
+    group.sample_size(10);
+    for people in [500usize, 2_000] {
+        group.bench_with_input(
+            BenchmarkId::new("incremental-remove", people),
+            &people,
+            |b, &people| {
+                let mut db = structural_world(people, 50);
+                db.refresh().expect("closure");
+                let mut i = 0usize;
+                b.iter(|| {
+                    // Add (incrementally, not timed as removal work) then
+                    // retract a leaf fact: the wave has one seed and a
+                    // small consequence cone.
+                    i += 1;
+                    let fact =
+                        db.add_incremental(format!("NEW-{i}"), "KNOWS", "P0").expect("insert");
+                    db.remove_incremental(&fact).expect("retract")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute-remove", people),
+            &people,
+            |b, &people| {
+                let mut db = structural_world(people, 50);
+                db.refresh().expect("closure");
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    let fact = db.add(format!("NEW-{i}"), "KNOWS", "P0");
+                    db.remove(&fact); // invalidates
+                    db.closure().expect("closure").len() // full recompute
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental-remove-membership", people),
+            &people,
+            |b, &people| {
+                // Retracting a membership edge drops every fact the
+                // person inherited from the class — the hub-ish case.
+                let mut db = structural_world(people, 50);
+                db.refresh().expect("closure");
+                let class = "CLASS-0".to_string();
+                b.iter(|| {
+                    let fact =
+                        Fact::new(db.entity("P0"), db.entity("isa"), db.entity(class.as_str()));
+                    db.remove_incremental(&fact).expect("retract");
+                    db.add_incremental("P0", "isa", class.as_str()).expect("reinsert")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

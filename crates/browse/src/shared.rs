@@ -690,10 +690,11 @@ mod tests {
     }
 
     #[test]
-    fn removals_clear_the_whole_cache() {
+    fn query_cache_survives_disjoint_removal() {
         let db = shared();
         let mut s = SharedSession::new(Arc::clone(&db));
         let likes = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let music = s.query("(JOHN, FAVORITE-MUSIC, ?x)").unwrap();
         let fact = {
             let g = db.snapshot();
             let i = g.interner();
@@ -703,12 +704,17 @@ mod tests {
                 i.lookup(&"PC#9-WAM".into()).unwrap(),
             )
         };
-        // Removal forces a full closure recomputation; the publish delta
-        // degrades to "anything may have changed" and the cache resets.
+        // Removal is maintained incrementally now: the publish delta
+        // names exactly the rels the retraction wave touched, so cached
+        // answers over disjoint rels ride across it.
         assert!(db.remove(&fact).unwrap());
         let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
-        assert!(!Arc::ptr_eq(&likes, &likes2), "a removal must clear every entry");
-        assert_eq!(likes.as_ref(), likes2.as_ref(), "the answer itself is unchanged");
+        assert!(Arc::ptr_eq(&likes, &likes2), "disjoint removal must not evict LIKES");
+        assert!(s.cache_stats().carried >= 1, "{:?}", s.cache_stats());
+        // The answer that depends on the removed rel is re-evaluated.
+        let music2 = s.query("(JOHN, FAVORITE-MUSIC, ?x)").unwrap();
+        assert!(!Arc::ptr_eq(&music, &music2), "touched entry must be re-evaluated");
+        assert!(music2.is_empty(), "the fact is gone");
     }
 
     #[test]
@@ -740,29 +746,38 @@ mod tests {
     }
 
     #[test]
-    fn removal_keeps_structural_plans_but_clears_answers() {
+    fn plan_cache_survives_disjoint_removal() {
         let db = shared();
-        let mut s = SharedSession::new(Arc::clone(&db));
+        // Answer capacity 1, so plan reuse is observable: each re-query
+        // misses the answer cache and must replay (or replan) its plan.
+        let mut s = SharedSession::with_cache_capacity(Arc::clone(&db), 1);
         assert_eq!(s.query("(JOHN, LIKES, ?x)").unwrap().len(), 1);
         assert_eq!(s.query("(JOHN, EARNS, ?x)").unwrap().len(), 1);
         let stats = s.plan_stats();
         assert_eq!((stats.hits, stats.misses), (0, 2), "{stats:?}");
 
-        // A removal publishes a Full delta — but at a known epoch, so
-        // structurally tracked plans ride across it (stale join orders
-        // cost performance, never correctness). Answers must still be
-        // re-evaluated against the recomputed closure.
+        // A removal publishes a precise delta now. This one touches only
+        // FAVORITE-MUSIC, so both plans ride across the publish and the
+        // LIKES re-query replays its carried plan instead of replanning.
         let g = db.snapshot();
         let john = g.lookup_symbol("JOHN").unwrap();
+        let music = g.lookup_symbol("FAVORITE-MUSIC").unwrap();
+        let pc9 = g.lookup_symbol("PC#9-WAM").unwrap();
+        assert!(db.remove(&loosedb_store::Fact::new(john, music, pc9)).unwrap());
+        assert_eq!(s.query("(JOHN, LIKES, ?x)").unwrap().len(), 1);
+        let stats = s.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2), "LIKES plan must be reused: {stats:?}");
+        assert!(stats.carried >= 2, "{stats:?}");
+
+        // A removal touching EARNS rolls exactly that plan stale: the
+        // EARNS re-query replans, while LIKES keeps hitting.
         let earns = g.lookup_symbol("EARNS").unwrap();
         let salary = g.interner().lookup(&25000i64.into()).unwrap();
         assert!(db.remove(&loosedb_store::Fact::new(john, earns, salary)).unwrap());
-
         assert!(s.query("(JOHN, EARNS, ?x)").unwrap().is_empty());
         assert_eq!(s.query("(JOHN, LIKES, ?x)").unwrap().len(), 1);
         let stats = s.plan_stats();
-        assert_eq!((stats.hits, stats.misses), (2, 2), "{stats:?}");
-        assert_eq!(stats.carried, 2, "{stats:?}");
+        assert_eq!((stats.hits, stats.misses), (2, 3), "{stats:?}");
     }
 
     #[test]

@@ -188,8 +188,8 @@ pub struct ClosureStats {
 /// O(1) and each fact added by [`extend`] costs O(log D). The count keys,
 /// in ascending id order, *are* the active domain — the per-publish
 /// `compute_domain` rescan this replaces was O(closure · log D).
-/// The closure never shrinks in place (removals trigger a full
-/// recomputation), so no decrement path is needed.
+/// [`retract`] decrements the counts of every fact its delete wave drops,
+/// so the domain stays exact across removals without a rescan.
 #[derive(Clone, Debug, Default)]
 pub struct DomainCounts {
     counts: PMap<EntityId, u32>,
@@ -206,12 +206,35 @@ impl DomainCounts {
         }
     }
 
+    #[inline]
+    fn unnote(&mut self, e: EntityId) {
+        let gone = match self.counts.get_mut(&e) {
+            Some(c) => {
+                *c = c.saturating_sub(1);
+                *c == 0
+            }
+            None => false,
+        };
+        if gone {
+            self.counts.remove(&e);
+        }
+    }
+
     /// Records one closure fact (three position mentions).
     #[inline]
     pub fn add_fact(&mut self, f: &Fact) {
         self.note(f.s);
         self.note(f.r);
         self.note(f.t);
+    }
+
+    /// Forgets one closure fact's three position mentions; entities whose
+    /// count reaches zero leave the domain.
+    #[inline]
+    pub fn remove_fact(&mut self, f: &Fact) {
+        self.unnote(f.s);
+        self.unnote(f.r);
+        self.unnote(f.t);
     }
 
     /// Number of distinct entities in the domain.
@@ -247,12 +270,49 @@ pub struct ExtendDelta {
     pub rels: BTreeSet<EntityId>,
 }
 
+/// Counters of one incremental [`retract`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetractStats {
+    /// Support decrements applied by the delete wave.
+    pub support_decrements: usize,
+    /// Facts the wave over-deleted (some may have been rederived).
+    pub over_deleted: usize,
+    /// Over-deleted facts that were rederived from the surviving set.
+    pub rederived: usize,
+    /// Rederivation waves run until the fixpoint.
+    pub waves: usize,
+}
+
+/// What an incremental [`retract`] run changed.
+///
+/// Like [`ExtendDelta`], the relationship set is what snapshot publishers
+/// use to produce a *precise* `PublishDelta` — base-fact removal never
+/// degrades to a full invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct RetractDelta {
+    /// Relationships of every fact the delete wave touched (removed or
+    /// removed-and-rederived), plus those of the retracted base facts.
+    pub rels: BTreeSet<EntityId>,
+    /// Wave counters, mirrored into the metrics registry by the caller.
+    pub stats: RetractStats,
+}
+
 /// The materialized closure of a fact set under a rule set.
 #[derive(Clone, Debug)]
 pub struct Closure {
     facts: TripleIndex,
     lift_free: TripleIndex,
     provenance: PMap<Fact, Provenance>,
+    /// Per-fact support count: the number of *registered* supporting
+    /// firings — base presence contributes one, the first recorded
+    /// derivation one, and an exactness upgrade one. [`retract`]'s delete
+    /// wave decrements these and over-deletes facts that reach zero.
+    support: PMap<Fact, u32>,
+    /// Reverse derivation index: for every registered firing, the head is
+    /// listed under each distinct body fact. This is what makes removal
+    /// O(consequences) — the delete wave walks this index instead of
+    /// rescanning the closure.
+    dependents: PMap<Fact, Vec<Fact>>,
     domain: DomainCounts,
     violations: Vec<Violation>,
     stats: ClosureStats,
@@ -333,6 +393,13 @@ impl Closure {
     pub fn domain(&self) -> &DomainCounts {
         &self.domain
     }
+
+    /// The registered support count of a fact (0 for unknown facts).
+    /// Base presence, the first recorded derivation and an exactness
+    /// upgrade each contribute one — see [`retract`].
+    pub fn support(&self, f: &Fact) -> u32 {
+        self.support.get(f).copied().unwrap_or(0)
+    }
 }
 
 /// Computes the closure of the store's facts under the configured rules.
@@ -360,6 +427,8 @@ pub fn compute(
         all: TripleIndex::new(),
         lift_free: TripleIndex::new(),
         provenance: PMap::new(),
+        support: PMap::new(),
+        dependents: PMap::new(),
         domain: DomainCounts::default(),
         added_rels: BTreeSet::new(),
         stats: ClosureStats::default(),
@@ -374,6 +443,7 @@ pub fn compute(
     for f in &base {
         if engine.all.insert(*f) {
             engine.domain.add_fact(f);
+            engine.support.insert(*f, 1); // base presence
         }
         engine.lift_free.insert(*f);
     }
@@ -398,6 +468,8 @@ pub fn compute(
         facts: engine.all,
         lift_free: engine.lift_free,
         provenance: engine.provenance,
+        support: engine.support,
+        dependents: engine.dependents,
         domain: engine.domain,
         violations: engine.violations,
         stats: engine.stats,
@@ -415,8 +487,8 @@ pub fn compute(
 /// the closure of the union — verified against full recomputation by a
 /// property test.
 ///
-/// Removals cannot be maintained incrementally (derived facts may lose
-/// support); the `Database` falls back to full recomputation for them.
+/// Removals are maintained incrementally too, by the dual [`retract`]
+/// path (support-counted delete-and-rederive).
 pub fn extend(
     closure: &mut Closure,
     store: &mut FactStore,
@@ -435,6 +507,8 @@ pub fn extend(
         all: std::mem::take(&mut closure.facts),
         lift_free: std::mem::take(&mut closure.lift_free),
         provenance: std::mem::take(&mut closure.provenance),
+        support: std::mem::take(&mut closure.support),
+        dependents: std::mem::take(&mut closure.dependents),
         domain: std::mem::take(&mut closure.domain),
         added_rels: BTreeSet::new(),
         stats: closure.stats,
@@ -453,9 +527,21 @@ pub fn extend(
         if engine.all.insert(f) {
             engine.lift_free.insert(f);
             engine.domain.add_fact(&f);
+            engine.support.insert(f, 1); // base presence
             engine.added_rels.insert(f.r);
             engine.stats.base_facts += 1;
             delta.push(f);
+        } else {
+            // Base assertion of an already-derived fact: the base
+            // presence is an extra support, and a base fact is exact by
+            // definition — an exactness upgrade re-enters the delta so
+            // inversion gets a chance at the fact.
+            engine.bump_support(f);
+            engine.stats.base_facts += 1;
+            if engine.lift_free.insert(f) {
+                engine.added_rels.insert(f.r);
+                delta.push(f);
+            }
         }
     }
 
@@ -473,10 +559,154 @@ pub fn extend(
     closure.facts = engine.all;
     closure.lift_free = engine.lift_free;
     closure.provenance = engine.provenance;
+    closure.support = engine.support;
+    closure.dependents = engine.dependents;
     closure.domain = engine.domain;
     closure.violations = engine.violations;
     closure.stats = engine.stats;
     Ok(ExtendDelta { rels: engine.added_rels })
+}
+
+/// Shrinks an existing closure after base-fact removals — the
+/// incremental counterpart of [`extend`], replacing the old
+/// full-recomputation fallback with a support-counted
+/// delete-and-rederive wave (DRed-style):
+///
+/// 1. **Delete wave** — starting from the retracted base facts, walk the
+///    reverse derivation index, decrementing the support count of each
+///    registered consequence. A fact is *over-deleted* when its count
+///    reaches zero, when its recorded derivation lost a body, or —
+///    conservatively — when it was exact and any of its supporting
+///    firings died (the dead firing may have been the exactness
+///    evidence). Facts still asserted in the store are never deleted:
+///    base presence is an inviolable support.
+/// 2. **Rederive** — over-deleted facts are checked for one-step
+///    derivability from the surviving set by running the rules
+///    *backward* (same gating and provenance shape as the forward
+///    rules), in waves until a fixpoint; wide waves fan the structural
+///    checks out across the closure worker pool. Because the rules are
+///    monotone, the rederivable subset of the over-deleted facts is
+///    exactly what the from-scratch closure of the shrunken store would
+///    contain — verified against full recomputation by a property test.
+/// 3. **Prune** — violations whose participating facts left the closure
+///    (or whose deriving user-rule instance no longer holds) are
+///    dropped; removals never create violations.
+///
+/// `removed` must already be removed from `store`; the cost is
+/// O(consequences of the removed facts), independent of closure size.
+/// The returned delta's relationship set is precise, so publishers never
+/// degrade to a full cache invalidation on removal.
+pub fn retract(
+    closure: &mut Closure,
+    store: &mut FactStore,
+    kinds: &KindRegistry,
+    rules: &RuleSet,
+    config: &InferenceConfig,
+    removed: &[Fact],
+) -> Result<RetractDelta, ClosureError> {
+    let mut engine = Engine {
+        kinds,
+        rules,
+        config,
+        all: std::mem::take(&mut closure.facts),
+        lift_free: std::mem::take(&mut closure.lift_free),
+        provenance: std::mem::take(&mut closure.provenance),
+        support: std::mem::take(&mut closure.support),
+        dependents: std::mem::take(&mut closure.dependents),
+        domain: std::mem::take(&mut closure.domain),
+        added_rels: BTreeSet::new(),
+        stats: closure.stats,
+        pending: Vec::new(),
+        violations: std::mem::take(&mut closure.violations),
+    };
+
+    let mut span = loosedb_obs::span!("engine.closure.retract", removed = removed.len());
+
+    let mut delta = RetractDelta::default();
+    let mut queue: std::collections::VecDeque<Fact> = std::collections::VecDeque::new();
+    let mut deleted: Vec<Fact> = Vec::new();
+
+    // Phase 1: the delete wave. Seed by withdrawing the base-presence
+    // support of each retracted fact, then walk the reverse index.
+    for &f in removed {
+        debug_assert!(
+            !store.contains(&f),
+            "retract() requires facts already removed from the store"
+        );
+        delta.rels.insert(f.r);
+        if !engine.all.contains(&f) {
+            continue;
+        }
+        engine.stats.base_facts = engine.stats.base_facts.saturating_sub(1);
+        engine.decrement_support(&f, &mut delta.stats);
+        engine.consider_deletion(f, store, &mut queue, &mut deleted, &mut delta);
+    }
+    while let Some(b) = queue.pop_front() {
+        let Some(deps) = engine.dependents.remove(&b) else { continue };
+        for h in deps {
+            if !engine.all.contains(&h) {
+                continue; // already condemned (or a stale registration)
+            }
+            engine.decrement_support(&h, &mut delta.stats);
+            engine.consider_deletion(h, store, &mut queue, &mut deleted, &mut delta);
+        }
+    }
+
+    // Phase 2: rederive survivors of the over-delete from the stable set,
+    // in waves until the fixpoint. Rederived-but-inexact facts are
+    // retried each wave: a later rederival may restore their exactness
+    // evidence (which in turn can re-enable inversion consequences).
+    let mut remaining = deleted;
+    let mut inexact: Vec<Fact> = Vec::new();
+    while !remaining.is_empty() || !inexact.is_empty() {
+        delta.stats.waves += 1;
+        let found = engine.rederive_pass(&remaining, store.interner_mut(), false)?;
+        let upgrades = engine.rederive_pass(&inexact, store.interner_mut(), true)?;
+        if found.is_empty() && upgrades.is_empty() {
+            break;
+        }
+        let found_set: std::collections::HashSet<Fact> = found.iter().map(|(h, _, _)| *h).collect();
+        remaining.retain(|h| !found_set.contains(h));
+        for (h, prov, exact) in found {
+            engine.all.insert(h);
+            engine.domain.add_fact(&h);
+            if exact || always_exact(h.r) {
+                engine.lift_free.insert(h);
+            } else {
+                inexact.push(h);
+            }
+            engine.register_support(h, &prov);
+            engine.provenance.insert(h, prov);
+            delta.stats.rederived += 1;
+        }
+        for (h, prov, _) in upgrades {
+            // Exactness upgrade: mirrors commit()'s upgrade path — the
+            // firing is registered as a support, the original recorded
+            // derivation is kept.
+            engine.lift_free.insert(h);
+            engine.register_support(h, &prov);
+        }
+        inexact.retain(|h| !engine.lift_free.contains(h));
+    }
+
+    // Phase 3: prune violations that lost a participating fact or, for
+    // virtual math heads, their deriving user-rule instance. Retraction
+    // only ever *removes* violations (the rules are monotone).
+    engine.prune_violations(store.interner())?;
+
+    span.record("over_deleted", delta.stats.over_deleted);
+    span.record("rederived", delta.stats.rederived);
+    span.record("waves", delta.stats.waves);
+
+    closure.facts = engine.all;
+    closure.lift_free = engine.lift_free;
+    closure.provenance = engine.provenance;
+    closure.support = engine.support;
+    closure.dependents = engine.dependents;
+    closure.domain = engine.domain;
+    closure.violations = engine.violations;
+    closure.stats = engine.stats;
+    Ok(delta)
 }
 
 struct Engine<'a> {
@@ -493,6 +723,9 @@ struct Engine<'a> {
     /// "lifts" are crisp set-theoretic consequences).
     lift_free: TripleIndex,
     provenance: PMap<Fact, Provenance>,
+    /// Support counts and the reverse derivation index (see [`Closure`]).
+    support: PMap<Fact, u32>,
+    dependents: PMap<Fact, Vec<Fact>>,
     /// Active-domain occurrence counts, bumped for every fact that enters
     /// `all` so publishers never rescan the closure.
     domain: DomainCounts,
@@ -531,14 +764,25 @@ impl RoundCtx {
     }
 }
 
-/// Candidate derivations produced by one chunk of a round.
+/// Candidate derivations produced by one chunk of a round. For
+/// [`JobKind::Rederive`] chunks the tuples are `(head, provenance,
+/// exactness)` of the facts that *were* rederivable.
 type RoundOut = Vec<(Fact, Provenance, bool)>;
+
+/// What a worker does with its chunk: apply the structural rules forward
+/// (a fixpoint round) or backward (a retraction rederive wave).
+#[derive(Clone, Copy)]
+enum JobKind {
+    Derive,
+    Rederive,
+}
 
 /// One chunk of a round's delta, dispatched to the worker pool.
 struct RoundJob {
     ctx: Arc<RoundCtx>,
     chunk: Vec<Fact>,
     seq: usize,
+    kind: JobKind,
     results: mpsc::Sender<(usize, RoundOut)>,
 }
 
@@ -570,12 +814,23 @@ fn worker_pool() -> &'static WorkerPool {
                         Ok(job) => job,
                         Err(_) => return,
                     };
-                    let RoundJob { ctx, chunk, seq, results } = job;
+                    let RoundJob { ctx, chunk, seq, kind, results } = job;
                     let mut out = RoundOut::new();
                     {
                         let rules = ctx.structural();
-                        for &f in &chunk {
-                            rules.apply_structural(f, &mut out);
+                        match kind {
+                            JobKind::Derive => {
+                                for &f in &chunk {
+                                    rules.apply_structural(f, &mut out);
+                                }
+                            }
+                            JobKind::Rederive => {
+                                for &h in &chunk {
+                                    if let Some((prov, exact)) = rules.rederive_structural(h) {
+                                        out.push((h, prov, exact));
+                                    }
+                                }
+                            }
                         }
                     }
                     // Release our share of the round state *before*
@@ -649,6 +904,15 @@ impl Engine<'_> {
     /// merged in chunk order — so the result is identical to the
     /// sequential path — and the indexes are reclaimed afterwards.
     fn parallel_structural(&mut self, delta: &[Fact], pool: &WorkerPool) {
+        for out in self.fan_out(delta, pool, JobKind::Derive) {
+            self.pending.extend(out);
+        }
+    }
+
+    /// The chunked worker-pool dispatch shared by the forward fixpoint
+    /// rounds and the retraction rederive waves; returns the per-chunk
+    /// outputs in chunk order.
+    fn fan_out(&mut self, delta: &[Fact], pool: &WorkerPool, kind: JobKind) -> Vec<RoundOut> {
         let chunk_size = delta.len().div_ceil(pool.workers);
         let mut ctx = Arc::new(RoundCtx {
             kinds: self.kinds.clone(),
@@ -665,6 +929,7 @@ impl Engine<'_> {
                     ctx: Arc::clone(&ctx),
                     chunk: chunk.to_vec(),
                     seq,
+                    kind,
                     results: results.clone(),
                 })
                 .expect("worker pool alive");
@@ -692,8 +957,37 @@ impl Engine<'_> {
         };
         self.all = ctx.all;
         self.lift_free = ctx.lift_free;
-        for out in outs {
-            self.pending.extend(out);
+        outs
+    }
+
+    /// Adds one registered support to a fact's count.
+    fn bump_support(&mut self, fact: Fact) {
+        match self.support.get_mut(&fact) {
+            Some(c) => *c += 1,
+            None => {
+                self.support.insert(fact, 1);
+            }
+        }
+    }
+
+    /// Registers one supporting firing: the head gains a support and is
+    /// listed under each distinct body fact in the reverse index, so a
+    /// later [`retract`] wave can find it in O(consequences).
+    fn register_support(&mut self, head: Fact, prov: &Provenance) {
+        self.bump_support(head);
+        let from = match prov {
+            Provenance::Builtin { from, .. } | Provenance::User { from, .. } => from,
+        };
+        for (i, b) in from.iter().enumerate() {
+            if from[..i].contains(b) {
+                continue;
+            }
+            match self.dependents.get_mut(b) {
+                Some(v) => v.push(head),
+                None => {
+                    self.dependents.insert(*b, vec![head]);
+                }
+            }
         }
     }
 
@@ -705,8 +999,11 @@ impl Engine<'_> {
             if self.all.contains(&fact) {
                 // A known fact re-derived exactly for the first time is an
                 // *upgrade*: it re-enters the delta so inversion (which
-                // fires on exact facts only) gets a chance at it.
+                // fires on exact facts only) gets a chance at it. The
+                // upgrading firing is registered as a support of its own:
+                // retraction must notice when the exactness evidence dies.
                 if lift_free && self.lift_free.insert(fact) {
+                    self.register_support(fact, &prov);
                     self.added_rels.insert(fact.r);
                     fresh.push(fact);
                 } else {
@@ -724,6 +1021,7 @@ impl Engine<'_> {
             if matches!(prov, Provenance::Builtin { rule: Builtin::Composition, .. }) {
                 self.stats.composition_facts += 1;
             }
+            self.register_support(fact, &prov);
             self.provenance.insert(fact, prov);
             fresh.push(fact);
             if self.all.len() > self.config.max_closure_facts {
@@ -736,6 +1034,267 @@ impl Engine<'_> {
     /// True if the fact has a known target-lift-free derivation.
     fn is_lift_free(&self, f: &Fact) -> bool {
         always_exact(f.r) || self.lift_free.contains(f)
+    }
+
+    // ------------------------------------------------------------------
+    // Retraction: the support-counted delete wave and backward rederive.
+    // ------------------------------------------------------------------
+
+    /// Withdraws one support from a fact (saturating at zero — an
+    /// over-decrement only causes an extra over-delete, which the
+    /// rederive phase repairs).
+    fn decrement_support(&mut self, f: &Fact, stats: &mut RetractStats) {
+        stats.support_decrements += 1;
+        if let Some(c) = self.support.get_mut(f) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// True if the recorded derivation of `f` references a fact that has
+    /// left the closure.
+    fn provenance_is_stale(&self, f: &Fact) -> bool {
+        match self.provenance.get(f) {
+            Some(Provenance::Builtin { from, .. }) | Some(Provenance::User { from, .. }) => {
+                from.iter().any(|b| !self.all.contains(b))
+            }
+            None => false,
+        }
+    }
+
+    /// Decides the fate of a fact that just lost a support. Facts still
+    /// asserted in the store always survive (base presence is an
+    /// inviolable support); everything else is over-deleted when its
+    /// count reaches zero, its recorded derivation went stale, or it was
+    /// exact (the dead firing may have been the exactness evidence — the
+    /// rederive phase recomputes exactness from scratch).
+    fn consider_deletion(
+        &mut self,
+        h: Fact,
+        store: &FactStore,
+        queue: &mut std::collections::VecDeque<Fact>,
+        deleted: &mut Vec<Fact>,
+        delta: &mut RetractDelta,
+    ) {
+        if store.contains(&h) {
+            // Floor the count at the base presence and shed a stale
+            // recorded derivation: the fact is justified as base alone.
+            match self.support.get_mut(&h) {
+                Some(c) if *c == 0 => *c = 1,
+                Some(_) => {}
+                None => {
+                    self.support.insert(h, 1);
+                }
+            }
+            if self.provenance_is_stale(&h) {
+                self.drop_provenance_registrations(&h);
+                self.provenance.remove(&h);
+            }
+            self.lift_free.insert(h); // base facts are exact
+            return;
+        }
+        let count = self.support.get(&h).copied().unwrap_or(0);
+        let over_delete = count == 0
+            || self.provenance_is_stale(&h)
+            || (!always_exact(h.r) && self.lift_free.contains(&h));
+        if !over_delete {
+            return;
+        }
+        self.all.remove(&h);
+        self.lift_free.remove(&h);
+        self.domain.remove_fact(&h);
+        self.support.remove(&h);
+        self.drop_provenance_registrations(&h);
+        self.provenance.remove(&h);
+        delta.rels.insert(h.r);
+        delta.stats.over_deleted += 1;
+        deleted.push(h);
+        queue.push_back(h);
+    }
+
+    /// Unregisters `h` from the reverse index of its recorded
+    /// derivation's bodies (one occurrence per distinct body).
+    fn drop_provenance_registrations(&mut self, h: &Fact) {
+        let from = match self.provenance.get(h) {
+            Some(Provenance::Builtin { from, .. }) | Some(Provenance::User { from, .. }) => {
+                from.clone()
+            }
+            None => return,
+        };
+        for (i, b) in from.iter().enumerate() {
+            if from[..i].contains(b) {
+                continue;
+            }
+            if let Some(v) = self.dependents.get_mut(b) {
+                if let Some(pos) = v.iter().position(|x| x == h) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// One rederivation wave: checks every candidate for one-step
+    /// derivability against the wave-start closure (frozen state, so the
+    /// result is deterministic and chunkable). Structural checks fan out
+    /// across the worker pool for wide waves; composition and user rules
+    /// run sequentially (they need the interner). With `exact_only`, only
+    /// exact instances are reported (the exactness-upgrade retry).
+    fn rederive_pass(
+        &mut self,
+        candidates: &[Fact],
+        interner: &mut Interner,
+        exact_only: bool,
+    ) -> Result<Vec<(Fact, Provenance, bool)>, ClosureError> {
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let structural_enabled = self.config.generalization
+            || self.config.membership
+            || self.config.synonym
+            || self.config.inversion;
+        // Pre-compute structural results in parallel for wide waves.
+        let mut hints: Option<std::collections::HashMap<Fact, (Provenance, bool)>> = None;
+        if structural_enabled && candidates.len() >= self.config.parallel_threshold {
+            let pool = worker_pool();
+            if pool.workers > 1 {
+                let mut map = std::collections::HashMap::new();
+                for out in self.fan_out(candidates, pool, JobKind::Rederive) {
+                    for (h, prov, exact) in out {
+                        map.insert(h, (prov, exact));
+                    }
+                }
+                hints = Some(map);
+            }
+        }
+        let mut found = Vec::new();
+        for &h in candidates {
+            let structural = match &hints {
+                Some(map) => map.get(&h).cloned(),
+                None if structural_enabled => self.structural().rederive_structural(h),
+                None => None,
+            };
+            let mut best: Option<(Provenance, bool)> = None;
+            if let Some((prov, exact)) = structural {
+                best = Some((prov, exact));
+            }
+            if !matches!(best, Some((_, true))) && self.config.composition_enabled() {
+                if let Some((prov, exact)) = self.rederive_composition(h, interner) {
+                    if exact || best.is_none() {
+                        best = Some((prov, exact));
+                    }
+                }
+            }
+            if !matches!(best, Some((_, true))) && self.config.user_rules {
+                if let Some(prov) = self.rederive_user(h, interner)? {
+                    best = Some((prov, true)); // user-rule heads are exact
+                }
+            }
+            if let Some((prov, exact)) = best {
+                if !exact_only || exact {
+                    found.push((h, prov, exact));
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// Backward composition check: splits the head's path relationship at
+    /// each odd (entity) position and probes for the two composing facts.
+    fn rederive_composition(&self, h: Fact, interner: &mut Interner) -> Option<(Provenance, bool)> {
+        let parts: Vec<EntityId> = interner.resolve(h.r).as_path()?.to_vec();
+        let limit = self.config.composition_limit;
+        let mut best: Option<(Provenance, bool)> = None;
+        for i in (1..parts.len()).step_by(2) {
+            let mid = parts[i];
+            // Sub-chains of length one are plain relationships; longer
+            // ones are path entities (already interned if the composing
+            // fact exists — interning here is a cheap idempotent lookup).
+            let sub_rel = |interner: &mut Interner, ps: &[EntityId]| -> EntityId {
+                if ps.len() == 1 {
+                    ps[0]
+                } else {
+                    interner.intern(EntityValue::Path(ps.to_vec().into()))
+                }
+            };
+            let r1 = sub_rel(interner, &parts[..i]);
+            let r2 = sub_rel(interner, &parts[i + 1..]);
+            if !composable_rel(r1) || !composable_rel(r2) {
+                continue;
+            }
+            if chain_len(interner, r1) + chain_len(interner, r2) > limit {
+                continue;
+            }
+            let f = Fact::new(h.s, r1, mid);
+            let g = Fact::new(mid, r2, h.t);
+            if self.all.contains(&f) && self.all.contains(&g) && g.t != f.s {
+                let exact = self.is_lift_free(&f) && self.is_lift_free(&g);
+                let prov = Provenance::Builtin { rule: Builtin::Composition, from: vec![f, g] };
+                if exact {
+                    return Some((prov, true));
+                }
+                if best.is_none() {
+                    best = Some((prov, false));
+                }
+            }
+        }
+        best
+    }
+
+    /// Backward user-rule check: unifies the head templates with `h` and
+    /// joins the full rule body against the surviving closure.
+    fn rederive_user(
+        &self,
+        h: Fact,
+        interner: &Interner,
+    ) -> Result<Option<Provenance>, ClosureError> {
+        let rules: Vec<_> = self.rules.enabled().cloned().collect();
+        for rule in &rules {
+            for head in rule.head() {
+                let Some(bindings) = head.unify(&h, &Bindings::new()) else { continue };
+                let atoms: Vec<(usize, Template)> =
+                    rule.body().iter().copied().enumerate().collect();
+                let mut results: Vec<(Bindings, Vec<(usize, Fact)>)> = Vec::new();
+                self.join(&atoms, bindings, Vec::new(), interner, &mut results)?;
+                if let Some((_, mut support)) = results.into_iter().next() {
+                    support.sort_by_key(|(i, _)| *i);
+                    let from: Vec<Fact> = support.into_iter().map(|(_, f)| f).collect();
+                    return Ok(Some(Provenance::User { rule: rule.name().to_string(), from }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drops violations invalidated by the delete wave: contradictions
+    /// that lost a participant, stored math violations whose fact left
+    /// the closure, and virtual math heads whose deriving user-rule
+    /// instance no longer holds.
+    fn prune_violations(&mut self, interner: &Interner) -> Result<(), ClosureError> {
+        if self.violations.is_empty() {
+            return Ok(());
+        }
+        let mut kept = Vec::new();
+        for v in std::mem::take(&mut self.violations) {
+            let keep = match &v {
+                Violation::Contradiction { fact, conflicting, via } => {
+                    self.all.contains(fact)
+                        && self.all.contains(via)
+                        && (special::is_math(conflicting.r) || self.all.contains(conflicting))
+                }
+                Violation::MathFalse { fact, .. } | Violation::MathUndefined { fact, .. } => {
+                    // Stored math facts keep their violation while stored;
+                    // virtual (user-rule-derived) math heads must still be
+                    // derivable by some enabled rule.
+                    self.all.contains(fact)
+                        || (self.config.user_rules
+                            && self.rederive_user(*fact, interner)?.is_some())
+                }
+            };
+            if keep {
+                kept.push(v);
+            }
+        }
+        self.violations = kept;
+        Ok(())
     }
 
     /// Queues a derivation unless it is a virtual fact.
@@ -1105,6 +1664,227 @@ impl StructuralCtx<'_> {
             );
         }
     }
+
+    // ------------------------------------------------------------------
+    // Backward checks (retraction rederive): for a candidate head `h`,
+    // search for a surviving rule instance deriving it. Each check
+    // mirrors its forward rule exactly — same kind/config gating, same
+    // `from` ordering — so a rederived fact is indistinguishable from a
+    // freshly derived one. Exact instances are preferred (early exit);
+    // failing that, the first inexact instance found is reported.
+    // ------------------------------------------------------------------
+
+    /// One-step backward derivability of `h` under the structural groups.
+    fn rederive_structural(&self, h: Fact) -> Option<(Provenance, bool)> {
+        let mut best: Option<(Provenance, bool)> = None;
+        // Returns true when the search can stop (an exact instance).
+        let note = |best: &mut Option<(Provenance, bool)>, prov: Provenance, exact: bool| {
+            if exact {
+                *best = Some((prov, true));
+                return true;
+            }
+            if best.is_none() {
+                *best = Some((prov, false));
+            }
+            false
+        };
+
+        if self.config.generalization {
+            if self.kinds.is_individual(h.r) {
+                // G1 backward: h = (s', r, t) ⇐ (s, r, t) ∧ (s', ≺, s).
+                let gens: Vec<Fact> =
+                    self.all.matching(Pattern::new(Some(h.s), Some(special::GEN), None)).collect();
+                for g in gens {
+                    let f = Fact::new(g.t, h.r, h.t);
+                    if self.all.contains(&f) {
+                        let exact = self.is_lift_free(&f);
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::GenSource, from: vec![f, g] };
+                        if note(&mut best, prov, exact) {
+                            return best;
+                        }
+                    }
+                }
+                // G3 backward: h = (s, r, t') ⇐ (s, r, t) ∧ (t, ≺, t').
+                let tgts: Vec<Fact> =
+                    self.all.matching(Pattern::new(None, Some(special::GEN), Some(h.t))).collect();
+                for g in tgts {
+                    let f = Fact::new(h.s, h.r, g.s);
+                    if self.all.contains(&f) {
+                        let exact = h.r == special::GEN && self.is_lift_free(&f);
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::GenTarget, from: vec![f, g] };
+                        if note(&mut best, prov, exact) {
+                            return best;
+                        }
+                    }
+                }
+            }
+            // G2 backward: h = (s, r', t) ⇐ (s, r, t) ∧ (r, ≺, r').
+            let rels: Vec<Fact> =
+                self.all.matching(Pattern::new(None, Some(special::GEN), Some(h.r))).collect();
+            for g in rels {
+                if !self.kinds.is_individual(g.s) {
+                    continue;
+                }
+                let f = Fact::new(h.s, g.s, h.t);
+                if self.all.contains(&f) {
+                    let exact = self.is_lift_free(&f);
+                    let prov = Provenance::Builtin { rule: Builtin::GenRel, from: vec![f, g] };
+                    if note(&mut best, prov, exact) {
+                        return best;
+                    }
+                }
+            }
+        }
+
+        if self.config.membership {
+            let member_applicable =
+                |kinds: &KindRegistry, r: EntityId| kinds.is_individual(r) && r != special::GEN;
+            if member_applicable(self.kinds, h.r) {
+                // M1 backward: h = (s', r, t) ⇐ (s, r, t) ∧ (s', ∈, s).
+                let isas: Vec<Fact> =
+                    self.all.matching(Pattern::new(Some(h.s), Some(special::ISA), None)).collect();
+                for g in isas {
+                    let f = Fact::new(g.t, h.r, h.t);
+                    if self.all.contains(&f) {
+                        let exact = self.is_lift_free(&f);
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::MemberSource, from: vec![f, g] };
+                        if note(&mut best, prov, exact) {
+                            return best;
+                        }
+                    }
+                }
+                // M2 backward: h = (s, r, t') ⇐ (s, r, t) ∧ (t, ∈, t').
+                let classes: Vec<Fact> =
+                    self.all.matching(Pattern::new(None, Some(special::ISA), Some(h.t))).collect();
+                for g in classes {
+                    let f = Fact::new(h.s, h.r, g.s);
+                    if self.all.contains(&f) {
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::MemberTarget, from: vec![f, g] };
+                        // Target lifts are existential: never exact.
+                        if note(&mut best, prov, false) {
+                            return best;
+                        }
+                    }
+                }
+            }
+            // MemberUp backward: h = (s, ∈, t') ⇐ (s, ∈, t) ∧ (t, ≺, t').
+            if h.r == special::ISA {
+                let ups: Vec<Fact> =
+                    self.all.matching(Pattern::new(None, Some(special::GEN), Some(h.t))).collect();
+                for g in ups {
+                    let f = Fact::new(h.s, special::ISA, g.s);
+                    if self.all.contains(&f) {
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::MemberUp, from: vec![f, g] };
+                        if note(&mut best, prov, true) {
+                            return best;
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.config.synonym {
+            if h.r == special::SYN {
+                // Symmetry: h = (a, ≈, b) ⇐ (b, ≈, a).
+                let rev = Fact::new(h.t, special::SYN, h.s);
+                if self.all.contains(&rev)
+                    && note(
+                        &mut best,
+                        Provenance::Builtin { rule: Builtin::SynDefines, from: vec![rev] },
+                        true,
+                    )
+                {
+                    return best;
+                }
+                // SynFromGen: h = (a, ≈, b) ⇐ (a, ≺, b) ∧ (b, ≺, a).
+                let fwd = Fact::new(h.s, special::GEN, h.t);
+                let bwd = Fact::new(h.t, special::GEN, h.s);
+                if self.all.contains(&fwd)
+                    && self.all.contains(&bwd)
+                    && note(
+                        &mut best,
+                        Provenance::Builtin { rule: Builtin::SynFromGen, from: vec![fwd, bwd] },
+                        true,
+                    )
+                {
+                    return best;
+                }
+            }
+            // SynDefines halves: h = (a, ≺, b) ⇐ (a, ≈, b) | (b, ≈, a).
+            if h.r == special::GEN {
+                for syn in [Fact::new(h.s, special::SYN, h.t), Fact::new(h.t, special::SYN, h.s)] {
+                    if self.all.contains(&syn)
+                        && note(
+                            &mut best,
+                            Provenance::Builtin { rule: Builtin::SynDefines, from: vec![syn] },
+                            true,
+                        )
+                    {
+                        return best;
+                    }
+                }
+            }
+            // SynSubst backward: some stored original with one position
+            // substituted back through a synonym.
+            for pos in 0..3 {
+                let v = h.positions()[pos];
+                let partners: Vec<Fact> =
+                    self.all.matching(Pattern::new(None, Some(special::SYN), Some(v))).collect();
+                for syn in partners {
+                    // syn = (e, ≈, v): the forward rule substituted e → v.
+                    let mut orig = h;
+                    match pos {
+                        0 => orig.s = syn.s,
+                        1 => orig.r = syn.s,
+                        _ => orig.t = syn.s,
+                    }
+                    if orig != h && self.all.contains(&orig) {
+                        let exact = self.is_lift_free(&orig);
+                        let prov =
+                            Provenance::Builtin { rule: Builtin::SynSubst, from: vec![orig, syn] };
+                        if note(&mut best, prov, exact) {
+                            return best;
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.config.inversion {
+            // Pairing: h = (r', ⁺, r) ⇐ (r, ⁺, r').
+            if h.r == special::INV {
+                let rev = Fact::new(h.t, special::INV, h.s);
+                if self.all.contains(&rev)
+                    && note(
+                        &mut best,
+                        Provenance::Builtin { rule: Builtin::Inversion, from: vec![rev] },
+                        true,
+                    )
+                {
+                    return best;
+                }
+            }
+            // Flip: h = (t, r', s) ⇐ exact (s, r, t) ∧ (r, ⁺, r').
+            let invs: Vec<Fact> =
+                self.all.matching(Pattern::new(None, Some(special::INV), Some(h.r))).collect();
+            for inv in invs {
+                let f = Fact::new(h.t, inv.s, h.s);
+                if self.all.contains(&f) && self.is_lift_free(&f) {
+                    let prov = Provenance::Builtin { rule: Builtin::Inversion, from: vec![f, inv] };
+                    if note(&mut best, prov, true) {
+                        return best;
+                    }
+                }
+            }
+        }
+
+        best
+    }
 }
 
 impl Engine<'_> {
@@ -1446,6 +2226,47 @@ mod tests {
         fn has(&mut self, c: &Closure, s: &str, r: &str, t: &str) -> bool {
             let f = Fact::new(self.store.entity(s), self.store.entity(r), self.store.entity(t));
             c.contains(&f)
+        }
+
+        /// Removes a base fact from the store and retracts it from the
+        /// closure, returning the precise delta.
+        fn retract(&mut self, c: &mut Closure, s: &str, r: &str, t: &str) -> RetractDelta {
+            let f = Fact::new(self.store.entity(s), self.store.entity(r), self.store.entity(t));
+            assert!(self.store.remove(&f), "base fact not in store");
+            super::retract(c, &mut self.store, &self.kinds, &self.rules, &self.config, &[f])
+                .expect("retract")
+        }
+
+        /// Asserts the incrementally maintained closure is
+        /// indistinguishable from a from-scratch recompute over the
+        /// current store: same facts, exactness, violations and domain.
+        fn assert_matches_recompute(&mut self, c: &Closure) {
+            let mut fresh_store = self.store.clone();
+            let fresh = compute(
+                &mut fresh_store,
+                &self.kinds,
+                &self.rules,
+                &self.config,
+                Strategy::SemiNaive,
+            )
+            .expect("recompute");
+            let got: std::collections::BTreeSet<Fact> = c.iter().collect();
+            let want: std::collections::BTreeSet<Fact> = fresh.iter().collect();
+            for f in got.symmetric_difference(&want) {
+                let side = if got.contains(f) { "incremental-only" } else { "recompute-only" };
+                eprintln!("{side}: {}", self.store.display_fact(f));
+            }
+            assert_eq!(got, want, "fact sets diverge");
+            for f in &got {
+                assert_eq!(
+                    c.is_exact(f),
+                    fresh.is_exact(f),
+                    "exactness diverges for {}",
+                    self.store.display_fact(f)
+                );
+            }
+            assert_eq!(c.violations().len(), fresh.violations().len(), "violations diverge");
+            assert_eq!(c.domain().to_vec(), fresh.domain().to_vec(), "domain diverges");
         }
     }
 
@@ -2009,5 +2830,259 @@ mod tests {
         let c = w.closure();
         assert_eq!(c.stats().derived_facts, 0);
         assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn retract_matches_full_recompute() {
+        // Remove base facts one at a time from a world that exercises
+        // generalization, membership, synonymy, inversion and
+        // contradiction; after every retraction the closure must be
+        // indistinguishable from a from-scratch recompute.
+        let mut w = World::new();
+        let facts: [(&str, &str, &str); 9] = [
+            ("JOHN", "isa", "EMPLOYEE"),
+            ("EMPLOYEE", "gen", "PERSON"),
+            ("EMPLOYEE", "EARNS", "SALARY"),
+            ("SALARY", "gen", "COMPENSATION"),
+            ("EARNS", "inv", "EARNED-BY"),
+            ("JOHN", "syn", "JOHNNY"),
+            ("LOVES", "contra", "HATES"),
+            ("JOHN", "LOVES", "FELIX"),
+            ("JOHN", "HATES", "FELIX"),
+        ];
+        for (s, r, t) in facts {
+            w.store.add(s, r, t);
+        }
+        let mut c = w.closure();
+        // JOHN and (via synonymy) JOHNNY each settle the LOVES/HATES
+        // conflict.
+        assert_eq!(c.violations().len(), 2);
+        // Removal order mixes taxonomy edges, ordinary facts and the
+        // contradiction participants.
+        for (s, r, t) in [
+            ("JOHN", "HATES", "FELIX"),
+            ("SALARY", "gen", "COMPENSATION"),
+            ("JOHN", "isa", "EMPLOYEE"),
+            ("EARNS", "inv", "EARNED-BY"),
+            ("EMPLOYEE", "EARNS", "SALARY"),
+            ("JOHN", "syn", "JOHNNY"),
+        ] {
+            w.retract(&mut c, s, r, t);
+            w.assert_matches_recompute(&c);
+        }
+    }
+
+    #[test]
+    fn retract_removes_consequences() {
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        w.store.add("JOHN", "isa", "MANAGER");
+        let mut c = w.closure();
+        assert!(w.has(&c, "MANAGER", "EARNS", "SALARY"));
+        assert!(w.has(&c, "JOHN", "EARNS", "SALARY"));
+        let d = w.retract(&mut c, "EMPLOYEE", "EARNS", "SALARY");
+        assert!(!w.has(&c, "EMPLOYEE", "EARNS", "SALARY"));
+        assert!(!w.has(&c, "MANAGER", "EARNS", "SALARY"));
+        assert!(!w.has(&c, "JOHN", "EARNS", "SALARY"));
+        // The taxonomy itself is untouched.
+        assert!(w.has(&c, "MANAGER", "gen", "EMPLOYEE"));
+        assert!(w.has(&c, "JOHN", "isa", "MANAGER"));
+        assert!(d.stats.support_decrements > 0);
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_keeps_still_derivable_facts() {
+        // MANAGER ≺ EMPLOYEE and MANAGER ≺ STAFF both generalize into
+        // PERSON, so (MANAGER, gen, PERSON) has two derivations; cutting
+        // one leaves the fact standing.
+        let mut w = World::new();
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        w.store.add("EMPLOYEE", "gen", "PERSON");
+        w.store.add("MANAGER", "gen", "STAFF");
+        w.store.add("STAFF", "gen", "PERSON");
+        let mut c = w.closure();
+        assert!(w.has(&c, "MANAGER", "gen", "PERSON"));
+        w.retract(&mut c, "EMPLOYEE", "gen", "PERSON");
+        assert!(w.has(&c, "MANAGER", "gen", "PERSON"));
+        w.assert_matches_recompute(&c);
+        w.retract(&mut c, "STAFF", "gen", "PERSON");
+        assert!(!w.has(&c, "MANAGER", "gen", "PERSON"));
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_base_assertion_of_derived_fact() {
+        // A fact that is both asserted and derived survives removal of
+        // its base assertion — only the base-presence support dies, and
+        // exactness falls back to what the derivation justifies.
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("SALARY", "gen", "COMPENSATION");
+        let mut c = w.closure();
+        // G3 target lift: derived and inexact (existential target).
+        let f = Fact::new(
+            w.store.entity("EMPLOYEE"),
+            w.store.entity("EARNS"),
+            w.store.entity("COMPENSATION"),
+        );
+        assert!(c.contains(&f));
+        assert!(!c.is_exact(&f), "target lift is inexact");
+        let base = w.store.add("EMPLOYEE", "EARNS", "COMPENSATION");
+        super::extend(&mut c, &mut w.store, &w.kinds, &w.rules, &w.config, &[base]).unwrap();
+        assert!(c.is_exact(&f), "base assertion is exact");
+        assert_eq!(c.support(&f), 2, "derived + base presence");
+        w.retract(&mut c, "EMPLOYEE", "EARNS", "COMPENSATION");
+        assert!(c.contains(&f), "still derivable from the taxonomy");
+        assert!(!c.is_exact(&f), "back to the lifted, inexact derivation");
+        assert_eq!(c.support(&f), 1);
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_through_inversion_and_synonyms() {
+        let mut w = World::new();
+        w.store.add("EARNS", "inv", "EARNED-BY");
+        w.store.add("JOHN", "EARNS", "WAGE");
+        w.store.add("JOHN", "syn", "JOHNNY");
+        let mut c = w.closure();
+        assert!(w.has(&c, "WAGE", "EARNED-BY", "JOHN"));
+        assert!(w.has(&c, "JOHNNY", "EARNS", "WAGE"));
+        w.retract(&mut c, "JOHN", "EARNS", "WAGE");
+        assert!(!w.has(&c, "WAGE", "EARNED-BY", "JOHN"));
+        assert!(!w.has(&c, "JOHNNY", "EARNS", "WAGE"));
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_composition_consequences() {
+        // Path entities: (JOHN, WORKS-FOR.HEADED-BY, SUE) composes from
+        // the two hops; removing a hop removes the composite.
+        let mut w = World::new();
+        w.config.limit(2);
+        w.store.add("JOHN", "WORKS-FOR", "SHIPPING");
+        w.store.add("SHIPPING", "HEADED-BY", "SUE");
+        let mut c = w.closure();
+        let john = w.store.lookup_symbol("JOHN").unwrap();
+        let sue = w.store.lookup_symbol("SUE").unwrap();
+        let composed: Vec<Fact> = c.matching(Pattern::new(Some(john), None, Some(sue))).collect();
+        assert_eq!(composed.len(), 1);
+        assert_eq!(w.store.display(composed[0].r), "WORKS-FOR.SHIPPING.HEADED-BY");
+        w.retract(&mut c, "SHIPPING", "HEADED-BY", "SUE");
+        assert!(!c.contains(&composed[0]));
+        assert!(w.has(&c, "JOHN", "WORKS-FOR", "SHIPPING"));
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_user_rule_consequences() {
+        // (x, ∈, EMPLOYEE) ⇒ (x, EARN, SALARY): dropping TOM's
+        // membership drops his wage but not JOHN's.
+        let mut w = World::new();
+        let isa = special::ISA;
+        let employee = w.store.entity("EMPLOYEE");
+        let earn = w.store.entity("EARN");
+        let salary = w.store.entity("SALARY");
+        let mut b = Rule::builder("employees-earn");
+        let x = b.var("x");
+        w.rules.add(b.when(x, isa, employee).then(x, earn, salary).build().unwrap()).unwrap();
+        w.store.add("JOHN", "isa", "EMPLOYEE");
+        w.store.add("TOM", "isa", "EMPLOYEE");
+        let mut c = w.closure();
+        assert!(w.has(&c, "TOM", "EARN", "SALARY"));
+        w.retract(&mut c, "TOM", "isa", "EMPLOYEE");
+        assert!(!w.has(&c, "TOM", "EARN", "SALARY"));
+        assert!(w.has(&c, "JOHN", "EARN", "SALARY"));
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_clears_settled_contradictions() {
+        let mut w = World::new();
+        w.store.add("LOVES", "contra", "HATES");
+        w.store.add("JOHN", "LOVES", "MARY");
+        w.store.add("JOHN", "HATES", "MARY");
+        let mut c = w.closure();
+        assert_eq!(c.violations().len(), 1);
+        w.retract(&mut c, "JOHN", "HATES", "MARY");
+        assert!(c.is_consistent(), "retraction resolves the conflict");
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_delta_rels_are_precise() {
+        // The delta names the removed fact's rel and every touched
+        // consequence rel — and nothing else. An unrelated rel in the
+        // same world must not appear.
+        let mut w = World::new();
+        w.store.add("EMPLOYEE", "EARNS", "SALARY");
+        w.store.add("MANAGER", "gen", "EMPLOYEE");
+        w.store.add("FELIX", "OWNS", "YARN");
+        let mut c = w.closure();
+        let earns = w.store.entity("EARNS");
+        let owns = w.store.entity("OWNS");
+        let d = w.retract(&mut c, "EMPLOYEE", "EARNS", "SALARY");
+        assert!(d.rels.contains(&earns));
+        assert!(!d.rels.contains(&owns), "disjoint rel leaked into the delta");
+        assert!(!d.rels.contains(&special::GEN), "taxonomy untouched");
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_interleaves_with_extend() {
+        // Adds and removes in alternation, checking the closure against
+        // a recompute at every step.
+        let mut w = World::new();
+        let mut c = w.closure();
+        let script: [(bool, (&str, &str, &str)); 9] = [
+            (true, ("EMPLOYEE", "EARNS", "SALARY")),
+            (true, ("MANAGER", "gen", "EMPLOYEE")),
+            (true, ("JOHN", "isa", "MANAGER")),
+            (false, ("MANAGER", "gen", "EMPLOYEE")),
+            (true, ("SALARY", "gen", "COMPENSATION")),
+            (true, ("MANAGER", "gen", "EMPLOYEE")),
+            (false, ("EMPLOYEE", "EARNS", "SALARY")),
+            (false, ("JOHN", "isa", "MANAGER")),
+            (true, ("EARNS", "inv", "EARNED-BY")),
+        ];
+        for (add, (s, r, t)) in script {
+            if add {
+                let f = w.store.add(s, r, t);
+                super::extend(&mut c, &mut w.store, &w.kinds, &w.rules, &w.config, &[f]).unwrap();
+            } else {
+                w.retract(&mut c, s, r, t);
+            }
+            w.assert_matches_recompute(&c);
+        }
+    }
+
+    #[test]
+    fn retract_stats_count_the_wave() {
+        let mut w = World::new();
+        w.store.add("A", "gen", "B");
+        w.store.add("B", "gen", "C");
+        w.store.add("C", "gen", "D");
+        let mut c = w.closure();
+        // Chain closure: A≺C, A≺D, B≺D derived.
+        let d = w.retract(&mut c, "A", "gen", "B");
+        assert!(d.stats.over_deleted >= 2, "A≺C and A≺D must fall");
+        assert_eq!(d.stats.rederived, 0, "nothing rederivable");
+        assert!(d.stats.support_decrements >= d.stats.over_deleted);
+        w.assert_matches_recompute(&c);
+    }
+
+    #[test]
+    fn retract_absent_fact_is_harmless() {
+        let mut w = World::new();
+        w.store.add("JOHN", "LIKES", "MARY");
+        let mut c = w.closure();
+        let ghost =
+            Fact::new(w.store.entity("TOM"), w.store.entity("LIKES"), w.store.entity("SUE"));
+        let d = super::retract(&mut c, &mut w.store, &w.kinds, &w.rules, &w.config, &[ghost])
+            .expect("retract");
+        assert_eq!(d.stats.over_deleted, 0);
+        assert!(w.has(&c, "JOHN", "LIKES", "MARY"));
+        w.assert_matches_recompute(&c);
     }
 }

@@ -224,7 +224,10 @@ impl Database {
     }
 
     /// Removes a base fact. Removal cannot introduce violations (rules are
-    /// monotone), so it is always unchecked.
+    /// monotone), so it is always unchecked. The closure cache goes stale
+    /// and the next refresh recomputes it fully; warm-cache callers should
+    /// prefer [`Database::remove_incremental`], which maintains the
+    /// closure in O(consequences) and keeps the publish delta precise.
     pub fn remove(&mut self, f: &Fact) -> bool {
         let removed = self.store.remove(f);
         if removed {
@@ -572,9 +575,59 @@ impl Database {
         Ok(fact)
     }
 
+    /// Removes a base fact and incrementally maintains the closure via
+    /// the support-counted delete-and-rederive wave (see
+    /// [`crate::closure::retract`]) — the removal twin of
+    /// [`Database::add_incremental`]. The pending publish delta stays
+    /// *precise*: only the relationships the wave touched are recorded,
+    /// never a `Full` marker, so downstream caches carry disjoint
+    /// entries across the removal. Returns whether the fact was present.
+    pub fn remove_incremental(&mut self, f: &Fact) -> Result<bool, ClosureError> {
+        self.refresh()?;
+        if !self.store.contains(f) {
+            return Ok(false);
+        }
+        let mut cached = self.cache.take().expect("fresh after refresh");
+        self.store.remove(f);
+        // Logged up front: the store-level removal is committed even if
+        // retraction errors below (the closure cache is dropped then and
+        // the next refresh recomputes — the WAL must agree with the
+        // store, not with the cache).
+        self.log_op(f, false);
+        let started = Instant::now();
+        let delta = closure::retract(
+            &mut cached.closure,
+            &mut self.store,
+            &self.kinds,
+            &self.rules,
+            &self.config,
+            &[*f],
+        )?;
+        self.metrics.closure_retracts.inc();
+        self.metrics.closure_retract_ns.record_duration(started.elapsed());
+        self.metrics.closure_retract_decrements.add(delta.stats.support_decrements as u64);
+        self.metrics.closure_retract_deleted.add(delta.stats.over_deleted as u64);
+        self.metrics.closure_retract_rederived.add(delta.stats.rederived as u64);
+        self.metrics.closure_retract_waves.add(delta.stats.waves as u64);
+        cached.store_epoch = self.store.epoch();
+        self.metrics.closure_facts.set(cached.closure.len() as u64);
+        self.cache = Some(cached);
+        self.note_retract_delta(delta);
+        Ok(true)
+    }
+
     /// Folds an incremental-extension delta into the pending publish
     /// delta (a `Full` marker absorbs everything).
     fn note_extend_delta(&mut self, d: ExtendDelta) {
+        if let PublishDelta::Rels(rels) = &mut self.pending_delta {
+            rels.extend(d.rels);
+        }
+    }
+
+    /// Folds an incremental-retraction delta into the pending publish
+    /// delta — removals report the precise touched-rel set, exactly like
+    /// insertions.
+    fn note_retract_delta(&mut self, d: closure::RetractDelta) {
         if let PublishDelta::Rels(rels) = &mut self.pending_delta {
             rels.extend(d.rels);
         }
@@ -868,6 +921,24 @@ mod tests {
         let closure = db.closure().unwrap();
         let incremental = closure.domain().to_vec();
         assert_eq!(incremental, crate::view::compute_domain(closure));
+
+        // Retraction decrements the same counts in the delete wave — no
+        // full-recompute fallback; entities whose last mention dies leave
+        // the domain, survivors with other mentions stay.
+        let john = db.lookup_symbol("JOHN").unwrap();
+        let likes = db.lookup_symbol("LIKES").unwrap();
+        let felix = db.lookup_symbol("FELIX").unwrap();
+        assert!(db.remove_incremental(&Fact::new(john, likes, felix)).unwrap());
+        let closure = db.closure().unwrap();
+        assert_eq!(closure.domain().to_vec(), crate::view::compute_domain(closure));
+        assert!(!closure.domain().to_vec().contains(&felix), "FELIX left the domain");
+        assert!(closure.domain().to_vec().contains(&john), "JOHN is still mentioned");
+
+        let isa = special::ISA;
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        assert!(db.remove_incremental(&Fact::new(john, isa, employee)).unwrap());
+        let closure = db.closure().unwrap();
+        assert_eq!(closure.domain().to_vec(), crate::view::compute_domain(closure));
     }
 
     #[test]
@@ -892,8 +963,22 @@ mod tests {
             PublishDelta::Full => panic!("incremental adds must stay precise"),
         }
 
-        // A removal forces a recomputation: the next delta is Full.
+        // Incremental removals stay precise too: the retraction wave
+        // reports exactly the rels it touched (isa seed + the derived
+        // EARNS consequence), never a Full marker.
         let john = db.lookup_symbol("JOHN").unwrap();
+        let employee = db.lookup_symbol("EMPLOYEE").unwrap();
+        assert!(db.remove_incremental(&Fact::new(john, isa, employee)).unwrap());
+        match db.take_publish_delta() {
+            PublishDelta::Rels(rels) => {
+                assert!(rels.contains(&isa));
+                assert!(rels.contains(&earns), "derived EARNS fact fell");
+                assert!(!rels.contains(&likes), "unrelated rel untouched");
+            }
+            PublishDelta::Full => panic!("incremental removals must stay precise"),
+        }
+
+        // Only the legacy full-recompute removal degrades to Full.
         let felix = db.lookup_symbol("FELIX").unwrap();
         assert!(db.remove(&Fact::new(john, likes, felix)));
         db.closure().unwrap();

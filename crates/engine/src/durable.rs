@@ -269,7 +269,14 @@ impl<I: StorageIo> DurableDatabase<I> {
             store.value(f.t).clone(),
         );
         self.journal(&op)?;
-        Ok(self.db.remove(f))
+        match self.db.remove_incremental(f) {
+            Ok(removed) => Ok(removed),
+            // Retraction errors (e.g. unbounded composition mid-rederive)
+            // leave the closure cache invalidated; the fact is gone from
+            // the store and journaled, so removal still holds — the next
+            // refresh recomputes.
+            Err(_) => Ok(true),
+        }
     }
 
     /// Durable transactional insert: integrity-checked in memory first

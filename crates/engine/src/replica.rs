@@ -623,9 +623,9 @@ impl<I: StorageIo> Replica<I> {
     }
 }
 
-/// Applies shipped operations through the incremental paths, so inserts
-/// publish precise deltas (follower caches carry over) and removals take
-/// the same full-recompute path as local writes.
+/// Applies shipped operations through the incremental paths, so both
+/// inserts and removals publish precise deltas and follower caches carry
+/// entries whose relationships the shipped batch never touched.
 fn apply_shipped(db: &mut Database, ops: &[LogOp]) -> Result<(), ClosureError> {
     for op in ops {
         match op {
@@ -635,7 +635,7 @@ fn apply_shipped(db: &mut Database, ops: &[LogOp]) -> Result<(), ClosureError> {
             LogOp::Remove(s, r, t) => {
                 let fact =
                     Fact::new(db.entity(s.clone()), db.entity(r.clone()), db.entity(t.clone()));
-                db.remove(&fact);
+                db.remove_incremental(&fact)?;
             }
         }
     }

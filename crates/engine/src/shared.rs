@@ -396,12 +396,14 @@ impl SharedDatabase {
         Ok(fact)
     }
 
-    /// Removes a base fact and publishes a new generation (removal falls
-    /// back to full closure recomputation — derived facts may lose
-    /// support).
+    /// Removes a base fact and publishes a new generation. The closure is
+    /// maintained incrementally ([`Database::remove_incremental`]): the
+    /// retraction wave deletes exactly the consequences that lose
+    /// support, and the published delta stays precise — readers' caches
+    /// keyed on disjoint rels survive the removal.
     pub fn remove(&self, f: &Fact) -> Result<bool, ClosureError> {
         let mut db = self.writer.lock();
-        let removed = db.remove(f);
+        let removed = db.remove_incremental(f)?;
         if removed {
             self.publish(&mut db)?;
         }
@@ -536,6 +538,30 @@ mod tests {
     }
 
     #[test]
+    fn removal_publishes_a_precise_delta() {
+        // Base-fact removal must never degrade the delta ring to Full:
+        // the retraction wave knows exactly which rels it touched.
+        let shared = SharedDatabase::new(base()).unwrap();
+        shared.insert("FELIX", "OWNS", "YARN").unwrap();
+        let floor = shared.epoch();
+        let g = shared.snapshot();
+        let john = g.lookup_symbol("JOHN").unwrap();
+        let isa = g.lookup_symbol("isa").unwrap();
+        let employee = g.lookup_symbol("EMPLOYEE").unwrap();
+        assert!(shared.remove(&Fact::new(john, isa, employee)).unwrap());
+        match shared.delta_between(floor, floor + 1) {
+            DeltaSummary::Precise(rels) => {
+                assert!(rels.contains(&isa));
+                // JOHN's derived EARNS facts fell with the membership.
+                assert!(rels.contains(&g.lookup_symbol("EARNS").unwrap()));
+                // The unrelated rel is untouched.
+                assert!(!rels.contains(&g.lookup_symbol("OWNS").unwrap()));
+            }
+            other => panic!("expected Precise, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn full_publish_is_pinned_to_its_epoch_in_the_delta_ring() {
         let shared = SharedDatabase::new(base()).unwrap();
         let floor = shared.epoch();
@@ -544,7 +570,9 @@ mod tests {
         let a = g.lookup_symbol("A").unwrap();
         let r1 = g.lookup_symbol("R1").unwrap();
         let b = g.lookup_symbol("B").unwrap();
-        shared.remove(&Fact::new(a, r1, b)).unwrap(); // floor + 2: Full
+        // [`SharedDatabase::remove`] is precise now, so force a Full by
+        // taking the legacy full-recompute removal path through `write`.
+        shared.write(|db| db.remove(&Fact::new(a, r1, b))).unwrap(); // floor + 2: Full
         shared.insert("C", "R2", "D").unwrap(); // floor + 3: precise
         shared.insert("E", "R3", "F").unwrap(); // floor + 4: precise
 

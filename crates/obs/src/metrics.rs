@@ -361,6 +361,21 @@ pub struct Metrics {
     pub closure_extends: Counter,
     /// Extend latency in nanoseconds (`engine.closure.extend_nanos`).
     pub closure_extend_ns: Histogram,
+    /// Incremental closure retractions (`engine.closure.retracts`).
+    pub closure_retracts: Counter,
+    /// Retraction latency in nanoseconds (`engine.closure.retract_nanos`).
+    pub closure_retract_ns: Histogram,
+    /// Support decrements applied by delete waves
+    /// (`engine.closure.retract.support_decrements`).
+    pub closure_retract_decrements: Counter,
+    /// Facts over-deleted by delete waves
+    /// (`engine.closure.retract.over_deleted`).
+    pub closure_retract_deleted: Counter,
+    /// Over-deleted facts rederived from the stable set
+    /// (`engine.closure.retract.rederived`).
+    pub closure_retract_rederived: Counter,
+    /// Rederivation waves run (`engine.closure.retract.waves`).
+    pub closure_retract_waves: Counter,
     /// Facts in the latest closure (`engine.closure.facts`).
     pub closure_facts: Gauge,
 
@@ -448,6 +463,13 @@ impl Metrics {
             closure_compute_ns: registry.histogram("engine.closure.compute_nanos"),
             closure_extends: registry.counter("engine.closure.extends"),
             closure_extend_ns: registry.histogram("engine.closure.extend_nanos"),
+            closure_retracts: registry.counter("engine.closure.retracts"),
+            closure_retract_ns: registry.histogram("engine.closure.retract_nanos"),
+            closure_retract_decrements: registry
+                .counter("engine.closure.retract.support_decrements"),
+            closure_retract_deleted: registry.counter("engine.closure.retract.over_deleted"),
+            closure_retract_rederived: registry.counter("engine.closure.retract.rederived"),
+            closure_retract_waves: registry.counter("engine.closure.retract.waves"),
             closure_facts: registry.gauge("engine.closure.facts"),
             publishes: registry.counter("engine.publish.count"),
             publish_ns: registry.histogram("engine.publish.nanos"),
@@ -514,6 +536,12 @@ impl Metrics {
                 compute_ns: self.closure_compute_ns.snapshot(),
                 extends: self.closure_extends.get(),
                 extend_ns: self.closure_extend_ns.snapshot(),
+                retracts: self.closure_retracts.get(),
+                retract_ns: self.closure_retract_ns.snapshot(),
+                retract_decrements: self.closure_retract_decrements.get(),
+                retract_deleted: self.closure_retract_deleted.get(),
+                retract_rederived: self.closure_retract_rederived.get(),
+                retract_waves: self.closure_retract_waves.get(),
                 facts: self.closure_facts.get(),
             },
             publish: PublishSnapshot {
@@ -618,6 +646,18 @@ pub struct ClosureSnapshot {
     pub extends: u64,
     /// Extend latency.
     pub extend_ns: HistogramSnapshot,
+    /// Incremental retractions.
+    pub retracts: u64,
+    /// Retraction latency.
+    pub retract_ns: HistogramSnapshot,
+    /// Support decrements applied by delete waves.
+    pub retract_decrements: u64,
+    /// Facts over-deleted by delete waves.
+    pub retract_deleted: u64,
+    /// Over-deleted facts rederived from the stable set.
+    pub retract_rederived: u64,
+    /// Rederivation waves run.
+    pub retract_waves: u64,
     /// Facts in the latest closure.
     pub facts: u64,
 }

@@ -82,6 +82,60 @@ fn plan_cache_transitions_mirror_into_the_registry() {
     assert_eq!(mirror.len, stats.len as u64);
 }
 
+/// The removal path drives the same transitions: an incremental
+/// retraction publishes a precise touched-rel delta, so a plan whose
+/// dependencies are disjoint carries across the roll (hit), while a plan
+/// depending on a retracted rel is invalidated (miss) — in the local
+/// stats and the registry mirror alike.
+#[test]
+fn plan_cache_transitions_cover_the_removal_path() {
+    let mut db = world();
+    let metrics = Metrics::new();
+    let mut cache = PlanCache::with_metrics(4, metrics.plan_cache.clone());
+    let opts = EvalOptions::default();
+
+    let likes = parsed(&mut db, "(JOHN, LIKES, ?x)");
+    let earns = parsed(&mut db, "(JOHN, EARNS, ?x)");
+    {
+        let view = db.view().unwrap();
+        for q in [&likes, &earns] {
+            let (_, plan) = plan_and_eval(q, &view, opts).unwrap();
+            cache.insert(q, &opts, Arc::new(plan));
+        }
+    }
+    assert_eq!(cache.stats().len, 2);
+    // Drain the Full marker the initial closure computation left behind,
+    // so the next delta reflects the removal alone.
+    let _ = db.take_publish_delta();
+
+    // Remove the EARNS base fact through the incremental path and roll
+    // the cache with the precise delta the retraction produced.
+    let john = db.lookup_symbol("JOHN").unwrap();
+    let earns_rel = rel_id(&db, "EARNS");
+    let salary = db.store().interner().lookup(&25000i64.into()).unwrap();
+    assert!(db.remove_incremental(&loosedb_store::Fact::new(john, earns_rel, salary)).unwrap());
+    let delta = match db.take_publish_delta() {
+        loosedb_engine::PublishDelta::Rels(rels) => rels,
+        other => panic!("incremental removal must stay precise, got {other:?}"),
+    };
+    assert!(delta.contains(&earns_rel));
+    cache.roll(2, Some(&delta));
+
+    // LIKES is disjoint from the retraction wave: carried, then a hit.
+    assert!(cache.get(&likes, &opts).is_some());
+    // EARNS depended on the retracted rel: invalidated, now a miss.
+    assert!(cache.get(&earns, &opts).is_none());
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+    assert_eq!(stats.carried, 1, "{stats:?}");
+
+    let mirror = metrics.plan_cache.snapshot();
+    assert_eq!(mirror.hits, stats.hits);
+    assert_eq!(mirror.misses, stats.misses);
+    assert_eq!(mirror.carried, stats.carried);
+    assert_eq!(mirror.len, stats.len as u64);
+}
+
 /// An unknown delta (`None`) clears the cache outright — nothing is
 /// carried and the mirrored length gauge drops to zero.
 #[test]

@@ -111,6 +111,66 @@ fn browsing_workload_counters_are_exactly_predicted() {
     assert_eq!(snap.wal, Default::default());
 }
 
+/// A fixed retraction workload: the `closure.retract.*` family counts
+/// exactly the waves the delete-and-rederive protocol runs — support
+/// decrements, over-deleted facts, rederivations — and the latency
+/// histogram records one observation per retraction.
+#[test]
+fn retraction_counters_are_exactly_predicted() {
+    let mut db = Database::new();
+    // A≺B≺C≺D chain: closure adds A≺C, A≺D, B≺D (3 derived facts).
+    db.add("A", "gen", "B");
+    db.add("B", "gen", "C");
+    db.add("C", "gen", "D");
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+
+    let g = shared.snapshot();
+    let a = g.lookup_symbol("A").unwrap();
+    let b = g.lookup_symbol("B").unwrap();
+    let gen = g.lookup_symbol("gen").unwrap();
+
+    // Removing A≺B condemns the fact itself plus its consequences A≺C
+    // and A≺D; nothing is rederivable from what remains.
+    assert!(shared.remove(&loosedb::Fact::new(a, gen, b)).unwrap());
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.closure.retracts, 1);
+    assert_eq!(snap.closure.retract_ns.count, 1);
+    assert_eq!(snap.closure.retract_deleted, 3, "A≺B, A≺C and A≺D fall");
+    assert_eq!(snap.closure.retract_rederived, 0);
+    // One support withdrawal per condemned fact: the base seed, then one
+    // consequence decrement each for A≺C and A≺D.
+    assert_eq!(snap.closure.retract_decrements, 3, "{snap:?}");
+
+    // A second retraction accumulates into the same counters.
+    assert!(shared.remove(&loosedb::Fact::new(b, gen, g.lookup_symbol("C").unwrap())).unwrap());
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.closure.retracts, 2);
+    assert_eq!(snap.closure.retract_ns.count, 2);
+    assert_eq!(snap.closure.retract_deleted, 5, "B≺C and B≺D fall too");
+
+    // The Prometheus exposition reads the same registry.
+    let text = loosedb::obs::prometheus_text(shared.metrics().registry());
+    assert!(
+        text.contains(&format!("loosedb_engine_closure_retracts {}", snap.closure.retracts)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "loosedb_engine_closure_retract_over_deleted {}",
+            snap.closure.retract_deleted
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "loosedb_engine_closure_retract_support_decrements {}",
+            snap.closure.retract_decrements
+        )),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE loosedb_engine_closure_retract_nanos histogram"), "{text}");
+}
+
 /// The registry's `query.count_probes` counter absorbs the per-view
 /// `FactView::count_probes` atomic: after a planned evaluation both agree
 /// exactly, and the NestedLoop oracle (which never plans) issues none.

@@ -577,4 +577,112 @@ proptest! {
         prop_assert_eq!(inc_facts, full_facts);
         prop_assert_eq!(inc.violations().len(), full.violations().len());
     }
+
+    /// Incremental retraction (support-counted delete-and-rederive) over
+    /// random worlds and random add/remove interleavings — including
+    /// taxonomy edges, membership, synonyms, inversions and a user rule —
+    /// is indistinguishable from full recomputation after every single
+    /// operation: same facts, exactness, violation count and domain.
+    #[test]
+    fn incremental_removal_equals_recompute(
+        spec in db_spec(),
+        isa_edges in prop::collection::vec((0u8..10, 0u8..10), 0..4),
+        syn_pairs in prop::collection::vec((0u8..10, 0u8..10), 0..2),
+        inv_pairs in prop::collection::vec((0u8..5, 0u8..5), 0..2),
+        ops in prop::collection::vec((any::<bool>(), 0u8..64), 1..30),
+    ) {
+        use loosedb::engine::closure;
+        use loosedb::engine::rule::Rule;
+
+        let kinds = KindRegistry::new();
+        let mut rules = RuleSet::new();
+        let config = InferenceConfig::default();
+
+        // Candidate base facts: ordinary facts plus every taxonomy
+        // flavour, so retraction waves cross rule-derived chains.
+        let mut candidates: Vec<(String, String, String)> = Vec::new();
+        for &(s, r, t) in &spec.facts {
+            candidates.push((format!("N{s}"), format!("R{r}"), format!("N{t}")));
+        }
+        for &(a, b) in &spec.node_gen_edges {
+            candidates.push((format!("N{a}"), "gen".into(), format!("N{b}")));
+        }
+        for &(a, b) in &spec.rel_gen_edges {
+            candidates.push((format!("R{a}"), "gen".into(), format!("R{b}")));
+        }
+        for &(a, b) in &isa_edges {
+            candidates.push((format!("N{a}"), "isa".into(), format!("N{b}")));
+        }
+        for &(a, b) in &syn_pairs {
+            if a != b {
+                candidates.push((format!("N{a}"), "syn".into(), format!("N{b}")));
+            }
+        }
+        for &(a, b) in &inv_pairs {
+            candidates.push((format!("R{a}"), "inv".into(), format!("R{b}")));
+        }
+        if candidates.is_empty() {
+            return Ok(()); // nothing to add or remove
+        }
+
+        let mut store = FactStore::new();
+        // One user rule so remove/rederive exercises the backtracking
+        // join: (?x, isa, N9) ⇒ (?x, R0, N8).
+        {
+            let n9 = store.entity("N9");
+            let r0 = store.entity("R0");
+            let n8 = store.entity("N8");
+            let mut b = Rule::builder("members-of-n9");
+            let x = b.var("x");
+            rules
+                .add(b.when(x, loosedb::store::special::ISA, n9).then(x, r0, n8).build().unwrap())
+                .unwrap();
+        }
+
+        let mut inc = closure::compute(
+            &mut store, &kinds, &rules, &config, ClosureStrategy::SemiNaive,
+        ).expect("empty closure");
+
+        for &(add, pick) in &ops {
+            let (s, r, t) = &candidates[pick as usize % candidates.len()];
+            let f = Fact::new(
+                store.entity(s.as_str()),
+                store.entity(r.as_str()),
+                store.entity(t.as_str()),
+            );
+            if add {
+                if store.contains(&f) {
+                    continue;
+                }
+                store.insert(f);
+                closure::extend(&mut inc, &mut store, &kinds, &rules, &config, &[f])
+                    .expect("extend");
+            } else {
+                if !store.remove(&f) {
+                    continue;
+                }
+                closure::retract(&mut inc, &mut store, &kinds, &rules, &config, &[f])
+                    .expect("retract");
+            }
+
+            // Recompute from scratch over a clone (shared interner, so
+            // facts compare directly) and demand full agreement.
+            let full = closure::compute(
+                &mut store.clone(), &kinds, &rules, &config, ClosureStrategy::SemiNaive,
+            ).expect("recompute");
+            let inc_facts: BTreeSet<Fact> = inc.iter().collect();
+            let full_facts: BTreeSet<Fact> = full.iter().collect();
+            prop_assert_eq!(&inc_facts, &full_facts, "fact sets diverge");
+            for fact in &inc_facts {
+                prop_assert_eq!(
+                    inc.is_exact(fact),
+                    full.is_exact(fact),
+                    "exactness diverges on {}",
+                    store.display_fact(fact)
+                );
+            }
+            prop_assert_eq!(inc.violations().len(), full.violations().len());
+            prop_assert_eq!(inc.domain().to_vec(), full.domain().to_vec());
+        }
+    }
 }
