@@ -5,6 +5,8 @@
 //! atoms, so the hash join probes each atom once per *distinct* binding
 //! of the shared variable where the nested loop probes once per partial
 //! row. Expected shape: the gap widens with atom count and world size.
+//! The adaptive row lets the cost model pick per shape; it should track
+//! the better of the two forced strategies at every atom count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loosedb_bench::{chain_query_src, query_world};
@@ -23,9 +25,11 @@ fn bench(c: &mut Criterion) {
         let src = chain_query_src(atoms);
         let query = parse(&src, db.store_interner_mut()).unwrap();
         let view = db.view().unwrap();
-        for (label, strategy) in
-            [("hash-join", ExecStrategy::HashJoin), ("nested-loop", ExecStrategy::NestedLoop)]
-        {
+        for (label, strategy) in [
+            ("adaptive", ExecStrategy::Adaptive),
+            ("hash-join", ExecStrategy::HashJoin),
+            ("nested-loop", ExecStrategy::NestedLoop),
+        ] {
             group.bench_function(BenchmarkId::new(label, atoms), |b| {
                 b.iter(|| eval_with(&query, &view, opts(strategy)).expect("eval").len())
             });

@@ -1,0 +1,43 @@
+//! E22 — parallel partitioned hash joins vs the sequential executor.
+//!
+//! The partitioned path scatters distinct join keys and probe rows by
+//! join-key hash across the closure worker pool, deduplicates per
+//! partition, and merges by arena concatenation. On a single-core host
+//! the pool runs tasks inline, so `Force` mode still exercises the
+//! scatter/merge machinery; real speedup needs `workers() > 1`. The
+//! sequential row is the baseline the cost gate falls back to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::{chain_query_src, query_world};
+use loosedb_engine::pool::workers;
+use loosedb_query::{eval_with, parse, EvalOptions, ExecStrategy, ParallelMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e22_parjoin");
+    group.sample_size(10);
+    let mut db = query_world(50_000);
+    let opts = |parallel| EvalOptions {
+        strategy: ExecStrategy::HashJoin,
+        parallel,
+        max_rows: 10_000_000,
+        ..Default::default()
+    };
+
+    for atoms in [3usize, 4, 5] {
+        let src = chain_query_src(atoms);
+        let query = parse(&src, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        let nparts = workers().max(2);
+        for (label, parallel) in
+            [("sequential", ParallelMode::Off), ("partitioned", ParallelMode::Force(nparts))]
+        {
+            group.bench_function(BenchmarkId::new(label, atoms), |b| {
+                b.iter(|| eval_with(&query, &view, opts(parallel)).expect("eval").len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use loosedb_engine::{ClosureError, Database, MathMatchError, TransactionError};
-use loosedb_query::{eval_with, Answer, EvalError, ParseError};
+use loosedb_query::{plan_and_eval_stats, Answer, EvalError, ParseError};
 use loosedb_store::{EntityId, EntityValue, Pattern};
 
 use crate::navigate::{navigate, try_entity, NavigateOptions};
@@ -212,11 +212,14 @@ impl Session {
         let eval_opts = self.probe_opts.eval;
         let view = self.db.view()?;
         let start = Instant::now();
-        let answer = eval_with(&query, &view, eval_opts)?;
+        let (answer, _, stats) = plan_and_eval_stats(&query, &view, eval_opts)?;
         let m = self.db.metrics();
         m.query_evals.inc();
         m.query_eval_ns.record_duration(start.elapsed());
         m.query_rows.record(answer.len() as u64);
+        m.strategy_hash.add(stats.strategy_hash);
+        m.strategy_nested.add(stats.strategy_nested);
+        m.join_partitions.add(stats.partitions);
         Ok(answer)
     }
 

@@ -37,8 +37,8 @@ use std::time::Instant;
 
 use loosedb_engine::{DeltaSummary, Generation, SharedDatabase};
 use loosedb_query::{
-    eval_planned, eval_with, plan_and_eval, Answer, AtomOrdering, Formula, FrozenParseError,
-    PlanCache, PlanCacheStats, Query,
+    eval_planned_stats, eval_with, plan_and_eval_stats, Answer, AtomOrdering, EvalStats, Formula,
+    FrozenParseError, PlanCache, PlanCacheStats, Query,
 };
 use loosedb_store::{special, EntityId, EntityValue, Interner, Pattern};
 
@@ -484,24 +484,30 @@ impl SharedSession {
         let deps = dependency_rels(&query, generation.interner().len());
         let view = generation.view_with_interner(interner);
         let start = Instant::now();
-        let answer = if eval_opts.ordering == AtomOrdering::Greedy {
+        let (answer, stats) = if eval_opts.ordering == AtomOrdering::Greedy {
             match self.plans.get(&query, &eval_opts) {
-                Some(plan) => Arc::new(eval_planned(&query, &view, eval_opts, &plan)?),
+                Some(plan) => {
+                    let (answer, stats) = eval_planned_stats(&query, &view, eval_opts, &plan)?;
+                    (Arc::new(answer), stats)
+                }
                 None => {
-                    let (answer, plan) = plan_and_eval(&query, &view, eval_opts)?;
+                    let (answer, plan, stats) = plan_and_eval_stats(&query, &view, eval_opts)?;
                     self.plans.insert(&query, &eval_opts, Arc::new(plan));
-                    Arc::new(answer)
+                    (Arc::new(answer), stats)
                 }
             }
         } else {
             // Syntactic ordering needs no probes, so a plan cache would
             // only add bookkeeping.
-            Arc::new(eval_with(&query, &view, eval_opts)?)
+            (Arc::new(eval_with(&query, &view, eval_opts)?), EvalStats::default())
         };
         let m = self.shared.metrics();
         m.query_evals.inc();
         m.query_eval_ns.record_duration(start.elapsed());
         m.query_rows.record(answer.len() as u64);
+        m.strategy_hash.add(stats.strategy_hash);
+        m.strategy_nested.add(stats.strategy_nested);
+        m.join_partitions.add(stats.partitions);
         self.cache.insert(expanded, Arc::clone(&answer), deps);
         Ok(answer)
     }

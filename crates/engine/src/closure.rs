@@ -778,7 +778,7 @@ enum JobKind {
 }
 
 /// One chunk of a round's delta, dispatched to the worker pool.
-struct RoundJob {
+pub(crate) struct RoundJob {
     ctx: Arc<RoundCtx>,
     chunk: Vec<Fact>,
     seq: usize,
@@ -786,23 +786,40 @@ struct RoundJob {
     results: mpsc::Sender<(usize, RoundOut)>,
 }
 
+/// An opaque closure dispatched to the pool by [`crate::pool`] (the
+/// query layer's partitioned joins). The completion channel carries the
+/// panic payload, if any, so the submitter can resume the unwind on its
+/// own thread.
+pub(crate) struct TaskJob {
+    pub(crate) run: Box<dyn FnOnce() + Send>,
+    pub(crate) done: mpsc::Sender<std::thread::Result<()>>,
+}
+
+/// A unit of work accepted by the shared worker pool.
+pub(crate) enum PoolJob {
+    Round(RoundJob),
+    Task(TaskJob),
+}
+
 /// The process-wide closure worker pool: long-lived threads fed chunked
 /// rounds over a shared queue. Earlier the engine spawned a fresh
 /// `crossbeam::thread::scope` per fixpoint round, paying thread setup and
 /// teardown every round (measured in E13); the pool spawns its threads
-/// once, on first use, and they block on the queue between rounds.
-struct WorkerPool {
+/// once, on first use, and they block on the queue between rounds. The
+/// same threads also serve generic [`TaskJob`]s submitted through
+/// [`crate::pool::run_scoped`].
+pub(crate) struct WorkerPool {
     /// The job queue. Guarded by a mutex so concurrent closure
     /// computations (e.g. parallel tests) can share the one pool.
-    jobs: Mutex<mpsc::Sender<RoundJob>>,
-    workers: usize,
+    pub(crate) jobs: Mutex<mpsc::Sender<PoolJob>>,
+    pub(crate) workers: usize,
 }
 
-fn worker_pool() -> &'static WorkerPool {
+pub(crate) fn worker_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let (jobs, queue) = mpsc::channel::<RoundJob>();
+        let (jobs, queue) = mpsc::channel::<PoolJob>();
         let queue = Arc::new(Mutex::new(queue));
         for i in 0..workers {
             let queue = Arc::clone(&queue);
@@ -814,7 +831,15 @@ fn worker_pool() -> &'static WorkerPool {
                         Ok(job) => job,
                         Err(_) => return,
                     };
-                    let RoundJob { ctx, chunk, seq, kind, results } = job;
+                    let RoundJob { ctx, chunk, seq, kind, results } = match job {
+                        PoolJob::Round(job) => job,
+                        PoolJob::Task(TaskJob { run, done }) => {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                            let _ = done.send(result);
+                            continue;
+                        }
+                    };
                     let mut out = RoundOut::new();
                     {
                         let rules = ctx.structural();
@@ -925,13 +950,13 @@ impl Engine<'_> {
         {
             let jobs = pool.jobs.lock().expect("pool queue");
             for (seq, chunk) in delta.chunks(chunk_size).enumerate() {
-                jobs.send(RoundJob {
+                jobs.send(PoolJob::Round(RoundJob {
                     ctx: Arc::clone(&ctx),
                     chunk: chunk.to_vec(),
                     seq,
                     kind,
                     results: results.clone(),
-                })
+                }))
                 .expect("worker pool alive");
                 sent += 1;
             }

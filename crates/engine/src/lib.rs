@@ -47,6 +47,7 @@ pub mod durable;
 pub mod kind;
 pub mod mathrel;
 pub mod persist;
+pub mod pool;
 pub mod prove;
 pub mod replica;
 pub mod rule;

@@ -1,0 +1,135 @@
+//! Scoped access to the shared closure worker pool for other layers.
+//!
+//! The closure engine keeps one process-wide pool of long-lived threads
+//! (`loosedb-closure-{i}`) that normally run fixpoint rounds. Between
+//! rounds those threads are idle; this module lets the query layer
+//! borrow them for partitioned hash joins without spawning anything —
+//! the same morsel economics that motivated the pool in the first
+//! place (E13).
+//!
+//! [`run_scoped`] is a blocking fork-join: it submits a batch of
+//! borrowing closures and does not return until every one has finished,
+//! which is what makes the non-`'static` borrows sound. A panic in a
+//! task is carried back and resumed on the calling thread after the
+//! whole batch has drained, so sibling tasks never observe a torn
+//! scope.
+
+use std::sync::mpsc;
+
+use crate::closure::{worker_pool, PoolJob, TaskJob};
+
+/// Number of threads in the process-wide worker pool (≥ 1).
+pub fn workers() -> usize {
+    worker_pool().workers
+}
+
+/// True when called from a pool worker thread itself. Scoped batches
+/// submitted from a worker run inline: a worker blocking on the queue
+/// it is supposed to drain would deadlock the pool.
+fn on_pool_thread() -> bool {
+    std::thread::current().name().is_some_and(|n| n.starts_with("loosedb-closure-"))
+}
+
+/// Runs every task to completion, using the shared pool when it has
+/// more than one thread and running inline otherwise. Blocks until all
+/// tasks have finished; if any task panicked, the first panic is
+/// resumed on the calling thread after the batch has drained.
+///
+/// Tasks may borrow from the caller's stack: the function only returns
+/// once every task has reported completion, so no borrow escapes the
+/// call.
+pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let pool = worker_pool();
+    if pool.workers < 2 || tasks.len() < 2 || on_pool_thread() {
+        // Inline fallback with the same drain-then-resume panic
+        // semantics as the pooled path.
+        let mut panicked = None;
+        for task in tasks {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                panicked = Some(payload);
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        return;
+    }
+    let n = tasks.len();
+    let (done, collect) = mpsc::channel();
+    {
+        let jobs = pool.jobs.lock().expect("pool queue");
+        for task in tasks {
+            // SAFETY: the loop below blocks on `collect` until all `n`
+            // tasks have reported completion (normal or panicked), so
+            // every borrow inside `task` outlives its execution.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            jobs.send(PoolJob::Task(TaskJob { run: task, done: done.clone() }))
+                .expect("worker pool alive");
+        }
+    }
+    drop(done);
+    let mut panicked = None;
+    for _ in 0..n {
+        match collect.recv().expect("closure worker alive") {
+            Ok(()) => {}
+            Err(payload) => panicked = Some(payload),
+        }
+    }
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_scoped_completes_all_tasks_with_stack_borrows() {
+        let hits = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..23).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = inputs
+            .iter()
+            .map(|&i| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(i, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), (0..23).sum());
+    }
+
+    #[test]
+    fn run_scoped_handles_empty_and_single_batches() {
+        run_scoped(Vec::new());
+        let ran = AtomicUsize::new(0);
+        run_scoped(vec![Box::new(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })]);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_scoped_resumes_panics_after_draining() {
+        let survivors = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    let survivors = &survivors;
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("partition failure");
+                        }
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        assert_eq!(survivors.load(Ordering::Relaxed), 3, "siblings run to completion");
+    }
+}

@@ -17,9 +17,9 @@
 //! [`ClosureView`] merges all three into the pattern-matching contract:
 //! every fact returned for a pattern *matches the pattern as written*.
 
-use std::cell::OnceCell;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
 
@@ -31,7 +31,12 @@ use crate::mathrel::{self, MathMatchError, MathTruth};
 ///
 /// The trait exists so the query evaluator (crate `loosedb-query`) can run
 /// against any provider — the real [`ClosureView`], or test doubles.
-pub trait FactView {
+///
+/// `Sync` is a supertrait: the evaluator's partitioned hash joins probe
+/// one view concurrently from the shared worker pool
+/// ([`crate::pool::run_scoped`]), so every provider must be shareable
+/// across threads.
+pub trait FactView: Sync {
     /// The entity interner.
     fn interner(&self) -> &Interner;
 
@@ -61,6 +66,16 @@ pub trait FactView {
     fn count_probes(&self) -> u64 {
         0
     }
+
+    /// Number of distinct entities in the active domain, when cheaply
+    /// known (`0` = unknown). A cost-model input for the adaptive
+    /// planner: it caps the estimated size of deduplicated join
+    /// frontiers. Never issues probes and never materializes the
+    /// domain; [`ClosureView`] answers it O(1) from the closure's
+    /// incremental occurrence counts.
+    fn domain_size(&self) -> usize {
+        0
+    }
 }
 
 /// Computes the active domain of a closure by rescanning every fact:
@@ -88,8 +103,9 @@ pub struct ClosureView<'a> {
     /// Sorted active domain, materialized from the closure's incremental
     /// occurrence counts the first time a universal quantifier (or
     /// disjunction padding) asks for it. Most queries never do, so view
-    /// construction is O(1).
-    domain: OnceCell<Vec<EntityId>>,
+    /// construction is O(1). `OnceLock` (not `OnceCell`): the view is
+    /// probed concurrently by partitioned parallel joins.
+    domain: OnceLock<Vec<EntityId>>,
     /// Selectivity probes issued through [`FactView::count_estimate`].
     /// Atomic (not `Cell`) so views can keep being shared across reader
     /// threads; ordering is relaxed — it is a statistics counter.
@@ -108,7 +124,7 @@ impl<'a> ClosureView<'a> {
             closure,
             interner,
             kinds,
-            domain: OnceCell::new(),
+            domain: OnceLock::new(),
             probes: AtomicU64::new(0),
             registry_probes: None,
         }
@@ -281,6 +297,12 @@ impl FactView for ClosureView<'_> {
 
     fn count_probes(&self) -> u64 {
         self.probes.load(Ordering::Relaxed)
+    }
+
+    fn domain_size(&self) -> usize {
+        // O(1): the closure maintains per-entity occurrence counts
+        // incrementally; their cardinality is the active-domain size.
+        self.closure.domain().len()
     }
 }
 

@@ -399,6 +399,15 @@ pub struct Metrics {
     /// Index probes issued by views (`query.count_probes`; absorbs
     /// `FactView::count_probes`).
     pub count_probes: Counter,
+    /// Conjunction groups executed set-at-a-time
+    /// (`query.plan.strategy_hash`).
+    pub strategy_hash: Counter,
+    /// Conjunction groups executed binding-at-a-time
+    /// (`query.plan.strategy_nested`).
+    pub strategy_nested: Counter,
+    /// Parallel partitions fanned out by hash-join steps
+    /// (`query.join.partitions`).
+    pub join_partitions: Counter,
     /// Plan-cache counters (`query.plan_cache.*`; absorbs `PlanCacheStats`).
     pub plan_cache: CacheCounters,
 
@@ -479,6 +488,9 @@ impl Metrics {
             query_eval_ns: registry.histogram("query.eval_nanos"),
             query_rows: registry.histogram("query.rows"),
             count_probes: registry.counter("query.count_probes"),
+            strategy_hash: registry.counter("query.plan.strategy_hash"),
+            strategy_nested: registry.counter("query.plan.strategy_nested"),
+            join_partitions: registry.counter("query.join.partitions"),
             plan_cache: CacheCounters::register(
                 &registry,
                 "query.plan_cache.hits",
@@ -555,6 +567,9 @@ impl Metrics {
                 eval_ns: self.query_eval_ns.snapshot(),
                 rows: self.query_rows.snapshot(),
                 count_probes: self.count_probes.get(),
+                strategy_hash: self.strategy_hash.get(),
+                strategy_nested: self.strategy_nested.get(),
+                join_partitions: self.join_partitions.get(),
                 plan_cache: self.plan_cache.snapshot(),
             },
             repl: ReplicationSnapshot {
@@ -686,6 +701,12 @@ pub struct QuerySnapshot {
     pub rows: HistogramSnapshot,
     /// Index probes issued by views.
     pub count_probes: u64,
+    /// Conjunction groups executed set-at-a-time.
+    pub strategy_hash: u64,
+    /// Conjunction groups executed binding-at-a-time.
+    pub strategy_nested: u64,
+    /// Parallel partitions fanned out by hash-join steps.
+    pub join_partitions: u64,
     /// Plan-cache counters.
     pub plan_cache: CacheSnapshot,
 }

@@ -26,6 +26,7 @@
 //! columns.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use loosedb_engine::{Bindings, FactView, MathMatchError, Template, Term, Var};
 use loosedb_store::{special, EntityId};
@@ -46,13 +47,37 @@ pub enum AtomOrdering {
 /// How a conjunction is executed once ordered.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ExecStrategy {
+    /// Per-group choice between the two executors below, made by the
+    /// planner's cost model from capped extent estimates and the
+    /// active-domain size (see `plan.rs`) and recorded in the cached
+    /// plan. Groups whose plan is missing or stale run as `HashJoin` —
+    /// the safe-at-scale executor.
+    #[default]
+    Adaptive,
     /// Set-at-a-time: hash joins over column-oriented relations with
     /// incremental deduplication and semi-join projection pushdown.
-    #[default]
     HashJoin,
     /// The seed's binding-at-a-time nested loops, kept as the reference
     /// oracle and the E18 baseline.
     NestedLoop,
+}
+
+/// Whether large hash-join steps are partitioned by join-key hash
+/// across the shared closure worker pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ParallelMode {
+    /// Cost-gated: partition only when the build side has enough
+    /// distinct keys and the pool has more than one thread, so small
+    /// (e.g. two-atom) joins never pay scatter/merge overhead.
+    #[default]
+    Auto,
+    /// Never partition.
+    Off,
+    /// Always partition, regardless of size: into `n` partitions
+    /// (minimum 2), or the pool width when `n` is 0. On a single-core
+    /// pool the partitions run inline, sequentially — so tests and CI
+    /// exercise the partitioned code path on any machine.
+    Force(usize),
 }
 
 /// Evaluation options.
@@ -64,14 +89,30 @@ pub struct EvalOptions {
     pub strategy: ExecStrategy,
     /// Abort when an intermediate result exceeds this many rows.
     pub max_rows: usize,
+    /// Parallel-partitioning policy for hash-join steps.
+    pub parallel: ParallelMode,
+}
+
+/// The process-wide default [`ParallelMode`], read once from
+/// `LOOSEDB_PARALLEL_JOIN` (`force` / `off`; anything else — including
+/// unset — is `Auto`). The CI stress job uses `force` to drive the
+/// equivalence proptests down the partitioned path on any hardware.
+fn default_parallel_mode() -> ParallelMode {
+    static MODE: std::sync::OnceLock<ParallelMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("LOOSEDB_PARALLEL_JOIN").as_deref() {
+        Ok("force") => ParallelMode::Force(0),
+        Ok("off") => ParallelMode::Off,
+        _ => ParallelMode::Auto,
+    })
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             ordering: AtomOrdering::Greedy,
-            strategy: ExecStrategy::HashJoin,
+            strategy: ExecStrategy::Adaptive,
             max_rows: 1_000_000,
+            parallel: default_parallel_mode(),
         }
     }
 }
@@ -172,6 +213,22 @@ impl Answer {
     }
 }
 
+/// Execution statistics for one evaluation: how many conjunction
+/// groups ran under each effective executor, and how many parallel
+/// partitions the hash joins fanned out to (0 when every step ran
+/// sequentially). The `SharedSession` mirrors these into the
+/// `query.plan.strategy_{hash,nested}` and `query.join.partitions`
+/// registry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Conjunction groups executed set-at-a-time (hash joins).
+    pub strategy_hash: u64,
+    /// Conjunction groups executed binding-at-a-time (nested loops).
+    pub strategy_nested: u64,
+    /// Parallel partitions spawned across all hash-join steps.
+    pub partitions: u64,
+}
+
 /// Evaluates a query with default options.
 pub fn eval(query: &Query, view: &impl FactView) -> Result<Answer, EvalError> {
     eval_with(query, view, EvalOptions::default())
@@ -199,6 +256,18 @@ pub fn plan_and_eval(
     Ok((answer, plan))
 }
 
+/// Like [`plan_and_eval`], additionally returning the execution
+/// statistics.
+pub fn plan_and_eval_stats(
+    query: &Query,
+    view: &impl FactView,
+    opts: EvalOptions,
+) -> Result<(Answer, QueryPlan, EvalStats), EvalError> {
+    let plan = plan_query(query, view, &opts);
+    let (answer, stats) = eval_planned_stats(query, view, opts, &plan)?;
+    Ok((answer, plan, stats))
+}
+
 /// Executes a query under a previously built (possibly cached) plan,
 /// issuing no planning probes. A plan that no longer matches the
 /// formula shape falls back to syntactic order per group — replay is a
@@ -209,18 +278,34 @@ pub fn eval_planned(
     opts: EvalOptions,
     plan: &QueryPlan,
 ) -> Result<Answer, EvalError> {
+    eval_planned_stats(query, view, opts, plan).map(|(answer, _)| answer)
+}
+
+/// Like [`eval_planned`], additionally returning the execution
+/// statistics ([`EvalStats`]).
+pub fn eval_planned_stats(
+    query: &Query,
+    view: &impl FactView,
+    opts: EvalOptions,
+    plan: &QueryPlan,
+) -> Result<(Answer, EvalStats), EvalError> {
     let mut span = loosedb_obs::span!("query.execute", free_vars = query.free.len());
     // Columns anything above the formula can observe: the declared
     // answer columns. Everything else is fair game for pushdown.
     let formula_free = query.formula.free_vars();
     let needed_set: BTreeSet<Var> =
         query.free.iter().copied().filter(|v| formula_free.contains(v)).collect();
+    // Forced nested-loop (the oracle) disables pushdown wholesale;
+    // under Adaptive, groups the cost model sent down the nested path
+    // project back to the needed columns afterwards, so pushdown stays
+    // observable-equivalent.
     let needed = match opts.strategy {
-        ExecStrategy::HashJoin => Some(&needed_set),
+        ExecStrategy::HashJoin | ExecStrategy::Adaptive => Some(&needed_set),
         ExecStrategy::NestedLoop => None,
     };
     let mut cursor = 0usize;
-    let rel = eval_formula(&query.formula, view, &opts, needed, plan, &mut cursor)?;
+    let mut stats = EvalStats::default();
+    let rel = eval_formula(&query.formula, view, &opts, needed, plan, &mut cursor, &mut stats)?;
     // Project to the declared free-variable order.
     let positions: Vec<Option<usize>> = query.free.iter().map(|v| rel.col_pos(*v)).collect();
     let mut rows = BTreeSet::new();
@@ -232,7 +317,7 @@ pub fn eval_planned(
     }
     let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
     span.record("rows", rows.len());
-    Ok(Answer { columns: query.free.clone(), names, rows })
+    Ok((Answer { columns: query.free.clone(), names, rows }, stats))
 }
 
 /// Renders the evaluation plan for a query without executing it: the
@@ -467,6 +552,7 @@ enum Conjunct<'f> {
     Rel(Rel),
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_formula(
     f: &Formula,
     view: &impl FactView,
@@ -474,6 +560,7 @@ fn eval_formula(
     needed: Option<&BTreeSet<Var>>,
     plan: &QueryPlan,
     cursor: &mut usize,
+    stats: &mut EvalStats,
 ) -> Result<Rel, EvalError> {
     if f.is_true_sentinel() {
         return Ok(Rel::truth(true));
@@ -486,18 +573,49 @@ fn eval_formula(
             }
             let group = plan.groups().get(*cursor);
             *cursor += 1;
-            match opts.strategy {
-                ExecStrategy::HashJoin => {
-                    eval_conjunction_hash(&conjuncts, view, opts, needed, group, plan, cursor)
-                }
+            // The effective executor: forced options win; under
+            // Adaptive the plan's per-group cost decision applies, and
+            // a missing or stale group defaults to the hash executor.
+            let effective = match opts.strategy {
+                ExecStrategy::Adaptive => match group.map(|g| g.strategy) {
+                    Some(ExecStrategy::NestedLoop) => ExecStrategy::NestedLoop,
+                    _ => ExecStrategy::HashJoin,
+                },
+                forced => forced,
+            };
+            match effective {
                 ExecStrategy::NestedLoop => {
-                    eval_conjunction_nested(&conjuncts, view, opts, group, plan, cursor)
+                    stats.strategy_nested += 1;
+                    let rel = eval_conjunction_nested(
+                        &conjuncts, view, opts, group, plan, cursor, stats,
+                    )?;
+                    // The binding-at-a-time path always materializes the
+                    // group full-width; under pushdown the enclosing
+                    // scope expects the dropped columns gone.
+                    match needed {
+                        Some(nd) => {
+                            let keep: Vec<Var> =
+                                rel.cols.iter().copied().filter(|c| nd.contains(c)).collect();
+                            if keep.len() < rel.cols.len() {
+                                Ok(rel.project_to(&keep))
+                            } else {
+                                Ok(rel)
+                            }
+                        }
+                        None => Ok(rel),
+                    }
+                }
+                _ => {
+                    stats.strategy_hash += 1;
+                    eval_conjunction_hash(
+                        &conjuncts, view, opts, needed, group, plan, cursor, stats,
+                    )
                 }
             }
         }
         Formula::Or(a, b) => {
-            let left = eval_formula(a, view, opts, needed, plan, cursor)?;
-            let right = eval_formula(b, view, opts, needed, plan, cursor)?;
+            let left = eval_formula(a, view, opts, needed, plan, cursor, stats)?;
+            let right = eval_formula(b, view, opts, needed, plan, cursor, stats)?;
             union(left, right, view, opts)
         }
         Formula::Exists(v, a) => match needed {
@@ -506,19 +624,19 @@ fn eval_formula(
             Some(n) => {
                 let mut nb = n.clone();
                 nb.remove(v);
-                let rel = eval_formula(a, view, opts, Some(&nb), plan, cursor)?;
+                let rel = eval_formula(a, view, opts, Some(&nb), plan, cursor, stats)?;
                 debug_assert!(rel.col_pos(*v).is_none());
                 Ok(rel)
             }
             None => {
-                let rel = eval_formula(a, view, opts, None, plan, cursor)?;
+                let rel = eval_formula(a, view, opts, None, plan, cursor, stats)?;
                 Ok(rel.project_out(*v))
             }
         },
         Formula::ForAll(v, a) => {
             // Division does not commute with projection (∀∃ ≠ ∃∀): the
             // body keeps its full free columns.
-            let rel = eval_formula(a, view, opts, None, plan, cursor)?;
+            let rel = eval_formula(a, view, opts, None, plan, cursor, stats)?;
             let rel = forall(rel, *v, view.domain());
             match needed {
                 Some(n) => {
@@ -540,6 +658,7 @@ fn eval_formula(
 /// quantifiers) into relations, in flatten order so the plan-group
 /// cursor stays aligned; atoms stay symbolic so joins can probe the
 /// store indexes.
+#[allow(clippy::too_many_arguments)]
 fn materialize_conjuncts<'f>(
     conjuncts: &[&'f Formula],
     var_sets: &[BTreeSet<Var>],
@@ -548,6 +667,7 @@ fn materialize_conjuncts<'f>(
     needed: Option<&BTreeSet<Var>>,
     plan: &QueryPlan,
     cursor: &mut usize,
+    stats: &mut EvalStats,
 ) -> Result<Vec<Conjunct<'f>>, EvalError> {
     let mut items: Vec<Conjunct<'f>> = Vec::with_capacity(conjuncts.len());
     for (i, c) in conjuncts.iter().enumerate() {
@@ -566,7 +686,8 @@ fn materialize_conjuncts<'f>(
                     }
                     keep
                 });
-                let rel = eval_formula(other, view, opts, sub_needed.as_ref(), plan, cursor)?;
+                let rel =
+                    eval_formula(other, view, opts, sub_needed.as_ref(), plan, cursor, stats)?;
                 items.push(Conjunct::Rel(rel));
             }
         }
@@ -575,6 +696,7 @@ fn materialize_conjuncts<'f>(
 }
 
 /// Set-at-a-time conjunction: hash-joins the conjuncts in plan order.
+#[allow(clippy::too_many_arguments)]
 fn eval_conjunction_hash(
     conjuncts: &[&Formula],
     view: &impl FactView,
@@ -583,10 +705,12 @@ fn eval_conjunction_hash(
     group: Option<&GroupPlan>,
     plan: &QueryPlan,
     cursor: &mut usize,
+    stats: &mut EvalStats,
 ) -> Result<Rel, EvalError> {
     let n = conjuncts.len();
     let var_sets: Vec<BTreeSet<Var>> = conjuncts.iter().map(|c| c.free_vars()).collect();
-    let items = materialize_conjuncts(conjuncts, &var_sets, view, opts, needed, plan, cursor)?;
+    let items =
+        materialize_conjuncts(conjuncts, &var_sets, view, opts, needed, plan, cursor, stats)?;
     let order: Vec<usize> = match group {
         Some(g) if valid_order(&g.order, n) => g.order.clone(),
         _ => (0..n).collect(),
@@ -598,7 +722,7 @@ fn eval_conjunction_hash(
             break;
         }
         cur = match &items[ci] {
-            Conjunct::Atom(tpl) => join_atom(cur, tpl, view, opts)?,
+            Conjunct::Atom(tpl) => join_atom(cur, tpl, view, opts, stats)?,
             Conjunct::Rel(rel) => join_rel(cur, rel, opts)?,
         };
         if let Some(nd) = needed {
@@ -639,15 +763,45 @@ fn eval_conjunction_hash(
     Ok(cur.project_to(&final_cols))
 }
 
+/// Distinct-key count above which [`ParallelMode::Auto`] partitions a
+/// join step across the worker pool. Below this, scatter + per-partition
+/// hash-map setup costs more than the join itself — in particular the
+/// two-atom case (one key column, small build) always stays sequential.
+const PARALLEL_KEY_THRESHOLD: usize = 1024;
+
+/// How many partitions a join step with `distinct_keys` probe keys
+/// should fan out to; 1 means the sequential path.
+fn partition_count(mode: ParallelMode, distinct_keys: usize) -> usize {
+    match mode {
+        ParallelMode::Off => 1,
+        ParallelMode::Force(0) => loosedb_engine::pool::workers().max(2),
+        ParallelMode::Force(n) => n.max(2),
+        ParallelMode::Auto => {
+            let workers = loosedb_engine::pool::workers();
+            if workers > 1 && distinct_keys >= PARALLEL_KEY_THRESHOLD {
+                workers
+            } else {
+                1
+            }
+        }
+    }
+}
+
 /// One hash-join step against an atom's extension. The store is probed
 /// once per *distinct* value of the join key (the template's variables
 /// already bound in `cur`), not once per partial row; the matches are
 /// grouped by key and the join streams `cur` against the groups.
+///
+/// Large steps are partitioned by join-key hash across the shared
+/// closure worker pool (see [`ParallelMode`]); keyless steps (the first
+/// atom, cross products) always run sequentially — there is nothing to
+/// partition on.
 fn join_atom(
     cur: Rel,
     tpl: &Template,
     view: &impl FactView,
     opts: &EvalOptions,
+    stats: &mut EvalStats,
 ) -> Result<Rel, EvalError> {
     // Distinct template variables in position order.
     let mut tvars: Vec<Var> = Vec::new();
@@ -681,6 +835,17 @@ fn join_atom(
             }
             kd.commit(&mut keys);
         }
+    }
+
+    // Partitioned execution for large keyed steps: scatter the distinct
+    // keys and the probe rows by join-key hash, join each partition
+    // independently on the worker pool, concatenate the arenas.
+    let nparts = if karity == 0 { 1 } else { partition_count(opts.parallel, keys.rows) };
+    if nparts > 1 {
+        stats.partitions += nparts as u64;
+        return join_atom_partitioned(
+            &cur, tpl, view, opts, &keys, &key_vars, &new_vars, &key_pos, out_cols, nparts,
+        );
     }
 
     // 2. One index probe per distinct key; match payloads grouped by key.
@@ -754,6 +919,189 @@ fn join_atom(
     Ok(out)
 }
 
+/// The partitioned variant of [`join_atom`]: both the distinct keys and
+/// the probe rows are scattered by `hash_row(key columns) % nparts`, so
+/// every probe row lands in the same partition as its key — and, since
+/// equal output rows embed equal key values, duplicates can only
+/// collide *within* a partition. Per-partition [`RowDedup`] is
+/// therefore global dedup, and the merge is plain arena concatenation
+/// with no re-hashing. The `max_rows` guard uses shared atomic
+/// counters so the bound holds across partitions.
+#[allow(clippy::too_many_arguments)]
+fn join_atom_partitioned(
+    cur: &Rel,
+    tpl: &Template,
+    view: &impl FactView,
+    opts: &EvalOptions,
+    keys: &Rel,
+    key_vars: &[Var],
+    new_vars: &[Var],
+    key_pos: &[usize],
+    out_cols: Vec<Var>,
+    nparts: usize,
+) -> Result<Rel, EvalError> {
+    let karity = key_vars.len();
+    let mut span = loosedb_obs::span!(
+        "query.join_atom",
+        rows_in = cur.rows,
+        distinct_keys = keys.rows,
+        partitions = nparts
+    );
+
+    // Scatter phase (sequential, cheap): indices only, no row copying.
+    let mut part_keys: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    for k in 0..keys.rows {
+        let h = hash_row(&keys.data[k * karity..(k + 1) * karity]);
+        part_keys[(h % nparts as u64) as usize].push(k as u32);
+    }
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    let mut scratch: Vec<EntityId> = Vec::with_capacity(karity);
+    for i in 0..cur.rows {
+        let row = cur.row(i);
+        scratch.clear();
+        for &p in key_pos {
+            scratch.push(row[p]);
+        }
+        let h = hash_row(&scratch);
+        part_rows[(h % nparts as u64) as usize].push(i as u32);
+    }
+
+    let produced = AtomicUsize::new(0);
+    let committed = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<Rel, EvalError>>> = Vec::new();
+    results.resize_with(nparts, || None);
+    {
+        let out_cols = &out_cols;
+        let produced = &produced;
+        let committed = &committed;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(p, slot)| {
+                let my_keys = std::mem::take(&mut part_keys[p]);
+                let my_rows = std::mem::take(&mut part_rows[p]);
+                Box::new(move || {
+                    *slot = Some(join_partition(
+                        p, cur, tpl, view, opts, keys, key_vars, new_vars, key_pos, out_cols,
+                        &my_keys, &my_rows, produced, committed,
+                    ));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        loosedb_engine::pool::run_scoped(tasks);
+    }
+
+    // Merge: concatenate the partition arenas (same column layout, no
+    // cross-partition duplicates by construction).
+    let mut out = Rel::empty(out_cols);
+    for slot in results {
+        let part = slot.expect("partition task completed")?;
+        out.data.extend_from_slice(&part.data);
+        out.rows += part.rows;
+    }
+    span.record("produced", produced.load(Ordering::Relaxed));
+    span.record("rows_out", out.rows);
+    Ok(out)
+}
+
+/// One partition of a partitioned atom join: probe the store for this
+/// partition's distinct keys, then hash-join this partition's probe
+/// rows against the grouped matches, deduplicating locally.
+#[allow(clippy::too_many_arguments)]
+fn join_partition(
+    part: usize,
+    cur: &Rel,
+    tpl: &Template,
+    view: &impl FactView,
+    opts: &EvalOptions,
+    keys: &Rel,
+    key_vars: &[Var],
+    new_vars: &[Var],
+    key_pos: &[usize],
+    out_cols: &[Var],
+    my_keys: &[u32],
+    my_rows: &[u32],
+    produced: &AtomicUsize,
+    committed: &AtomicUsize,
+) -> Result<Rel, EvalError> {
+    let karity = key_vars.len();
+    let npay = new_vars.len();
+    let mut span = loosedb_obs::span!(
+        "query.join_partition",
+        partition = part,
+        distinct_keys = my_keys.len(),
+        rows_in = my_rows.len()
+    );
+    let mut groups: HashMap<&[EntityId], (Vec<EntityId>, usize)> =
+        HashMap::with_capacity(my_keys.len());
+    for &k in my_keys {
+        let k = k as usize;
+        let keyrow = &keys.data[k * karity..(k + 1) * karity];
+        let mut b = Bindings::new();
+        for (v, &val) in key_vars.iter().zip(keyrow) {
+            b.bind(*v, val);
+        }
+        let pattern = tpl.to_pattern(&b);
+        let mut payload: Vec<EntityId> = Vec::new();
+        let mut count = 0usize;
+        for fact in view.matches(pattern)? {
+            let Some(b2) = tpl.unify(&fact, &b) else { continue };
+            count += 1;
+            let total = produced.fetch_add(1, Ordering::Relaxed) + 1;
+            if total > opts.max_rows {
+                return Err(EvalError::ResultTooLarge { limit: opts.max_rows, produced: total });
+            }
+            for v in new_vars {
+                payload.push(b2.get(*v).expect("template variable bound by unify"));
+            }
+        }
+        groups.insert(keyrow, (payload, count));
+    }
+
+    let mut out = Rel::empty(out_cols.to_vec());
+    let mut dedup = RowDedup::default();
+    let mut scratch: Vec<EntityId> = Vec::with_capacity(karity);
+    for &i in my_rows {
+        let row = cur.row(i as usize);
+        scratch.clear();
+        for &p in key_pos {
+            scratch.push(row[p]);
+        }
+        let Some((payload, count)) = groups.get(scratch.as_slice()) else { continue };
+        if npay == 0 {
+            // Semi-join: the atom adds no columns, it only filters.
+            if *count > 0 {
+                out.data.extend_from_slice(row);
+                if dedup.commit(&mut out) {
+                    let total = committed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if total > opts.max_rows {
+                        return Err(EvalError::ResultTooLarge {
+                            limit: opts.max_rows,
+                            produced: total,
+                        });
+                    }
+                }
+            }
+        } else {
+            for chunk in payload.chunks(npay) {
+                out.data.extend_from_slice(row);
+                out.data.extend_from_slice(chunk);
+                if dedup.commit(&mut out) {
+                    let total = committed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if total > opts.max_rows {
+                        return Err(EvalError::ResultTooLarge {
+                            limit: opts.max_rows,
+                            produced: total,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    span.record("rows_out", out.rows);
+    Ok(out)
+}
+
 /// One hash-join step against a materialized relation (a pre-evaluated
 /// complex conjunct), keyed on the shared columns; a genuine cross
 /// product only when there are none.
@@ -813,6 +1161,7 @@ fn join_rel(cur: Rel, sub: &Rel, opts: &EvalOptions) -> Result<Rel, EvalError> {
 /// per-partial index probes, as the seed shipped it (modulo the
 /// in-loop `max_rows` check). Property tests compare the hash-join
 /// executor against this path.
+#[allow(clippy::too_many_arguments)]
 fn eval_conjunction_nested(
     conjuncts: &[&Formula],
     view: &impl FactView,
@@ -820,10 +1169,11 @@ fn eval_conjunction_nested(
     group: Option<&GroupPlan>,
     plan: &QueryPlan,
     cursor: &mut usize,
+    stats: &mut EvalStats,
 ) -> Result<Rel, EvalError> {
     let n = conjuncts.len();
     let var_sets: Vec<BTreeSet<Var>> = conjuncts.iter().map(|c| c.free_vars()).collect();
-    let items = materialize_conjuncts(conjuncts, &var_sets, view, opts, None, plan, cursor)?;
+    let items = materialize_conjuncts(conjuncts, &var_sets, view, opts, None, plan, cursor, stats)?;
     let order: Vec<usize> = match group {
         Some(g) if valid_order(&g.order, n) => g.order.clone(),
         _ => (0..n).collect(),
@@ -1003,30 +1353,24 @@ mod tests {
         answer.rows.iter().map(|row| row.iter().map(|&e| db.display(e)).collect()).collect()
     }
 
-    /// All four ordering × strategy combinations.
-    fn all_options(max_rows: usize) -> [EvalOptions; 4] {
-        [
-            EvalOptions {
-                ordering: AtomOrdering::Greedy,
-                strategy: ExecStrategy::HashJoin,
-                max_rows,
-            },
-            EvalOptions {
-                ordering: AtomOrdering::Syntactic,
-                strategy: ExecStrategy::HashJoin,
-                max_rows,
-            },
-            EvalOptions {
-                ordering: AtomOrdering::Greedy,
-                strategy: ExecStrategy::NestedLoop,
-                max_rows,
-            },
-            EvalOptions {
-                ordering: AtomOrdering::Syntactic,
-                strategy: ExecStrategy::NestedLoop,
-                max_rows,
-            },
-        ]
+    /// Every ordering × strategy combination, plus the partitioned
+    /// executor forced on.
+    fn all_options(max_rows: usize) -> Vec<EvalOptions> {
+        let base = EvalOptions { max_rows, parallel: ParallelMode::Off, ..EvalOptions::default() };
+        let mut out = Vec::new();
+        for ordering in [AtomOrdering::Greedy, AtomOrdering::Syntactic] {
+            for strategy in
+                [ExecStrategy::Adaptive, ExecStrategy::HashJoin, ExecStrategy::NestedLoop]
+            {
+                out.push(EvalOptions { ordering, strategy, ..base });
+            }
+        }
+        out.push(EvalOptions {
+            strategy: ExecStrategy::HashJoin,
+            parallel: ParallelMode::Force(2),
+            ..base
+        });
+        out
     }
 
     #[test]
@@ -1463,6 +1807,156 @@ mod tests {
         let fresh = eval_with(&query, &view, EvalOptions::default()).unwrap();
         assert_eq!(answer, fresh);
         assert_eq!(answer.len(), 1);
+    }
+
+    /// A chain world wide enough that joins carry many distinct keys.
+    fn chain_world(db: &mut Database, width: usize) {
+        for i in 0..width {
+            db.add(format!("A{i}"), "R", format!("B{i}"));
+            db.add(format!("B{i}"), "S", format!("C{}", i % 7));
+            db.add(format!("C{}", i % 7), "T", "HUB");
+        }
+    }
+
+    #[test]
+    fn partitioned_join_agrees_with_sequential() {
+        let mut db = Database::new();
+        chain_world(&mut db, 60);
+        let query = parse("(?x, R, ?y) & (?y, S, ?z) & (?z, T, HUB)", db.store_interner_mut())
+            .expect("parse");
+        let view = db.view().expect("closure");
+        let base = EvalOptions { strategy: ExecStrategy::HashJoin, ..EvalOptions::default() };
+        let seq = eval_with(&query, &view, EvalOptions { parallel: ParallelMode::Off, ..base })
+            .expect("sequential");
+        assert_eq!(seq.len(), 60);
+        for nparts in [2, 3, 8] {
+            let par = eval_with(
+                &query,
+                &view,
+                EvalOptions { parallel: ParallelMode::Force(nparts), ..base },
+            )
+            .expect("partitioned");
+            assert_eq!(seq.rows, par.rows, "partitioned ({nparts}) and sequential disagree");
+        }
+    }
+
+    #[test]
+    fn exists_pushdown_drops_column_under_partitioned_join() {
+        // The quantified variable must never be materialized even when
+        // the join steps fan out across partitions (the debug_assert in
+        // eval_formula checks the column is truly gone).
+        let mut db = Database::new();
+        chain_world(&mut db, 40);
+        let query = parse(
+            "Q(?x) := exists ?y . exists ?z . (?x, R, ?y) & (?y, S, ?z) & (?z, T, HUB)",
+            db.store_interner_mut(),
+        )
+        .expect("parse");
+        let view = db.view().expect("closure");
+        let base = EvalOptions { strategy: ExecStrategy::HashJoin, ..EvalOptions::default() };
+        let seq = eval_with(&query, &view, EvalOptions { parallel: ParallelMode::Off, ..base })
+            .expect("sequential");
+        let par =
+            eval_with(&query, &view, EvalOptions { parallel: ParallelMode::Force(4), ..base })
+                .expect("partitioned");
+        assert_eq!(seq.rows, par.rows);
+        assert_eq!(seq.columns.len(), 1);
+        assert_eq!(seq.len(), 40);
+    }
+
+    #[test]
+    fn forall_keeps_full_width_under_partitioned_join() {
+        // Division disables pushdown: the ForAll body materializes its
+        // full free columns regardless of the partitioning mode.
+        let build = |db: &mut Database| {
+            db.add("OMNI", "KNOWS", "OMNI");
+            db.add("OMNI", "KNOWS", "KNOWS");
+            db.add("OMNI", "KNOWS", "A");
+            db.add("OMNI", "KNOWS", "B");
+            db.add("A", "KNOWS", "B");
+        };
+        let src = "exists ?x . forall ?y . (?x, KNOWS, ?y)";
+        let mut db = Database::new();
+        build(&mut db);
+        let query = parse(src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        for parallel in [ParallelMode::Off, ParallelMode::Force(2)] {
+            let answer = eval_with(&query, &view, EvalOptions { parallel, ..Default::default() })
+                .expect("eval");
+            assert!(answer.is_true(), "{parallel:?}");
+        }
+    }
+
+    #[test]
+    fn eval_stats_count_effective_strategies_and_partitions() {
+        let mut db = Database::new();
+        chain_world(&mut db, 30);
+        let query = parse("(?x, R, ?y) & (?y, S, ?z)", db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+
+        // Forced hash, forced partitions: one hash group, two
+        // partitions per keyed join step (one step here — the first
+        // join is keyless).
+        let (_, _, stats) = plan_and_eval_stats(
+            &query,
+            &view,
+            EvalOptions {
+                strategy: ExecStrategy::HashJoin,
+                parallel: ParallelMode::Force(2),
+                ..EvalOptions::default()
+            },
+        )
+        .expect("eval");
+        assert_eq!(stats.strategy_hash, 1);
+        assert_eq!(stats.strategy_nested, 0);
+        assert_eq!(stats.partitions, 2);
+
+        // Forced nested: no hash groups, no partitions.
+        let (_, _, stats) = plan_and_eval_stats(
+            &query,
+            &view,
+            EvalOptions {
+                strategy: ExecStrategy::NestedLoop,
+                parallel: ParallelMode::Force(2),
+                ..EvalOptions::default()
+            },
+        )
+        .expect("eval");
+        assert_eq!(stats.strategy_nested, 1);
+        assert_eq!(stats.strategy_hash, 0);
+        assert_eq!(stats.partitions, 0);
+
+        // Adaptive on a small world: the cost model picks some executor
+        // for the single group; exactly one side is counted.
+        let (_, _, stats) = plan_and_eval_stats(
+            &query,
+            &view,
+            EvalOptions {
+                strategy: ExecStrategy::Adaptive,
+                parallel: ParallelMode::Off,
+                ..EvalOptions::default()
+            },
+        )
+        .expect("eval");
+        assert_eq!(stats.strategy_hash + stats.strategy_nested, 1);
+    }
+
+    #[test]
+    fn adaptive_agrees_with_forced_strategies_under_stale_plan() {
+        // An Adaptive run replayed against an empty (stale) plan routes
+        // every group down the hash path and must stay correct.
+        let mut db = Database::new();
+        chain_world(&mut db, 20);
+        let query = parse(
+            "Q(?x) := exists ?y . exists ?z . (?x, R, ?y) & (?y, S, ?z) & (?z, T, HUB)",
+            db.store_interner_mut(),
+        )
+        .expect("parse");
+        let view = db.view().expect("closure");
+        let fresh = eval_with(&query, &view, EvalOptions::default()).expect("fresh");
+        let stale = eval_planned(&query, &view, EvalOptions::default(), &QueryPlan::default())
+            .expect("stale");
+        assert_eq!(fresh.rows, stale.rows);
     }
 
     #[test]

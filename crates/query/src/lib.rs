@@ -45,8 +45,9 @@ pub mod plan;
 
 pub use ast::{Formula, Query};
 pub use eval::{
-    eval, eval_planned, eval_with, explain_plan, plan_and_eval, Answer, AtomOrdering, EvalError,
-    EvalOptions, ExecStrategy,
+    eval, eval_planned, eval_planned_stats, eval_with, explain_plan, plan_and_eval,
+    plan_and_eval_stats, Answer, AtomOrdering, EvalError, EvalOptions, EvalStats, ExecStrategy,
+    ParallelMode,
 };
 pub use parser::{parse, parse_frozen, FrozenParseError, ParseError};
 pub use plan::{plan_dependencies, plan_query, PlanCache, PlanCacheStats, QueryPlan};

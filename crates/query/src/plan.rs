@@ -26,16 +26,25 @@ use loosedb_engine::{Bindings, FactView, Template, Term, Var};
 use loosedb_store::{special, EntityId};
 
 use crate::ast::{Formula, Query};
-use crate::eval::{flatten_conjuncts, AtomOrdering, EvalOptions};
+use crate::eval::{flatten_conjuncts, AtomOrdering, EvalOptions, ExecStrategy};
 
 /// The selectivity cap for constant-only count probes; also the
 /// "unknown size" estimate assigned to math atoms and complex
 /// (non-atom) conjuncts, whose extents planning cannot probe.
 pub(crate) const ESTIMATE_CAP: i64 = 1024;
 
+/// Cost-model constants (relative units; see DESIGN.md §10). An index
+/// probe is several times the cost of producing one row; the hash
+/// executor additionally pays a per-step setup (key dedup scan, group
+/// map) and a per-row dedup hash.
+const COST_PROBE: f64 = 8.0;
+const COST_ROW: f64 = 1.0;
+const COST_HASH_ROW: f64 = 1.0;
+const COST_HASH_SETUP: f64 = 256.0;
+
 /// The recorded decisions for one conjunction (`And`-group): the join
-/// order over the flattened conjunct list and, per step, the variables
-/// the hash join keys on.
+/// order over the flattened conjunct list, per-step hash-join key
+/// columns, and the executor the cost model picked for the group.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GroupPlan {
     /// Conjunct indices (into the flattened, sentinel-free conjunct
@@ -46,6 +55,15 @@ pub struct GroupPlan {
     /// (always true for the first step; later only for genuinely
     /// disconnected conjuncts).
     pub keys: Vec<Vec<Var>>,
+    /// The executor chosen by the cost model for this group, honored
+    /// when evaluation runs under [`ExecStrategy::Adaptive`]. A stale or
+    /// default plan reads as `Adaptive`, which the evaluator treats as
+    /// `HashJoin` — the safe-at-scale executor.
+    pub strategy: ExecStrategy,
+    /// Estimated *deduplicated* rows flowing out of each step (the hash
+    /// frontier of the cost model). Diagnostic: recorded so plan_stats
+    /// surfaces and experiments can inspect what the decision saw.
+    pub est_rows: Vec<u64>,
 }
 
 /// A complete plan for a query: one [`GroupPlan`] per conjunction node,
@@ -75,7 +93,12 @@ impl QueryPlan {
     pub fn render(&self, query: &Query) -> String {
         let mut out = String::new();
         for (gi, g) in self.groups.iter().enumerate() {
-            out.push_str(&format!("group {gi}:"));
+            let tag = match g.strategy {
+                ExecStrategy::NestedLoop => "nested",
+                ExecStrategy::HashJoin => "hash",
+                ExecStrategy::Adaptive => "adaptive",
+            };
+            out.push_str(&format!("group {gi} [{tag}]:"));
             for (step, &ci) in g.order.iter().enumerate() {
                 let keys: Vec<String> =
                     g.keys[step].iter().map(|v| format!("?{}", query.var_name(*v))).collect();
@@ -117,7 +140,8 @@ fn plan_formula(f: &Formula, view: &impl FactView, opts: &EvalOptions, plan: &mu
             plan.groups.push(GroupPlan::default());
             let infos = conj_infos(&conjuncts, view);
             let (order, keys) = greedy_order(&infos, opts.ordering);
-            plan.groups[slot] = GroupPlan { order, keys };
+            let (strategy, est_rows) = choose_strategy(&infos, &order, &keys, view.domain_size());
+            plan.groups[slot] = GroupPlan { order, keys, strategy, est_rows };
             // Recurse into complex conjuncts in flatten order — the same
             // order the evaluator pre-materializes them in, so the group
             // cursor stays aligned between planning and replay.
@@ -249,6 +273,71 @@ pub(crate) fn greedy_order(
     (order, keys)
 }
 
+/// Chooses the executor for one ordered conjunction by simulating both
+/// under the capped estimates, and returns the per-step hash-frontier
+/// estimates alongside.
+///
+/// Two row trackers walk the join order. `nl_rows` models the
+/// binding-at-a-time path: partial bindings grow multiplicatively with
+/// each step's fanout and nothing deduplicates, so every step pays one
+/// index probe *per partial*. `hj_rows` models the set-at-a-time path:
+/// projection pushdown plus per-step dedup cap the surviving frontier
+/// at the active-domain size (and the probe cap), so each step pays one
+/// probe per *distinct* key — but also a fixed setup (key-dedup scan,
+/// group map) and a dedup hash per produced row. On two-atom queries
+/// the frontiers coincide and the hash overhead loses (the E18 2-atom
+/// regression this model removes); from three atoms on, the nested
+/// probe count explodes with the undeduplicated frontier and the hash
+/// path wins. Estimates are capped and stale-tolerant: a wrong choice
+/// degrades performance, never correctness.
+fn choose_strategy(
+    infos: &[ConjInfo<'_>],
+    order: &[usize],
+    keys: &[Vec<Var>],
+    domain_size: usize,
+) -> (ExecStrategy, Vec<u64>) {
+    let cap = if domain_size > 0 {
+        (domain_size as f64).min(ESTIMATE_CAP as f64)
+    } else {
+        ESTIMATE_CAP as f64
+    }
+    .max(1.0);
+    let mut nl_rows = 1.0_f64;
+    let mut hj_rows = 1.0_f64;
+    let mut nl_cost = 0.0_f64;
+    let mut hj_cost = 0.0_f64;
+    let mut est_rows = Vec::with_capacity(order.len());
+    for (step, &ci) in order.iter().enumerate() {
+        let info = &infos[ci];
+        let e = info.estimate.max(1) as f64;
+        let keyed = !keys[step].is_empty();
+        // Per-partial fanout: math atoms run as checks (filters), keyed
+        // steps see a root-law slice of the extent, unkeyed steps
+        // replicate the whole extent (cross product).
+        let fanout = if info.is_math {
+            1.0
+        } else if keyed {
+            e.sqrt().max(1.0)
+        } else {
+            e
+        };
+        let probe = if info.tpl.is_some() { COST_PROBE } else { 0.0 };
+        // The nested path scans a materialized sub-relation in full per
+        // partial; an atom only yields its matches.
+        let nl_scan = if info.tpl.is_some() { fanout } else { e };
+        nl_cost += nl_rows * probe + nl_rows * nl_scan * COST_ROW;
+        nl_rows = (nl_rows * fanout).min(1e15);
+        let distinct = if keyed { hj_rows } else { 1.0 };
+        hj_cost +=
+            COST_HASH_SETUP + distinct * probe + hj_rows * fanout * (COST_ROW + COST_HASH_ROW);
+        hj_rows = (hj_rows * fanout).min(cap);
+        est_rows.push(hj_rows as u64);
+    }
+    let strategy =
+        if nl_cost <= hj_cost { ExecStrategy::NestedLoop } else { ExecStrategy::HashJoin };
+    (strategy, est_rows)
+}
+
 /// The relationships a plan's quality depends on: the constant
 /// relationship positions of the query's atoms. `None` means the plan
 /// depends on unpredictable extents (a variable or mathematical
@@ -299,6 +388,12 @@ pub struct PlanCacheStats {
     pub len: usize,
     /// Configured capacity.
     pub capacity: usize,
+    /// Conjunction groups across inserted plans whose cost model chose
+    /// the hash executor.
+    pub strategy_hash: u64,
+    /// Conjunction groups across inserted plans whose cost model chose
+    /// the nested-loop executor.
+    pub strategy_nested: u64,
 }
 
 struct PlanEntry {
@@ -328,6 +423,8 @@ pub struct PlanCache {
     misses: u64,
     evictions: u64,
     carried: u64,
+    strategy_hash: u64,
+    strategy_nested: u64,
     /// Optional shared registry counters (`query.plan_cache.*`); the
     /// local fields above stay authoritative for per-cache stats.
     metrics: Option<loosedb_obs::CacheCounters>,
@@ -345,6 +442,8 @@ impl PlanCache {
             misses: 0,
             evictions: 0,
             carried: 0,
+            strategy_hash: 0,
+            strategy_nested: 0,
             metrics: None,
         }
     }
@@ -451,6 +550,12 @@ impl PlanCache {
                 }
             }
         }
+        for group in plan.groups() {
+            match group.strategy {
+                ExecStrategy::NestedLoop => self.strategy_nested += 1,
+                ExecStrategy::HashJoin | ExecStrategy::Adaptive => self.strategy_hash += 1,
+            }
+        }
         let key = shape_hash(query, opts);
         self.map.insert(
             key,
@@ -477,6 +582,8 @@ impl PlanCache {
             carried: self.carried,
             len: self.map.len(),
             capacity: self.capacity,
+            strategy_hash: self.strategy_hash,
+            strategy_nested: self.strategy_nested,
         }
     }
 }

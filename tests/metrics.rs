@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use loosedb::obs::CacheSnapshot;
-use loosedb::query::{eval_with, EvalOptions, ExecStrategy};
+use loosedb::query::{eval_with, EvalOptions, ExecStrategy, ParallelMode};
 use loosedb::{Database, DurableDatabase, FactView, SharedDatabase, SharedSession, SyncPolicy};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -201,6 +201,64 @@ fn planning_probe_counter_matches_per_view_oracle() {
     eval_with(&query, &view, opts).unwrap();
     let oracle_probes = view.count_probes();
     assert_eq!(db.metrics().snapshot().query.count_probes, before + oracle_probes);
+}
+
+/// The adaptive-planner counters are exactly predicted: one strategy
+/// increment per executed conjunction group, one partition increment per
+/// partition fanned out, and the Prometheus exposition reads the same
+/// registry.
+#[test]
+fn strategy_and_partition_counters_are_exactly_predicted() {
+    let mut db = Database::new();
+    db.add("A", "R", "B");
+    db.add("B", "S", "C");
+    let shared = Arc::new(SharedDatabase::new(db).unwrap());
+    let mut s = SharedSession::new(Arc::clone(&shared));
+
+    // Forced hash executor, forced two-way partitioning: the two-atom
+    // conjunction is one group; its first join step is keyless (runs
+    // sequentially), the second is keyed on ?y and fans out to exactly
+    // two partitions.
+    s.probe_opts.eval.strategy = ExecStrategy::HashJoin;
+    s.probe_opts.eval.parallel = ParallelMode::Force(2);
+    assert_eq!(s.query("Q(?x, ?z) := exists ?y . (?x, R, ?y) & (?y, S, ?z)").unwrap().len(), 1);
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.query.strategy_hash, 1);
+    assert_eq!(snap.query.strategy_nested, 0);
+    assert_eq!(snap.query.join_partitions, 2);
+
+    // Forced nested executor: one nested group, no partitions — the
+    // binding-at-a-time path never fans out.
+    s.probe_opts.eval.strategy = ExecStrategy::NestedLoop;
+    assert_eq!(s.query("Q(?x) := exists ?y . (?x, R, ?y) & (?y, S, C)").unwrap().len(), 1);
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.query.strategy_hash, 1);
+    assert_eq!(snap.query.strategy_nested, 1);
+    assert_eq!(snap.query.join_partitions, 2);
+
+    // A cache hit re-serves the answer without executing: counters hold.
+    s.probe_opts.eval.strategy = ExecStrategy::HashJoin;
+    s.query("Q(?x, ?z) := exists ?y . (?x, R, ?y) & (?y, S, ?z)").unwrap();
+    let snap = shared.metrics_snapshot();
+    assert_eq!(snap.query.strategy_hash + snap.query.strategy_nested, 2);
+
+    // The Prometheus exposition reads the same registry.
+    let text = loosedb::obs::prometheus_text(shared.metrics().registry());
+    assert!(
+        text.contains(&format!("loosedb_query_plan_strategy_hash {}", snap.query.strategy_hash)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "loosedb_query_plan_strategy_nested {}",
+            snap.query.strategy_nested
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("loosedb_query_join_partitions {}", snap.query.join_partitions)),
+        "{text}"
+    );
 }
 
 /// 8 reader threads browsing concurrently with 1 publishing writer: no

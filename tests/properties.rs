@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use loosedb::engine::{
     closure, InferenceConfig, KindRegistry, RuleSet, Strategy as ClosureStrategy, Taxonomy,
 };
-use loosedb::query::{eval_with, AtomOrdering, EvalOptions};
+use loosedb::query::{eval_with, AtomOrdering, EvalOptions, ExecStrategy, ParallelMode};
 use loosedb::{Database, EntityId, Fact, FactStore, FactView, Pattern};
 
 // ---------------------------------------------------------------------
@@ -242,6 +242,38 @@ proptest! {
             ordering: AtomOrdering::Syntactic, max_rows: 100_000, ..EvalOptions::default()
         }).expect("syntactic");
         prop_assert_eq!(greedy.rows, syntactic.rows);
+    }
+
+    /// Partitioned and sequential hash joins agree on worlds whose join
+    /// keys deliberately straddle partition boundaries: hub structure
+    /// makes many probe rows share few distinct keys (heavy per-partition
+    /// dedup) while the random facts spread other keys across every
+    /// partition, for any partition count — including counts that do not
+    /// divide the key space evenly.
+    #[test]
+    fn partitioned_join_equals_sequential(
+        spec in db_spec(),
+        hub_fanout in 1u8..8,
+        nparts in 2usize..6,
+    ) {
+        let mut db = build_db(&spec);
+        for i in 0..10u8 {
+            db.add(format!("N{i}"), "R0", format!("N{}", i % hub_fanout));
+            db.add(format!("N{}", i % hub_fanout), "R1", "HUB");
+        }
+        let src = "Q(?a, ?c) := exists ?b . (?a, R0, ?b) & (?b, R1, ?c)";
+        let q = loosedb::parse(src, db.store_interner_mut()).expect("parse");
+        let view = db.view().expect("closure");
+        let base = EvalOptions {
+            strategy: ExecStrategy::HashJoin, max_rows: 100_000, ..EvalOptions::default()
+        };
+        let seq = eval_with(&q, &view, EvalOptions {
+            parallel: ParallelMode::Off, ..base
+        }).expect("sequential");
+        let par = eval_with(&q, &view, EvalOptions {
+            parallel: ParallelMode::Force(nparts), ..base
+        }).expect("partitioned");
+        prop_assert_eq!(seq.rows, par.rows);
     }
 }
 

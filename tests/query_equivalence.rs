@@ -18,7 +18,7 @@
 
 use proptest::prelude::*;
 
-use loosedb::query::{eval_with, AtomOrdering, EvalOptions, ExecStrategy};
+use loosedb::query::{eval_with, AtomOrdering, EvalOptions, ExecStrategy, ParallelMode};
 use loosedb::Database;
 
 /// A compact random world: node entities N0..N9, relationships R0..R4,
@@ -57,15 +57,33 @@ fn build_world(spec: &WorldSpec) -> Database {
     db
 }
 
-/// All four (strategy, ordering) combinations under one row limit.
-fn combos(max_rows: usize) -> [EvalOptions; 4] {
-    [
+/// Every (strategy, ordering) combination under one row limit, plus the
+/// partitioned hash executor forced on (the `EvalOptions::default()`
+/// base also honors `LOOSEDB_PARALLEL_JOIN=force`, which the CI stress
+/// job sets to drive *every* hash combo down the partitioned path).
+fn combos(max_rows: usize) -> Vec<EvalOptions> {
+    let mut out: Vec<EvalOptions> = [
+        (ExecStrategy::Adaptive, AtomOrdering::Greedy),
         (ExecStrategy::HashJoin, AtomOrdering::Greedy),
         (ExecStrategy::HashJoin, AtomOrdering::Syntactic),
         (ExecStrategy::NestedLoop, AtomOrdering::Greedy),
         (ExecStrategy::NestedLoop, AtomOrdering::Syntactic),
     ]
-    .map(|(strategy, ordering)| EvalOptions { ordering, strategy, max_rows })
+    .into_iter()
+    .map(|(strategy, ordering)| EvalOptions {
+        ordering,
+        strategy,
+        max_rows,
+        ..EvalOptions::default()
+    })
+    .collect();
+    out.push(EvalOptions {
+        strategy: ExecStrategy::HashJoin,
+        parallel: ParallelMode::Force(3),
+        max_rows,
+        ..EvalOptions::default()
+    });
+    out
 }
 
 /// Evaluates `src` under all four combos and asserts every pair that
