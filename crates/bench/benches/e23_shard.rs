@@ -1,0 +1,54 @@
+//! E23 — sharded scatter-gather vs a single store.
+//!
+//! Facts are hash-partitioned by source entity across N shards, each
+//! with its own generation chain. A *collocated* query (every conjunct
+//! sourced at the same variable) is evaluated whole on every shard and
+//! the answers are unioned: per-shard indexes, join build tables and
+//! dedup sets are 1/N the size, and on a multi-core host the per-shard
+//! evaluations fan out across the worker pool. The single-shard row is
+//! the baseline; the publish group checks that per-shard publish stays
+//! O(delta) as the world grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loosedb_bench::{sharded_world, star_query_src};
+use loosedb_query::{eval_sharded, parse_frozen, EvalOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e23_shard");
+    group.sample_size(10);
+
+    let facts = 100_000;
+    // The unanchored star legitimately produces many rows; match E18's
+    // raised ceiling so the budget never truncates the measurement.
+    let opts = EvalOptions { max_rows: 10_000_000, ..Default::default() };
+    for n in [1usize, 2, 4, 8] {
+        let db = sharded_world(facts, n);
+        let snap = db.snapshot();
+        let query = parse_frozen(&star_query_src(2), snap.interner()).unwrap();
+        let views = snap.views();
+        group.bench_function(BenchmarkId::new("collocated_star", n), |b| {
+            b.iter(|| {
+                eval_sharded(&query, &views, snap.interner(), opts, None)
+                    .expect("eval")
+                    .answer
+                    .len()
+            })
+        });
+    }
+
+    // Publish latency must track the delta, not the shard count or the
+    // world size: inserting one owner-routed fact on a 4-shard world.
+    let db = sharded_world(facts, 4);
+    let mut i = 0u64;
+    group.bench_function(BenchmarkId::new("publish_owner_fact", 4), |b| {
+        b.iter(|| {
+            i += 1;
+            db.insert(format!("FRESH-{i}"), "R0", "N1").expect("insert")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Shared workload builders and measurement helpers for the loosedb
-//! evaluation (experiments E1–E18; see DESIGN.md §3 and EXPERIMENTS.md).
+//! evaluation (experiments E1–E23; see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! The paper (Motro, SIGMOD 1984) is a design paper with no evaluation
 //! section; these experiments quantify the costs it reasons about
@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use loosedb_browse::{navigate, NavigateOptions};
 use loosedb_datagen::{zipf_graph, GraphConfig};
-use loosedb_engine::{Database, InferenceConfig, SharedDatabase};
+use loosedb_engine::{Database, InferenceConfig, ShardedDatabase, SharedDatabase};
 use loosedb_store::{EntityId, FactStore, Pattern};
 
 /// Fact-count scales used by the storage experiments.
@@ -96,6 +96,41 @@ pub fn shared_world(facts: usize) -> (Arc<SharedDatabase>, Vec<EntityId>) {
     (shared, nodes)
 }
 
+/// Builds the E23 sharded serving world: the standard Zipf store
+/// bulk-loaded across `n` source-hash shards with inference disabled
+/// (matching [`shared_world`], so shard counts compare like for like).
+pub fn sharded_world(facts: usize, n: usize) -> Arc<ShardedDatabase> {
+    sharded_world_nodes(facts, n).0
+}
+
+/// [`sharded_world`] plus the generator's node ids. The bulk loader's
+/// interner-alignment pass gives every shard the source store's ids, so
+/// the returned ids are valid against any shard's snapshot.
+pub fn sharded_world_nodes(facts: usize, n: usize) -> (Arc<ShardedDatabase>, Vec<EntityId>) {
+    let (store, nodes) = standard_store(facts);
+    let sharded = ShardedDatabase::from_store_with_setup(n, &store, |db| {
+        *db.config_mut() = InferenceConfig::none();
+    })
+    .expect("closure");
+    (Arc::new(sharded), nodes)
+}
+
+/// Source text of the E23 star query over `atoms` conjuncts, all
+/// sourced at the one free variable `?x` — the collocated shape under
+/// source-hash partitioning: every shard answers it from its own
+/// partition alone, so the scatter layer runs it whole on each shard
+/// and unions the answers. The targets are anchored at the hub
+/// entities `N1`, `N2`, … (not free variables) on purpose: the *scan*
+/// work still covers each shard's whole `R{i}` partition — which is
+/// what sharding divides — while the output stays the intersection of
+/// the anchored matches, so the row budget cannot overflow on the
+/// Zipf world's quadratic hub fanouts the way a free-target star does.
+pub fn star_query_src(atoms: usize) -> String {
+    assert!((2..=19).contains(&atoms), "star uses distinct relationships R0..R18");
+    let body: Vec<String> = (0..atoms).map(|i| format!("(?x, R{i}, N{})", i + 1)).collect();
+    format!("Q(?x) := {}", body.join(" & "))
+}
+
 /// Measured outcome of one E16 reader/writer mix run ([`run_mix`]).
 pub struct MixOutcome {
     /// Navigation reads completed across all reader threads.
@@ -173,6 +208,86 @@ pub fn run_mix(
                 writes += 1;
                 shared
                     .insert(format!("E16-W{writes}"), "E16-LINK", format!("E16-W{}", writes / 2))
+                    .expect("insert");
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let latencies: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().expect("reader")).collect();
+        (latencies, writes)
+    });
+
+    let elapsed = started.elapsed();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let pick = |q: f64| {
+        if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((sorted.len() - 1) as f64 * q) as usize;
+            Duration::from_nanos(sorted[idx])
+        }
+    };
+    MixOutcome { reads: sorted.len() as u64, writes, elapsed, p50: pick(0.5), p99: pick(0.99) }
+}
+
+/// The E16 workload re-run against a [`ShardedDatabase`]: readers take
+/// a sharded snapshot per read and navigate the *owner shard's* view
+/// (source-anchored reads are complete on the owner — owned facts live
+/// there and broadcast facts are replicated there), while this thread
+/// publishes owner-routed writes paced to `write_pct` percent of total
+/// operations. Mirrors [`run_mix`] so the outcomes compare like for
+/// like.
+pub fn run_sharded_mix(
+    db: &Arc<ShardedDatabase>,
+    nodes: &[EntityId],
+    readers: usize,
+    write_pct: u32,
+    duration: Duration,
+) -> MixOutcome {
+    assert!(write_pct < 100);
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let opts = NavigateOptions::default();
+    let started = Instant::now();
+
+    let (latencies, writes) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(readers);
+        for seed in 0..readers {
+            let stop = &stop;
+            let reads = &reads;
+            let opts = &opts;
+            handles.push(scope.spawn(move || {
+                let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (seed as u64 + 1);
+                let mut local: Vec<u64> = Vec::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let node = nodes[(state % nodes.len() as u64) as usize];
+                    let t0 = Instant::now();
+                    let snap = db.snapshot();
+                    let owner = &snap.generations()[db.shard_of(node)];
+                    let table = navigate(&owner.view(), Pattern::from_source(node), opts)
+                        .expect("navigate");
+                    local.push(t0.elapsed().as_nanos() as u64);
+                    std::hint::black_box(table.height());
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+                local
+            }));
+        }
+
+        let mut writes = 0u64;
+        while started.elapsed() < duration {
+            let done = reads.load(Ordering::Relaxed);
+            let target =
+                if write_pct == 0 { 0 } else { done * write_pct as u64 / (100 - write_pct) as u64 };
+            if writes < target {
+                writes += 1;
+                db.insert(format!("E16-W{writes}"), "E16-LINK", format!("E16-W{}", writes / 2))
                     .expect("insert");
             } else {
                 std::thread::yield_now();

@@ -33,6 +33,7 @@ pub mod navigate;
 pub mod operators;
 pub mod probe;
 pub mod session;
+pub mod sharded;
 pub mod shared;
 pub mod table;
 
@@ -41,9 +42,10 @@ pub use operators::{
     function, relation, DefineError, Definitions, FunctionView, RelationRow, RelationTable,
 };
 pub use probe::{
-    probe, probe_text, retraction_set, Attempt, ProbeOptions, ProbeOutcome, ProbeReport,
-    RetractionStep, Wave,
+    probe, probe_text, probe_with_taxonomy, retraction_set, Attempt, ProbeOptions, ProbeOutcome,
+    ProbeReport, RetractionStep, Wave,
 };
 pub use session::{Session, SessionError};
+pub use sharded::ShardedSession;
 pub use shared::{CacheStats, SharedSession};
 pub use table::GroupedTable;

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use loosedb_engine::{ClosureView, FactView, MathMatchError};
+use loosedb_engine::{FactView, MathMatchError};
 use loosedb_store::{special, EntityId, Pattern};
 
 /// A non-1NF relation produced by [`relation`]: one row per instance of
@@ -92,8 +92,8 @@ impl RelationTable {
 /// closure); the cell for column `(rᵢ, tᵢ)` holds every `z` with
 /// `(y, rᵢ, z)` and `(z, ∈, tᵢ)` — the paper's implementation query,
 /// evaluated against the closure so inference applies.
-pub fn relation(
-    view: &ClosureView<'_>,
+pub fn relation<V: FactView>(
+    view: &V,
     class: EntityId,
     columns: &[(EntityId, EntityId)],
 ) -> Result<RelationTable, MathMatchError> {
@@ -191,8 +191,8 @@ impl FunctionView {
 /// to its classes as well (John works for SHIPPING *and*, existentially,
 /// for DEPARTMENT): without the restriction no relationship with
 /// classified targets is ever single-valued.
-pub fn function(
-    view: &ClosureView<'_>,
+pub fn function<V: FactView>(
+    view: &V,
     rel: EntityId,
     target_class: Option<EntityId>,
 ) -> Result<FunctionView, MathMatchError> {

@@ -217,8 +217,21 @@ impl ProbeReport {
 /// assert!(menu.contains("Success with LIKES instead of ADORES"));
 /// ```
 pub fn probe(query: &Query, view: &ClosureView<'_>, opts: &ProbeOptions) -> ProbeReport {
+    probe_with_taxonomy(query, view, &Taxonomy::new(view.closure()), opts)
+}
+
+/// Like [`probe`], but generic over the retrieval view, with the `≺`
+/// taxonomy supplied by the caller. This is the entry point for sharded
+/// browsing: structural facts are broadcast to every shard, so any one
+/// shard's closure yields the global taxonomy while the attempts
+/// evaluate over the scatter-gather union view.
+pub fn probe_with_taxonomy<V: FactView>(
+    query: &Query,
+    view: &V,
+    taxonomy: &Taxonomy<'_>,
+    opts: &ProbeOptions,
+) -> ProbeReport {
     let _span = loosedb_obs::span!("browse.probe", max_waves = opts.max_waves);
-    let taxonomy = Taxonomy::new(view.closure());
 
     // Attempt the original query first.
     if let Ok(answer) = eval_with(query, view, opts.eval) {
@@ -242,7 +255,7 @@ pub fn probe(query: &Query, view: &ClosureView<'_>, opts: &ProbeOptions) -> Prob
         let mut wspan = loosedb_obs::span!("browse.retraction_wave", wave = wave_index);
         let mut wave = Wave::default();
         for (base, steps) in &frontier {
-            for (broadened, step) in retraction_set(base, &taxonomy, &mut missing) {
+            for (broadened, step) in retraction_set(base, taxonomy, &mut missing) {
                 let rendered = broadened.render(view.interner());
                 if !seen.insert(rendered) {
                     continue;

@@ -1,0 +1,552 @@
+//! Browsing sessions over a sharded database.
+//!
+//! [`ShardedSession`] is the scatter-gather counterpart of
+//! [`crate::SharedSession`]: it reads an `Arc<ShardedDatabase>`, takes a
+//! per-shard snapshot vector per operation, and evaluates navigation,
+//! probing and queries through the query layer's scatter machinery —
+//! collocated queries fan out whole to every shard, everything else runs
+//! over the deduplicating [`UnionView`].
+//!
+//! The session keeps the same two caches as [`crate::SharedSession`],
+//! re-keyed for N generation chains:
+//!
+//! * The **cache epoch** is the *sum* of the per-shard epochs — monotone
+//!   (every publish raises exactly one shard's epoch) and equal only
+//!   when no shard moved, so it is a sound scalar stand-in for the
+//!   vector.
+//! * **Invalidation** merges the per-shard delta rings
+//!   ([`ShardedDatabase::delta_between`]) across the span since the last
+//!   roll: when every shard's span is precise the union of touched
+//!   relationships drives the same dependency-disjointness carry-over as
+//!   the single-store session; any imprecise shard degrades to a full
+//!   drop (answers) or a stale-mark (plans).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use loosedb_engine::{DeltaSummary, ShardedDatabase, ShardedSnapshot, Taxonomy};
+use loosedb_query::{
+    eval_sharded, eval_sharded_planned, Answer, AtomOrdering, FrozenParseError, PlanCache,
+    PlanCacheStats, Query, ScatterMetrics, UnionView,
+};
+use loosedb_store::{EntityId, EntityValue, Interner, Pattern};
+
+use crate::navigate::{navigate, try_entity, NavigateOptions};
+use crate::operators::{relation, Definitions, FunctionView, RelationTable};
+use crate::probe::{probe_with_taxonomy, ProbeOptions, ProbeReport};
+use crate::session::SessionError;
+use crate::shared::{dependency_rels, record_probe, CacheStats, QueryCache};
+use crate::table::GroupedTable;
+
+/// A private extension of the sharded snapshot's aligned interner, for
+/// query constants no shard has interned. Keyed on the summed epoch
+/// vector: any publish may intern new entities, so the extension is
+/// rebuilt whenever any shard moves.
+struct ExtInterner {
+    epoch_sum: u64,
+    interner: Interner,
+}
+
+/// Parses `src` against a sharded snapshot, extending the private
+/// interner only when the text mentions unknown constants (the sharded
+/// analogue of the shared session's frozen-parse fallback).
+fn parse_on<'a>(
+    ext: &'a mut Option<ExtInterner>,
+    snap: &'a ShardedSnapshot,
+    epoch_sum: u64,
+    src: &str,
+) -> Result<(Query, &'a Interner), SessionError> {
+    match loosedb_query::parse_frozen(src, snap.interner()) {
+        Ok(query) => Ok((query, snap.interner())),
+        Err(FrozenParseError::Parse(e)) => Err(SessionError::Parse(e)),
+        Err(FrozenParseError::UnknownConstant { .. }) => {
+            let stale = ext.as_ref().is_none_or(|e| e.epoch_sum != epoch_sum);
+            if stale {
+                *ext = Some(ExtInterner { epoch_sum, interner: snap.interner().clone() });
+            }
+            let interner = &mut ext.as_mut().expect("just ensured").interner;
+            let query = loosedb_query::parse(src, interner)?;
+            Ok((query, &*interner))
+        }
+    }
+}
+
+/// A browsing session over a [`ShardedDatabase`]: the scatter-gather
+/// counterpart of [`crate::SharedSession`].
+///
+/// Every operation snapshots all shards once and evaluates against that
+/// vector; per-shard snapshots are individually consistent and epochs
+/// never go backwards.
+pub struct ShardedSession {
+    sharded: Arc<ShardedDatabase>,
+    defs: Definitions,
+    /// Options used for navigation displays.
+    pub nav_opts: NavigateOptions,
+    /// Options used for probing.
+    pub probe_opts: ProbeOptions,
+    history: Vec<EntityId>,
+    ext: Option<ExtInterner>,
+    cache: QueryCache,
+    plans: PlanCache,
+    /// The epoch vector the caches were last rolled to.
+    epochs: Vec<u64>,
+    scatter: ScatterMetrics,
+}
+
+/// Default query-cache capacity (entries) for a session.
+const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Default plan-cache capacity (distinct query shapes) for a session.
+const DEFAULT_PLAN_CAPACITY: usize = 64;
+
+impl ShardedSession {
+    /// Starts a session over a sharded database.
+    pub fn new(sharded: Arc<ShardedDatabase>) -> Self {
+        Self::with_cache_capacity(sharded, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Starts a session with a specific query-cache capacity (0 disables
+    /// caching).
+    pub fn with_cache_capacity(sharded: Arc<ShardedDatabase>, capacity: usize) -> Self {
+        let metrics = Arc::clone(sharded.metrics());
+        let epochs = sharded.epochs();
+        ShardedSession {
+            scatter: ScatterMetrics::from_metrics(&metrics),
+            cache: QueryCache::with_metrics(capacity, metrics.query_cache.clone()),
+            plans: PlanCache::with_metrics(DEFAULT_PLAN_CAPACITY, metrics.plan_cache.clone()),
+            sharded,
+            defs: Definitions::new(),
+            nav_opts: NavigateOptions::default(),
+            probe_opts: ProbeOptions::default(),
+            history: Vec::new(),
+            ext: None,
+            epochs,
+        }
+    }
+
+    /// The sharded database this session reads from.
+    pub fn sharded(&self) -> &Arc<ShardedDatabase> {
+        &self.sharded
+    }
+
+    /// A fresh snapshot of every shard (what the next operation would
+    /// use).
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        self.sharded.snapshot()
+    }
+
+    /// The per-shard epochs of the current snapshot.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.sharded.epochs()
+    }
+
+    /// Hit/miss counters of this session's query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Hit/miss counters of this session's plan cache.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// The focus history, oldest first.
+    pub fn history(&self) -> &[EntityId] {
+        &self.history
+    }
+
+    fn resolve(&self, snap: &ShardedSnapshot, name: &str) -> Result<EntityId, SessionError> {
+        if name == "*" {
+            return Err(SessionError::UnknownEntity("*".into()));
+        }
+        let value = if let Ok(i) = name.parse::<i64>() {
+            EntityValue::Int(i)
+        } else if let Ok(x) = name.parse::<f64>() {
+            EntityValue::float(x)
+        } else {
+            EntityValue::symbol(name)
+        };
+        snap.lookup(&value).ok_or_else(|| SessionError::UnknownEntity(name.to_string()))
+    }
+
+    fn part(&self, snap: &ShardedSnapshot, name: &str) -> Result<Option<EntityId>, SessionError> {
+        if name == "*" {
+            Ok(None)
+        } else {
+            self.resolve(snap, name).map(Some)
+        }
+    }
+
+    /// Rolls the answer and plan caches up to the given epoch vector,
+    /// merging the per-shard delta rings for precise carry-over.
+    fn roll_caches(&mut self, epochs: &[u64]) {
+        if epochs == self.epochs.as_slice() {
+            return;
+        }
+        let scalar: u64 = epochs.iter().sum();
+        match self.sharded.delta_between(&self.epochs, epochs) {
+            DeltaSummary::Precise(changed) => {
+                self.cache.roll_with(scalar, Some(&changed));
+                self.plans.roll(scalar, Some(&changed));
+            }
+            DeltaSummary::FullAt(_) => {
+                self.cache.roll_with(scalar, None);
+                // A full publish at a known epoch: answers drop, but
+                // structurally tracked plans survive as stale — a stale
+                // join order costs performance, never correctness.
+                self.plans.roll_stale(scalar);
+            }
+            DeltaSummary::Unknown => {
+                self.cache.roll_with(scalar, None);
+                self.plans.roll(scalar, None);
+            }
+        }
+        self.epochs = epochs.to_vec();
+    }
+
+    fn record_nav(&self, start: Instant) {
+        let m = self.sharded.metrics();
+        m.nav_builds.inc();
+        m.nav_build_ns.record_duration(start.elapsed());
+    }
+
+    /// Focuses on an entity: renders its neighborhood `(E, *, *)` over
+    /// the union of all shards and pushes it on the focus history.
+    pub fn focus(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
+        let snap = self.sharded.snapshot();
+        let e = self.resolve(&snap, name)?;
+        let start = Instant::now();
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        let table = navigate(&union, Pattern::from_source(e), &self.nav_opts)?;
+        self.record_nav(start);
+        self.history.push(e);
+        Ok(table)
+    }
+
+    /// Returns to the previous focus, re-rendering its neighborhood
+    /// against the *current* snapshot.
+    pub fn back(&mut self) -> Result<GroupedTable, SessionError> {
+        if self.history.len() < 2 {
+            return Err(SessionError::NoHistory);
+        }
+        self.history.pop();
+        let e = *self.history.last().expect("non-empty");
+        let snap = self.sharded.snapshot();
+        let start = Instant::now();
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        let table = navigate(&union, Pattern::from_source(e), &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
+    }
+
+    /// Navigates an arbitrary template given as three names (`"*"` for a
+    /// free position).
+    pub fn navigate_parts(
+        &mut self,
+        s: &str,
+        r: &str,
+        t: &str,
+    ) -> Result<GroupedTable, SessionError> {
+        let snap = self.sharded.snapshot();
+        let pattern =
+            Pattern::new(self.part(&snap, s)?, self.part(&snap, r)?, self.part(&snap, t)?);
+        let start = Instant::now();
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        let table = navigate(&union, pattern, &self.nav_opts)?;
+        self.record_nav(start);
+        Ok(table)
+    }
+
+    /// Evaluates a standard query across all shards. Collocated queries
+    /// (every ordinary atom sharing one source term) scatter whole and
+    /// gather per-shard answers; everything else evaluates over the
+    /// union view. Answers are cached per expanded text and carried over
+    /// publishes whose merged delta is disjoint from their dependency
+    /// relationships, exactly as in [`crate::SharedSession`].
+    pub fn query(&mut self, src: &str) -> Result<Arc<Answer>, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let snap = self.sharded.snapshot();
+        let epochs = snap.epochs();
+        let epoch_sum: u64 = epochs.iter().sum();
+        self.roll_caches(&epochs);
+        if let Some(hit) = self.cache.get(&expanded) {
+            return Ok(hit);
+        }
+        let eval_opts = self.probe_opts.eval;
+        let (query, interner) = parse_on(&mut self.ext, &snap, epoch_sum, &expanded)?;
+        let deps = dependency_rels(&query, snap.interner().len());
+        let views = snap.views_with_interner(interner);
+        let start = Instant::now();
+        let (answer, stats) = if eval_opts.ordering == AtomOrdering::Greedy {
+            match self.plans.get(&query, &eval_opts) {
+                Some(plan) => {
+                    let (answer, stats, _) = eval_sharded_planned(
+                        &query,
+                        &views,
+                        interner,
+                        eval_opts,
+                        &plan,
+                        Some(&self.scatter),
+                    )?;
+                    (Arc::new(answer), stats)
+                }
+                None => {
+                    let out =
+                        eval_sharded(&query, &views, interner, eval_opts, Some(&self.scatter))?;
+                    self.plans.insert(&query, &eval_opts, Arc::new(out.plan));
+                    (Arc::new(out.answer), out.stats)
+                }
+            }
+        } else {
+            let out = eval_sharded(&query, &views, interner, eval_opts, Some(&self.scatter))?;
+            (Arc::new(out.answer), out.stats)
+        };
+        let m = self.sharded.metrics();
+        m.query_evals.inc();
+        m.query_eval_ns.record_duration(start.elapsed());
+        m.query_rows.record(answer.len() as u64);
+        m.strategy_hash.add(stats.strategy_hash);
+        m.strategy_nested.add(stats.strategy_nested);
+        m.join_partitions.add(stats.partitions);
+        self.cache.insert(expanded, Arc::clone(&answer), deps);
+        Ok(answer)
+    }
+
+    /// Probes a query (§5) across all shards: the `≺` taxonomy comes
+    /// from shard 0 (structural facts are broadcast, so every shard's
+    /// taxonomy is the global one) and attempts evaluate over the union
+    /// view.
+    pub fn probe(&mut self, src: &str) -> Result<ProbeReport, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let snap = self.sharded.snapshot();
+        let epoch_sum: u64 = snap.epochs().iter().sum();
+        let probe_opts = self.probe_opts;
+        let (query, interner) = parse_on(&mut self.ext, &snap, epoch_sum, &expanded)?;
+        let views = snap.views_with_interner(interner);
+        let union = UnionView::new(&views, interner).with_metrics(self.scatter.clone());
+        let taxonomy = Taxonomy::new(snap.generations()[0].closure());
+        let report = probe_with_taxonomy(&query, &union, &taxonomy, &probe_opts);
+        record_probe(self.sharded.metrics(), &report);
+        Ok(report)
+    }
+
+    /// Renders a probe report's §5.2 menu under the interner its ids
+    /// were actually resolved against (the sharded analogue of
+    /// [`crate::SharedSession::render_probe`]). Reports whose probe text
+    /// mentioned constants unknown to every shard carry ids minted by
+    /// the session's private extension interner, which the bare snapshot
+    /// interner cannot resolve.
+    pub fn render_probe(&self, report: &ProbeReport) -> String {
+        let snap = self.sharded.snapshot();
+        let epoch_sum: u64 = snap.epochs().iter().sum();
+        match &self.ext {
+            Some(e) if e.epoch_sum == epoch_sum => report.render_menu(&e.interner),
+            _ => report.render_menu(snap.interner()),
+        }
+    }
+
+    /// The §6.1 `try(e)` operator over the union of all shards.
+    pub fn try_entity(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
+        let snap = self.sharded.snapshot();
+        let e = self.resolve(&snap, name)?;
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        Ok(try_entity(&union, e)?)
+    }
+
+    /// The §6.1 `relation(s, r1 t1, …)` operator, by entity names.
+    pub fn relation(
+        &mut self,
+        class: &str,
+        columns: &[(&str, &str)],
+    ) -> Result<RelationTable, SessionError> {
+        let snap = self.sharded.snapshot();
+        let class = self.resolve(&snap, class)?;
+        let cols: Vec<(EntityId, EntityId)> = columns
+            .iter()
+            .map(|(r, t)| Ok((self.resolve(&snap, r)?, self.resolve(&snap, t)?)))
+            .collect::<Result<_, SessionError>>()?;
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        Ok(relation(&union, class, &cols)?)
+    }
+
+    /// The functional view of a relationship (§6.1), optionally
+    /// restricted to targets of a class.
+    pub fn function(
+        &mut self,
+        rel: &str,
+        target_class: Option<&str>,
+    ) -> Result<FunctionView, SessionError> {
+        let snap = self.sharded.snapshot();
+        let rel = self.resolve(&snap, rel)?;
+        let class = target_class.map(|c| self.resolve(&snap, c)).transpose()?;
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner()).with_metrics(self.scatter.clone());
+        Ok(crate::operators::function(&union, rel, class)?)
+    }
+
+    /// Renders the evaluation plan of a query over the union view
+    /// without executing it.
+    pub fn explain_query(&mut self, src: &str) -> Result<String, SessionError> {
+        let expanded = self.defs.maybe_expand(src)?;
+        let snap = self.sharded.snapshot();
+        let epoch_sum: u64 = snap.epochs().iter().sum();
+        let (query, interner) = parse_on(&mut self.ext, &snap, epoch_sum, &expanded)?;
+        let views = snap.views_with_interner(interner);
+        let union = UnionView::new(&views, interner);
+        Ok(loosedb_query::explain_plan(&query, &union))
+    }
+
+    /// Defines a named operator (§6 definition facility). Definitions
+    /// are session-private.
+    pub fn define(&mut self, name: &str, arity: usize, body: &str) -> Result<(), SessionError> {
+        Ok(self.defs.define(name, arity, body)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharded(n: usize) -> Arc<ShardedDatabase> {
+        let db = ShardedDatabase::new(n).unwrap();
+        db.insert("JOHN", "isa", "EMPLOYEE").unwrap();
+        db.insert("JOHN", "LIKES", "FELIX").unwrap();
+        db.insert("JOHN", "FAVORITE-MUSIC", "PC#9-WAM").unwrap();
+        db.insert("PC#9-WAM", "COMPOSED-BY", "MOZART").unwrap();
+        db.insert("JOHN", "EARNS", 25000i64).unwrap();
+        Arc::new(db)
+    }
+
+    #[test]
+    fn focus_query_and_history() {
+        let mut s = ShardedSession::new(sharded(4));
+        let t1 = s.focus("JOHN").unwrap();
+        assert!(t1.title_cells.contains(&"EMPLOYEE".to_string()));
+        s.focus("PC#9-WAM").unwrap();
+        assert_eq!(s.history().len(), 2);
+        let t3 = s.back().unwrap();
+        assert!(t3.title_cells.contains(&"EMPLOYEE".to_string()));
+
+        let answer = s.query("(?x, COMPOSED-BY, MOZART)").unwrap();
+        assert_eq!(answer.len(), 1);
+    }
+
+    #[test]
+    fn unknown_constants_fall_back_to_extension_interner() {
+        let mut s = ShardedSession::new(sharded(3));
+        let none = s.query("Q(?x) := (?x, EARNS, 30000)").unwrap();
+        assert!(none.is_empty());
+        let one = s.query("Q(?x) := (?x, EARNS, 25000)").unwrap();
+        assert_eq!(one.len(), 1);
+        let cmp = s.query("Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, 20000)").unwrap();
+        assert_eq!(cmp.len(), 1);
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_rolls_on_writes() {
+        let db = sharded(4);
+        let mut s = ShardedSession::new(Arc::clone(&db));
+        let a1 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let a2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "repeat must be served from cache");
+        let stats = s.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        db.insert("JOHN", "LIKES", "MARY").unwrap();
+        let a3 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        assert_eq!(a3.len(), 2, "new generations must invalidate the cache");
+        assert!(!Arc::ptr_eq(&a1, &a3));
+    }
+
+    #[test]
+    fn cache_carries_answers_over_disjoint_writes() {
+        let db = sharded(4);
+        let mut s = ShardedSession::new(Arc::clone(&db));
+        let likes = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let earns = s.query("(JOHN, EARNS, ?x)").unwrap();
+
+        // Touches only FAVORITE-MUSIC — and only MARY's shard; the merged
+        // delta ring still reports exactly that rel, so both answers ride.
+        db.insert("MARY", "FAVORITE-MUSIC", "PC#9-WAM").unwrap();
+        let likes2 = s.query("(JOHN, LIKES, ?x)").unwrap();
+        let earns2 = s.query("(JOHN, EARNS, ?x)").unwrap();
+        assert!(Arc::ptr_eq(&likes, &likes2), "disjoint write must not evict LIKES");
+        assert!(Arc::ptr_eq(&earns, &earns2), "disjoint write must not evict EARNS");
+        assert_eq!(s.cache_stats().carried, 2);
+    }
+
+    #[test]
+    fn sharded_answers_match_shared_session() {
+        use loosedb_engine::{Database, SharedDatabase};
+        let mut single = Database::new();
+        single.add("JOHN", "isa", "EMPLOYEE");
+        single.add("JOHN", "LIKES", "FELIX");
+        single.add("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+        single.add("PC#9-WAM", "COMPOSED-BY", "MOZART");
+        single.add("JOHN", "EARNS", 25000i64);
+        let mut reference =
+            crate::SharedSession::new(Arc::new(SharedDatabase::new(single).unwrap()));
+        let mut s = ShardedSession::new(sharded(4));
+        for q in [
+            "(JOHN, LIKES, ?x)",
+            "(?x, isa, EMPLOYEE)",
+            "Q(?x, ?y) := (?x, FAVORITE-MUSIC, ?y)",
+            // Cross-shard join: music's composer lives on another shard.
+            "Q(?x, ?c) := exists ?m . (?x, FAVORITE-MUSIC, ?m) & (?m, COMPOSED-BY, ?c)",
+        ] {
+            let a = s.query(q).unwrap();
+            let b = reference.query(q).unwrap();
+            assert_eq!(a.len(), b.len(), "{q}");
+        }
+    }
+
+    #[test]
+    fn probe_retracts_through_broadcast_taxonomy() {
+        let db = sharded(4);
+        let mut s = ShardedSession::new(Arc::clone(&db));
+        db.insert("ADORES", "gen", "LIKES").unwrap();
+        let report = s.probe("(JOHN, ADORES, ?x)").unwrap();
+        let menu = report.render_menu(s.snapshot().interner());
+        assert!(menu.contains("with LIKES instead of ADORES"), "{menu}");
+    }
+
+    #[test]
+    fn render_probe_survives_extension_constants() {
+        let db = sharded(3);
+        let mut s = ShardedSession::new(db);
+        // "WORSHIPS" was never interned by any shard: parsing falls back
+        // to the session's private extension interner, so the report's
+        // ids are unresolvable by the bare aligned snapshot interner and
+        // rendering must go through `render_probe`.
+        let report = s.probe("(JOHN, WORSHIPS, ?x)").unwrap();
+        let menu = s.render_probe(&report);
+        assert!(menu.contains("WORSHIPS"), "{menu}");
+    }
+
+    #[test]
+    fn relation_function_and_explain() {
+        let db = sharded(3);
+        db.insert("SHIPPING", "isa", "DEPARTMENT").unwrap();
+        db.insert("JOHN", "WORKS-FOR", "SHIPPING").unwrap();
+        let mut s = ShardedSession::new(db);
+        let table = s.relation("EMPLOYEE", &[("WORKS-FOR", "DEPARTMENT")]).unwrap();
+        assert_eq!(table.rows.len(), 1);
+        let f = s.function("COMPOSED-BY", None).unwrap();
+        assert!(f.is_function());
+        let plan = s.explain_query("Q(?x) := (?x, WORKS-FOR, SHIPPING)").unwrap();
+        assert!(plan.contains("WORKS-FOR"), "{plan}");
+    }
+
+    #[test]
+    fn defined_operators_expand() {
+        let mut s = ShardedSession::new(sharded(2));
+        s.define("earns-more", 1, "Q(?x) := exists ?y . (?x, EARNS, ?y) & (?y, >, $1)").unwrap();
+        assert_eq!(s.query("earns-more(20000)").unwrap().len(), 1);
+        assert!(s.query("earns-more(30000)").unwrap().is_empty());
+    }
+}

@@ -68,7 +68,7 @@ pub struct CacheStats {
 
 /// What a cached answer depends on — the invalidation granularity.
 #[derive(Clone, Debug)]
-enum Deps {
+pub(crate) enum Deps {
     /// The answer can only change if a write touches one of these
     /// relationship entities (all frozen-interned constants).
     Rels(BTreeSet<EntityId>),
@@ -88,7 +88,7 @@ enum Deps {
 /// domain, disjunctions pad columns from it, `Δ` in relationship position
 /// projects over every individual relationship, and mathematical
 /// comparators enumerate interned numbers (which writes extend).
-fn dependency_rels(query: &Query, frozen_len: usize) -> Deps {
+pub(crate) fn dependency_rels(query: &Query, frozen_len: usize) -> Deps {
     fn walk(f: &Formula, frozen_len: usize, out: &mut BTreeSet<EntityId>) -> bool {
         match f {
             Formula::Atom(t) => {
@@ -122,7 +122,7 @@ struct CacheEntry {
 /// relationships the answer depends on. When the epoch moves, entries
 /// whose dependencies are disjoint from the publish delta's relationships
 /// are carried over; the rest (and every `Deps::All` entry) are dropped.
-struct QueryCache {
+pub(crate) struct QueryCache {
     capacity: usize,
     epoch: u64,
     tick: u64,
@@ -151,7 +151,7 @@ impl QueryCache {
         }
     }
 
-    fn with_metrics(capacity: usize, metrics: loosedb_obs::CacheCounters) -> Self {
+    pub(crate) fn with_metrics(capacity: usize, metrics: loosedb_obs::CacheCounters) -> Self {
         QueryCache { metrics: Some(metrics), ..QueryCache::new(capacity) }
     }
 
@@ -161,10 +161,23 @@ impl QueryCache {
         if epoch == self.epoch {
             return;
         }
-        match shared.rels_changed_between(self.epoch, epoch) {
+        let changed = shared.rels_changed_between(self.epoch, epoch);
+        self.roll_with(epoch, changed.as_ref());
+    }
+
+    /// [`QueryCache::roll`] with the delta supplied by the caller:
+    /// `Some(rels)` keeps disjoint entries, `None` (imprecise span)
+    /// clears everything. The sharded session merges its per-shard delta
+    /// rings and rolls through this entry point, keyed on the summed
+    /// epoch vector (monotone: every publish raises the sum).
+    pub(crate) fn roll_with(&mut self, epoch: u64, changed: Option<&BTreeSet<EntityId>>) {
+        if epoch == self.epoch {
+            return;
+        }
+        match changed {
             Some(changed) if !self.map.is_empty() => {
                 self.map.retain(|_, e| match &e.deps {
-                    Deps::Rels(d) => d.intersection(&changed).next().is_none(),
+                    Deps::Rels(d) => d.intersection(changed).next().is_none(),
                     Deps::All => false,
                 });
                 self.carried += self.map.len() as u64;
@@ -180,7 +193,7 @@ impl QueryCache {
         self.epoch = epoch;
     }
 
-    fn get(&mut self, key: &str) -> Option<Arc<Answer>> {
+    pub(crate) fn get(&mut self, key: &str) -> Option<Arc<Answer>> {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
@@ -202,7 +215,7 @@ impl QueryCache {
         }
     }
 
-    fn insert(&mut self, key: String, answer: Arc<Answer>, deps: Deps) {
+    pub(crate) fn insert(&mut self, key: String, answer: Arc<Answer>, deps: Deps) {
         if self.capacity == 0 {
             return;
         }
@@ -227,7 +240,7 @@ impl QueryCache {
         }
     }
 
-    fn stats(&self) -> CacheStats {
+    pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
@@ -526,6 +539,22 @@ impl SharedSession {
         Ok(report)
     }
 
+    /// Renders a probe report's §5.2 menu under the interner its ids
+    /// were actually resolved against. A probe whose text mentioned
+    /// constants unknown to the frozen snapshot parsed via the session's
+    /// private extension interner; rendering such a report with the bare
+    /// snapshot interner panics on the extension-only ids. The extension
+    /// is a superset clone of the generation's interner, so when it is
+    /// current it is safe for every report; otherwise the generation's
+    /// own interner is.
+    pub fn render_probe(&self, report: &ProbeReport) -> String {
+        let generation = self.shared.snapshot();
+        match &self.ext {
+            Some(e) if e.epoch == generation.epoch() => report.render_menu(&e.interner),
+            _ => report.render_menu(generation.interner()),
+        }
+    }
+
     /// The §6.1 `try(e)` operator.
     pub fn try_entity(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
         let generation = self.shared.snapshot();
@@ -808,6 +837,19 @@ mod tests {
         let report = s.probe("(JOHN, ADORES, ?x)").unwrap();
         let menu = report.render_menu(s.snapshot().interner());
         assert!(menu.contains("with LIKES instead of ADORES"), "{menu}");
+    }
+
+    #[test]
+    fn render_probe_survives_extension_constants() {
+        let db = shared();
+        let mut s = SharedSession::new(db);
+        // "WORSHIPS" was never interned by any write: parsing falls back
+        // to the session's private extension interner, so the report's
+        // ids are unresolvable by the bare snapshot interner and
+        // rendering must go through `render_probe`.
+        let report = s.probe("(JOHN, WORSHIPS, ?x)").unwrap();
+        let menu = s.render_probe(&report);
+        assert!(menu.contains("WORSHIPS"), "{menu}");
     }
 
     #[test]

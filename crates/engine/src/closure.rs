@@ -815,10 +815,29 @@ pub(crate) struct WorkerPool {
     pub(crate) workers: usize,
 }
 
+/// Pool size: `LOOSEDB_WORKERS` when set to a positive integer (warning
+/// on stderr otherwise), else the machine's available parallelism.
+fn pool_size() -> usize {
+    let detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match std::env::var("LOOSEDB_WORKERS") {
+        Err(_) => detected,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "loosedb: ignoring invalid LOOSEDB_WORKERS={raw:?} \
+                     (expected a positive integer); using {detected}"
+                );
+                detected
+            }
+        },
+    }
+}
+
 pub(crate) fn worker_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = pool_size();
         let (jobs, queue) = mpsc::channel::<PoolJob>();
         let queue = Arc::new(Mutex::new(queue));
         for i in 0..workers {

@@ -51,6 +51,7 @@ pub mod pool;
 pub mod prove;
 pub mod replica;
 pub mod rule;
+pub mod sharded;
 pub mod shared;
 pub mod taxonomy;
 pub mod term;
@@ -68,6 +69,7 @@ pub use mathrel::{MathMatchError, MathTruth};
 pub use prove::Prover;
 pub use replica::{PollReport, Replica, ReplicaError, ReplicaInfo, ReplicaOptions};
 pub use rule::{Rule, RuleBuilder, RuleError, RuleKind, RuleSet};
+pub use sharded::{shard_of, ShardStats, ShardedDatabase, ShardedError, ShardedSnapshot};
 pub use shared::{DeltaSummary, Generation, SharedDatabase};
 pub use taxonomy::Taxonomy;
 pub use term::{Bindings, Template, Term, Var};

@@ -272,7 +272,7 @@ impl SharedDatabase {
 
     /// Publishes the writer database's current state as the next
     /// generation. `db` must be the guard of `self.writer`.
-    fn publish(&self, db: &mut Database) -> Result<(), ClosureError> {
+    pub(crate) fn publish(&self, db: &mut Database) -> Result<(), ClosureError> {
         // Only the writer mutates `current`, and the caller holds the
         // writer mutex, so reading the epoch outside the write lock is
         // race-free.
@@ -418,6 +418,40 @@ impl SharedDatabase {
         let mut db = self.writer.lock();
         let out = f(&mut db);
         self.publish(&mut db)?;
+        Ok(out)
+    }
+
+    /// Extends the writer's interner without publishing. Interning never
+    /// changes the fact set or the store epoch, so the current generation
+    /// remains a faithful snapshot; the next publish carries the longer
+    /// interner. This is how the sharded router keeps every shard's
+    /// interner identical: each write interns its entity values into all
+    /// shards, in shard order, before any shard stores the fact
+    /// (interners are append-only, so equal insertion order means equal
+    /// id assignment everywhere).
+    pub(crate) fn extend_interner<T>(
+        &self,
+        f: impl FnOnce(&mut loosedb_store::Interner) -> T,
+    ) -> T {
+        let mut db = self.writer.lock();
+        f(db.store_interner_mut())
+    }
+
+    /// Applies a batch of updates and publishes a new generation only if
+    /// the store epoch moved — the batch analogue of
+    /// [`SharedDatabase::insert`]'s publish-if-fresh behavior, used by
+    /// the sharded router for owner-routed writes and promotion
+    /// re-broadcasts where the fact may already be present.
+    pub(crate) fn write_if_changed<T>(
+        &self,
+        f: impl FnOnce(&mut Database) -> Result<T, ClosureError>,
+    ) -> Result<T, ClosureError> {
+        let mut db = self.writer.lock();
+        let before = db.store().epoch();
+        let out = f(&mut db)?;
+        if db.store().epoch() != before {
+            self.publish(&mut db)?;
+        }
         Ok(out)
     }
 

@@ -28,7 +28,7 @@ pub mod trace;
 pub use metrics::{
     bucket_upper_bound, BrowseSnapshot, CacheCounters, CacheSnapshot, ClosureSnapshot, Counter,
     Gauge, Histogram, HistogramSnapshot, Metric, Metrics, MetricsSnapshot, PublishSnapshot,
-    QuerySnapshot, Registry, ReplicationSnapshot, WalSnapshot, HISTOGRAM_BUCKETS,
+    QuerySnapshot, Registry, ReplicationSnapshot, ShardSnapshot, WalSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use prometheus::prometheus_text;
 

@@ -430,6 +430,32 @@ pub struct Metrics {
     /// (`repl.apply_nanos`).
     pub repl_apply_ns: Histogram,
 
+    // -- sharding --
+    /// Shards behind a sharded router (`shard.count`; 0 = unsharded).
+    pub shard_count: Gauge,
+    /// Writes routed to a single owner shard (`shard.route.owner`).
+    pub shard_route_owner: Counter,
+    /// Writes broadcast to every shard — structural facts, class-like
+    /// sources, broadcast-active relationships (`shard.route.broadcast`).
+    pub shard_route_broadcast: Counter,
+    /// Base facts re-broadcast when an entity or relationship was
+    /// promoted into the broadcast set (`shard.route.rebroadcast_facts`).
+    pub shard_route_rebroadcast: Counter,
+    /// Removals fanned out to every shard (`shard.route.remove_fanout`).
+    pub shard_route_removals: Counter,
+    /// Scatter-gather query evaluations (`shard.scatter.queries`).
+    pub shard_scatter_queries: Counter,
+    /// Queries served by the collocated per-shard fast path
+    /// (`shard.scatter.collocated`).
+    pub shard_scatter_collocated: Counter,
+    /// Per-shard scan/eval tasks fanned out (`shard.scatter.tasks`).
+    pub shard_scatter_tasks: Counter,
+    /// Rows gathered per scatter union (`shard.scatter.gather_rows`).
+    pub shard_gather_rows: Histogram,
+    /// Router-observed write latency across all touched shards,
+    /// nanoseconds (`shard.publish.nanos`).
+    pub shard_publish_ns: Histogram,
+
     // -- browse --
     /// Answer-cache counters (`browse.query_cache.*`; absorbs the
     /// session `CacheStats`).
@@ -506,6 +532,16 @@ impl Metrics {
             repl_polls: registry.counter("repl.polls"),
             repl_lag_bytes: registry.gauge("repl.lag_bytes"),
             repl_apply_ns: registry.histogram("repl.apply_nanos"),
+            shard_count: registry.gauge("shard.count"),
+            shard_route_owner: registry.counter("shard.route.owner"),
+            shard_route_broadcast: registry.counter("shard.route.broadcast"),
+            shard_route_rebroadcast: registry.counter("shard.route.rebroadcast_facts"),
+            shard_route_removals: registry.counter("shard.route.remove_fanout"),
+            shard_scatter_queries: registry.counter("shard.scatter.queries"),
+            shard_scatter_collocated: registry.counter("shard.scatter.collocated"),
+            shard_scatter_tasks: registry.counter("shard.scatter.tasks"),
+            shard_gather_rows: registry.histogram("shard.scatter.gather_rows"),
+            shard_publish_ns: registry.histogram("shard.publish.nanos"),
             query_cache: CacheCounters::register(
                 &registry,
                 "browse.query_cache.hits",
@@ -581,6 +617,18 @@ impl Metrics {
                 lag_bytes: self.repl_lag_bytes.get(),
                 apply_ns: self.repl_apply_ns.snapshot(),
             },
+            shard: ShardSnapshot {
+                count: self.shard_count.get(),
+                route_owner: self.shard_route_owner.get(),
+                route_broadcast: self.shard_route_broadcast.get(),
+                route_rebroadcast: self.shard_route_rebroadcast.get(),
+                route_removals: self.shard_route_removals.get(),
+                scatter_queries: self.shard_scatter_queries.get(),
+                scatter_collocated: self.shard_scatter_collocated.get(),
+                scatter_tasks: self.shard_scatter_tasks.get(),
+                gather_rows: self.shard_gather_rows.snapshot(),
+                publish_ns: self.shard_publish_ns.snapshot(),
+            },
             browse: BrowseSnapshot {
                 query_cache: self.query_cache.snapshot(),
                 nav_builds: self.nav_builds.get(),
@@ -608,8 +656,35 @@ pub struct MetricsSnapshot {
     pub query: QuerySnapshot,
     /// Replication metrics.
     pub repl: ReplicationSnapshot,
+    /// Sharded-router metrics.
+    pub shard: ShardSnapshot,
     /// Browsing metrics.
     pub browse: BrowseSnapshot,
+}
+
+/// Sharded-router (routing / scatter-gather) metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ShardSnapshot {
+    /// Shards behind the router (0 = unsharded).
+    pub count: u64,
+    /// Writes routed to a single owner shard.
+    pub route_owner: u64,
+    /// Writes broadcast to every shard.
+    pub route_broadcast: u64,
+    /// Base facts re-broadcast after a promotion.
+    pub route_rebroadcast: u64,
+    /// Removals fanned out to every shard.
+    pub route_removals: u64,
+    /// Scatter-gather query evaluations.
+    pub scatter_queries: u64,
+    /// Queries served by the collocated per-shard fast path.
+    pub scatter_collocated: u64,
+    /// Per-shard scan/eval tasks fanned out.
+    pub scatter_tasks: u64,
+    /// Rows gathered per scatter union.
+    pub gather_rows: HistogramSnapshot,
+    /// Router-observed write latency across all touched shards.
+    pub publish_ns: HistogramSnapshot,
 }
 
 /// Replication (WAL shipping / replica replay) metrics.

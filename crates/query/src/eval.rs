@@ -94,15 +94,24 @@ pub struct EvalOptions {
 }
 
 /// The process-wide default [`ParallelMode`], read once from
-/// `LOOSEDB_PARALLEL_JOIN` (`force` / `off`; anything else — including
-/// unset — is `Auto`). The CI stress job uses `force` to drive the
-/// equivalence proptests down the partitioned path on any hardware.
+/// `LOOSEDB_PARALLEL_JOIN` (`force` / `off` / `auto`; unset is `Auto`).
+/// An unrecognized value also falls back to `Auto`, but warns on stderr
+/// once so a typo like `LOOSEDB_PARALLEL_JOIN=forced` doesn't silently
+/// disable the partitioned path. The CI stress job uses `force` to drive
+/// the equivalence proptests down the partitioned path on any hardware.
 fn default_parallel_mode() -> ParallelMode {
     static MODE: std::sync::OnceLock<ParallelMode> = std::sync::OnceLock::new();
     *MODE.get_or_init(|| match std::env::var("LOOSEDB_PARALLEL_JOIN").as_deref() {
         Ok("force") => ParallelMode::Force(0),
         Ok("off") => ParallelMode::Off,
-        _ => ParallelMode::Auto,
+        Ok("auto") | Err(_) => ParallelMode::Auto,
+        Ok(other) => {
+            eprintln!(
+                "loosedb: ignoring unrecognized LOOSEDB_PARALLEL_JOIN={other:?} \
+                 (expected \"force\", \"off\" or \"auto\"); using auto"
+            );
+            ParallelMode::Auto
+        }
     })
 }
 

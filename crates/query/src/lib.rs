@@ -42,6 +42,7 @@ pub mod ast;
 pub mod eval;
 pub mod parser;
 pub mod plan;
+pub mod scatter;
 
 pub use ast::{Formula, Query};
 pub use eval::{
@@ -51,3 +52,6 @@ pub use eval::{
 };
 pub use parser::{parse, parse_frozen, FrozenParseError, ParseError};
 pub use plan::{plan_dependencies, plan_query, PlanCache, PlanCacheStats, QueryPlan};
+pub use scatter::{
+    eval_sharded, eval_sharded_planned, is_collocated, ScatterMetrics, ShardedAnswer, UnionView,
+};

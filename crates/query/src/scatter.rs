@@ -1,0 +1,574 @@
+//! Scatter-gather query execution over sharded views.
+//!
+//! The engine's `ShardedDatabase` hash-partitions facts by source entity
+//! across N shards whose interners the router keeps aligned, with every
+//! fact any §3 rule consumes off its owner shard broadcast to all shards
+//! (the *broadcast invariant*). This module is the query side of that
+//! bargain:
+//!
+//! * [`UnionView`] — a [`FactView`] over N per-shard views whose
+//!   `matches` fans each scan out across the shards (through the shared
+//!   worker pool when it has width) and gathers the deduplicated union.
+//!   Any query the planner can run on one view runs unchanged on the
+//!   union; cross-shard conjunctions gather partial results per conjunct
+//!   and join them with the ordinary (optionally partitioned) hash
+//!   joins.
+//! * [`is_collocated`] — detects queries whose ordinary atoms all share
+//!   one source term. Under the broadcast invariant every closure fact
+//!   sourced at an entity lives on that entity's shard, so such a query
+//!   decomposes *by answer row*: each shard evaluates the whole query
+//!   locally over its own facts and the answer is the disjoint-ish union
+//!   of the per-shard answers — no per-conjunct data movement at all.
+//!   This is the sharded analogue of a join on the partition key.
+//! * [`eval_sharded`] / [`eval_sharded_planned`] — the dispatcher:
+//!   collocated queries scatter whole, everything else runs over the
+//!   union view. `max_rows` is enforced across shards through one shared
+//!   committed-row counter (the same discipline the partitioned hash
+//!   join applies across its partitions): each shard evaluates under the
+//!   full budget — any single shard exceeding it is definitive, since
+//!   the union is a superset of every shard's rows — and the gather
+//!   aborts as soon as the *merged* row set crosses the limit.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use loosedb_engine::mathrel::MathMatchError;
+use loosedb_engine::view::FactView;
+use loosedb_engine::{pool, Term, Var};
+use loosedb_obs::{Counter, Histogram, Metrics};
+use loosedb_store::{special, EntityId, Fact, Interner, Pattern};
+
+use crate::ast::{Formula, Query};
+use crate::eval::{
+    eval_planned_stats, plan_and_eval_stats, Answer, EvalError, EvalOptions, EvalStats,
+};
+use crate::plan::QueryPlan;
+
+/// Scatter-layer metric handles, cloned out of an [`Metrics`] registry
+/// (typically the sharded router's). All handles are `Arc`-shared
+/// atomics: cloning is cheap and recording is wait-free.
+#[derive(Clone)]
+pub struct ScatterMetrics {
+    /// Sharded query evaluations (`shard.scatter.queries`).
+    pub queries: Counter,
+    /// Evaluations that took the collocated whole-query path
+    /// (`shard.scatter.collocated`).
+    pub collocated: Counter,
+    /// Per-shard scan/eval tasks fanned out (`shard.scatter.tasks`).
+    pub tasks: Counter,
+    /// Rows gathered from each shard (`shard.scatter.gather_rows`).
+    pub gather_rows: Histogram,
+}
+
+impl ScatterMetrics {
+    /// Binds the scatter handles of a metrics registry.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        ScatterMetrics {
+            queries: m.shard_scatter_queries.clone(),
+            collocated: m.shard_scatter_collocated.clone(),
+            tasks: m.shard_scatter_tasks.clone(),
+            gather_rows: m.shard_gather_rows.clone(),
+        }
+    }
+}
+
+/// A [`FactView`] that unions N per-shard views.
+///
+/// All views must resolve entities through the same (aligned) interner —
+/// the sharded router's invariant — so gathered facts need no id
+/// translation and deduplicate structurally. Scans fan out across the
+/// shared worker pool when it has more than one thread and run inline
+/// otherwise; either way the result is the sorted, deduplicated union.
+pub struct UnionView<'a, V: FactView> {
+    views: &'a [V],
+    interner: &'a Interner,
+    domain: OnceLock<Vec<EntityId>>,
+    metrics: Option<ScatterMetrics>,
+}
+
+impl<'a, V: FactView> UnionView<'a, V> {
+    /// Builds a union view over per-shard views sharing `interner`.
+    pub fn new(views: &'a [V], interner: &'a Interner) -> Self {
+        UnionView { views, interner, domain: OnceLock::new(), metrics: None }
+    }
+
+    /// Attaches scatter metric handles (`shard.scatter.tasks` counts the
+    /// per-shard scans this view fans out).
+    pub fn with_metrics(mut self, metrics: ScatterMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The per-shard views.
+    pub fn views(&self) -> &'a [V] {
+        self.views
+    }
+}
+
+impl<V: FactView> FactView for UnionView<'_, V> {
+    fn interner(&self) -> &Interner {
+        self.interner
+    }
+
+    fn matches(&self, pattern: Pattern) -> Result<Vec<Fact>, MathMatchError> {
+        if let Some(m) = &self.metrics {
+            m.tasks.add(self.views.len() as u64);
+        }
+        if let [only] = self.views {
+            return only.matches(pattern);
+        }
+        let mut results: Vec<Option<Result<Vec<Fact>, MathMatchError>>> = Vec::new();
+        results.resize_with(self.views.len(), || None);
+        if pool::workers() > 1 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                .iter_mut()
+                .zip(self.views)
+                .map(|(slot, view)| {
+                    Box::new(move || {
+                        *slot = Some(view.matches(pattern));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool::run_scoped(tasks);
+        } else {
+            for (slot, view) in results.iter_mut().zip(self.views) {
+                *slot = Some(view.matches(pattern));
+            }
+        }
+        let mut union: BTreeSet<Fact> = BTreeSet::new();
+        for slot in results {
+            union.extend(slot.expect("scan task completed")?);
+        }
+        Ok(union.into_iter().collect())
+    }
+
+    fn holds(&self, fact: &Fact) -> bool {
+        self.views.iter().any(|v| v.holds(fact))
+    }
+
+    fn count_estimate(&self, pattern: Pattern, cap: usize) -> usize {
+        // Broadcast facts are counted once per holding shard, so the sum
+        // over-estimates duplicated extents — acceptable for a planner
+        // input (estimates are capped and ordinal, not exact).
+        let mut total = 0usize;
+        for v in self.views {
+            total = total.saturating_add(v.count_estimate(pattern, cap.saturating_sub(total)));
+            if total >= cap {
+                return cap;
+            }
+        }
+        total
+    }
+
+    fn domain(&self) -> &[EntityId] {
+        self.domain.get_or_init(|| {
+            let mut merged: BTreeSet<EntityId> = BTreeSet::new();
+            for v in self.views {
+                merged.extend(v.domain().iter().copied());
+            }
+            merged.into_iter().collect()
+        })
+    }
+
+    fn count_probes(&self) -> u64 {
+        self.views.iter().map(|v| v.count_probes()).sum()
+    }
+
+    fn domain_size(&self) -> usize {
+        match self.domain.get() {
+            Some(d) => d.len(),
+            // Upper bound (broadcast entities occur on several shards);
+            // only the planner's cost model consumes this.
+            None => self.views.iter().map(|v| v.domain_size()).sum(),
+        }
+    }
+}
+
+/// True if `term` is the [`Formula::TRUE`] sentinel's anonymous
+/// variable.
+fn is_sentinel(term: Term) -> bool {
+    matches!(term, Term::Var(Var(u32::MAX)))
+}
+
+/// Detects whether a query can scatter whole to every shard (the
+/// collocated fast path): the formula is purely conjunctive (no `Or`, no
+/// `ForAll` — both need cross-shard context), every atom's relationship
+/// is a constant, and every *ordinary* atom — not math-virtual, not the
+/// TRUE sentinel — shares one source term. Under the broadcast invariant
+/// each shard then holds every fact any of its answer rows touches, so
+/// the global answer is exactly the union of per-shard answers.
+pub fn is_collocated(query: &Query) -> bool {
+    fn scan(f: &Formula, source: &mut Option<Term>) -> bool {
+        match f {
+            Formula::Atom(tpl) => {
+                if is_sentinel(tpl.s) {
+                    return true;
+                }
+                let Term::Const(rel) = tpl.r else { return false };
+                if special::is_math(rel) {
+                    // Math relationships are virtual over the (aligned)
+                    // interner — identical on every shard.
+                    return true;
+                }
+                match source {
+                    None => {
+                        *source = Some(tpl.s);
+                        true
+                    }
+                    Some(shared) => *shared == tpl.s,
+                }
+            }
+            Formula::And(a, b) => scan(a, source) && scan(b, source),
+            Formula::Exists(_, a) => scan(a, source),
+            Formula::Or(_, _) | Formula::ForAll(_, _) => false,
+        }
+    }
+    let mut source = None;
+    scan(&query.formula, &mut source)
+}
+
+/// The result of a sharded evaluation.
+#[derive(Clone, Debug)]
+pub struct ShardedAnswer {
+    /// The merged answer.
+    pub answer: Answer,
+    /// The plan used (representative shard-0 plan on the collocated
+    /// path; the union-view plan otherwise).
+    pub plan: QueryPlan,
+    /// Execution statistics, summed across shards.
+    pub stats: EvalStats,
+    /// Whether the collocated whole-query path ran.
+    pub collocated: bool,
+}
+
+/// Plans and evaluates a query across per-shard views (see the module
+/// docs for the dispatch). `interner` must be the aligned interner the
+/// views resolve through — `ShardedSnapshot::interner()`.
+pub fn eval_sharded<V: FactView>(
+    query: &Query,
+    views: &[V],
+    interner: &Interner,
+    opts: EvalOptions,
+    metrics: Option<&ScatterMetrics>,
+) -> Result<ShardedAnswer, EvalError> {
+    if let Some(m) = metrics {
+        m.queries.inc();
+    }
+    if views.len() > 1 && is_collocated(query) {
+        if let Some(m) = metrics {
+            m.collocated.inc();
+            m.tasks.add(views.len() as u64);
+        }
+        let (answer, plan, stats) = scatter_whole(query, views, opts, None, metrics)?;
+        return Ok(ShardedAnswer {
+            answer,
+            plan: plan.expect("collocated scatter plans shard 0"),
+            stats,
+            collocated: true,
+        });
+    }
+    let union = match metrics {
+        Some(m) => UnionView::new(views, interner).with_metrics(m.clone()),
+        None => UnionView::new(views, interner),
+    };
+    let (answer, plan, stats) = plan_and_eval_stats(query, &union, opts)?;
+    if let Some(m) = metrics {
+        m.gather_rows.record(answer.rows.len() as u64);
+    }
+    Ok(ShardedAnswer { answer, plan, stats, collocated: false })
+}
+
+/// Evaluates a query across per-shard views under a previously built
+/// (cached) plan, issuing no planning probes. The sharded session keys
+/// its plan cache on the merged per-shard delta rings and replays plans
+/// through this entry point.
+pub fn eval_sharded_planned<V: FactView>(
+    query: &Query,
+    views: &[V],
+    interner: &Interner,
+    opts: EvalOptions,
+    plan: &QueryPlan,
+    metrics: Option<&ScatterMetrics>,
+) -> Result<(Answer, EvalStats, bool), EvalError> {
+    if let Some(m) = metrics {
+        m.queries.inc();
+    }
+    if views.len() > 1 && is_collocated(query) {
+        if let Some(m) = metrics {
+            m.collocated.inc();
+            m.tasks.add(views.len() as u64);
+        }
+        let (answer, _, stats) = scatter_whole(query, views, opts, Some(plan), metrics)?;
+        return Ok((answer, stats, true));
+    }
+    let union = match metrics {
+        Some(m) => UnionView::new(views, interner).with_metrics(m.clone()),
+        None => UnionView::new(views, interner),
+    };
+    let (answer, stats) = eval_planned_stats(query, &union, opts, plan)?;
+    if let Some(m) = metrics {
+        m.gather_rows.record(answer.rows.len() as u64);
+    }
+    Ok((answer, stats, false))
+}
+
+/// The collocated path: every shard evaluates the whole query over its
+/// local view (in parallel when the pool has width); rows merge into one
+/// shared set guarded by `opts.max_rows` via a shared committed-row
+/// counter, exactly as the partitioned hash join budgets its partitions.
+#[allow(clippy::type_complexity)]
+fn scatter_whole<V: FactView>(
+    query: &Query,
+    views: &[V],
+    opts: EvalOptions,
+    plan: Option<&QueryPlan>,
+    metrics: Option<&ScatterMetrics>,
+) -> Result<(Answer, Option<QueryPlan>, EvalStats), EvalError> {
+    let merged: Mutex<BTreeSet<Vec<EntityId>>> = Mutex::new(BTreeSet::new());
+    // Rows in `merged`, readable without the lock: the cross-shard
+    // overflow budget. Monotone under inserts, so a stale read can only
+    // delay an abort, never cause a false one.
+    let committed = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<(Answer, Option<QueryPlan>, EvalStats), EvalError>>> =
+        Vec::new();
+    results.resize_with(views.len(), || None);
+
+    let run_shard = |i: usize,
+                     view: &V|
+     -> Result<(Answer, Option<QueryPlan>, EvalStats), EvalError> {
+        if committed.load(Ordering::Relaxed) > opts.max_rows {
+            // Another shard already blew the merged budget; don't spend
+            // work on rows that would be discarded.
+            return Err(EvalError::ResultTooLarge {
+                limit: opts.max_rows,
+                produced: committed.load(Ordering::Relaxed),
+            });
+        }
+        let (answer, plan_out, stats) = match plan {
+            Some(p) => {
+                let (a, s) = eval_planned_stats(query, view, opts, p)?;
+                (a, None, s)
+            }
+            None => {
+                let (a, p, s) = plan_and_eval_stats(query, view, opts)?;
+                (a, Some(p), s)
+            }
+        };
+        if let Some(m) = metrics {
+            m.gather_rows.record(answer.rows.len() as u64);
+        }
+        let mut set = merged.lock().expect("gather lock");
+        set.extend(answer.rows.iter().cloned());
+        committed.store(set.len(), Ordering::Relaxed);
+        if set.len() > opts.max_rows {
+            return Err(EvalError::ResultTooLarge { limit: opts.max_rows, produced: set.len() });
+        }
+        let _ = i;
+        Ok((answer, plan_out, stats))
+    };
+
+    if pool::workers() > 1 {
+        let run_shard = &run_shard;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .zip(views)
+            .enumerate()
+            .map(|(i, (slot, view))| {
+                Box::new(move || {
+                    *slot = Some(run_shard(i, view));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_scoped(tasks);
+    } else {
+        for (i, (slot, view)) in results.iter_mut().zip(views).enumerate() {
+            let out = run_shard(i, view);
+            let failed = out.is_err();
+            *slot = Some(out);
+            if failed {
+                break;
+            }
+        }
+    }
+
+    let mut plan_out: Option<QueryPlan> = None;
+    let mut stats = EvalStats::default();
+    let mut columns: Option<(Vec<Var>, Vec<String>)> = None;
+    for slot in results.into_iter().flatten() {
+        let (answer, p, s) = slot?;
+        if plan_out.is_none() {
+            plan_out = p;
+        }
+        stats.strategy_hash += s.strategy_hash;
+        stats.strategy_nested += s.strategy_nested;
+        stats.partitions += s.partitions;
+        if columns.is_none() {
+            columns = Some((answer.columns, answer.names));
+        }
+    }
+    let (columns, names) = columns.unwrap_or_else(|| {
+        let names = query.free.iter().map(|v| query.var_name(*v).to_string()).collect();
+        (query.free.clone(), names)
+    });
+    let rows = merged.into_inner().expect("gather lock");
+    Ok((Answer { columns, names, rows }, plan_out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use loosedb_engine::ShardedDatabase;
+
+    fn world(n: usize) -> ShardedDatabase {
+        let db = ShardedDatabase::new(n).unwrap();
+        db.insert("EMPLOYEE", "gen", "PERSON").unwrap();
+        db.insert("JOHN", "isa", "EMPLOYEE").unwrap();
+        db.insert("MARY", "isa", "EMPLOYEE").unwrap();
+        db.insert("SUE", "isa", "EMPLOYEE").unwrap();
+        db.insert("EMPLOYEE", "EARNS", "SALARY").unwrap();
+        db.insert("JOHN", "LIKES", "FELIX").unwrap();
+        db.insert("MARY", "LIKES", "REX").unwrap();
+        db.insert("SUE", "OWNS", "CAR").unwrap();
+        db
+    }
+
+    fn single_answer(queries: &str) -> Answer {
+        let mut db = loosedb_engine::Database::new();
+        db.add("EMPLOYEE", "gen", "PERSON");
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("MARY", "isa", "EMPLOYEE");
+        db.add("SUE", "isa", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.add("JOHN", "LIKES", "FELIX");
+        db.add("MARY", "LIKES", "REX");
+        db.add("SUE", "OWNS", "CAR");
+        let q = parse(queries, db.store_interner_mut()).unwrap();
+        let view = db.view().unwrap();
+        crate::eval::eval(&q, &view).unwrap()
+    }
+
+    fn rendered(a: &Answer, interner: &Interner) -> String {
+        a.render(interner)
+    }
+
+    #[test]
+    fn collocated_detection() {
+        let mut interner = Interner::new();
+        let collocated = [
+            "Q(?x) := (?x, isa, EMPLOYEE)",
+            "Q(?x) := exists ?y . (?x, isa, EMPLOYEE) & (?x, LIKES, ?y)",
+            "Q(?x, ?y) := (?x, EARNS, ?y) & (?y, >, 0)",
+        ];
+        for q in collocated {
+            let parsed = parse(q, &mut interner).unwrap();
+            assert!(is_collocated(&parsed), "{q}");
+        }
+        let scattered = [
+            // Two distinct ordinary sources: a genuine cross-shard join.
+            "Q(?x, ?y) := (?x, LIKES, ?y) & (?y, isa, EMPLOYEE)",
+            // Disjunction needs the union.
+            "Q(?x) := (?x, isa, EMPLOYEE) | (?x, OWNS, CAR)",
+        ];
+        for q in scattered {
+            let parsed = parse(q, &mut interner).unwrap();
+            assert!(!is_collocated(&parsed), "{q}");
+        }
+    }
+
+    #[test]
+    fn collocated_scatter_matches_single_store() {
+        for n in [1, 2, 4] {
+            let db = world(n);
+            let snap = db.snapshot();
+            let expected = single_answer("Q(?x) := (?x, EARNS, SALARY)");
+            let mut ext = snap.interner().clone();
+            let q = parse("Q(?x) := (?x, EARNS, SALARY)", &mut ext).unwrap();
+            let views = snap.views_with_interner(&ext);
+            let out = eval_sharded(&q, &views, &ext, EvalOptions::default(), None).unwrap();
+            assert_eq!(out.collocated, n > 1);
+            assert_eq!(
+                rendered(&out.answer, &ext),
+                rendered(&expected, &expected_interner(&expected, "Q(?x) := (?x, EARNS, SALARY)")),
+                "n={n}"
+            );
+        }
+    }
+
+    // Renders the single-store expected answer with its own interner so
+    // the comparison is by display name, not raw id.
+    fn expected_interner(_a: &Answer, query: &str) -> Interner {
+        let mut db = loosedb_engine::Database::new();
+        db.add("EMPLOYEE", "gen", "PERSON");
+        db.add("JOHN", "isa", "EMPLOYEE");
+        db.add("MARY", "isa", "EMPLOYEE");
+        db.add("SUE", "isa", "EMPLOYEE");
+        db.add("EMPLOYEE", "EARNS", "SALARY");
+        db.add("JOHN", "LIKES", "FELIX");
+        db.add("MARY", "LIKES", "REX");
+        db.add("SUE", "OWNS", "CAR");
+        let _ = parse(query, db.store_interner_mut()).unwrap();
+        let mut out = Interner::new();
+        for (_, v) in db.store().interner().iter() {
+            out.intern(v.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn cross_shard_join_gathers_through_union_view() {
+        for n in [1, 2, 4] {
+            let db = world(n);
+            let snap = db.snapshot();
+            let query = "Q(?x, ?y) := (?x, LIKES, ?y) & (?x, isa, EMPLOYEE)";
+            let expected = single_answer(query);
+            let mut ext = snap.interner().clone();
+            let q = parse(query, &mut ext).unwrap();
+            let views = snap.views_with_interner(&ext);
+            let out = eval_sharded(&q, &views, &ext, EvalOptions::default(), None).unwrap();
+            assert_eq!(out.answer.len(), expected.len(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn union_view_count_probes_and_domain_merge() {
+        let db = world(3);
+        let snap = db.snapshot();
+        let views = snap.views();
+        let union = UnionView::new(&views, snap.interner());
+        let john = snap.lookup_symbol("JOHN").unwrap();
+        assert!(union.domain().contains(&john));
+        assert!(union.domain_size() >= union.domain().len());
+        let _ = union.count_estimate(Pattern::from_source(john), 10);
+        assert!(union.count_probes() >= 1);
+    }
+
+    #[test]
+    fn shared_budget_aborts_collocated_gather() {
+        let db = world(4);
+        let snap = db.snapshot();
+        let mut ext = snap.interner().clone();
+        let q = parse("Q(?x) := (?x, isa, EMPLOYEE)", &mut ext).unwrap();
+        let views = snap.views_with_interner(&ext);
+        let opts = EvalOptions { max_rows: 1, ..EvalOptions::default() };
+        let err = eval_sharded(&q, &views, &ext, opts, None).unwrap_err();
+        assert!(matches!(err, EvalError::ResultTooLarge { limit: 1, .. }));
+    }
+
+    #[test]
+    fn planned_replay_matches_fresh_eval() {
+        let db = world(4);
+        let snap = db.snapshot();
+        let mut ext = snap.interner().clone();
+        let query = "Q(?x) := exists ?y . (?x, EARNS, ?y)";
+        let q = parse(query, &mut ext).unwrap();
+        let views = snap.views_with_interner(&ext);
+        let fresh = eval_sharded(&q, &views, &ext, EvalOptions::default(), None).unwrap();
+        let (replayed, _, collocated) =
+            eval_sharded_planned(&q, &views, &ext, EvalOptions::default(), &fresh.plan, None)
+                .unwrap();
+        assert!(collocated);
+        assert_eq!(replayed.rows, fresh.answer.rows);
+    }
+}

@@ -10,9 +10,13 @@
 //! ```
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use loosedb::datagen::{company, music_world, probing_world, university};
-use loosedb::{Database, Replica, RuleGroup, Session, SharedSession, SyncPolicy};
+use loosedb::{
+    Database, Replica, RuleGroup, Session, ShardedDatabase, ShardedSession, SharedSession,
+    SyncPolicy,
+};
 
 const HELP: &str = "\
 commands:
@@ -43,10 +47,15 @@ commands:
   catchup                      (replica mode) drain the backlog
   promote <dir>                (replica mode) fail over to a writable journal
   detach                       leave replica mode, keeping the replicated data
+  shards <n>                   repartition the current facts across n shards
+  shards                       (sharded mode) per-shard status table
+  shards off                   leave sharded mode, merging the shards back
   help                         this text
   quit                         exit
 (replica mode is read-only: browse commands serve from the follower's
  snapshots; editing commands need 'detach' or 'promote' first)
+(sharded mode supports browsing, queries, probes and add/tryadd/del;
+ rule-group and persistence commands need 'shards off' first)
 (commands also accept a leading ':', e.g. ':metrics')";
 
 /// Replica-mode state: the tailing [`Replica`] plus a [`SharedSession`]
@@ -56,14 +65,23 @@ struct ReplicaMode {
     session: SharedSession,
 }
 
+/// Sharded-mode state: the hash-partitioned [`ShardedDatabase`] plus a
+/// [`ShardedSession`] running scatter-gather reads over its per-shard
+/// snapshots.
+struct ShardedMode {
+    db: Arc<ShardedDatabase>,
+    session: ShardedSession,
+}
+
 struct Repl {
     session: Session,
     replica: Option<ReplicaMode>,
+    sharded: Option<ShardedMode>,
 }
 
 fn main() {
     let stdin = io::stdin();
-    let mut repl = Repl { session: Session::new(music_world()), replica: None };
+    let mut repl = Repl { session: Session::new(music_world()), replica: None, sharded: None };
     println!("loosedb browser — music world loaded; type 'help' for commands");
     prompt(&repl);
     for line in stdin.lock().lines() {
@@ -88,7 +106,13 @@ fn main() {
 }
 
 fn prompt(repl: &Repl) {
-    print!("{}", if repl.replica.is_some() { "(replica)> " } else { "> " });
+    if repl.replica.is_some() {
+        print!("(replica)> ");
+    } else if let Some(mode) = &repl.sharded {
+        print!("(sharded:{})> ", mode.db.shard_count());
+    } else {
+        print!("> ");
+    }
     io::stdout().flush().ok();
 }
 
@@ -111,6 +135,9 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             if repl.replica.is_some() {
                 return Err("already in replica mode; 'detach' first".into());
             }
+            if repl.sharded.is_some() {
+                return Err("can't attach a replica in sharded mode; 'shards off' first".into());
+            }
             let parts: Vec<&str> = rest.split_whitespace().collect();
             let (leader, local) = match parts.as_slice() {
                 [leader] => ((*leader).to_string(), format!("{leader}-replica")),
@@ -132,6 +159,7 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             repl.replica = Some(ReplicaMode { replica, session });
             return Ok(());
         }
+        "shards" => return shards_command(repl, rest),
         "sync" | "catchup" | "promote" | "detach" => {
             let Some(mode) = repl.replica.as_mut() else {
                 return Err(format!("{cmd} only works in replica mode; see 'replica'"));
@@ -201,9 +229,8 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                 println!("({} answer(s))", answer.len());
             }
             "probe" | "p" => {
-                let generation = s.snapshot();
                 let report = s.probe(rest).map_err(|e| e.to_string())?;
-                print!("{}", report.render_menu(generation.interner()));
+                print!("{}", s.render_probe(&report));
             }
             "plan" => print!("{}", s.explain_query(rest).map_err(|e| e.to_string())?),
             "stats" => {
@@ -231,6 +258,57 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                     "{other:?} is unavailable in replica mode (read-only); \
                      'detach' or 'promote <dir>' first"
                 ))
+            }
+        }
+        return Ok(());
+    }
+    if let Some(mode) = repl.sharded.as_mut() {
+        let s = &mut mode.session;
+        match cmd {
+            "focus" | "f" => print!("{}", s.focus(rest).map_err(|e| e.to_string())?),
+            "back" => print!("{}", s.back().map_err(|e| e.to_string())?),
+            "try" => print!("{}", s.try_entity(rest).map_err(|e| e.to_string())?),
+            "nav" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [a, b, c] = parts.as_slice() else {
+                    return Err("usage: nav <s> <r> <t>".into());
+                };
+                print!("{}", s.navigate_parts(a, b, c).map_err(|e| e.to_string())?);
+            }
+            "query" | "q" => {
+                let snap = s.snapshot();
+                let answer = s.query(rest).map_err(|e| e.to_string())?;
+                print!("{}", answer.render(snap.interner()));
+                println!("({} answer(s))", answer.len());
+            }
+            "probe" | "p" => {
+                let report = s.probe(rest).map_err(|e| e.to_string())?;
+                print!("{}", s.render_probe(&report));
+            }
+            "plan" => print!("{}", s.explain_query(rest).map_err(|e| e.to_string())?),
+            "add" | "tryadd" | "del" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let [a, b, c] = parts.as_slice() else {
+                    return Err(format!("usage: {cmd} <s> <r> <t>"));
+                };
+                sharded_edit(&mode.db, cmd, a, b, c)?;
+            }
+            "stats" => shard_status(&mode.db),
+            "metrics" => {
+                print!("{}", loosedb::obs::prometheus_text(mode.db.metrics().registry()));
+            }
+            "history" => {
+                let snap = s.snapshot();
+                let names: Vec<String> = s.history().iter().map(|&e| snap.display(e)).collect();
+                println!(
+                    "{}",
+                    if names.is_empty() { "(empty)".to_string() } else { names.join(" → ") }
+                );
+            }
+            "help" => println!("{HELP}"),
+            "spans" => return spans(rest),
+            other => {
+                return Err(format!("{other:?} is unavailable in sharded mode; 'shards off' first"))
             }
         }
         return Ok(());
@@ -395,6 +473,103 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The `shards` command: enter sharded mode (`shards <n>`), show the
+/// per-shard status table (`shards`), or merge back out (`shards off`).
+fn shards_command(repl: &mut Repl, rest: &str) -> Result<(), String> {
+    if repl.replica.is_some() {
+        return Err("shards is unavailable in replica mode; 'detach' first".into());
+    }
+    match rest {
+        "" => {
+            let Some(mode) = repl.sharded.as_ref() else {
+                return Err("not in sharded mode; 'shards <n>' to partition".into());
+            };
+            shard_status(&mode.db);
+            Ok(())
+        }
+        "off" => {
+            let Some(mode) = repl.sharded.take() else {
+                return Err("not in sharded mode; 'shards <n>' to partition".into());
+            };
+            // Re-import every shard's base facts into one local database;
+            // broadcast copies dedup on insert.
+            let mut db = Database::new();
+            let mut merged = 0;
+            for shard in mode.db.shards() {
+                let text = shard.read_writer(|d| d.export_facts().0);
+                merged += db.import_facts(&text).map_err(|e| e.to_string())?;
+            }
+            repl.session = Session::new(db);
+            println!("left sharded mode; {merged} fact(s) merged into the local session");
+            Ok(())
+        }
+        n => {
+            if repl.sharded.is_some() {
+                return Err("already in sharded mode; 'shards off' first".into());
+            }
+            let n: usize = n.parse().map_err(|_| "usage: shards <n> | shards off".to_string())?;
+            if n == 0 {
+                return Err("shard count must be at least 1".into());
+            }
+            let db = Arc::new(
+                ShardedDatabase::from_store(n, repl.session.db().store())
+                    .map_err(|e| e.to_string())?,
+            );
+            let stats = db.stats();
+            let base: usize = stats.iter().map(|s| s.base_facts).sum();
+            println!(
+                "partitioned {} fact slot(s) across {n} shard(s) \
+                 (broadcast facts counted once per shard); type 'shards' for status",
+                base
+            );
+            let session = ShardedSession::new(Arc::clone(&db));
+            repl.sharded = Some(ShardedMode { db, session });
+            Ok(())
+        }
+    }
+}
+
+/// Per-shard status table for the `shards` / sharded-mode `stats` command.
+fn shard_status(db: &ShardedDatabase) {
+    println!("shard   epoch    base  closure  publishes");
+    for (i, s) in db.stats().iter().enumerate() {
+        println!(
+            "{i:>5}  {:>6}  {:>6}  {:>7}  {:>9}",
+            s.epoch, s.base_facts, s.closure_facts, s.publishes
+        );
+    }
+}
+
+/// Fact-editing commands in sharded mode, routed through the partition
+/// router (owner shard or broadcast).
+fn sharded_edit(db: &ShardedDatabase, cmd: &str, s: &str, r: &str, t: &str) -> Result<(), String> {
+    let render = |db: &ShardedDatabase, f: &loosedb::Fact| {
+        let snap = db.snapshot();
+        format!("({}, {}, {})", snap.display(f.s), snap.display(f.r), snap.display(f.t))
+    };
+    match cmd {
+        "add" => {
+            let f = db.insert(value(s), value(r), value(t)).map_err(|e| e.to_string())?;
+            println!("added to shard {}: {}", db.shard_of(f.s), render(db, &f));
+        }
+        "tryadd" => match db.try_insert(value(s), value(r), value(t)) {
+            Ok(f) => println!("added to shard {}: {}", db.shard_of(f.s), render(db, &f)),
+            Err(e) => println!("rejected: {e}"),
+        },
+        "del" => {
+            let fact =
+                loosedb::Fact::new(db.entity(value(s)), db.entity(value(r)), db.entity(value(t)));
+            if db.remove(&fact).map_err(|e| e.to_string())? {
+                println!("removed {}", render(db, &fact));
+            } else {
+                println!("no such fact");
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
 /// The `spans` command, shared by local and replica mode.
 fn spans(rest: &str) -> Result<(), String> {
     match rest {
@@ -424,17 +599,20 @@ fn spans(rest: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a command-line token into an [`loosedb::EntityValue`]:
+/// integers and floats stay numeric, everything else is a symbol.
+fn value(text: &str) -> loosedb::EntityValue {
+    if let Ok(i) = text.parse::<i64>() {
+        i.into()
+    } else if let Ok(f) = text.parse::<f64>() {
+        loosedb::EntityValue::float(f)
+    } else {
+        loosedb::EntityValue::symbol(text)
+    }
+}
+
 /// Fact-editing commands: `add`, `tryadd`, `del`, `explain`.
 fn edit(session: &mut Session, cmd: &str, s: &str, r: &str, t: &str) -> Result<(), String> {
-    let value = |text: &str| -> loosedb::EntityValue {
-        if let Ok(i) = text.parse::<i64>() {
-            i.into()
-        } else if let Ok(f) = text.parse::<f64>() {
-            loosedb::EntityValue::float(f)
-        } else {
-            loosedb::EntityValue::symbol(text)
-        }
-    };
     let db = session.db_mut();
     match cmd {
         "add" => {

@@ -56,14 +56,16 @@ pub use loosedb_obs::{Metrics, MetricsSnapshot};
 pub use loosedb_browse::{
     function, navigate, paths_between, probe, probe_text, relation, semantic_distance, try_entity,
     CacheStats, Definitions, FunctionView, GroupedTable, NavigateOptions, ProbeOptions,
-    ProbeOutcome, ProbeReport, RelationTable, RetractionStep, Session, SessionError, SharedSession,
+    ProbeOutcome, ProbeReport, RelationTable, RetractionStep, Session, SessionError,
+    ShardedSession, SharedSession,
 };
 pub use loosedb_engine::{
     Builtin, Closure, ClosureError, ClosureView, Database, DeltaSummary, DomainCounts,
     DurableDatabase, DurableError, ExtendDelta, FactView, Generation, InferenceConfig,
     KindRegistry, MathTruth, PollReport, Provenance, Prover, PublishDelta, RecoveryInfo, RelKind,
-    Replica, ReplicaError, ReplicaInfo, ReplicaOptions, Rule, RuleGroup, RuleKind, SharedDatabase,
-    Strategy, SyncPolicy, Taxonomy, Template, Term, TransactionError, Var, Violation,
+    Replica, ReplicaError, ReplicaInfo, ReplicaOptions, Rule, RuleGroup, RuleKind, ShardStats,
+    ShardedDatabase, ShardedError, ShardedSnapshot, SharedDatabase, Strategy, SyncPolicy, Taxonomy,
+    Template, Term, TransactionError, Var, Violation,
 };
 pub use loosedb_query::{
     eval, eval_with, explain_plan, parse, parse_frozen, Answer, AtomOrdering, EvalOptions, Formula,
