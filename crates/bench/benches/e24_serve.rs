@@ -1,0 +1,78 @@
+//! E24 — the serving layer's tax: a query over a loopback socket vs the
+//! same query embedded.
+//!
+//! The server holds a real browse-layer session per connection, so the
+//! *evaluated* cost is identical by construction; what the bench
+//! measures is everything wrapped around it — framing, the poll loop,
+//! the admission path and a loopback round trip. Two regimes:
+//!
+//! * `cold_*` — every iteration evaluates (the query text varies, so
+//!   per-session answer caches miss): the serve tax should disappear
+//!   into the evaluation cost.
+//! * `hot_*` — the identical query repeats (answer caches hit): this is
+//!   the floor, and it is mostly the socket round trip.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loosedb_bench::{chain_query_src, shared_world};
+use loosedb_browse::SharedSession;
+use loosedb_serve::{Backend, Client, ServeConfig, Server};
+
+/// A distinct-but-equivalent query text: same chain, same plan shape,
+/// different variable names, so the answer cache cannot help.
+fn variant(base: &str, i: u64) -> String {
+    base.replace("?x", &format!("?v{i}_"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e24_serve");
+    group.sample_size(10);
+
+    let (shared, _nodes) = shared_world(100_000);
+    let server =
+        Server::start(Backend::shared(Arc::clone(&shared)), ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let base = chain_query_src(6);
+
+    let mut embedded = SharedSession::new(Arc::clone(&shared));
+    let mut i = 0u64;
+    group.bench_function("cold_embedded", |b| {
+        b.iter(|| {
+            i += 1;
+            embedded.query(&variant(&base, i)).expect("query").len()
+        })
+    });
+    let mut client = Client::connect(addr, "").expect("connect");
+    group.bench_function("cold_served", |b| {
+        b.iter(|| {
+            i += 1;
+            client.query(&variant(&base, i)).expect("query").rows.len()
+        })
+    });
+
+    group
+        .bench_function("hot_embedded", |b| b.iter(|| embedded.query(&base).expect("query").len()));
+    group.bench_function("hot_served", |b| {
+        b.iter(|| client.query(&base).expect("query").rows.len())
+    });
+
+    // A served single-fact publish: socket + framing + the write path.
+    let mut n = 0u64;
+    group.bench_function("served_publish", |b| {
+        b.iter(|| {
+            n += 1;
+            client
+                .publish(false, vec![(format!("E24-{n}"), "R0".into(), "N1".into())])
+                .expect("publish")
+                .applied
+        })
+    });
+
+    group.finish();
+    drop(client);
+    drop(server); // graceful shutdown via Drop
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

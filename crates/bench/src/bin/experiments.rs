@@ -1,11 +1,12 @@
 //! Regenerates every EXPERIMENTS.md table: one section per experiment
-//! E1–E23 (DESIGN.md §3), printed as markdown. E17/E18/E19/E20/E21/E22/E23
-//! additionally write their numbers to `BENCH_publish.json` /
-//! `BENCH_query.json` / `BENCH_obs.json` / `BENCH_repl.json` /
-//! `BENCH_retract.json` / `BENCH_parjoin.json` / `BENCH_shard.json` so
-//! later PRs can track the publish-cost, query-cost,
-//! instrumentation-overhead, replication-lag, retraction-cost,
-//! parallel-join and sharding trajectories mechanically;
+//! E1–E24 (DESIGN.md §3), printed as markdown.
+//! E17/E18/E19/E20/E21/E22/E23/E24 additionally write their numbers to
+//! `BENCH_publish.json` / `BENCH_query.json` / `BENCH_obs.json` /
+//! `BENCH_repl.json` / `BENCH_retract.json` / `BENCH_parjoin.json` /
+//! `BENCH_shard.json` / `BENCH_serve.json` so later PRs can track the
+//! publish-cost, query-cost, instrumentation-overhead, replication-lag,
+//! retraction-cost, parallel-join, sharding and serving trajectories
+//! mechanically;
 //! `experiments --check` validates the files against the expected
 //! schema (used by CI). E19 compares builds: run it once default and
 //! once with `--features obs` to measure the span layer's cost.
@@ -20,7 +21,7 @@ use loosedb_bench::{
     chain_query_src, fmt_duration, measure, query_world, run_mix, run_sharded_mix, sharded_world,
     sharded_world_nodes, shared_world, standard_store, star_query_src, structural_world, Report,
 };
-use loosedb_browse::{navigate, probe, relation, NavigateOptions, ProbeOptions};
+use loosedb_browse::{navigate, probe, relation, NavigateOptions, ProbeOptions, SharedSession};
 use loosedb_datagen::{
     company, inversion_world, synonym_world, taxonomy, university, zipf_graph, CompanyConfig,
     GraphConfig, TaxonomyConfig, UniversityConfig,
@@ -112,6 +113,9 @@ fn main() {
     if run("e23") {
         e23();
     }
+    if run("e24") {
+        e24();
+    }
 }
 
 /// Validates the machine-readable bench files against their expected
@@ -124,7 +128,25 @@ fn main() {
 /// dependency-free sanity net CI runs on every push).
 fn check_bench_files() -> bool {
     // (path, required keys, keys whose values must be numeric-or-null).
-    let specs: [(&str, &[&str], &[&str]); 7] = [
+    let specs: [(&str, &[&str], &[&str]); 8] = [
+        (
+            "BENCH_serve.json",
+            &[
+                "\"experiment\": \"E24\"",
+                "\"clients\"",
+                "\"rows\"",
+                "\"facts\"",
+                "\"served_p50_ns\"",
+                "\"served_p99_ns\"",
+                "\"embedded_p50_ns\"",
+                "\"embedded_p99_ns\"",
+                "\"p99_ratio\"",
+                "\"hot_rows\"",
+                "\"throughput_qps\"",
+                "\"publish_p99_ns\"",
+            ],
+            &["served_p99_ns", "embedded_p99_ns", "p99_ratio"],
+        ),
         (
             "BENCH_shard.json",
             &[
@@ -1982,4 +2004,173 @@ fn e23() {
     println!("E23b — E16's reader/writer mix re-measured under the sharded config (50k facts):\n");
     print!("{}", mix_report.render());
     println!();
+}
+
+fn e24() {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use loosedb_serve::{Backend, Client, ServeConfig, Server};
+
+    let facts = 100_000usize;
+    let clients = 4usize;
+    let samples = 100usize;
+
+    let pick = |mut v: Vec<std::time::Duration>, q: usize| {
+        v.sort_unstable();
+        v[(v.len() - 1) * q / 100]
+    };
+
+    let (shared, _nodes) = shared_world(facts);
+    let mut server =
+        Server::start(Backend::shared(Arc::clone(&shared)), ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let base = chain_query_src(6);
+    // A distinct-but-equivalent text per iteration: same chain, same
+    // plan shape, renamed variables. The per-session answer cache
+    // (keyed on expanded text) misses every time, so both faces pay the
+    // full evaluation — the regime the 2x acceptance bound is about.
+    let variant = |i: usize| base.replace("?x", &format!("?v{i}_"));
+
+    let mut embedded = SharedSession::new(Arc::clone(&shared));
+    let mut cold_rows = 0usize;
+    let mut embedded_cold = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let t = Instant::now();
+        cold_rows = embedded.query(&variant(i)).expect("embedded cold").len();
+        embedded_cold.push(t.elapsed());
+    }
+    let mut client = Client::connect(addr, "").expect("connect");
+    let mut served_cold = Vec::with_capacity(samples);
+    for i in samples..2 * samples {
+        let t = Instant::now();
+        let got = client.query(&variant(i)).expect("served cold").rows.len();
+        served_cold.push(t.elapsed());
+        assert_eq!(got, cold_rows, "the two faces answered differently");
+    }
+
+    // The hot regime: the identical text repeats, the answer caches
+    // hit, and the served side's floor is mostly the loopback round
+    // trip — reported, not bounded.
+    let mut embedded_hot = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        embedded.query(&base).expect("embedded hot");
+        embedded_hot.push(t.elapsed());
+    }
+    let mut served_hot = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        client.query(&base).expect("served hot");
+        served_hot.push(t.elapsed());
+    }
+
+    // Multi-client throughput on the hot query: `clients` threads, each
+    // with its own connection and warm session, for a fixed window.
+    let window = std::time::Duration::from_millis(400);
+    let total: u64 = std::thread::scope(|scope| {
+        let base = &base;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect(addr, &format!("load-{c}")).expect("connect load");
+                    let started = Instant::now();
+                    let mut n = 0u64;
+                    while started.elapsed() < window {
+                        client.query(base).expect("load query");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client")).sum()
+    });
+    let qps = total as f64 / window.as_secs_f64();
+
+    // Served single-fact publishes: socket + framing + the write path.
+    let mut publish_samples = Vec::with_capacity(200);
+    for i in 0..200u64 {
+        let t = Instant::now();
+        let done = client
+            .publish(false, vec![(format!("E24-{i}"), "R0".into(), "N1".into())])
+            .expect("publish");
+        publish_samples.push(t.elapsed());
+        assert_eq!(done.applied, 1);
+    }
+
+    let served_p50 = pick(served_cold.clone(), 50);
+    let served_p99 = pick(served_cold, 99);
+    let embedded_p50 = pick(embedded_cold.clone(), 50);
+    let embedded_p99 = pick(embedded_cold, 99);
+    let ratio = served_p99.as_secs_f64() / embedded_p99.as_secs_f64().max(1e-9);
+    let hot_served_p50 = pick(served_hot.clone(), 50);
+    let hot_served_p99 = pick(served_hot, 99);
+    let hot_embedded_p50 = pick(embedded_hot.clone(), 50);
+    let hot_embedded_p99 = pick(embedded_hot, 99);
+    let publish_p99 = pick(publish_samples, 99);
+
+    let mut report =
+        Report::new(&["regime", "embedded p50", "embedded p99", "served p50", "served p99"]);
+    report.row(&[
+        "cold (evaluated)".into(),
+        fmt_duration(embedded_p50),
+        fmt_duration(embedded_p99),
+        fmt_duration(served_p50),
+        fmt_duration(served_p99),
+    ]);
+    report.row(&[
+        "hot (cached)".into(),
+        fmt_duration(hot_embedded_p50),
+        fmt_duration(hot_embedded_p99),
+        fmt_duration(hot_served_p50),
+        fmt_duration(hot_served_p99),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E24\",\n  \"title\": \"served vs embedded query latency \
+         over loopback\",\n  \"clients\": {clients},\n  \"rows\": [\n    {{ \"facts\": \
+         {facts}, \"atoms\": 6, \"answers\": {cold_rows}, \"served_p50_ns\": {}, \
+         \"served_p99_ns\": {}, \"embedded_p50_ns\": {}, \"embedded_p99_ns\": {}, \
+         \"p99_ratio\": {ratio:.3} }}\n  ],\n  \"hot_rows\": [\n    {{ \"facts\": {facts}, \
+         \"served_p50_ns\": {}, \"served_p99_ns\": {}, \"embedded_p50_ns\": {}, \
+         \"embedded_p99_ns\": {} }}\n  ],\n  \"throughput_qps\": {qps:.1},\n  \
+         \"publish_p99_ns\": {}\n}}\n",
+        served_p50.as_nanos(),
+        served_p99.as_nanos(),
+        embedded_p50.as_nanos(),
+        embedded_p99.as_nanos(),
+        hot_served_p50.as_nanos(),
+        hot_served_p99.as_nanos(),
+        hot_embedded_p50.as_nanos(),
+        hot_embedded_p99.as_nanos(),
+        publish_p99.as_nanos(),
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+
+    section(
+        "E24",
+        "served vs embedded query latency over loopback (100k-fact Zipf world)",
+        &report,
+        &format!(
+            "Shape: the server holds a real browse-layer session per connection, \
+             so the evaluated work is identical by construction and the delta is \
+             the serving tax — framing, the poll loop, admission, and a loopback \
+             round trip. On the cold regime (distinct-but-equivalent query texts \
+             defeat the answer cache, so every request evaluates a 6-atom chain \
+             join) the tax disappears into the evaluation: served p99 is \
+             {ratio:.2}x embedded p99 (the acceptance bound is 2x). The hot \
+             regime is the floor — both faces answer from warm caches and the \
+             served side is dominated by the round trip itself, which is why \
+             the bound is stated over evaluated queries, not cache hits. \
+             Sustained load: {clients} concurrent clients on the hot query \
+             drove {qps:.0} queries/s through one server; a served single-fact \
+             publish lands in {} at p99. Numbers land in BENCH_serve.json for \
+             trend tracking.",
+            fmt_duration(publish_p99),
+        ),
+    );
+    drop(client);
+    server.shutdown();
 }

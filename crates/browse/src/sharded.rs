@@ -348,6 +348,20 @@ impl ShardedSession {
         }
     }
 
+    /// Renders an answer's rows as display strings under the interner
+    /// its ids were actually resolved against (the sharded analogue of
+    /// [`crate::SharedSession::render_answer`]).
+    pub fn render_answer(&self, answer: &Answer) -> Vec<Vec<String>> {
+        let snap = self.sharded.snapshot();
+        let epoch_sum: u64 = snap.epochs().iter().sum();
+        let ext = match &self.ext {
+            Some(e) if e.epoch_sum == epoch_sum => Some(&e.interner),
+            _ => None,
+        };
+        let interner = ext.unwrap_or_else(|| snap.interner());
+        answer.rows.iter().map(|row| row.iter().map(|&e| interner.display(e)).collect()).collect()
+    }
+
     /// The §6.1 `try(e)` operator over the union of all shards.
     pub fn try_entity(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
         let snap = self.sharded.snapshot();

@@ -555,6 +555,21 @@ impl SharedSession {
         }
     }
 
+    /// Renders an answer's rows as display strings under the interner
+    /// its ids were actually resolved against — the answer analogue of
+    /// [`SharedSession::render_probe`], used by the serving layer to put
+    /// rows on the wire. Mathematical comparators can bind values that
+    /// were interned only by the session's private extension, so a bare
+    /// snapshot interner is not always enough.
+    pub fn render_answer(&self, answer: &Answer) -> Vec<Vec<String>> {
+        let generation = self.shared.snapshot();
+        let interner = match &self.ext {
+            Some(e) if e.epoch == generation.epoch() => &e.interner,
+            _ => generation.interner(),
+        };
+        answer.rows.iter().map(|row| row.iter().map(|&e| interner.display(e)).collect()).collect()
+    }
+
     /// The §6.1 `try(e)` operator.
     pub fn try_entity(&mut self, name: &str) -> Result<GroupedTable, SessionError> {
         let generation = self.shared.snapshot();

@@ -456,6 +456,42 @@ pub struct Metrics {
     /// nanoseconds (`shard.publish.nanos`).
     pub shard_publish_ns: Histogram,
 
+    // -- serving --
+    /// Connections currently admitted (`serve.connections`).
+    pub serve_connections: Gauge,
+    /// Connections accepted since start (`serve.accepted`).
+    pub serve_accepted: Counter,
+    /// Live sessions in the registry (`serve.sessions`).
+    pub serve_sessions: Gauge,
+    /// Requests handled across all transports (`serve.requests`).
+    pub serve_requests: Counter,
+    /// End-to-end request handling latency in nanoseconds
+    /// (`serve.request_nanos`).
+    pub serve_request_ns: Histogram,
+    /// Payload bytes received (`serve.bytes_in`).
+    pub serve_bytes_in: Counter,
+    /// Payload bytes sent (`serve.bytes_out`).
+    pub serve_bytes_out: Counter,
+    /// Malformed frames / transport violations observed
+    /// (`serve.protocol_errors`).
+    pub serve_protocol_errors: Counter,
+    /// Requests delayed by a tenant rate quota (`serve.throttled`).
+    pub serve_throttled: Counter,
+    /// Time spent blocked on tenant quotas, nanoseconds
+    /// (`serve.throttle_nanos`).
+    pub serve_throttle_ns: Histogram,
+    /// Queries refused by a tenant `max_rows` budget
+    /// (`serve.rows_rejected`).
+    pub serve_rows_rejected: Counter,
+    /// Sessions evicted after sitting idle past the configured horizon
+    /// (`serve.idle_evictions`).
+    pub serve_idle_evictions: Counter,
+    /// Requests served over the HTTP fallback (`serve.http_requests`).
+    pub serve_http_requests: Counter,
+    /// Graceful shutdowns completed, checkpoint included
+    /// (`serve.shutdowns`).
+    pub serve_shutdowns: Counter,
+
     // -- browse --
     /// Answer-cache counters (`browse.query_cache.*`; absorbs the
     /// session `CacheStats`).
@@ -542,6 +578,20 @@ impl Metrics {
             shard_scatter_tasks: registry.counter("shard.scatter.tasks"),
             shard_gather_rows: registry.histogram("shard.scatter.gather_rows"),
             shard_publish_ns: registry.histogram("shard.publish.nanos"),
+            serve_connections: registry.gauge("serve.connections"),
+            serve_accepted: registry.counter("serve.accepted"),
+            serve_sessions: registry.gauge("serve.sessions"),
+            serve_requests: registry.counter("serve.requests"),
+            serve_request_ns: registry.histogram("serve.request_nanos"),
+            serve_bytes_in: registry.counter("serve.bytes_in"),
+            serve_bytes_out: registry.counter("serve.bytes_out"),
+            serve_protocol_errors: registry.counter("serve.protocol_errors"),
+            serve_throttled: registry.counter("serve.throttled"),
+            serve_throttle_ns: registry.histogram("serve.throttle_nanos"),
+            serve_rows_rejected: registry.counter("serve.rows_rejected"),
+            serve_idle_evictions: registry.counter("serve.idle_evictions"),
+            serve_http_requests: registry.counter("serve.http_requests"),
+            serve_shutdowns: registry.counter("serve.shutdowns"),
             query_cache: CacheCounters::register(
                 &registry,
                 "browse.query_cache.hits",
@@ -629,6 +679,22 @@ impl Metrics {
                 gather_rows: self.shard_gather_rows.snapshot(),
                 publish_ns: self.shard_publish_ns.snapshot(),
             },
+            serve: ServeSnapshot {
+                connections: self.serve_connections.get(),
+                accepted: self.serve_accepted.get(),
+                sessions: self.serve_sessions.get(),
+                requests: self.serve_requests.get(),
+                request_ns: self.serve_request_ns.snapshot(),
+                bytes_in: self.serve_bytes_in.get(),
+                bytes_out: self.serve_bytes_out.get(),
+                protocol_errors: self.serve_protocol_errors.get(),
+                throttled: self.serve_throttled.get(),
+                throttle_ns: self.serve_throttle_ns.snapshot(),
+                rows_rejected: self.serve_rows_rejected.get(),
+                idle_evictions: self.serve_idle_evictions.get(),
+                http_requests: self.serve_http_requests.get(),
+                shutdowns: self.serve_shutdowns.get(),
+            },
             browse: BrowseSnapshot {
                 query_cache: self.query_cache.snapshot(),
                 nav_builds: self.nav_builds.get(),
@@ -658,8 +724,43 @@ pub struct MetricsSnapshot {
     pub repl: ReplicationSnapshot,
     /// Sharded-router metrics.
     pub shard: ShardSnapshot,
+    /// Network-serving metrics.
+    pub serve: ServeSnapshot,
     /// Browsing metrics.
     pub browse: BrowseSnapshot,
+}
+
+/// Network-serving (loosedb-serve) metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ServeSnapshot {
+    /// Connections currently admitted.
+    pub connections: u64,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Live sessions in the registry.
+    pub sessions: u64,
+    /// Requests handled across all transports.
+    pub requests: u64,
+    /// End-to-end request handling latency.
+    pub request_ns: HistogramSnapshot,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// Malformed frames / transport violations observed.
+    pub protocol_errors: u64,
+    /// Requests delayed by a tenant rate quota.
+    pub throttled: u64,
+    /// Time spent blocked on tenant quotas.
+    pub throttle_ns: HistogramSnapshot,
+    /// Queries refused by a tenant `max_rows` budget.
+    pub rows_rejected: u64,
+    /// Sessions evicted after sitting idle past the configured horizon.
+    pub idle_evictions: u64,
+    /// Requests served over the HTTP fallback.
+    pub http_requests: u64,
+    /// Graceful shutdowns completed, checkpoint included.
+    pub shutdowns: u64,
 }
 
 /// Sharded-router (routing / scatter-gather) metrics.

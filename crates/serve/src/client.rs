@@ -1,0 +1,193 @@
+//! A blocking client for the binary protocol: the library the REPL's
+//! `connect` mode, the load tests and E24 drive the server with.
+//!
+//! One [`Client`] is one server session — the handshake happens in
+//! [`Client::connect`], and every call sends one request frame and
+//! blocks for its response. Clients are cheap (a socket and two
+//! integers); open one per thread for concurrency.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_response, write_frame, ErrorCode, ProtocolError, Request, Response};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire broke: transport error or malformed frame.
+    Protocol(ProtocolError),
+    /// The server answered `Fail`.
+    Refused {
+        /// Machine-readable refusal class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response kind the request cannot
+    /// produce (a server bug, or a non-loosedb endpoint).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Refused { code, message } => write!(f, "refused ({code:?}): {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::from(e))
+    }
+}
+
+/// A query answer as it crosses the wire: rendered rows, not entity ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowsResult {
+    /// Epoch the answer was computed against.
+    pub epoch: u64,
+    /// Column display names.
+    pub names: Vec<String>,
+    /// Rendered rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The result of a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteResult {
+    /// Epoch after the write.
+    pub epoch: u64,
+    /// Facts newly applied.
+    pub applied: u64,
+}
+
+/// A connected session.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    session: u64,
+    epoch: u64,
+}
+
+impl Client {
+    /// Connects and performs the `Hello` handshake as `tenant` (`""` for
+    /// the default quota).
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client { writer, reader, session: 0, epoch: 0 };
+        match client.call(&Request::Hello { tenant: tenant.into() })? {
+            Response::Welcome { session, epoch } => {
+                client.session = session;
+                client.epoch = epoch;
+                Ok(client)
+            }
+            Response::Fail { code, message } => Err(ClientError::Refused { code, message }),
+            _ => Err(ClientError::Unexpected("handshake")),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The last epoch the server reported to this client.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One request, one response.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let response = read_response(&mut self.reader)?;
+        match &response {
+            Response::Rows { epoch, .. } | Response::Done { epoch, .. } => self.epoch = *epoch,
+            Response::Welcome { epoch, .. } => self.epoch = *epoch,
+            _ => {}
+        }
+        Ok(response)
+    }
+
+    fn refused(response: Response, wanted: &'static str) -> ClientError {
+        match response {
+            Response::Fail { code, message } => ClientError::Refused { code, message },
+            _ => ClientError::Unexpected(wanted),
+        }
+    }
+
+    /// Evaluates a standard query.
+    pub fn query(&mut self, text: &str) -> Result<RowsResult, ClientError> {
+        match self.call(&Request::Query { text: text.into() })? {
+            Response::Rows { epoch, names, rows } => Ok(RowsResult { epoch, names, rows }),
+            other => Err(Self::refused(other, "rows")),
+        }
+    }
+
+    /// Renders a navigation table for a template (`"*"` = free).
+    pub fn navigate(&mut self, s: &str, r: &str, t: &str) -> Result<String, ClientError> {
+        let request = Request::Navigate { s: s.into(), r: r.into(), t: t.into() };
+        match self.call(&request)? {
+            Response::Text { text } => Ok(text),
+            other => Err(Self::refused(other, "text")),
+        }
+    }
+
+    /// Probes a query (§5), returning the rendered report.
+    pub fn probe(&mut self, text: &str) -> Result<String, ClientError> {
+        match self.call(&Request::Probe { text: text.into() })? {
+            Response::Text { text } => Ok(text),
+            other => Err(Self::refused(other, "text")),
+        }
+    }
+
+    /// Publishes a batch of facts; `checked` enforces integrity.
+    pub fn publish(
+        &mut self,
+        checked: bool,
+        facts: Vec<(String, String, String)>,
+    ) -> Result<WriteResult, ClientError> {
+        match self.call(&Request::Publish { checked, facts })? {
+            Response::Done { epoch, applied } => Ok(WriteResult { epoch, applied }),
+            other => Err(Self::refused(other, "done")),
+        }
+    }
+
+    /// Retracts one base fact by display names.
+    pub fn retract(&mut self, s: &str, r: &str, t: &str) -> Result<WriteResult, ClientError> {
+        let request = Request::Retract { s: s.into(), r: r.into(), t: t.into() };
+        match self.call(&request)? {
+            Response::Done { epoch, applied } => Ok(WriteResult { epoch, applied }),
+            other => Err(Self::refused(other, "done")),
+        }
+    }
+
+    /// Fetches the server's Prometheus exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(Self::refused(other, "metrics")),
+        }
+    }
+
+    /// Ends the session politely (the server also handles abrupt
+    /// disconnects; `bye` just parts on good terms).
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Bye)? {
+            Response::Bye => Ok(()),
+            other => Err(Self::refused(other, "bye")),
+        }
+    }
+}

@@ -1,0 +1,742 @@
+//! The loosedb wire protocol: small length-prefixed binary frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic   0x4C53 ("LS", little-endian on the wire)
+//! 2       1     version currently 1
+//! 3       1     opcode  message discriminator (requests < 0x80 ≤ responses)
+//! 4       4     len     payload length in bytes, little-endian
+//! 8       len   payload opcode-specific, see [`Request`] / [`Response`]
+//! ```
+//!
+//! Payload primitives are little-endian fixed-width integers and
+//! UTF-8 strings prefixed by a `u32` byte length; sequences are a `u32`
+//! count followed by the items. Decoding is *strict*: every frame must
+//! consume its payload exactly, lengths are validated against
+//! [`MAX_PAYLOAD`] **before** any allocation (a frame advertising 4 GiB
+//! is refused by header inspection alone), and every malformed input
+//! yields a typed [`ProtocolError`] — never a panic. The adversarial
+//! decode proptests and the checked-in corpus under `tests/corpus/`
+//! hold the decoder to that contract.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Frame magic: "LS" (loosedb serve).
+pub const MAGIC: u16 = 0x4C53;
+
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+
+/// Frame header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard ceiling on a frame payload. Anything larger is refused at the
+/// header, before any buffer is allocated — the 4 GiB-length attack
+/// costs the server eight bytes of reading.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Everything that can go wrong turning bytes into a message (or a
+/// stream into a frame). Every variant is a *typed* refusal: the
+/// decoder never panics on adversarial input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame did not start with [`MAGIC`].
+    BadMagic(u16),
+    /// The frame's version byte is not one this build speaks.
+    UnsupportedVersion(u8),
+    /// The opcode byte names no known message (or a response opcode
+    /// arrived where a request was required, and vice versa).
+    UnknownOpcode(u8),
+    /// The header advertised a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Advertised payload length.
+        len: u32,
+        /// The ceiling it violated.
+        limit: u32,
+    },
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The payload was longer than the message it encoded.
+    TrailingBytes(usize),
+    /// A field held a value outside its domain (e.g. an unknown error
+    /// code or a boolean that is neither 0 nor 1).
+    BadValue(&'static str),
+    /// The underlying transport failed (connection reset, timeout,
+    /// EOF mid-frame). Carries the I/O error kind.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            ProtocolError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::Oversized { len, limit } => {
+                write!(f, "frame advertises {len} payload bytes (limit {limit})")
+            }
+            ProtocolError::Truncated => write!(f, "payload truncated"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
+            ProtocolError::BadValue(what) => write!(f, "field out of domain: {what}"),
+            ProtocolError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e.kind())
+    }
+}
+
+/// Why a request was refused ([`Response::Fail`]). Codes are stable
+/// wire values; [`ErrorCode::decode`] rejects unknown ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The query/probe text did not parse.
+    Parse = 1,
+    /// A name did not resolve to an interned entity.
+    UnknownEntity = 2,
+    /// The answer exceeded the tenant's `max_rows` budget.
+    TooManyRows = 3,
+    /// A checked publish was rejected by integrity enforcement.
+    Integrity = 4,
+    /// The request itself was malformed at the protocol level.
+    Malformed = 5,
+    /// The server is draining for shutdown.
+    ShuttingDown = 6,
+    /// The first frame on a connection must be `Hello`.
+    HandshakeRequired = 7,
+    /// Evaluation failed for an engine-internal reason.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire value.
+    pub fn decode(v: u16) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            1 => ErrorCode::Parse,
+            2 => ErrorCode::UnknownEntity,
+            3 => ErrorCode::TooManyRows,
+            4 => ErrorCode::Integrity,
+            5 => ErrorCode::Malformed,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::HandshakeRequired,
+            8 => ErrorCode::Internal,
+            _ => return Err(ProtocolError::BadValue("error code")),
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Opens the session: names the tenant whose quotas apply. Must be
+    /// the first frame on every connection.
+    Hello {
+        /// Tenant name ("" selects the default quota).
+        tenant: String,
+    },
+    /// Evaluates a standard query (§2.7 syntax).
+    Query {
+        /// Query source text.
+        text: String,
+    },
+    /// Renders a navigation table for a template; `"*"` marks a free
+    /// position.
+    Navigate {
+        /// Source position.
+        s: String,
+        /// Relationship position.
+        r: String,
+        /// Target position.
+        t: String,
+    },
+    /// Evaluates a query with automatic retraction (§5 probing).
+    Probe {
+        /// Probe source text.
+        text: String,
+    },
+    /// Publishes a batch of facts in one generation.
+    Publish {
+        /// Enforce integrity (the `try_add` path) instead of unchecked
+        /// insertion.
+        checked: bool,
+        /// `(source, relationship, target)` triples, as display text.
+        facts: Vec<(String, String, String)>,
+    },
+    /// Retracts one base fact.
+    Retract {
+        /// Source name.
+        s: String,
+        /// Relationship name.
+        r: String,
+        /// Target name.
+        t: String,
+    },
+    /// Fetches the Prometheus text exposition.
+    Metrics,
+    /// Ends the session politely.
+    Bye,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// Server-assigned session id.
+        session: u64,
+        /// Epoch of the generation the session starts on (sum across
+        /// shards for a sharded backend).
+        epoch: u64,
+    },
+    /// A query answer. A proposition answers with no columns and — when
+    /// true — a single empty row.
+    Rows {
+        /// Epoch the answer was computed against.
+        epoch: u64,
+        /// Column display names.
+        names: Vec<String>,
+        /// Row values, rendered.
+        rows: Vec<Vec<String>>,
+    },
+    /// A rendered table or menu (navigation, probe reports).
+    Text {
+        /// The rendered text.
+        text: String,
+    },
+    /// A write was applied (or was a no-op duplicate).
+    Done {
+        /// Epoch after the write.
+        epoch: u64,
+        /// Facts newly applied by this request.
+        applied: u64,
+    },
+    /// The Prometheus exposition.
+    Metrics {
+        /// Prometheus text format 0.0.4.
+        text: String,
+    },
+    /// The request was refused.
+    Fail {
+        /// Machine-readable refusal class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Session closed.
+    Bye,
+}
+
+// Request opcodes (< 0x80).
+const OP_HELLO: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_NAVIGATE: u8 = 0x03;
+const OP_PROBE: u8 = 0x04;
+const OP_PUBLISH: u8 = 0x05;
+const OP_RETRACT: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
+const OP_BYE: u8 = 0x08;
+
+// Response opcodes (≥ 0x80).
+const OP_WELCOME: u8 = 0x81;
+const OP_ROWS: u8 = 0x82;
+const OP_TEXT: u8 = 0x83;
+const OP_DONE: u8 = 0x84;
+const OP_METRICS_TEXT: u8 = 0x85;
+const OP_FAIL: u8 = 0x86;
+const OP_BYE_R: u8 = 0x87;
+
+/// A bounds-checked payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ProtocolError::BadValue("boolean")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    /// Reads a sequence count, refusing counts that cannot possibly fit
+    /// in the remaining payload (each element needs at least
+    /// `min_element` bytes) — an adversarial count of `u32::MAX` must
+    /// not reserve memory.
+    fn count(&mut self, min_element: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_element.max(1)) > self.remaining() {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn strings(&mut self) -> Result<Vec<String>, ProtocolError> {
+        let n = self.count(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// A payload writer.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn strings(&mut self, items: &[String]) {
+        self.u32(items.len() as u32);
+        for s in items {
+            self.string(s);
+        }
+    }
+}
+
+/// Assembles a full frame from an opcode and its payload.
+fn frame(opcode: u8, payload: Vec<u8>) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+impl Request {
+    /// Encodes this request as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        let op = match self {
+            Request::Hello { tenant } => {
+                w.string(tenant);
+                OP_HELLO
+            }
+            Request::Query { text } => {
+                w.string(text);
+                OP_QUERY
+            }
+            Request::Navigate { s, r, t } => {
+                w.string(s);
+                w.string(r);
+                w.string(t);
+                OP_NAVIGATE
+            }
+            Request::Probe { text } => {
+                w.string(text);
+                OP_PROBE
+            }
+            Request::Publish { checked, facts } => {
+                w.bool(*checked);
+                w.u32(facts.len() as u32);
+                for (s, r, t) in facts {
+                    w.string(s);
+                    w.string(r);
+                    w.string(t);
+                }
+                OP_PUBLISH
+            }
+            Request::Retract { s, r, t } => {
+                w.string(s);
+                w.string(r);
+                w.string(t);
+                OP_RETRACT
+            }
+            Request::Metrics => OP_METRICS,
+            Request::Bye => OP_BYE,
+        };
+        frame(op, w.buf)
+    }
+
+    /// Decodes a request payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let msg = match opcode {
+            OP_HELLO => Request::Hello { tenant: r.string()? },
+            OP_QUERY => Request::Query { text: r.string()? },
+            OP_NAVIGATE => Request::Navigate { s: r.string()?, r: r.string()?, t: r.string()? },
+            OP_PROBE => Request::Probe { text: r.string()? },
+            OP_PUBLISH => {
+                let checked = r.bool()?;
+                let n = r.count(12)?;
+                let mut facts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    facts.push((r.string()?, r.string()?, r.string()?));
+                }
+                Request::Publish { checked, facts }
+            }
+            OP_RETRACT => Request::Retract { s: r.string()?, r: r.string()?, t: r.string()? },
+            OP_METRICS => Request::Metrics,
+            OP_BYE => Request::Bye,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+impl Response {
+    /// Encodes this response as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        let op = match self {
+            Response::Welcome { session, epoch } => {
+                w.u64(*session);
+                w.u64(*epoch);
+                OP_WELCOME
+            }
+            Response::Rows { epoch, names, rows } => {
+                w.u64(*epoch);
+                w.strings(names);
+                w.u32(rows.len() as u32);
+                for row in rows {
+                    w.strings(row);
+                }
+                OP_ROWS
+            }
+            Response::Text { text } => {
+                w.string(text);
+                OP_TEXT
+            }
+            Response::Done { epoch, applied } => {
+                w.u64(*epoch);
+                w.u64(*applied);
+                OP_DONE
+            }
+            Response::Metrics { text } => {
+                w.string(text);
+                OP_METRICS_TEXT
+            }
+            Response::Fail { code, message } => {
+                w.u16(*code as u16);
+                w.string(message);
+                OP_FAIL
+            }
+            Response::Bye => OP_BYE_R,
+        };
+        frame(op, w.buf)
+    }
+
+    /// Decodes a response payload for `opcode`.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let msg = match opcode {
+            OP_WELCOME => Response::Welcome { session: r.u64()?, epoch: r.u64()? },
+            OP_ROWS => {
+                let epoch = r.u64()?;
+                let names = r.strings()?;
+                let n = r.count(4)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(r.strings()?);
+                }
+                Response::Rows { epoch, names, rows }
+            }
+            OP_TEXT => Response::Text { text: r.string()? },
+            OP_DONE => Response::Done { epoch: r.u64()?, applied: r.u64()? },
+            OP_METRICS_TEXT => Response::Metrics { text: r.string()? },
+            OP_FAIL => Response::Fail { code: ErrorCode::decode(r.u16()?)?, message: r.string()? },
+            OP_BYE_R => Response::Bye,
+            other => return Err(ProtocolError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Message discriminator.
+    pub opcode: u8,
+    /// Payload length.
+    pub len: u32,
+}
+
+/// Validates the 8 header bytes. This is the only inspection a frame
+/// gets before its advertised length is trusted, so the length ceiling
+/// lives here.
+pub fn decode_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, ProtocolError> {
+    let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    if bytes[2] != VERSION {
+        return Err(ProtocolError::UnsupportedVersion(bytes[2]));
+    }
+    let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len, limit: MAX_PAYLOAD });
+    }
+    Ok(Header { opcode: bytes[3], len })
+}
+
+/// Decodes one complete frame from a byte buffer: header, payload,
+/// request body. Used by the decode fuzz tests; the streaming path is
+/// [`read_request`].
+pub fn decode_request_frame(bytes: &[u8]) -> Result<Request, ProtocolError> {
+    let (header, payload) = split_frame(bytes)?;
+    Request::decode(header.opcode, payload)
+}
+
+/// [`decode_request_frame`] for responses.
+pub fn decode_response_frame(bytes: &[u8]) -> Result<Response, ProtocolError> {
+    let (header, payload) = split_frame(bytes)?;
+    Response::decode(header.opcode, payload)
+}
+
+fn split_frame(bytes: &[u8]) -> Result<(Header, &[u8]), ProtocolError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtocolError::Truncated);
+    }
+    let header = decode_header(bytes[..HEADER_LEN].try_into().expect("header"))?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < header.len as usize {
+        return Err(ProtocolError::Truncated);
+    }
+    if payload.len() > header.len as usize {
+        return Err(ProtocolError::TrailingBytes(payload.len() - header.len as usize));
+    }
+    Ok((header, payload))
+}
+
+/// Reads one frame's opcode and payload from a stream. EOF before the
+/// first header byte reports `Io(UnexpectedEof)` like any other
+/// truncation — callers that want to treat clean EOF specially should
+/// probe the stream themselves.
+fn read_frame(stream: &mut impl Read) -> Result<(u8, Vec<u8>), ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let header = decode_header(&header)?;
+    let mut payload = vec![0u8; header.len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok((header.opcode, payload))
+}
+
+/// Reads and decodes one request from a stream.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, ProtocolError> {
+    let (opcode, payload) = read_frame(stream)?;
+    Request::decode(opcode, &payload)
+}
+
+/// Reads and decodes one response from a stream.
+pub fn read_response(stream: &mut impl Read) -> Result<Response, ProtocolError> {
+    let (opcode, payload) = read_frame(stream)?;
+    Response::decode(opcode, &payload)
+}
+
+/// Writes one already-encoded frame to a stream.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), ProtocolError> {
+    stream.write_all(frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let messages = [
+            Request::Hello { tenant: "acme".into() },
+            Request::Query { text: "(?x, EARNS, ?y)".into() },
+            Request::Navigate { s: "JOHN".into(), r: "*".into(), t: "*".into() },
+            Request::Probe { text: "(JOHN, ADORES, ?x)".into() },
+            Request::Publish { checked: true, facts: vec![("A".into(), "R".into(), "B".into())] },
+            Request::Retract { s: "A".into(), r: "R".into(), t: "B".into() },
+            Request::Metrics,
+            Request::Bye,
+        ];
+        for msg in messages {
+            let bytes = msg.encode();
+            assert_eq!(decode_request_frame(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let messages = [
+            Response::Welcome { session: 7, epoch: 42 },
+            Response::Rows {
+                epoch: 3,
+                names: vec!["?x".into()],
+                rows: vec![vec!["JOHN".into()], vec!["MARY".into()]],
+            },
+            Response::Rows { epoch: 0, names: vec![], rows: vec![vec![]] },
+            Response::Text { text: "a table".into() },
+            Response::Done { epoch: 9, applied: 2 },
+            Response::Metrics { text: "# TYPE x counter\nx 1\n".into() },
+            Response::Fail { code: ErrorCode::TooManyRows, message: "limit 10".into() },
+            Response::Bye,
+        ];
+        for msg in messages {
+            let bytes = msg.encode();
+            assert_eq!(decode_response_frame(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn four_gib_length_is_refused_at_the_header() {
+        let mut bytes = Request::Query { text: "x".into() }.encode();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_request_frame(&bytes),
+            Err(ProtocolError::Oversized { len: u32::MAX, limit: MAX_PAYLOAD })
+        );
+    }
+
+    #[test]
+    fn truncation_oversized_counts_and_trailing_bytes_are_typed() {
+        let good =
+            Request::Publish { checked: false, facts: vec![("A".into(), "R".into(), "B".into())] }
+                .encode();
+        // Chop mid-payload: the header still promises more bytes.
+        assert_eq!(decode_request_frame(&good[..good.len() - 2]), Err(ProtocolError::Truncated));
+        // A count field claiming more elements than bytes remain.
+        let mut huge = good.clone();
+        let count_at = HEADER_LEN + 1; // after the `checked` bool
+        huge[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request_frame(&huge), Err(ProtocolError::Truncated));
+        // Payload longer than the message consumes.
+        let mut padded = good.clone();
+        padded.push(0);
+        let len_fixed = (padded.len() - HEADER_LEN) as u32;
+        padded[4..8].copy_from_slice(&len_fixed.to_le_bytes());
+        assert_eq!(decode_request_frame(&padded), Err(ProtocolError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn wrong_magic_version_opcode_are_typed() {
+        let good = Request::Bye.encode();
+        let mut bad = good.clone();
+        bad[0] = 0xFF;
+        assert!(matches!(decode_request_frame(&bad), Err(ProtocolError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = 99;
+        assert_eq!(decode_request_frame(&bad), Err(ProtocolError::UnsupportedVersion(99)));
+        let mut bad = good.clone();
+        bad[3] = 0x7F;
+        assert_eq!(decode_request_frame(&bad), Err(ProtocolError::UnknownOpcode(0x7F)));
+        // A response opcode is not a request.
+        let welcome = Response::Welcome { session: 1, epoch: 1 }.encode();
+        assert_eq!(decode_request_frame(&welcome), Err(ProtocolError::UnknownOpcode(OP_WELCOME)));
+    }
+
+    #[test]
+    fn invalid_utf8_and_booleans_are_typed() {
+        let mut bytes = Request::Query { text: "ab".into() }.encode();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF; // break the last UTF-8 byte
+        assert_eq!(decode_request_frame(&bytes), Err(ProtocolError::BadUtf8));
+        let mut bytes = Request::Publish { checked: false, facts: vec![] }.encode();
+        bytes[HEADER_LEN] = 2; // boolean out of domain
+        assert_eq!(decode_request_frame(&bytes), Err(ProtocolError::BadValue("boolean")));
+    }
+
+    #[test]
+    fn streaming_read_matches_buffer_decode() {
+        let msg = Request::Query { text: "(?x, isa, ?y)".into() };
+        let mut stream = std::io::Cursor::new(msg.encode());
+        assert_eq!(read_request(&mut stream).unwrap(), msg);
+        // EOF mid-frame is an Io truncation, not a panic.
+        let bytes = msg.encode();
+        let mut torn = std::io::Cursor::new(bytes[..bytes.len() - 3].to_vec());
+        assert_eq!(
+            read_request(&mut torn),
+            Err(ProtocolError::Io(std::io::ErrorKind::UnexpectedEof))
+        );
+    }
+}

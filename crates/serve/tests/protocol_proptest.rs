@@ -1,0 +1,310 @@
+//! Wire-protocol properties: every value round-trips through its frame,
+//! and no byte sequence — random, mutated or from the checked-in fuzz
+//! corpus — can make the decoder panic or allocate past its limits.
+//!
+//! The corpus under `tests/corpus/` is the regression side of the same
+//! coin: frames that once mattered (valid exemplars of every opcode plus
+//! adversarial shapes) are kept on disk and re-decoded on every run.
+//! `bad_*.bin` must fail cleanly; `req_*.bin` / `resp_*.bin` must decode
+//! to exactly the value they were written from. Regenerate with
+//! `cargo test -p loosedb-serve --test protocol_proptest -- --ignored`.
+
+use proptest::prelude::*;
+
+use loosedb_serve::protocol::{
+    decode_header, decode_request_frame, decode_response_frame, ErrorCode, Request, Response,
+    HEADER_LEN, MAX_PAYLOAD,
+};
+
+/// Text exercising the full escape surface: spaces, punctuation a query
+/// uses, quotes, backslashes and newlines.
+const TEXT: &str = r#"[a-zA-Z0-9 #?:=(),."\\_-]{0,48}"#;
+
+fn arb_error_code(tag: u8) -> ErrorCode {
+    match tag % 8 {
+        0 => ErrorCode::Parse,
+        1 => ErrorCode::UnknownEntity,
+        2 => ErrorCode::TooManyRows,
+        3 => ErrorCode::Integrity,
+        4 => ErrorCode::Malformed,
+        5 => ErrorCode::ShuttingDown,
+        6 => ErrorCode::HandshakeRequired,
+        _ => ErrorCode::Internal,
+    }
+}
+
+fn arb_request(tag: u8, a: String, b: String, c: String, flag: bool, n: u64) -> Request {
+    match tag % 8 {
+        0 => Request::Hello { tenant: a },
+        1 => Request::Query { text: a },
+        2 => Request::Navigate { s: a, r: b, t: c },
+        3 => Request::Probe { text: a },
+        4 => {
+            let facts = (0..(n % 5)).map(|i| (format!("{a}{i}"), b.clone(), c.clone())).collect();
+            Request::Publish { checked: flag, facts }
+        }
+        5 => Request::Retract { s: a, r: b, t: c },
+        6 => Request::Metrics,
+        _ => Request::Bye,
+    }
+}
+
+fn arb_response(tag: u8, a: String, b: String, flag: bool, n: u64) -> Response {
+    match tag % 7 {
+        0 => Response::Welcome { session: n, epoch: n.wrapping_mul(3) },
+        1 => {
+            let names = vec![a.clone(), b.clone()];
+            let rows = (0..(n % 4)).map(|i| vec![format!("{a}{i}"), b.clone()]).collect();
+            Response::Rows { epoch: n, names, rows }
+        }
+        2 => Response::Text { text: a },
+        3 => Response::Done { epoch: n, applied: u64::from(flag) },
+        4 => Response::Metrics { text: a },
+        5 => Response::Fail { code: arb_error_code(tag.wrapping_mul(31)), message: b },
+        _ => Response::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every request shape.
+    #[test]
+    fn request_round_trips(
+        tag in any::<u8>(),
+        a in TEXT,
+        b in TEXT,
+        c in TEXT,
+        flag in any::<bool>(),
+        n in 0u64..1000,
+    ) {
+        let request = arb_request(tag, a, b, c, flag, n);
+        let frame = request.encode();
+        prop_assert_eq!(decode_request_frame(&frame), Ok(request));
+    }
+
+    /// encode → decode is the identity for every response shape.
+    #[test]
+    fn response_round_trips(
+        tag in any::<u8>(),
+        a in TEXT,
+        b in TEXT,
+        flag in any::<bool>(),
+        n in 0u64..1000,
+    ) {
+        let response = arb_response(tag, a, b, flag, n);
+        let frame = response.encode();
+        prop_assert_eq!(decode_response_frame(&frame), Ok(response));
+    }
+
+    /// Arbitrary bytes never panic either decoder — they decode or they
+    /// return a typed error.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_request_frame(&bytes);
+        let _ = decode_response_frame(&bytes);
+        if bytes.len() >= HEADER_LEN {
+            let head: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+            let _ = decode_header(&head);
+        }
+    }
+
+    /// Any single-byte mutation of a valid frame decodes or errs cleanly;
+    /// mutations that leave the frame intact must still round-trip.
+    #[test]
+    fn mutated_frames_never_panic(
+        tag in any::<u8>(),
+        a in TEXT,
+        b in TEXT,
+        c in TEXT,
+        n in 0u64..100,
+        pos in 0usize..4096,
+        xor in 1u8..255,
+    ) {
+        let mut frame = arb_request(tag, a, b, c, false, n).encode();
+        let pos = pos % frame.len();
+        frame[pos] ^= xor;
+        let _ = decode_request_frame(&frame);
+    }
+
+    /// Every strict prefix of a valid frame is an error, never a panic
+    /// and never a bogus success.
+    #[test]
+    fn truncations_are_errors(
+        tag in any::<u8>(),
+        a in TEXT,
+        b in TEXT,
+        c in TEXT,
+        n in 0u64..100,
+        cut in 0usize..4096,
+    ) {
+        let frame = arb_request(tag, a, b, c, true, n).encode();
+        let cut = cut % frame.len();
+        prop_assert!(decode_request_frame(&frame[..cut]).is_err());
+    }
+
+    /// A length field past `MAX_PAYLOAD` is refused at the header — the
+    /// decoder must not trust it enough to allocate.
+    #[test]
+    fn oversized_lengths_are_refused(extra in 0u32..u32::MAX - MAX_PAYLOAD) {
+        let mut frame = Request::Metrics.encode();
+        let len = (MAX_PAYLOAD + 1).saturating_add(extra % (u32::MAX - MAX_PAYLOAD));
+        frame[4..8].copy_from_slice(&len.to_le_bytes());
+        let head: [u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
+        prop_assert!(decode_header(&head).is_err());
+    }
+
+    /// Trailing garbage after a well-formed payload is refused: frames
+    /// are exact, not "at least".
+    #[test]
+    fn trailing_bytes_are_refused(
+        a in TEXT,
+        junk in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut frame = Request::Query { text: a }.encode();
+        let grown = (frame.len() - HEADER_LEN + junk.len()) as u32;
+        frame.extend_from_slice(&junk);
+        frame[4..8].copy_from_slice(&grown.to_le_bytes());
+        prop_assert!(decode_request_frame(&frame).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// The checked-in corpus.
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The valid exemplars: one request per opcode, one response per opcode.
+fn corpus_requests() -> Vec<(&'static str, Request)> {
+    vec![
+        ("req_hello", Request::Hello { tenant: "acme".into() }),
+        ("req_query", Request::Query { text: "(?who, EARNS, SALARY)".into() }),
+        ("req_navigate", Request::Navigate { s: "JOHN".into(), r: "*".into(), t: "*".into() }),
+        ("req_probe", Request::Probe { text: "(JOHN, EARNS, 40000)".into() }),
+        (
+            "req_publish",
+            Request::Publish {
+                checked: true,
+                facts: vec![("JOHN".into(), "EARNS".into(), "40000".into())],
+            },
+        ),
+        (
+            "req_retract",
+            Request::Retract { s: "JOHN".into(), r: "EARNS".into(), t: "40000".into() },
+        ),
+        ("req_metrics", Request::Metrics),
+        ("req_bye", Request::Bye),
+    ]
+}
+
+fn corpus_responses() -> Vec<(&'static str, Response)> {
+    vec![
+        ("resp_welcome", Response::Welcome { session: 7, epoch: 42 }),
+        (
+            "resp_rows",
+            Response::Rows {
+                epoch: 42,
+                names: vec!["who".into()],
+                rows: vec![vec!["JOHN".into()], vec!["EMPLOYEE".into()]],
+            },
+        ),
+        ("resp_text", Response::Text { text: "JOHN | EARNS | SALARY".into() }),
+        ("resp_done", Response::Done { epoch: 43, applied: 1 }),
+        ("resp_metrics", Response::Metrics { text: "# TYPE serve_requests counter\n".into() }),
+        (
+            "resp_fail",
+            Response::Fail { code: ErrorCode::TooManyRows, message: "budget exceeded".into() },
+        ),
+        ("resp_bye", Response::Bye),
+    ]
+}
+
+/// The adversarial shapes, as raw bytes.
+fn corpus_adversarial() -> Vec<(&'static str, Vec<u8>)> {
+    let valid = Request::Query { text: "(?x, isa, ?y)".into() }.encode();
+    let mut bad_magic = valid.clone();
+    bad_magic[0] ^= 0xFF;
+    let mut bad_version = valid.clone();
+    bad_version[2] = 99;
+    let mut bad_opcode = valid.clone();
+    bad_opcode[3] = 0x7F;
+    let mut four_gib = valid.clone();
+    four_gib[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    let truncated = valid[..valid.len() / 2].to_vec();
+    let mut trailing = valid.clone();
+    let grown = (trailing.len() - HEADER_LEN + 4) as u32;
+    trailing.extend_from_slice(b"junk");
+    trailing[4..8].copy_from_slice(&grown.to_le_bytes());
+    let mut bad_utf8 = Request::Query { text: "ab".into() }.encode();
+    let at = bad_utf8.len() - 2;
+    bad_utf8[at..].copy_from_slice(&[0xFF, 0xFE]);
+    vec![
+        ("bad_magic", bad_magic),
+        ("bad_version", bad_version),
+        ("bad_opcode", bad_opcode),
+        ("bad_len_4gib", four_gib),
+        ("bad_truncated", truncated),
+        ("bad_trailing", trailing),
+        ("bad_utf8", bad_utf8),
+        ("bad_empty", Vec::new()),
+        ("bad_header_only", valid[..HEADER_LEN].to_vec()),
+    ]
+}
+
+/// Every corpus file decodes to exactly what it was written from (or
+/// fails cleanly, for the `bad_*` shapes). Catches any accidental wire
+/// format change: a frame written by yesterday's encoder must keep
+/// decoding forever.
+#[test]
+fn corpus_is_stable() {
+    let dir = corpus_dir();
+    for (name, request) in corpus_requests() {
+        let bytes = std::fs::read(dir.join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("corpus file {name}.bin missing: {e}"));
+        assert_eq!(decode_request_frame(&bytes), Ok(request.clone()), "{name}");
+        assert_eq!(bytes, request.encode(), "{name}: encoder drifted from corpus");
+    }
+    for (name, response) in corpus_responses() {
+        let bytes = std::fs::read(dir.join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("corpus file {name}.bin missing: {e}"));
+        assert_eq!(decode_response_frame(&bytes), Ok(response.clone()), "{name}");
+        assert_eq!(bytes, response.encode(), "{name}: encoder drifted from corpus");
+    }
+    for (name, bytes) in corpus_adversarial() {
+        let on_disk = std::fs::read(dir.join(format!("{name}.bin")))
+            .unwrap_or_else(|e| panic!("corpus file {name}.bin missing: {e}"));
+        assert_eq!(on_disk, bytes, "{name}: adversarial corpus drifted");
+        assert!(decode_request_frame(&on_disk).is_err(), "{name} must not decode");
+    }
+    // Nothing unexpected lives in the corpus: every file is accounted for.
+    let known: std::collections::BTreeSet<String> = corpus_requests()
+        .iter()
+        .map(|(n, _)| format!("{n}.bin"))
+        .chain(corpus_responses().iter().map(|(n, _)| format!("{n}.bin")))
+        .chain(corpus_adversarial().iter().map(|(n, _)| format!("{n}.bin")))
+        .collect();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(known.contains(&name), "unknown corpus file {name}");
+    }
+}
+
+/// Regenerates the corpus in place. Ignored by default; run explicitly
+/// after an intentional wire change, then commit the diff.
+#[test]
+#[ignore]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, request) in corpus_requests() {
+        std::fs::write(dir.join(format!("{name}.bin")), request.encode()).unwrap();
+    }
+    for (name, response) in corpus_responses() {
+        std::fs::write(dir.join(format!("{name}.bin")), response.encode()).unwrap();
+    }
+    for (name, bytes) in corpus_adversarial() {
+        std::fs::write(dir.join(format!("{name}.bin")), bytes).unwrap();
+    }
+}

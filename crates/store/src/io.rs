@@ -91,6 +91,51 @@ pub trait StorageIo: Send + Sync {
     fn remove_file(&self, path: &Path) -> io::Result<()>;
 }
 
+/// Delegates every [`StorageIo`] operation through `Box`, so callers can
+/// hold `Box<dyn StorageIo>` and pick a backend at runtime (the serving
+/// layer's journal does; `Arc<I>` and `&I` delegate the same way below).
+macro_rules! delegate_storage_io {
+    ($ptr:ty) => {
+        impl<T: StorageIo + ?Sized> StorageIo for $ptr {
+            fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+                (**self).read(path)
+            }
+            fn exists(&self, path: &Path) -> bool {
+                (**self).exists(path)
+            }
+            fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+                (**self).list(dir)
+            }
+            fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+                (**self).create_dir_all(path)
+            }
+            fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+                (**self).write(path, data)
+            }
+            fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+                (**self).append(path, data)
+            }
+            fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+                (**self).truncate(path, len)
+            }
+            fn fsync(&self, path: &Path) -> io::Result<()> {
+                (**self).fsync(path)
+            }
+            fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+                (**self).sync_dir(dir)
+            }
+            fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+                (**self).rename(from, to)
+            }
+            fn remove_file(&self, path: &Path) -> io::Result<()> {
+                (**self).remove_file(path)
+            }
+        }
+    };
+}
+
+delegate_storage_io!(Box<T>);
+
 /// The real filesystem.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RealIo;

@@ -50,12 +50,16 @@ commands:
   shards <n>                   repartition the current facts across n shards
   shards                       (sharded mode) per-shard status table
   shards off                   leave sharded mode, merging the shards back
+  connect <addr> [tenant]      attach to a loosedb-serve server (binary protocol)
+  disconnect                   leave connected mode, back to the local session
   help                         this text
   quit                         exit
 (replica mode is read-only: browse commands serve from the follower's
  snapshots; editing commands need 'detach' or 'promote' first)
 (sharded mode supports browsing, queries, probes and add/tryadd/del;
  rule-group and persistence commands need 'shards off' first)
+(connected mode runs nav/query/probe/add/tryadd/del/metrics against the
+ server; the local session waits untouched behind 'disconnect')
 (commands also accept a leading ':', e.g. ':metrics')";
 
 /// Replica-mode state: the tailing [`Replica`] plus a [`SharedSession`]
@@ -73,15 +77,28 @@ struct ShardedMode {
     session: ShardedSession,
 }
 
+/// Connected-mode state: a live session on a `loosedb-serve` server; the
+/// server holds the session caches, the REPL is a thin terminal.
+struct ConnectedMode {
+    client: loosedb::serve::Client,
+    addr: String,
+}
+
 struct Repl {
     session: Session,
     replica: Option<ReplicaMode>,
     sharded: Option<ShardedMode>,
+    connected: Option<ConnectedMode>,
 }
 
 fn main() {
     let stdin = io::stdin();
-    let mut repl = Repl { session: Session::new(music_world()), replica: None, sharded: None };
+    let mut repl = Repl {
+        session: Session::new(music_world()),
+        replica: None,
+        sharded: None,
+        connected: None,
+    };
     println!("loosedb browser — music world loaded; type 'help' for commands");
     prompt(&repl);
     for line in stdin.lock().lines() {
@@ -110,6 +127,8 @@ fn prompt(repl: &Repl) {
         print!("(replica)> ");
     } else if let Some(mode) = &repl.sharded {
         print!("(sharded:{})> ", mode.db.shard_count());
+    } else if let Some(mode) = &repl.connected {
+        print!("({})> ", mode.addr);
     } else {
         print!("> ");
     }
@@ -160,6 +179,38 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             return Ok(());
         }
         "shards" => return shards_command(repl, rest),
+        "connect" => {
+            if repl.replica.is_some() || repl.sharded.is_some() {
+                return Err("leave replica/sharded mode before connecting".into());
+            }
+            if let Some(mode) = &repl.connected {
+                return Err(format!("already connected to {}; 'disconnect' first", mode.addr));
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let (addr, tenant) = match parts.as_slice() {
+                [addr] => ((*addr).to_string(), String::new()),
+                [addr, tenant] => ((*addr).to_string(), (*tenant).to_string()),
+                _ => return Err("usage: connect <host:port> [tenant]".into()),
+            };
+            let client = loosedb::serve::Client::connect(addr.as_str(), &tenant)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "connected to {addr} as {} (session {}, epoch {})",
+                if tenant.is_empty() { "the default tenant" } else { tenant.as_str() },
+                client.session(),
+                client.epoch(),
+            );
+            repl.connected = Some(ConnectedMode { client, addr });
+            return Ok(());
+        }
+        "disconnect" => {
+            let Some(mode) = repl.connected.take() else {
+                return Err("not connected; see 'connect'".into());
+            };
+            let _ = mode.client.bye();
+            println!("disconnected; local session restored");
+            return Ok(());
+        }
         "sync" | "catchup" | "promote" | "detach" => {
             let Some(mode) = repl.replica.as_mut() else {
                 return Err(format!("{cmd} only works in replica mode; see 'replica'"));
@@ -287,11 +338,8 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             }
             "plan" => print!("{}", s.explain_query(rest).map_err(|e| e.to_string())?),
             "add" | "tryadd" | "del" => {
-                let parts: Vec<&str> = rest.split_whitespace().collect();
-                let [a, b, c] = parts.as_slice() else {
-                    return Err(format!("usage: {cmd} <s> <r> <t>"));
-                };
-                sharded_edit(&mode.db, cmd, a, b, c)?;
+                let (a, b, c) = fact_args(cmd, rest)?;
+                sharded_edit(&mode.db, cmd, &a, &b, &c)?;
             }
             "stats" => shard_status(&mode.db),
             "metrics" => {
@@ -309,6 +357,50 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             "spans" => return spans(rest),
             other => {
                 return Err(format!("{other:?} is unavailable in sharded mode; 'shards off' first"))
+            }
+        }
+        return Ok(());
+    }
+    if let Some(mode) = repl.connected.as_mut() {
+        let c = &mut mode.client;
+        match cmd {
+            "nav" | "focus" | "f" | "try" => {
+                let (a, b, d) = if cmd == "nav" {
+                    let parts: Vec<&str> = rest.split_whitespace().collect();
+                    let [a, b, d] = parts.as_slice() else {
+                        return Err("usage: nav <s> <r> <t>".into());
+                    };
+                    ((*a).to_string(), (*b).to_string(), (*d).to_string())
+                } else {
+                    // focus/try render the same neighborhood template.
+                    (rest.to_string(), "*".into(), "*".into())
+                };
+                print!("{}", c.navigate(&a, &b, &d).map_err(|e| e.to_string())?);
+            }
+            "query" | "q" => {
+                let result = c.query(rest).map_err(|e| e.to_string())?;
+                for row in &result.rows {
+                    println!("{}", row.join(" | "));
+                }
+                println!("({} answer(s), epoch {})", result.rows.len(), result.epoch);
+            }
+            "probe" | "p" => print!("{}", c.probe(rest).map_err(|e| e.to_string())?),
+            "add" | "tryadd" => {
+                let fact = fact_args(cmd, rest)?;
+                let done = c.publish(cmd == "tryadd", vec![fact]).map_err(|e| e.to_string())?;
+                println!("{} fact(s) applied (epoch {})", done.applied, done.epoch);
+            }
+            "del" => {
+                let (a, b, d) = fact_args(cmd, rest)?;
+                let done = c.retract(&a, &b, &d).map_err(|e| e.to_string())?;
+                println!("{} fact(s) removed (epoch {})", done.applied, done.epoch);
+            }
+            "metrics" => print!("{}", c.metrics_text().map_err(|e| e.to_string())?),
+            "help" => println!("{HELP}"),
+            other => {
+                return Err(format!(
+                    "{other:?} is unavailable in connected mode; 'disconnect' first"
+                ))
             }
         }
         return Ok(());
@@ -359,11 +451,8 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             print!("{}", report.render_menu(session.db().store().interner()));
         }
         "add" | "tryadd" | "del" | "explain" => {
-            let parts: Vec<&str> = rest.split_whitespace().collect();
-            let [s, r, t] = parts.as_slice() else {
-                return Err(format!("usage: {cmd} <s> <r> <t>"));
-            };
-            edit(session, cmd, s, r, t)?;
+            let (s, r, t) = fact_args(cmd, rest)?;
+            edit(session, cmd, &s, &r, &t)?;
         }
         "include" | "exclude" => {
             let group =
@@ -597,6 +686,23 @@ fn spans(rest: &str) -> Result<(), String> {
         other => return Err(format!("usage: spans <on|off|show>, not {other:?}")),
     }
     Ok(())
+}
+
+/// Splits a fact-editing argument into its three names. Accepts both
+/// the bare `S R T` spelling and the query-style `(S, R, T)` one —
+/// without this, `add (JOHN, LIKES, OPERA)` would silently intern
+/// `"(JOHN,"` as a brand-new entity and the write, though acked, would
+/// never show up under JOHN.
+fn fact_args(cmd: &str, rest: &str) -> Result<(String, String, String), String> {
+    let trimmed = rest.trim();
+    let trimmed = trimmed.strip_prefix('(').unwrap_or(trimmed);
+    let trimmed = trimmed.strip_suffix(')').unwrap_or(trimmed);
+    let parts: Vec<&str> =
+        trimmed.split(|c: char| c == ',' || c.is_whitespace()).filter(|p| !p.is_empty()).collect();
+    match parts.as_slice() {
+        [s, r, t] => Ok(((*s).to_string(), (*r).to_string(), (*t).to_string())),
+        _ => Err(format!("usage: {cmd} <s> <r> <t>  (or {cmd} (<s>, <r>, <t>))")),
+    }
 }
 
 /// Parses a command-line token into an [`loosedb::EntityValue`]:

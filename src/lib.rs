@@ -17,6 +17,7 @@
 //! | browsing | [`browse`] | §4 navigation, §5 probing, §6 operators |
 //! | workloads | [`datagen`] | seeded worlds and synthetic generators |
 //! | observability | [`obs`] | metrics registry, tracing spans, Prometheus export |
+//! | serving | [`serve`] | multi-session network server, binary protocol, client |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use loosedb_datagen as datagen;
 pub use loosedb_engine as engine;
 pub use loosedb_obs as obs;
 pub use loosedb_query as query;
+pub use loosedb_serve as serve;
 pub use loosedb_store as store;
 
 pub use loosedb_obs::{Metrics, MetricsSnapshot};
